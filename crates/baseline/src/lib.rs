@@ -1,0 +1,28 @@
+//! # Baseline storage engines
+//!
+//! The paper evaluates PlatoD2GL against two prior systems. Neither is open
+//! in the exact form benchmarked, so this crate reimplements their *storage
+//! and sampling designs* as the paper describes them:
+//!
+//! * [`PlatoGlStore`] — PlatoGL's **block-based key-value** topology store
+//!   (paper Sec. I, IV "Challenges"): a vertex's neighborhood is cut into
+//!   fixed-size blocks, each stored as a separate key-value pair whose key
+//!   carries "various information except the unique identifier". Weighted
+//!   sampling uses CSTables + ITS. Its two weaknesses — per-block key/index
+//!   overhead and `O(n)` CSTable maintenance — are inherent to the design
+//!   and reproduce here.
+//! * [`AliGraphStore`] — AliGraph's hash-by-source storage (Sec. VIII):
+//!   per-vertex adjacency arrays plus an **alias table** per vertex for fast
+//!   sampling. The alias table duplicates the neighborhood-sized arrays
+//!   (the paper: "it takes expensive memory cost ... since it has to
+//!   duplicate the graph topology for supporting fast sampling") and must be
+//!   rebuilt from scratch on any change.
+//!
+//! Both implement `GraphStore` and pass the same conformance suite as
+//! PlatoD2GL's store — they differ in cost, not behavior.
+
+mod aligraph;
+mod platogl;
+
+pub use aligraph::AliGraphStore;
+pub use platogl::{PlatoGlConfig, PlatoGlStore};

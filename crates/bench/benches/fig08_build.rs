@@ -1,0 +1,31 @@
+//! Criterion bench for Fig. 8: time cost of graph building, per dataset and
+//! engine, at a reduced stable scale (the full grid lives in
+//! `report_fig08_build`).
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use platod2gl_bench::{build_graph, datasets, Engine};
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig08_build");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(4));
+    for profile in datasets(20_000) {
+        for engine in Engine::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(engine.name(), &profile.name),
+                &profile,
+                |b, profile| {
+                    b.iter_batched(
+                        || engine.build(),
+                        |store| build_graph(store.as_ref(), profile, 8),
+                        BatchSize::PerIteration,
+                    );
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_build);
+criterion_main!(benches);

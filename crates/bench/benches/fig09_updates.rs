@@ -1,0 +1,39 @@
+//! Criterion bench for Fig. 9: dynamic-update batch latency on the WeChat
+//! profile, PlatoGL vs PlatoD2GL, across batch sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use platod2gl_bench::{build_graph, update_batches, Engine};
+use platod2gl::DatasetProfile;
+
+fn bench_updates(c: &mut Criterion) {
+    let profile = DatasetProfile::wechat().scaled_to_edges(30_000);
+    let mut group = c.benchmark_group("fig09_updates_wechat");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for engine in [Engine::PlatoGl, Engine::PlatoD2Gl] {
+        for exp in [10u32, 12, 14] {
+            let batch = 1usize << exp;
+            // Build once; updates mutate but keep the graph near its
+            // steady-state size (inserts mostly collide, deletes offset).
+            let store = engine.build();
+            build_graph(store.as_ref(), &profile, 8);
+            let batches = update_batches(&profile, batch, 8, 77);
+            group.throughput(Throughput::Elements(batch as u64));
+            group.bench_with_input(
+                BenchmarkId::new(engine.name(), format!("2^{exp}")),
+                &batches,
+                |b, batches| {
+                    let mut i = 0usize;
+                    b.iter(|| {
+                        store.apply_batch(&batches[i % batches.len()]);
+                        i += 1;
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_updates);
+criterion_main!(benches);

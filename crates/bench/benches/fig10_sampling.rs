@@ -1,0 +1,54 @@
+//! Criterion bench for Fig. 10: neighbor sampling (a-c) and 2-hop subgraph
+//! sampling (d-f) latency per engine, on the OGBN-like profile.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use platod2gl::{DatasetProfile, EdgeType, GraphStore, NeighborSampler, SubgraphSampler};
+use platod2gl_bench::{build_graph, Engine};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn build_stores(profile: &DatasetProfile) -> Vec<(Engine, Box<dyn GraphStore>)> {
+    Engine::ALL
+        .iter()
+        .map(|&e| {
+            let s = e.build();
+            build_graph(s.as_ref(), profile, 8);
+            (e, s)
+        })
+        .collect()
+}
+
+fn bench_neighbor(c: &mut Criterion) {
+    let profile = DatasetProfile::ogbn().scaled_to_edges(40_000);
+    let stores = build_stores(&profile);
+    let seeds = profile.sample_sources(256, 5);
+    let sampler = NeighborSampler::new(EdgeType(0), 50);
+    let mut group = c.benchmark_group("fig10_neighbor_sampling_batch256");
+    group.sample_size(20);
+    for (engine, store) in &stores {
+        group.bench_function(BenchmarkId::from_parameter(engine.name()), |b| {
+            let mut rng = StdRng::seed_from_u64(9);
+            b.iter(|| std::hint::black_box(sampler.sample(store.as_ref(), &seeds, &mut rng)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_subgraph(c: &mut Criterion) {
+    let profile = DatasetProfile::ogbn().scaled_to_edges(40_000);
+    let stores = build_stores(&profile);
+    let seeds = profile.sample_sources(64, 5);
+    let sampler = SubgraphSampler::new(EdgeType(0), vec![10, 10]);
+    let mut group = c.benchmark_group("fig10_subgraph_sampling_batch64");
+    group.sample_size(20);
+    for (engine, store) in &stores {
+        group.bench_function(BenchmarkId::from_parameter(engine.name()), |b| {
+            let mut rng = StdRng::seed_from_u64(9);
+            b.iter(|| std::hint::black_box(sampler.sample(store.as_ref(), &seeds, &mut rng)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_neighbor, bench_subgraph);
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! Criterion bench for Fig. 11: PlatoD2GL parameter sensitivity — batch
+//! size (a), samtree node capacity (b), thread count (c) and α-Split
+//! slackness (d) — on the WeChat profile.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use platod2gl::DatasetProfile;
+use platod2gl_bench::{build_graph, d2gl_with, update_batches};
+
+fn profile() -> DatasetProfile {
+    DatasetProfile::wechat().scaled_to_edges(30_000)
+}
+
+/// Fig. 11a: update latency vs batch size.
+fn bench_batch_size(c: &mut Criterion) {
+    let profile = profile();
+    let mut group = c.benchmark_group("fig11a_batch_size");
+    group.sample_size(10);
+    for exp in [10u32, 12, 14] {
+        let store = d2gl_with(256, 0, true);
+        build_graph(&store, &profile, 8);
+        let batches = update_batches(&profile, 1 << exp, 8, 3);
+        group.bench_function(BenchmarkId::from_parameter(format!("2^{exp}")), |b| {
+            let mut i = 0usize;
+            b.iter(|| {
+                store.apply_batch_parallel(&batches[i % batches.len()], 1);
+                i += 1;
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Fig. 11b: update latency vs samtree node capacity.
+fn bench_capacity(c: &mut Criterion) {
+    let profile = profile();
+    let mut group = c.benchmark_group("fig11b_node_capacity");
+    group.sample_size(10);
+    for capacity in [64usize, 256, 1024] {
+        let store = d2gl_with(capacity, 0, true);
+        build_graph(&store, &profile, 8);
+        let batches = update_batches(&profile, 1 << 12, 8, 3);
+        group.bench_function(BenchmarkId::from_parameter(capacity), |b| {
+            let mut i = 0usize;
+            b.iter(|| {
+                store.apply_batch_parallel(&batches[i % batches.len()], 1);
+                i += 1;
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Fig. 11c: concurrent update latency vs worker threads.
+fn bench_threads(c: &mut Criterion) {
+    let profile = profile();
+    let mut group = c.benchmark_group("fig11c_threads_batch4096");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        let store = d2gl_with(256, 0, true);
+        build_graph(&store, &profile, 8);
+        let batches = update_batches(&profile, 1 << 12, 8, 3);
+        group.bench_function(BenchmarkId::from_parameter(threads), |b| {
+            let mut i = 0usize;
+            b.iter(|| {
+                store.apply_batch_parallel(&batches[i % batches.len()], threads);
+                i += 1;
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Fig. 11d: full build time vs α-Split slackness.
+fn bench_alpha(c: &mut Criterion) {
+    let profile = profile();
+    let mut group = c.benchmark_group("fig11d_alpha");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(4));
+    for alpha in [0usize, 8, 32] {
+        group.bench_function(BenchmarkId::from_parameter(alpha), |b| {
+            b.iter_batched(
+                || d2gl_with(256, alpha, true),
+                |store| build_graph(&store, &profile, 8),
+                BatchSize::PerIteration,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_batch_size,
+    bench_capacity,
+    bench_threads,
+    bench_alpha
+);
+criterion_main!(benches);

@@ -1,0 +1,104 @@
+//! Criterion bench for Table II: maintenance and sampling cost of the two
+//! weighted-sampling indexes (ITS/CSTable vs FTS/FSTable) as the element
+//! count grows. The shape to look for: CSTable in-place/delete cost grows
+//! linearly with n; everything else stays near-flat (logarithmic).
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use platod2gl::{CsTable, FsTable};
+
+fn bench_inplace(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table02_inplace_update");
+    for exp in [8u32, 12, 16] {
+        let n = 1usize << exp;
+        let weights = vec![1.0f64; n];
+        group.bench_with_input(BenchmarkId::new("CSTable", n), &weights, |b, w| {
+            let mut cs = CsTable::from_weights(w);
+            b.iter(|| cs.add(3, 1e-12));
+        });
+        group.bench_with_input(BenchmarkId::new("FSTable", n), &weights, |b, w| {
+            let mut fs = FsTable::from_weights(w);
+            b.iter(|| fs.add(3, 1e-12));
+        });
+    }
+    group.finish();
+}
+
+fn bench_insert_append(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table02_new_insertion");
+    for exp in [8u32, 12, 16] {
+        let n = 1usize << exp;
+        let weights = vec![1.0f64; n];
+        group.bench_with_input(BenchmarkId::new("CSTable", n), &weights, |b, w| {
+            b.iter_batched_ref(
+                || CsTable::from_weights(w),
+                |cs| cs.push(1.0),
+                BatchSize::SmallInput,
+            );
+        });
+        group.bench_with_input(BenchmarkId::new("FSTable", n), &weights, |b, w| {
+            b.iter_batched_ref(
+                || FsTable::from_weights(w),
+                |fs| fs.push(1.0),
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_delete(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table02_deletion");
+    for exp in [8u32, 12, 16] {
+        let n = 1usize << exp;
+        let weights = vec![1.0f64; n];
+        group.bench_with_input(BenchmarkId::new("CSTable", n), &weights, |b, w| {
+            b.iter_batched_ref(
+                || CsTable::from_weights(w),
+                |cs| cs.remove(0),
+                BatchSize::SmallInput,
+            );
+        });
+        group.bench_with_input(BenchmarkId::new("FSTable", n), &weights, |b, w| {
+            b.iter_batched_ref(
+                || FsTable::from_weights(w),
+                |fs| fs.swap_delete(0),
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_sample(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table02_sampling");
+    for exp in [8u32, 12, 16] {
+        let n = 1usize << exp;
+        let weights = vec![1.0f64; n];
+        let cs = CsTable::from_weights(&weights);
+        let fs = FsTable::from_weights(&weights);
+        group.bench_function(BenchmarkId::new("ITS", n), |b| {
+            let mut i = 0usize;
+            b.iter(|| {
+                i = (i + 7919) % n;
+                std::hint::black_box(cs.its_search(i as f64 + 0.5))
+            });
+        });
+        group.bench_function(BenchmarkId::new("FTS", n), |b| {
+            let mut i = 0usize;
+            b.iter(|| {
+                i = (i + 7919) % n;
+                std::hint::black_box(fs.sample_with(i as f64 + 0.5))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_inplace,
+    bench_insert_append,
+    bench_delete,
+    bench_sample
+);
+criterion_main!(benches);

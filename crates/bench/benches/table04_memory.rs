@@ -1,0 +1,40 @@
+//! Criterion bench for Table IV. Memory is not a timing quantity, so this
+//! bench (a) prints the Table IV byte grid once during setup and (b) times
+//! the deep-size accounting walk itself, which is the measurable kernel.
+//! The full-scale grid lives in `report_table04_memory`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use platod2gl::{human_bytes, GraphStore};
+use platod2gl_bench::{build_graph, datasets, Engine};
+
+fn bench_memory(c: &mut Criterion) {
+    let profile = &datasets(30_000)[0]; // OGBN-like
+    let stores: Vec<(Engine, Box<dyn GraphStore>)> = Engine::ALL
+        .iter()
+        .map(|&e| {
+            let s = e.build();
+            build_graph(s.as_ref(), profile, 8);
+            (e, s)
+        })
+        .collect();
+    println!("\nTable IV grid ({} @ 30k directed edges):", profile.name);
+    for (engine, store) in &stores {
+        println!(
+            "  {:<10} {:>12} ({} edges)",
+            engine.name(),
+            human_bytes(store.topology_bytes()),
+            store.num_edges()
+        );
+    }
+    let mut group = c.benchmark_group("table04_memory_accounting");
+    group.sample_size(10);
+    for (engine, store) in &stores {
+        group.bench_function(BenchmarkId::from_parameter(engine.name()), |b| {
+            b.iter(|| std::hint::black_box(store.topology_bytes()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_memory);
+criterion_main!(benches);

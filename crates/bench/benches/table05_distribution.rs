@@ -1,0 +1,41 @@
+//! Criterion bench for Table V. The table itself is an operation-count
+//! distribution, printed during setup; the timed kernel is the instrumented
+//! ingest whose counters produce it, across node capacities.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use platod2gl::DatasetProfile;
+use platod2gl_bench::{build_graph, d2gl_with};
+
+fn bench_distribution(c: &mut Criterion) {
+    let profile = DatasetProfile::wechat().scaled_to_edges(30_000);
+    println!("\nTable V grid (WeChat @ 30k directed edges):");
+    println!("  {:>9} {:>12} {:>14} {:>8}", "capacity", "leaf ops", "non-leaf ops", "leaf %");
+    for capacity in [64usize, 128, 256, 512, 1024] {
+        let store = d2gl_with(capacity, 0, true);
+        build_graph(&store, &profile, 8);
+        let stats = store.op_stats();
+        println!(
+            "  {:>9} {:>12} {:>14} {:>7.2}%",
+            capacity,
+            stats.leaf_ops,
+            stats.internal_ops,
+            stats.leaf_fraction() * 100.0
+        );
+    }
+    let mut group = c.benchmark_group("table05_instrumented_ingest");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(4));
+    for capacity in [64usize, 256, 1024] {
+        group.bench_function(BenchmarkId::from_parameter(capacity), |b| {
+            b.iter_batched(
+                || d2gl_with(capacity, 0, true),
+                |store| build_graph(&store, &profile, 8),
+                BatchSize::PerIteration,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_distribution);
+criterion_main!(benches);

@@ -1,0 +1,6 @@
+//! Ablations of PlatoD2GL's design choices beyond the paper's figures.
+//! Run: cargo run -p platod2gl-bench --release --bin report_ablations
+
+fn main() {
+    platod2gl_bench::experiments::ablations();
+}

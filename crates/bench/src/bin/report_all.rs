@@ -1,0 +1,6 @@
+//! Regenerate every table and figure of the paper's evaluation section.
+//! Run: cargo run -p platod2gl-bench --release --bin report_all
+
+fn main() {
+    platod2gl_bench::experiments::run_all();
+}

@@ -1,0 +1,6 @@
+//! Report binary for the paper's fig08_build experiment.
+//! Run: cargo run -p platod2gl-bench --release --bin report_fig08_build
+
+fn main() {
+    platod2gl_bench::experiments::fig08_build();
+}

@@ -1,0 +1,6 @@
+//! Report binary for the paper's fig09_updates experiment.
+//! Run: cargo run -p platod2gl-bench --release --bin report_fig09_updates
+
+fn main() {
+    platod2gl_bench::experiments::fig09_updates();
+}

@@ -1,0 +1,6 @@
+//! Report binary for the paper's fig10_sampling experiment.
+//! Run: cargo run -p platod2gl-bench --release --bin report_fig10_sampling
+
+fn main() {
+    platod2gl_bench::experiments::fig10_sampling();
+}

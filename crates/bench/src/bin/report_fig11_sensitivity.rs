@@ -1,0 +1,6 @@
+//! Report binary for the paper's fig11_sensitivity experiment.
+//! Run: cargo run -p platod2gl-bench --release --bin report_fig11_sensitivity
+
+fn main() {
+    platod2gl_bench::experiments::fig11_sensitivity();
+}

@@ -1,0 +1,6 @@
+//! Report binary for the paper's table02_complexity experiment.
+//! Run: cargo run -p platod2gl-bench --release --bin report_table02_complexity
+
+fn main() {
+    platod2gl_bench::experiments::table02_complexity();
+}

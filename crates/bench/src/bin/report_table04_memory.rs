@@ -1,0 +1,6 @@
+//! Report binary for the paper's table04_memory experiment.
+//! Run: cargo run -p platod2gl-bench --release --bin report_table04_memory
+
+fn main() {
+    platod2gl_bench::experiments::table04_memory();
+}

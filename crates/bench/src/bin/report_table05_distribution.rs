@@ -1,0 +1,6 @@
+//! Report binary for the paper's table05_distribution experiment.
+//! Run: cargo run -p platod2gl-bench --release --bin report_table05_distribution
+
+fn main() {
+    platod2gl_bench::experiments::table05_distribution();
+}

@@ -1,0 +1,436 @@
+//! The full experiment grid, one function per table/figure. Report binaries
+//! are thin wrappers; `report_all` runs everything in paper order.
+
+use crate::{
+    build_graph, d2gl_with, datasets, header, ms, row, scale_edges, time_batches,
+    update_batches, Engine,
+};
+use platod2gl::{
+    human_bytes, CsTable, DatasetProfile, EdgeType, FsTable, GraphStore, NeighborSampler,
+    SubgraphSampler,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// Fig. 8: time cost of graph building, 3 datasets x 4 engines.
+pub fn fig08_build() {
+    println!("\n=== Fig. 8: time cost of graph building (seconds) ===");
+    let mut ds = datasets(scale_edges());
+    // Fourth column: WeChat at degree-preserving scale, the hub regime the
+    // production graph lives in (see DatasetProfile::wechat_hub).
+    ds.push(DatasetProfile::wechat_hub(scale_edges()));
+    header(&["engine", "OGBN", "Reddit", "WeChat", "WeChat-hub"]);
+    let mut d2gl_secs = vec![0.0; ds.len()];
+    let mut best_other = vec![f64::INFINITY; ds.len()];
+    for engine in Engine::ALL {
+        let mut cells = Vec::new();
+        for (i, profile) in ds.iter().enumerate() {
+            let store = engine.build();
+            let t = build_graph(store.as_ref(), profile, 8).as_secs_f64();
+            if engine == Engine::PlatoD2Gl {
+                d2gl_secs[i] = t;
+            } else if engine != Engine::PlatoD2GlNoCp {
+                best_other[i] = best_other[i].min(t);
+            }
+            cells.push(format!("{t:.2}"));
+        }
+        row(engine.name(), &cells);
+    }
+    for (i, profile) in ds.iter().enumerate() {
+        println!(
+            "  {}: PlatoD2GL is {:.1}x faster than the best baseline",
+            profile.name,
+            best_other[i] / d2gl_secs[i].max(1e-9)
+        );
+    }
+}
+
+/// Fig. 9: dynamic update time vs batch size on WeChat (PlatoGL vs
+/// PlatoD2GL), milliseconds per batch.
+pub fn fig09_updates() {
+    println!(
+        "\n=== Fig. 9: dynamic updates on WeChat (degree-preserving scale), time (ms) vs batch size ==="
+    );
+    // The production graph's hubs hold up to millions of distinct
+    // neighbors; `wechat_hub` keeps that regime at laptop scale (see
+    // DatasetProfile::wechat_hub docs).
+    let profile = DatasetProfile::wechat_hub(scale_edges());
+    header(&["batch", "PlatoGL", "PlatoD2GL", "speedup"]);
+    for exp in [10u32, 11, 12, 13, 14, 15, 16] {
+        let batch = 1usize << exp;
+        let num_batches = (1 << 18) / batch.max(1);
+        let num_batches = num_batches.clamp(2, 32);
+        let mut cells = Vec::new();
+        let mut times = Vec::new();
+        for engine in [Engine::PlatoGl, Engine::PlatoD2Gl] {
+            let store = engine.build();
+            build_graph(store.as_ref(), &profile, 8);
+            let batches = update_batches(&profile, batch, num_batches, 77);
+            let t = time_batches(store.as_ref(), &batches);
+            times.push(t.as_secs_f64());
+            cells.push(ms(t));
+        }
+        cells.push(format!("{:.1}x", times[0] / times[1].max(1e-12)));
+        row(&format!("2^{exp}"), &cells);
+    }
+}
+
+/// Table II (empirical): per-operation cost of the two sampling indexes as
+/// the element count grows — the measured counterpart of the complexity
+/// table.
+pub fn table02_complexity() {
+    println!("\n=== Table II (measured): ns/op of index maintenance & sampling ===");
+    header(&["n", "op", "ITS/CSTable", "FTS/FSTable"]);
+    for exp in [8u32, 10, 12, 14, 16] {
+        let n = 1usize << exp;
+        let weights = vec![1.0f64; n];
+        // In-place update at the front (worst case for CSTable).
+        let mut cs = CsTable::from_weights(&weights);
+        let mut fs = FsTable::from_weights(&weights);
+        let iters = 2_000;
+        let t0 = Instant::now();
+        for i in 0..iters {
+            cs.add(i % 8, 1e-9);
+        }
+        let cs_t = t0.elapsed().as_nanos() as f64 / iters as f64;
+        let t0 = Instant::now();
+        for i in 0..iters {
+            fs.add(i % 8, 1e-9);
+        }
+        let fs_t = t0.elapsed().as_nanos() as f64 / iters as f64;
+        row(
+            &format!("2^{exp}"),
+            &[
+                "in-place".into(),
+                format!("{cs_t:.0}"),
+                format!("{fs_t:.0}"),
+            ],
+        );
+        // Deletion (bounded by the table size so it never drains empty).
+        let mut cs = CsTable::from_weights(&weights);
+        let mut fs = FsTable::from_weights(&weights);
+        let iters = (n / 2).min(1_000);
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            cs.remove(0);
+        }
+        let cs_t = t0.elapsed().as_nanos() as f64 / iters as f64;
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            fs.swap_delete(0);
+        }
+        let fs_t = t0.elapsed().as_nanos() as f64 / iters as f64;
+        row(
+            "",
+            &[
+                "delete".into(),
+                format!("{cs_t:.0}"),
+                format!("{fs_t:.0}"),
+            ],
+        );
+        // Sampling.
+        let cs = CsTable::from_weights(&weights);
+        let fs = FsTable::from_weights(&weights);
+        let iters = 20_000;
+        let t0 = Instant::now();
+        for i in 0..iters {
+            std::hint::black_box(cs.its_search((i % n) as f64 + 0.5));
+        }
+        let cs_t = t0.elapsed().as_nanos() as f64 / iters as f64;
+        let t0 = Instant::now();
+        for i in 0..iters {
+            std::hint::black_box(fs.sample_with((i % n) as f64 + 0.5));
+        }
+        let fs_t = t0.elapsed().as_nanos() as f64 / iters as f64;
+        row(
+            "",
+            &[
+                "sample".into(),
+                format!("{cs_t:.0}"),
+                format!("{fs_t:.0}"),
+            ],
+        );
+    }
+    println!("  expectation: ITS in-place/delete grow linearly with n; all else logarithmic");
+}
+
+/// Table IV: memory cost after graph building.
+pub fn table04_memory() {
+    println!("\n=== Table IV: memory cost after graph building ===");
+    let mut ds = datasets(scale_edges());
+    ds.push(DatasetProfile::wechat_hub(scale_edges()));
+    header(&["engine", "OGBN", "Reddit", "WeChat", "WeChat-hub"]);
+    let mut grid = vec![vec![0usize; ds.len()]; Engine::ALL.len()];
+    for (ei, engine) in Engine::ALL.iter().enumerate() {
+        let mut cells = Vec::new();
+        for (di, profile) in ds.iter().enumerate() {
+            let store = engine.build();
+            build_graph(store.as_ref(), profile, 8);
+            grid[ei][di] = store.topology_bytes();
+            cells.push(human_bytes(grid[ei][di]));
+        }
+        row(engine.name(), &cells);
+    }
+    for (di, profile) in ds.iter().enumerate() {
+        let d2gl = grid[2][di] as f64;
+        let second_best = grid[0][di].min(grid[1][di]) as f64;
+        let no_cp = grid[3][di] as f64;
+        println!(
+            "  {}: {:.1}% below second-best, {:.1}% below w/o CP",
+            profile.name,
+            (1.0 - d2gl / second_best) * 100.0,
+            (1.0 - d2gl / no_cp) * 100.0
+        );
+    }
+}
+
+/// Table V: distribution of updating operations across leaf / non-leaf
+/// nodes while building the WeChat graph, by node capacity.
+pub fn table05_distribution() {
+    println!("\n=== Table V: update-op distribution on WeChat by node capacity ===");
+    let profile = DatasetProfile::wechat_hub(scale_edges());
+    header(&["capacity", "leaf ops", "non-leaf ops", "leaf %"]);
+    for capacity in [64usize, 128, 256, 512, 1024] {
+        let store = d2gl_with(capacity, 0, true);
+        build_graph(&store, &profile, 8);
+        let stats = store.op_stats();
+        row(
+            &capacity.to_string(),
+            &[
+                stats.leaf_ops.to_string(),
+                stats.internal_ops.to_string(),
+                format!("{:.2}%", stats.leaf_fraction() * 100.0),
+            ],
+        );
+    }
+}
+
+/// Fig. 10a-c: neighbor sampling (50 neighbors per vertex) time vs batch
+/// size, per dataset; Fig. 10d-f: 2-hop subgraph sampling.
+pub fn fig10_sampling() {
+    let ds = datasets(scale_edges());
+    let engines = [Engine::AliGraph, Engine::PlatoGl, Engine::PlatoD2Gl, Engine::PlatoD2GlNoCp];
+
+    println!("\n=== Fig. 10a-c: neighbor sampling (50 neighbors), time (ms) vs batch ===");
+    for profile in &ds {
+        println!("\n--- {} ---", profile.name);
+        let stores: Vec<Box<dyn GraphStore>> = engines
+            .iter()
+            .map(|e| {
+                let s = e.build();
+                build_graph(s.as_ref(), profile, 8);
+                s
+            })
+            .collect();
+        header(&["batch", "AliGraph", "PlatoGL", "PlatoD2GL", "w/o CP"]);
+        for exp in [8u32, 10, 12, 14] {
+            let batch_size = 1usize << exp;
+            let seeds = profile.sample_sources(batch_size, 5);
+            let sampler = NeighborSampler::new(EdgeType(0), 50);
+            let mut cells = Vec::new();
+            for store in &stores {
+                let mut rng = StdRng::seed_from_u64(9);
+                let t = Instant::now();
+                std::hint::black_box(sampler.sample(store.as_ref(), &seeds, &mut rng));
+                cells.push(ms(t.elapsed()));
+            }
+            row(&format!("2^{exp}"), &cells);
+        }
+    }
+
+    println!("\n=== Fig. 10d-f: 2-hop subgraph sampling (fanout 10x10), time (ms) vs batch ===");
+    for profile in &ds {
+        println!("\n--- {} ---", profile.name);
+        let stores: Vec<Box<dyn GraphStore>> = engines
+            .iter()
+            .map(|e| {
+                let s = e.build();
+                build_graph(s.as_ref(), profile, 8);
+                s
+            })
+            .collect();
+        header(&["batch", "AliGraph", "PlatoGL", "PlatoD2GL", "w/o CP"]);
+        for exp in [6u32, 8, 10, 12] {
+            let batch_size = 1usize << exp;
+            let seeds = profile.sample_sources(batch_size, 5);
+            let sampler = SubgraphSampler::new(EdgeType(0), vec![10, 10]);
+            let mut cells = Vec::new();
+            for store in &stores {
+                let mut rng = StdRng::seed_from_u64(9);
+                let t = Instant::now();
+                std::hint::black_box(sampler.sample(store.as_ref(), &seeds, &mut rng));
+                cells.push(ms(t.elapsed()));
+            }
+            row(&format!("2^{exp}"), &cells);
+        }
+    }
+}
+
+/// Fig. 11: parameter sensitivity of PlatoD2GL on WeChat.
+pub fn fig11_sensitivity() {
+    let profile = DatasetProfile::wechat_hub(scale_edges());
+
+    // (a) insertion time vs batch size.
+    println!("\n=== Fig. 11a: dynamic insertion time (ms) vs batch size ===");
+    header(&["batch", "time (ms)"]);
+    for exp in [10u32, 12, 14, 16, 17] {
+        let batch = 1usize << exp;
+        let store = d2gl_with(256, 0, true);
+        build_graph(&store, &profile, 8);
+        let batches = update_batches(&profile, batch, 4, 3);
+        let t = time_batches(&store, &batches);
+        row(&format!("2^{exp}"), &[ms(t)]);
+    }
+
+    // (b) insertion time vs samtree node capacity.
+    println!("\n=== Fig. 11b: dynamic insertion time (ms) vs node capacity ===");
+    header(&["capacity", "time (ms)"]);
+    for capacity in [64usize, 128, 256, 512, 1024] {
+        let store = d2gl_with(capacity, 0, true);
+        build_graph(&store, &profile, 8);
+        let batches = update_batches(&profile, 1 << 14, 4, 3);
+        let t = time_batches(&store, &batches);
+        row(&capacity.to_string(), &[ms(t)]);
+    }
+
+    // (c) concurrent update time vs threads.
+    println!("\n=== Fig. 11c: concurrent dynamic update time (ms) vs threads ===");
+    header(&["threads", "batch 2^12", "batch 2^13", "batch 2^14"]);
+    for threads in [1usize, 2, 4, 8, 16] {
+        let mut cells = Vec::new();
+        for exp in [12u32, 13, 14] {
+            let store = d2gl_with(256, 0, true);
+            build_graph(&store, &profile, 8);
+            let batches = update_batches(&profile, 1 << exp, 4, 3);
+            let t = Instant::now();
+            for b in &batches {
+                store.apply_batch_parallel(b, threads);
+            }
+            cells.push(ms(t.elapsed() / batches.len() as u32));
+        }
+        row(&threads.to_string(), &cells);
+    }
+
+    // (d) insertion time vs slackness alpha.
+    println!("\n=== Fig. 11d: dynamic insertion time vs slackness alpha ===");
+    header(&["alpha", "build (ms)"]);
+    for alpha in [0usize, 4, 8, 16, 32] {
+        let store = d2gl_with(256, alpha, true);
+        let t = build_graph(&store, &profile, 8);
+        row(&alpha.to_string(), &[ms(t)]);
+    }
+}
+
+/// Ablations of PlatoD2GL's own design choices (beyond the paper's
+/// figures): bottom-up bulk loading vs edge-at-a-time ingest, and the
+/// Appendix-B grouped/batched update path vs naive per-op application.
+pub fn ablations() {
+    use platod2gl::DynamicGraphStore;
+    let profile = DatasetProfile::wechat_hub(scale_edges());
+
+    println!("\n=== Ablation: bulk bottom-up load vs incremental ingest ===");
+    header(&["method", "time (s)", "edges"]);
+    let edges: Vec<_> = profile.edge_stream(8).collect();
+    let t = Instant::now();
+    let store = DynamicGraphStore::with_defaults();
+    store.bulk_build(edges.iter().copied());
+    row(
+        "bulk_build",
+        &[
+            format!("{:.2}", t.elapsed().as_secs_f64()),
+            store.num_edges().to_string(),
+        ],
+    );
+    let t = Instant::now();
+    let store = DynamicGraphStore::with_defaults();
+    for e in &edges {
+        store.insert_edge(*e);
+    }
+    row(
+        "incremental",
+        &[
+            format!("{:.2}", t.elapsed().as_secs_f64()),
+            store.num_edges().to_string(),
+        ],
+    );
+
+    println!("\n=== Ablation: grouped batch path (App. B) vs naive per-op ===");
+    header(&["method", "ms / 16k-batch"]);
+    let batches = update_batches(&profile, 1 << 14, 8, 3);
+    let store = DynamicGraphStore::with_defaults();
+    build_graph(&store, &profile, 8);
+    let t = Instant::now();
+    for b in &batches {
+        store.apply_batch_parallel(b, 1); // sort + group + leaf-run batching
+    }
+    row("grouped", &[ms(t.elapsed() / batches.len() as u32)]);
+    let store = DynamicGraphStore::with_defaults();
+    build_graph(&store, &profile, 8);
+    let t = Instant::now();
+    for b in &batches {
+        for op in b {
+            store.apply(op); // one directory lookup + descent per op
+        }
+    }
+    row("per-op", &[ms(t.elapsed() / batches.len() as u32)]);
+    println!(
+        "  note: grouping pays off when batches concentrate many ops per source\n\
+         \x20 (and it is what makes multi-threaded application race-free);\n\
+         \x20 with ~1-2 ops per tree the sort overhead can exceed the saving."
+    );
+
+    println!("\n=== Ablation: leaf index FSTable (paper) vs CSTable, by node capacity ===");
+    use platod2gl::{LeafIndex, SamTreeConfig, StoreConfig};
+    header(&["capacity", "FSTable ms", "CSTable ms", "FS speedup"]);
+    for capacity in [256usize, 1024, 4096] {
+        let mut times = Vec::new();
+        for leaf_index in [LeafIndex::Fenwick, LeafIndex::CumSum] {
+            let store = DynamicGraphStore::new(StoreConfig {
+                tree: SamTreeConfig {
+                    capacity,
+                    leaf_index,
+                    ..SamTreeConfig::default()
+                },
+                ..StoreConfig::default()
+            });
+            build_graph(&store, &profile, 8);
+            let batches = update_batches(&profile, 1 << 14, 8, 3);
+            let t = Instant::now();
+            for b in &batches {
+                store.apply_batch_parallel(b, 1);
+            }
+            times.push(t.elapsed() / batches.len() as u32);
+        }
+        row(
+            &capacity.to_string(),
+            &[
+                ms(times[0]),
+                ms(times[1]),
+                format!("{:.1}x", times[1].as_secs_f64() / times[0].as_secs_f64()),
+            ],
+        );
+    }
+    println!(
+        "  the CSTable-leaf variant pays O(n_L) per in-place update/delete; the\n\
+         \x20 gap widens with leaf occupancy, which is why PlatoD2GL keeps CSTables\n\
+         \x20 only in rarely-updated internal nodes (Table V)."
+    );
+}
+
+/// Run the whole evaluation in paper order.
+pub fn run_all() {
+    println!(
+        "PlatoD2GL evaluation reproduction (scale: {} directed edges/dataset; \
+         set PLATOD2GL_SCALE_EDGES to change)",
+        scale_edges()
+    );
+    fig08_build();
+    fig09_updates();
+    table02_complexity();
+    table04_memory();
+    table05_distribution();
+    fig10_sampling();
+    fig11_sensitivity();
+    ablations();
+}

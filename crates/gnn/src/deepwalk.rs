@@ -1,0 +1,343 @@
+//! DeepWalk-style embedding training: skip-gram with negative sampling over
+//! weighted random walks.
+//!
+//! The paper positions PlatoD2GL as serving "various GNN models" in
+//! production recommendation; random-walk embedding models (DeepWalk /
+//! node2vec lineage) are the other workhorse family those systems train,
+//! and they exercise the store through a different access pattern than
+//! GraphSAGE: long sequential weighted walks plus non-neighbor negative
+//! draws, all against the live dynamic topology.
+
+use crate::ops::{NegativeSampler, RandomWalkSampler};
+use platod2gl_cuckoo::CuckooMap;
+use platod2gl_graph::{EdgeType, GraphStore, VertexId};
+use platod2gl_mem::DeepSize;
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// Wrapper so the embedding map can account for its vectors.
+#[derive(Clone, Debug)]
+struct EmbRow(Vec<f64>);
+
+impl DeepSize for EmbRow {
+    fn heap_bytes(&self) -> usize {
+        self.0.capacity() * 8
+    }
+}
+
+/// A concurrent vertex-embedding table (lazily initialized rows).
+pub struct EmbeddingTable {
+    dim: usize,
+    seed: u64,
+    rows: CuckooMap<u64, EmbRow>,
+}
+
+impl EmbeddingTable {
+    /// Create a table producing `dim`-wide embeddings.
+    pub fn new(dim: usize, seed: u64) -> Self {
+        assert!(dim >= 1);
+        Self {
+            dim,
+            seed,
+            rows: CuckooMap::with_capacity(1024),
+        }
+    }
+
+    /// Embedding width.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of vertices with materialized embeddings.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether no embedding has been materialized yet.
+    pub fn is_empty(&self) -> bool {
+        self.rows.len() == 0
+    }
+
+    fn init_row(&self, v: VertexId) -> EmbRow {
+        // Deterministic small random init per vertex.
+        let mut rng = StdRng::seed_from_u64(self.seed ^ v.raw().wrapping_mul(0x9e3779b97f4a7c15));
+        EmbRow((0..self.dim).map(|_| rng.random_range(-0.05..0.05)).collect())
+    }
+
+    /// Read (a copy of) a vertex's embedding, initializing it if absent.
+    pub fn get(&self, v: VertexId) -> Vec<f64> {
+        self.rows
+            .update_or_insert_with(v.raw(), || self.init_row(v), |r| r.0.clone())
+    }
+
+    /// Apply `f` to a vertex's embedding in place.
+    fn update(&self, v: VertexId, f: impl FnOnce(&mut [f64])) {
+        self.rows
+            .update_or_insert_with(v.raw(), || self.init_row(v), |r| f(&mut r.0));
+    }
+
+    /// Cosine similarity between two vertices' embeddings.
+    pub fn cosine(&self, a: VertexId, b: VertexId) -> f64 {
+        let (ea, eb) = (self.get(a), self.get(b));
+        let dot: f64 = ea.iter().zip(&eb).map(|(x, y)| x * y).sum();
+        let na: f64 = ea.iter().map(|x| x * x).sum::<f64>().sqrt();
+        let nb: f64 = eb.iter().map(|x| x * x).sum::<f64>().sqrt();
+        if na == 0.0 || nb == 0.0 {
+            0.0
+        } else {
+            dot / (na * nb)
+        }
+    }
+
+    /// Total heap bytes of the table.
+    pub fn bytes(&self) -> usize {
+        self.rows.heap_bytes()
+    }
+}
+
+/// DeepWalk hyperparameters.
+#[derive(Clone, Debug)]
+pub struct DeepWalkConfig {
+    /// Relation to walk over.
+    pub etype: EdgeType,
+    /// Embedding width.
+    pub dim: usize,
+    /// Walk length per seed.
+    pub walk_length: usize,
+    /// Skip-gram window radius.
+    pub window: usize,
+    /// Negative samples per positive pair.
+    pub negatives: usize,
+    /// SGD learning rate.
+    pub lr: f64,
+    /// Init seed.
+    pub seed: u64,
+}
+
+impl Default for DeepWalkConfig {
+    fn default() -> Self {
+        Self {
+            etype: EdgeType::DEFAULT,
+            dim: 32,
+            walk_length: 20,
+            window: 3,
+            negatives: 3,
+            lr: 0.05,
+            seed: 17,
+        }
+    }
+}
+
+/// Skip-gram-with-negative-sampling trainer over weighted walks.
+pub struct DeepWalkTrainer {
+    cfg: DeepWalkConfig,
+    walker: RandomWalkSampler,
+    negatives: NegativeSampler,
+    /// "Input" embeddings (the ones consumers read).
+    pub embeddings: EmbeddingTable,
+    /// "Output" (context) embeddings, SGNS's second table.
+    context: EmbeddingTable,
+}
+
+fn sigmoid(x: f64) -> f64 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+impl DeepWalkTrainer {
+    /// Create a trainer whose negative draws come from `candidates`
+    /// (typically the full vertex set or the item side of a bipartite
+    /// graph).
+    pub fn new(cfg: DeepWalkConfig, candidates: Vec<VertexId>) -> Self {
+        Self {
+            walker: RandomWalkSampler::new(cfg.etype, cfg.walk_length),
+            negatives: NegativeSampler::new(cfg.etype, candidates),
+            embeddings: EmbeddingTable::new(cfg.dim, cfg.seed),
+            context: EmbeddingTable::new(cfg.dim, cfg.seed ^ 0xabcd),
+            cfg,
+        }
+    }
+
+    /// One SGNS update for a (center, context, label) pair; returns its
+    /// loss term.
+    fn pair_step(&self, center: VertexId, other: VertexId, label: f64) -> f64 {
+        let e_c = self.embeddings.get(center);
+        let e_o = self.context.get(other);
+        let dot: f64 = e_c.iter().zip(&e_o).map(|(x, y)| x * y).sum();
+        let p = sigmoid(dot);
+        let g = (p - label) * self.cfg.lr;
+        self.embeddings.update(center, |row| {
+            for (x, y) in row.iter_mut().zip(&e_o) {
+                *x -= g * y;
+            }
+        });
+        self.context.update(other, |row| {
+            for (x, y) in row.iter_mut().zip(&e_c) {
+                *x -= g * y;
+            }
+        });
+        if label > 0.5 {
+            -p.max(1e-12).ln()
+        } else {
+            -(1.0 - p).max(1e-12).ln()
+        }
+    }
+
+    /// Walk from each seed and train on every in-window pair plus sampled
+    /// negatives; returns the mean loss over pairs.
+    pub fn train_epoch<S: GraphStore + ?Sized>(
+        &self,
+        store: &S,
+        seeds: &[VertexId],
+        rng: &mut dyn RngCore,
+    ) -> f64 {
+        let walks = self.walker.sample(store, seeds, rng);
+        let mut loss = 0.0;
+        let mut pairs = 0usize;
+        for walk in &walks {
+            for (i, &center) in walk.iter().enumerate() {
+                let lo = i.saturating_sub(self.cfg.window);
+                let hi = (i + self.cfg.window + 1).min(walk.len());
+                for &ctx in &walk[lo..hi] {
+                    if ctx == center {
+                        continue;
+                    }
+                    loss += self.pair_step(center, ctx, 1.0);
+                    pairs += 1;
+                    for neg in self.negatives.sample(store, center, self.cfg.negatives, rng) {
+                        loss += self.pair_step(center, neg, 0.0);
+                        pairs += 1;
+                    }
+                }
+            }
+        }
+        if pairs == 0 {
+            0.0
+        } else {
+            loss / pairs as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use platod2gl_graph::Edge;
+    use platod2gl_storage::DynamicGraphStore;
+
+    fn v(x: u64) -> VertexId {
+        VertexId(x)
+    }
+
+    /// Two 10-vertex cliques joined by a single bridge edge.
+    fn two_cliques() -> (DynamicGraphStore, Vec<VertexId>) {
+        let store = DynamicGraphStore::with_defaults();
+        let mut vertices = Vec::new();
+        for base in [0u64, 100] {
+            for i in 0..10 {
+                vertices.push(v(base + i));
+                for j in 0..10 {
+                    if i != j {
+                        store.insert_edge(Edge::new(v(base + i), v(base + j), 1.0));
+                    }
+                }
+            }
+        }
+        store.insert_edge(Edge::new(v(0), v(100), 0.05));
+        store.insert_edge(Edge::new(v(100), v(0), 0.05));
+        (store, vertices)
+    }
+
+    #[test]
+    fn embedding_table_is_deterministic_and_lazy() {
+        let t = EmbeddingTable::new(8, 3);
+        assert!(t.is_empty());
+        let a = t.get(v(5));
+        assert_eq!(a.len(), 8);
+        assert_eq!(t.get(v(5)), a, "stable across reads");
+        assert_eq!(t.len(), 1);
+        let t2 = EmbeddingTable::new(8, 3);
+        assert_eq!(t2.get(v(5)), a, "same seed, same init");
+        let t3 = EmbeddingTable::new(8, 4);
+        assert_ne!(t3.get(v(5)), a, "different seed, different init");
+    }
+
+    #[test]
+    fn cosine_of_identical_vertices_is_one() {
+        let t = EmbeddingTable::new(8, 1);
+        assert!((t.cosine(v(1), v(1)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn training_loss_decreases() {
+        let (store, vertices) = two_cliques();
+        let trainer = DeepWalkTrainer::new(
+            DeepWalkConfig {
+                dim: 16,
+                walk_length: 10,
+                ..Default::default()
+            },
+            vertices.clone(),
+        );
+        let mut rng = StdRng::seed_from_u64(2);
+        let first = trainer.train_epoch(&store, &vertices, &mut rng);
+        let mut last = first;
+        for _ in 0..15 {
+            last = trainer.train_epoch(&store, &vertices, &mut rng);
+        }
+        assert!(
+            last < first * 0.8,
+            "SGNS loss should drop: {first} -> {last}"
+        );
+    }
+
+    #[test]
+    fn communities_separate_in_embedding_space() {
+        let (store, vertices) = two_cliques();
+        let trainer = DeepWalkTrainer::new(DeepWalkConfig::default(), vertices.clone());
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..25 {
+            trainer.train_epoch(&store, &vertices, &mut rng);
+        }
+        // Mean intra-clique similarity must exceed cross-clique similarity.
+        let intra = trainer.embeddings.cosine(v(1), v(2))
+            + trainer.embeddings.cosine(v(101), v(102));
+        let cross = trainer.embeddings.cosine(v(1), v(101))
+            + trainer.embeddings.cosine(v(2), v(102));
+        assert!(
+            intra / 2.0 > cross / 2.0 + 0.1,
+            "intra {intra:.3} vs cross {cross:.3}"
+        );
+    }
+
+    #[test]
+    fn training_tracks_dynamic_graph() {
+        // After retargeting the bridge vertex's edges to the other clique,
+        // continued training pulls it across.
+        let (store, vertices) = two_cliques();
+        let trainer = DeepWalkTrainer::new(DeepWalkConfig::default(), vertices.clone());
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..15 {
+            trainer.train_epoch(&store, &vertices, &mut rng);
+        }
+        // Vertex 9 defects: drop its clique-A edges, join clique B.
+        for j in 0..10u64 {
+            if j != 9 {
+                store.delete_edge(v(9), v(j), EdgeType::DEFAULT);
+                store.delete_edge(v(j), v(9), EdgeType::DEFAULT);
+            }
+        }
+        for j in 0..10u64 {
+            store.insert_edge(Edge::new(v(9), v(100 + j), 1.0));
+            store.insert_edge(Edge::new(v(100 + j), v(9), 1.0));
+        }
+        for _ in 0..25 {
+            trainer.train_epoch(&store, &vertices, &mut rng);
+        }
+        let to_new = trainer.embeddings.cosine(v(9), v(105));
+        let to_old = trainer.embeddings.cosine(v(9), v(5));
+        assert!(
+            to_new > to_old,
+            "defector should now resemble clique B: new {to_new:.3} vs old {to_old:.3}"
+        );
+    }
+}

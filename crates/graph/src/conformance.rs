@@ -1,0 +1,212 @@
+//! A behavioral conformance suite for [`GraphStore`] implementations.
+//!
+//! PlatoD2GL's store and both baselines (PlatoGL-like, AliGraph-like) must
+//! agree on *what* they compute — they differ only in cost. Each engine's
+//! test module calls [`run_all`] with a factory for a fresh store.
+
+use crate::{DatasetProfile, Edge, EdgeType, GraphStore, UpdateOp, VertexId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+fn v(x: u64) -> VertexId {
+    VertexId(x)
+}
+
+/// Insert / lookup / delete / update basics.
+pub fn basic_crud<S: GraphStore>(store: &S) {
+    let et = EdgeType::DEFAULT;
+    assert_eq!(store.num_edges(), 0);
+    store.insert_edge(Edge::new(v(1), v(2), 0.5));
+    store.insert_edge(Edge::new(v(1), v(3), 1.5));
+    store.insert_edge(Edge::new(v(2), v(3), 2.0));
+    assert_eq!(store.num_edges(), 3);
+    assert_eq!(store.degree(v(1), et), 2);
+    assert_eq!(store.degree(v(2), et), 1);
+    assert_eq!(store.degree(v(99), et), 0);
+    assert!((store.weight_sum(v(1), et) - 2.0).abs() < 1e-6);
+    assert!((store.edge_weight(v(1), v(2), et).expect("present") - 0.5).abs() < 1e-6);
+    assert_eq!(store.edge_weight(v(1), v(9), et), None);
+
+    // Re-inserting an existing edge updates the weight, not the count.
+    store.insert_edge(Edge::new(v(1), v(2), 0.9));
+    assert_eq!(store.num_edges(), 3);
+    assert!((store.edge_weight(v(1), v(2), et).expect("present") - 0.9).abs() < 1e-6);
+
+    // Explicit weight update.
+    assert!(store.update_weight(Edge::new(v(1), v(3), 3.0)));
+    assert!((store.edge_weight(v(1), v(3), et).expect("present") - 3.0).abs() < 1e-6);
+    assert!(!store.update_weight(Edge::new(v(1), v(9), 3.0)));
+
+    // Deletion.
+    assert!(store.delete_edge(v(1), v(2), et));
+    assert!(!store.delete_edge(v(1), v(2), et));
+    assert_eq!(store.num_edges(), 2);
+    assert_eq!(store.degree(v(1), et), 1);
+
+    // Neighbors listing.
+    let mut n = store.neighbors(v(1), et);
+    n.sort_by_key(|(id, _)| id.raw());
+    assert_eq!(n.len(), 1);
+    assert_eq!(n[0].0, v(3));
+    assert!((n[0].1 - 3.0).abs() < 1e-6);
+}
+
+/// Relations are independent: the same (src, dst) pair may exist per etype.
+pub fn heterogeneous_relations<S: GraphStore>(store: &S) {
+    let a = EdgeType(0);
+    let b = EdgeType(1);
+    store.insert_edge(Edge {
+        src: v(1),
+        dst: v(2),
+        etype: a,
+        weight: 1.0,
+    });
+    store.insert_edge(Edge {
+        src: v(1),
+        dst: v(2),
+        etype: b,
+        weight: 2.0,
+    });
+    assert_eq!(store.num_edges(), 2);
+    assert_eq!(store.degree(v(1), a), 1);
+    assert_eq!(store.degree(v(1), b), 1);
+    assert!((store.edge_weight(v(1), v(2), a).expect("present") - 1.0).abs() < 1e-6);
+    assert!((store.edge_weight(v(1), v(2), b).expect("present") - 2.0).abs() < 1e-6);
+    assert!(store.delete_edge(v(1), v(2), a));
+    assert_eq!(store.degree(v(1), a), 0);
+    assert_eq!(store.degree(v(1), b), 1);
+}
+
+/// Weighted sampling must track the edge-weight distribution.
+pub fn sampling_distribution<S: GraphStore>(store: &S) {
+    let et = EdgeType::DEFAULT;
+    let weights = [1.0, 2.0, 3.0, 4.0];
+    for (i, &w) in weights.iter().enumerate() {
+        store.insert_edge(Edge::new(v(0), v(i as u64 + 1), w));
+    }
+    let mut rng = StdRng::seed_from_u64(17);
+    let draws = 40_000;
+    let got = store.sample_neighbors(v(0), et, draws, &mut rng);
+    assert_eq!(got.len(), draws);
+    let mut counts = [0usize; 4];
+    for id in got {
+        counts[(id.raw() - 1) as usize] += 1;
+    }
+    let total: f64 = weights.iter().sum();
+    for i in 0..4 {
+        let expected = draws as f64 * weights[i] / total;
+        let g = counts[i] as f64;
+        assert!(
+            (g - expected).abs() < expected * 0.12,
+            "neighbor {}: got {g}, expected {expected}",
+            i + 1
+        );
+    }
+    // Sampling a vertex with no out-edges returns nothing.
+    assert!(store
+        .sample_neighbors(v(777), et, 5, &mut rng)
+        .is_empty());
+}
+
+/// Sampling reflects dynamic changes immediately (the paper's whole point).
+pub fn sampling_tracks_updates<S: GraphStore>(store: &S) {
+    let et = EdgeType::DEFAULT;
+    store.insert_edge(Edge::new(v(0), v(1), 1.0));
+    store.insert_edge(Edge::new(v(0), v(2), 1.0));
+    let mut rng = StdRng::seed_from_u64(3);
+    // Crush neighbor 1's weight; neighbor 2 should dominate.
+    store.update_weight(Edge::new(v(0), v(1), 1e-9));
+    let got = store.sample_neighbors(v(0), et, 2_000, &mut rng);
+    let ones = got.iter().filter(|id| id.raw() == 1).count();
+    assert!(ones < 20, "neighbor 1 still sampled {ones} times");
+    // Delete neighbor 2; only neighbor 1 remains.
+    store.delete_edge(v(0), v(2), et);
+    let got = store.sample_neighbors(v(0), et, 100, &mut rng);
+    assert!(got.iter().all(|id| id.raw() == 1));
+}
+
+/// A batch of mixed ops must land exactly like sequential application.
+pub fn batch_matches_sequential<S: GraphStore>(batch_store: &S, seq_store: &S) {
+    let profile = DatasetProfile::tiny();
+    let mut stream = profile.update_stream(11);
+    let ops: Vec<UpdateOp> = stream.next_batch(4_000);
+    batch_store.apply_batch(&ops);
+    for op in &ops {
+        seq_store.apply(op);
+    }
+    assert_eq!(batch_store.num_edges(), seq_store.num_edges());
+    // Spot-check a set of vertices.
+    for src in profile.sample_sources(64, 13) {
+        for et in [EdgeType(0)] {
+            assert_eq!(
+                batch_store.degree(src, et),
+                seq_store.degree(src, et),
+                "degree mismatch at {src:?}"
+            );
+            let mut a = batch_store.neighbors(src, et);
+            let mut b = seq_store.neighbors(src, et);
+            a.sort_by_key(|(id, _)| id.raw());
+            b.sort_by_key(|(id, _)| id.raw());
+            assert_eq!(a.len(), b.len(), "neighbor count mismatch at {src:?}");
+            for ((ia, wa), (ib, wb)) in a.iter().zip(&b) {
+                assert_eq!(ia, ib);
+                assert!((wa - wb).abs() < 1e-6);
+            }
+        }
+    }
+}
+
+/// Build from a generated stream and verify against a reference adjacency.
+pub fn stream_ingest_matches_reference<S: GraphStore>(store: &S) {
+    let profile = DatasetProfile::tiny();
+    let mut reference: HashMap<(u64, u16, u64), f64> = HashMap::new();
+    for e in profile.edge_stream(21) {
+        store.insert_edge(e);
+        reference.insert((e.src.raw(), e.etype.0, e.dst.raw()), e.weight);
+    }
+    assert_eq!(store.num_edges(), reference.len());
+    let mut degrees: HashMap<(u64, u16), usize> = HashMap::new();
+    for (src, et, _) in reference.keys() {
+        *degrees.entry((*src, *et)).or_default() += 1;
+    }
+    for ((src, et), d) in degrees {
+        assert_eq!(
+            store.degree(VertexId(src), EdgeType(et)),
+            d,
+            "degree of {src}"
+        );
+    }
+    for ((src, et, dst), w) in &reference {
+        let got = store
+            .edge_weight(VertexId(*src), VertexId(*dst), EdgeType(*et))
+            .unwrap_or_else(|| panic!("missing edge {src}->{dst}"));
+        assert!((got - w).abs() < 1e-6);
+    }
+}
+
+/// Memory accounting sanity: growing the graph grows the reported bytes.
+pub fn memory_accounting_monotone<S: GraphStore>(store: &S) {
+    let before = store.topology_bytes();
+    for i in 0..10_000u64 {
+        store.insert_edge(Edge::new(v(i % 50), v(1_000 + i), 1.0));
+    }
+    let after = store.topology_bytes();
+    assert!(
+        after > before,
+        "topology bytes did not grow: {before} -> {after}"
+    );
+    // At least 8 bytes/edge of real payload must be accounted for.
+    assert!(after - before >= 10_000 * 8, "suspiciously small: {after}");
+}
+
+/// Run the whole suite; `make` returns a fresh empty store per test.
+pub fn run_all<S: GraphStore>(make: impl Fn() -> S) {
+    basic_crud(&make());
+    heterogeneous_relations(&make());
+    sampling_distribution(&make());
+    sampling_tracks_updates(&make());
+    batch_matches_sequential(&make(), &make());
+    stream_ingest_matches_reference(&make());
+    memory_accounting_monotone(&make());
+}

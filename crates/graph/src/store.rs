@@ -1,0 +1,80 @@
+//! The engine-agnostic storage interface.
+
+use crate::{Edge, EdgeType, UpdateOp, VertexId};
+use rand::RngCore;
+
+/// The interface every dynamic graph storage engine in this workspace
+/// implements: PlatoD2GL's samtree store, the PlatoGL-like block-KV baseline
+/// and the AliGraph-like baseline.
+///
+/// All methods take `&self`: engines provide their own interior mutability
+/// (the paper's systems are shared by many trainer clients). RNG state is
+/// threaded in by the caller so sampling stays deterministic under a fixed
+/// seed.
+pub trait GraphStore: Send + Sync {
+    /// Engine name for reports ("PlatoD2GL", "PlatoGL", "AliGraph").
+    fn name(&self) -> &'static str;
+
+    /// Insert an edge; if `(src, dst)` already exists in the relation, the
+    /// weight is updated instead (Alg. 2 semantics).
+    fn insert_edge(&self, edge: Edge);
+
+    /// Delete an edge. Returns `true` if it existed.
+    fn delete_edge(&self, src: VertexId, dst: VertexId, etype: EdgeType) -> bool;
+
+    /// Set the weight of an existing edge. Returns `true` if it existed.
+    fn update_weight(&self, edge: Edge) -> bool;
+
+    /// Apply one update op.
+    fn apply(&self, op: &UpdateOp) {
+        match op {
+            UpdateOp::Insert(e) => self.insert_edge(*e),
+            UpdateOp::Delete { src, dst, etype } => {
+                self.delete_edge(*src, *dst, *etype);
+            }
+            UpdateOp::UpdateWeight(e) => {
+                self.update_weight(*e);
+            }
+        }
+    }
+
+    /// Apply a batch of ops sequentially. Engines with batch-optimized paths
+    /// (PlatoD2GL's PALM-style updater) override this.
+    fn apply_batch(&self, ops: &[UpdateOp]) {
+        for op in ops {
+            self.apply(op);
+        }
+    }
+
+    /// Out-degree of `v` in the given relation.
+    fn degree(&self, v: VertexId, etype: EdgeType) -> usize;
+
+    /// Sum of outgoing edge weights of `v` (the paper's `w_u`).
+    fn weight_sum(&self, v: VertexId, etype: EdgeType) -> f64;
+
+    /// Weight of the specific edge, if present.
+    fn edge_weight(&self, src: VertexId, dst: VertexId, etype: EdgeType) -> Option<f64>;
+
+    /// Draw `k` out-neighbors of `v` with replacement, each with probability
+    /// `w_{v,u} / w_v` (weighted neighbor sampling, paper Sec. II-B).
+    ///
+    /// Returns an empty vector when `v` has no out-edges in the relation.
+    fn sample_neighbors(
+        &self,
+        v: VertexId,
+        etype: EdgeType,
+        k: usize,
+        rng: &mut dyn RngCore,
+    ) -> Vec<VertexId>;
+
+    /// All out-neighbors of `v` with weights (test/debug aid; ordering is
+    /// engine-defined).
+    fn neighbors(&self, v: VertexId, etype: EdgeType) -> Vec<(VertexId, f64)>;
+
+    /// Total number of stored edges.
+    fn num_edges(&self) -> usize;
+
+    /// Total heap bytes owned by the topology storage, including all index
+    /// overhead. This is the quantity in the paper's Table IV.
+    fn topology_bytes(&self) -> usize;
+}

@@ -1,0 +1,176 @@
+//! Deep memory-size accounting.
+//!
+//! The paper's Table IV compares the *memory cost after graph building* of
+//! PlatoD2GL against PlatoGL and AliGraph. At laptop scale, process RSS is
+//! dominated by allocator slack, so this reproduction instead counts the exact
+//! number of heap bytes each data structure owns. Every storage structure in
+//! the workspace implements [`DeepSize`], and the Table IV harness sums these
+//! counts. Index overhead of key-value baselines (per-key bucket metadata,
+//! unused capacity) is counted too, because that overhead is precisely what
+//! the paper's samtree design eliminates.
+
+/// Types that can report the exact number of bytes they occupy, including
+/// owned heap allocations.
+pub trait DeepSize {
+    /// Bytes owned on the heap (excluding `size_of::<Self>()` itself).
+    fn heap_bytes(&self) -> usize;
+
+    /// Total bytes: the inline size plus owned heap bytes.
+    fn deep_bytes(&self) -> usize {
+        std::mem::size_of_val(self) + self.heap_bytes()
+    }
+}
+
+impl DeepSize for u8 {
+    fn heap_bytes(&self) -> usize {
+        0
+    }
+}
+impl DeepSize for u16 {
+    fn heap_bytes(&self) -> usize {
+        0
+    }
+}
+impl DeepSize for u32 {
+    fn heap_bytes(&self) -> usize {
+        0
+    }
+}
+impl DeepSize for u64 {
+    fn heap_bytes(&self) -> usize {
+        0
+    }
+}
+impl DeepSize for usize {
+    fn heap_bytes(&self) -> usize {
+        0
+    }
+}
+impl DeepSize for f32 {
+    fn heap_bytes(&self) -> usize {
+        0
+    }
+}
+impl DeepSize for f64 {
+    fn heap_bytes(&self) -> usize {
+        0
+    }
+}
+impl DeepSize for bool {
+    fn heap_bytes(&self) -> usize {
+        0
+    }
+}
+
+impl<T: DeepSize> DeepSize for Vec<T> {
+    /// Counts the full backing capacity, not just `len`, because unused
+    /// capacity is real memory the structure is holding.
+    fn heap_bytes(&self) -> usize {
+        let slack = (self.capacity() - self.len()) * std::mem::size_of::<T>();
+        let elems: usize = self
+            .iter()
+            .map(|e| std::mem::size_of::<T>() + e.heap_bytes())
+            .sum();
+        elems + slack
+    }
+}
+
+impl<T: DeepSize> DeepSize for Box<T> {
+    fn heap_bytes(&self) -> usize {
+        std::mem::size_of::<T>() + (**self).heap_bytes()
+    }
+}
+
+impl<T: DeepSize> DeepSize for Option<T> {
+    fn heap_bytes(&self) -> usize {
+        self.as_ref().map_or(0, DeepSize::heap_bytes)
+    }
+}
+
+impl DeepSize for String {
+    fn heap_bytes(&self) -> usize {
+        self.capacity()
+    }
+}
+
+impl<A: DeepSize, B: DeepSize> DeepSize for (A, B) {
+    fn heap_bytes(&self) -> usize {
+        self.0.heap_bytes() + self.1.heap_bytes()
+    }
+}
+
+/// Pretty-print a byte count the way the paper's tables do (GB/TB with two
+/// significant decimals, falling back to MB/KB at reproduction scale).
+pub fn human_bytes(bytes: usize) -> String {
+    const KB: f64 = 1024.0;
+    let b = bytes as f64;
+    if b >= KB * KB * KB * KB {
+        format!("{:.2}TB", b / (KB * KB * KB * KB))
+    } else if b >= KB * KB * KB {
+        format!("{:.2}GB", b / (KB * KB * KB))
+    } else if b >= KB * KB {
+        format!("{:.2}MB", b / (KB * KB))
+    } else if b >= KB {
+        format!("{:.2}KB", b / KB)
+    } else {
+        format!("{bytes}B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_have_no_heap() {
+        assert_eq!(7u64.heap_bytes(), 0);
+        assert_eq!(7u64.deep_bytes(), 8);
+        assert_eq!(1.5f64.deep_bytes(), 8);
+        assert_eq!(true.deep_bytes(), 1);
+    }
+
+    #[test]
+    fn vec_counts_capacity() {
+        let mut v: Vec<u64> = Vec::with_capacity(16);
+        v.push(1);
+        v.push(2);
+        assert_eq!(v.heap_bytes(), 16 * 8);
+    }
+
+    #[test]
+    fn nested_vec_counts_inner_heap() {
+        let v: Vec<Vec<u8>> = vec![vec![0u8; 10], vec![0u8; 20]];
+        let inner = 10 + 20;
+        let spines = 2 * std::mem::size_of::<Vec<u8>>();
+        assert_eq!(v.heap_bytes(), inner + spines);
+    }
+
+    #[test]
+    fn boxed_value() {
+        let b = Box::new(5u64);
+        assert_eq!(b.heap_bytes(), 8);
+    }
+
+    #[test]
+    fn option_some_none() {
+        let s: Option<Vec<u64>> = Some(vec![1, 2, 3]);
+        assert_eq!(s.heap_bytes(), 24);
+        let n: Option<Vec<u64>> = None;
+        assert_eq!(n.heap_bytes(), 0);
+    }
+
+    #[test]
+    fn string_counts_capacity() {
+        let mut s = String::with_capacity(32);
+        s.push_str("hi");
+        assert_eq!(s.heap_bytes(), 32);
+    }
+
+    #[test]
+    fn human_bytes_units() {
+        assert_eq!(human_bytes(512), "512B");
+        assert_eq!(human_bytes(2048), "2.00KB");
+        assert_eq!(human_bytes(3 * 1024 * 1024), "3.00MB");
+        assert_eq!(human_bytes(5 * 1024 * 1024 * 1024), "5.00GB");
+    }
+}

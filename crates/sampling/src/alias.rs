@@ -1,0 +1,175 @@
+//! The alias method (Walker/Vose) — the memory-expensive sampler the paper
+//! attributes to most prior deep-graph-learning systems (Sec. V challenges,
+//! refs [34][25]) and the sampler our AliGraph-like baseline uses.
+
+use crate::WeightedIndex;
+use platod2gl_mem::DeepSize;
+
+/// An alias table: `O(1)` sampling, `O(n)` construction, and **2×** the
+/// memory of a CSTable/FSTable (one probability plus one alias per element).
+///
+/// There is no incremental maintenance: any weight change rebuilds the whole
+/// table, which is why it is hopeless for dynamic graphs.
+#[derive(Clone, Debug, Default)]
+pub struct AliasTable {
+    /// Acceptance probability of each slot (scaled to [0, 1]).
+    prob: Vec<f64>,
+    /// Fallback index taken when the acceptance draw fails.
+    alias: Vec<u32>,
+    total: f64,
+}
+
+impl AliasTable {
+    /// Build with Vose's `O(n)` algorithm.
+    pub fn from_weights(weights: &[f64]) -> Self {
+        let n = weights.len();
+        if n == 0 {
+            return Self::default();
+        }
+        let total: f64 = weights.iter().sum();
+        let mut prob = vec![0.0; n];
+        let mut alias = vec![0u32; n];
+        // Scale so the average weight is 1.
+        let scale = n as f64 / total;
+        let mut scaled: Vec<f64> = weights.iter().map(|w| w * scale).collect();
+        let mut small: Vec<u32> = Vec::with_capacity(n);
+        let mut large: Vec<u32> = Vec::with_capacity(n);
+        for (i, &s) in scaled.iter().enumerate() {
+            if s < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
+        }
+        while !small.is_empty() && !large.is_empty() {
+            let s = small.pop().expect("checked non-empty");
+            let l = large.pop().expect("checked non-empty");
+            prob[s as usize] = scaled[s as usize];
+            alias[s as usize] = l;
+            scaled[l as usize] = (scaled[l as usize] + scaled[s as usize]) - 1.0;
+            if scaled[l as usize] < 1.0 {
+                small.push(l);
+            } else {
+                large.push(l);
+            }
+        }
+        // Whatever remains is numerically 1.0.
+        for i in small.into_iter().chain(large) {
+            prob[i as usize] = 1.0;
+            alias[i as usize] = i;
+        }
+        Self { prob, alias, total }
+    }
+
+    /// Number of elements indexed.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+}
+
+impl WeightedIndex for AliasTable {
+    fn len(&self) -> usize {
+        AliasTable::len(self)
+    }
+
+    fn total(&self) -> f64 {
+        self.total
+    }
+
+    /// Maps the residual mass to (slot, acceptance draw): the integer part
+    /// of `r * n / total` picks the slot, the fractional part drives the
+    /// accept/alias decision — the standard one-uniform alias draw.
+    fn sample_with(&self, r: f64) -> usize {
+        debug_assert!(!self.is_empty());
+        let n = self.len();
+        let x = (r / self.total * n as f64).min(n as f64 - 1e-9);
+        let slot = x as usize;
+        let frac = x - slot as f64;
+        if frac < self.prob[slot] {
+            slot
+        } else {
+            self.alias[slot] as usize
+        }
+    }
+}
+
+impl DeepSize for AliasTable {
+    fn heap_bytes(&self) -> usize {
+        self.prob.capacity() * std::mem::size_of::<f64>()
+            + self.alias.capacity() * std::mem::size_of::<u32>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_weights_sample_uniformly() {
+        let t = AliasTable::from_weights(&[1.0; 8]);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = [0usize; 8];
+        for _ in 0..80_000 {
+            counts[t.sample(&mut rng).unwrap()] += 1;
+        }
+        for c in counts {
+            let f = c as f64 / 80_000.0;
+            assert!((f - 0.125).abs() < 0.01, "{f}");
+        }
+    }
+
+    #[test]
+    fn skewed_weights_sample_proportionally() {
+        let w = [8.0, 1.0, 1.0];
+        let t = AliasTable::from_weights(&w);
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut counts = [0usize; 3];
+        for _ in 0..50_000 {
+            counts[t.sample(&mut rng).unwrap()] += 1;
+        }
+        assert!((counts[0] as f64 / 50_000.0 - 0.8).abs() < 0.02);
+    }
+
+    #[test]
+    fn zero_weight_entries_never_sampled() {
+        let t = AliasTable::from_weights(&[0.0, 1.0, 0.0, 1.0]);
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..10_000 {
+            let i = t.sample(&mut rng).unwrap();
+            assert!(i == 1 || i == 3, "sampled zero-weight index {i}");
+        }
+    }
+
+    #[test]
+    fn singleton_always_sampled() {
+        let t = AliasTable::from_weights(&[0.7]);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(t.sample(&mut rng), Some(0));
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = AliasTable::from_weights(&[]);
+        assert!(t.is_empty());
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(t.sample(&mut rng), None);
+    }
+
+    #[test]
+    fn memory_is_double_a_cstable() {
+        use crate::CsTable;
+        let w = vec![1.0; 1024];
+        let alias = AliasTable::from_weights(&w);
+        let cs = CsTable::from_weights(&w);
+        // 12 bytes/element (f64 + u32) vs 8 bytes/element.
+        assert_eq!(alias.heap_bytes(), 1024 * 12);
+        assert_eq!(cs.heap_bytes(), 1024 * 8);
+    }
+}

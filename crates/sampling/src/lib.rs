@@ -1,0 +1,131 @@
+//! # Weighted-sampling indexes
+//!
+//! PlatoD2GL compares three index structures for weighted neighbor sampling
+//! (paper Sec. II-B, Sec. V and Table II):
+//!
+//! * [`CsTable`] — the *cumulative sum table* used by PlatoGL's ITS method:
+//!   one `f64` per element, `O(log n)` sampling, but `O(n)` maintenance for
+//!   in-place updates and deletions. PlatoD2GL still uses CSTables in samtree
+//!   *internal* nodes, where updates are rare (paper Table V).
+//! * [`AliasTable`] — the classic alias method most prior systems adopt:
+//!   `O(1)` sampling but a full `O(n)` rebuild on any change and twice the
+//!   memory (a probability and an alias per element).
+//! * `FsTable` (from `platod2gl-fenwick`) — the paper's contribution,
+//!   `O(log n)` for everything.
+//!
+//! All three implement [`WeightedIndex`], so the samtree, the baselines and
+//! the benchmarks can swap them freely.
+
+mod alias;
+mod cstable;
+
+pub use alias::AliasTable;
+pub use cstable::CsTable;
+
+use platod2gl_fenwick::FsTable;
+use rand::Rng;
+
+/// A structure that can draw an index `i` with probability `w_i / Σw`.
+pub trait WeightedIndex {
+    /// Number of elements indexed.
+    fn len(&self) -> usize;
+
+    /// Whether the index is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Sum of all weights.
+    fn total(&self) -> f64;
+
+    /// Draw the index owning residual mass `r ∈ [0, total())`.
+    ///
+    /// Deterministic given `r`; the random draw lives in
+    /// [`sample`](Self::sample). Splitting the two lets the samtree thread a
+    /// single random number down through multiple levels of tables, exactly
+    /// as Sec. V-C describes.
+    fn sample_with(&self, r: f64) -> usize;
+
+    /// Draw an index at random, weighted by the stored weights.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<usize> {
+        let total = self.total();
+        if self.is_empty() || total <= 0.0 {
+            return None;
+        }
+        Some(self.sample_with(rng.random_range(0.0..total)))
+    }
+}
+
+impl WeightedIndex for FsTable {
+    fn len(&self) -> usize {
+        FsTable::len(self)
+    }
+
+    fn total(&self) -> f64 {
+        FsTable::total(self)
+    }
+
+    fn sample_with(&self, r: f64) -> usize {
+        FsTable::sample_with(self, r)
+    }
+}
+
+#[cfg(test)]
+mod trait_tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn empirical<S: WeightedIndex>(s: &S, draws: usize) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = vec![0usize; s.len()];
+        for _ in 0..draws {
+            counts[s.sample(&mut rng).unwrap()] += 1;
+        }
+        counts.iter().map(|&c| c as f64 / draws as f64).collect()
+    }
+
+    /// All three index structures must agree on the sampling distribution.
+    #[test]
+    fn all_indexes_sample_the_same_distribution() {
+        let w = [4.0, 1.0, 3.0, 2.0];
+        let total: f64 = w.iter().sum();
+        let fs = FsTable::from_weights(&w);
+        let cs = CsTable::from_weights(&w);
+        let al = AliasTable::from_weights(&w);
+        for freqs in [
+            empirical(&fs, 30_000),
+            empirical(&cs, 30_000),
+            empirical(&al, 30_000),
+        ] {
+            for (i, f) in freqs.iter().enumerate() {
+                let expected = w[i] / total;
+                assert!(
+                    (f - expected).abs() < 0.02,
+                    "index {i}: {f} vs {expected}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sample_on_empty_returns_none() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(FsTable::new().sample(&mut rng).is_none());
+        assert!(CsTable::new().sample(&mut rng).is_none());
+    }
+
+    #[test]
+    fn sample_with_agreement_between_fs_and_cs() {
+        // ITS over a CSTable and FTS over an FSTable define the same mapping
+        // from residual mass to index.
+        let w: Vec<f64> = (0..50).map(|x| ((x * 13) % 7) as f64 + 0.25).collect();
+        let fs = FsTable::from_weights(&w);
+        let cs = CsTable::from_weights(&w);
+        let total = cs.total();
+        for k in 0..500 {
+            let r = total * (k as f64 + 0.5) / 500.0;
+            assert_eq!(fs.sample_with(r), cs.sample_with(r), "r={r}");
+        }
+    }
+}

@@ -1,0 +1,530 @@
+//! Vertex-ID lists with CP-ID dynamic prefix compression (paper Sec. VI-A).
+//!
+//! Every samtree node holds a list of 64-bit vertex IDs. Because the tree
+//! orders IDs by value across children, the IDs inside one node are
+//! value-clustered and usually share a long big-endian byte prefix (the
+//! paper's Fig. 7 shows four IDs sharing their first 7 bytes). CP-ID storage
+//! keeps `z` shared prefix bytes once plus an `(8 - z)`-byte suffix per ID,
+//! with `z ∈ {0, 4, 6, 7}` "for fast compression" — suffix widths of 8, 4,
+//! 2 and 1 bytes, all power-of-two sized so suffix access is a single
+//! aligned load.
+
+use platod2gl_mem::DeepSize;
+
+/// The prefix lengths (in bytes) the paper allows; 0 means uncompressed.
+pub const PREFIX_LENGTHS: [u8; 3] = [7, 6, 4];
+
+/// A list of vertex IDs, stored raw or CP-ID compressed.
+///
+/// The list preserves insertion order (samtree leaves rely on positions that
+/// mirror their FSTable; internal nodes keep separators sorted by using the
+/// positional `insert_at`/`remove_at` operations).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum IdList {
+    /// One `u64` per ID.
+    Plain(Vec<u64>),
+    /// `z` shared prefix bytes + `(8 - z)`-byte big-endian suffixes.
+    Compressed {
+        /// Number of shared prefix bytes (4, 6 or 7).
+        z: u8,
+        /// The shared prefix, right-aligned: the top `z` bytes of every ID.
+        prefix: u64,
+        /// Packed `(8 - z)`-byte big-endian suffixes.
+        suffixes: Vec<u8>,
+    },
+}
+
+impl Default for IdList {
+    fn default() -> Self {
+        IdList::Plain(Vec::new())
+    }
+}
+
+/// Number of leading bytes shared by `a` and `b`.
+fn common_prefix_bytes(a: u64, b: u64) -> u8 {
+    ((a ^ b).leading_zeros() / 8) as u8
+}
+
+/// The largest allowed prefix length `<= max_bytes`, or 0 (no compression).
+fn choose_z(max_bytes: u8) -> u8 {
+    PREFIX_LENGTHS
+        .iter()
+        .copied()
+        .find(|&z| z <= max_bytes)
+        .unwrap_or(0)
+}
+
+impl IdList {
+    /// An empty uncompressed list.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build from IDs; compresses with the best allowed prefix when
+    /// `compression` is set.
+    pub fn from_ids(ids: &[u64], compression: bool) -> Self {
+        if !compression || ids.is_empty() {
+            return IdList::Plain(ids.to_vec());
+        }
+        // All elements share exactly the bytes shared by the min and max.
+        let min = *ids.iter().min().expect("non-empty");
+        let max = *ids.iter().max().expect("non-empty");
+        let z = choose_z(common_prefix_bytes(min, max).min(7));
+        if z == 0 {
+            return IdList::Plain(ids.to_vec());
+        }
+        let width = 8 - z as usize;
+        let mut suffixes = Vec::with_capacity(ids.len() * width);
+        for &id in ids {
+            suffixes.extend_from_slice(&id.to_be_bytes()[z as usize..]);
+        }
+        IdList::Compressed {
+            z,
+            prefix: min >> (8 * width),
+            suffixes,
+        }
+    }
+
+    /// Number of IDs.
+    pub fn len(&self) -> usize {
+        match self {
+            IdList::Plain(v) => v.len(),
+            IdList::Compressed { z, suffixes, .. } => suffixes.len() / (8 - *z as usize),
+        }
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The ID at position `i`.
+    pub fn get(&self, i: usize) -> u64 {
+        match self {
+            IdList::Plain(v) => v[i],
+            IdList::Compressed {
+                z,
+                prefix,
+                suffixes,
+            } => {
+                let width = 8 - *z as usize;
+                let mut bytes = [0u8; 8];
+                bytes[8 - width..].copy_from_slice(&suffixes[i * width..(i + 1) * width]);
+                (prefix << (8 * width)) | u64::from_be_bytes(bytes)
+            }
+        }
+    }
+
+    /// Whether `id` fits under the current shared prefix.
+    fn compatible(&self, id: u64) -> bool {
+        match self {
+            IdList::Plain(_) => true,
+            IdList::Compressed { z, prefix, .. } => {
+                let width = 8 - *z as usize;
+                (id >> (8 * width)) == *prefix
+            }
+        }
+    }
+
+    /// Re-encode with a (shorter) prefix that also covers `incoming`
+    /// (the paper's CP-ID update rule, Appendix A: an incompatible insert
+    /// falls back to a wider suffix format).
+    fn recode_for(&mut self, incoming: u64) {
+        let mut ids = self.to_vec();
+        ids.push(incoming);
+        let min = *ids.iter().min().expect("non-empty");
+        let max = *ids.iter().max().expect("non-empty");
+        let z = choose_z(common_prefix_bytes(min, max).min(7));
+        ids.pop();
+        *self = Self::with_exact_z(&ids, z);
+    }
+
+    /// Encode `ids` with an explicit prefix length (0 = plain). The caller
+    /// guarantees all IDs share at least `z` leading bytes.
+    fn with_exact_z(ids: &[u64], z: u8) -> Self {
+        if z == 0 || ids.is_empty() {
+            return IdList::Plain(ids.to_vec());
+        }
+        let width = 8 - z as usize;
+        let mut suffixes = Vec::with_capacity(ids.len() * width);
+        for &id in ids {
+            suffixes.extend_from_slice(&id.to_be_bytes()[z as usize..]);
+        }
+        IdList::Compressed {
+            z,
+            prefix: ids[0] >> (8 * width),
+            suffixes,
+        }
+    }
+
+    /// Append an ID (leaf fast path — leaves are unordered, Sec. IV-A).
+    pub fn push(&mut self, id: u64) {
+        if !self.compatible(id) {
+            self.recode_for(id);
+        }
+        match self {
+            IdList::Plain(v) => v.push(id),
+            IdList::Compressed { z, suffixes, .. } => {
+                suffixes.extend_from_slice(&id.to_be_bytes()[*z as usize..]);
+            }
+        }
+    }
+
+    /// Overwrite the ID at position `i`.
+    pub fn set(&mut self, i: usize, id: u64) {
+        if !self.compatible(id) {
+            self.recode_for(id);
+        }
+        match self {
+            IdList::Plain(v) => v[i] = id,
+            IdList::Compressed { z, suffixes, .. } => {
+                let width = 8 - *z as usize;
+                suffixes[i * width..(i + 1) * width]
+                    .copy_from_slice(&id.to_be_bytes()[*z as usize..]);
+            }
+        }
+    }
+
+    /// Remove position `i` by swapping in the last element (leaf deletion,
+    /// Sec. IV-D), returning the removed ID.
+    pub fn swap_remove(&mut self, i: usize) -> u64 {
+        let removed = self.get(i);
+        let last = self.len() - 1;
+        if i != last {
+            let last_id = self.get(last);
+            self.set(i, last_id);
+        }
+        self.truncate(last);
+        removed
+    }
+
+    /// Insert at position `i`, shifting later elements (ordered internal
+    /// nodes).
+    pub fn insert_at(&mut self, i: usize, id: u64) {
+        if !self.compatible(id) {
+            self.recode_for(id);
+        }
+        match self {
+            IdList::Plain(v) => v.insert(i, id),
+            IdList::Compressed { z, suffixes, .. } => {
+                let z = *z as usize;
+                let width = 8 - z;
+                let bytes = id.to_be_bytes();
+                // Insert `width` bytes at offset i*width.
+                let at = i * width;
+                for (k, &b) in bytes[z..].iter().enumerate() {
+                    suffixes.insert(at + k, b);
+                }
+            }
+        }
+    }
+
+    /// Remove position `i`, shifting later elements (ordered internal
+    /// nodes), returning the removed ID.
+    pub fn remove_at(&mut self, i: usize) -> u64 {
+        let removed = self.get(i);
+        match self {
+            IdList::Plain(v) => {
+                v.remove(i);
+            }
+            IdList::Compressed { z, suffixes, .. } => {
+                let width = 8 - *z as usize;
+                suffixes.drain(i * width..(i + 1) * width);
+            }
+        }
+        removed
+    }
+
+    /// Truncate to `new_len` elements.
+    pub fn truncate(&mut self, new_len: usize) {
+        match self {
+            IdList::Plain(v) => v.truncate(new_len),
+            IdList::Compressed { z, suffixes, .. } => {
+                suffixes.truncate(new_len * (8 - *z as usize));
+            }
+        }
+    }
+
+    /// All IDs, decompressed.
+    pub fn to_vec(&self) -> Vec<u64> {
+        (0..self.len()).map(|i| self.get(i)).collect()
+    }
+
+    /// Iterate over IDs.
+    pub fn iter(&self) -> impl Iterator<Item = u64> + '_ {
+        (0..self.len()).map(move |i| self.get(i))
+    }
+
+    /// Position of `id`, by linear scan (leaves are unordered).
+    ///
+    /// On compressed lists the scan compares raw suffix bytes after one
+    /// prefix check, so lookups never reconstruct full IDs.
+    pub fn position(&self, id: u64) -> Option<usize> {
+        match self {
+            IdList::Plain(v) => v.iter().position(|&x| x == id),
+            IdList::Compressed {
+                z,
+                prefix,
+                suffixes,
+            } => {
+                let width = 8 - *z as usize;
+                if (id >> (8 * width)) != *prefix {
+                    return None;
+                }
+                let target = &id.to_be_bytes()[*z as usize..];
+                suffixes.chunks_exact(width).position(|c| c == target)
+            }
+        }
+    }
+
+    /// Re-pick the best prefix for the current contents. Called when a node
+    /// is (re)built after a split or merge.
+    pub fn recompress(&mut self, compression: bool) {
+        let ids = self.to_vec();
+        *self = IdList::from_ids(&ids, compression);
+    }
+
+    /// The current prefix length in bytes (0 when uncompressed).
+    pub fn prefix_len(&self) -> u8 {
+        match self {
+            IdList::Plain(_) => 0,
+            IdList::Compressed { z, .. } => *z,
+        }
+    }
+
+    /// Bytes used per stored ID (8 for plain; the suffix width otherwise).
+    pub fn bytes_per_id(&self) -> usize {
+        match self {
+            IdList::Plain(_) => 8,
+            IdList::Compressed { z, .. } => 8 - *z as usize,
+        }
+    }
+}
+
+impl DeepSize for IdList {
+    fn heap_bytes(&self) -> usize {
+        match self {
+            IdList::Plain(v) => v.capacity() * 8,
+            IdList::Compressed { suffixes, .. } => suffixes.capacity(),
+        }
+    }
+}
+
+impl FromIterator<u64> for IdList {
+    fn from_iter<T: IntoIterator<Item = u64>>(iter: T) -> Self {
+        IdList::Plain(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_fig7_example_compresses_with_seven_byte_prefix() {
+        // Fig. 7: IDs 0x10, 0x81, 0x2b, 0x5a share their first 7 bytes
+        // (all zero), so CP-IDs stores z=7 and 1-byte suffixes.
+        let ids = [0x10u64, 0x81, 0x2b, 0x5a];
+        let list = IdList::from_ids(&ids, true);
+        assert_eq!(list.prefix_len(), 7);
+        assert_eq!(list.bytes_per_id(), 1);
+        assert_eq!(list.to_vec(), ids);
+    }
+
+    #[test]
+    fn choose_z_picks_largest_allowed() {
+        assert_eq!(choose_z(8), 7);
+        assert_eq!(choose_z(7), 7);
+        assert_eq!(choose_z(6), 6);
+        assert_eq!(choose_z(5), 4);
+        assert_eq!(choose_z(4), 4);
+        assert_eq!(choose_z(3), 0);
+        assert_eq!(choose_z(0), 0);
+    }
+
+    #[test]
+    fn from_ids_without_compression_stays_plain() {
+        let list = IdList::from_ids(&[1, 2, 3], false);
+        assert_eq!(list.prefix_len(), 0);
+        assert_eq!(list.bytes_per_id(), 8);
+    }
+
+    #[test]
+    fn wide_spread_ids_stay_plain() {
+        let list = IdList::from_ids(&[0x0000_0000_0000_0001, 0xffff_0000_0000_0000], true);
+        assert_eq!(list.prefix_len(), 0);
+    }
+
+    #[test]
+    fn six_and_four_byte_prefixes() {
+        // Differ in the low 2 bytes -> z = 6.
+        let list = IdList::from_ids(&[0xAABB_CCDD_EEFF_0001, 0xAABB_CCDD_EEFF_1234], true);
+        assert_eq!(list.prefix_len(), 6);
+        assert_eq!(list.to_vec(), vec![0xAABB_CCDD_EEFF_0001, 0xAABB_CCDD_EEFF_1234]);
+        // Differ in byte 4 (0-indexed from the top) -> common 4 bytes -> z = 4.
+        let list = IdList::from_ids(&[0xAABB_CCDD_0000_0000, 0xAABB_CCDD_FF00_0000], true);
+        assert_eq!(list.prefix_len(), 4);
+        assert_eq!(list.to_vec(), vec![0xAABB_CCDD_0000_0000, 0xAABB_CCDD_FF00_0000]);
+    }
+
+    #[test]
+    fn push_within_prefix_keeps_compression() {
+        let mut list = IdList::from_ids(&[0x10, 0x81], true);
+        assert_eq!(list.prefix_len(), 7);
+        list.push(0x2b);
+        assert_eq!(list.prefix_len(), 7);
+        assert_eq!(list.to_vec(), vec![0x10, 0x81, 0x2b]);
+    }
+
+    #[test]
+    fn incompatible_push_falls_back_to_wider_suffix() {
+        let mut list = IdList::from_ids(&[0x10, 0x81], true);
+        assert_eq!(list.prefix_len(), 7);
+        // 0x1_0000 differs from the others in byte 5, so only the top five
+        // bytes stay common; the largest allowed prefix <= 5 is z = 4.
+        list.push(0x1_0000);
+        assert_eq!(list.prefix_len(), 4);
+        assert_eq!(list.to_vec(), vec![0x10, 0x81, 0x1_0000]);
+    }
+
+    #[test]
+    fn incompatible_push_can_fall_all_the_way_to_plain() {
+        let mut list = IdList::from_ids(&[0x10, 0x81], true);
+        list.push(0xffff_ffff_ffff_ffff);
+        assert_eq!(list.prefix_len(), 0);
+        assert_eq!(list.to_vec(), vec![0x10, 0x81, 0xffff_ffff_ffff_ffff]);
+    }
+
+    #[test]
+    fn set_swap_remove_roundtrip_compressed() {
+        let mut list = IdList::from_ids(&[0x10, 0x81, 0x2b, 0x5a], true);
+        list.set(1, 0x99);
+        assert_eq!(list.to_vec(), vec![0x10, 0x99, 0x2b, 0x5a]);
+        let removed = list.swap_remove(0);
+        assert_eq!(removed, 0x10);
+        assert_eq!(list.to_vec(), vec![0x5a, 0x99, 0x2b]);
+        let removed = list.swap_remove(2);
+        assert_eq!(removed, 0x2b);
+        assert_eq!(list.to_vec(), vec![0x5a, 0x99]);
+    }
+
+    #[test]
+    fn insert_at_and_remove_at_shift_compressed() {
+        let mut list = IdList::from_ids(&[0x10, 0x30], true);
+        list.insert_at(1, 0x20);
+        assert_eq!(list.to_vec(), vec![0x10, 0x20, 0x30]);
+        list.insert_at(0, 0x05);
+        assert_eq!(list.to_vec(), vec![0x05, 0x10, 0x20, 0x30]);
+        list.insert_at(4, 0x40);
+        assert_eq!(list.to_vec(), vec![0x05, 0x10, 0x20, 0x30, 0x40]);
+        assert_eq!(list.remove_at(2), 0x20);
+        assert_eq!(list.to_vec(), vec![0x05, 0x10, 0x30, 0x40]);
+    }
+
+    #[test]
+    fn position_finds_ids() {
+        let list = IdList::from_ids(&[7, 3, 9], false);
+        assert_eq!(list.position(3), Some(1));
+        assert_eq!(list.position(8), None);
+    }
+
+    #[test]
+    fn recompress_upgrades_after_narrowing() {
+        let mut list = IdList::from_ids(&[0x10, 0xffff_ffff_ffff_ffff], true);
+        assert_eq!(list.prefix_len(), 0);
+        list.swap_remove(1);
+        list.push(0x20);
+        list.recompress(true);
+        assert_eq!(list.prefix_len(), 7);
+        assert_eq!(list.to_vec(), vec![0x10, 0x20]);
+    }
+
+    #[test]
+    fn compression_memory_savings_are_real() {
+        use platod2gl_mem::DeepSize;
+        // 256 clustered IDs: 1-byte suffixes vs 8-byte raw.
+        let ids: Vec<u64> = (0..256u64).map(|i| 0xAABB_CCDD_EEFF_1100 | i).collect();
+        let plain = IdList::from_ids(&ids, false);
+        let packed = IdList::from_ids(&ids, true);
+        assert_eq!(packed.prefix_len(), 7);
+        assert_eq!(plain.heap_bytes(), 256 * 8);
+        assert_eq!(packed.heap_bytes(), 256);
+    }
+
+    #[test]
+    fn get_reconstructs_full_ids_across_widths() {
+        for ids in [
+            vec![0xAABB_CCDD_EEFF_1122u64, 0xAABB_CCDD_EEFF_1133],
+            vec![0xAABB_CCDD_EE00_0000, 0xAABB_CCDD_EEFF_FFFF],
+            vec![0xAABB_CCDD_0000_0000, 0xAABB_CCDD_FFFF_FFFF],
+        ] {
+            let list = IdList::from_ids(&ids, true);
+            assert!(list.prefix_len() > 0);
+            assert_eq!(list.to_vec(), ids);
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Clustered IDs: a shared random high part with small offsets.
+    fn clustered_ids() -> impl Strategy<Value = Vec<u64>> {
+        (any::<u64>(), proptest::collection::vec(0u64..0x1_0000, 1..64)).prop_map(
+            |(base, offs)| {
+                let base = base & 0xffff_ffff_ffff_0000;
+                offs.iter().map(|o| base | o).collect()
+            },
+        )
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_any_ids(ids in proptest::collection::vec(any::<u64>(), 0..64)) {
+            let list = IdList::from_ids(&ids, true);
+            prop_assert_eq!(list.to_vec(), ids);
+        }
+
+        #[test]
+        fn ops_match_reference_vec(
+            init in clustered_ids(),
+            ops in proptest::collection::vec((0u8..4, any::<u64>(), 0usize..128), 0..64),
+        ) {
+            let mut reference = init.clone();
+            let mut list = IdList::from_ids(&init, true);
+            for (kind, id, idx) in ops {
+                match kind {
+                    0 => { reference.push(id); list.push(id); }
+                    1 if !reference.is_empty() => {
+                        let i = idx % reference.len();
+                        reference[i] = id;
+                        list.set(i, id);
+                    }
+                    2 if !reference.is_empty() => {
+                        let i = idx % reference.len();
+                        reference.swap_remove(i);
+                        list.swap_remove(i);
+                    }
+                    3 => {
+                        let i = idx % (reference.len() + 1);
+                        reference.insert(i, id);
+                        list.insert_at(i, id);
+                    }
+                    _ => {}
+                }
+                prop_assert_eq!(list.len(), reference.len());
+            }
+            prop_assert_eq!(list.to_vec(), reference);
+        }
+
+        #[test]
+        fn compressed_never_larger_than_plain(ids in clustered_ids()) {
+            use platod2gl_mem::DeepSize;
+            let plain = IdList::from_ids(&ids, false);
+            let packed = IdList::from_ids(&ids, true);
+            prop_assert!(packed.heap_bytes() <= plain.heap_bytes());
+        }
+    }
+}

@@ -1,0 +1,1746 @@
+//! The samtree proper: nodes, insertion (Alg. 2), deletion (Sec. IV-D) and
+//! the combined ITS + FTS neighbor sampling descent (Sec. V-C).
+
+use crate::idlist::IdList;
+use crate::split::{alpha_split, IdWeight};
+use crate::{LeafIndex, OpStats, SamTreeConfig};
+use platod2gl_fenwick::FsTable;
+use platod2gl_mem::DeepSize;
+use platod2gl_sampling::CsTable;
+use rand::Rng;
+
+/// What an insert did (Alg. 2 lines 3-6: an existing neighbor gets its
+/// weight updated instead of a second entry).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InsertOutcome {
+    /// The neighbor was new and has been appended.
+    Inserted,
+    /// The neighbor already existed; its weight was set to the new value.
+    Updated,
+}
+
+/// A samtree node: leaves carry neighbor IDs plus an FSTable, internal
+/// nodes carry ordered separators, a CSTable over child subtree weights and
+/// the children themselves.
+#[derive(Clone, Debug)]
+pub enum Node {
+    Leaf(Leaf),
+    Internal(Internal),
+}
+
+impl Default for Node {
+    fn default() -> Self {
+        Node::Leaf(Leaf::default())
+    }
+}
+
+/// The weight index of a leaf: FSTable in the paper's design, CSTable for
+/// the in-situ ablation (`LeafIndex::CumSum`). Same interface, different
+/// maintenance complexity (Table II).
+#[derive(Clone, Debug)]
+pub(crate) enum LeafTable {
+    Fs(FsTable),
+    Cs(CsTable),
+}
+
+impl Default for LeafTable {
+    fn default() -> Self {
+        LeafTable::Fs(FsTable::new())
+    }
+}
+
+impl LeafTable {
+    fn new(kind: LeafIndex) -> Self {
+        match kind {
+            LeafIndex::Fenwick => LeafTable::Fs(FsTable::new()),
+            LeafIndex::CumSum => LeafTable::Cs(CsTable::new()),
+        }
+    }
+
+    fn from_weights(kind: LeafIndex, weights: &[f64]) -> Self {
+        match kind {
+            LeafIndex::Fenwick => LeafTable::Fs(FsTable::from_weights(weights)),
+            LeafIndex::CumSum => LeafTable::Cs(CsTable::from_weights(weights)),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            LeafTable::Fs(t) => t.len(),
+            LeafTable::Cs(t) => t.len(),
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Swap the (empty) table to the configured kind; no-op when occupied.
+    fn ensure_kind(&mut self, kind: LeafIndex) {
+        if self.is_empty() {
+            *self = LeafTable::new(kind);
+        }
+    }
+
+    fn get(&self, i: usize) -> f64 {
+        match self {
+            LeafTable::Fs(t) => t.get(i),
+            LeafTable::Cs(t) => t.get(i),
+        }
+    }
+
+    fn set(&mut self, i: usize, w: f64) {
+        match self {
+            LeafTable::Fs(t) => t.set(i, w),   // O(log n)
+            LeafTable::Cs(t) => t.set(i, w),   // O(n)
+        }
+    }
+
+    fn push(&mut self, w: f64) {
+        match self {
+            LeafTable::Fs(t) => t.push(w), // O(log n)
+            LeafTable::Cs(t) => t.push(w), // O(1)
+        }
+    }
+
+    fn swap_delete(&mut self, i: usize) -> f64 {
+        match self {
+            LeafTable::Fs(t) => t.swap_delete(i), // O(log n)
+            LeafTable::Cs(t) => {
+                // O(n): mirror the swap-with-last semantics on a CSTable.
+                let last = t.len() - 1;
+                let w_i = t.get(i);
+                if i != last {
+                    let w_last = t.get(last);
+                    t.set(i, w_last);
+                }
+                t.remove(last);
+                w_i
+            }
+        }
+    }
+
+    fn total(&self) -> f64 {
+        match self {
+            LeafTable::Fs(t) => t.total(),
+            LeafTable::Cs(t) => {
+                use platod2gl_sampling::WeightedIndex;
+                t.total()
+            }
+        }
+    }
+
+    fn sample_with(&self, r: f64) -> usize {
+        match self {
+            LeafTable::Fs(t) => t.sample_with(r), // FTS (Alg. 5)
+            LeafTable::Cs(t) => t.its_search(r),  // ITS (Sec. II-B)
+        }
+    }
+
+    fn weights(&self) -> Vec<f64> {
+        match self {
+            LeafTable::Fs(t) => t.weights(),
+            LeafTable::Cs(t) => t.weights(),
+        }
+    }
+
+    /// Multiply every weight by `factor` in one pass. Both tables are
+    /// linear in the weights, so scaling the stored entries directly is
+    /// exact — no rebuild needed.
+    fn scale(&mut self, factor: f64) {
+        match self {
+            LeafTable::Fs(t) => t.scale(factor),
+            LeafTable::Cs(t) => t.scale(factor),
+        }
+    }
+}
+
+impl DeepSize for LeafTable {
+    fn heap_bytes(&self) -> usize {
+        match self {
+            LeafTable::Fs(t) => t.heap_bytes(),
+            LeafTable::Cs(t) => t.heap_bytes(),
+        }
+    }
+}
+
+#[derive(Clone, Debug, Default)]
+pub struct Leaf {
+    /// Unordered neighbor IDs (Sec. IV-A constraint 2).
+    ids: IdList,
+    /// Positional weights: `fs.get(i)` is the weight of `ids.get(i)`.
+    fs: LeafTable,
+}
+
+#[derive(Clone, Debug)]
+pub struct Internal {
+    /// Ordered separators: `seps.get(j)` is a lower bound for every ID in
+    /// child `j` (initialized to the child's minimum; deletions may leave it
+    /// stale-but-valid).
+    seps: IdList,
+    /// Cumulative subtree weights of the children (ITS per Sec. V-C).
+    cs: CsTable,
+    children: Vec<Node>,
+}
+
+impl Leaf {
+    fn from_pairs_cfg(pairs: &[IdWeight], cfg: &SamTreeConfig) -> Self {
+        let ids: Vec<u64> = pairs.iter().map(|p| p.0).collect();
+        let weights: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+        Self {
+            ids: IdList::from_ids(&ids, cfg.compression),
+            fs: LeafTable::from_weights(cfg.leaf_index, &weights),
+        }
+    }
+
+    fn pairs(&self) -> Vec<IdWeight> {
+        self.ids.iter().zip(self.fs.weights()).collect()
+    }
+
+    fn min_id(&self) -> u64 {
+        self.ids.iter().min().expect("non-empty leaf")
+    }
+}
+
+impl Internal {
+    /// Child index for `id`: the largest `j` with `seps[j] <= id`, clamped
+    /// to child 0 when `id` undercuts every separator.
+    fn route(&self, id: u64) -> usize {
+        let mut lo = 0usize;
+        let mut hi = self.seps.len();
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if self.seps.get(mid) <= id {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        lo.saturating_sub(1)
+    }
+}
+
+impl Node {
+    /// Number of entries (neighbors in a leaf, children in an internal).
+    fn slot_len(&self) -> usize {
+        match self {
+            Node::Leaf(l) => l.ids.len(),
+            Node::Internal(i) => i.children.len(),
+        }
+    }
+
+    fn min_id(&self) -> u64 {
+        match self {
+            Node::Leaf(l) => l.min_id(),
+            Node::Internal(i) => i.seps.get(0),
+        }
+    }
+
+    fn total_weight(&self) -> f64 {
+        match self {
+            Node::Leaf(l) => l.fs.total(),
+            Node::Internal(i) => {
+                use platod2gl_sampling::WeightedIndex;
+                i.cs.total()
+            }
+        }
+    }
+}
+
+/// Result of a child split bubbling up to the parent.
+struct SplitInfo {
+    /// Separator (minimum ID) of the new right node.
+    sep: u64,
+    right: Node,
+    right_weight: f64,
+}
+
+struct InsertResult {
+    /// Change in this subtree's total weight.
+    delta: f64,
+    outcome: InsertOutcome,
+    split: Option<SplitInfo>,
+}
+
+/// Split an over-capacity node, returning the info the parent needs.
+/// Leaves use α-Split (unordered); internal nodes split evenly at the
+/// median position because their entries are already ordered (Sec. IV-C).
+fn split_node(node: &mut Node, cfg: &SamTreeConfig, stats: &mut OpStats) -> SplitInfo {
+    match node {
+        Node::Leaf(leaf) => {
+            stats.leaf_splits += 1;
+            let mut pairs = leaf.pairs();
+            let khat = alpha_split(&mut pairs, cfg.alpha);
+            let sep = pairs[khat].0;
+            let right = Leaf::from_pairs_cfg(&pairs[khat..], cfg);
+            let right_weight = right.fs.total();
+            *leaf = Leaf::from_pairs_cfg(&pairs[..khat], cfg);
+            SplitInfo {
+                sep,
+                right_weight,
+                right: Node::Leaf(right),
+            }
+        }
+        Node::Internal(int) => {
+            stats.internal_splits += 1;
+            let m = int.children.len() / 2;
+            let right_children: Vec<Node> = int.children.drain(m..).collect();
+            let all_seps = int.seps.to_vec();
+            let weights = int.cs.weights();
+            let right = Internal {
+                seps: IdList::from_ids(&all_seps[m..], cfg.compression),
+                cs: CsTable::from_weights(&weights[m..]),
+                children: right_children,
+            };
+            int.seps = IdList::from_ids(&all_seps[..m], cfg.compression);
+            int.cs = CsTable::from_weights(&weights[..m]);
+            let sep = right.seps.get(0);
+            let right_weight = {
+                use platod2gl_sampling::WeightedIndex;
+                right.cs.total()
+            };
+            SplitInfo {
+                sep,
+                right_weight,
+                right: Node::Internal(right),
+            }
+        }
+    }
+}
+
+fn insert_node(
+    node: &mut Node,
+    id: u64,
+    weight: f64,
+    cfg: &SamTreeConfig,
+    stats: &mut OpStats,
+) -> InsertResult {
+    match node {
+        Node::Leaf(leaf) => {
+            stats.leaf_ops += 1;
+            if let Some(i) = leaf.ids.position(id) {
+                let old = leaf.fs.get(i);
+                leaf.fs.set(i, weight);
+                return InsertResult {
+                    delta: weight - old,
+                    outcome: InsertOutcome::Updated,
+                    split: None,
+                };
+            }
+            if leaf.ids.is_empty() {
+                leaf.fs.ensure_kind(cfg.leaf_index);
+                if cfg.compression {
+                    // Seed the CP-ID encoding on first insert; later pushes
+                    // auto-downgrade the prefix as IDs spread (Sec. VI-A).
+                    leaf.ids = IdList::from_ids(&[id], true);
+                } else {
+                    leaf.ids.push(id);
+                }
+            } else {
+                leaf.ids.push(id);
+            }
+            leaf.fs.push(weight);
+            let split = if leaf.ids.len() > cfg.capacity {
+                Some(split_node(node, cfg, stats))
+            } else {
+                None
+            };
+            InsertResult {
+                delta: weight,
+                outcome: InsertOutcome::Inserted,
+                split,
+            }
+        }
+        Node::Internal(int) => {
+            let j = int.route(id);
+            if id < int.seps.get(0) {
+                // Keep separator 0 a true minimum (cheap, tightens routing).
+                int.seps.set(0, id);
+            }
+            let res = insert_node(&mut int.children[j], id, weight, cfg, stats);
+            match res.split {
+                None => int.cs.add(j, res.delta),
+                Some(s) => {
+                    stats.internal_ops += 1;
+                    int.cs.add(j, res.delta - s.right_weight);
+                    int.cs.insert(j + 1, s.right_weight);
+                    int.seps.insert_at(j + 1, s.sep);
+                    int.children.insert(j + 1, s.right);
+                }
+            }
+            let split = if int.children.len() > cfg.capacity {
+                stats.internal_ops += 1;
+                Some(split_node(node, cfg, stats))
+            } else {
+                None
+            };
+            InsertResult {
+                delta: res.delta,
+                outcome: res.outcome,
+                split,
+            }
+        }
+    }
+}
+
+/// Partition an oversized pair set into α-split chunks, each within node
+/// capacity (used by batched insertion, where one leaf can overflow several
+/// times within a single batch).
+fn split_into_parts(pairs: &mut [IdWeight], cfg: &SamTreeConfig, out: &mut Vec<Vec<IdWeight>>) {
+    if pairs.len() <= cfg.capacity {
+        out.push(pairs.to_vec());
+        return;
+    }
+    let khat = alpha_split(pairs, cfg.alpha);
+    // Split in place around the pivot; both halves shrink strictly.
+    let (left, right) = pairs.split_at_mut(khat);
+    split_into_parts(left, cfg, out);
+    split_into_parts(right, cfg, out);
+}
+
+/// Batched insertion state bubbling up to the parent: total weight change,
+/// number of *new* neighbors, and any new right siblings created by
+/// (possibly repeated) splits, ordered left-to-right.
+struct BatchResult {
+    delta: f64,
+    inserted: usize,
+    siblings: Vec<SplitInfo>,
+}
+
+/// Apply a dst-sorted run of `(id, weight)` upserts to a subtree with one
+/// descent and one aggregation-table rebuild per touched node — the
+/// bottom-up batch processing of the paper's Appendix B.
+fn insert_batch_rec(
+    node: &mut Node,
+    ops: &[IdWeight],
+    cfg: &SamTreeConfig,
+    stats: &mut OpStats,
+) -> BatchResult {
+    match node {
+        Node::Leaf(leaf) => {
+            let mut delta = 0.0;
+            let mut inserted = 0usize;
+            for &(id, w) in ops {
+                stats.leaf_ops += 1;
+                if let Some(i) = leaf.ids.position(id) {
+                    let old = leaf.fs.get(i);
+                    leaf.fs.set(i, w);
+                    delta += w - old;
+                } else {
+                    if leaf.ids.is_empty() {
+                        leaf.fs.ensure_kind(cfg.leaf_index);
+                        if cfg.compression {
+                            leaf.ids = IdList::from_ids(&[id], true);
+                        } else {
+                            leaf.ids.push(id);
+                        }
+                    } else {
+                        leaf.ids.push(id);
+                    }
+                    leaf.fs.push(w);
+                    delta += w;
+                    inserted += 1;
+                }
+            }
+            let mut siblings = Vec::new();
+            if leaf.ids.len() > cfg.capacity {
+                let mut pairs = leaf.pairs();
+                let mut parts = Vec::new();
+                split_into_parts(&mut pairs, cfg, &mut parts);
+                stats.leaf_splits += (parts.len() - 1) as u64;
+                let mut iter = parts.into_iter();
+                *leaf = Leaf::from_pairs_cfg(&iter.next().expect("at least one part"), cfg);
+                for part in iter {
+                    let right = Leaf::from_pairs_cfg(&part, cfg);
+                    let sep = right.min_id();
+                    let right_weight = right.fs.total();
+                    siblings.push(SplitInfo {
+                        sep,
+                        right_weight,
+                        right: Node::Leaf(right),
+                    });
+                }
+            }
+            BatchResult {
+                delta,
+                inserted,
+                siblings,
+            }
+        }
+        Node::Internal(int) => {
+            // Route the sorted run onto children: ops[lo..hi] for child j
+            // are those below sep[j+1].
+            let n = int.children.len();
+            let mut delta = 0.0;
+            let mut inserted = 0usize;
+            // Tighten separator 0 so the batch minimum routes to child 0.
+            if ops.first().is_some_and(|&(id, _)| id < int.seps.get(0)) {
+                int.seps.set(0, ops[0].0);
+            }
+            // Collect per-child op ranges first (child list mutates later).
+            let mut ranges: Vec<(usize, usize, usize)> = Vec::new(); // (child, lo, hi)
+            let mut lo = 0usize;
+            for j in 0..n {
+                if lo >= ops.len() {
+                    break;
+                }
+                let hi = if j + 1 < n {
+                    let bound = int.seps.get(j + 1);
+                    lo + ops[lo..].partition_point(|&(id, _)| id < bound)
+                } else {
+                    ops.len()
+                };
+                if hi > lo {
+                    ranges.push((j, lo, hi));
+                }
+                lo = hi;
+            }
+            // Process children right-to-left so sibling insertion does not
+            // shift pending child indices.
+            let mut new_children: Vec<(usize, Vec<SplitInfo>)> = Vec::new();
+            for &(j, lo, hi) in ranges.iter().rev() {
+                let res = insert_batch_rec(&mut int.children[j], &ops[lo..hi], cfg, stats);
+                delta += res.delta;
+                inserted += res.inserted;
+                if !res.siblings.is_empty() {
+                    new_children.push((j, res.siblings));
+                }
+            }
+            // `new_children` holds descending j; inserting each group's
+            // siblings in reverse at j+1 lands them left-to-right.
+            for (j, sibs) in new_children {
+                stats.internal_ops += sibs.len() as u64;
+                for sib in sibs.into_iter().rev() {
+                    int.seps.insert_at(j + 1, sib.sep);
+                    int.children.insert(j + 1, sib.right);
+                    int.cs.insert(j + 1, 0.0); // placeholder; rebuilt below
+                }
+            }
+            // One aggregation rebuild per node per batch (App. B's
+            // "retrieves the updates that should be performed by its parent
+            // node" aggregation step).
+            let weights: Vec<f64> = int.children.iter().map(Node::total_weight).collect();
+            int.cs = CsTable::from_weights(&weights);
+            // Multiway split if the batch overflowed this node.
+            let mut siblings = Vec::new();
+            if int.children.len() > cfg.capacity {
+                let sizes = even_chunks(int.children.len(), cfg.capacity / 2, cfg.min_fill(), cfg.capacity);
+                stats.internal_splits += (sizes.len() - 1) as u64;
+                stats.internal_ops += (sizes.len() - 1) as u64;
+                let all_seps = int.seps.to_vec();
+                let all_weights = int.cs.weights();
+                let mut at = int.children.len();
+                // Carve off right chunks back-to-front.
+                for &s in sizes.iter().skip(1).rev() {
+                    let children: Vec<Node> = int.children.drain(at - s..).collect();
+                    at -= s;
+                    let right = Internal {
+                        seps: IdList::from_ids(&all_seps[at..at + s], cfg.compression),
+                        cs: CsTable::from_weights(&all_weights[at..at + s]),
+                        children,
+                    };
+                    let sep = right.seps.get(0);
+                    let right_weight = {
+                        use platod2gl_sampling::WeightedIndex;
+                        right.cs.total()
+                    };
+                    siblings.push(SplitInfo {
+                        sep,
+                        right_weight,
+                        right: Node::Internal(right),
+                    });
+                }
+                siblings.reverse();
+                int.seps = IdList::from_ids(&all_seps[..at], cfg.compression);
+                int.cs = CsTable::from_weights(&all_weights[..at]);
+            }
+            BatchResult {
+                delta,
+                inserted,
+                siblings,
+            }
+        }
+    }
+}
+
+fn update_node(node: &mut Node, id: u64, weight: f64, stats: &mut OpStats) -> Option<f64> {
+    match node {
+        Node::Leaf(leaf) => {
+            let i = leaf.ids.position(id)?;
+            let old = leaf.fs.get(i);
+            leaf.fs.set(i, weight);
+            stats.leaf_ops += 1;
+            Some(weight - old)
+        }
+        Node::Internal(int) => {
+            let j = int.route(id);
+            let delta = update_node(&mut int.children[j], id, weight, stats)?;
+            int.cs.add(j, delta);
+            Some(delta)
+        }
+    }
+}
+
+/// Merge `right` into `left` (same level by construction).
+fn merge_into(left: &mut Node, right: Node, cfg: &SamTreeConfig) {
+    match (left, right) {
+        (Node::Leaf(l), Node::Leaf(r)) => {
+            let mut pairs = l.pairs();
+            pairs.extend(r.pairs());
+            *l = Leaf::from_pairs_cfg(&pairs, cfg);
+        }
+        (Node::Internal(l), Node::Internal(r)) => {
+            let mut seps = l.seps.to_vec();
+            seps.extend(r.seps.iter());
+            let mut weights = l.cs.weights();
+            weights.extend(r.cs.weights());
+            l.children.extend(r.children);
+            l.seps = IdList::from_ids(&seps, cfg.compression);
+            l.cs = CsTable::from_weights(&weights);
+        }
+        _ => unreachable!("samtree leaves all live at the same level (Def. 1)"),
+    }
+}
+
+fn delete_node(node: &mut Node, id: u64, cfg: &SamTreeConfig, stats: &mut OpStats) -> Option<f64> {
+    match node {
+        Node::Leaf(leaf) => {
+            let i = leaf.ids.position(id)?;
+            leaf.ids.swap_remove(i);
+            let w = leaf.fs.swap_delete(i);
+            stats.leaf_ops += 1;
+            Some(w)
+        }
+        Node::Internal(int) => {
+            let j = int.route(id);
+            let w = delete_node(&mut int.children[j], id, cfg, stats)?;
+            int.cs.add(j, -w);
+            if int.children[j].slot_len() < cfg.min_fill() && int.children.len() >= 2 {
+                rebalance(int, j, cfg, stats);
+            }
+            Some(w)
+        }
+    }
+}
+
+/// Merge underfull child `j` with its nearest sibling; if the merged node
+/// exceeds capacity, immediately re-split it (redistribution) so no node
+/// ever exceeds `c` (Sec. IV-D).
+fn rebalance(int: &mut Internal, j: usize, cfg: &SamTreeConfig, stats: &mut OpStats) {
+    stats.merges += 1;
+    stats.internal_ops += 1;
+    let sib = if j + 1 < int.children.len() { j + 1 } else { j - 1 };
+    let l = j.min(sib);
+    let r = j.max(sib);
+    let right = int.children.remove(r);
+    int.seps.remove_at(r);
+    let right_w = int.cs.remove(r);
+    int.cs.add(l, right_w);
+    merge_into(&mut int.children[l], right, cfg);
+    if int.children[l].slot_len() > cfg.capacity {
+        let s = split_node(&mut int.children[l], cfg, stats);
+        int.cs.add(l, -s.right_weight);
+        int.cs.insert(l + 1, s.right_weight);
+        int.seps.insert_at(l + 1, s.sep);
+        int.children.insert(l + 1, s.right);
+    }
+}
+
+/// Split `len` items into chunk sizes near `target`, each within
+/// `[min_fill, capacity]` (a single chunk may undercut `min_fill`: it
+/// becomes the root, which is exempt). Sizes differ by at most one.
+fn even_chunks(len: usize, target: usize, min_fill: usize, capacity: usize) -> Vec<usize> {
+    debug_assert!(len > 0 && target > 0);
+    let mut groups = len.div_ceil(target);
+    // Respect the minimum fill: fewer, larger chunks if needed.
+    if groups > 1 && len / groups < min_fill {
+        groups = (len / min_fill).max(1);
+    }
+    // Respect capacity: more, smaller chunks if needed.
+    groups = groups.max(len.div_ceil(capacity));
+    let base = len / groups;
+    let extra = len % groups;
+    (0..groups)
+        .map(|g| if g < extra { base + 1 } else { base })
+        .collect()
+}
+
+/// Stack a left-to-right ordered, same-level node list under internal
+/// levels until a single root remains.
+fn stack_levels(mut nodes: Vec<Node>, target: usize, cfg: &SamTreeConfig) -> Node {
+    debug_assert!(!nodes.is_empty());
+    while nodes.len() > 1 {
+        let sizes = even_chunks(nodes.len(), target.max(2), cfg.min_fill(), cfg.capacity);
+        let mut level: Vec<Node> = Vec::with_capacity(sizes.len());
+        let mut rest = nodes;
+        for s in sizes {
+            let tail = rest.split_off(s);
+            let children = rest;
+            rest = tail;
+            let seps: Vec<u64> = children.iter().map(Node::min_id).collect();
+            let weights: Vec<f64> = children.iter().map(Node::total_weight).collect();
+            level.push(Node::Internal(Internal {
+                seps: IdList::from_ids(&seps, cfg.compression),
+                cs: CsTable::from_weights(&weights),
+                children,
+            }));
+        }
+        nodes = level;
+    }
+    nodes.pop().expect("non-empty")
+}
+
+/// The samtree for one source vertex: its whole out-neighborhood with
+/// per-edge weights, supporting `O(H · n_L)` updates and `O(H · log n_L)`
+/// weighted sampling.
+///
+/// ```
+/// use platod2gl_samtree::{LeafIndex, OpStats, SamTree, SamTreeConfig};
+///
+/// let cfg = SamTreeConfig { capacity: 4, alpha: 0, compression: true, leaf_index: LeafIndex::Fenwick }.validated();
+/// let mut stats = OpStats::default();
+/// let mut tree = SamTree::new();
+/// for id in 0..100u64 {
+///     tree.insert(&cfg, id, 1.0 + id as f64, &mut stats);
+/// }
+/// assert_eq!(tree.len(), 100);
+/// assert!(tree.height() >= 3, "capacity 4 forces a deep tree");
+///
+/// tree.update_weight(&cfg, 7, 100.0, &mut stats);
+/// tree.delete(&cfg, 3, &mut stats);
+/// assert_eq!(tree.get(7), Some(100.0));
+/// assert!(!tree.contains(3));
+/// tree.check_invariants(&cfg).expect("structure stays valid");
+///
+/// // Weighted sampling threads one residual mass down the tree
+/// // (ITS at internal nodes, FTS in the leaf).
+/// let picked = tree.sample_with(0.5).expect("non-empty");
+/// assert!(tree.contains(picked));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct SamTree {
+    root: Node,
+    len: usize,
+}
+
+impl SamTree {
+    /// An empty tree.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bulk-load a tree bottom-up in `O(n log n)` (sort) + `O(n)` (build),
+    /// producing leaves filled to ~3/4 capacity — the initial-ingest fast
+    /// path used when a snapshot or full edge dump is replayed, avoiding
+    /// per-edge descents and incremental splits entirely.
+    ///
+    /// Duplicate IDs keep the last weight, matching repeated
+    /// [`insert`](Self::insert) semantics.
+    pub fn bulk_load(cfg: &SamTreeConfig, pairs: &[IdWeight]) -> Self {
+        let mut pairs = pairs.to_vec();
+        pairs.sort_by_key(|p| p.0);
+        // Keep the last weight per duplicate ID.
+        pairs.reverse();
+        pairs.dedup_by_key(|p| p.0);
+        pairs.reverse();
+        if pairs.is_empty() {
+            return Self::new();
+        }
+        let len = pairs.len();
+        // Fill nodes to ~3/4 so immediate post-load inserts do not split,
+        // while keeping every non-root node within [min_fill, capacity].
+        let target = (cfg.capacity * 3 / 4).max(cfg.min_fill()).max(1);
+        let sizes = even_chunks(len, target, cfg.min_fill(), cfg.capacity);
+        let mut nodes: Vec<Node> = Vec::with_capacity(sizes.len());
+        let mut at = 0;
+        for s in sizes {
+            nodes.push(Node::Leaf(Leaf::from_pairs_cfg(&pairs[at..at + s], cfg)));
+            at += s;
+        }
+        Self {
+            root: stack_levels(nodes, target, cfg),
+            len,
+        }
+    }
+
+    /// Number of neighbors stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the tree stores no neighbors.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Sum of all neighbor weights (`w_s` in the paper).
+    pub fn total_weight(&self) -> f64 {
+        self.root.total_weight()
+    }
+
+    /// Tree height `H` (1 for a single leaf).
+    pub fn height(&self) -> usize {
+        let mut h = 1;
+        let mut node = &self.root;
+        while let Node::Internal(i) = node {
+            h += 1;
+            node = &i.children[0];
+        }
+        h
+    }
+
+    /// Insert neighbor `id` with `weight` (Alg. 2). If the neighbor already
+    /// exists its weight is set to `weight`.
+    pub fn insert(
+        &mut self,
+        cfg: &SamTreeConfig,
+        id: u64,
+        weight: f64,
+        stats: &mut OpStats,
+    ) -> InsertOutcome {
+        let res = insert_node(&mut self.root, id, weight, cfg, stats);
+        if let Some(s) = res.split {
+            // Grow a new root (Alg. 2's split can propagate past the top).
+            stats.internal_ops += 1;
+            let left = std::mem::take(&mut self.root);
+            let left_min = left.min_id();
+            let left_w = left.total_weight();
+            self.root = Node::Internal(Internal {
+                seps: IdList::from_ids(&[left_min, s.sep], cfg.compression),
+                cs: CsTable::from_weights(&[left_w, s.right_weight]),
+                children: vec![left, s.right],
+            });
+        }
+        if res.outcome == InsertOutcome::Inserted {
+            self.len += 1;
+        }
+        res.outcome
+    }
+
+    /// Batched upsert (Appendix B): apply a run of `(id, weight)` inserts /
+    /// weight-sets with a single descent per touched leaf and one
+    /// aggregation-table rebuild per touched node, instead of per-op
+    /// root-to-leaf refreshes. Returns the number of *new* neighbors.
+    ///
+    /// Ops may arrive unsorted; they are applied in ascending-ID order
+    /// (stable for duplicate IDs, so the last op on an ID wins — identical
+    /// to sequential [`insert`](Self::insert) semantics under the storage
+    /// layer's sorted batching).
+    pub fn insert_batch(
+        &mut self,
+        cfg: &SamTreeConfig,
+        ops: &[IdWeight],
+        stats: &mut OpStats,
+    ) -> usize {
+        if ops.is_empty() {
+            return 0;
+        }
+        let sorted_buf: Vec<IdWeight>;
+        let ops = if ops.windows(2).all(|w| w[0].0 <= w[1].0) {
+            ops
+        } else {
+            let mut v = ops.to_vec();
+            v.sort_by_key(|p| p.0);
+            sorted_buf = v;
+            &sorted_buf
+        };
+        let res = insert_batch_rec(&mut self.root, ops, cfg, stats);
+        if !res.siblings.is_empty() {
+            stats.internal_ops += 1;
+            let mut nodes = vec![std::mem::take(&mut self.root)];
+            nodes.extend(res.siblings.into_iter().map(|s| s.right));
+            self.root = stack_levels(nodes, (cfg.capacity * 3 / 4).max(2), cfg);
+        }
+        self.len += res.inserted;
+        res.inserted
+    }
+
+    /// Set the weight of an existing neighbor; `false` if absent.
+    pub fn update_weight(
+        &mut self,
+        _cfg: &SamTreeConfig,
+        id: u64,
+        weight: f64,
+        stats: &mut OpStats,
+    ) -> bool {
+        update_node(&mut self.root, id, weight, stats).is_some()
+    }
+
+    /// Delete a neighbor, returning its weight; `None` if absent
+    /// (Sec. IV-D).
+    pub fn delete(&mut self, cfg: &SamTreeConfig, id: u64, stats: &mut OpStats) -> Option<f64> {
+        let w = delete_node(&mut self.root, id, cfg, stats)?;
+        self.len -= 1;
+        // Collapse a root left with a single child (height shrink).
+        if let Node::Internal(int) = &mut self.root {
+            if int.children.len() == 1 {
+                stats.internal_ops += 1;
+                self.root = int.children.pop().expect("one child");
+            }
+        }
+        Some(w)
+    }
+
+    /// Weight of neighbor `id`, if present.
+    pub fn get(&self, id: u64) -> Option<f64> {
+        let mut node = &self.root;
+        loop {
+            match node {
+                Node::Leaf(l) => {
+                    let i = l.ids.position(id)?;
+                    return Some(l.fs.get(i));
+                }
+                Node::Internal(i) => node = &i.children[i.route(id)],
+            }
+        }
+    }
+
+    /// Whether neighbor `id` is present.
+    pub fn contains(&self, id: u64) -> bool {
+        self.get(id).is_some()
+    }
+
+    /// Weighted sample driven by an externally drawn residual mass
+    /// `r ∈ [0, total_weight())`: ITS at each internal node, FTS at the leaf
+    /// (Sec. V-C).
+    pub fn sample_with(&self, mut r: f64) -> Option<u64> {
+        if self.is_empty() {
+            return None;
+        }
+        let mut node = &self.root;
+        loop {
+            match node {
+                Node::Leaf(l) => {
+                    let i = l.fs.sample_with(r);
+                    return Some(l.ids.get(i));
+                }
+                Node::Internal(int) => {
+                    let j = int.cs.its_search(r);
+                    if j > 0 {
+                        r -= int.cs.prefix_sum(j - 1);
+                    }
+                    node = &int.children[j];
+                }
+            }
+        }
+    }
+
+    /// Draw one neighbor with probability `w_{s,u} / w_s`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<u64> {
+        let total = self.total_weight();
+        if self.is_empty() || total <= 0.0 {
+            return None;
+        }
+        self.sample_with(rng.random_range(0.0..total))
+    }
+
+    /// Draw `k` neighbors with replacement.
+    pub fn sample_k<R: Rng + ?Sized>(&self, k: usize, rng: &mut R) -> Vec<u64> {
+        let total = self.total_weight();
+        if self.is_empty() || total <= 0.0 {
+            return Vec::new();
+        }
+        (0..k)
+            .filter_map(|_| self.sample_with(rng.random_range(0.0..total)))
+            .collect()
+    }
+
+    /// Multiply every edge weight by `factor` in one `O(n)` pass — the
+    /// time-decay primitive of real-time recommenders ("instant user
+    /// interest", paper Sec. I): periodic decay shrinks stale interactions
+    /// while fresh inserts arrive at full weight. Both table kinds are
+    /// linear in the weights, so every aggregate stays exact.
+    pub fn scale_weights(&mut self, factor: f64) {
+        assert!(factor.is_finite() && factor >= 0.0);
+        fn walk(node: &mut Node, factor: f64) {
+            match node {
+                Node::Leaf(l) => l.fs.scale(factor),
+                Node::Internal(i) => {
+                    i.cs.scale(factor);
+                    for c in &mut i.children {
+                        walk(c, factor);
+                    }
+                }
+            }
+        }
+        walk(&mut self.root, factor);
+    }
+
+    /// The `k` heaviest neighbors as `(id, weight)` pairs, heaviest first —
+    /// the deterministic "strongest interests" query serving layers run
+    /// next to weighted sampling. `O(n)` scan + `O(n log k)` selection.
+    pub fn top_k(&self, k: usize) -> Vec<IdWeight> {
+        if k == 0 || self.is_empty() {
+            return Vec::new();
+        }
+        let mut all = self.entries();
+        let take = k.min(all.len());
+        all.select_nth_unstable_by(take - 1, |a, b| {
+            b.1.partial_cmp(&a.1).expect("finite weights")
+        });
+        all.truncate(take);
+        all.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite weights"));
+        all
+    }
+
+    /// All `(id, weight)` pairs, in tree (left-to-right) order.
+    pub fn entries(&self) -> Vec<IdWeight> {
+        fn collect(node: &Node, out: &mut Vec<IdWeight>) {
+            match node {
+                Node::Leaf(l) => out.extend(l.pairs()),
+                Node::Internal(i) => {
+                    for c in &i.children {
+                        collect(c, out);
+                    }
+                }
+            }
+        }
+        let mut out = Vec::with_capacity(self.len);
+        collect(&self.root, &mut out);
+        out
+    }
+
+    /// Number of (leaf, internal) nodes.
+    pub fn node_counts(&self) -> (usize, usize) {
+        fn count(node: &Node, acc: &mut (usize, usize)) {
+            match node {
+                Node::Leaf(_) => acc.0 += 1,
+                Node::Internal(i) => {
+                    acc.1 += 1;
+                    for c in &i.children {
+                        count(c, acc);
+                    }
+                }
+            }
+        }
+        let mut acc = (0, 0);
+        count(&self.root, &mut acc);
+        acc
+    }
+
+    /// Verify every structural invariant; returns a description of the
+    /// first violation. Test/debug aid — walks the whole tree.
+    pub fn check_invariants(&self, cfg: &SamTreeConfig) -> Result<(), String> {
+        // Returns (min_id, max_id, total_weight, leaf_depth).
+        fn walk(
+            node: &Node,
+            cfg: &SamTreeConfig,
+            is_root: bool,
+        ) -> Result<(u64, u64, f64, usize), String> {
+            match node {
+                Node::Leaf(l) => {
+                    if l.ids.len() != l.fs.len() {
+                        return Err(format!(
+                            "leaf ids/fs length mismatch: {} vs {}",
+                            l.ids.len(),
+                            l.fs.len()
+                        ));
+                    }
+                    if l.ids.len() > cfg.capacity {
+                        return Err(format!("leaf over capacity: {}", l.ids.len()));
+                    }
+                    if !is_root && l.ids.len() < cfg.min_fill() {
+                        return Err(format!("leaf underfull: {}", l.ids.len()));
+                    }
+                    if l.ids.is_empty() {
+                        if is_root {
+                            return Ok((u64::MAX, 0, 0.0, 1));
+                        }
+                        return Err("empty non-root leaf".into());
+                    }
+                    let ids = l.ids.to_vec();
+                    let mut sorted = ids.clone();
+                    sorted.sort_unstable();
+                    sorted.dedup();
+                    if sorted.len() != ids.len() {
+                        return Err("duplicate IDs in leaf".into());
+                    }
+                    let min = *sorted.first().expect("non-empty");
+                    let max = *sorted.last().expect("non-empty");
+                    Ok((min, max, l.fs.total(), 1))
+                }
+                Node::Internal(int) => {
+                    let n = int.children.len();
+                    if n != int.seps.len() || n != int.cs.len() {
+                        return Err("internal seps/cs/children length mismatch".into());
+                    }
+                    if n > cfg.capacity {
+                        return Err(format!("internal over capacity: {n}"));
+                    }
+                    if is_root && n < 2 {
+                        return Err("internal root with fewer than 2 children".into());
+                    }
+                    if !is_root && n < cfg.min_fill() {
+                        return Err(format!("internal underfull: {n}"));
+                    }
+                    let mut prev_max: Option<u64> = None;
+                    let mut total = 0.0;
+                    let mut depth: Option<usize> = None;
+                    for j in 0..n {
+                        let (cmin, cmax, cw, cd) = walk(&int.children[j], cfg, false)?;
+                        let sep = int.seps.get(j);
+                        if sep > cmin {
+                            return Err(format!(
+                                "separator {sep} exceeds child {j} min {cmin}"
+                            ));
+                        }
+                        if let Some(pm) = prev_max {
+                            if cmin <= pm {
+                                return Err(format!(
+                                    "child {j} min {cmin} overlaps previous max {pm}"
+                                ));
+                            }
+                            if sep <= pm {
+                                return Err(format!(
+                                    "separator {sep} not above previous max {pm}"
+                                ));
+                            }
+                        }
+                        prev_max = Some(cmax);
+                        let entry = int.cs.get(j);
+                        if (entry - cw).abs() > 1e-6 * (1.0 + cw.abs()) {
+                            return Err(format!(
+                                "cs entry {j} = {entry} != child weight {cw}"
+                            ));
+                        }
+                        total += cw;
+                        match depth {
+                            None => depth = Some(cd),
+                            Some(d) if d != cd => {
+                                return Err("leaves at different levels".into())
+                            }
+                            _ => {}
+                        }
+                    }
+                    let min = int.children[0].min_id().min(int.seps.get(0));
+                    Ok((
+                        min,
+                        prev_max.expect("at least one child"),
+                        total,
+                        depth.expect("at least one child") + 1,
+                    ))
+                }
+            }
+        }
+        let (_, _, total, _) = walk(&self.root, cfg, true)?;
+        let expected: usize = self.entries().len();
+        if expected != self.len {
+            return Err(format!("len {} != entries {}", self.len, expected));
+        }
+        if (total - self.total_weight()).abs() > 1e-6 * (1.0 + total.abs()) {
+            return Err("root weight mismatch".into());
+        }
+        Ok(())
+    }
+}
+
+impl DeepSize for Node {
+    fn heap_bytes(&self) -> usize {
+        match self {
+            Node::Leaf(l) => l.ids.heap_bytes() + l.fs.heap_bytes(),
+            Node::Internal(i) => {
+                i.seps.heap_bytes()
+                    + i.cs.heap_bytes()
+                    + i.children.capacity() * std::mem::size_of::<Node>()
+                    + i.children.iter().map(DeepSize::heap_bytes).sum::<usize>()
+            }
+        }
+    }
+}
+
+impl DeepSize for SamTree {
+    fn heap_bytes(&self) -> usize {
+        self.root.heap_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn cfg(capacity: usize, alpha: usize) -> SamTreeConfig {
+        SamTreeConfig {
+            capacity,
+            alpha,
+            compression: true,
+            leaf_index: LeafIndex::Fenwick,
+        }
+        .validated()
+    }
+
+    fn build(cfg_: &SamTreeConfig, pairs: &[(u64, f64)]) -> SamTree {
+        let mut t = SamTree::new();
+        let mut stats = OpStats::default();
+        for &(id, w) in pairs {
+            t.insert(cfg_, id, w, &mut stats);
+        }
+        t
+    }
+
+    #[test]
+    fn paper_example1_single_leaf() {
+        // Fig. 3: v3 has two out-neighbors (4, 0.6) and (7, 0.7); with
+        // capacity >= 2 they fit one leaf, and FSTable = [0.6, 1.3].
+        let c = cfg(4, 0);
+        let t = build(&c, &[(4, 0.6), (7, 0.7)]);
+        assert_eq!(t.height(), 1);
+        assert_eq!(t.len(), 2);
+        assert!((t.total_weight() - 1.3).abs() < 1e-9);
+        assert!((t.get(4).expect("present") - 0.6).abs() < 1e-9);
+        assert!((t.get(7).expect("present") - 0.7).abs() < 1e-9);
+        t.check_invariants(&c).expect("invariants");
+    }
+
+    #[test]
+    fn grows_to_two_levels_like_fig3_v1() {
+        // Fig. 3: v1 has 3 out-neighbors with capacity 2 => one internal,
+        // two leaves.
+        let c = cfg(4, 0); // capacity 4: need 5 neighbors to split
+        let t = build(&c, &[(2, 0.1), (3, 0.4), (5, 0.2), (6, 0.3), (9, 0.5)]);
+        assert_eq!(t.height(), 2);
+        assert_eq!(t.len(), 5);
+        let (leaves, internals) = t.node_counts();
+        assert_eq!(internals, 1);
+        assert_eq!(leaves, 2);
+        t.check_invariants(&c).expect("invariants");
+    }
+
+    #[test]
+    fn insert_existing_updates_weight() {
+        let c = cfg(4, 0);
+        let mut t = build(&c, &[(1, 0.5)]);
+        let mut stats = OpStats::default();
+        assert_eq!(t.insert(&c, 1, 0.9, &mut stats), InsertOutcome::Updated);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(1), Some(0.9));
+        assert!((t.total_weight() - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn thousands_of_inserts_keep_invariants() {
+        for capacity in [4usize, 8, 16, 64] {
+            for alpha in [0usize, 1] {
+                let alpha = alpha.min(capacity / 2 - 1);
+                let c = cfg(capacity, alpha);
+                let mut t = SamTree::new();
+                let mut stats = OpStats::default();
+                // Scrambled insertion order.
+                for k in 0..3000u64 {
+                    let id = (k * 2654435761) % 100_000;
+                    t.insert(&c, id, (id % 13) as f64 + 0.5, &mut stats);
+                }
+                t.check_invariants(&c)
+                    .unwrap_or_else(|e| panic!("capacity {capacity}: {e}"));
+                let min_height = if capacity <= 16 { 3 } else { 2 };
+                assert!(
+                    t.height() >= min_height,
+                    "tree should be deep at capacity {capacity}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn entries_match_reference_map() {
+        use std::collections::BTreeMap;
+        let c = cfg(8, 0);
+        let mut t = SamTree::new();
+        let mut reference = BTreeMap::new();
+        let mut stats = OpStats::default();
+        for k in 0..2000u64 {
+            let id = (k * 48271) % 5000;
+            let w = (k % 7) as f64 + 0.25;
+            t.insert(&c, id, w, &mut stats);
+            reference.insert(id, w);
+        }
+        assert_eq!(t.len(), reference.len());
+        let entries = t.entries();
+        // Tree order is sorted across leaves but unordered within; compare
+        // as a map.
+        let got: BTreeMap<u64, u64> =
+            entries.iter().map(|&(i, w)| (i, w.to_bits())).collect();
+        let want: BTreeMap<u64, u64> =
+            reference.iter().map(|(&i, &w)| (i, w.to_bits())).collect();
+        assert_eq!(got.len(), want.len());
+        for (k, v) in &want {
+            let g = got.get(k).copied().unwrap_or(0);
+            assert!(
+                (f64::from_bits(g) - f64::from_bits(*v)).abs() < 1e-6,
+                "id {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn delete_removes_and_rebalances() {
+        let c = cfg(4, 0);
+        let mut t = SamTree::new();
+        let mut stats = OpStats::default();
+        for id in 0..200u64 {
+            t.insert(&c, id, 1.0, &mut stats);
+        }
+        assert!(t.height() >= 3);
+        for id in 0..150u64 {
+            let w = t.delete(&c, id, &mut stats);
+            assert_eq!(w, Some(1.0), "id {id}");
+            t.check_invariants(&c)
+                .unwrap_or_else(|e| panic!("after deleting {id}: {e}"));
+        }
+        assert_eq!(t.len(), 50);
+        for id in 0..150u64 {
+            assert!(!t.contains(id));
+        }
+        for id in 150..200u64 {
+            assert!(t.contains(id));
+        }
+    }
+
+    #[test]
+    fn delete_everything_then_reinsert() {
+        let c = cfg(4, 0);
+        let mut t = SamTree::new();
+        let mut stats = OpStats::default();
+        for id in 0..100u64 {
+            t.insert(&c, id, 0.5, &mut stats);
+        }
+        for id in (0..100u64).rev() {
+            assert!(t.delete(&c, id, &mut stats).is_some());
+        }
+        assert!(t.is_empty());
+        assert_eq!(t.total_weight(), 0.0);
+        t.insert(&c, 42, 1.0, &mut stats);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(42), Some(1.0));
+        t.check_invariants(&c).expect("invariants");
+    }
+
+    #[test]
+    fn delete_missing_returns_none() {
+        let c = cfg(4, 0);
+        let mut t = build(&c, &[(1, 1.0), (2, 2.0)]);
+        let mut stats = OpStats::default();
+        assert_eq!(t.delete(&c, 99, &mut stats), None);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn update_weight_propagates_to_root_tables() {
+        let c = cfg(4, 0);
+        let mut t = SamTree::new();
+        let mut stats = OpStats::default();
+        for id in 0..50u64 {
+            t.insert(&c, id, 1.0, &mut stats);
+        }
+        assert!(t.update_weight(&c, 30, 5.0, &mut stats));
+        assert_eq!(t.get(30), Some(5.0));
+        assert!((t.total_weight() - 54.0).abs() < 1e-6);
+        t.check_invariants(&c).expect("invariants");
+        assert!(!t.update_weight(&c, 999, 1.0, &mut stats));
+    }
+
+    #[test]
+    fn sampling_distribution_matches_weights_across_levels() {
+        let c = cfg(4, 0); // deep tree
+        let mut t = SamTree::new();
+        let mut stats = OpStats::default();
+        // Weights proportional to id+1 over 64 ids.
+        for id in 0..64u64 {
+            t.insert(&c, id, (id + 1) as f64, &mut stats);
+        }
+        assert!(t.height() >= 3);
+        let total: f64 = (1..=64u64).sum::<u64>() as f64;
+        let mut rng = StdRng::seed_from_u64(99);
+        let draws = 200_000;
+        let mut counts = vec![0usize; 64];
+        for _ in 0..draws {
+            counts[t.sample(&mut rng).expect("non-empty") as usize] += 1;
+        }
+        for (id, &count) in counts.iter().enumerate() {
+            let expected = draws as f64 * (id + 1) as f64 / total;
+            let got = count as f64;
+            assert!(
+                (got - expected).abs() < expected * 0.25 + 30.0,
+                "id {id}: got {got}, expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn sample_k_draws_with_replacement() {
+        let c = cfg(4, 0);
+        let t = build(&c, &[(1, 1.0)]);
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = t.sample_k(10, &mut rng);
+        assert_eq!(s, vec![1; 10]);
+        assert!(SamTree::new().sample_k(5, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn zero_total_weight_sampling_is_none() {
+        let c = cfg(4, 0);
+        let t = build(&c, &[(1, 0.0), (2, 0.0)]);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(t.sample(&mut rng), None);
+    }
+
+    #[test]
+    fn table5_style_leaf_fraction_increases_with_capacity() {
+        let mut fractions = Vec::new();
+        for capacity in [8usize, 32, 128] {
+            let c = cfg(capacity, 0);
+            let mut t = SamTree::new();
+            let mut stats = OpStats::default();
+            for k in 0..20_000u64 {
+                let id = (k * 2654435761) % 1_000_000;
+                t.insert(&c, id, 1.0, &mut stats);
+            }
+            fractions.push(stats.leaf_fraction());
+        }
+        assert!(
+            fractions[0] < fractions[1] && fractions[1] < fractions[2],
+            "leaf fraction should grow with capacity: {fractions:?}"
+        );
+        assert!(
+            fractions[2] > 0.98,
+            "capacity 128 should exceed 98% leaf ops (paper Table V): {}",
+            fractions[2]
+        );
+    }
+
+    #[test]
+    fn compression_reduces_tree_memory_on_clustered_ids() {
+        let base = 0x00AB_CDEF_0000_0000u64;
+        let mut on = SamTree::new();
+        let mut off = SamTree::new();
+        let c_on = cfg(64, 0);
+        let c_off = SamTreeConfig {
+            compression: false,
+            ..c_on
+        };
+        let mut stats = OpStats::default();
+        for i in 0..5_000u64 {
+            on.insert(&c_on, base | i, 1.0, &mut stats);
+            off.insert(&c_off, base | i, 1.0, &mut stats);
+        }
+        let (b_on, b_off) = (on.heap_bytes(), off.heap_bytes());
+        assert!(
+            (b_on as f64) < b_off as f64 * 0.8,
+            "compressed {b_on} should be well below plain {b_off}"
+        );
+        on.check_invariants(&c_on).expect("invariants");
+    }
+
+    #[test]
+    fn bulk_load_equals_incremental_build() {
+        let c = cfg(16, 0);
+        let pairs: Vec<(u64, f64)> = (0..5_000u64)
+            .map(|k| ((k * 2654435761) % 100_000, (k % 9) as f64 + 0.5))
+            .collect();
+        let bulk = SamTree::bulk_load(&c, &pairs);
+        bulk.check_invariants(&c).expect("bulk invariants");
+        let mut inc = SamTree::new();
+        let mut stats = OpStats::default();
+        for &(id, w) in &pairs {
+            inc.insert(&c, id, w, &mut stats);
+        }
+        assert_eq!(bulk.len(), inc.len());
+        assert!((bulk.total_weight() - inc.total_weight()).abs() < 1e-4);
+        for &(id, _) in &pairs {
+            let (a, b) = (bulk.get(id), inc.get(id));
+            assert!(a.is_some() && b.is_some(), "id {id}");
+            assert!((a.expect("present") - b.expect("present")).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn scale_weights_decays_everything_exactly() {
+        let c = cfg(8, 0);
+        let mut t = SamTree::new();
+        let mut stats = OpStats::default();
+        for id in 0..500u64 {
+            t.insert(&c, id, (id + 1) as f64, &mut stats);
+        }
+        let before = t.total_weight();
+        t.scale_weights(0.5);
+        assert!((t.total_weight() - before * 0.5).abs() < 1e-6);
+        for id in (0..500u64).step_by(37) {
+            assert!((t.get(id).expect("present") - (id + 1) as f64 * 0.5).abs() < 1e-6);
+        }
+        t.check_invariants(&c).expect("invariants after decay");
+        // Fresh inserts arrive at full weight and dominate sampling.
+        t.insert(&c, 10_000, 1e6, &mut stats);
+        let mut rng = StdRng::seed_from_u64(5);
+        let hits = t
+            .sample_k(100, &mut rng)
+            .into_iter()
+            .filter(|&x| x == 10_000)
+            .count();
+        assert!(hits > 80, "fresh heavy edge should dominate: {hits}");
+    }
+
+    #[test]
+    fn top_k_returns_heaviest_first() {
+        let c = cfg(8, 0);
+        let mut t = SamTree::new();
+        let mut stats = OpStats::default();
+        for id in 0..200u64 {
+            t.insert(&c, id, ((id * 7919) % 1000) as f64 + 0.5, &mut stats);
+        }
+        let top = t.top_k(10);
+        assert_eq!(top.len(), 10);
+        for pair in top.windows(2) {
+            assert!(pair[0].1 >= pair[1].1, "not descending: {pair:?}");
+        }
+        // The first entry must be the global max.
+        let max = t.entries().into_iter().map(|p| p.1).fold(0.0, f64::max);
+        assert_eq!(top[0].1, max);
+        // Oversized k clamps; k=0 is empty.
+        assert_eq!(t.top_k(10_000).len(), 200);
+        assert!(t.top_k(0).is_empty());
+        assert!(SamTree::new().top_k(5).is_empty());
+    }
+
+    #[test]
+    fn insert_batch_equals_sequential_inserts() {
+        for capacity in [4usize, 8, 64] {
+            let c = cfg(capacity, 0);
+            let ops: Vec<(u64, f64)> = (0..4_000u64)
+                .map(|k| ((k * 2654435761) % 10_000, (k % 11) as f64 + 0.5))
+                .collect();
+            let mut batched = SamTree::new();
+            let mut seq = SamTree::new();
+            let mut stats = OpStats::default();
+            for chunk in ops.chunks(257) {
+                batched.insert_batch(&c, chunk, &mut stats);
+            }
+            for &(id, w) in &ops {
+                seq.insert(&c, id, w, &mut stats);
+            }
+            assert_eq!(batched.len(), seq.len(), "capacity {capacity}");
+            batched
+                .check_invariants(&c)
+                .unwrap_or_else(|e| panic!("capacity {capacity}: {e}"));
+            assert!((batched.total_weight() - seq.total_weight()).abs() < 1e-3);
+            for &(id, _) in &ops {
+                let (a, b) = (batched.get(id), seq.get(id));
+                assert!(
+                    (a.expect("present") - b.expect("present")).abs() < 1e-6,
+                    "id {id}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn insert_batch_single_giant_batch_multiway_splits() {
+        let c = cfg(8, 0);
+        let ops: Vec<(u64, f64)> = (0..2_000u64).map(|i| (i, 1.0)).collect();
+        let mut t = SamTree::new();
+        let mut stats = OpStats::default();
+        let inserted = t.insert_batch(&c, &ops, &mut stats);
+        assert_eq!(inserted, 2_000);
+        assert_eq!(t.len(), 2_000);
+        t.check_invariants(&c).expect("invariants");
+        assert!(t.height() >= 3, "giant batch must build a deep tree");
+    }
+
+    #[test]
+    fn insert_batch_duplicate_ids_last_wins() {
+        let c = cfg(4, 0);
+        let mut t = SamTree::new();
+        let mut stats = OpStats::default();
+        let inserted = t.insert_batch(&c, &[(5, 1.0), (5, 2.0), (5, 3.0)], &mut stats);
+        assert_eq!(inserted, 1);
+        assert!((t.get(5).expect("present") - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn insert_batch_unsorted_input_is_sorted_internally() {
+        let c = cfg(4, 0);
+        let mut t = SamTree::new();
+        let mut stats = OpStats::default();
+        t.insert_batch(&c, &[(9, 1.0), (1, 2.0), (5, 3.0)], &mut stats);
+        assert_eq!(t.len(), 3);
+        t.check_invariants(&c).expect("invariants");
+    }
+
+    #[test]
+    fn insert_batch_into_existing_tree() {
+        let c = cfg(8, 1);
+        let mut t = SamTree::bulk_load(&c, &(0..300u64).map(|i| (i * 2, 1.0)).collect::<Vec<_>>());
+        let mut stats = OpStats::default();
+        let ops: Vec<(u64, f64)> = (0..300u64).map(|i| (i * 2 + 1, 2.0)).collect();
+        let inserted = t.insert_batch(&c, &ops, &mut stats);
+        assert_eq!(inserted, 300);
+        assert_eq!(t.len(), 600);
+        t.check_invariants(&c).expect("invariants");
+        assert!((t.total_weight() - 900.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bulk_load_duplicates_keep_last_weight() {
+        let c = cfg(4, 0);
+        let t = SamTree::bulk_load(&c, &[(1, 1.0), (2, 2.0), (1, 9.0)]);
+        assert_eq!(t.len(), 2);
+        assert!((t.get(1).expect("present") - 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bulk_load_edge_sizes() {
+        let c = cfg(8, 0);
+        assert!(SamTree::bulk_load(&c, &[]).is_empty());
+        for n in [1u64, 2, 5, 6, 7, 8, 9, 13, 48, 49, 100] {
+            let pairs: Vec<(u64, f64)> = (0..n).map(|i| (i, 1.0)).collect();
+            let t = SamTree::bulk_load(&c, &pairs);
+            assert_eq!(t.len(), n as usize, "n={n}");
+            t.check_invariants(&c)
+                .unwrap_or_else(|e| panic!("n={n}: {e}"));
+        }
+    }
+
+    #[test]
+    fn bulk_loaded_tree_accepts_further_updates() {
+        let c = cfg(8, 1);
+        let pairs: Vec<(u64, f64)> = (0..500u64).map(|i| (i * 3, 1.0)).collect();
+        let mut t = SamTree::bulk_load(&c, &pairs);
+        let mut stats = OpStats::default();
+        for i in 0..500u64 {
+            t.insert(&c, i * 3 + 1, 2.0, &mut stats);
+        }
+        for i in 0..250u64 {
+            assert!(t.delete(&c, i * 3, &mut stats).is_some());
+        }
+        assert_eq!(t.len(), 750);
+        t.check_invariants(&c).expect("invariants after mixed ops");
+    }
+
+    #[test]
+    fn alpha_slack_trees_stay_valid() {
+        let c = cfg(16, 4);
+        let mut t = SamTree::new();
+        let mut stats = OpStats::default();
+        for k in 0..5_000u64 {
+            let id = (k * 1_000_003) % 50_000;
+            t.insert(&c, id, (k % 5) as f64 + 0.5, &mut stats);
+        }
+        t.check_invariants(&c).expect("invariants with alpha=4");
+        // Delete half, still valid.
+        for k in 0..2_500u64 {
+            let id = (k * 1_000_003) % 50_000;
+            t.delete(&c, id, &mut stats);
+        }
+        t.check_invariants(&c).expect("invariants after deletes");
+    }
+}
+
+#[cfg(test)]
+mod chunk_tests {
+    use super::even_chunks;
+
+    #[test]
+    fn chunks_sum_to_len_and_respect_bounds() {
+        for len in 1usize..500 {
+            for (target, min_fill, capacity) in [(6, 4, 8), (12, 8, 16), (192, 128, 256)] {
+                let sizes = even_chunks(len, target, min_fill, capacity);
+                assert_eq!(sizes.iter().sum::<usize>(), len);
+                assert!(sizes.iter().all(|&s| s <= capacity), "len={len}");
+                if sizes.len() > 1 {
+                    assert!(
+                        sizes.iter().all(|&s| s >= min_fill),
+                        "len={len} target={target}: {sizes:?}"
+                    );
+                }
+                // Balanced: sizes differ by at most one.
+                let (min, max) = (
+                    sizes.iter().min().expect("non-empty"),
+                    sizes.iter().max().expect("non-empty"),
+                );
+                assert!(max - min <= 1);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::HashMap;
+
+    proptest! {
+        #[test]
+        fn bulk_load_any_size_is_valid(
+            n in 0usize..2_000,
+            capacity in prop_oneof![Just(4usize), Just(8), Just(64)],
+        ) {
+            let cfg = SamTreeConfig { capacity, alpha: 0, compression: true, leaf_index: LeafIndex::Fenwick }.validated();
+            let pairs: Vec<(u64, f64)> =
+                (0..n as u64).map(|i| (i * 7919 % 65_536, 1.0)).collect();
+            let t = SamTree::bulk_load(&cfg, &pairs);
+            t.check_invariants(&cfg)
+                .map_err(|e| TestCaseError::fail(format!("n={n} c={capacity}: {e}")))?;
+            let mut distinct: Vec<u64> = pairs.iter().map(|p| p.0).collect();
+            distinct.sort_unstable();
+            distinct.dedup();
+            prop_assert_eq!(t.len(), distinct.len());
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn random_ops_match_hashmap(
+            capacity in prop_oneof![Just(4usize), Just(8), Just(16)],
+            alpha in 0usize..2,
+            ops in proptest::collection::vec((0u8..4, 0u64..500, 0.1f64..10.0), 1..400),
+        ) {
+            let cfg = SamTreeConfig { capacity, alpha, compression: true, leaf_index: LeafIndex::Fenwick }.validated();
+            let mut t = SamTree::new();
+            let mut reference: HashMap<u64, f64> = HashMap::new();
+            let mut stats = OpStats::default();
+            for (kind, id, w) in ops {
+                match kind {
+                    0 | 1 => {
+                        let outcome = t.insert(&cfg, id, w, &mut stats);
+                        let existed = reference.insert(id, w).is_some();
+                        prop_assert_eq!(
+                            outcome == InsertOutcome::Updated,
+                            existed
+                        );
+                    }
+                    2 => {
+                        let got = t.delete(&cfg, id, &mut stats);
+                        let want = reference.remove(&id);
+                        prop_assert_eq!(got.is_some(), want.is_some());
+                        if let (Some(g), Some(wv)) = (got, want) {
+                            prop_assert!((g - wv).abs() < 1e-6);
+                        }
+                    }
+                    _ => {
+                        let got = t.update_weight(&cfg, id, w, &mut stats);
+                        let want = reference.get_mut(&id);
+                        prop_assert_eq!(got, want.is_some());
+                        if let Some(r) = want {
+                            *r = w;
+                        }
+                    }
+                }
+            }
+            prop_assert_eq!(t.len(), reference.len());
+            t.check_invariants(&cfg).map_err(|e| {
+                TestCaseError::fail(format!("invariants: {e}"))
+            })?;
+            // Every key readable with the right weight.
+            for (&id, &w) in &reference {
+                let got = t.get(id);
+                prop_assert!(got.is_some(), "missing id {}", id);
+                prop_assert!((got.expect("present") - w).abs() < 1e-6);
+            }
+            // Total weight consistent.
+            let want_total: f64 = reference.values().sum();
+            prop_assert!((t.total_weight() - want_total).abs() < 1e-4);
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Lock-free latency histograms for serving-path telemetry.
+//!
+//! Production graph services watch tail latency (the paper's Fig. 9/10
+//! numbers are exactly such measurements); this module gives each cluster a
+//! cheap always-on recorder: one atomic increment per observation into
+//! power-of-two nanosecond buckets, with percentile estimates read on
+//! demand.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of log2 buckets: bucket `i` holds durations in
+/// `[2^i, 2^(i+1))` ns; bucket 63 is the overflow bucket (> ~4.6 h).
+const BUCKETS: usize = 64;
+
+/// A concurrent histogram over durations with power-of-two buckets.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self {
+            buckets: [const { AtomicU64::new(0) }; BUCKETS],
+            count: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Create an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one observation.
+    pub fn record(&self, d: Duration) {
+        let ns = d.as_nanos().min(u128::from(u64::MAX)) as u64;
+        let bucket = (64 - ns.max(1).leading_zeros() as usize - 1).min(BUCKETS - 1);
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Mean latency (zero when empty).
+    pub fn mean(&self) -> Duration {
+        let n = self.count();
+        if n == 0 {
+            return Duration::ZERO;
+        }
+        Duration::from_nanos(self.sum_ns.load(Ordering::Relaxed) / n)
+    }
+
+    /// Upper bound of the bucket containing quantile `q ∈ [0, 1]`
+    /// (log2-resolution estimate; zero when empty).
+    pub fn quantile(&self, q: f64) -> Duration {
+        assert!((0.0..=1.0).contains(&q));
+        let n = self.count();
+        if n == 0 {
+            return Duration::ZERO;
+        }
+        let target = ((n as f64) * q).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= target {
+                let hi = if i + 1 >= 64 { u64::MAX } else { 1u64 << (i + 1) };
+                return Duration::from_nanos(hi);
+            }
+        }
+        Duration::from_nanos(u64::MAX)
+    }
+
+    /// Convenience snapshot: (count, mean, p50, p99).
+    pub fn snapshot(&self) -> (u64, Duration, Duration, Duration) {
+        (
+            self.count(),
+            self.mean(),
+            self.quantile(0.5),
+            self.quantile(0.99),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), Duration::ZERO);
+        assert_eq!(h.quantile(0.99), Duration::ZERO);
+    }
+
+    #[test]
+    fn buckets_bound_the_observation() {
+        let h = LatencyHistogram::new();
+        h.record(Duration::from_nanos(1000)); // bucket [512, 1024) -> no, 1000 in [512,1024)? 2^9=512, 2^10=1024
+        let p = h.quantile(1.0);
+        assert!(p >= Duration::from_nanos(1000), "{p:?}");
+        assert!(p <= Duration::from_nanos(2048), "{p:?}");
+    }
+
+    #[test]
+    fn quantiles_are_monotone() {
+        let h = LatencyHistogram::new();
+        for us in [1u64, 10, 100, 1_000, 10_000] {
+            for _ in 0..20 {
+                h.record(Duration::from_micros(us));
+            }
+        }
+        assert_eq!(h.count(), 100);
+        let p50 = h.quantile(0.5);
+        let p90 = h.quantile(0.9);
+        let p99 = h.quantile(0.99);
+        assert!(p50 <= p90 && p90 <= p99, "{p50:?} {p90:?} {p99:?}");
+        // p99 must sit in the top decade.
+        assert!(p99 >= Duration::from_micros(10_000));
+    }
+
+    #[test]
+    fn mean_is_exact_not_bucketed() {
+        let h = LatencyHistogram::new();
+        h.record(Duration::from_nanos(100));
+        h.record(Duration::from_nanos(300));
+        assert_eq!(h.mean(), Duration::from_nanos(200));
+    }
+
+    #[test]
+    fn concurrent_recording() {
+        let h = LatencyHistogram::new();
+        crossbeam::scope(|s| {
+            for _ in 0..4 {
+                let h = &h;
+                s.spawn(move |_| {
+                    for i in 0..10_000u64 {
+                        h.record(Duration::from_nanos(i + 1));
+                    }
+                });
+            }
+        })
+        .expect("threads join");
+        assert_eq!(h.count(), 40_000);
+    }
+}

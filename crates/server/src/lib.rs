@@ -1,0 +1,538 @@
+//! # Simulated distributed deployment
+//!
+//! The paper evaluates on a 74-server cluster, 54 of which store graph data
+//! (Sec. VII-A). Under hash-by-source partitioning each graph server owns a
+//! disjoint set of source vertices and serves updates/samples for them
+//! independently — there is no cross-server coordination on the storage
+//! path. That independence is what makes a single-process simulation
+//! faithful: a [`Cluster`] holds `S` [`GraphServer`] shards running the real
+//! storage engine, routes every request by source-vertex hash exactly as the
+//! production router would, and counts the request/response bytes that
+//! would have crossed the network.
+//!
+//! [`Cluster`] itself implements [`GraphStore`], so the operator layer and
+//! every benchmark can run against "a cluster" without changes.
+
+mod latency;
+
+pub use latency::LatencyHistogram;
+
+use platod2gl_graph::{Edge, EdgeType, GraphStore, UpdateOp, VertexId};
+use platod2gl_storage::{AttributeStore, DynamicGraphStore, StoreConfig};
+use rand::RngCore;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Cluster-level configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ClusterConfig {
+    /// Number of simulated graph servers.
+    pub num_shards: usize,
+    /// Storage configuration applied to every shard.
+    pub store: StoreConfig,
+    /// Worker threads used inside each shard for batched updates.
+    pub threads_per_shard: usize,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        Self {
+            num_shards: 4,
+            store: StoreConfig::default(),
+            threads_per_shard: 1,
+        }
+    }
+}
+
+/// One simulated graph server: the storage engine plus its attribute store.
+pub struct GraphServer {
+    shard_id: usize,
+    topology: DynamicGraphStore,
+    attributes: AttributeStore,
+}
+
+impl GraphServer {
+    /// This server's shard index.
+    pub fn shard_id(&self) -> usize {
+        self.shard_id
+    }
+
+    /// The server's topology store.
+    pub fn topology(&self) -> &DynamicGraphStore {
+        &self.topology
+    }
+
+    /// The server's attribute store.
+    pub fn attributes(&self) -> &AttributeStore {
+        &self.attributes
+    }
+}
+
+/// Network-traffic accounting (what the simulated RPCs would have cost).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TrafficStats {
+    /// RPCs issued to shards.
+    pub requests: u64,
+    /// Bytes sent to shards (ops, query vertices).
+    pub request_bytes: u64,
+    /// Bytes returned from shards (sampled IDs, weights).
+    pub response_bytes: u64,
+}
+
+/// A routing facade over `S` graph servers.
+pub struct Cluster {
+    config: ClusterConfig,
+    servers: Vec<GraphServer>,
+    requests: AtomicU64,
+    request_bytes: AtomicU64,
+    response_bytes: AtomicU64,
+    /// Latency of `sample_neighbors` requests.
+    sample_latency: LatencyHistogram,
+    /// Latency of batched update requests.
+    update_latency: LatencyHistogram,
+}
+
+/// splitmix64, the shard router's hash.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// On-wire size model: one edge op is (src, dst, weight, etype) = 26 bytes.
+const OP_BYTES: u64 = 26;
+/// A sampled-neighbor response entry is a vertex ID.
+const ID_BYTES: u64 = 8;
+
+impl Cluster {
+    /// Boot a cluster.
+    pub fn new(config: ClusterConfig) -> Self {
+        assert!(config.num_shards >= 1);
+        Self {
+            servers: (0..config.num_shards)
+                .map(|shard_id| GraphServer {
+                    shard_id,
+                    topology: DynamicGraphStore::new(config.store),
+                    attributes: AttributeStore::new(),
+                })
+                .collect(),
+            config,
+            requests: AtomicU64::new(0),
+            request_bytes: AtomicU64::new(0),
+            response_bytes: AtomicU64::new(0),
+            sample_latency: LatencyHistogram::new(),
+            update_latency: LatencyHistogram::new(),
+        }
+    }
+
+    /// Boot with defaults (4 shards).
+    pub fn with_defaults() -> Self {
+        Self::new(ClusterConfig::default())
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// Hash-by-source routing: the shard owning vertex `v`'s out-edges.
+    pub fn route(&self, v: VertexId) -> usize {
+        (mix(v.raw()) % self.servers.len() as u64) as usize
+    }
+
+    /// Access a shard directly (diagnostics; production clients only talk
+    /// through the router).
+    pub fn server(&self, shard: usize) -> &GraphServer {
+        &self.servers[shard]
+    }
+
+    /// All shards.
+    pub fn servers(&self) -> &[GraphServer] {
+        &self.servers
+    }
+
+    fn shard_for(&self, v: VertexId) -> &GraphServer {
+        &self.servers[self.route(v)]
+    }
+
+    fn tally(&self, requests: u64, req_bytes: u64, resp_bytes: u64) {
+        self.requests.fetch_add(requests, Ordering::Relaxed);
+        self.request_bytes.fetch_add(req_bytes, Ordering::Relaxed);
+        self.response_bytes.fetch_add(resp_bytes, Ordering::Relaxed);
+    }
+
+    /// Latency histogram of neighbor-sampling requests.
+    pub fn sample_latency(&self) -> &LatencyHistogram {
+        &self.sample_latency
+    }
+
+    /// Latency histogram of batched update requests.
+    pub fn update_latency(&self) -> &LatencyHistogram {
+        &self.update_latency
+    }
+
+    /// Snapshot of simulated network traffic.
+    pub fn traffic(&self) -> TrafficStats {
+        TrafficStats {
+            requests: self.requests.load(Ordering::Relaxed),
+            request_bytes: self.request_bytes.load(Ordering::Relaxed),
+            response_bytes: self.response_bytes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Per-shard edge counts (load-balance diagnostics).
+    pub fn shard_edge_counts(&self) -> Vec<usize> {
+        self.servers.iter().map(|s| s.topology.num_edges()).collect()
+    }
+
+    /// Set a vertex's feature bytes on its owning shard.
+    pub fn set_vertex_attr(&self, v: VertexId, data: bytes::Bytes) {
+        self.tally(1, ID_BYTES + data.len() as u64, 0);
+        self.shard_for(v).attributes.set_vertex(v, data);
+    }
+
+    /// Fetch a vertex's feature bytes from its owning shard.
+    pub fn vertex_attr(&self, v: VertexId) -> Option<bytes::Bytes> {
+        let got = self.shard_for(v).attributes.vertex(v);
+        self.tally(1, ID_BYTES, got.as_ref().map_or(0, |b| b.len() as u64));
+        got
+    }
+
+    /// Batched update across shards: ops are partitioned by owning shard,
+    /// each shard applies its partition with the PALM batch updater, all
+    /// shards in parallel (they are independent machines in production).
+    pub fn apply_batch_sharded(&self, ops: &[UpdateOp]) {
+        let started = std::time::Instant::now();
+        let mut per_shard: Vec<Vec<UpdateOp>> = vec![Vec::new(); self.servers.len()];
+        for op in ops {
+            per_shard[self.route(op.src())].push(*op);
+        }
+        self.tally(
+            per_shard.iter().filter(|p| !p.is_empty()).count() as u64,
+            ops.len() as u64 * OP_BYTES,
+            0,
+        );
+        crossbeam::thread::scope(|s| {
+            for (shard, shard_ops) in self.servers.iter().zip(&per_shard) {
+                if shard_ops.is_empty() {
+                    continue;
+                }
+                let threads = self.config.threads_per_shard;
+                s.spawn(move |_| {
+                    shard
+                        .topology
+                        .apply_batch_parallel(shard_ops, threads.max(1));
+                });
+            }
+        })
+        .expect("shard worker panicked");
+        self.update_latency.record(started.elapsed());
+    }
+
+    /// Time-decay sweep across all shards (each shard in sequence; shards
+    /// are independent so production runs them concurrently).
+    pub fn decay_weights(&self, factor: f64) {
+        for server in &self.servers {
+            server.topology.decay_weights(factor);
+        }
+    }
+
+    /// The `k` heaviest out-neighbors of `v`, heaviest first.
+    pub fn top_k_neighbors(&self, v: VertexId, etype: EdgeType, k: usize) -> Vec<(VertexId, f64)> {
+        self.tally(1, ID_BYTES + 8, (k as u64) * (ID_BYTES + 8));
+        self.shard_for(v).topology.top_k_neighbors(v, etype, k)
+    }
+
+    /// Drop a source vertex's whole out-neighborhood on its owning shard
+    /// (account deletion). Returns the number of edges removed.
+    pub fn delete_source(&self, v: VertexId, etype: EdgeType) -> usize {
+        self.tally(1, ID_BYTES, 8);
+        self.shard_for(v).topology.delete_source(v, etype)
+    }
+
+    /// Snapshot the whole cluster's topology into one stream. The format is
+    /// shard-count independent, so a snapshot taken on 4 shards restores
+    /// onto 8 (re-sharding without re-partitioning tools — the operation
+    /// static stores need a full redeploy for).
+    pub fn snapshot_to(&self, w: impl std::io::Write) -> std::io::Result<()> {
+        let mut entries = Vec::new();
+        for server in &self.servers {
+            entries.extend(server.topology.export_adjacency());
+        }
+        platod2gl_storage::write_snapshot(w, &entries)
+    }
+
+    /// Restore a cluster snapshot, routing every source vertex to its
+    /// owning shard and bulk-loading each shard's trees.
+    pub fn restore_from(&self, r: impl std::io::Read) -> std::io::Result<()> {
+        platod2gl_storage::read_snapshot(r, |batch| {
+            let mut per_shard: Vec<Vec<Edge>> = vec![Vec::new(); self.servers.len()];
+            for e in batch {
+                per_shard[self.route(e.src)].push(e);
+            }
+            for (server, edges) in self.servers.iter().zip(per_shard) {
+                if !edges.is_empty() {
+                    server.topology.bulk_build(edges);
+                }
+            }
+        })
+    }
+
+    /// Aggregate topology memory across shards (Table IV at cluster scope).
+    pub fn total_topology_bytes(&self) -> usize {
+        self.servers
+            .iter()
+            .map(|s| s.topology.topology_bytes())
+            .sum()
+    }
+}
+
+impl GraphStore for Cluster {
+    fn name(&self) -> &'static str {
+        "PlatoD2GL-cluster"
+    }
+
+    fn insert_edge(&self, edge: Edge) {
+        self.tally(1, OP_BYTES, 0);
+        self.shard_for(edge.src).topology.insert_edge(edge);
+    }
+
+    fn delete_edge(&self, src: VertexId, dst: VertexId, etype: EdgeType) -> bool {
+        self.tally(1, OP_BYTES, 1);
+        self.shard_for(src).topology.delete_edge(src, dst, etype)
+    }
+
+    fn update_weight(&self, edge: Edge) -> bool {
+        self.tally(1, OP_BYTES, 1);
+        self.shard_for(edge.src).topology.update_weight(edge)
+    }
+
+    fn apply_batch(&self, ops: &[UpdateOp]) {
+        self.apply_batch_sharded(ops);
+    }
+
+    fn degree(&self, v: VertexId, etype: EdgeType) -> usize {
+        self.tally(1, ID_BYTES, 8);
+        self.shard_for(v).topology.degree(v, etype)
+    }
+
+    fn weight_sum(&self, v: VertexId, etype: EdgeType) -> f64 {
+        self.tally(1, ID_BYTES, 8);
+        self.shard_for(v).topology.weight_sum(v, etype)
+    }
+
+    fn edge_weight(&self, src: VertexId, dst: VertexId, etype: EdgeType) -> Option<f64> {
+        self.tally(1, 2 * ID_BYTES, 8);
+        self.shard_for(src).topology.edge_weight(src, dst, etype)
+    }
+
+    fn sample_neighbors(
+        &self,
+        v: VertexId,
+        etype: EdgeType,
+        k: usize,
+        rng: &mut dyn RngCore,
+    ) -> Vec<VertexId> {
+        let started = std::time::Instant::now();
+        let out = self.shard_for(v).topology.sample_neighbors(v, etype, k, rng);
+        self.tally(1, ID_BYTES + 8, out.len() as u64 * ID_BYTES);
+        self.sample_latency.record(started.elapsed());
+        out
+    }
+
+    fn neighbors(&self, v: VertexId, etype: EdgeType) -> Vec<(VertexId, f64)> {
+        let out = self.shard_for(v).topology.neighbors(v, etype);
+        self.tally(1, ID_BYTES, out.len() as u64 * (ID_BYTES + 8));
+        out
+    }
+
+    fn num_edges(&self) -> usize {
+        self.servers.iter().map(|s| s.topology.num_edges()).sum()
+    }
+
+    fn topology_bytes(&self) -> usize {
+        self.total_topology_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use platod2gl_graph::{conformance, DatasetProfile};
+
+    fn small_cluster() -> Cluster {
+        Cluster::new(ClusterConfig {
+            num_shards: 3,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn conformance_suite() {
+        conformance::run_all(small_cluster);
+    }
+
+    #[test]
+    fn routing_is_stable_and_covers_shards() {
+        let c = Cluster::new(ClusterConfig {
+            num_shards: 8,
+            ..Default::default()
+        });
+        let mut seen = [false; 8];
+        for v in 0..1_000u64 {
+            let r = c.route(VertexId(v));
+            assert_eq!(r, c.route(VertexId(v)), "routing must be deterministic");
+            seen[r] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all shards should receive load");
+    }
+
+    #[test]
+    fn edges_land_on_owner_shards_only() {
+        let c = small_cluster();
+        for e in DatasetProfile::tiny().edge_stream(1) {
+            c.insert_edge(e);
+        }
+        let total: usize = c.shard_edge_counts().iter().sum();
+        assert_eq!(total, c.num_edges());
+        // Every source's edges must be on exactly its routed shard.
+        for src in DatasetProfile::tiny().sample_sources(50, 2) {
+            let owner = c.route(src);
+            for (i, server) in c.servers().iter().enumerate() {
+                let deg = server.topology.degree(src, EdgeType(0));
+                if i == owner {
+                    continue;
+                }
+                assert_eq!(deg, 0, "shard {i} holds foreign vertex {src:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_batches_match_single_store() {
+        let profile = DatasetProfile::tiny();
+        let ops = profile.update_stream(5).next_batch(10_000);
+        let cluster = small_cluster();
+        cluster.apply_batch_sharded(&ops);
+        let single = DynamicGraphStore::new(StoreConfig::default());
+        single.apply_batch(&ops);
+        assert_eq!(cluster.num_edges(), single.num_edges());
+        for src in profile.sample_sources(64, 9) {
+            assert_eq!(
+                cluster.degree(src, EdgeType(0)),
+                single.degree(src, EdgeType(0)),
+                "degree mismatch for {src:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn traffic_accounting_counts_requests() {
+        let c = small_cluster();
+        let before = c.traffic();
+        c.insert_edge(Edge::new(VertexId(1), VertexId(2), 1.0));
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let _ = c.sample_neighbors(VertexId(1), EdgeType(0), 10, &mut rng);
+        let after = c.traffic();
+        assert_eq!(after.requests, before.requests + 2);
+        assert!(after.request_bytes > before.request_bytes);
+        assert!(after.response_bytes >= before.response_bytes + 80);
+    }
+
+    #[test]
+    fn attributes_are_shard_local() {
+        let c = small_cluster();
+        let v = VertexId(77);
+        c.set_vertex_attr(v, bytes::Bytes::from_static(b"feat"));
+        assert_eq!(c.vertex_attr(v).as_deref(), Some(&b"feat"[..]));
+        let owner = c.route(v);
+        for (i, s) in c.servers().iter().enumerate() {
+            let here = s.attributes.vertex(v).is_some();
+            assert_eq!(here, i == owner);
+        }
+        assert_eq!(c.vertex_attr(VertexId(999)), None);
+    }
+
+    #[test]
+    fn delete_source_routes_to_owner() {
+        let c = small_cluster();
+        for i in 0..100u64 {
+            c.insert_edge(Edge::new(VertexId(5), VertexId(1_000 + i), 1.0));
+        }
+        assert_eq!(c.delete_source(VertexId(5), EdgeType(0)), 100);
+        assert_eq!(c.num_edges(), 0);
+        assert_eq!(c.delete_source(VertexId(5), EdgeType(0)), 0);
+    }
+
+    #[test]
+    fn latency_histograms_observe_the_serving_path() {
+        let c = small_cluster();
+        for e in DatasetProfile::tiny().edge_stream(1).take(1_000) {
+            c.insert_edge(e);
+        }
+        assert_eq!(c.sample_latency().count(), 0);
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        for v in DatasetProfile::tiny().sample_sources(32, 2) {
+            let _ = c.sample_neighbors(v, EdgeType(0), 10, &mut rng);
+        }
+        assert_eq!(c.sample_latency().count(), 32);
+        let (_, mean, p50, p99) = c.sample_latency().snapshot();
+        assert!(mean > std::time::Duration::ZERO);
+        assert!(p50 <= p99);
+        c.apply_batch_sharded(&DatasetProfile::tiny().update_stream(3).next_batch(100));
+        assert_eq!(c.update_latency().count(), 1);
+    }
+
+    #[test]
+    fn cluster_snapshot_restores_onto_different_shard_count() {
+        let src_cluster = Cluster::new(ClusterConfig {
+            num_shards: 3,
+            ..Default::default()
+        });
+        let profile = DatasetProfile::tiny();
+        for e in profile.edge_stream(2) {
+            src_cluster.insert_edge(e);
+        }
+        let mut bytes = Vec::new();
+        src_cluster.snapshot_to(&mut bytes).expect("snapshot");
+        let dst_cluster = Cluster::new(ClusterConfig {
+            num_shards: 7,
+            ..Default::default()
+        });
+        dst_cluster.restore_from(bytes.as_slice()).expect("restore");
+        assert_eq!(dst_cluster.num_edges(), src_cluster.num_edges());
+        for v in profile.sample_sources(50, 4) {
+            assert_eq!(
+                dst_cluster.degree(v, EdgeType(0)),
+                src_cluster.degree(v, EdgeType(0)),
+                "degree mismatch at {v:?}"
+            );
+            assert!(
+                (dst_cluster.weight_sum(v, EdgeType(0))
+                    - src_cluster.weight_sum(v, EdgeType(0)))
+                .abs()
+                    < 1e-9
+            );
+        }
+        // Edges live only on their routed shard in the new layout.
+        for server in dst_cluster.servers() {
+            server.topology().check_invariants().expect("invariants");
+        }
+    }
+
+    #[test]
+    fn zipf_load_is_skewed_but_all_shards_used() {
+        let c = Cluster::new(ClusterConfig {
+            num_shards: 4,
+            ..Default::default()
+        });
+        let profile = DatasetProfile::ogbn().scaled_to_edges(20_000);
+        for e in profile.edge_stream(3).with_bidirected(false) {
+            c.insert_edge(e);
+        }
+        let counts = c.shard_edge_counts();
+        assert!(counts.iter().all(|&n| n > 0), "{counts:?}");
+    }
+}

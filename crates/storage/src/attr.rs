@@ -1,0 +1,191 @@
+//! Attribute storage (paper Sec. III: "As for the attribute storage, the
+//! key-value store is used").
+//!
+//! Features are opaque byte blobs (the trainer layer decodes them into
+//! tensors). Unlike topology, attributes are point-looked-up by exact key
+//! and never range-scanned or sampled, so a key-value design has no index
+//! disadvantage here.
+
+use bytes::Bytes;
+use platod2gl_cuckoo::CuckooMap;
+use platod2gl_graph::{EdgeType, VertexId};
+use platod2gl_mem::DeepSize;
+
+/// Wrapper so the cuckoo map can account for blob memory.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct Blob(Bytes);
+
+impl DeepSize for Blob {
+    fn heap_bytes(&self) -> usize {
+        self.0.len()
+    }
+}
+
+/// Edge attribute key.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+struct EdgeKey {
+    src: u64,
+    dst: u64,
+    etype: u16,
+}
+
+impl DeepSize for EdgeKey {
+    fn heap_bytes(&self) -> usize {
+        0
+    }
+}
+
+/// Concurrent attribute store for vertex and edge features.
+#[derive(Default)]
+pub struct AttributeStore {
+    vertex: CuckooMap<u64, Blob>,
+    edge: CuckooMap<EdgeKey, Blob>,
+}
+
+impl AttributeStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Store the feature bytes of a vertex, replacing any previous value.
+    pub fn set_vertex(&self, v: VertexId, data: Bytes) {
+        self.vertex.insert(v.raw(), Blob(data));
+    }
+
+    /// Fetch the feature bytes of a vertex. `Bytes` clones are cheap
+    /// (refcounted), so this returns an owned handle.
+    pub fn vertex(&self, v: VertexId) -> Option<Bytes> {
+        self.vertex.read(&v.raw(), |b| b.0.clone())
+    }
+
+    /// Remove a vertex's features.
+    pub fn remove_vertex(&self, v: VertexId) -> Option<Bytes> {
+        self.vertex.remove(&v.raw()).map(|b| b.0)
+    }
+
+    /// Store the feature bytes of an edge.
+    pub fn set_edge(&self, src: VertexId, dst: VertexId, etype: EdgeType, data: Bytes) {
+        self.edge.insert(
+            EdgeKey {
+                src: src.raw(),
+                dst: dst.raw(),
+                etype: etype.0,
+            },
+            Blob(data),
+        );
+    }
+
+    /// Fetch the feature bytes of an edge.
+    pub fn edge(&self, src: VertexId, dst: VertexId, etype: EdgeType) -> Option<Bytes> {
+        self.edge.read(
+            &EdgeKey {
+                src: src.raw(),
+                dst: dst.raw(),
+                etype: etype.0,
+            },
+            |b| b.0.clone(),
+        )
+    }
+
+    /// Remove an edge's features.
+    pub fn remove_edge(&self, src: VertexId, dst: VertexId, etype: EdgeType) -> Option<Bytes> {
+        self.edge
+            .remove(&EdgeKey {
+                src: src.raw(),
+                dst: dst.raw(),
+                etype: etype.0,
+            })
+            .map(|b| b.0)
+    }
+
+    /// Number of stored vertex features.
+    pub fn num_vertex_attrs(&self) -> usize {
+        self.vertex.len()
+    }
+
+    /// Number of stored edge features.
+    pub fn num_edge_attrs(&self) -> usize {
+        self.edge.len()
+    }
+
+    /// Total heap bytes (blobs plus KV index overhead).
+    pub fn attribute_bytes(&self) -> usize {
+        self.vertex.heap_bytes() + self.edge.heap_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(x: u64) -> VertexId {
+        VertexId(x)
+    }
+
+    #[test]
+    fn vertex_attr_roundtrip() {
+        let store = AttributeStore::new();
+        store.set_vertex(v(1), Bytes::from_static(b"feat1"));
+        store.set_vertex(v(2), Bytes::from_static(b"feat2"));
+        assert_eq!(store.vertex(v(1)).as_deref(), Some(&b"feat1"[..]));
+        assert_eq!(store.vertex(v(3)), None);
+        assert_eq!(store.num_vertex_attrs(), 2);
+        assert_eq!(store.remove_vertex(v(1)).as_deref(), Some(&b"feat1"[..]));
+        assert_eq!(store.vertex(v(1)), None);
+    }
+
+    #[test]
+    fn edge_attr_roundtrip_and_type_separation() {
+        let store = AttributeStore::new();
+        store.set_edge(v(1), v(2), EdgeType(0), Bytes::from_static(b"a"));
+        store.set_edge(v(1), v(2), EdgeType(1), Bytes::from_static(b"b"));
+        assert_eq!(
+            store.edge(v(1), v(2), EdgeType(0)).as_deref(),
+            Some(&b"a"[..])
+        );
+        assert_eq!(
+            store.edge(v(1), v(2), EdgeType(1)).as_deref(),
+            Some(&b"b"[..])
+        );
+        assert_eq!(store.edge(v(2), v(1), EdgeType(0)), None);
+        assert_eq!(store.num_edge_attrs(), 2);
+        assert!(store.remove_edge(v(1), v(2), EdgeType(0)).is_some());
+        assert_eq!(store.num_edge_attrs(), 1);
+    }
+
+    #[test]
+    fn overwrite_replaces_value() {
+        let store = AttributeStore::new();
+        store.set_vertex(v(7), Bytes::from_static(b"old"));
+        store.set_vertex(v(7), Bytes::from_static(b"new"));
+        assert_eq!(store.vertex(v(7)).as_deref(), Some(&b"new"[..]));
+        assert_eq!(store.num_vertex_attrs(), 1);
+    }
+
+    #[test]
+    fn memory_counts_blob_bytes() {
+        let store = AttributeStore::new();
+        let before = store.attribute_bytes();
+        store.set_vertex(v(1), Bytes::from(vec![0u8; 4096]));
+        assert!(store.attribute_bytes() >= before + 4096);
+    }
+
+    #[test]
+    fn concurrent_attribute_writes() {
+        let store = AttributeStore::new();
+        crossbeam::scope(|s| {
+            for t in 0..4u64 {
+                let store = &store;
+                s.spawn(move |_| {
+                    for i in 0..1_000u64 {
+                        store.set_vertex(v(t * 1_000 + i), Bytes::from(vec![t as u8; 16]));
+                    }
+                });
+            }
+        })
+        .expect("threads join");
+        assert_eq!(store.num_vertex_attrs(), 4_000);
+        assert_eq!(store.vertex(v(3_999)).expect("present").len(), 16);
+    }
+}

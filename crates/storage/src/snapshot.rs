@@ -1,0 +1,263 @@
+//! Snapshot / restore for the dynamic topology store.
+//!
+//! The paper's static-storage competitors must "re-partition and re-deploy
+//! from scratch" when graphs change; PlatoD2GL never needs that for
+//! updates, but production deployments still checkpoint so a restarted
+//! graph server can come back without replaying the full edge history.
+//! The snapshot is a compact length-prefixed binary stream; restore feeds
+//! [`DynamicGraphStore::bulk_build`], rebuilding every samtree bottom-up.
+//!
+//! Format (little-endian):
+//!
+//! ```text
+//! magic "PD2GSNAP" | version u32 | entry count u64
+//! per entry: src u64 | etype u16 | degree u32 | degree x (dst u64, weight f64)
+//! ```
+
+use crate::topology::AdjacencyEntry;
+use crate::DynamicGraphStore;
+use platod2gl_graph::{Edge, EdgeType, VertexId};
+use std::io::{self, Read, Write};
+
+const MAGIC: &[u8; 8] = b"PD2GSNAP";
+const VERSION: u32 = 1;
+
+fn bad_data(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+/// Write adjacency entries in the snapshot format (shared by single-store
+/// and cluster snapshots).
+pub fn write_snapshot(
+    mut w: impl Write,
+    entries: &[AdjacencyEntry],
+) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    w.write_all(&(entries.len() as u64).to_le_bytes())?;
+    for ((src, etype), pairs) in entries {
+        w.write_all(&src.to_le_bytes())?;
+        w.write_all(&etype.to_le_bytes())?;
+        w.write_all(&(pairs.len() as u32).to_le_bytes())?;
+        for (dst, weight) in pairs {
+            w.write_all(&dst.to_le_bytes())?;
+            w.write_all(&weight.to_le_bytes())?;
+        }
+    }
+    w.flush()
+}
+
+/// Parse a snapshot stream, feeding edges to `sink` in batches of up to
+/// 8192 (so restore paths can bulk-load without materializing everything).
+pub fn read_snapshot(
+    mut r: impl Read,
+    mut sink: impl FnMut(Vec<Edge>),
+) -> io::Result<()> {
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(bad_data("not a PlatoD2GL snapshot"));
+    }
+    let mut buf4 = [0u8; 4];
+    r.read_exact(&mut buf4)?;
+    let version = u32::from_le_bytes(buf4);
+    if version != VERSION {
+        return Err(bad_data("unsupported snapshot version"));
+    }
+    let mut buf8 = [0u8; 8];
+    r.read_exact(&mut buf8)?;
+    let entries = u64::from_le_bytes(buf8);
+    let mut batch: Vec<Edge> = Vec::with_capacity(8192);
+    for _ in 0..entries {
+        r.read_exact(&mut buf8)?;
+        let src = VertexId(u64::from_le_bytes(buf8));
+        let mut buf2 = [0u8; 2];
+        r.read_exact(&mut buf2)?;
+        let etype = EdgeType(u16::from_le_bytes(buf2));
+        r.read_exact(&mut buf4)?;
+        let degree = u32::from_le_bytes(buf4);
+        for _ in 0..degree {
+            r.read_exact(&mut buf8)?;
+            let dst = VertexId(u64::from_le_bytes(buf8));
+            r.read_exact(&mut buf8)?;
+            let weight = f64::from_le_bytes(buf8);
+            if !weight.is_finite() {
+                return Err(bad_data("non-finite edge weight"));
+            }
+            batch.push(Edge {
+                src,
+                dst,
+                etype,
+                weight,
+            });
+        }
+        if batch.len() >= 8192 {
+            sink(std::mem::take(&mut batch));
+            batch = Vec::with_capacity(8192);
+        }
+    }
+    if !batch.is_empty() {
+        sink(batch);
+    }
+    Ok(())
+}
+
+impl DynamicGraphStore {
+    /// Write a snapshot of the whole topology.
+    ///
+    /// Takes a point-in-time view per source vertex (each samtree is read
+    /// under its own lock); concurrent updates land either before or after
+    /// a vertex's entry, never partially.
+    pub fn snapshot_to(&self, w: impl Write) -> io::Result<()> {
+        write_snapshot(w, &self.export_adjacency())
+    }
+
+    /// Read a snapshot into this (normally empty) store via the bulk-load
+    /// path.
+    pub fn restore_from(&self, r: impl Read) -> io::Result<()> {
+        read_snapshot(r, |batch| self.bulk_build(batch))
+    }
+}
+
+#[cfg(test)]
+mod fuzz {
+    use crate::DynamicGraphStore;
+    use platod2gl_graph::GraphStore;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Arbitrary bytes must never panic the parser — only `Err` out.
+        #[test]
+        fn random_bytes_never_panic(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+            let store = DynamicGraphStore::with_defaults();
+            let _ = store.restore_from(data.as_slice());
+        }
+
+        /// Valid-prefix-then-garbage must never panic either.
+        #[test]
+        fn corrupted_tail_never_panics(
+            cut in 0usize..200,
+            garbage in proptest::collection::vec(any::<u8>(), 0..64),
+        ) {
+            let store = DynamicGraphStore::with_defaults();
+            for i in 0..20u64 {
+                store.insert_edge(platod2gl_graph::Edge::new(
+                    platod2gl_graph::VertexId(i % 3),
+                    platod2gl_graph::VertexId(100 + i),
+                    1.0,
+                ));
+            }
+            let mut bytes = Vec::new();
+            store.snapshot_to(&mut bytes).expect("snapshot");
+            bytes.truncate(cut.min(bytes.len()));
+            bytes.extend(garbage);
+            let fresh = DynamicGraphStore::with_defaults();
+            let _ = fresh.restore_from(bytes.as_slice());
+            // Whatever happened, the store must stay structurally valid.
+            fresh.check_invariants().expect("invariants after bad restore");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::StoreConfig;
+    use platod2gl_graph::{DatasetProfile, GraphStore};
+
+    #[test]
+    fn snapshot_roundtrip_preserves_every_edge() {
+        let profile = DatasetProfile::tiny();
+        let original = DynamicGraphStore::with_defaults();
+        for e in profile.edge_stream(13) {
+            original.insert_edge(e);
+        }
+        let mut bytes = Vec::new();
+        original.snapshot_to(&mut bytes).expect("snapshot");
+        assert!(bytes.len() > 16);
+
+        let restored = DynamicGraphStore::new(StoreConfig::default());
+        restored.restore_from(bytes.as_slice()).expect("restore");
+        assert_eq!(restored.num_edges(), original.num_edges());
+        restored.check_invariants().expect("restored invariants");
+        for src in profile.sample_sources(100, 3) {
+            let mut a = original.neighbors(src, EdgeType(0));
+            let mut b = restored.neighbors(src, EdgeType(0));
+            a.sort_by_key(|(id, _)| id.raw());
+            b.sort_by_key(|(id, _)| id.raw());
+            assert_eq!(a.len(), b.len(), "src {src:?}");
+            for ((ia, wa), (ib, wb)) in a.iter().zip(&b) {
+                assert_eq!(ia, ib);
+                assert!((wa - wb).abs() < 1e-9, "weights must roundtrip exactly");
+            }
+        }
+    }
+
+    #[test]
+    fn restore_can_change_tree_parameters() {
+        // Snapshots carry adjacency, not tree layout: restoring into a
+        // store with different capacity/compression must still work.
+        let original = DynamicGraphStore::with_defaults();
+        for i in 0..5_000u64 {
+            original.insert_edge(Edge::new(VertexId(i % 7), VertexId(1_000 + i), 0.5));
+        }
+        let mut bytes = Vec::new();
+        original.snapshot_to(&mut bytes).expect("snapshot");
+        let restored = DynamicGraphStore::new(StoreConfig {
+            tree: platod2gl_samtree::SamTreeConfig {
+                capacity: 16,
+                alpha: 2,
+                compression: false,
+                leaf_index: platod2gl_samtree::LeafIndex::Fenwick,
+            },
+            ..StoreConfig::default()
+        });
+        restored.restore_from(bytes.as_slice()).expect("restore");
+        assert_eq!(restored.num_edges(), 5_000);
+        restored.check_invariants().expect("invariants");
+    }
+
+    #[test]
+    fn empty_store_snapshot_roundtrip() {
+        let store = DynamicGraphStore::with_defaults();
+        let mut bytes = Vec::new();
+        store.snapshot_to(&mut bytes).expect("snapshot");
+        let restored = DynamicGraphStore::with_defaults();
+        restored.restore_from(bytes.as_slice()).expect("restore");
+        assert_eq!(restored.num_edges(), 0);
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let store = DynamicGraphStore::with_defaults();
+        let err = store
+            .restore_from(&b"NOTASNAPxxxxxxxxxxxx"[..])
+            .expect_err("must reject");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn truncated_stream_is_rejected() {
+        let store = DynamicGraphStore::with_defaults();
+        store.insert_edge(Edge::new(VertexId(1), VertexId(2), 1.0));
+        let mut bytes = Vec::new();
+        store.snapshot_to(&mut bytes).expect("snapshot");
+        bytes.truncate(bytes.len() - 4);
+        let fresh = DynamicGraphStore::with_defaults();
+        assert!(fresh.restore_from(bytes.as_slice()).is_err());
+    }
+
+    #[test]
+    fn non_finite_weight_is_rejected() {
+        let store = DynamicGraphStore::with_defaults();
+        store.insert_edge(Edge::new(VertexId(1), VertexId(2), 1.0));
+        let mut bytes = Vec::new();
+        store.snapshot_to(&mut bytes).expect("snapshot");
+        // Corrupt the weight (last 8 bytes) into a NaN.
+        let n = bytes.len();
+        bytes[n - 8..].copy_from_slice(&f64::NAN.to_le_bytes());
+        let fresh = DynamicGraphStore::with_defaults();
+        let err = fresh.restore_from(bytes.as_slice()).expect_err("reject NaN");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+}

@@ -1,0 +1,851 @@
+//! The samtree-based dynamic topology store (paper Sec. IV-B) and the
+//! PALM-style batch-parallel updater (Sec. VI-B, Appendix B).
+
+use crate::SharedOpStats;
+use parking_lot::RwLock;
+use platod2gl_cuckoo::CuckooMap;
+use platod2gl_graph::{Edge, EdgeType, GraphStore, UpdateOp, VertexId};
+use platod2gl_mem::DeepSize;
+use platod2gl_samtree::{InsertOutcome, OpStats, SamTree, SamTreeConfig};
+use rand::RngCore;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// One exported adjacency entry: `((src, etype), [(dst, weight), ...])`.
+pub type AdjacencyEntry = ((u64, u16), Vec<(u64, f64)>);
+
+/// Configuration of the whole store.
+#[derive(Clone, Copy, Debug)]
+pub struct StoreConfig {
+    /// Samtree tuning (capacity `c`, slackness `α`, CP-ID compression).
+    pub tree: SamTreeConfig,
+    /// Lock shards in the cuckoo directory.
+    pub directory_shards: usize,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        Self {
+            tree: SamTreeConfig::default(),
+            directory_shards: 64,
+        }
+    }
+}
+
+/// Directory key: one samtree per (source vertex, relation).
+///
+/// The paper's Fig. 3 hashmap is keyed by vertex alone on a homogeneous
+/// example; for heterogeneous graphs each relation keeps its own
+/// neighborhood so that typed neighbor sampling never filters.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+struct TreeKey {
+    src: u64,
+    etype: u16,
+}
+
+impl DeepSize for TreeKey {
+    fn heap_bytes(&self) -> usize {
+        0
+    }
+}
+
+/// A shared, independently lockable samtree. The directory shard lock is
+/// held only long enough to clone the `Arc`; tree mutations take the
+/// per-tree `RwLock`, so updates to different source vertices never
+/// serialize on each other, and sampling (read) never blocks sampling.
+#[derive(Clone)]
+pub(crate) struct TreeCell(Arc<RwLock<SamTree>>);
+
+impl TreeCell {
+    fn new() -> Self {
+        TreeCell(Arc::new(RwLock::new(SamTree::new())))
+    }
+}
+
+impl DeepSize for TreeCell {
+    fn heap_bytes(&self) -> usize {
+        std::mem::size_of::<RwLock<SamTree>>() + self.0.read().heap_bytes()
+    }
+}
+
+/// PlatoD2GL's dynamic graph topology store: a concurrent cuckoo directory
+/// of per-vertex samtrees. Implements [`GraphStore`].
+///
+/// ```
+/// use platod2gl_graph::{Edge, EdgeType, GraphStore, VertexId};
+/// use platod2gl_storage::DynamicGraphStore;
+///
+/// let store = DynamicGraphStore::with_defaults();
+/// store.insert_edge(Edge::new(VertexId(1), VertexId(2), 0.3));
+/// store.insert_edge(Edge::new(VertexId(1), VertexId(3), 0.7));
+/// assert_eq!(store.degree(VertexId(1), EdgeType::DEFAULT), 2);
+///
+/// // O(log n) in-place weight update, immediately visible to sampling.
+/// store.update_weight(Edge::new(VertexId(1), VertexId(2), 5.0));
+/// let mut rng = rand::rng();
+/// let picks = store.sample_neighbors(VertexId(1), EdgeType::DEFAULT, 100, &mut rng);
+/// assert!(picks.iter().filter(|v| v.raw() == 2).count() > 50);
+/// ```
+pub struct DynamicGraphStore {
+    config: StoreConfig,
+    directory: CuckooMap<TreeKey, TreeCell>,
+    num_edges: AtomicUsize,
+    stats: SharedOpStats,
+}
+
+impl DynamicGraphStore {
+    /// Create an empty store with the given configuration.
+    pub fn new(config: StoreConfig) -> Self {
+        let tree = config.tree.validated();
+        Self {
+            config: StoreConfig { tree, ..config },
+            directory: CuckooMap::with_shards_and_capacity(config.directory_shards, 1024),
+            num_edges: AtomicUsize::new(0),
+            stats: SharedOpStats::default(),
+        }
+    }
+
+    /// Create with the paper's default parameters (capacity 256, α = 0,
+    /// compression on).
+    pub fn with_defaults() -> Self {
+        Self::new(StoreConfig::default())
+    }
+
+    /// The samtree configuration in effect.
+    pub fn tree_config(&self) -> SamTreeConfig {
+        self.config.tree
+    }
+
+    /// Snapshot of the accumulated samtree operation counters (Table V).
+    pub fn op_stats(&self) -> OpStats {
+        self.stats.snapshot()
+    }
+
+    /// Number of (vertex, relation) entries in the directory, i.e. source
+    /// vertices with at least one historical out-edge.
+    pub fn num_source_entries(&self) -> usize {
+        self.directory.len()
+    }
+
+    fn cell(&self, key: TreeKey) -> Option<TreeCell> {
+        self.directory.read(&key, TreeCell::clone)
+    }
+
+    fn cell_or_create(&self, key: TreeKey) -> TreeCell {
+        self.directory
+            .update_or_insert_with(key, TreeCell::new, |cell| cell.clone())
+    }
+
+    /// Apply every op for one (src, etype) group under a single tree lock.
+    fn apply_group<'a>(&self, key: TreeKey, ops: impl IntoIterator<Item = &'a UpdateOp>) {
+        let cell = self.cell_or_create(key);
+        let cfg = self.config.tree;
+        let mut local = OpStats::default();
+        let mut edge_delta = 0isize;
+        {
+            let mut tree = cell.0.write();
+            // Consecutive inserts are applied through the Appendix-B batch
+            // path (one descent per leaf run, one aggregation rebuild per
+            // node). Updates/deletes flush the run so same-destination op
+            // interleavings keep sequential semantics.
+            let mut run: Vec<(u64, f64)> = Vec::new();
+            let flush = |tree: &mut SamTree, run: &mut Vec<(u64, f64)>,
+                             local: &mut OpStats,
+                             edge_delta: &mut isize| {
+                if run.len() == 1 {
+                    let (id, w) = run[0];
+                    if tree.insert(&cfg, id, w, local) == InsertOutcome::Inserted {
+                        *edge_delta += 1;
+                    }
+                } else if !run.is_empty() {
+                    *edge_delta += tree.insert_batch(&cfg, run, local) as isize;
+                }
+                run.clear();
+            };
+            for op in ops {
+                match op {
+                    UpdateOp::Insert(e) => run.push((e.dst.raw(), e.weight)),
+                    UpdateOp::UpdateWeight(e) => {
+                        flush(&mut tree, &mut run, &mut local, &mut edge_delta);
+                        tree.update_weight(&cfg, e.dst.raw(), e.weight, &mut local);
+                    }
+                    UpdateOp::Delete { dst, .. } => {
+                        flush(&mut tree, &mut run, &mut local, &mut edge_delta);
+                        if tree.delete(&cfg, dst.raw(), &mut local).is_some() {
+                            edge_delta -= 1;
+                        }
+                    }
+                }
+            }
+            flush(&mut tree, &mut run, &mut local, &mut edge_delta);
+        }
+        if edge_delta >= 0 {
+            self.num_edges.fetch_add(edge_delta as usize, Ordering::Relaxed);
+        } else {
+            self.num_edges
+                .fetch_sub((-edge_delta) as usize, Ordering::Relaxed);
+        }
+        self.stats.add(&local);
+    }
+
+    /// The batch-based latch-free concurrent update (Sec. VI-B, App. B).
+    ///
+    /// Phase 1 sorts the batch by (source, relation, destination) and cuts
+    /// it into per-tree groups. Phase 2 assigns each group to exactly one
+    /// worker thread, so every samtree is modified by a single owner without
+    /// per-node latching; within a group the destination ordering clusters
+    /// leaf accesses, and each tree's tables are updated bottom-up by the
+    /// samtree code itself. Groups are dealt round-robin for load balance
+    /// under Zipf-skewed sources.
+    pub fn apply_batch_parallel(&self, ops: &[UpdateOp], threads: usize) {
+        assert!(threads >= 1);
+        // Phase 1: sort and group (App. B "firstly sorts the queries
+        // according to the IDs of vertices and then evenly divides them").
+        let mut sorted: Vec<&UpdateOp> = ops.iter().collect();
+        sorted.sort_by_key(|op| (op.src().raw(), op.etype().0, op.dst().raw()));
+        let groups: Vec<&[&UpdateOp]> = sorted
+            .chunk_by(|a, b| a.src() == b.src() && a.etype() == b.etype())
+            .collect();
+        if threads == 1 || groups.len() <= 1 {
+            for g in &groups {
+                self.apply_group_refs(g);
+            }
+            return;
+        }
+        // Greedy longest-processing-time assignment: Zipf-skewed batches
+        // concentrate a large share of ops on hub sources, so round-robin
+        // would leave one worker with the giant group plus its fair share.
+        let mut order: Vec<usize> = (0..groups.len()).collect();
+        order.sort_by_key(|&i| std::cmp::Reverse(groups[i].len()));
+        let mut assignment: Vec<Vec<usize>> = vec![Vec::new(); threads];
+        let mut load = vec![0usize; threads];
+        for i in order {
+            let t = (0..threads).min_by_key(|&t| load[t]).expect("threads >= 1");
+            load[t] += groups[i].len();
+            assignment[t].push(i);
+        }
+        crossbeam::thread::scope(|s| {
+            for mine in &assignment {
+                let groups = &groups;
+                s.spawn(move |_| {
+                    for &i in mine {
+                        self.apply_group_refs(groups[i]);
+                    }
+                });
+            }
+        })
+        .expect("batch worker panicked");
+    }
+
+    fn apply_group_refs(&self, group: &[&UpdateOp]) {
+        let first = group[0];
+        let key = TreeKey {
+            src: first.src().raw(),
+            etype: first.etype().0,
+        };
+        self.apply_group(key, group.iter().copied());
+    }
+
+    /// Bulk-load an edge collection, building each samtree bottom-up in one
+    /// pass (`SamTree::bulk_load`) instead of edge-at-a-time insertion — the
+    /// snapshot-restore / initial-ingest fast path. Edges for sources that
+    /// already have a tree fall back to incremental inserts.
+    pub fn bulk_build(&self, edges: impl IntoIterator<Item = Edge>) {
+        use std::collections::HashMap;
+        let mut groups: HashMap<TreeKey, Vec<(u64, f64)>> = HashMap::new();
+        for e in edges {
+            groups
+                .entry(TreeKey {
+                    src: e.src.raw(),
+                    etype: e.etype.0,
+                })
+                .or_default()
+                .push((e.dst.raw(), e.weight));
+        }
+        let cfg = self.config.tree;
+        for (key, pairs) in groups {
+            let cell = self.cell_or_create(key);
+            let mut tree = cell.0.write();
+            if tree.is_empty() {
+                *tree = SamTree::bulk_load(&cfg, &pairs);
+                self.num_edges.fetch_add(tree.len(), Ordering::Relaxed);
+            } else {
+                // Source already populated (concurrent writer or repeated
+                // call): fall back to incremental inserts.
+                let mut local = OpStats::default();
+                let mut added = 0usize;
+                for (id, w) in pairs {
+                    if tree.insert(&cfg, id, w, &mut local) == InsertOutcome::Inserted {
+                        added += 1;
+                    }
+                }
+                self.num_edges.fetch_add(added, Ordering::Relaxed);
+                self.stats.add(&local);
+            }
+        }
+    }
+
+    /// Multiply every stored edge weight by `factor` (time-decay sweep for
+    /// real-time recommendation: stale interactions fade, fresh inserts
+    /// arrive at full weight). One `O(n)` pass per tree, taken under each
+    /// tree's own write lock.
+    pub fn decay_weights(&self, factor: f64) {
+        assert!(factor.is_finite() && factor >= 0.0);
+        self.directory.for_each(|_, cell| {
+            cell.0.write().scale_weights(factor);
+        });
+    }
+
+    /// The `k` heaviest out-neighbors of `v`, heaviest first (the
+    /// deterministic "top interests" serving query).
+    pub fn top_k_neighbors(&self, v: VertexId, etype: EdgeType, k: usize) -> Vec<(VertexId, f64)> {
+        self.cell(TreeKey {
+            src: v.raw(),
+            etype: etype.0,
+        })
+        .map_or(Vec::new(), |cell| {
+            cell.0
+                .read()
+                .top_k(k)
+                .into_iter()
+                .map(|(id, w)| (VertexId(id), w))
+                .collect()
+        })
+    }
+
+    /// Drop a source vertex's entire out-neighborhood in one relation
+    /// (account deletion / right-to-be-forgotten). Returns the number of
+    /// edges removed. Concurrent writers racing the removal may land their
+    /// ops on the detached tree and be discarded with it — the same
+    /// semantics as deleting each edge individually while others insert.
+    pub fn delete_source(&self, v: VertexId, etype: EdgeType) -> usize {
+        let Some(cell) = self.directory.remove(&TreeKey {
+            src: v.raw(),
+            etype: etype.0,
+        }) else {
+            return 0;
+        };
+        let mut tree = cell.0.write();
+        let removed = tree.len();
+        *tree = SamTree::new();
+        self.num_edges.fetch_sub(removed, Ordering::Relaxed);
+        removed
+    }
+
+    /// Dump the whole adjacency as `((src, etype), [(dst, weight)])`
+    /// entries (snapshotting and diagnostics). Each tree is read under its
+    /// own lock.
+    pub fn export_adjacency(&self) -> Vec<AdjacencyEntry> {
+        let mut out = Vec::with_capacity(self.directory.len());
+        self.directory.for_each(|key, cell| {
+            let entries = cell.0.read().entries();
+            if !entries.is_empty() {
+                out.push(((key.src, key.etype), entries));
+            }
+        });
+        out
+    }
+
+    /// Per-tree diagnostics: (height, leaf count, internal count) of a
+    /// vertex's samtree.
+    pub fn tree_shape(&self, v: VertexId, etype: EdgeType) -> Option<(usize, usize, usize)> {
+        let cell = self.cell(TreeKey {
+            src: v.raw(),
+            etype: etype.0,
+        })?;
+        let tree = cell.0.read();
+        let (leaves, internals) = tree.node_counts();
+        Some((tree.height(), leaves, internals))
+    }
+
+    /// Validate every samtree's invariants (test support; walks everything).
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let mut err = None;
+        self.directory.for_each(|key, cell| {
+            if err.is_some() {
+                return;
+            }
+            if let Err(e) = cell.0.read().check_invariants(&self.config.tree) {
+                err = Some(format!("tree of src {}: {e}", key.src));
+            }
+        });
+        err.map_or(Ok(()), Err)
+    }
+}
+
+impl GraphStore for DynamicGraphStore {
+    fn name(&self) -> &'static str {
+        "PlatoD2GL"
+    }
+
+    fn insert_edge(&self, edge: Edge) {
+        self.apply_group(
+            TreeKey {
+                src: edge.src.raw(),
+                etype: edge.etype.0,
+            },
+            &[UpdateOp::Insert(edge)],
+        );
+    }
+
+    fn delete_edge(&self, src: VertexId, dst: VertexId, etype: EdgeType) -> bool {
+        let Some(cell) = self.cell(TreeKey {
+            src: src.raw(),
+            etype: etype.0,
+        }) else {
+            return false;
+        };
+        let mut local = OpStats::default();
+        let deleted = cell
+            .0
+            .write()
+            .delete(&self.config.tree, dst.raw(), &mut local)
+            .is_some();
+        if deleted {
+            self.num_edges.fetch_sub(1, Ordering::Relaxed);
+        }
+        self.stats.add(&local);
+        deleted
+    }
+
+    fn update_weight(&self, edge: Edge) -> bool {
+        let Some(cell) = self.cell(TreeKey {
+            src: edge.src.raw(),
+            etype: edge.etype.0,
+        }) else {
+            return false;
+        };
+        let mut local = OpStats::default();
+        let updated =
+            cell.0
+                .write()
+                .update_weight(&self.config.tree, edge.dst.raw(), edge.weight, &mut local);
+        self.stats.add(&local);
+        updated
+    }
+
+    fn apply_batch(&self, ops: &[UpdateOp]) {
+        // Single-threaded batch still benefits from grouping (one lock
+        // acquisition and one stats flush per tree).
+        self.apply_batch_parallel(ops, 1);
+    }
+
+    fn degree(&self, v: VertexId, etype: EdgeType) -> usize {
+        self.cell(TreeKey {
+            src: v.raw(),
+            etype: etype.0,
+        })
+        .map_or(0, |c| c.0.read().len())
+    }
+
+    fn weight_sum(&self, v: VertexId, etype: EdgeType) -> f64 {
+        self.cell(TreeKey {
+            src: v.raw(),
+            etype: etype.0,
+        })
+        .map_or(0.0, |c| c.0.read().total_weight())
+    }
+
+    fn edge_weight(&self, src: VertexId, dst: VertexId, etype: EdgeType) -> Option<f64> {
+        self.cell(TreeKey {
+            src: src.raw(),
+            etype: etype.0,
+        })?
+        .0
+        .read()
+        .get(dst.raw())
+    }
+
+    fn sample_neighbors(
+        &self,
+        v: VertexId,
+        etype: EdgeType,
+        k: usize,
+        rng: &mut dyn RngCore,
+    ) -> Vec<VertexId> {
+        let Some(cell) = self.cell(TreeKey {
+            src: v.raw(),
+            etype: etype.0,
+        }) else {
+            return Vec::new();
+        };
+        let tree = cell.0.read();
+        tree.sample_k(k, rng).into_iter().map(VertexId).collect()
+    }
+
+    fn neighbors(&self, v: VertexId, etype: EdgeType) -> Vec<(VertexId, f64)> {
+        self.cell(TreeKey {
+            src: v.raw(),
+            etype: etype.0,
+        })
+        .map_or(Vec::new(), |c| {
+            c.0.read()
+                .entries()
+                .into_iter()
+                .map(|(id, w)| (VertexId(id), w))
+                .collect()
+        })
+    }
+
+    fn num_edges(&self) -> usize {
+        self.num_edges.load(Ordering::Relaxed)
+    }
+
+    fn topology_bytes(&self) -> usize {
+        self.directory.heap_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use platod2gl_graph::{conformance, DatasetProfile};
+    use platod2gl_samtree::LeafIndex;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_store() -> DynamicGraphStore {
+        DynamicGraphStore::new(StoreConfig {
+            tree: SamTreeConfig {
+                capacity: 8,
+                alpha: 0,
+                compression: true,
+                leaf_index: LeafIndex::Fenwick,
+            },
+            directory_shards: 8,
+        })
+    }
+
+    #[test]
+    fn conformance_suite() {
+        conformance::run_all(small_store);
+    }
+
+    #[test]
+    fn conformance_suite_default_config() {
+        conformance::run_all(DynamicGraphStore::with_defaults);
+    }
+
+    #[test]
+    fn conformance_suite_without_compression() {
+        conformance::run_all(|| {
+            DynamicGraphStore::new(StoreConfig {
+                tree: SamTreeConfig {
+                    capacity: 16,
+                    alpha: 2,
+                    compression: false,
+                    leaf_index: LeafIndex::Fenwick,
+                },
+                directory_shards: 4,
+            })
+        });
+    }
+
+    #[test]
+    fn conformance_suite_cumsum_leaves() {
+        // The ablation variant (CSTable leaves) must be behaviorally
+        // identical — only its maintenance cost differs.
+        conformance::run_all(|| {
+            DynamicGraphStore::new(StoreConfig {
+                tree: SamTreeConfig {
+                    capacity: 8,
+                    alpha: 0,
+                    compression: true,
+                    leaf_index: LeafIndex::CumSum,
+                },
+                directory_shards: 8,
+            })
+        });
+    }
+
+    #[test]
+    fn leaf_index_variants_reach_identical_state() {
+        let profile = DatasetProfile::tiny();
+        let ops = profile.update_stream(55).next_batch(15_000);
+        let mk = |leaf_index| {
+            DynamicGraphStore::new(StoreConfig {
+                tree: SamTreeConfig {
+                    capacity: 16,
+                    alpha: 0,
+                    compression: true,
+                    leaf_index,
+                },
+                directory_shards: 8,
+            })
+        };
+        let fenwick = mk(LeafIndex::Fenwick);
+        let cumsum = mk(LeafIndex::CumSum);
+        fenwick.apply_batch(&ops);
+        cumsum.apply_batch(&ops);
+        assert_eq!(fenwick.num_edges(), cumsum.num_edges());
+        fenwick.check_invariants().expect("fenwick invariants");
+        cumsum.check_invariants().expect("cumsum invariants");
+        for src in profile.sample_sources(64, 8) {
+            let mut a = fenwick.neighbors(src, EdgeType(0));
+            let mut b = cumsum.neighbors(src, EdgeType(0));
+            a.sort_by_key(|(id, _)| id.raw());
+            b.sort_by_key(|(id, _)| id.raw());
+            assert_eq!(a.len(), b.len());
+            for ((ia, wa), (ib, wb)) in a.iter().zip(&b) {
+                assert_eq!(ia, ib);
+                assert!((wa - wb).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_batches_match_sequential() {
+        let profile = DatasetProfile::tiny();
+        let ops = profile.update_stream(77).next_batch(20_000);
+        let par = small_store();
+        let seq = small_store();
+        par.apply_batch_parallel(&ops, 8);
+        for op in &ops {
+            seq.apply(op);
+        }
+        assert_eq!(par.num_edges(), seq.num_edges());
+        par.check_invariants().expect("parallel store invariants");
+        for src in profile.sample_sources(100, 5) {
+            let mut a = par.neighbors(src, EdgeType(0));
+            let mut b = seq.neighbors(src, EdgeType(0));
+            a.sort_by_key(|(id, _)| id.raw());
+            b.sort_by_key(|(id, _)| id.raw());
+            assert_eq!(a.len(), b.len());
+            for ((ia, wa), (ib, wb)) in a.iter().zip(&b) {
+                assert_eq!(ia, ib);
+                assert!((wa - wb).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_disjoint_batches_are_safe() {
+        let store = small_store();
+        let per_thread = 2_000u64;
+        crossbeam::scope(|s| {
+            for t in 0..8u64 {
+                let store = &store;
+                s.spawn(move |_| {
+                    for i in 0..per_thread {
+                        // Each thread owns a disjoint source range.
+                        let src = VertexId(t * 1_000_000 + (i % 50));
+                        let dst = VertexId(i);
+                        store.insert_edge(Edge::new(src, dst, 1.0));
+                    }
+                });
+            }
+        })
+        .expect("threads join");
+        store.check_invariants().expect("invariants");
+        // 8 threads x 50 sources x 40 distinct dsts per source.
+        assert_eq!(store.num_edges(), 8 * 50 * 40);
+    }
+
+    #[test]
+    fn concurrent_same_source_contention_is_safe() {
+        let store = small_store();
+        crossbeam::scope(|s| {
+            for t in 0..8u64 {
+                let store = &store;
+                s.spawn(move |_| {
+                    for i in 0..2_000u64 {
+                        let dst = VertexId(t * 10_000 + i);
+                        store.insert_edge(Edge::new(VertexId(1), dst, 0.5));
+                    }
+                });
+            }
+        })
+        .expect("threads join");
+        assert_eq!(store.num_edges(), 16_000);
+        assert_eq!(store.degree(VertexId(1), EdgeType(0)), 16_000);
+        store.check_invariants().expect("invariants");
+    }
+
+    #[test]
+    fn ingest_profile_and_sample_deep_trees() {
+        let store = DynamicGraphStore::with_defaults();
+        // OGBN at 100k edges keeps ~3.9k distinct destinations, enough for
+        // the Zipf hub to exceed one leaf at capacity 256.
+        let profile = DatasetProfile::ogbn().scaled_to_edges(100_000);
+        for e in profile.edge_stream(1).with_bidirected(false) {
+            store.insert_edge(e);
+        }
+        store.check_invariants().expect("invariants");
+        // The highest-degree sampled source must have a multi-level samtree.
+        let hub = profile
+            .sample_sources(200, 2)
+            .into_iter()
+            .max_by_key(|v| store.degree(*v, EdgeType(0)))
+            .expect("non-empty");
+        let (h, leaves, internals) = store
+            .tree_shape(hub, EdgeType(0))
+            .expect("hub has a samtree");
+        assert!(h >= 2, "hub tree height {h}");
+        assert!(leaves >= 2);
+        assert!(internals >= 1);
+        // Sampling from the hub returns valid neighbors.
+        let mut rng = StdRng::seed_from_u64(8);
+        let samples = store.sample_neighbors(hub, EdgeType(0), 50, &mut rng);
+        assert_eq!(samples.len(), 50);
+        for s in samples {
+            assert!(
+                store.edge_weight(hub, s, EdgeType(0)).is_some(),
+                "sampled non-neighbor {s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn op_stats_land_mostly_on_leaves() {
+        let store = DynamicGraphStore::new(StoreConfig {
+            tree: SamTreeConfig {
+                capacity: 64,
+                alpha: 0,
+                compression: true,
+                leaf_index: LeafIndex::Fenwick,
+            },
+            directory_shards: 8,
+        });
+        let profile = DatasetProfile::tiny();
+        for e in profile.edge_stream(3) {
+            store.insert_edge(e);
+        }
+        let stats = store.op_stats();
+        assert!(stats.leaf_ops > 0);
+        assert!(
+            stats.leaf_fraction() > 0.9,
+            "leaf fraction {}",
+            stats.leaf_fraction()
+        );
+    }
+
+    #[test]
+    fn compression_flag_changes_memory_not_behavior() {
+        let mk = |compression| {
+            let store = DynamicGraphStore::new(StoreConfig {
+                tree: SamTreeConfig {
+                    capacity: 32,
+                    alpha: 0,
+                    compression,
+                    leaf_index: LeafIndex::Fenwick,
+                },
+                directory_shards: 4,
+            });
+            // Clustered destination IDs compress well.
+            for i in 0..20_000u64 {
+                let src = VertexId(i % 20);
+                let dst = VertexId(0x00AB_0000_0000_0000 | i);
+                store.insert_edge(Edge::new(src, dst, 1.0));
+            }
+            store
+        };
+        let on = mk(true);
+        let off = mk(false);
+        assert_eq!(on.num_edges(), off.num_edges());
+        for v in 0..20u64 {
+            assert_eq!(
+                on.degree(VertexId(v), EdgeType(0)),
+                off.degree(VertexId(v), EdgeType(0))
+            );
+        }
+        assert!(
+            (on.topology_bytes() as f64) < off.topology_bytes() as f64 * 0.85,
+            "compressed {} vs plain {}",
+            on.topology_bytes(),
+            off.topology_bytes()
+        );
+    }
+
+    #[test]
+    fn decay_then_fresh_inserts_shift_sampling() {
+        let store = small_store();
+        for i in 0..64u64 {
+            store.insert_edge(Edge::new(VertexId(1), VertexId(100 + i), 1.0));
+        }
+        store.decay_weights(0.01);
+        assert!((store.weight_sum(VertexId(1), EdgeType(0)) - 0.64).abs() < 1e-9);
+        // One fresh full-weight interaction now dominates.
+        store.insert_edge(Edge::new(VertexId(1), VertexId(999), 1.0));
+        let mut rng = StdRng::seed_from_u64(6);
+        let hits = store
+            .sample_neighbors(VertexId(1), EdgeType(0), 200, &mut rng)
+            .into_iter()
+            .filter(|v| v.raw() == 999)
+            .count();
+        assert!(hits > 100, "fresh interest should dominate: {hits}/200");
+        store.check_invariants().expect("invariants after decay");
+    }
+
+    #[test]
+    fn top_k_neighbors_orders_by_weight() {
+        let store = small_store();
+        for i in 0..100u64 {
+            store.insert_edge(Edge::new(VertexId(2), VertexId(i), (i % 10) as f64 + 0.5));
+        }
+        let top = store.top_k_neighbors(VertexId(2), EdgeType(0), 5);
+        assert_eq!(top.len(), 5);
+        assert!(top.windows(2).all(|p| p[0].1 >= p[1].1));
+        assert!((top[0].1 - 9.5).abs() < 1e-9);
+        assert!(store.top_k_neighbors(VertexId(77), EdgeType(0), 5).is_empty());
+    }
+
+    #[test]
+    fn delete_source_drops_whole_neighborhood() {
+        let store = small_store();
+        for i in 0..500u64 {
+            store.insert_edge(Edge::new(VertexId(1), VertexId(100 + i), 1.0));
+            store.insert_edge(Edge::new(VertexId(2), VertexId(100 + i), 1.0));
+        }
+        assert_eq!(store.delete_source(VertexId(1), EdgeType(0)), 500);
+        assert_eq!(store.num_edges(), 500);
+        assert_eq!(store.degree(VertexId(1), EdgeType(0)), 0);
+        assert_eq!(store.degree(VertexId(2), EdgeType(0)), 500);
+        // Idempotent.
+        assert_eq!(store.delete_source(VertexId(1), EdgeType(0)), 0);
+        // The vertex can come back fresh.
+        store.insert_edge(Edge::new(VertexId(1), VertexId(7), 2.0));
+        assert_eq!(store.degree(VertexId(1), EdgeType(0)), 1);
+        store.check_invariants().expect("invariants");
+    }
+
+    #[test]
+    fn bulk_build_matches_incremental() {
+        let profile = DatasetProfile::tiny();
+        let bulk = small_store();
+        bulk.bulk_build(profile.edge_stream(4));
+        let inc = small_store();
+        for e in profile.edge_stream(4) {
+            inc.insert_edge(e);
+        }
+        assert_eq!(bulk.num_edges(), inc.num_edges());
+        bulk.check_invariants().expect("bulk invariants");
+        for src in profile.sample_sources(64, 6) {
+            let mut a = bulk.neighbors(src, EdgeType(0));
+            let mut b = inc.neighbors(src, EdgeType(0));
+            a.sort_by_key(|(id, _)| id.raw());
+            b.sort_by_key(|(id, _)| id.raw());
+            assert_eq!(a.len(), b.len(), "src {src:?}");
+            for ((ia, wa), (ib, wb)) in a.iter().zip(&b) {
+                assert_eq!(ia, ib);
+                assert!((wa - wb).abs() < 1e-6);
+            }
+        }
+        // Repeated bulk call over the same data degrades to updates, not
+        // duplicates.
+        bulk.bulk_build(profile.edge_stream(4));
+        assert_eq!(bulk.num_edges(), inc.num_edges());
+    }
+
+    #[test]
+    fn batch_thread_sweep_is_consistent() {
+        let profile = DatasetProfile::tiny();
+        let ops = profile.update_stream(123).next_batch(8_000);
+        let reference = small_store();
+        reference.apply_batch_parallel(&ops, 1);
+        for threads in [2usize, 4, 16] {
+            let store = small_store();
+            store.apply_batch_parallel(&ops, threads);
+            assert_eq!(store.num_edges(), reference.num_edges(), "threads={threads}");
+        }
+    }
+}

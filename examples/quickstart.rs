@@ -1,0 +1,76 @@
+//! Quickstart: boot a PlatoD2GL system, build a small dynamic graph, sample
+//! neighbors while the graph changes, and inspect memory/operation stats.
+//!
+//! Run with: `cargo run -p platod2gl --release --example quickstart`
+
+use platod2gl::{human_bytes, Edge, EdgeType, GraphStore, PlatoD2GL, VertexId};
+
+fn main() {
+    // A system with 2 simulated graph servers and the paper's default
+    // samtree parameters (capacity 256, alpha 0, CP-ID compression on).
+    let system = PlatoD2GL::builder().num_shards(2).build();
+    let store = system.store();
+
+    // --- Build the paper's Fig. 3 example graph ------------------------
+    let edges = [
+        (1u64, 2u64, 0.1),
+        (1, 3, 0.4),
+        (1, 5, 0.2),
+        (3, 4, 0.6),
+        (3, 7, 0.7),
+    ];
+    for (src, dst, w) in edges {
+        store.insert_edge(Edge::new(VertexId(src), VertexId(dst), w));
+    }
+    println!("built graph with {} edges", store.num_edges());
+    println!(
+        "out-degree of v1 = {}, weight sum = {:.1}",
+        store.degree(VertexId(1), EdgeType::DEFAULT),
+        store.weight_sum(VertexId(1), EdgeType::DEFAULT),
+    );
+
+    // --- Weighted neighbor sampling ------------------------------------
+    // v1's neighbors are {2: 0.1, 3: 0.4, 5: 0.2}; neighbor 3 should be
+    // drawn roughly 4x more often than neighbor 2.
+    let samples = system.neighbor_sample(&[VertexId(1)], EdgeType::DEFAULT, 10_000, 42);
+    let mut counts = std::collections::BTreeMap::new();
+    for v in &samples[0] {
+        *counts.entry(v.raw()).or_insert(0usize) += 1;
+    }
+    println!("10k weighted samples from v1: {counts:?}");
+
+    // --- The graph is dynamic ------------------------------------------
+    // Crank up the weight of edge (1 -> 2); sampling reflects it instantly,
+    // in O(log n) maintenance time instead of PlatoGL's O(n).
+    store.update_weight(Edge::new(VertexId(1), VertexId(2), 10.0));
+    let samples = system.neighbor_sample(&[VertexId(1)], EdgeType::DEFAULT, 10_000, 43);
+    let heavy = samples[0].iter().filter(|v| v.raw() == 2).count();
+    println!("after boosting w(1->2) to 10.0: neighbor 2 drawn {heavy}/10000 times");
+
+    // Delete an edge; it can never be sampled again.
+    store.delete_edge(VertexId(1), VertexId(5), EdgeType::DEFAULT);
+    let samples = system.neighbor_sample(&[VertexId(1)], EdgeType::DEFAULT, 1_000, 44);
+    assert!(samples[0].iter().all(|v| v.raw() != 5));
+    println!("after deleting (1 -> 5): neighbor 5 never sampled again");
+
+    // --- 2-hop subgraph sampling ----------------------------------------
+    let sg = system.subgraph_sample(&[VertexId(1)], EdgeType::DEFAULT, &[3, 3], 45);
+    println!(
+        "2-hop subgraph from v1: layers {:?}, {} sampled edges",
+        sg.layers
+            .iter()
+            .map(|l| l.iter().map(|v| v.raw()).collect::<Vec<_>>())
+            .collect::<Vec<_>>(),
+        sg.edges.len()
+    );
+
+    // --- Introspection ---------------------------------------------------
+    let mem = system.memory_report();
+    let stats = system.op_stats();
+    println!(
+        "topology memory: {} across {} shards; {:.2}% of update ops hit samtree leaves",
+        human_bytes(mem.topology_bytes),
+        mem.per_shard.len(),
+        stats.leaf_fraction() * 100.0
+    );
+}

@@ -1,0 +1,118 @@
+//! Empirical complexity shape for the paper's Table II: FSTable maintenance
+//! must scale like O(log n) while CSTable in-place maintenance scales like
+//! O(n). Rather than fragile wall-clock assertions, the growth test
+//! measures how cost *scales* with n: quadrupling n should roughly
+//! quadruple CSTable update cost but barely move FSTable update cost.
+
+use platod2gl::{CsTable, FsTable};
+use std::time::Instant;
+
+/// Time `iters` executions of `f`, in nanoseconds, best of 3 runs.
+fn best_time(iters: usize, mut f: impl FnMut(usize)) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let t = Instant::now();
+        for i in 0..iters {
+            f(i);
+        }
+        best = best.min(t.elapsed().as_nanos() as f64 / iters as f64);
+    }
+    best
+}
+
+#[test]
+fn inplace_update_scaling_fs_vs_cs() {
+    let small = 1 << 10;
+    let large = 1 << 16; // 64x larger
+    let iters = 4_000;
+
+    let mut fs_small = FsTable::from_weights(&vec![1.0; small]);
+    let mut fs_large = FsTable::from_weights(&vec![1.0; large]);
+    let mut cs_small = CsTable::from_weights(&vec![1.0; small]);
+    let mut cs_large = CsTable::from_weights(&vec![1.0; large]);
+
+    // Update near the front so the CSTable suffix rewrite is ~n long.
+    let fs_s = best_time(iters, |i| fs_small.add(i % 16, 0.001));
+    let fs_l = best_time(iters, |i| fs_large.add(i % 16, 0.001));
+    let cs_s = best_time(iters, |i| cs_small.add(i % 16, 0.001));
+    let cs_l = best_time(iters, |i| cs_large.add(i % 16, 0.001));
+
+    let fs_growth = fs_l / fs_s;
+    let cs_growth = cs_l / cs_s;
+    println!(
+        "in-place update ns/op: FS {fs_s:.0} -> {fs_l:.0} (x{fs_growth:.1}), \
+         CS {cs_s:.0} -> {cs_l:.0} (x{cs_growth:.1})"
+    );
+    // O(n) must grow far faster than O(log n) over a 64x size jump.
+    assert!(
+        cs_growth > fs_growth * 4.0,
+        "CSTable should scale much worse: cs x{cs_growth:.1} vs fs x{fs_growth:.1}"
+    );
+    // And at 64k elements the absolute gap must be wide.
+    assert!(
+        cs_l > fs_l * 8.0,
+        "at n=64k CSTable update should dwarf FSTable: {cs_l:.0} vs {fs_l:.0}"
+    );
+}
+
+#[test]
+fn append_is_cheap_for_both() {
+    // Table II: new insertion is O(1) for ITS (append) and O(log n) for
+    // FTS; both must stay microseconds at 64k elements.
+    let n = 1 << 16;
+    let mut fs = FsTable::from_weights(&vec![1.0; n]);
+    let mut cs = CsTable::from_weights(&vec![1.0; n]);
+    let fs_t = best_time(10_000, |_| fs.push(1.0));
+    let cs_t = best_time(10_000, |_| cs.push(1.0));
+    println!("append ns/op: FS {fs_t:.0}, CS {cs_t:.0}");
+    assert!(fs_t < 3_000.0, "FSTable append too slow: {fs_t}ns");
+    assert!(cs_t < 3_000.0, "CSTable append too slow: {cs_t}ns");
+}
+
+#[test]
+fn sampling_cost_is_logarithmic_for_both() {
+    // Table II: sampling is O(log n) for both methods — growth from 1k to
+    // 64k elements must be far below the 64x of a linear scan.
+    let small = 1 << 10;
+    let large = 1 << 16;
+    let fs_small = FsTable::from_weights(&vec![1.0; small]);
+    let fs_large = FsTable::from_weights(&vec![1.0; large]);
+    let cs_small = CsTable::from_weights(&vec![1.0; small]);
+    let cs_large = CsTable::from_weights(&vec![1.0; large]);
+    let t_fs_s = best_time(20_000, |i| {
+        std::hint::black_box(fs_small.sample_with((i % small) as f64 + 0.5));
+    });
+    let t_fs_l = best_time(20_000, |i| {
+        std::hint::black_box(fs_large.sample_with((i % large) as f64 + 0.5));
+    });
+    let t_cs_s = best_time(20_000, |i| {
+        std::hint::black_box(cs_small.its_search((i % small) as f64 + 0.5));
+    });
+    let t_cs_l = best_time(20_000, |i| {
+        std::hint::black_box(cs_large.its_search((i % large) as f64 + 0.5));
+    });
+    println!(
+        "sample ns/op: FS {t_fs_s:.0} -> {t_fs_l:.0}, CS {t_cs_s:.0} -> {t_cs_l:.0}"
+    );
+    assert!(t_fs_l / t_fs_s < 16.0, "FTS sampling not logarithmic");
+    assert!(t_cs_l / t_cs_s < 16.0, "ITS sampling not logarithmic");
+}
+
+#[test]
+fn deletion_scaling_fs_vs_cs() {
+    // Table II deletion: O(log n) vs O(n). Delete from the front repeatedly.
+    let n = 1 << 15;
+    let mut fs = FsTable::from_weights(&vec![1.0; n]);
+    let mut cs = CsTable::from_weights(&vec![1.0; n]);
+    let fs_t = best_time(2_000, |_| {
+        fs.swap_delete(0);
+    });
+    let cs_t = best_time(2_000, |_| {
+        cs.remove(0);
+    });
+    println!("delete ns/op: FS {fs_t:.0}, CS {cs_t:.0}");
+    assert!(
+        cs_t > fs_t * 8.0,
+        "CSTable deletion should be much slower: {cs_t:.0} vs {fs_t:.0}"
+    );
+}
