@@ -77,23 +77,21 @@ impl GraphStore for AliGraphStore {
             src: edge.src.raw(),
             etype: edge.etype.0,
         };
-        let inserted = self
-            .adj
-            .update_or_insert_with(vkey, AdjList::default, |a| {
-                let inserted = match a.ids.iter().position(|&x| x == edge.dst.raw()) {
-                    Some(i) => {
-                        a.weights[i] = edge.weight;
-                        false
-                    }
-                    None => {
-                        a.ids.push(edge.dst.raw());
-                        a.weights.push(edge.weight);
-                        true
-                    }
-                };
-                a.rebuild_alias(); // O(n) on every change
-                inserted
-            });
+        let inserted = self.adj.update_or_insert_with(vkey, AdjList::default, |a| {
+            let inserted = match a.ids.iter().position(|&x| x == edge.dst.raw()) {
+                Some(i) => {
+                    a.weights[i] = edge.weight;
+                    false
+                }
+                None => {
+                    a.ids.push(edge.dst.raw());
+                    a.weights.push(edge.weight);
+                    true
+                }
+            };
+            a.rebuild_alias(); // O(n) on every change
+            inserted
+        });
         if inserted {
             self.num_edges.fetch_add(1, Ordering::Relaxed);
         }

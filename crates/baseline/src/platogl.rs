@@ -174,13 +174,11 @@ impl GraphStore for PlatoGlStore {
             .meta
             .update_or_insert_with(vkey, VertexMeta::default, |m| {
                 // Existing edge: in-place CSTable rewrite (O(block size)).
-                if let Some((seq, delta)) =
-                    self.with_found_edge(m, src, etype, dst, |b, i| {
-                        let old = b.cs.get(i);
-                        b.cs.set(i, w);
-                        w - old
-                    })
-                {
+                if let Some((seq, delta)) = self.with_found_edge(m, src, etype, dst, |b, i| {
+                    let old = b.cs.get(i);
+                    b.cs.set(i, w);
+                    w - old
+                }) {
                     m.block_sums.add(seq as usize, delta);
                     return false;
                 }
@@ -202,7 +200,8 @@ impl GraphStore for PlatoGlStore {
                     seq = m.num_blocks;
                     m.num_blocks += 1;
                     m.block_sums.push(0.0);
-                    self.blocks.insert(block_key(src, etype, seq), Block::default());
+                    self.blocks
+                        .insert(block_key(src, etype, seq), Block::default());
                 }
                 self.blocks.update(&block_key(src, etype, seq), |b| {
                     b.ids.push(dst);
@@ -253,17 +252,13 @@ impl GraphStore for PlatoGlStore {
         };
         self.meta
             .update(&vkey, |m| {
-                if let Some((seq, delta)) = self.with_found_edge(
-                    m,
-                    edge.src.raw(),
-                    edge.etype.0,
-                    edge.dst.raw(),
-                    |b, i| {
+                if let Some((seq, delta)) =
+                    self.with_found_edge(m, edge.src.raw(), edge.etype.0, edge.dst.raw(), |b, i| {
                         let old = b.cs.get(i);
                         b.cs.set(i, edge.weight); // O(block size)
                         edge.weight - old
-                    },
-                ) {
+                    })
+                {
                     m.block_sums.add(seq as usize, delta);
                     true
                 } else {
@@ -310,7 +305,10 @@ impl GraphStore for PlatoGlStore {
             let hit = self
                 .blocks
                 .read(&key, |b| {
-                    b.ids.iter().position(|&x| x == dst.raw()).map(|i| b.cs.get(i))
+                    b.ids
+                        .iter()
+                        .position(|&x| x == dst.raw())
+                        .map(|i| b.cs.get(i))
                 })
                 .flatten();
             if hit.is_some() {
@@ -382,12 +380,11 @@ impl GraphStore for PlatoGlStore {
         };
         let mut out = Vec::new();
         for seq in 0..num_blocks {
-            self.blocks
-                .read(&block_key(v.raw(), etype.0, seq), |b| {
-                    for (i, &id) in b.ids.iter().enumerate() {
-                        out.push((VertexId(id), b.cs.get(i)));
-                    }
-                });
+            self.blocks.read(&block_key(v.raw(), etype.0, seq), |b| {
+                for (i, &id) in b.ids.iter().enumerate() {
+                    out.push((VertexId(id), b.cs.get(i)));
+                }
+            });
         }
         out
     }
@@ -459,11 +456,7 @@ mod tests {
                 let store = &store;
                 s.spawn(move |_| {
                     for i in 0..2_000u64 {
-                        store.insert_edge(Edge::new(
-                            VertexId(t),
-                            VertexId(1_000 + i),
-                            1.0,
-                        ));
+                        store.insert_edge(Edge::new(VertexId(t), VertexId(1_000 + i), 1.0));
                     }
                 });
             }

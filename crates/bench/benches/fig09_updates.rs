@@ -2,8 +2,8 @@
 //! profile, PlatoGL vs PlatoD2GL, across batch sizes.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use platod2gl_bench::{build_graph, update_batches, Engine};
 use platod2gl::DatasetProfile;
+use platod2gl_bench::{build_graph, update_batches, Engine};
 
 fn bench_updates(c: &mut Criterion) {
     let profile = DatasetProfile::wechat().scaled_to_edges(30_000);

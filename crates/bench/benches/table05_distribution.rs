@@ -9,7 +9,10 @@ use platod2gl_bench::{build_graph, d2gl_with};
 fn bench_distribution(c: &mut Criterion) {
     let profile = DatasetProfile::wechat().scaled_to_edges(30_000);
     println!("\nTable V grid (WeChat @ 30k directed edges):");
-    println!("  {:>9} {:>12} {:>14} {:>8}", "capacity", "leaf ops", "non-leaf ops", "leaf %");
+    println!(
+        "  {:>9} {:>12} {:>14} {:>8}",
+        "capacity", "leaf ops", "non-leaf ops", "leaf %"
+    );
     for capacity in [64usize, 128, 256, 512, 1024] {
         let store = d2gl_with(capacity, 0, true);
         build_graph(&store, &profile, 8);

@@ -2,8 +2,8 @@
 //! are thin wrappers; `report_all` runs everything in paper order.
 
 use crate::{
-    build_graph, d2gl_with, datasets, header, ms, row, scale_edges, time_batches,
-    update_batches, Engine,
+    build_graph, d2gl_with, datasets, header, ms, row, scale_edges, time_batches, update_batches,
+    Engine,
 };
 use platod2gl::{
     human_bytes, CsTable, DatasetProfile, EdgeType, FsTable, GraphStore, NeighborSampler,
@@ -123,11 +123,7 @@ pub fn table02_complexity() {
         let fs_t = t0.elapsed().as_nanos() as f64 / iters as f64;
         row(
             "",
-            &[
-                "delete".into(),
-                format!("{cs_t:.0}"),
-                format!("{fs_t:.0}"),
-            ],
+            &["delete".into(), format!("{cs_t:.0}"), format!("{fs_t:.0}")],
         );
         // Sampling.
         let cs = CsTable::from_weights(&weights);
@@ -145,11 +141,7 @@ pub fn table02_complexity() {
         let fs_t = t0.elapsed().as_nanos() as f64 / iters as f64;
         row(
             "",
-            &[
-                "sample".into(),
-                format!("{cs_t:.0}"),
-                format!("{fs_t:.0}"),
-            ],
+            &["sample".into(), format!("{cs_t:.0}"), format!("{fs_t:.0}")],
         );
     }
     println!("  expectation: ITS in-place/delete grow linearly with n; all else logarithmic");
@@ -210,7 +202,12 @@ pub fn table05_distribution() {
 /// size, per dataset; Fig. 10d-f: 2-hop subgraph sampling.
 pub fn fig10_sampling() {
     let ds = datasets(scale_edges());
-    let engines = [Engine::AliGraph, Engine::PlatoGl, Engine::PlatoD2Gl, Engine::PlatoD2GlNoCp];
+    let engines = [
+        Engine::AliGraph,
+        Engine::PlatoGl,
+        Engine::PlatoD2Gl,
+        Engine::PlatoD2GlNoCp,
+    ];
 
     println!("\n=== Fig. 10a-c: neighbor sampling (50 neighbors), time (ms) vs batch ===");
     for profile in &ds {

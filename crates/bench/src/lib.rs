@@ -124,7 +124,9 @@ pub fn update_batches(
     seed: u64,
 ) -> Vec<Vec<UpdateOp>> {
     let mut stream = profile.update_stream(seed);
-    (0..num_batches).map(|_| stream.next_batch(batch_size)).collect()
+    (0..num_batches)
+        .map(|_| stream.next_batch(batch_size))
+        .collect()
 }
 
 /// Time applying each batch; returns mean per-batch latency.

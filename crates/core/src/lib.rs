@@ -32,19 +32,27 @@
 pub use platod2gl_baseline::{AliGraphStore, PlatoGlConfig, PlatoGlStore};
 pub use platod2gl_fenwick::FsTable;
 pub use platod2gl_gnn::{
-    Adam, AttributeFeatures, DeepWalkConfig, DeepWalkTrainer, EmbeddingTable, FeatureProvider, HashFeatures, Matrix, MetapathSampler,
-    NegativeSampler, NeighborSampler, Node2VecWalker, NodeSampler, RandomWalkSampler, SageNet,
-    SageNetConfig, SampledSubgraph, SubgraphSampler, TrainStats,
+    Adam, AttributeFeatures, DeepWalkConfig, DeepWalkTrainer, EmbeddingTable, FeatureProvider,
+    HashFeatures, Matrix, MetapathSampler, NegativeSampler, NeighborSampler, Node2VecWalker,
+    NodeSampler, RandomWalkSampler, SageNet, SageNetConfig, SampledSubgraph, SubgraphSampler,
+    TrainStats,
 };
 pub use platod2gl_graph::{
-    for_each_edge, read_edge_list, write_edge_list, DatasetProfile, Edge, EdgeType,
-    GraphStore, RelationSpec, UpdateOp, UpdateStream, VertexId, VertexType,
+    for_each_edge, read_edge_list, sanitize_weight, write_edge_list, DatasetProfile, Edge,
+    EdgeType, GraphStore, RelationSpec, Served, ShardHealth, StoreError, UpdateOp, UpdateStream,
+    VertexId, VertexType,
 };
 pub use platod2gl_mem::{human_bytes, DeepSize};
 pub use platod2gl_sampling::{AliasTable, CsTable, WeightedIndex};
 pub use platod2gl_samtree::{LeafIndex, OpStats, SamTree, SamTreeConfig};
-pub use platod2gl_server::{Cluster, ClusterConfig, GraphServer, LatencyHistogram, TrafficStats};
-pub use platod2gl_storage::{AttributeStore, DynamicGraphStore, StoreConfig};
+pub use platod2gl_server::{
+    BatchReport, Cluster, ClusterConfig, FaultInjector, FaultKind, GraphServer, LatencyHistogram,
+    TrafficStats,
+};
+pub use platod2gl_storage::{
+    replay_wal, AttributeStore, DurableGraphStore, DynamicGraphStore, RecoveryReport, StoreConfig,
+    TornTail, TornTailKind, WalReplayReport, SNAPSHOT_VERSION,
+};
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -179,12 +187,16 @@ impl PlatoD2GL {
             offered += 1;
             batch.push(UpdateOp::Insert(e));
             if batch.len() == 8192 {
-                self.cluster.apply_batch_sharded(&batch);
+                self.cluster
+                    .apply_batch_sharded(&batch)
+                    .expect("ingest batch panicked");
                 batch.clear();
             }
         }
         if !batch.is_empty() {
-            self.cluster.apply_batch_sharded(&batch);
+            self.cluster
+                .apply_batch_sharded(&batch)
+                .expect("ingest batch panicked");
         }
         IngestReport {
             edges_offered: offered,
@@ -194,9 +206,10 @@ impl PlatoD2GL {
     }
 
     /// Apply a batch of updates across shards (PALM batch updater inside
-    /// each shard).
+    /// each shard). Shard loss is reported via `store().traffic()` and
+    /// `store().shard_health(..)` rather than a panic.
     pub fn apply_updates(&self, ops: &[UpdateOp]) {
-        self.cluster.apply_batch_sharded(ops);
+        let _ = self.cluster.apply_batch_sharded(ops);
     }
 
     /// Batched weighted neighbor sampling (`k` draws per vertex).

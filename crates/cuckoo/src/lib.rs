@@ -63,10 +63,9 @@ impl<K, V> Bucket<K, V> {
     where
         K: Eq,
     {
-        self.slots.iter().position(|s| {
-            s.as_ref()
-                .is_some_and(|e| e.hash == hash && &e.key == key)
-        })
+        self.slots
+            .iter()
+            .position(|s| s.as_ref().is_some_and(|e| e.hash == hash && &e.key == key))
     }
 }
 
@@ -134,7 +133,9 @@ impl<K: Eq + Hash, V> Shard<K, V> {
         } else {
             return None;
         };
-        self.buckets[hit.0].slots[hit.1].as_mut().map(|e| &mut e.value)
+        self.buckets[hit.0].slots[hit.1]
+            .as_mut()
+            .map(|e| &mut e.value)
     }
 
     fn remove(&mut self, hash: u64, key: &K) -> Option<V> {
@@ -551,15 +552,23 @@ mod tests {
     #[test]
     fn update_or_insert_with_creates_then_reuses() {
         let map: CuckooMap<u64, u64> = CuckooMap::new();
-        let a = map.update_or_insert_with(9, || 100, |v| {
-            *v += 1;
-            *v
-        });
+        let a = map.update_or_insert_with(
+            9,
+            || 100,
+            |v| {
+                *v += 1;
+                *v
+            },
+        );
         assert_eq!(a, 101);
-        let b = map.update_or_insert_with(9, || 100, |v| {
-            *v += 1;
-            *v
-        });
+        let b = map.update_or_insert_with(
+            9,
+            || 100,
+            |v| {
+                *v += 1;
+                *v
+            },
+        );
         assert_eq!(b, 102);
         assert_eq!(map.len(), 1);
     }

@@ -61,7 +61,11 @@ impl EmbeddingTable {
     fn init_row(&self, v: VertexId) -> EmbRow {
         // Deterministic small random init per vertex.
         let mut rng = StdRng::seed_from_u64(self.seed ^ v.raw().wrapping_mul(0x9e3779b97f4a7c15));
-        EmbRow((0..self.dim).map(|_| rng.random_range(-0.05..0.05)).collect())
+        EmbRow(
+            (0..self.dim)
+                .map(|_| rng.random_range(-0.05..0.05))
+                .collect(),
+        )
     }
 
     /// Read (a copy of) a vertex's embedding, initializing it if absent.
@@ -203,7 +207,10 @@ impl DeepWalkTrainer {
                     }
                     loss += self.pair_step(center, ctx, 1.0);
                     pairs += 1;
-                    for neg in self.negatives.sample(store, center, self.cfg.negatives, rng) {
+                    for neg in self
+                        .negatives
+                        .sample(store, center, self.cfg.negatives, rng)
+                    {
                         loss += self.pair_step(center, neg, 0.0);
                         pairs += 1;
                     }
@@ -299,10 +306,10 @@ mod tests {
             trainer.train_epoch(&store, &vertices, &mut rng);
         }
         // Mean intra-clique similarity must exceed cross-clique similarity.
-        let intra = trainer.embeddings.cosine(v(1), v(2))
-            + trainer.embeddings.cosine(v(101), v(102));
-        let cross = trainer.embeddings.cosine(v(1), v(101))
-            + trainer.embeddings.cosine(v(2), v(102));
+        let intra =
+            trainer.embeddings.cosine(v(1), v(2)) + trainer.embeddings.cosine(v(101), v(102));
+        let cross =
+            trainer.embeddings.cosine(v(1), v(101)) + trainer.embeddings.cosine(v(2), v(102));
         assert!(
             intra / 2.0 > cross / 2.0 + 0.1,
             "intra {intra:.3} vs cross {cross:.3}"

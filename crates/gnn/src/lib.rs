@@ -30,7 +30,6 @@ pub use features::{AttributeFeatures, FeatureProvider, HashFeatures};
 pub use nn::{softmax_cross_entropy, Adam, Dense, Matrix};
 pub use ops::{
     MetapathSampler, NegativeSampler, NeighborSampler, Node2VecWalker, NodeSampler,
-    RandomWalkSampler,
-    SampledSubgraph, SubgraphSampler,
+    RandomWalkSampler, SampledSubgraph, SubgraphSampler,
 };
 pub use sage::{SageLayer, SageNet, SageNetConfig, TrainStats};

@@ -200,7 +200,10 @@ impl Matrix {
     /// average into output row `i`. This is GraphSAGE's mean aggregator over
     /// the fixed-fanout children block.
     pub fn group_mean(&self, group: usize) -> Matrix {
-        assert!(group > 0 && self.rows.is_multiple_of(group), "rows not divisible");
+        assert!(
+            group > 0 && self.rows.is_multiple_of(group),
+            "rows not divisible"
+        );
         let out_rows = self.rows / group;
         let mut out = Matrix::zeros(out_rows, self.cols);
         for r in 0..self.rows {

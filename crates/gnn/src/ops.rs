@@ -97,8 +97,7 @@ impl NeighborSampler {
                 let mut out = Vec::with_capacity(target);
                 let mut budget = 8 * self.fanout.max(1);
                 while out.len() < target && budget > 0 {
-                    let draws =
-                        store.sample_neighbors(v, self.etype, target - out.len(), rng);
+                    let draws = store.sample_neighbors(v, self.etype, target - out.len(), rng);
                     if draws.is_empty() {
                         break;
                     }
@@ -303,8 +302,7 @@ impl RandomWalkSampler {
                 let mut cur = seed;
                 for _ in 0..self.length {
                     if self.restart > 0.0 {
-                        let draw =
-                            (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+                        let draw = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
                         if draw < self.restart {
                             cur = seed;
                             walk.push(cur);
@@ -381,19 +379,14 @@ impl Node2VecWalker {
                     // Rejection loop: draw first-order, accept with
                     // probability bias/max_bias.
                     for _ in 0..32 {
-                        let Some(&cand) =
-                            store.sample_neighbors(cur, self.etype, 1, rng).first()
+                        let Some(&cand) = store.sample_neighbors(cur, self.etype, 1, rng).first()
                         else {
                             break 'steps; // dead end
                         };
                         let bias = match prev {
                             None => 1.0, // first hop is unbiased
                             Some(p_v) if cand == p_v => 1.0 / self.p,
-                            Some(p_v)
-                                if store.edge_weight(p_v, cand, self.etype).is_some() =>
-                            {
-                                1.0
-                            }
+                            Some(p_v) if store.edge_weight(p_v, cand, self.etype).is_some() => 1.0,
                             _ => 1.0 / self.q,
                         };
                         let draw = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
@@ -449,8 +442,7 @@ impl NegativeSampler {
         let mut tries = 0usize;
         while out.len() < k && tries < 16 * k.max(1) {
             tries += 1;
-            let cand =
-                self.candidates[(rng.next_u64() % self.candidates.len() as u64) as usize];
+            let cand = self.candidates[(rng.next_u64() % self.candidates.len() as u64) as usize];
             if cand != src && store.edge_weight(src, cand, self.etype).is_none() {
                 out.push(cand);
             }
@@ -609,12 +601,18 @@ mod tests {
             weight: 1.0,
         });
         let mut rng = StdRng::seed_from_u64(6);
-        let layers = MetapathSampler::new(vec![(EdgeType(0), 2), (EdgeType(1), 2)])
-            .sample(&s, &[v(1)], &mut rng);
+        let layers = MetapathSampler::new(vec![(EdgeType(0), 2), (EdgeType(1), 2)]).sample(
+            &s,
+            &[v(1)],
+            &mut rng,
+        );
         assert_eq!(layers[1], vec![v(2)]);
         assert_eq!(layers[2], vec![v(3)]);
-        let layers = MetapathSampler::new(vec![(EdgeType(0), 2), (EdgeType(0), 2)])
-            .sample(&s, &[v(1)], &mut rng);
+        let layers = MetapathSampler::new(vec![(EdgeType(0), 2), (EdgeType(0), 2)]).sample(
+            &s,
+            &[v(1)],
+            &mut rng,
+        );
         assert!(layers[2].is_empty());
     }
 

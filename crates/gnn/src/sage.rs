@@ -411,10 +411,8 @@ mod tests {
         };
         for epoch in 0..15 {
             for chunk in vertices.chunks(64) {
-                let batch_labels: Vec<usize> = chunk
-                    .iter()
-                    .map(|v| labels[v.raw() as usize])
-                    .collect();
+                let batch_labels: Vec<usize> =
+                    chunk.iter().map(|v| labels[v.raw() as usize]).collect();
                 last = net.train_step(&store, &provider, chunk, &batch_labels, &mut rng);
                 first_loss.get_or_insert(last.loss);
             }
@@ -448,11 +446,7 @@ mod tests {
             }
         }
         let preds = net.predict(&store, &provider, &vertices, &mut rng);
-        let correct = preds
-            .iter()
-            .zip(&labels)
-            .filter(|(p, l)| p == l)
-            .count();
+        let correct = preds.iter().zip(&labels).filter(|(p, l)| p == l).count();
         assert!(
             correct as f64 / labels.len() as f64 > 0.85,
             "accuracy {}",
@@ -472,11 +466,21 @@ mod tests {
             ..Default::default()
         });
         let mut rng = StdRng::seed_from_u64(4);
-        let e = net.embed(&store, &provider, &[VertexId(1), VertexId(2), VertexId(3)], &mut rng);
+        let e = net.embed(
+            &store,
+            &provider,
+            &[VertexId(1), VertexId(2), VertexId(3)],
+            &mut rng,
+        );
         assert_eq!((e.rows(), e.cols()), (3, 6));
         // Deterministic under a fixed rng seed.
         let mut rng = StdRng::seed_from_u64(4);
-        let e2 = net.embed(&store, &provider, &[VertexId(1), VertexId(2), VertexId(3)], &mut rng);
+        let e2 = net.embed(
+            &store,
+            &provider,
+            &[VertexId(1), VertexId(2), VertexId(3)],
+            &mut rng,
+        );
         assert_eq!(e, e2);
     }
 

@@ -104,9 +104,7 @@ pub fn sampling_distribution<S: GraphStore>(store: &S) {
         );
     }
     // Sampling a vertex with no out-edges returns nothing.
-    assert!(store
-        .sample_neighbors(v(777), et, 5, &mut rng)
-        .is_empty());
+    assert!(store.sample_neighbors(v(777), et, 5, &mut rng).is_empty());
 }
 
 /// Sampling reflects dynamic changes immediately (the paper's whole point).

@@ -1,0 +1,125 @@
+//! Shard health and degradation types shared by routing layers.
+//!
+//! A production PlatoD2GL deployment spans hundreds of graph servers; the
+//! paper's sharded simulation (`platod2gl-server`) models a shard failing
+//! or slowing down. These types are defined here — next to [`GraphStore`] —
+//! so engine-agnostic callers (trainers, benchmarks) can observe degraded
+//! service without depending on the server crate.
+//!
+//! [`GraphStore`]: crate::GraphStore
+
+use std::fmt;
+
+/// The router's view of one shard.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ShardHealth {
+    /// Serving normally.
+    #[default]
+    Healthy,
+    /// Serving, but recent requests needed retries or returned degraded
+    /// results; updates still apply.
+    Degraded,
+    /// Not serving. Reads against the shard return degraded (empty)
+    /// results; updates are queued until the shard is healed.
+    Failed,
+}
+
+impl ShardHealth {
+    /// Whether requests should be sent to the shard at all.
+    pub fn is_serving(self) -> bool {
+        !matches!(self, ShardHealth::Failed)
+    }
+}
+
+/// A read served by a possibly-degraded cluster: the value plus an explicit
+/// flag telling the caller whether any shard involved failed to answer.
+///
+/// Degraded sampling returns an *empty* neighbor set rather than a panic or
+/// a silently wrong one — GNN training tolerates missing neighborhoods for
+/// a minibatch far better than a crashed trainer (the motivating scenario
+/// for graceful degradation).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Served<T> {
+    pub value: T,
+    /// True when a shard could not answer and `value` is a fallback.
+    pub degraded: bool,
+}
+
+impl<T> Served<T> {
+    /// A normal, full-fidelity response.
+    pub fn ok(value: T) -> Self {
+        Served {
+            value,
+            degraded: false,
+        }
+    }
+
+    /// A fallback response from a failed shard.
+    pub fn degraded(value: T) -> Self {
+        Served {
+            value,
+            degraded: true,
+        }
+    }
+}
+
+/// Errors surfaced by fault-aware storage routers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StoreError {
+    /// The shard is failed (or exhausted its retry budget) and cannot take
+    /// the request.
+    ShardUnavailable { shard: usize },
+    /// A shard worker panicked while applying updates; the shard is marked
+    /// [`ShardHealth::Failed`] and its in-flight ops may be partially
+    /// applied.
+    ShardPanicked { shard: usize, detail: String },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::ShardUnavailable { shard } => {
+                write!(f, "shard {shard} is unavailable")
+            }
+            StoreError::ShardPanicked { shard, detail } => {
+                write!(f, "worker for shard {shard} panicked: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn health_serving_states() {
+        assert!(ShardHealth::Healthy.is_serving());
+        assert!(ShardHealth::Degraded.is_serving());
+        assert!(!ShardHealth::Failed.is_serving());
+        assert_eq!(ShardHealth::default(), ShardHealth::Healthy);
+    }
+
+    #[test]
+    fn served_constructors() {
+        let s = Served::ok(vec![1, 2]);
+        assert!(!s.degraded);
+        let d: Served<Vec<i32>> = Served::degraded(Vec::new());
+        assert!(d.degraded);
+        assert!(d.value.is_empty());
+    }
+
+    #[test]
+    fn error_messages_name_the_shard() {
+        let e = StoreError::ShardUnavailable { shard: 3 };
+        assert!(e.to_string().contains("shard 3"));
+        let p = StoreError::ShardPanicked {
+            shard: 1,
+            detail: "boom".into(),
+        };
+        assert!(p.to_string().contains("shard 1"));
+        assert!(p.to_string().contains("boom"));
+    }
+}

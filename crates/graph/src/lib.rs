@@ -19,11 +19,13 @@
 pub mod conformance;
 mod edgelist;
 mod generator;
+mod health;
 mod profile;
 mod store;
 
 pub use edgelist::{for_each_edge, read_edge_list, write_edge_list};
 pub use generator::{EdgeStream, UpdateStream, ZipfSampler};
+pub use health::{Served, ShardHealth, StoreError};
 pub use profile::{DatasetProfile, RelationSpec};
 pub use store::GraphStore;
 
@@ -37,9 +39,7 @@ use serde::{Deserialize, Serialize};
 /// hexadecimal prefixes): vertices of one type form a contiguous ID range,
 /// so samtree nodes hold IDs with common prefixes that CP-ID compression can
 /// exploit.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct VertexId(pub u64);
 
 impl VertexId {
@@ -84,15 +84,11 @@ impl std::fmt::Display for VertexId {
 }
 
 /// A vertex type tag (user, live-room, tag, …).
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
 pub struct VertexType(pub u16);
 
 /// An edge type tag (relation), e.g. the WeChat dataset's `User-Live`.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
 pub struct EdgeType(pub u16);
 
 impl EdgeType {
@@ -129,6 +125,30 @@ impl Edge {
             etype: self.etype,
             weight: self.weight,
         }
+    }
+}
+
+/// Ingest-boundary policy for edge weights.
+///
+/// Sampling probabilities are `w_{v,u} / w_v`: a single NaN or infinite
+/// weight poisons every weight sum and CDF above it in the samtree, turning
+/// one bad record into corrupted sampling for the whole neighborhood. Every
+/// storage engine therefore sanitizes weights once, at the ingest boundary
+/// (insert / update-weight / batch apply):
+///
+/// * debug builds **assert**, so tests catch the producer of the bad value;
+/// * release builds **clamp** non-finite weights to `0.0` (the edge exists
+///   but is never sampled), preferring a degraded edge over a poisoned
+///   index or a crashed ingest pipeline.
+pub fn sanitize_weight(weight: f64) -> f64 {
+    debug_assert!(
+        weight.is_finite(),
+        "non-finite edge weight {weight} reached the ingest boundary"
+    );
+    if weight.is_finite() {
+        weight
+    } else {
+        0.0
     }
 }
 

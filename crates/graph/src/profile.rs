@@ -332,7 +332,10 @@ mod tests {
     #[test]
     fn scaling_clamps_to_one() {
         let p = DatasetProfile::tiny().scaled(1e-9);
-        assert!(p.relations.iter().all(|r| r.num_src >= 1 && r.num_edges >= 1));
+        assert!(p
+            .relations
+            .iter()
+            .all(|r| r.num_src >= 1 && r.num_edges >= 1));
     }
 
     #[test]

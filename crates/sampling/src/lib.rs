@@ -100,10 +100,7 @@ mod trait_tests {
         ] {
             for (i, f) in freqs.iter().enumerate() {
                 let expected = w[i] / total;
-                assert!(
-                    (f - expected).abs() < 0.02,
-                    "index {i}: {f} vs {expected}"
-                );
+                assert!((f - expected).abs() < 0.02, "index {i}: {f} vs {expected}");
             }
         }
     }

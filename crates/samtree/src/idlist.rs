@@ -360,11 +360,17 @@ mod tests {
         // Differ in the low 2 bytes -> z = 6.
         let list = IdList::from_ids(&[0xAABB_CCDD_EEFF_0001, 0xAABB_CCDD_EEFF_1234], true);
         assert_eq!(list.prefix_len(), 6);
-        assert_eq!(list.to_vec(), vec![0xAABB_CCDD_EEFF_0001, 0xAABB_CCDD_EEFF_1234]);
+        assert_eq!(
+            list.to_vec(),
+            vec![0xAABB_CCDD_EEFF_0001, 0xAABB_CCDD_EEFF_1234]
+        );
         // Differ in byte 4 (0-indexed from the top) -> common 4 bytes -> z = 4.
         let list = IdList::from_ids(&[0xAABB_CCDD_0000_0000, 0xAABB_CCDD_FF00_0000], true);
         assert_eq!(list.prefix_len(), 4);
-        assert_eq!(list.to_vec(), vec![0xAABB_CCDD_0000_0000, 0xAABB_CCDD_FF00_0000]);
+        assert_eq!(
+            list.to_vec(),
+            vec![0xAABB_CCDD_0000_0000, 0xAABB_CCDD_FF00_0000]
+        );
     }
 
     #[test]
@@ -472,12 +478,14 @@ mod proptests {
 
     /// Clustered IDs: a shared random high part with small offsets.
     fn clustered_ids() -> impl Strategy<Value = Vec<u64>> {
-        (any::<u64>(), proptest::collection::vec(0u64..0x1_0000, 1..64)).prop_map(
-            |(base, offs)| {
+        (
+            any::<u64>(),
+            proptest::collection::vec(0u64..0x1_0000, 1..64),
+        )
+            .prop_map(|(base, offs)| {
                 let base = base & 0xffff_ffff_ffff_0000;
                 offs.iter().map(|o| base | o).collect()
-            },
-        )
+            })
     }
 
     proptest! {

@@ -34,7 +34,6 @@ pub use idlist::IdList;
 pub use split::{alpha_split, IdWeight};
 pub use tree::{InsertOutcome, SamTree};
 
-
 /// Which index structure samtree *leaves* use for their weights — the
 /// paper's central design choice, exposed so the ablation can measure it
 /// in situ (Table II microbenchmarks isolate the structures; this isolates

@@ -91,8 +91,8 @@ impl LeafTable {
 
     fn set(&mut self, i: usize, w: f64) {
         match self {
-            LeafTable::Fs(t) => t.set(i, w),   // O(log n)
-            LeafTable::Cs(t) => t.set(i, w),   // O(n)
+            LeafTable::Fs(t) => t.set(i, w), // O(log n)
+            LeafTable::Cs(t) => t.set(i, w), // O(n)
         }
     }
 
@@ -524,7 +524,12 @@ fn insert_batch_rec(
             // Multiway split if the batch overflowed this node.
             let mut siblings = Vec::new();
             if int.children.len() > cfg.capacity {
-                let sizes = even_chunks(int.children.len(), cfg.capacity / 2, cfg.min_fill(), cfg.capacity);
+                let sizes = even_chunks(
+                    int.children.len(),
+                    cfg.capacity / 2,
+                    cfg.min_fill(),
+                    cfg.capacity,
+                );
                 stats.internal_splits += (sizes.len() - 1) as u64;
                 stats.internal_ops += (sizes.len() - 1) as u64;
                 let all_seps = int.seps.to_vec();
@@ -629,7 +634,11 @@ fn delete_node(node: &mut Node, id: u64, cfg: &SamTreeConfig, stats: &mut OpStat
 fn rebalance(int: &mut Internal, j: usize, cfg: &SamTreeConfig, stats: &mut OpStats) {
     stats.merges += 1;
     stats.internal_ops += 1;
-    let sib = if j + 1 < int.children.len() { j + 1 } else { j - 1 };
+    let sib = if j + 1 < int.children.len() {
+        j + 1
+    } else {
+        j - 1
+    };
     let l = j.min(sib);
     let r = j.max(sib);
     let right = int.children.remove(r);
@@ -1080,9 +1089,7 @@ impl SamTree {
                         let (cmin, cmax, cw, cd) = walk(&int.children[j], cfg, false)?;
                         let sep = int.seps.get(j);
                         if sep > cmin {
-                            return Err(format!(
-                                "separator {sep} exceeds child {j} min {cmin}"
-                            ));
+                            return Err(format!("separator {sep} exceeds child {j} min {cmin}"));
                         }
                         if let Some(pm) = prev_max {
                             if cmin <= pm {
@@ -1091,24 +1098,18 @@ impl SamTree {
                                 ));
                             }
                             if sep <= pm {
-                                return Err(format!(
-                                    "separator {sep} not above previous max {pm}"
-                                ));
+                                return Err(format!("separator {sep} not above previous max {pm}"));
                             }
                         }
                         prev_max = Some(cmax);
                         let entry = int.cs.get(j);
                         if (entry - cw).abs() > 1e-6 * (1.0 + cw.abs()) {
-                            return Err(format!(
-                                "cs entry {j} = {entry} != child weight {cw}"
-                            ));
+                            return Err(format!("cs entry {j} = {entry} != child weight {cw}"));
                         }
                         total += cw;
                         match depth {
                             None => depth = Some(cd),
-                            Some(d) if d != cd => {
-                                return Err("leaves at different levels".into())
-                            }
+                            Some(d) if d != cd => return Err("leaves at different levels".into()),
                             _ => {}
                         }
                     }
@@ -1259,10 +1260,8 @@ mod tests {
         let entries = t.entries();
         // Tree order is sorted across leaves but unordered within; compare
         // as a map.
-        let got: BTreeMap<u64, u64> =
-            entries.iter().map(|&(i, w)| (i, w.to_bits())).collect();
-        let want: BTreeMap<u64, u64> =
-            reference.iter().map(|(&i, &w)| (i, w.to_bits())).collect();
+        let got: BTreeMap<u64, u64> = entries.iter().map(|&(i, w)| (i, w.to_bits())).collect();
+        let want: BTreeMap<u64, u64> = reference.iter().map(|(&i, &w)| (i, w.to_bits())).collect();
         assert_eq!(got.len(), want.len());
         for (k, v) in &want {
             let g = got.get(k).copied().unwrap_or(0);

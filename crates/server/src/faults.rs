@@ -1,0 +1,204 @@
+//! Shard fault injection for resilience testing.
+//!
+//! The paper's production deployment runs on 74 servers; at that scale
+//! individual graph servers fail, restart, or brown out routinely, and the
+//! router has to keep serving. [`FaultInjector`] lets tests and benchmarks
+//! script those conditions against the simulated [`Cluster`](crate::Cluster):
+//! hard-fail a shard, make it slow, make the next few requests fail
+//! transiently, or crash its next batch worker.
+//!
+//! The injector only *decides*; the router in `lib.rs` reacts — retrying
+//! transients with backoff, marking shards failed, queueing updates, and
+//! serving degraded reads.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// A scripted fault on one shard.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Hard failure: every request errors until the shard is healed.
+    Failed,
+    /// The next `n` requests fail transiently (each retry consumes one),
+    /// after which the shard recovers by itself.
+    Transient(u32),
+    /// Requests succeed but are delayed by this much (slow shard /
+    /// network brownout).
+    Slow(Duration),
+    /// The next batch-update worker for the shard panics (worker crash);
+    /// reads are unaffected until the crash happens.
+    PanicNextBatch,
+}
+
+/// What the router should do with one request, as decided by the injector.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Verdict {
+    /// No fault: perform the request.
+    Proceed,
+    /// Perform the request after this delay.
+    ProceedAfter(Duration),
+    /// The request failed transiently: retry with backoff.
+    Transient,
+    /// The shard is down: fail the request / queue the update.
+    Unavailable,
+    /// (Batch path only) the worker thread must panic.
+    PanicBatch,
+}
+
+/// Per-shard fault plans, shared with the router.
+///
+/// The fast path is fault-free: a single atomic load when no plan is
+/// active anywhere, so the injector costs nothing on healthy clusters.
+pub struct FaultInjector {
+    plans: Vec<Mutex<Option<FaultKind>>>,
+    active: AtomicUsize,
+}
+
+impl FaultInjector {
+    pub fn new(num_shards: usize) -> Self {
+        FaultInjector {
+            plans: (0..num_shards).map(|_| Mutex::new(None)).collect(),
+            active: AtomicUsize::new(0),
+        }
+    }
+
+    fn set(&self, shard: usize, kind: FaultKind) {
+        let mut plan = self.lock(shard);
+        if plan.is_none() {
+            self.active.fetch_add(1, Ordering::Relaxed);
+        }
+        *plan = Some(kind);
+    }
+
+    fn lock(&self, shard: usize) -> std::sync::MutexGuard<'_, Option<FaultKind>> {
+        self.plans[shard]
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Hard-fail a shard until [`FaultInjector::clear`] (or
+    /// `Cluster::heal_shard`).
+    pub fn fail_shard(&self, shard: usize) {
+        self.set(shard, FaultKind::Failed);
+    }
+
+    /// Delay every request to the shard by `latency`.
+    pub fn slow_shard(&self, shard: usize, latency: Duration) {
+        self.set(shard, FaultKind::Slow(latency));
+    }
+
+    /// Fail the next `n` requests transiently; the shard then recovers.
+    pub fn inject_transient(&self, shard: usize, n: u32) {
+        self.set(shard, FaultKind::Transient(n));
+    }
+
+    /// Crash the shard's next batch-update worker.
+    pub fn panic_next_batch(&self, shard: usize) {
+        self.set(shard, FaultKind::PanicNextBatch);
+    }
+
+    /// Remove any fault plan for the shard.
+    pub fn clear(&self, shard: usize) {
+        let mut plan = self.lock(shard);
+        if plan.take().is_some() {
+            self.active.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+
+    /// The currently scripted fault, if any.
+    pub fn fault(&self, shard: usize) -> Option<FaultKind> {
+        if self.active.load(Ordering::Relaxed) == 0 {
+            return None;
+        }
+        *self.lock(shard)
+    }
+
+    /// Decide one request. `batch` selects whether a pending
+    /// [`FaultKind::PanicNextBatch`] triggers (it only applies to batch
+    /// workers). Transient counters tick down per call; the consuming
+    /// faults clear themselves once spent.
+    pub(crate) fn verdict(&self, shard: usize, batch: bool) -> Verdict {
+        if self.active.load(Ordering::Relaxed) == 0 {
+            return Verdict::Proceed;
+        }
+        let mut plan = self.lock(shard);
+        match *plan {
+            None => Verdict::Proceed,
+            Some(FaultKind::Failed) => Verdict::Unavailable,
+            Some(FaultKind::Slow(d)) => Verdict::ProceedAfter(d),
+            Some(FaultKind::Transient(n)) => {
+                if n <= 1 {
+                    plan.take();
+                    self.active.fetch_sub(1, Ordering::Relaxed);
+                } else {
+                    *plan = Some(FaultKind::Transient(n - 1));
+                }
+                Verdict::Transient
+            }
+            Some(FaultKind::PanicNextBatch) => {
+                if batch {
+                    plan.take();
+                    self.active.fetch_sub(1, Ordering::Relaxed);
+                    Verdict::PanicBatch
+                } else {
+                    Verdict::Proceed
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_fault_means_proceed() {
+        let inj = FaultInjector::new(2);
+        assert_eq!(inj.verdict(0, false), Verdict::Proceed);
+        assert_eq!(inj.verdict(1, true), Verdict::Proceed);
+        assert_eq!(inj.fault(0), None);
+    }
+
+    #[test]
+    fn failed_until_cleared() {
+        let inj = FaultInjector::new(2);
+        inj.fail_shard(1);
+        assert_eq!(inj.verdict(1, false), Verdict::Unavailable);
+        assert_eq!(inj.verdict(1, false), Verdict::Unavailable);
+        assert_eq!(inj.verdict(0, false), Verdict::Proceed, "other shards fine");
+        inj.clear(1);
+        assert_eq!(inj.verdict(1, false), Verdict::Proceed);
+    }
+
+    #[test]
+    fn transient_counts_down_and_self_clears() {
+        let inj = FaultInjector::new(1);
+        inj.inject_transient(0, 2);
+        assert_eq!(inj.verdict(0, false), Verdict::Transient);
+        assert_eq!(inj.verdict(0, false), Verdict::Transient);
+        assert_eq!(inj.verdict(0, false), Verdict::Proceed);
+        assert_eq!(inj.fault(0), None, "transient plan must self-clear");
+    }
+
+    #[test]
+    fn panic_only_fires_on_batch_path_and_once() {
+        let inj = FaultInjector::new(1);
+        inj.panic_next_batch(0);
+        assert_eq!(inj.verdict(0, false), Verdict::Proceed, "reads unaffected");
+        assert_eq!(inj.verdict(0, true), Verdict::PanicBatch);
+        assert_eq!(inj.verdict(0, true), Verdict::Proceed, "one-shot");
+    }
+
+    #[test]
+    fn slow_shard_persists() {
+        let inj = FaultInjector::new(1);
+        let d = Duration::from_millis(2);
+        inj.slow_shard(0, d);
+        assert_eq!(inj.verdict(0, false), Verdict::ProceedAfter(d));
+        assert_eq!(inj.verdict(0, true), Verdict::ProceedAfter(d));
+        inj.clear(0);
+        assert_eq!(inj.verdict(0, false), Verdict::Proceed);
+    }
+}

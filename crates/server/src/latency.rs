@@ -73,7 +73,11 @@ impl LatencyHistogram {
         for (i, b) in self.buckets.iter().enumerate() {
             seen += b.load(Ordering::Relaxed);
             if seen >= target {
-                let hi = if i + 1 >= 64 { u64::MAX } else { 1u64 << (i + 1) };
+                let hi = if i + 1 >= 64 {
+                    u64::MAX
+                } else {
+                    1u64 << (i + 1)
+                };
                 return Duration::from_nanos(hi);
             }
         }

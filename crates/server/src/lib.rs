@@ -12,15 +12,43 @@
 //!
 //! [`Cluster`] itself implements [`GraphStore`], so the operator layer and
 //! every benchmark can run against "a cluster" without changes.
+//!
+//! ## Fault tolerance
+//!
+//! At 74-server scale individual machines fail routinely, so the router
+//! degrades instead of crashing (see DESIGN.md "Durability & failure
+//! model"). A [`FaultInjector`] scripts per-shard faults; the router
+//! reacts:
+//!
+//! * **transient faults** are retried with exponential backoff
+//!   ([`TrafficStats::retried_requests`]);
+//! * **failed shards** serve *degraded* reads — sampling returns an empty
+//!   neighbor set flagged via [`Served::degraded`] instead of panicking —
+//!   and their updates are **queued** ([`TrafficStats::queued_ops`]) until
+//!   [`Cluster::heal_shard`] drains them;
+//! * a **panicking batch worker** is caught per shard
+//!   ([`Cluster::apply_batch_sharded`] returns a `Result`), the shard is
+//!   marked [`ShardHealth::Failed`], and the other shards' work completes.
+//!
+//! Maintenance paths (snapshots, weight decay, attribute access) talk to
+//! shard storage directly and are not fault-routed.
 
+mod faults;
 mod latency;
 
+pub use faults::{FaultInjector, FaultKind};
 pub use latency::LatencyHistogram;
 
-use platod2gl_graph::{Edge, EdgeType, GraphStore, UpdateOp, VertexId};
+use faults::Verdict;
+use platod2gl_graph::{
+    Edge, EdgeType, GraphStore, Served, ShardHealth, StoreError, UpdateOp, VertexId,
+};
 use platod2gl_storage::{AttributeStore, DynamicGraphStore, StoreConfig};
 use rand::RngCore;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
 
 /// Cluster-level configuration.
 #[derive(Clone, Copy, Debug)]
@@ -67,7 +95,8 @@ impl GraphServer {
     }
 }
 
-/// Network-traffic accounting (what the simulated RPCs would have cost).
+/// Network-traffic and fault accounting (what the simulated RPCs would have
+/// cost, and how the cluster coped with faults).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct TrafficStats {
     /// RPCs issued to shards.
@@ -76,15 +105,94 @@ pub struct TrafficStats {
     pub request_bytes: u64,
     /// Bytes returned from shards (sampled IDs, weights).
     pub response_bytes: u64,
+    /// Requests refused because the target shard was failed (or exhausted
+    /// its retry budget).
+    pub failed_requests: u64,
+    /// Individual retry attempts against transiently faulty shards.
+    pub retried_requests: u64,
+    /// Reads answered with a degraded fallback (e.g. empty sample sets).
+    pub degraded_responses: u64,
+    /// Update ops queued against failed shards, awaiting
+    /// [`Cluster::heal_shard`].
+    pub queued_ops: u64,
+}
+
+/// Per-shard router-side state: observed health plus updates parked while
+/// the shard is down.
+struct ShardState {
+    health: AtomicU8,
+    pending: Mutex<Vec<UpdateOp>>,
+}
+
+const HEALTH_HEALTHY: u8 = 0;
+const HEALTH_DEGRADED: u8 = 1;
+const HEALTH_FAILED: u8 = 2;
+
+impl ShardState {
+    fn new() -> Self {
+        ShardState {
+            health: AtomicU8::new(HEALTH_HEALTHY),
+            pending: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn health(&self) -> ShardHealth {
+        match self.health.load(Ordering::Relaxed) {
+            HEALTH_FAILED => ShardHealth::Failed,
+            HEALTH_DEGRADED => ShardHealth::Degraded,
+            _ => ShardHealth::Healthy,
+        }
+    }
+
+    fn set_health(&self, h: ShardHealth) {
+        let v = match h {
+            ShardHealth::Healthy => HEALTH_HEALTHY,
+            ShardHealth::Degraded => HEALTH_DEGRADED,
+            ShardHealth::Failed => HEALTH_FAILED,
+        };
+        self.health.store(v, Ordering::Relaxed);
+    }
+
+    /// Degraded -> Healthy on a clean success (never resurrects Failed).
+    fn mark_success(&self) {
+        let _ = self.health.compare_exchange(
+            HEALTH_DEGRADED,
+            HEALTH_HEALTHY,
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        );
+    }
+
+    fn lock_pending(&self) -> std::sync::MutexGuard<'_, Vec<UpdateOp>> {
+        self.pending
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+/// Outcome of a sharded batch application.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BatchReport {
+    /// Ops applied to healthy shards.
+    pub applied_ops: usize,
+    /// Ops queued because their shard is failed (drained by
+    /// [`Cluster::heal_shard`]).
+    pub queued_ops: usize,
 }
 
 /// A routing facade over `S` graph servers.
 pub struct Cluster {
     config: ClusterConfig,
     servers: Vec<GraphServer>,
+    shard_states: Vec<ShardState>,
+    faults: FaultInjector,
     requests: AtomicU64,
     request_bytes: AtomicU64,
     response_bytes: AtomicU64,
+    failed_requests: AtomicU64,
+    retried_requests: AtomicU64,
+    degraded_responses: AtomicU64,
+    queued_ops: AtomicU64,
     /// Latency of `sample_neighbors` requests.
     sample_latency: LatencyHistogram,
     /// Latency of batched update requests.
@@ -104,6 +212,11 @@ const OP_BYTES: u64 = 26;
 /// A sampled-neighbor response entry is a vertex ID.
 const ID_BYTES: u64 = 8;
 
+/// Retry budget for transient shard faults.
+const MAX_RETRIES: u32 = 3;
+/// Base backoff before the first retry; doubles per attempt.
+const BACKOFF_BASE_MICROS: u64 = 50;
+
 impl Cluster {
     /// Boot a cluster.
     pub fn new(config: ClusterConfig) -> Self {
@@ -116,10 +229,16 @@ impl Cluster {
                     attributes: AttributeStore::new(),
                 })
                 .collect(),
+            shard_states: (0..config.num_shards).map(|_| ShardState::new()).collect(),
+            faults: FaultInjector::new(config.num_shards),
             config,
             requests: AtomicU64::new(0),
             request_bytes: AtomicU64::new(0),
             response_bytes: AtomicU64::new(0),
+            failed_requests: AtomicU64::new(0),
+            retried_requests: AtomicU64::new(0),
+            degraded_responses: AtomicU64::new(0),
+            queued_ops: AtomicU64::new(0),
             sample_latency: LatencyHistogram::new(),
             update_latency: LatencyHistogram::new(),
         }
@@ -151,6 +270,26 @@ impl Cluster {
         &self.servers
     }
 
+    /// The fault injector scripting this cluster's failures.
+    pub fn faults(&self) -> &FaultInjector {
+        &self.faults
+    }
+
+    /// The router's view of one shard's health.
+    pub fn shard_health(&self, shard: usize) -> ShardHealth {
+        self.shard_states[shard].health()
+    }
+
+    /// Health of every shard.
+    pub fn health(&self) -> Vec<ShardHealth> {
+        self.shard_states.iter().map(ShardState::health).collect()
+    }
+
+    /// Update ops currently queued for a failed shard.
+    pub fn pending_ops(&self, shard: usize) -> usize {
+        self.shard_states[shard].lock_pending().len()
+    }
+
     fn shard_for(&self, v: VertexId) -> &GraphServer {
         &self.servers[self.route(v)]
     }
@@ -171,18 +310,115 @@ impl Cluster {
         &self.update_latency
     }
 
-    /// Snapshot of simulated network traffic.
+    /// Snapshot of simulated network traffic and fault counters.
     pub fn traffic(&self) -> TrafficStats {
         TrafficStats {
             requests: self.requests.load(Ordering::Relaxed),
             request_bytes: self.request_bytes.load(Ordering::Relaxed),
             response_bytes: self.response_bytes.load(Ordering::Relaxed),
+            failed_requests: self.failed_requests.load(Ordering::Relaxed),
+            retried_requests: self.retried_requests.load(Ordering::Relaxed),
+            degraded_responses: self.degraded_responses.load(Ordering::Relaxed),
+            queued_ops: self.queued_ops.load(Ordering::Relaxed),
         }
+    }
+
+    /// Run one request against a shard under the fault policy: honor the
+    /// injector's verdict, retry transients with exponential backoff, and
+    /// mark shard health. `Err` means the shard is (now) unavailable.
+    fn call_shard<T>(
+        &self,
+        shard: usize,
+        f: impl FnOnce(&GraphServer) -> T,
+    ) -> Result<T, StoreError> {
+        let state = &self.shard_states[shard];
+        if state.health() == ShardHealth::Failed {
+            self.failed_requests.fetch_add(1, Ordering::Relaxed);
+            return Err(StoreError::ShardUnavailable { shard });
+        }
+        let mut f = Some(f);
+        for attempt in 0..=MAX_RETRIES {
+            match self.faults.verdict(shard, false) {
+                Verdict::Proceed => {
+                    state.mark_success();
+                    return Ok(f.take().expect("closure used once")(&self.servers[shard]));
+                }
+                Verdict::ProceedAfter(delay) => {
+                    std::thread::sleep(delay);
+                    state.mark_success();
+                    return Ok(f.take().expect("closure used once")(&self.servers[shard]));
+                }
+                Verdict::Transient => {
+                    self.retried_requests.fetch_add(1, Ordering::Relaxed);
+                    state.set_health(ShardHealth::Degraded);
+                    std::thread::sleep(Duration::from_micros(backoff_micros(attempt)));
+                }
+                Verdict::Unavailable => {
+                    self.failed_requests.fetch_add(1, Ordering::Relaxed);
+                    state.set_health(ShardHealth::Failed);
+                    return Err(StoreError::ShardUnavailable { shard });
+                }
+                Verdict::PanicBatch => unreachable!("panic faults only fire on the batch path"),
+            }
+        }
+        // Retry budget exhausted: treat the shard as down.
+        self.failed_requests.fetch_add(1, Ordering::Relaxed);
+        state.set_health(ShardHealth::Failed);
+        Err(StoreError::ShardUnavailable { shard })
+    }
+
+    /// Fault-routed read with a degraded fallback value.
+    fn read_or<T>(&self, shard: usize, fallback: T, f: impl FnOnce(&GraphServer) -> T) -> T {
+        match self.call_shard(shard, f) {
+            Ok(v) => v,
+            Err(_) => {
+                self.degraded_responses.fetch_add(1, Ordering::Relaxed);
+                fallback
+            }
+        }
+    }
+
+    /// Queue an update op for a failed shard; drained by
+    /// [`Cluster::heal_shard`].
+    fn queue_op(&self, shard: usize, op: UpdateOp) {
+        self.shard_states[shard].lock_pending().push(op);
+        self.queued_ops.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Apply a routed update op under the fault policy. Returns `false`
+    /// when the op was queued instead of applied.
+    fn apply_routed(&self, op: UpdateOp) -> bool {
+        let shard = self.route(op.src());
+        match self.call_shard(shard, |s| s.topology.apply(&op)) {
+            Ok(()) => true,
+            Err(_) => {
+                self.queue_op(shard, op);
+                false
+            }
+        }
+    }
+
+    /// Clear any scripted fault on a shard, mark it healthy, and drain its
+    /// queued updates through the batch-parallel path. Returns the number
+    /// of drained ops.
+    pub fn heal_shard(&self, shard: usize) -> usize {
+        self.faults.clear(shard);
+        let pending: Vec<UpdateOp> = std::mem::take(&mut *self.shard_states[shard].lock_pending());
+        if !pending.is_empty() {
+            self.servers[shard]
+                .topology
+                .apply_batch_parallel(&pending, self.config.threads_per_shard.max(1));
+        }
+        self.shard_states[shard].set_health(ShardHealth::Healthy);
+        pending.len()
     }
 
     /// Per-shard edge counts (load-balance diagnostics).
     pub fn shard_edge_counts(&self) -> Vec<usize> {
-        self.servers.iter().map(|s| s.topology.num_edges()).collect()
+        self.servers
+            .iter()
+            .map(|s| s.topology.num_edges())
+            .collect()
     }
 
     /// Set a vertex's feature bytes on its owning shard.
@@ -201,7 +437,13 @@ impl Cluster {
     /// Batched update across shards: ops are partitioned by owning shard,
     /// each shard applies its partition with the PALM batch updater, all
     /// shards in parallel (they are independent machines in production).
-    pub fn apply_batch_sharded(&self, ops: &[UpdateOp]) {
+    ///
+    /// Fault handling: a failed shard's partition is queued (see
+    /// [`BatchReport::queued_ops`] and [`Cluster::heal_shard`]); a panicking
+    /// shard worker is caught, the shard is marked
+    /// [`ShardHealth::Failed`], every *other* shard's partition still
+    /// applies, and the panic surfaces as [`StoreError::ShardPanicked`].
+    pub fn apply_batch_sharded(&self, ops: &[UpdateOp]) -> Result<BatchReport, StoreError> {
         let started = std::time::Instant::now();
         let mut per_shard: Vec<Vec<UpdateOp>> = vec![Vec::new(); self.servers.len()];
         for op in ops {
@@ -212,42 +454,196 @@ impl Cluster {
             ops.len() as u64 * OP_BYTES,
             0,
         );
-        crossbeam::thread::scope(|s| {
-            for (shard, shard_ops) in self.servers.iter().zip(&per_shard) {
-                if shard_ops.is_empty() {
-                    continue;
-                }
-                let threads = self.config.threads_per_shard;
-                s.spawn(move |_| {
-                    shard
-                        .topology
-                        .apply_batch_parallel(shard_ops, threads.max(1));
-                });
+
+        // Resolve each shard's fate up front (retrying transients), so the
+        // parallel phase below only runs real work.
+        enum Fate {
+            Apply {
+                delay: Option<Duration>,
+                panic: bool,
+            },
+            Queue,
+        }
+        let mut fates: Vec<Option<Fate>> = Vec::with_capacity(per_shard.len());
+        for (shard, shard_ops) in per_shard.iter().enumerate() {
+            if shard_ops.is_empty() {
+                fates.push(None);
+                continue;
             }
-        })
-        .expect("shard worker panicked");
+            if self.shard_states[shard].health() == ShardHealth::Failed {
+                self.failed_requests.fetch_add(1, Ordering::Relaxed);
+                fates.push(Some(Fate::Queue));
+                continue;
+            }
+            let mut fate = None;
+            for attempt in 0..=MAX_RETRIES {
+                match self.faults.verdict(shard, true) {
+                    Verdict::Proceed => {
+                        fate = Some(Fate::Apply {
+                            delay: None,
+                            panic: false,
+                        });
+                        break;
+                    }
+                    Verdict::ProceedAfter(delay) => {
+                        fate = Some(Fate::Apply {
+                            delay: Some(delay),
+                            panic: false,
+                        });
+                        break;
+                    }
+                    Verdict::PanicBatch => {
+                        fate = Some(Fate::Apply {
+                            delay: None,
+                            panic: true,
+                        });
+                        break;
+                    }
+                    Verdict::Transient => {
+                        self.retried_requests.fetch_add(1, Ordering::Relaxed);
+                        self.shard_states[shard].set_health(ShardHealth::Degraded);
+                        std::thread::sleep(Duration::from_micros(backoff_micros(attempt)));
+                    }
+                    Verdict::Unavailable => {
+                        self.failed_requests.fetch_add(1, Ordering::Relaxed);
+                        self.shard_states[shard].set_health(ShardHealth::Failed);
+                        fate = Some(Fate::Queue);
+                        break;
+                    }
+                }
+            }
+            fates.push(Some(match fate {
+                Some(f) => f,
+                None => {
+                    // Retry budget exhausted.
+                    self.failed_requests.fetch_add(1, Ordering::Relaxed);
+                    self.shard_states[shard].set_health(ShardHealth::Failed);
+                    Fate::Queue
+                }
+            }));
+        }
+
+        let mut report = BatchReport::default();
+        let mut worker_outcomes: Vec<(usize, Result<(), String>)> = Vec::new();
+        std::thread::scope(|s| {
+            let mut handles = Vec::new();
+            for (shard, (shard_ops, fate)) in per_shard.iter().zip(&fates).enumerate() {
+                let Some(fate) = fate else { continue };
+                match fate {
+                    Fate::Queue => {
+                        for op in shard_ops {
+                            self.queue_op(shard, *op);
+                        }
+                        report.queued_ops += shard_ops.len();
+                    }
+                    Fate::Apply { delay, panic } => {
+                        let server = &self.servers[shard];
+                        let threads = self.config.threads_per_shard.max(1);
+                        let (delay, panic) = (*delay, *panic);
+                        handles.push((
+                            shard,
+                            shard_ops.len(),
+                            s.spawn(move || {
+                                // Each worker catches its own panic so one
+                                // crashed shard cannot abort the batch (or
+                                // the process).
+                                std::panic::catch_unwind(AssertUnwindSafe(|| {
+                                    if let Some(d) = delay {
+                                        std::thread::sleep(d);
+                                    }
+                                    if panic {
+                                        panic!(
+                                            "injected fault: shard {shard} batch worker crashed"
+                                        );
+                                    }
+                                    server.topology.apply_batch_parallel(shard_ops, threads);
+                                }))
+                                .map_err(|payload| panic_message(&*payload))
+                            }),
+                        ));
+                    }
+                }
+            }
+            for (shard, n_ops, handle) in handles {
+                let outcome = handle
+                    .join()
+                    .unwrap_or_else(|payload| Err(panic_message(&*payload)));
+                if outcome.is_ok() {
+                    report.applied_ops += n_ops;
+                }
+                worker_outcomes.push((shard, outcome));
+            }
+        });
         self.update_latency.record(started.elapsed());
+
+        let mut first_panic = None;
+        for (shard, outcome) in worker_outcomes {
+            if let Err(detail) = outcome {
+                self.shard_states[shard].set_health(ShardHealth::Failed);
+                self.failed_requests.fetch_add(1, Ordering::Relaxed);
+                if first_panic.is_none() {
+                    first_panic = Some(StoreError::ShardPanicked { shard, detail });
+                }
+            }
+        }
+        match first_panic {
+            Some(e) => Err(e),
+            None => Ok(report),
+        }
     }
 
     /// Time-decay sweep across all shards (each shard in sequence; shards
-    /// are independent so production runs them concurrently).
+    /// are independent so production runs them concurrently). Maintenance
+    /// path: not fault-routed.
     pub fn decay_weights(&self, factor: f64) {
         for server in &self.servers {
             server.topology.decay_weights(factor);
         }
     }
 
-    /// The `k` heaviest out-neighbors of `v`, heaviest first.
+    /// The `k` heaviest out-neighbors of `v`, heaviest first. Empty when
+    /// the owning shard is unavailable.
     pub fn top_k_neighbors(&self, v: VertexId, etype: EdgeType, k: usize) -> Vec<(VertexId, f64)> {
         self.tally(1, ID_BYTES + 8, (k as u64) * (ID_BYTES + 8));
-        self.shard_for(v).topology.top_k_neighbors(v, etype, k)
+        self.read_or(self.route(v), Vec::new(), |s| {
+            s.topology.top_k_neighbors(v, etype, k)
+        })
     }
 
     /// Drop a source vertex's whole out-neighborhood on its owning shard
-    /// (account deletion). Returns the number of edges removed.
+    /// (account deletion). Returns the number of edges removed — `0` if the
+    /// shard is unavailable (the caller must re-issue after
+    /// [`Cluster::heal_shard`]; bulk deletion is not queueable as update
+    /// ops).
     pub fn delete_source(&self, v: VertexId, etype: EdgeType) -> usize {
         self.tally(1, ID_BYTES, 8);
-        self.shard_for(v).topology.delete_source(v, etype)
+        self.read_or(self.route(v), 0, |s| s.topology.delete_source(v, etype))
+    }
+
+    /// Weighted neighbor sampling with explicit degradation: if the owning
+    /// shard cannot answer (failed, or exhausted its retry budget), the
+    /// result is an **empty** sample flagged [`Served::degraded`] — the
+    /// trainer skips the neighborhood instead of crashing.
+    pub fn sample_neighbors_detailed(
+        &self,
+        v: VertexId,
+        etype: EdgeType,
+        k: usize,
+        rng: &mut dyn RngCore,
+    ) -> Served<Vec<VertexId>> {
+        let started = std::time::Instant::now();
+        let shard = self.route(v);
+        let served = match self.call_shard(shard, |s| s.topology.sample_neighbors(v, etype, k, rng))
+        {
+            Ok(ids) => Served::ok(ids),
+            Err(_) => {
+                self.degraded_responses.fetch_add(1, Ordering::Relaxed);
+                Served::degraded(Vec::new())
+            }
+        };
+        self.tally(1, ID_BYTES + 8, served.value.len() as u64 * ID_BYTES);
+        self.sample_latency.record(started.elapsed());
+        served
     }
 
     /// Snapshot the whole cluster's topology into one stream. The format is
@@ -287,6 +683,22 @@ impl Cluster {
     }
 }
 
+/// Exponential backoff schedule for transient-fault retries.
+fn backoff_micros(attempt: u32) -> u64 {
+    BACKOFF_BASE_MICROS << attempt.min(6)
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 impl GraphStore for Cluster {
     fn name(&self) -> &'static str {
         "PlatoD2GL-cluster"
@@ -294,36 +706,57 @@ impl GraphStore for Cluster {
 
     fn insert_edge(&self, edge: Edge) {
         self.tally(1, OP_BYTES, 0);
-        self.shard_for(edge.src).topology.insert_edge(edge);
+        self.apply_routed(UpdateOp::Insert(edge));
     }
 
     fn delete_edge(&self, src: VertexId, dst: VertexId, etype: EdgeType) -> bool {
         self.tally(1, OP_BYTES, 1);
-        self.shard_for(src).topology.delete_edge(src, dst, etype)
+        let shard = self.route(src);
+        match self.call_shard(shard, |s| s.topology.delete_edge(src, dst, etype)) {
+            Ok(existed) => existed,
+            Err(_) => {
+                // Queued for the healed shard; existence is unknown now.
+                self.queue_op(shard, UpdateOp::Delete { src, dst, etype });
+                false
+            }
+        }
     }
 
     fn update_weight(&self, edge: Edge) -> bool {
         self.tally(1, OP_BYTES, 1);
-        self.shard_for(edge.src).topology.update_weight(edge)
+        let shard = self.route(edge.src);
+        match self.call_shard(shard, |s| s.topology.update_weight(edge)) {
+            Ok(existed) => existed,
+            Err(_) => {
+                self.queue_op(shard, UpdateOp::UpdateWeight(edge));
+                false
+            }
+        }
     }
 
     fn apply_batch(&self, ops: &[UpdateOp]) {
-        self.apply_batch_sharded(ops);
+        // The infallible trait signature reports shard loss via
+        // `shard_health` / `traffic()` instead of a panic: a worker panic
+        // is already captured per shard and recorded by the time
+        // apply_batch_sharded returns.
+        let _ = self.apply_batch_sharded(ops);
     }
 
     fn degree(&self, v: VertexId, etype: EdgeType) -> usize {
         self.tally(1, ID_BYTES, 8);
-        self.shard_for(v).topology.degree(v, etype)
+        self.read_or(self.route(v), 0, |s| s.topology.degree(v, etype))
     }
 
     fn weight_sum(&self, v: VertexId, etype: EdgeType) -> f64 {
         self.tally(1, ID_BYTES, 8);
-        self.shard_for(v).topology.weight_sum(v, etype)
+        self.read_or(self.route(v), 0.0, |s| s.topology.weight_sum(v, etype))
     }
 
     fn edge_weight(&self, src: VertexId, dst: VertexId, etype: EdgeType) -> Option<f64> {
         self.tally(1, 2 * ID_BYTES, 8);
-        self.shard_for(src).topology.edge_weight(src, dst, etype)
+        self.read_or(self.route(src), None, |s| {
+            s.topology.edge_weight(src, dst, etype)
+        })
     }
 
     fn sample_neighbors(
@@ -333,15 +766,13 @@ impl GraphStore for Cluster {
         k: usize,
         rng: &mut dyn RngCore,
     ) -> Vec<VertexId> {
-        let started = std::time::Instant::now();
-        let out = self.shard_for(v).topology.sample_neighbors(v, etype, k, rng);
-        self.tally(1, ID_BYTES + 8, out.len() as u64 * ID_BYTES);
-        self.sample_latency.record(started.elapsed());
-        out
+        self.sample_neighbors_detailed(v, etype, k, rng).value
     }
 
     fn neighbors(&self, v: VertexId, etype: EdgeType) -> Vec<(VertexId, f64)> {
-        let out = self.shard_for(v).topology.neighbors(v, etype);
+        let out = self.read_or(self.route(v), Vec::new(), |s| {
+            s.topology.neighbors(v, etype)
+        });
         self.tally(1, ID_BYTES, out.len() as u64 * (ID_BYTES + 8));
         out
     }
@@ -359,6 +790,7 @@ impl GraphStore for Cluster {
 mod tests {
     use super::*;
     use platod2gl_graph::{conformance, DatasetProfile};
+    use rand::SeedableRng;
 
     fn small_cluster() -> Cluster {
         Cluster::new(ClusterConfig {
@@ -413,7 +845,9 @@ mod tests {
         let profile = DatasetProfile::tiny();
         let ops = profile.update_stream(5).next_batch(10_000);
         let cluster = small_cluster();
-        cluster.apply_batch_sharded(&ops);
+        let report = cluster.apply_batch_sharded(&ops).expect("no faults");
+        assert_eq!(report.applied_ops, ops.len());
+        assert_eq!(report.queued_ops, 0);
         let single = DynamicGraphStore::new(StoreConfig::default());
         single.apply_batch(&ops);
         assert_eq!(cluster.num_edges(), single.num_edges());
@@ -431,13 +865,14 @@ mod tests {
         let c = small_cluster();
         let before = c.traffic();
         c.insert_edge(Edge::new(VertexId(1), VertexId(2), 1.0));
-        use rand::SeedableRng;
         let mut rng = rand::rngs::StdRng::seed_from_u64(0);
         let _ = c.sample_neighbors(VertexId(1), EdgeType(0), 10, &mut rng);
         let after = c.traffic();
         assert_eq!(after.requests, before.requests + 2);
         assert!(after.request_bytes > before.request_bytes);
         assert!(after.response_bytes >= before.response_bytes + 80);
+        assert_eq!(after.failed_requests, 0);
+        assert_eq!(after.degraded_responses, 0);
     }
 
     #[test]
@@ -472,7 +907,6 @@ mod tests {
             c.insert_edge(e);
         }
         assert_eq!(c.sample_latency().count(), 0);
-        use rand::SeedableRng;
         let mut rng = rand::rngs::StdRng::seed_from_u64(1);
         for v in DatasetProfile::tiny().sample_sources(32, 2) {
             let _ = c.sample_neighbors(v, EdgeType(0), 10, &mut rng);
@@ -481,7 +915,8 @@ mod tests {
         let (_, mean, p50, p99) = c.sample_latency().snapshot();
         assert!(mean > std::time::Duration::ZERO);
         assert!(p50 <= p99);
-        c.apply_batch_sharded(&DatasetProfile::tiny().update_stream(3).next_batch(100));
+        c.apply_batch_sharded(&DatasetProfile::tiny().update_stream(3).next_batch(100))
+            .expect("no faults");
         assert_eq!(c.update_latency().count(), 1);
     }
 
@@ -510,9 +945,8 @@ mod tests {
                 "degree mismatch at {v:?}"
             );
             assert!(
-                (dst_cluster.weight_sum(v, EdgeType(0))
-                    - src_cluster.weight_sum(v, EdgeType(0)))
-                .abs()
+                (dst_cluster.weight_sum(v, EdgeType(0)) - src_cluster.weight_sum(v, EdgeType(0)))
+                    .abs()
                     < 1e-9
             );
         }
@@ -534,5 +968,193 @@ mod tests {
         }
         let counts = c.shard_edge_counts();
         assert!(counts.iter().all(|&n| n > 0), "{counts:?}");
+    }
+
+    // ------------------------------------------------------------------
+    // Fault injection
+    // ------------------------------------------------------------------
+
+    /// A vertex owned by the given shard of `c`.
+    fn vertex_on_shard(c: &Cluster, shard: usize) -> VertexId {
+        (0..)
+            .map(VertexId)
+            .find(|v| c.route(*v) == shard)
+            .expect("some vertex routes to every shard")
+    }
+
+    #[test]
+    fn failed_shard_serves_degraded_samples_not_panics() {
+        let c = Cluster::new(ClusterConfig {
+            num_shards: 4,
+            ..Default::default()
+        });
+        for e in DatasetProfile::tiny().edge_stream(7) {
+            c.insert_edge(e);
+        }
+        c.faults().fail_shard(2);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let dead = vertex_on_shard(&c, 2);
+        let served = c.sample_neighbors_detailed(dead, EdgeType(0), 8, &mut rng);
+        assert!(served.degraded, "failed shard must flag degradation");
+        assert!(served.value.is_empty());
+        assert_eq!(c.shard_health(2), ShardHealth::Failed);
+        // Vertices on healthy shards still sample at full fidelity.
+        let mut healthy_sampled = false;
+        for v in DatasetProfile::tiny().sample_sources(64, 5) {
+            if c.route(v) == 2 {
+                continue;
+            }
+            let served = c.sample_neighbors_detailed(v, EdgeType(0), 8, &mut rng);
+            assert!(!served.degraded, "healthy shard degraded for {v:?}");
+            healthy_sampled |= !served.value.is_empty();
+        }
+        assert!(healthy_sampled, "healthy shards must keep serving data");
+        let t = c.traffic();
+        assert!(t.failed_requests >= 1);
+        assert!(t.degraded_responses >= 1);
+    }
+
+    #[test]
+    fn updates_to_failed_shard_queue_and_drain_on_heal() {
+        let c = Cluster::new(ClusterConfig {
+            num_shards: 4,
+            ..Default::default()
+        });
+        c.faults().fail_shard(1);
+        let dead = vertex_on_shard(&c, 1);
+        let live = vertex_on_shard(&c, 0);
+        let ops = vec![
+            UpdateOp::Insert(Edge::new(dead, VertexId(900), 1.0)),
+            UpdateOp::Insert(Edge::new(dead, VertexId(901), 2.0)),
+            UpdateOp::Insert(Edge::new(live, VertexId(902), 3.0)),
+        ];
+        let report = c
+            .apply_batch_sharded(&ops)
+            .expect("queueing is not an error");
+        assert_eq!(report.applied_ops, 1, "live shard's op applies");
+        assert_eq!(report.queued_ops, 2, "dead shard's ops queue");
+        assert_eq!(c.pending_ops(1), 2);
+        assert_eq!(c.degree(live, EdgeType(0)), 1);
+        assert_eq!(
+            c.server(1).topology().num_edges(),
+            0,
+            "nothing applied while failed"
+        );
+        let drained = c.heal_shard(1);
+        assert_eq!(drained, 2);
+        assert_eq!(c.pending_ops(1), 0);
+        assert_eq!(c.shard_health(1), ShardHealth::Healthy);
+        assert_eq!(c.degree(dead, EdgeType(0)), 2, "queued ops applied on heal");
+        assert_eq!(c.traffic().queued_ops, 2);
+    }
+
+    #[test]
+    fn transient_faults_are_retried_with_backoff() {
+        let c = small_cluster();
+        c.insert_edge(Edge::new(VertexId(1), VertexId(2), 1.0));
+        let shard = c.route(VertexId(1));
+        c.faults().inject_transient(shard, 2);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let served = c.sample_neighbors_detailed(VertexId(1), EdgeType(0), 4, &mut rng);
+        assert!(!served.degraded, "retries must succeed within budget");
+        assert_eq!(served.value.len(), 4);
+        let t = c.traffic();
+        assert_eq!(t.retried_requests, 2);
+        assert_eq!(t.failed_requests, 0);
+        assert_eq!(
+            c.shard_health(shard),
+            ShardHealth::Healthy,
+            "recovered shard returns to healthy on success"
+        );
+    }
+
+    #[test]
+    fn transient_beyond_budget_fails_the_shard() {
+        let c = small_cluster();
+        c.insert_edge(Edge::new(VertexId(1), VertexId(2), 1.0));
+        let shard = c.route(VertexId(1));
+        c.faults().inject_transient(shard, 100);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let served = c.sample_neighbors_detailed(VertexId(1), EdgeType(0), 4, &mut rng);
+        assert!(served.degraded);
+        assert_eq!(c.shard_health(shard), ShardHealth::Failed);
+        assert!(c.traffic().retried_requests >= MAX_RETRIES as u64);
+        c.heal_shard(shard);
+        let served = c.sample_neighbors_detailed(VertexId(1), EdgeType(0), 4, &mut rng);
+        assert!(!served.degraded, "healed shard serves again");
+    }
+
+    #[test]
+    fn panicking_batch_worker_is_captured_and_isolated() {
+        let c = Cluster::new(ClusterConfig {
+            num_shards: 4,
+            ..Default::default()
+        });
+        let dead = vertex_on_shard(&c, 3);
+        let live = vertex_on_shard(&c, 0);
+        c.faults().panic_next_batch(3);
+        let ops = vec![
+            UpdateOp::Insert(Edge::new(dead, VertexId(900), 1.0)),
+            UpdateOp::Insert(Edge::new(live, VertexId(901), 1.0)),
+        ];
+        let err = c.apply_batch_sharded(&ops).expect_err("panic must surface");
+        match err {
+            StoreError::ShardPanicked { shard, ref detail } => {
+                assert_eq!(shard, 3);
+                assert!(detail.contains("injected fault"), "{detail}");
+            }
+            other => panic!("wrong error: {other}"),
+        }
+        assert_eq!(c.shard_health(3), ShardHealth::Failed);
+        assert_eq!(
+            c.degree(live, EdgeType(0)),
+            1,
+            "other shards' partitions still applied"
+        );
+        // The next batch routes around the dead shard by queueing.
+        let report = c
+            .apply_batch_sharded(&[UpdateOp::Insert(Edge::new(dead, VertexId(902), 1.0))])
+            .expect("queued, not panicked");
+        assert_eq!(report.queued_ops, 1);
+    }
+
+    #[test]
+    fn slow_shard_still_serves() {
+        let c = small_cluster();
+        c.insert_edge(Edge::new(VertexId(1), VertexId(2), 1.0));
+        let shard = c.route(VertexId(1));
+        c.faults().slow_shard(shard, Duration::from_millis(5));
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let started = std::time::Instant::now();
+        let served = c.sample_neighbors_detailed(VertexId(1), EdgeType(0), 2, &mut rng);
+        assert!(!served.degraded);
+        assert_eq!(served.value.len(), 2);
+        assert!(
+            started.elapsed() >= Duration::from_millis(5),
+            "slow fault must add latency"
+        );
+    }
+
+    #[test]
+    fn degraded_reads_fall_back_per_endpoint() {
+        let c = small_cluster();
+        for i in 0..10u64 {
+            c.insert_edge(Edge::new(VertexId(4), VertexId(100 + i), 1.0));
+        }
+        let shard = c.route(VertexId(4));
+        c.faults().fail_shard(shard);
+        assert_eq!(c.degree(VertexId(4), EdgeType(0)), 0);
+        assert_eq!(c.weight_sum(VertexId(4), EdgeType(0)), 0.0);
+        assert_eq!(c.edge_weight(VertexId(4), VertexId(100), EdgeType(0)), None);
+        assert!(c.neighbors(VertexId(4), EdgeType(0)).is_empty());
+        assert!(c.top_k_neighbors(VertexId(4), EdgeType(0), 3).is_empty());
+        let t = c.traffic();
+        assert!(t.degraded_responses >= 5);
+        c.heal_shard(shard);
+        assert_eq!(
+            c.degree(VertexId(4), EdgeType(0)),
+            10,
+            "data survives the outage"
+        );
     }
 }

@@ -20,12 +20,18 @@
 //! PALM-style latch-free scheme ([`DynamicGraphStore::apply_batch_parallel`]).
 
 mod attr;
+pub mod crc32c;
 mod snapshot;
 mod topology;
+mod wal;
 
 pub use attr::AttributeStore;
-pub use snapshot::{read_snapshot, write_snapshot};
+pub use snapshot::{read_snapshot, write_snapshot, write_snapshot_v1, SNAPSHOT_VERSION};
 pub use topology::{AdjacencyEntry, DynamicGraphStore, StoreConfig};
+pub use wal::{
+    replay_wal, DurableGraphStore, RecoveryReport, TornTail, TornTailKind, WalReplayReport,
+    WalWriter, WAL_MAGIC,
+};
 
 use platod2gl_samtree::OpStats;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -45,7 +51,8 @@ impl SharedOpStats {
     /// Fold a local counter set in.
     pub fn add(&self, s: &OpStats) {
         self.leaf_ops.fetch_add(s.leaf_ops, Ordering::Relaxed);
-        self.internal_ops.fetch_add(s.internal_ops, Ordering::Relaxed);
+        self.internal_ops
+            .fetch_add(s.internal_ops, Ordering::Relaxed);
         self.leaf_splits.fetch_add(s.leaf_splits, Ordering::Relaxed);
         self.internal_splits
             .fetch_add(s.internal_splits, Ordering::Relaxed);

@@ -7,82 +7,223 @@
 //! The snapshot is a compact length-prefixed binary stream; restore feeds
 //! [`DynamicGraphStore::bulk_build`], rebuilding every samtree bottom-up.
 //!
-//! Format (little-endian):
+//! # Format v2 (current, little-endian)
 //!
 //! ```text
-//! magic "PD2GSNAP" | version u32 | entry count u64
-//! per entry: src u64 | etype u16 | degree u32 | degree x (dst u64, weight f64)
+//! header : magic "PD2GSNAP" | version u32 = 2 | entry count u64
+//! block  : block_len u32 (> 0) | payload [u8; block_len] | crc u32
+//! footer : sentinel u32 = 0 | file_crc u32 | end-of-file
 //! ```
+//!
+//! * Each block's `crc` is CRC32C of its payload; a payload is a run of
+//!   whole entries (an entry never spans blocks).
+//! * `file_crc` is CRC32C of **every preceding byte** — header, all blocks
+//!   (including their length and CRC fields) and the sentinel. Because a
+//!   bit flip never changes the file length, any single-bit corruption
+//!   anywhere before the footer changes `file_crc`'s input, and a flip in
+//!   the `file_crc` field itself breaks the comparison: every single-bit
+//!   flip is detected even if the per-block framing happens to survive it.
+//! * Entry encoding (inside payloads) is unchanged from v1:
+//!   `src u64 | etype u16 | degree u32 | degree x (dst u64, weight f64)`.
+//!
+//! # Format v1 (legacy, still readable)
+//!
+//! ```text
+//! magic "PD2GSNAP" | version u32 = 1 | entry count u64 | entries...
+//! ```
+//!
+//! No checksums: v1 detects truncation but not bit rot. [`read_snapshot`]
+//! accepts both versions; [`write_snapshot`] emits v2.
 
+use crate::crc32c::{crc32c, Crc32c};
 use crate::topology::AdjacencyEntry;
 use crate::DynamicGraphStore;
 use platod2gl_graph::{Edge, EdgeType, VertexId};
 use std::io::{self, Read, Write};
 
 const MAGIC: &[u8; 8] = b"PD2GSNAP";
-const VERSION: u32 = 1;
+/// Current snapshot format version written by [`write_snapshot`].
+pub const SNAPSHOT_VERSION: u32 = 2;
+const V1: u32 = 1;
 
-fn bad_data(msg: &str) -> io::Error {
+/// Edges per block in v2 snapshots; also the restore batching unit.
+const BLOCK_EDGES: usize = 8192;
+
+/// Upper bound on a v2 block payload; larger lengths are corruption.
+const MAX_BLOCK_LEN: u32 = 1 << 30;
+
+fn bad_data(msg: String) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg)
 }
 
-/// Write adjacency entries in the snapshot format (shared by single-store
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+fn encode_entry(((src, etype), pairs): &AdjacencyEntry, out: &mut Vec<u8>) {
+    out.extend_from_slice(&src.to_le_bytes());
+    out.extend_from_slice(&etype.to_le_bytes());
+    out.extend_from_slice(&(pairs.len() as u32).to_le_bytes());
+    for (dst, weight) in pairs {
+        out.extend_from_slice(&dst.to_le_bytes());
+        out.extend_from_slice(&weight.to_le_bytes());
+    }
+}
+
+/// Write adjacency entries in snapshot format v2 (shared by single-store
 /// and cluster snapshots).
-pub fn write_snapshot(
-    mut w: impl Write,
-    entries: &[AdjacencyEntry],
-) -> io::Result<()> {
-    w.write_all(MAGIC)?;
-    w.write_all(&VERSION.to_le_bytes())?;
-    w.write_all(&(entries.len() as u64).to_le_bytes())?;
-    for ((src, etype), pairs) in entries {
-        w.write_all(&src.to_le_bytes())?;
-        w.write_all(&etype.to_le_bytes())?;
-        w.write_all(&(pairs.len() as u32).to_le_bytes())?;
-        for (dst, weight) in pairs {
-            w.write_all(&dst.to_le_bytes())?;
-            w.write_all(&weight.to_le_bytes())?;
+pub fn write_snapshot(mut w: impl Write, entries: &[AdjacencyEntry]) -> io::Result<()> {
+    let mut file_crc = Crc32c::new();
+    let mut emit = |w: &mut dyn Write, bytes: &[u8]| -> io::Result<()> {
+        file_crc.update(bytes);
+        w.write_all(bytes)
+    };
+
+    emit(&mut w, MAGIC)?;
+    emit(&mut w, &SNAPSHOT_VERSION.to_le_bytes())?;
+    emit(&mut w, &(entries.len() as u64).to_le_bytes())?;
+
+    let mut payload = Vec::new();
+    let mut i = 0usize;
+    while i < entries.len() {
+        payload.clear();
+        let mut edges_in_block = 0usize;
+        // Pack whole entries until the block holds ~BLOCK_EDGES edges.
+        while i < entries.len() && (payload.is_empty() || edges_in_block < BLOCK_EDGES) {
+            encode_entry(&entries[i], &mut payload);
+            edges_in_block += entries[i].1.len();
+            i += 1;
         }
+        emit(&mut w, &(payload.len() as u32).to_le_bytes())?;
+        emit(&mut w, &payload)?;
+        emit(&mut w, &crc32c(&payload).to_le_bytes())?;
+    }
+
+    emit(&mut w, &0u32.to_le_bytes())?; // sentinel
+    let footer = file_crc.finish();
+    w.write_all(&footer.to_le_bytes())?;
+    w.flush()
+}
+
+/// Write adjacency entries in the legacy v1 format (no checksums). Kept so
+/// compatibility tests can produce v1 streams; new code writes v2.
+pub fn write_snapshot_v1(mut w: impl Write, entries: &[AdjacencyEntry]) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    w.write_all(&V1.to_le_bytes())?;
+    w.write_all(&(entries.len() as u64).to_le_bytes())?;
+    for entry in entries {
+        let mut buf = Vec::new();
+        encode_entry(entry, &mut buf);
+        w.write_all(&buf)?;
     }
     w.flush()
 }
 
-/// Parse a snapshot stream, feeding edges to `sink` in batches of up to
-/// 8192 (so restore paths can bulk-load without materializing everything).
-pub fn read_snapshot(
-    mut r: impl Read,
-    mut sink: impl FnMut(Vec<Edge>),
-) -> io::Result<()> {
+// ---------------------------------------------------------------------------
+// Reader
+// ---------------------------------------------------------------------------
+
+/// Reader wrapper tracking the byte offset (for error messages) and the
+/// running whole-file CRC (for the v2 footer check).
+struct TrackedReader<R: Read> {
+    r: R,
+    offset: u64,
+    crc: Crc32c,
+}
+
+impl<R: Read> TrackedReader<R> {
+    fn new(r: R) -> Self {
+        TrackedReader {
+            r,
+            offset: 0,
+            crc: Crc32c::new(),
+        }
+    }
+
+    /// `read_exact` that folds the bytes into the file CRC and converts
+    /// truncation into `InvalidData` naming the offset.
+    fn read_exact(&mut self, buf: &mut [u8], what: &str) -> io::Result<()> {
+        self.read_raw(buf, what)?;
+        self.crc.update(buf);
+        Ok(())
+    }
+
+    /// `read_exact` that does NOT feed the file CRC (for the footer field).
+    fn read_raw(&mut self, buf: &mut [u8], what: &str) -> io::Result<()> {
+        match self.r.read_exact(buf) {
+            Ok(()) => {
+                self.offset += buf.len() as u64;
+                Ok(())
+            }
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => Err(bad_data(format!(
+                "snapshot truncated at byte offset {} while reading {what}",
+                self.offset
+            ))),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn u16(&mut self, what: &str) -> io::Result<u16> {
+        let mut b = [0u8; 2];
+        self.read_exact(&mut b, what)?;
+        Ok(u16::from_le_bytes(b))
+    }
+
+    fn u32(&mut self, what: &str) -> io::Result<u32> {
+        let mut b = [0u8; 4];
+        self.read_exact(&mut b, what)?;
+        Ok(u32::from_le_bytes(b))
+    }
+
+    fn u64(&mut self, what: &str) -> io::Result<u64> {
+        let mut b = [0u8; 8];
+        self.read_exact(&mut b, what)?;
+        Ok(u64::from_le_bytes(b))
+    }
+}
+
+/// Parse a snapshot stream (v1 or v2), feeding edges to `sink` in batches
+/// of up to 8192 (so restore paths can bulk-load without materializing
+/// everything). All structural problems — bad magic, unsupported version,
+/// truncation, checksum mismatch, non-finite weights, trailing bytes —
+/// are reported as [`io::ErrorKind::InvalidData`] with the byte offset.
+pub fn read_snapshot(r: impl Read, mut sink: impl FnMut(Vec<Edge>)) -> io::Result<()> {
+    let mut r = TrackedReader::new(r);
     let mut magic = [0u8; 8];
-    r.read_exact(&mut magic)?;
+    r.read_exact(&mut magic, "magic")?;
     if &magic != MAGIC {
-        return Err(bad_data("not a PlatoD2GL snapshot"));
+        return Err(bad_data(format!(
+            "not a PlatoD2GL snapshot: bad magic at byte offset 0 (found {magic:02x?}, expected {MAGIC:02x?})"
+        )));
     }
-    let mut buf4 = [0u8; 4];
-    r.read_exact(&mut buf4)?;
-    let version = u32::from_le_bytes(buf4);
-    if version != VERSION {
-        return Err(bad_data("unsupported snapshot version"));
+    let version_offset = r.offset;
+    let version = r.u32("version")?;
+    match version {
+        V1 => read_v1(r, &mut sink),
+        SNAPSHOT_VERSION => read_v2(r, &mut sink),
+        other => Err(bad_data(format!(
+            "unsupported snapshot version {other} at byte offset {version_offset}: \
+             this build supports versions {V1} and {SNAPSHOT_VERSION}"
+        ))),
     }
-    let mut buf8 = [0u8; 8];
-    r.read_exact(&mut buf8)?;
-    let entries = u64::from_le_bytes(buf8);
-    let mut batch: Vec<Edge> = Vec::with_capacity(8192);
+}
+
+/// Decode one entry's edges from a tracked stream (v1 path).
+fn read_v1(mut r: TrackedReader<impl Read>, sink: &mut impl FnMut(Vec<Edge>)) -> io::Result<()> {
+    let entries = r.u64("entry count")?;
+    let mut batch: Vec<Edge> = Vec::with_capacity(BLOCK_EDGES);
     for _ in 0..entries {
-        r.read_exact(&mut buf8)?;
-        let src = VertexId(u64::from_le_bytes(buf8));
-        let mut buf2 = [0u8; 2];
-        r.read_exact(&mut buf2)?;
-        let etype = EdgeType(u16::from_le_bytes(buf2));
-        r.read_exact(&mut buf4)?;
-        let degree = u32::from_le_bytes(buf4);
+        let src = VertexId(r.u64("entry source id")?);
+        let etype = EdgeType(r.u16("entry edge type")?);
+        let degree = r.u32("entry degree")?;
         for _ in 0..degree {
-            r.read_exact(&mut buf8)?;
-            let dst = VertexId(u64::from_le_bytes(buf8));
-            r.read_exact(&mut buf8)?;
-            let weight = f64::from_le_bytes(buf8);
+            let dst = VertexId(r.u64("edge destination id")?);
+            let weight_offset = r.offset;
+            let weight = f64::from_bits(r.u64("edge weight")?);
             if !weight.is_finite() {
-                return Err(bad_data("non-finite edge weight"));
+                return Err(bad_data(format!(
+                    "non-finite edge weight at byte offset {weight_offset}"
+                )));
             }
             batch.push(Edge {
                 src,
@@ -91,9 +232,9 @@ pub fn read_snapshot(
                 weight,
             });
         }
-        if batch.len() >= 8192 {
+        if batch.len() >= BLOCK_EDGES {
             sink(std::mem::take(&mut batch));
-            batch = Vec::with_capacity(8192);
+            batch = Vec::with_capacity(BLOCK_EDGES);
         }
     }
     if !batch.is_empty() {
@@ -102,8 +243,119 @@ pub fn read_snapshot(
     Ok(())
 }
 
+fn read_v2(mut r: TrackedReader<impl Read>, sink: &mut impl FnMut(Vec<Edge>)) -> io::Result<()> {
+    let declared_entries = r.u64("entry count")?;
+    let mut seen_entries = 0u64;
+
+    loop {
+        let block_offset = r.offset;
+        let block_len = r.u32("block length")?;
+        if block_len == 0 {
+            // Sentinel: capture the running CRC *before* the footer field.
+            let computed = r.crc.finish();
+            let mut footer = [0u8; 4];
+            r.read_raw(&mut footer, "file checksum")?;
+            let stored = u32::from_le_bytes(footer);
+            if stored != computed {
+                return Err(bad_data(format!(
+                    "snapshot file checksum mismatch at byte offset {} \
+                     (stored {stored:#010x}, computed {computed:#010x})",
+                    r.offset - 4
+                )));
+            }
+            if seen_entries != declared_entries {
+                return Err(bad_data(format!(
+                    "snapshot declared {declared_entries} entries but contained {seen_entries}"
+                )));
+            }
+            // Nothing may follow the footer.
+            let mut probe = [0u8; 1];
+            match r.r.read(&mut probe) {
+                Ok(0) => return Ok(()),
+                Ok(_) => {
+                    return Err(bad_data(format!(
+                        "trailing data after snapshot footer at byte offset {}",
+                        r.offset
+                    )))
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        if block_len > MAX_BLOCK_LEN {
+            return Err(bad_data(format!(
+                "snapshot block at byte offset {block_offset} declares an absurd \
+                 length {block_len} (max {MAX_BLOCK_LEN})"
+            )));
+        }
+        let mut payload = vec![0u8; block_len as usize];
+        r.read_exact(&mut payload, "block payload")?;
+        let stored = r.u32("block checksum")?;
+        let computed = crc32c(&payload);
+        if stored != computed {
+            return Err(bad_data(format!(
+                "snapshot block at byte offset {block_offset} failed its CRC32C \
+                 check (stored {stored:#010x}, computed {computed:#010x})"
+            )));
+        }
+        seen_entries += parse_block(&payload, block_offset, sink)?;
+    }
+}
+
+/// Parse a CRC-validated v2 block payload: a run of whole entries.
+fn parse_block(
+    payload: &[u8],
+    block_offset: u64,
+    sink: &mut impl FnMut(Vec<Edge>),
+) -> io::Result<u64> {
+    let corrupt = |detail: &str| {
+        bad_data(format!(
+            "snapshot block at byte offset {block_offset} passed its CRC but \
+             does not decode: {detail}"
+        ))
+    };
+    let mut pos = 0usize;
+    let take = |pos: &mut usize, n: usize| -> io::Result<&[u8]> {
+        let end = pos
+            .checked_add(n)
+            .filter(|&e| e <= payload.len())
+            .ok_or_else(|| corrupt("entry extends past the block"))?;
+        let s = &payload[*pos..end];
+        *pos = end;
+        Ok(s)
+    };
+    let mut entries = 0u64;
+    let mut batch: Vec<Edge> = Vec::with_capacity(BLOCK_EDGES);
+    while pos < payload.len() {
+        let src = VertexId(u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap()));
+        let etype = EdgeType(u16::from_le_bytes(take(&mut pos, 2)?.try_into().unwrap()));
+        let degree = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap());
+        for _ in 0..degree {
+            let dst = VertexId(u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap()));
+            let weight = f64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap());
+            if !weight.is_finite() {
+                return Err(corrupt("non-finite edge weight"));
+            }
+            batch.push(Edge {
+                src,
+                dst,
+                etype,
+                weight,
+            });
+            if batch.len() >= BLOCK_EDGES {
+                sink(std::mem::take(&mut batch));
+                batch = Vec::with_capacity(BLOCK_EDGES);
+            }
+        }
+        entries += 1;
+    }
+    if !batch.is_empty() {
+        sink(batch);
+    }
+    Ok(entries)
+}
+
 impl DynamicGraphStore {
-    /// Write a snapshot of the whole topology.
+    /// Write a snapshot of the whole topology (format v2).
     ///
     /// Takes a point-in-time view per source vertex (each samtree is read
     /// under its own lock); concurrent updates land either before or after
@@ -112,8 +364,8 @@ impl DynamicGraphStore {
         write_snapshot(w, &self.export_adjacency())
     }
 
-    /// Read a snapshot into this (normally empty) store via the bulk-load
-    /// path.
+    /// Read a snapshot (v1 or v2) into this (normally empty) store via the
+    /// bulk-load path.
     pub fn restore_from(&self, r: impl Read) -> io::Result<()> {
         read_snapshot(r, |batch| self.bulk_build(batch))
     }
@@ -228,36 +480,128 @@ mod tests {
     }
 
     #[test]
+    fn v1_snapshots_still_restore() {
+        let original = DynamicGraphStore::with_defaults();
+        for i in 0..1_000u64 {
+            original.insert_edge(Edge::new(
+                VertexId(i % 11),
+                VertexId(500 + i),
+                1.0 + i as f64,
+            ));
+        }
+        let mut bytes = Vec::new();
+        write_snapshot_v1(&mut bytes, &original.export_adjacency()).expect("v1 write");
+        let restored = DynamicGraphStore::with_defaults();
+        restored.restore_from(bytes.as_slice()).expect("v1 restore");
+        assert_eq!(restored.num_edges(), original.num_edges());
+        restored.check_invariants().expect("invariants");
+        for src in 0..11u64 {
+            let mut a = original.neighbors(VertexId(src), EdgeType(0));
+            let mut b = restored.neighbors(VertexId(src), EdgeType(0));
+            a.sort_by_key(|(id, _)| id.raw());
+            b.sort_by_key(|(id, _)| id.raw());
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
     fn bad_magic_is_rejected() {
         let store = DynamicGraphStore::with_defaults();
         let err = store
             .restore_from(&b"NOTASNAPxxxxxxxxxxxx"[..])
             .expect_err("must reject");
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("byte offset 0"), "{err}");
     }
 
     #[test]
-    fn truncated_stream_is_rejected() {
+    fn unknown_version_error_names_found_and_supported() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&7u32.to_le_bytes());
+        bytes.extend_from_slice(&0u64.to_le_bytes());
+        let store = DynamicGraphStore::with_defaults();
+        let err = store.restore_from(bytes.as_slice()).expect_err("reject v7");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let msg = err.to_string();
+        assert!(msg.contains("version 7"), "{msg}");
+        assert!(msg.contains("supports versions 1 and 2"), "{msg}");
+    }
+
+    #[test]
+    fn truncated_stream_is_rejected_with_offset() {
         let store = DynamicGraphStore::with_defaults();
         store.insert_edge(Edge::new(VertexId(1), VertexId(2), 1.0));
         let mut bytes = Vec::new();
         store.snapshot_to(&mut bytes).expect("snapshot");
-        bytes.truncate(bytes.len() - 4);
-        let fresh = DynamicGraphStore::with_defaults();
-        assert!(fresh.restore_from(bytes.as_slice()).is_err());
+        for cut in [bytes.len() - 1, bytes.len() - 4, bytes.len() / 2, 21] {
+            let fresh = DynamicGraphStore::with_defaults();
+            let err = fresh
+                .restore_from(&bytes[..cut])
+                .expect_err("truncation must be rejected");
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData, "cut {cut}");
+            assert!(err.to_string().contains("byte offset"), "cut {cut}: {err}");
+        }
     }
 
     #[test]
-    fn non_finite_weight_is_rejected() {
+    fn non_finite_weight_is_rejected_in_v1() {
+        // v1 has no CRC, so the NaN lands in the parser's lap directly.
         let store = DynamicGraphStore::with_defaults();
         store.insert_edge(Edge::new(VertexId(1), VertexId(2), 1.0));
         let mut bytes = Vec::new();
-        store.snapshot_to(&mut bytes).expect("snapshot");
-        // Corrupt the weight (last 8 bytes) into a NaN.
+        write_snapshot_v1(&mut bytes, &store.export_adjacency()).expect("v1 write");
         let n = bytes.len();
         bytes[n - 8..].copy_from_slice(&f64::NAN.to_le_bytes());
         let fresh = DynamicGraphStore::with_defaults();
-        let err = fresh.restore_from(bytes.as_slice()).expect_err("reject NaN");
+        let err = fresh
+            .restore_from(bytes.as_slice())
+            .expect_err("reject NaN");
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("non-finite"), "{err}");
+    }
+
+    #[test]
+    fn every_single_bit_flip_in_v2_is_rejected() {
+        // The acceptance bar for the checksummed format: flip every bit of
+        // a whole v2 snapshot, one at a time, and demand InvalidData.
+        let store = DynamicGraphStore::with_defaults();
+        for i in 0..40u64 {
+            store.insert_edge(Edge::new(
+                VertexId(i % 5),
+                VertexId(100 + i),
+                0.5 + i as f64,
+            ));
+        }
+        let mut bytes = Vec::new();
+        store.snapshot_to(&mut bytes).expect("snapshot");
+        for byte in 0..bytes.len() {
+            for bit in 0..8 {
+                let mut flipped = bytes.clone();
+                flipped[byte] ^= 1 << bit;
+                let fresh = DynamicGraphStore::with_defaults();
+                let err = fresh
+                    .restore_from(flipped.as_slice())
+                    .expect_err("corruption must be detected");
+                assert_eq!(
+                    err.kind(),
+                    io::ErrorKind::InvalidData,
+                    "flip at {byte}:{bit} produced wrong error kind: {err}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_after_footer_is_rejected() {
+        let store = DynamicGraphStore::with_defaults();
+        store.insert_edge(Edge::new(VertexId(1), VertexId(2), 1.0));
+        let mut bytes = Vec::new();
+        store.snapshot_to(&mut bytes).expect("snapshot");
+        bytes.push(0x42);
+        let fresh = DynamicGraphStore::with_defaults();
+        let err = fresh.restore_from(bytes.as_slice()).expect_err("reject");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("trailing data"), "{err}");
     }
 }

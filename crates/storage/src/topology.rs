@@ -4,7 +4,7 @@
 use crate::SharedOpStats;
 use parking_lot::RwLock;
 use platod2gl_cuckoo::CuckooMap;
-use platod2gl_graph::{Edge, EdgeType, GraphStore, UpdateOp, VertexId};
+use platod2gl_graph::{sanitize_weight, Edge, EdgeType, GraphStore, UpdateOp, VertexId};
 use platod2gl_mem::DeepSize;
 use platod2gl_samtree::{InsertOutcome, OpStats, SamTree, SamTreeConfig};
 use rand::RngCore;
@@ -149,9 +149,10 @@ impl DynamicGraphStore {
             // node). Updates/deletes flush the run so same-destination op
             // interleavings keep sequential semantics.
             let mut run: Vec<(u64, f64)> = Vec::new();
-            let flush = |tree: &mut SamTree, run: &mut Vec<(u64, f64)>,
-                             local: &mut OpStats,
-                             edge_delta: &mut isize| {
+            let flush = |tree: &mut SamTree,
+                         run: &mut Vec<(u64, f64)>,
+                         local: &mut OpStats,
+                         edge_delta: &mut isize| {
                 if run.len() == 1 {
                     let (id, w) = run[0];
                     if tree.insert(&cfg, id, w, local) == InsertOutcome::Inserted {
@@ -164,10 +165,15 @@ impl DynamicGraphStore {
             };
             for op in ops {
                 match op {
-                    UpdateOp::Insert(e) => run.push((e.dst.raw(), e.weight)),
+                    UpdateOp::Insert(e) => run.push((e.dst.raw(), sanitize_weight(e.weight))),
                     UpdateOp::UpdateWeight(e) => {
                         flush(&mut tree, &mut run, &mut local, &mut edge_delta);
-                        tree.update_weight(&cfg, e.dst.raw(), e.weight, &mut local);
+                        tree.update_weight(
+                            &cfg,
+                            e.dst.raw(),
+                            sanitize_weight(e.weight),
+                            &mut local,
+                        );
                     }
                     UpdateOp::Delete { dst, .. } => {
                         flush(&mut tree, &mut run, &mut local, &mut edge_delta);
@@ -180,7 +186,8 @@ impl DynamicGraphStore {
             flush(&mut tree, &mut run, &mut local, &mut edge_delta);
         }
         if edge_delta >= 0 {
-            self.num_edges.fetch_add(edge_delta as usize, Ordering::Relaxed);
+            self.num_edges
+                .fetch_add(edge_delta as usize, Ordering::Relaxed);
         } else {
             self.num_edges
                 .fetch_sub((-edge_delta) as usize, Ordering::Relaxed);
@@ -260,7 +267,7 @@ impl DynamicGraphStore {
                     etype: e.etype.0,
                 })
                 .or_default()
-                .push((e.dst.raw(), e.weight));
+                .push((e.dst.raw(), sanitize_weight(e.weight)));
         }
         let cfg = self.config.tree;
         for (key, pairs) in groups {
@@ -416,10 +423,12 @@ impl GraphStore for DynamicGraphStore {
             return false;
         };
         let mut local = OpStats::default();
-        let updated =
-            cell.0
-                .write()
-                .update_weight(&self.config.tree, edge.dst.raw(), edge.weight, &mut local);
+        let updated = cell.0.write().update_weight(
+            &self.config.tree,
+            edge.dst.raw(),
+            sanitize_weight(edge.weight),
+            &mut local,
+        );
         self.stats.add(&local);
         updated
     }
@@ -786,7 +795,9 @@ mod tests {
         assert_eq!(top.len(), 5);
         assert!(top.windows(2).all(|p| p[0].1 >= p[1].1));
         assert!((top[0].1 - 9.5).abs() < 1e-9);
-        assert!(store.top_k_neighbors(VertexId(77), EdgeType(0), 5).is_empty());
+        assert!(store
+            .top_k_neighbors(VertexId(77), EdgeType(0), 5)
+            .is_empty());
     }
 
     #[test]
@@ -845,7 +856,46 @@ mod tests {
         for threads in [2usize, 4, 16] {
             let store = small_store();
             store.apply_batch_parallel(&ops, threads);
-            assert_eq!(store.num_edges(), reference.num_edges(), "threads={threads}");
+            assert_eq!(
+                store.num_edges(),
+                reference.num_edges(),
+                "threads={threads}"
+            );
         }
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    fn non_finite_weight_asserts_at_ingest_in_debug() {
+        // The sanitize_weight policy: debug builds assert so the producer of
+        // the bad value is caught in tests.
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let store = DynamicGraphStore::with_defaults();
+            let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                store.insert_edge(Edge::new(VertexId(1), VertexId(2), bad));
+            }));
+            assert!(
+                caught.is_err(),
+                "weight {bad} must trip the debug assertion"
+            );
+        }
+    }
+
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn non_finite_weight_clamps_at_ingest_in_release() {
+        // Release builds clamp to 0.0: the edge exists but is never sampled,
+        // and weight sums stay finite.
+        let store = DynamicGraphStore::with_defaults();
+        store.insert_edge(Edge::new(VertexId(1), VertexId(2), f64::NAN));
+        store.insert_edge(Edge::new(VertexId(1), VertexId(3), 2.0));
+        assert_eq!(
+            store.edge_weight(VertexId(1), VertexId(2), EdgeType(0)),
+            Some(0.0)
+        );
+        assert!(store.weight_sum(VertexId(1), EdgeType(0)).is_finite());
+        store
+            .check_invariants()
+            .expect("invariants with clamped weight");
     }
 }

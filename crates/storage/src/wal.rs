@@ -1,0 +1,826 @@
+//! Write-ahead log for crash-safe durability (robustness layer on top of
+//! paper Sec. IV's in-memory store).
+//!
+//! PlatoD2GL's store is memory-resident; a trainer crash between snapshots
+//! would silently lose every update since the last checkpoint. The WAL
+//! closes that window: every update op (or batch of ops) is appended to the
+//! log *before* it is applied to the samtrees, and recovery is
+//! `restore(latest snapshot) + replay(WAL)`.
+//!
+//! # On-disk format
+//!
+//! ```text
+//! file   := magic "PD2GWAL1" , record*
+//! record := len:u32le , payload:[u8; len] , crc:u32le        crc = CRC32C(payload)
+//! payload:= tag:u8 , body
+//!   tag 1 Insert        body = src:u64le dst:u64le etype:u16le weight:f64le-bits
+//!   tag 2 Delete        body = src:u64le dst:u64le etype:u16le
+//!   tag 3 UpdateWeight  body = src:u64le dst:u64le etype:u16le weight:f64le-bits
+//!   tag 4 Batch         body = count:u32le , count × (tag:u8 , body as above)
+//! ```
+//!
+//! A `Batch` record is replayed atomically: either all of its ops are
+//! delivered or (if the record is torn) none are.
+//!
+//! # Torn-tail semantics
+//!
+//! A crash can leave a partially written final record. Replay distinguishes
+//! two cases:
+//!
+//! * **Torn tail** — the last record is incomplete (its frame extends past
+//!   end-of-file), fails its CRC while reaching *exactly* to end-of-file,
+//!   or is a zero-length frame (filesystem zero-fill after a crash on
+//!   preallocated files). Replay stops cleanly before the bad record and
+//!   reports it in [`WalReplayReport::torn_tail`]; everything before it is
+//!   the durable prefix.
+//! * **Interior corruption** — a record fails its CRC and *more bytes
+//!   follow its frame*. That cannot be explained by a crash mid-append, so
+//!   replay returns a hard [`io::ErrorKind::InvalidData`] error naming the
+//!   byte offset rather than silently dropping committed updates.
+
+use crate::crc32c::crc32c;
+use crate::topology::{DynamicGraphStore, StoreConfig};
+use platod2gl_graph::{Edge, EdgeType, GraphStore, UpdateOp, VertexId};
+use std::fs::{File, OpenOptions};
+use std::io::{self, BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// WAL file magic.
+pub const WAL_MAGIC: &[u8; 8] = b"PD2GWAL1";
+
+const TAG_INSERT: u8 = 1;
+const TAG_DELETE: u8 = 2;
+const TAG_UPDATE_WEIGHT: u8 = 3;
+const TAG_BATCH: u8 = 4;
+
+/// Upper bound on a single record payload; anything larger is treated as
+/// corruption. A batch of 1M ops encodes to ~27 MB, far below this.
+const MAX_RECORD_LEN: u32 = 1 << 30;
+
+// ---------------------------------------------------------------------------
+// Op encoding
+// ---------------------------------------------------------------------------
+
+fn encode_op(op: &UpdateOp, out: &mut Vec<u8>) {
+    match op {
+        UpdateOp::Insert(e) => {
+            out.push(TAG_INSERT);
+            encode_edge_body(e.src, e.dst, e.etype, Some(e.weight), out);
+        }
+        UpdateOp::Delete { src, dst, etype } => {
+            out.push(TAG_DELETE);
+            encode_edge_body(*src, *dst, *etype, None, out);
+        }
+        UpdateOp::UpdateWeight(e) => {
+            out.push(TAG_UPDATE_WEIGHT);
+            encode_edge_body(e.src, e.dst, e.etype, Some(e.weight), out);
+        }
+    }
+}
+
+fn encode_edge_body(
+    src: VertexId,
+    dst: VertexId,
+    etype: EdgeType,
+    weight: Option<f64>,
+    out: &mut Vec<u8>,
+) {
+    out.extend_from_slice(&src.raw().to_le_bytes());
+    out.extend_from_slice(&dst.raw().to_le_bytes());
+    out.extend_from_slice(&etype.0.to_le_bytes());
+    if let Some(w) = weight {
+        out.extend_from_slice(&w.to_bits().to_le_bytes());
+    }
+}
+
+/// Cursor-based decoder over a CRC-validated payload.
+struct Decoder<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Decoder { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        let s = self.buf.get(self.pos..end)?;
+        self.pos = end;
+        Some(s)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        self.take(1).map(|s| s[0])
+    }
+
+    fn u16(&mut self) -> Option<u16> {
+        self.take(2)
+            .map(|s| u16::from_le_bytes(s.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        self.take(4)
+            .map(|s| u32::from_le_bytes(s.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        self.take(8)
+            .map(|s| u64::from_le_bytes(s.try_into().unwrap()))
+    }
+
+    fn op(&mut self) -> Option<UpdateOp> {
+        let tag = self.u8()?;
+        let src = VertexId(self.u64()?);
+        let dst = VertexId(self.u64()?);
+        let etype = EdgeType(self.u16()?);
+        match tag {
+            TAG_INSERT => Some(UpdateOp::Insert(Edge {
+                src,
+                dst,
+                etype,
+                weight: f64::from_bits(self.u64()?),
+            })),
+            TAG_DELETE => Some(UpdateOp::Delete { src, dst, etype }),
+            TAG_UPDATE_WEIGHT => Some(UpdateOp::UpdateWeight(Edge {
+                src,
+                dst,
+                etype,
+                weight: f64::from_bits(self.u64()?),
+            })),
+            _ => None,
+        }
+    }
+}
+
+/// Decode a full record payload into its ops. `None` on any structural
+/// problem (unknown tag, short body, trailing bytes).
+fn decode_payload(payload: &[u8], ops: &mut Vec<UpdateOp>) -> Option<usize> {
+    let mut d = Decoder::new(payload);
+    let first = *payload.first()?;
+    let n = if first == TAG_BATCH {
+        d.u8()?;
+        let count = d.u32()? as usize;
+        for _ in 0..count {
+            ops.push(d.op()?);
+        }
+        count
+    } else {
+        ops.push(d.op()?);
+        1
+    };
+    // A CRC-valid record with trailing junk indicates a writer bug, not a
+    // torn write — reject it.
+    (d.pos == payload.len()).then_some(n)
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+/// Appends checksummed records to a WAL stream.
+pub struct WalWriter<W: Write> {
+    w: W,
+    /// Bytes written so far, including the magic (mirrors the file offset).
+    offset: u64,
+    records: u64,
+    scratch: Vec<u8>,
+}
+
+impl<W: Write> WalWriter<W> {
+    /// Start a fresh WAL on `w`: writes the magic header.
+    pub fn create(mut w: W) -> io::Result<Self> {
+        w.write_all(WAL_MAGIC)?;
+        Ok(WalWriter {
+            w,
+            offset: WAL_MAGIC.len() as u64,
+            records: 0,
+            scratch: Vec::new(),
+        })
+    }
+
+    /// Resume appending to an existing WAL whose header (and `records`
+    /// durable records, ending at byte `offset`) are already on disk. The
+    /// caller must have positioned `w` at `offset` — [`DurableGraphStore`]
+    /// truncates any torn tail first.
+    pub fn resume(w: W, offset: u64, records: u64) -> Self {
+        WalWriter {
+            w,
+            offset,
+            records,
+            scratch: Vec::new(),
+        }
+    }
+
+    fn append_payload(&mut self) -> io::Result<()> {
+        let payload = &self.scratch;
+        let crc = crc32c(payload);
+        self.w.write_all(&(payload.len() as u32).to_le_bytes())?;
+        self.w.write_all(payload)?;
+        self.w.write_all(&crc.to_le_bytes())?;
+        self.offset += 4 + payload.len() as u64 + 4;
+        self.records += 1;
+        Ok(())
+    }
+
+    /// Append a single op as one record.
+    pub fn append(&mut self, op: &UpdateOp) -> io::Result<()> {
+        self.scratch.clear();
+        encode_op(op, &mut self.scratch);
+        self.append_payload()
+    }
+
+    /// Append a batch of ops as one atomic record. Empty batches are a
+    /// no-op (a zero-length frame is reserved as a torn-tail marker).
+    pub fn append_batch(&mut self, ops: &[UpdateOp]) -> io::Result<()> {
+        if ops.is_empty() {
+            return Ok(());
+        }
+        self.scratch.clear();
+        self.scratch.push(TAG_BATCH);
+        self.scratch
+            .extend_from_slice(&(ops.len() as u32).to_le_bytes());
+        for op in ops {
+            let mut tmp = Vec::new();
+            encode_op(op, &mut tmp);
+            self.scratch.extend_from_slice(&tmp);
+        }
+        self.append_payload()
+    }
+
+    pub fn flush(&mut self) -> io::Result<()> {
+        self.w.flush()
+    }
+
+    /// Byte offset after the last durable record (== file length).
+    pub fn offset(&self) -> u64 {
+        self.offset
+    }
+
+    /// Number of records appended (including resumed ones).
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    pub fn get_ref(&self) -> &W {
+        &self.w
+    }
+
+    pub fn into_inner(self) -> W {
+        self.w
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Replay
+// ---------------------------------------------------------------------------
+
+/// Why replay stopped before end-of-file.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TornTailKind {
+    /// Fewer than 4 bytes remained — not even a length prefix.
+    TruncatedHeader,
+    /// The record's frame (payload + CRC) extends past end-of-file.
+    TruncatedRecord,
+    /// The final record's CRC does not match its payload.
+    BadTailChecksum,
+    /// A zero-length frame (zero-fill from crash on a preallocated file).
+    ZeroFill,
+}
+
+/// A tolerated partial record at the end of the log.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TornTail {
+    /// Byte offset of the start of the bad record — the durable length of
+    /// the log. Appends must resume here (after truncating the file).
+    pub offset: u64,
+    pub kind: TornTailKind,
+}
+
+/// Outcome of a successful [`replay_wal`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WalReplayReport {
+    /// Complete records replayed.
+    pub records: u64,
+    /// Individual ops delivered to the sink (batches count per-op).
+    pub ops: u64,
+    /// Byte offset after the last complete record.
+    pub durable_len: u64,
+    /// The tolerated partial record, if the log did not end cleanly.
+    pub torn_tail: Option<TornTail>,
+}
+
+fn invalid(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+/// Replay a WAL, delivering each decoded op to `sink` in log order.
+///
+/// Returns a report describing how much of the log was durable. See the
+/// module docs for the torn-tail vs interior-corruption contract.
+pub fn replay_wal(mut r: impl Read, mut sink: impl FnMut(UpdateOp)) -> io::Result<WalReplayReport> {
+    let mut data = Vec::new();
+    r.read_to_end(&mut data)?;
+    replay_wal_bytes(&data, &mut sink)
+}
+
+fn replay_wal_bytes(data: &[u8], sink: &mut dyn FnMut(UpdateOp)) -> io::Result<WalReplayReport> {
+    if data.is_empty() {
+        // A crash before the header hit disk: an empty log is a valid
+        // (zero-record) log.
+        return Ok(WalReplayReport::default());
+    }
+    if data.len() < WAL_MAGIC.len() || &data[..WAL_MAGIC.len()] != WAL_MAGIC.as_slice() {
+        let got = &data[..data.len().min(WAL_MAGIC.len())];
+        return Err(invalid(format!(
+            "not a PlatoD2GL WAL: bad magic at byte offset 0 (found {got:02x?}, expected {WAL_MAGIC:02x?})"
+        )));
+    }
+
+    let mut report = WalReplayReport::default();
+    let mut pos = WAL_MAGIC.len();
+    let mut ops = Vec::new();
+
+    loop {
+        report.durable_len = pos as u64;
+        let remaining = data.len() - pos;
+        if remaining == 0 {
+            return Ok(report);
+        }
+        if remaining < 4 {
+            report.torn_tail = Some(TornTail {
+                offset: pos as u64,
+                kind: TornTailKind::TruncatedHeader,
+            });
+            return Ok(report);
+        }
+        let len = u32::from_le_bytes(data[pos..pos + 4].try_into().unwrap());
+        if len == 0 {
+            report.torn_tail = Some(TornTail {
+                offset: pos as u64,
+                kind: TornTailKind::ZeroFill,
+            });
+            return Ok(report);
+        }
+        let frame = 4usize + len as usize + 4;
+        if len > MAX_RECORD_LEN || remaining < frame {
+            report.torn_tail = Some(TornTail {
+                offset: pos as u64,
+                kind: TornTailKind::TruncatedRecord,
+            });
+            return Ok(report);
+        }
+        let payload = &data[pos + 4..pos + 4 + len as usize];
+        let stored = u32::from_le_bytes(
+            data[pos + 4 + len as usize..pos + frame]
+                .try_into()
+                .unwrap(),
+        );
+        let computed = crc32c(payload);
+        if stored != computed {
+            if pos + frame == data.len() {
+                // The bad record reaches exactly to EOF: a torn final
+                // append (e.g. partially flushed page).
+                report.torn_tail = Some(TornTail {
+                    offset: pos as u64,
+                    kind: TornTailKind::BadTailChecksum,
+                });
+                return Ok(report);
+            }
+            return Err(invalid(format!(
+                "WAL record at byte offset {pos} failed its CRC32C check \
+                 (stored {stored:#010x}, computed {computed:#010x}) with {} bytes \
+                 following the record — interior corruption, refusing to replay",
+                data.len() - pos - frame
+            )));
+        }
+        ops.clear();
+        let n = decode_payload(payload, &mut ops).ok_or_else(|| {
+            invalid(format!(
+                "WAL record at byte offset {pos} passed its CRC but does not \
+                 decode as a valid op record — writer bug or tampering"
+            ))
+        })?;
+        for op in ops.drain(..) {
+            sink(op);
+        }
+        report.records += 1;
+        report.ops += n as u64;
+        pos += frame;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Durable store: snapshot + WAL + recovery
+// ---------------------------------------------------------------------------
+
+/// What recovery found on disk when opening a [`DurableGraphStore`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Whether a snapshot file existed and was restored.
+    pub restored_snapshot: bool,
+    /// WAL records replayed on top of the snapshot.
+    pub wal_records: u64,
+    /// Individual ops replayed.
+    pub wal_ops: u64,
+    /// A tolerated torn tail, if the WAL did not end cleanly. The file is
+    /// truncated back to `torn_tail.offset` before appends resume.
+    pub torn_tail: Option<TornTail>,
+}
+
+/// A [`DynamicGraphStore`] with crash-safe durability: updates are logged
+/// to a WAL before being applied, and [`DurableGraphStore::checkpoint`]
+/// atomically writes a checksummed snapshot and truncates the log.
+///
+/// On-disk layout inside the directory passed to [`DurableGraphStore::open`]:
+///
+/// * `snapshot.bin` — latest checkpoint (snapshot format v2, see
+///   [`crate::snapshot`]); absent until the first checkpoint.
+/// * `wal.log` — updates since that checkpoint.
+/// * `snapshot.tmp` — in-flight checkpoint; never read, replaced by rename.
+///
+/// Durability contract: the WAL is flushed to the OS after every logged
+/// call, so updates survive a process crash; [`DurableGraphStore::sync`]
+/// and [`checkpoint`](DurableGraphStore::checkpoint) additionally fsync so
+/// they survive power loss.
+///
+/// The [`GraphStore`] impl's methods are infallible by signature; an I/O
+/// failure while logging panics, because continuing would break the
+/// write-ahead contract. Callers that want to handle disk errors use the
+/// `try_*` methods.
+pub struct DurableGraphStore {
+    store: DynamicGraphStore,
+    wal: Mutex<WalWriter<BufWriter<File>>>,
+    dir: PathBuf,
+}
+
+impl DurableGraphStore {
+    /// Open (or create) a durable store in `dir`, recovering state from the
+    /// snapshot and WAL found there.
+    pub fn open(dir: impl AsRef<Path>, config: StoreConfig) -> io::Result<(Self, RecoveryReport)> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        let store = DynamicGraphStore::new(config);
+        let mut report = RecoveryReport::default();
+
+        let snap_path = dir.join("snapshot.bin");
+        if snap_path.exists() {
+            store.restore_from(File::open(&snap_path)?)?;
+            report.restored_snapshot = true;
+        }
+
+        let wal_path = dir.join("wal.log");
+        let (offset, records) = if wal_path.exists() {
+            let replay = replay_wal(File::open(&wal_path)?, |op| store.apply(&op))?;
+            report.wal_records = replay.records;
+            report.wal_ops = replay.ops;
+            report.torn_tail = replay.torn_tail;
+            let file = OpenOptions::new().write(true).open(&wal_path)?;
+            // Drop any torn tail so new appends start at the durable end.
+            file.set_len(replay.durable_len.max(WAL_MAGIC.len() as u64))?;
+            drop(file);
+            if replay.durable_len == 0 {
+                // Empty file: (re)write the header below.
+                (0, 0)
+            } else {
+                (replay.durable_len, replay.records)
+            }
+        } else {
+            (0, 0)
+        };
+
+        let mut file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(false)
+            .open(&wal_path)?;
+        let writer = if offset == 0 {
+            file.set_len(0)?;
+            WalWriter::create(BufWriter::new(file))?
+        } else {
+            file.seek(SeekFrom::Start(offset))?;
+            WalWriter::resume(BufWriter::new(file), offset, records)
+        };
+
+        let durable = DurableGraphStore {
+            store,
+            wal: Mutex::new(writer),
+            dir,
+        };
+        durable.sync()?;
+        Ok((durable, report))
+    }
+
+    /// The wrapped in-memory store (read-only access; mutate through the
+    /// logged methods or the WAL is bypassed).
+    pub fn store(&self) -> &DynamicGraphStore {
+        &self.store
+    }
+
+    fn lock_wal(&self) -> std::sync::MutexGuard<'_, WalWriter<BufWriter<File>>> {
+        self.wal
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Log and apply one op. The record is flushed to the OS before the
+    /// in-memory store changes.
+    pub fn try_apply(&self, op: &UpdateOp) -> io::Result<()> {
+        {
+            let mut wal = self.lock_wal();
+            wal.append(op)?;
+            wal.flush()?;
+        }
+        self.store.apply(op);
+        Ok(())
+    }
+
+    /// Log and apply a batch atomically (one WAL record), using the store's
+    /// batch-parallel path.
+    pub fn try_apply_batch(&self, ops: &[UpdateOp], threads: usize) -> io::Result<()> {
+        if ops.is_empty() {
+            return Ok(());
+        }
+        {
+            let mut wal = self.lock_wal();
+            wal.append_batch(ops)?;
+            wal.flush()?;
+        }
+        self.store.apply_batch_parallel(ops, threads);
+        Ok(())
+    }
+
+    /// fsync the WAL file.
+    pub fn sync(&self) -> io::Result<()> {
+        let mut wal = self.lock_wal();
+        wal.flush()?;
+        wal.get_ref().get_ref().sync_data()
+    }
+
+    /// Write a checkpoint: snapshot the store to `snapshot.tmp`, fsync,
+    /// atomically rename over `snapshot.bin`, then reset the WAL. After a
+    /// successful checkpoint the WAL is empty and recovery needs only the
+    /// snapshot.
+    pub fn checkpoint(&self) -> io::Result<()> {
+        // Hold the WAL lock across the whole checkpoint so no update can
+        // slip between the snapshot and the log reset (it would be lost).
+        let mut wal = self.lock_wal();
+        let tmp = self.dir.join("snapshot.tmp");
+        let snap = self.dir.join("snapshot.bin");
+        {
+            let f = File::create(&tmp)?;
+            let mut buf = BufWriter::new(f);
+            self.store.snapshot_to(&mut buf)?;
+            buf.flush()?;
+            buf.get_ref().sync_data()?;
+        }
+        std::fs::rename(&tmp, &snap)?;
+        // Reset the log: everything it held is now in the snapshot.
+        let file = OpenOptions::new()
+            .write(true)
+            .truncate(true)
+            .open(self.dir.join("wal.log"))?;
+        *wal = WalWriter::create(BufWriter::new(file))?;
+        wal.flush()?;
+        wal.get_ref().get_ref().sync_data()?;
+        Ok(())
+    }
+
+    /// WAL records since the last checkpoint (for checkpoint policies).
+    pub fn wal_records(&self) -> u64 {
+        self.lock_wal().records()
+    }
+
+    /// WAL file length in bytes.
+    pub fn wal_bytes(&self) -> u64 {
+        self.lock_wal().offset()
+    }
+}
+
+impl GraphStore for DurableGraphStore {
+    fn name(&self) -> &'static str {
+        "PlatoD2GL+WAL"
+    }
+
+    fn insert_edge(&self, edge: Edge) {
+        self.try_apply(&UpdateOp::Insert(edge))
+            .expect("WAL append failed: cannot guarantee durability");
+    }
+
+    fn delete_edge(&self, src: VertexId, dst: VertexId, etype: EdgeType) -> bool {
+        let existed = self.store.edge_weight(src, dst, etype).is_some();
+        self.try_apply(&UpdateOp::Delete { src, dst, etype })
+            .expect("WAL append failed: cannot guarantee durability");
+        existed
+    }
+
+    fn update_weight(&self, edge: Edge) -> bool {
+        let existed = self
+            .store
+            .edge_weight(edge.src, edge.dst, edge.etype)
+            .is_some();
+        self.try_apply(&UpdateOp::UpdateWeight(edge))
+            .expect("WAL append failed: cannot guarantee durability");
+        existed
+    }
+
+    fn apply_batch(&self, ops: &[UpdateOp]) {
+        self.try_apply_batch(
+            ops,
+            std::thread::available_parallelism().map_or(1, |n| n.get()),
+        )
+        .expect("WAL append failed: cannot guarantee durability");
+    }
+
+    fn degree(&self, v: VertexId, etype: EdgeType) -> usize {
+        self.store.degree(v, etype)
+    }
+
+    fn weight_sum(&self, v: VertexId, etype: EdgeType) -> f64 {
+        self.store.weight_sum(v, etype)
+    }
+
+    fn edge_weight(&self, src: VertexId, dst: VertexId, etype: EdgeType) -> Option<f64> {
+        self.store.edge_weight(src, dst, etype)
+    }
+
+    fn sample_neighbors(
+        &self,
+        v: VertexId,
+        etype: EdgeType,
+        k: usize,
+        rng: &mut dyn rand::RngCore,
+    ) -> Vec<VertexId> {
+        self.store.sample_neighbors(v, etype, k, rng)
+    }
+
+    fn neighbors(&self, v: VertexId, etype: EdgeType) -> Vec<(VertexId, f64)> {
+        self.store.neighbors(v, etype)
+    }
+
+    fn num_edges(&self) -> usize {
+        self.store.num_edges()
+    }
+
+    fn topology_bytes(&self) -> usize {
+        self.store.topology_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn v(i: u64) -> VertexId {
+        VertexId(i)
+    }
+
+    fn ins(s: u64, d: u64, w: f64) -> UpdateOp {
+        UpdateOp::Insert(Edge::new(v(s), v(d), w))
+    }
+
+    fn wal_with(ops: &[UpdateOp]) -> Vec<u8> {
+        let mut w = WalWriter::create(Vec::new()).unwrap();
+        for op in ops {
+            w.append(op).unwrap();
+        }
+        w.into_inner()
+    }
+
+    fn replay_all(bytes: &[u8]) -> (Vec<UpdateOp>, WalReplayReport) {
+        let mut out = Vec::new();
+        let report = replay_wal(Cursor::new(bytes), |op| out.push(op)).unwrap();
+        (out, report)
+    }
+
+    #[test]
+    fn roundtrip_single_ops() {
+        let ops = vec![
+            ins(1, 2, 1.5),
+            UpdateOp::Delete {
+                src: v(1),
+                dst: v(2),
+                etype: EdgeType(3),
+            },
+            UpdateOp::UpdateWeight(Edge {
+                src: v(7),
+                dst: v(8),
+                etype: EdgeType(1),
+                weight: 0.25,
+            }),
+        ];
+        let bytes = wal_with(&ops);
+        let (out, report) = replay_all(&bytes);
+        assert_eq!(out, ops);
+        assert_eq!(report.records, 3);
+        assert_eq!(report.ops, 3);
+        assert_eq!(report.durable_len, bytes.len() as u64);
+        assert!(report.torn_tail.is_none());
+    }
+
+    #[test]
+    fn roundtrip_batch_record() {
+        let ops: Vec<UpdateOp> = (0..100).map(|i| ins(i % 7, i, i as f64)).collect();
+        let mut w = WalWriter::create(Vec::new()).unwrap();
+        w.append_batch(&ops).unwrap();
+        assert_eq!(w.records(), 1);
+        let bytes = w.into_inner();
+        let (out, report) = replay_all(&bytes);
+        assert_eq!(out, ops);
+        assert_eq!(report.records, 1);
+        assert_eq!(report.ops, 100);
+    }
+
+    #[test]
+    fn empty_wal_and_empty_file() {
+        let (out, report) = replay_all(&wal_with(&[]));
+        assert!(out.is_empty());
+        assert_eq!(report.records, 0);
+        let (out, report) = replay_all(&[]);
+        assert!(out.is_empty());
+        assert_eq!(report, WalReplayReport::default());
+    }
+
+    #[test]
+    fn bad_magic_is_rejected_with_offset() {
+        let err = replay_wal(Cursor::new(b"NOTAWAL!rest".to_vec()), |_| {}).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("byte offset 0"), "{err}");
+    }
+
+    #[test]
+    fn truncation_at_every_byte_is_a_clean_torn_tail() {
+        let ops = vec![ins(1, 2, 1.0), ins(3, 4, 2.0), ins(5, 6, 3.0)];
+        let bytes = wal_with(&ops);
+        // Record boundaries: magic, then equal-size frames.
+        for cut in WAL_MAGIC.len()..bytes.len() {
+            let (out, report) = replay_all(&bytes[..cut]);
+            let frame = (bytes.len() - WAL_MAGIC.len()) / ops.len();
+            let expect_records = (cut - WAL_MAGIC.len()) / frame;
+            assert_eq!(
+                report.records, expect_records as u64,
+                "cut at {cut}: wrong durable prefix"
+            );
+            assert_eq!(out, ops[..expect_records]);
+            if cut < bytes.len() {
+                assert!(report.torn_tail.is_some() || report.durable_len == cut as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_tail_record_is_tolerated() {
+        let bytes = {
+            let mut b = wal_with(&[ins(1, 2, 1.0), ins(3, 4, 2.0)]);
+            let n = b.len();
+            b[n - 6] ^= 0xFF; // flip a payload byte inside the final record
+            b
+        };
+        let (out, report) = replay_all(&bytes);
+        assert_eq!(out, vec![ins(1, 2, 1.0)]);
+        assert_eq!(report.records, 1);
+        assert_eq!(
+            report.torn_tail.unwrap().kind,
+            TornTailKind::BadTailChecksum
+        );
+    }
+
+    #[test]
+    fn corrupt_interior_record_is_a_hard_error() {
+        let mut bytes = wal_with(&[ins(1, 2, 1.0), ins(3, 4, 2.0)]);
+        // Flip a byte inside the FIRST record's payload.
+        bytes[WAL_MAGIC.len() + 5] ^= 0x01;
+        let err = replay_wal(Cursor::new(bytes), |_| {}).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let msg = err.to_string();
+        assert!(msg.contains("byte offset 8"), "{msg}");
+        assert!(msg.contains("CRC32C"), "{msg}");
+    }
+
+    #[test]
+    fn zero_fill_tail_is_tolerated() {
+        let mut bytes = wal_with(&[ins(1, 2, 1.0)]);
+        let durable = bytes.len();
+        bytes.extend_from_slice(&[0u8; 64]);
+        let (out, report) = replay_all(&bytes);
+        assert_eq!(out.len(), 1);
+        assert_eq!(report.torn_tail.unwrap().kind, TornTailKind::ZeroFill);
+        assert_eq!(report.durable_len, durable as u64);
+    }
+
+    #[test]
+    fn garbage_after_valid_records_is_detected() {
+        // Garbage that *parses* as a frame with bytes left over must be a
+        // hard error; garbage that reads as a truncated/tail frame is torn.
+        let mut bytes = wal_with(&[ins(1, 2, 1.0)]);
+        bytes.extend_from_slice(&[0xAB; 3]); // < 4 bytes: truncated header
+        let (_, report) = replay_all(&bytes);
+        assert_eq!(
+            report.torn_tail.unwrap().kind,
+            TornTailKind::TruncatedHeader
+        );
+    }
+}

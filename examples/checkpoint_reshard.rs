@@ -6,8 +6,7 @@
 //! Run with: `cargo run -p platod2gl --release --example checkpoint_reshard`
 
 use platod2gl::{
-    read_edge_list, write_edge_list, DatasetProfile, EdgeType, GraphStore, PlatoD2GL,
-    UpdateOp,
+    read_edge_list, write_edge_list, DatasetProfile, EdgeType, GraphStore, PlatoD2GL, UpdateOp,
 };
 
 fn main() {
@@ -26,7 +25,12 @@ fn main() {
     // --- 2. Load it into a 2-shard cluster. ------------------------------
     let small = PlatoD2GL::builder().num_shards(2).build();
     let parsed = read_edge_list(text.as_slice()).expect("parse edge list");
-    small.apply_updates(&parsed.iter().map(|&e| UpdateOp::Insert(e)).collect::<Vec<_>>());
+    small.apply_updates(
+        &parsed
+            .iter()
+            .map(|&e| UpdateOp::Insert(e))
+            .collect::<Vec<_>>(),
+    );
     println!(
         "loaded into 2 shards: {} edges, shard load {:?}",
         small.store().num_edges(),

@@ -96,8 +96,7 @@ fn main() {
         let mut acc_sum = 0.0;
         let mut batches = 0.0;
         for chunk in accounts.chunks(64) {
-            let batch_labels: Vec<usize> =
-                chunk.iter().map(|v| labels[v.raw() as usize]).collect();
+            let batch_labels: Vec<usize> = chunk.iter().map(|v| labels[v.raw() as usize]).collect();
             let stats = net.train_step(system.store(), &provider, chunk, &batch_labels, &mut rng);
             loss_sum += stats.loss;
             acc_sum += stats.accuracy;
@@ -127,8 +126,7 @@ fn main() {
         let mut acc_sum = 0.0;
         let mut batches = 0.0;
         for chunk in accounts.chunks(64) {
-            let batch_labels: Vec<usize> =
-                chunk.iter().map(|v| labels[v.raw() as usize]).collect();
+            let batch_labels: Vec<usize> = chunk.iter().map(|v| labels[v.raw() as usize]).collect();
             let stats = net.train_step(system.store(), &provider, chunk, &batch_labels, &mut rng);
             acc_sum += stats.accuracy;
             batches += 1.0;
@@ -146,5 +144,8 @@ fn main() {
         accounts.len(),
         correct as f64 / accounts.len() as f64 * 100.0
     );
-    assert!(final_acc > 0.7, "model should keep learning on the dynamic graph");
+    assert!(
+        final_acc > 0.7,
+        "model should keep learning on the dynamic graph"
+    );
 }

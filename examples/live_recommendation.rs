@@ -9,9 +9,7 @@
 //!
 //! Run with: `cargo run -p platod2gl --release --example live_recommendation`
 
-use platod2gl::{
-    DatasetProfile, EdgeType, MetapathSampler, PlatoD2GL, UpdateOp,
-};
+use platod2gl::{DatasetProfile, EdgeType, MetapathSampler, PlatoD2GL, UpdateOp};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::Instant;
@@ -24,7 +22,11 @@ fn main() {
     for r in &profile.relations {
         println!(
             "  {:<10} {:>9} src x {:>9} dst, {:>9} edges (density {:.2})",
-            r.name, r.num_src, r.num_dst, r.num_edges, r.density()
+            r.name,
+            r.num_src,
+            r.num_dst,
+            r.num_edges,
+            r.density()
         );
     }
 
@@ -92,9 +94,7 @@ fn main() {
     })]);
     let samples = system.neighbor_sample(&[user], EdgeType(0), 200, 11);
     let hits = samples[0].iter().filter(|v| **v == new_live).count();
-    println!(
-        "after one live click with weight 50: new room appears in {hits}/200 samples"
-    );
+    println!("after one live click with weight 50: new room appears in {hits}/200 samples");
     assert!(hits > 0, "fresh interest must be sampled immediately");
 
     let mem = system.memory_report();

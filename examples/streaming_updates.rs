@@ -33,7 +33,11 @@ fn bench_engine(store: &dyn GraphStore, profile: &DatasetProfile) -> (f64, f64, 
         ops_applied += batch.len();
     }
     let update_s = t.elapsed().as_secs_f64();
-    (build_s, ops_applied as f64 / update_s, store.topology_bytes())
+    (
+        build_s,
+        ops_applied as f64 / update_s,
+        store.topology_bytes(),
+    )
 }
 
 fn main() {

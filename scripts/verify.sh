@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate: everything a PR must pass before merging.
+# Run from the repository root: ./scripts/verify.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo clippy --all-targets -- -D warnings"
+cargo clippy --all-targets -- -D warnings
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "verify: all gates passed"

@@ -91,9 +91,7 @@ fn sampling_cost_is_logarithmic_for_both() {
     let t_cs_l = best_time(20_000, |i| {
         std::hint::black_box(cs_large.its_search((i % large) as f64 + 0.5));
     });
-    println!(
-        "sample ns/op: FS {t_fs_s:.0} -> {t_fs_l:.0}, CS {t_cs_s:.0} -> {t_cs_l:.0}"
-    );
+    println!("sample ns/op: FS {t_fs_s:.0} -> {t_fs_l:.0}, CS {t_cs_s:.0} -> {t_cs_l:.0}");
     assert!(t_fs_l / t_fs_s < 16.0, "FTS sampling not logarithmic");
     assert!(t_cs_l / t_cs_s < 16.0, "ITS sampling not logarithmic");
 }

@@ -2,8 +2,8 @@
 //! make PlatoD2GL usable for online training.
 
 use platod2gl::{
-    DatasetProfile, DynamicGraphStore, Edge, EdgeType, GraphStore, PlatoD2GL, LeafIndex, SamTreeConfig,
-    StoreConfig, UpdateOp, VertexId,
+    DatasetProfile, DynamicGraphStore, Edge, EdgeType, GraphStore, LeafIndex, PlatoD2GL,
+    SamTreeConfig, StoreConfig, UpdateOp, VertexId,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -42,7 +42,9 @@ fn churn_matches_reference_model() {
         }
     }
     assert_eq!(store.num_edges(), reference.len());
-    store.check_invariants().expect("samtree invariants under churn");
+    store
+        .check_invariants()
+        .expect("samtree invariants under churn");
     for (&(src, dst), &w) in reference.iter().take(2_000) {
         let got = store
             .edge_weight(VertexId(src), VertexId(dst), EdgeType(0))
@@ -117,10 +119,9 @@ fn concurrent_updates_and_sampling_are_consistent() {
                 let mut rng = StdRng::seed_from_u64(t);
                 for round in 0..200 {
                     let src = sources[(round + t as usize) % sources.len()];
-                    let out =
-                        system
-                            .store()
-                            .sample_neighbors(src, EdgeType(0), 20, &mut rng);
+                    let out = system
+                        .store()
+                        .sample_neighbors(src, EdgeType(0), 20, &mut rng);
                     for v in out {
                         assert!(v.index() < 400, "impossible vertex {v:?}");
                     }

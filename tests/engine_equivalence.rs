@@ -3,8 +3,8 @@
 //! differ in cost, never in semantics.
 
 use platod2gl::{
-    AliGraphStore, DatasetProfile, DynamicGraphStore, EdgeType, GraphStore, PlatoGlStore,
-    LeafIndex, SamTreeConfig, StoreConfig, UpdateOp, WeightedIndex,
+    AliGraphStore, DatasetProfile, DynamicGraphStore, EdgeType, GraphStore, LeafIndex,
+    PlatoGlStore, SamTreeConfig, StoreConfig, UpdateOp, WeightedIndex,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -26,7 +26,10 @@ fn engines() -> Vec<Box<dyn GraphStore>> {
     ]
 }
 
-fn fingerprint(store: &dyn GraphStore, sources: &[platod2gl::VertexId]) -> BTreeMap<u64, Vec<(u64, u64)>> {
+fn fingerprint(
+    store: &dyn GraphStore,
+    sources: &[platod2gl::VertexId],
+) -> BTreeMap<u64, Vec<(u64, u64)>> {
     let mut out = BTreeMap::new();
     for &src in sources {
         for et in 0..4u16 {

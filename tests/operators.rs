@@ -3,10 +3,9 @@
 //! facade — the integration surface a training job actually touches.
 
 use platod2gl::{
-    DatasetProfile, DeepWalkConfig, DeepWalkTrainer, Edge, EdgeType, GraphStore,
-    HashFeatures, MetapathSampler, NegativeSampler, NeighborSampler, Node2VecWalker,
-    NodeSampler, PlatoD2GL, RandomWalkSampler, SageNet, SageNetConfig, SubgraphSampler,
-    VertexId,
+    DatasetProfile, DeepWalkConfig, DeepWalkTrainer, Edge, EdgeType, GraphStore, HashFeatures,
+    MetapathSampler, NegativeSampler, NeighborSampler, Node2VecWalker, NodeSampler, PlatoD2GL,
+    RandomWalkSampler, SageNet, SageNetConfig, SubgraphSampler, VertexId,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -44,8 +43,11 @@ fn every_sampler_runs_against_the_cluster() {
     // Subgraph + metapath.
     let sg = SubgraphSampler::new(EdgeType(0), vec![5, 5]).sample(store, &seeds[..4], &mut rng);
     assert_eq!(sg.layers.len(), 3);
-    let mp = MetapathSampler::new(vec![(EdgeType(0), 5), (EdgeType(0), 5)])
-        .sample(store, &seeds[..4], &mut rng);
+    let mp = MetapathSampler::new(vec![(EdgeType(0), 5), (EdgeType(0), 5)]).sample(
+        store,
+        &seeds[..4],
+        &mut rng,
+    );
     assert_eq!(mp.len(), 3);
 
     // Walks: first-order, restarting, and node2vec.
@@ -57,9 +59,7 @@ fn every_sampler_runs_against_the_cluster() {
     let _ = RandomWalkSampler::new(EdgeType(0), 8)
         .with_restart(0.3)
         .sample(store, &seeds[..4], &mut rng);
-    for walk in
-        Node2VecWalker::new(EdgeType(0), 8, 4.0, 0.5).sample(store, &seeds[..4], &mut rng)
-    {
+    for walk in Node2VecWalker::new(EdgeType(0), 8, 4.0, 0.5).sample(store, &seeds[..4], &mut rng) {
         for pair in walk.windows(2) {
             assert!(store.edge_weight(pair[0], pair[1], EdgeType(0)).is_some());
         }

@@ -1,0 +1,304 @@
+//! Offline stand-in for `criterion`: a minimal benchmark harness with the
+//! API surface the workspace benches use. Under `cargo bench` (cargo passes
+//! `--bench`) each benchmark is timed over a short fixed budget and a
+//! `name/param: median ns/iter` line is printed — no statistics, plots, or
+//! baselines. Under `cargo test` the bench binaries exit immediately so the
+//! test suite stays fast.
+
+// Vendored API stand-in: exempt from clippy polish (see vendor/README.md).
+#![allow(clippy::all)]
+
+pub use std::hint::black_box;
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Benchmark identifier: `function/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            label: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> Self {
+        BenchmarkId { label }
+    }
+}
+
+/// Throughput annotation (accepted, not reported).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+    BytesDecimal(u64),
+}
+
+/// Batch-size hint for `iter_batched` (accepted, not used for planning).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Timing context passed to each benchmark closure.
+pub struct Bencher {
+    /// Wall-clock budget for the measurement loop.
+    budget: Duration,
+    /// Median ns/iter of the last `iter*` call.
+    last_ns: f64,
+}
+
+impl Bencher {
+    fn new(budget: Duration) -> Self {
+        Bencher {
+            budget,
+            last_ns: f64::NAN,
+        }
+    }
+
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // One warmup call, then time batches until the budget runs out.
+        black_box(routine());
+        let started = Instant::now();
+        let mut samples: Vec<f64> = Vec::new();
+        let mut batch = 1u64;
+        while started.elapsed() < self.budget {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let ns = t.elapsed().as_nanos() as f64 / batch as f64;
+            samples.push(ns);
+            // Grow batches until one batch takes ≥ ~1ms, bounding timer noise.
+            if t.elapsed() < Duration::from_millis(1) && batch < 1 << 20 {
+                batch *= 2;
+            }
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.last_ns = samples[samples.len() / 2];
+    }
+
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        black_box(routine(setup()));
+        let started = Instant::now();
+        let mut samples: Vec<f64> = Vec::new();
+        while started.elapsed() < self.budget {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            samples.push(t.elapsed().as_nanos() as f64);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.last_ns = samples[samples.len() / 2];
+    }
+
+    pub fn iter_batched_ref<I, O, S, F>(&mut self, setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(&mut I) -> O,
+    {
+        self.iter_batched(setup, |mut input| routine(&mut input), _size)
+    }
+}
+
+/// Root harness handle.
+pub struct Criterion {
+    enabled: bool,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // cargo passes `--bench` when running bench targets via
+        // `cargo bench`; under `cargo test` nothing should run.
+        let enabled = std::env::args().any(|a| a == "--bench");
+        Criterion {
+            enabled,
+            measurement_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            enabled: self.enabled,
+            measurement_time: self.measurement_time,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let time = self.measurement_time;
+        let enabled = self.enabled;
+        run_one("", enabled, time, id.into(), f);
+        self
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    enabled: bool,
+    measurement_time: Duration,
+    // Tie the group's lifetime to the Criterion handle like upstream.
+    _marker: std::marker::PhantomData<&'a mut ()>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, time: Duration) -> &mut Self {
+        self.measurement_time = time.min(Duration::from_secs(3));
+        self
+    }
+
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(
+            &self.name,
+            self.enabled,
+            self.measurement_time,
+            id.into(),
+            f,
+        );
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(
+            &self.name,
+            self.enabled,
+            self.measurement_time,
+            id.into(),
+            |b| f(b, input),
+        );
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    group: &str,
+    enabled: bool,
+    time: Duration,
+    id: BenchmarkId,
+    mut f: F,
+) {
+    if !enabled {
+        return;
+    }
+    let mut bencher = Bencher::new(time);
+    f(&mut bencher);
+    let full = if group.is_empty() {
+        id.label
+    } else {
+        format!("{group}/{}", id.label)
+    };
+    if bencher.last_ns.is_nan() {
+        println!("{full}: no measurement");
+    } else {
+        println!("{full}: {:.0} ns/iter", bencher.last_ns);
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_harness_skips_measurement() {
+        // Tests don't pass --bench, so the default harness must be inert.
+        let mut c = Criterion::default();
+        let mut ran = false;
+        let mut group = c.benchmark_group("g");
+        group.bench_function("noop", |b| {
+            ran = true;
+            b.iter(|| 1 + 1);
+        });
+        group.finish();
+        assert!(!ran, "bench closures must not run under cargo test");
+    }
+
+    #[test]
+    fn enabled_bencher_measures() {
+        let mut b = Bencher::new(Duration::from_millis(10));
+        b.iter(|| black_box(3u64).wrapping_mul(7));
+        assert!(b.last_ns.is_finite() && b.last_ns >= 0.0);
+        b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::SmallInput);
+        assert!(b.last_ns.is_finite());
+    }
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::new("CSTable", 256).label, "CSTable/256");
+        assert_eq!(BenchmarkId::from_parameter("2^10").label, "2^10");
+    }
+}

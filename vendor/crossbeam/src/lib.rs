@@ -1,0 +1,96 @@
+//! Offline stand-in for `crossbeam`: the scoped-thread API used by this
+//! workspace, implemented over `std::thread::scope` (stable since 1.63).
+//!
+//! Behavioral difference: when a spawned thread panics, `std::thread::scope`
+//! re-raises the panic after joining instead of returning `Err` — callers
+//! here all `.expect()` the result, so the observable outcome (process/test
+//! aborts with the panic message) is identical.
+
+// Vendored API stand-in: exempt from clippy polish (see vendor/README.md).
+#![allow(clippy::all)]
+
+pub use thread::scope;
+
+pub mod thread {
+    use std::any::Any;
+
+    /// Mirror of `crossbeam::thread::Scope`, wrapping the std scope handle.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Mirror of `crossbeam::thread::ScopedJoinHandle`.
+    pub struct ScopedJoinHandle<'scope, T>(std::thread::ScopedJoinHandle<'scope, T>);
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.0.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle(self.inner.spawn(move || {
+                let nested = Scope { inner };
+                f(&nested)
+            }))
+        }
+    }
+
+    /// `crossbeam::thread::scope`: run `f` with a scope handle; all spawned
+    /// threads are joined before this returns. A child panic propagates as a
+    /// panic (see module docs) rather than an `Err`.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| {
+            let wrapper = Scope { inner: s };
+            f(&wrapper)
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scope_joins_all_threads() {
+        let counter = AtomicUsize::new(0);
+        super::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|_| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        })
+        .expect("scope");
+        assert_eq!(counter.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn nested_scope_handle_can_spawn() {
+        let counter = AtomicUsize::new(0);
+        super::thread::scope(|s| {
+            s.spawn(|inner| {
+                inner.spawn(|_| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            });
+        })
+        .expect("scope");
+        assert_eq!(counter.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn join_returns_thread_result() {
+        let out = super::scope(|s| s.spawn(|_| 41 + 1).join().expect("join")).expect("scope");
+        assert_eq!(out, 42);
+    }
+}

@@ -1,0 +1,20 @@
+//! Offline stand-in for `serde`: the workspace only uses
+//! `#[derive(Serialize, Deserialize)]` as forward-compatible annotations on
+//! value types (nothing serializes yet — there is no serde_json or similar
+//! in the tree). These no-op derives let the annotations compile without
+//! the real proc-macro stack.
+
+// Vendored API stand-in: exempt from clippy polish (see vendor/README.md).
+#![allow(clippy::all)]
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
