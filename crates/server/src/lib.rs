@@ -378,11 +378,26 @@ impl Cluster {
         }
     }
 
-    /// Queue an update op for a failed shard; drained by
-    /// [`Cluster::heal_shard`].
-    fn queue_op(&self, shard: usize, op: UpdateOp) {
-        self.shard_states[shard].lock_pending().push(op);
+    /// Queue an update op for a failed shard (drained by
+    /// [`Cluster::heal_shard`]), re-checking health *under the pending
+    /// lock*: a writer that observed the shard failed may reach here after
+    /// a concurrent [`Cluster::heal_shard`] already drained the queue and
+    /// marked the shard healthy — queueing then would strand the op forever.
+    /// In that case the op is applied directly instead (the heal completed
+    /// its drain before flipping health, so ordering is preserved).
+    ///
+    /// Returns `true` if the op was queued, `false` if it was applied.
+    fn queue_op(&self, shard: usize, op: UpdateOp) -> bool {
+        let state = &self.shard_states[shard];
+        let mut pending = state.lock_pending();
+        if state.health() != ShardHealth::Failed {
+            drop(pending);
+            self.servers[shard].topology.apply(&op);
+            return false;
+        }
+        pending.push(op);
         self.queued_ops.fetch_add(1, Ordering::Relaxed);
+        true
     }
 
     /// Apply a routed update op under the fault policy. Returns `false`
@@ -391,26 +406,40 @@ impl Cluster {
         let shard = self.route(op.src());
         match self.call_shard(shard, |s| s.topology.apply(&op)) {
             Ok(()) => true,
-            Err(_) => {
-                self.queue_op(shard, op);
-                false
-            }
+            Err(_) => !self.queue_op(shard, op),
         }
     }
 
     /// Clear any scripted fault on a shard, mark it healthy, and drain its
     /// queued updates through the batch-parallel path. Returns the number
     /// of drained ops.
+    ///
+    /// Drain and health transition coordinate with writers through the
+    /// pending mutex: the queue is re-checked after every drained batch
+    /// (writers still observing the shard as failed may queue concurrently
+    /// with a drain), and the shard is marked healthy only in the same
+    /// critical section that observes the queue empty. After that, any
+    /// late writer re-checks health under the same lock in
+    /// [`Cluster::queue_op`] and applies directly, so no op is ever parked
+    /// on a healthy shard.
     pub fn heal_shard(&self, shard: usize) -> usize {
-        self.faults.clear(shard);
-        let pending: Vec<UpdateOp> = std::mem::take(&mut *self.shard_states[shard].lock_pending());
-        if !pending.is_empty() {
+        let state = &self.shard_states[shard];
+        let mut drained = 0;
+        loop {
+            let pending: Vec<UpdateOp> = {
+                let mut guard = state.lock_pending();
+                if guard.is_empty() {
+                    self.faults.clear(shard);
+                    state.set_health(ShardHealth::Healthy);
+                    return drained;
+                }
+                std::mem::take(&mut *guard)
+            };
+            drained += pending.len();
             self.servers[shard]
                 .topology
                 .apply_batch_parallel(&pending, self.config.threads_per_shard.max(1));
         }
-        self.shard_states[shard].set_health(ShardHealth::Healthy);
-        pending.len()
     }
 
     /// Per-shard edge counts (load-balance diagnostics).
@@ -531,10 +560,15 @@ impl Cluster {
                 let Some(fate) = fate else { continue };
                 match fate {
                     Fate::Queue => {
+                        // queue_op may apply directly if a concurrent heal
+                        // raced in; count whichever actually happened.
                         for op in shard_ops {
-                            self.queue_op(shard, *op);
+                            if self.queue_op(shard, *op) {
+                                report.queued_ops += 1;
+                            } else {
+                                report.applied_ops += 1;
+                            }
                         }
-                        report.queued_ops += shard_ops.len();
                     }
                     Fate::Apply { delay, panic } => {
                         let server = &self.servers[shard];
@@ -715,8 +749,9 @@ impl GraphStore for Cluster {
         match self.call_shard(shard, |s| s.topology.delete_edge(src, dst, etype)) {
             Ok(existed) => existed,
             Err(_) => {
-                // Queued for the healed shard; existence is unknown now.
-                self.queue_op(shard, UpdateOp::Delete { src, dst, etype });
+                // Queued (or, on a heal race, applied late); prior existence
+                // is unknown either way.
+                let _ = self.queue_op(shard, UpdateOp::Delete { src, dst, etype });
                 false
             }
         }
@@ -728,7 +763,7 @@ impl GraphStore for Cluster {
         match self.call_shard(shard, |s| s.topology.update_weight(edge)) {
             Ok(existed) => existed,
             Err(_) => {
-                self.queue_op(shard, UpdateOp::UpdateWeight(edge));
+                let _ = self.queue_op(shard, UpdateOp::UpdateWeight(edge));
                 false
             }
         }
@@ -1116,6 +1151,58 @@ mod tests {
             .apply_batch_sharded(&[UpdateOp::Insert(Edge::new(dead, VertexId(902), 1.0))])
             .expect("queued, not panicked");
         assert_eq!(report.queued_ops, 1);
+    }
+
+    #[test]
+    fn heal_never_strands_ops_on_a_healthy_shard() {
+        // Writers race a fail/heal cycler. The invariant under test: an op
+        // may only sit in the pending queue while the shard reports Failed
+        // — queueing after a heal's drain (shard Healthy) would strand it
+        // forever. queue_op re-checks health under the pending lock, and
+        // heal_shard flips health in the critical section that observes
+        // the queue empty, so the combination cannot happen.
+        let c = Cluster::new(ClusterConfig {
+            num_shards: 2,
+            ..Default::default()
+        });
+        let writers = 4usize;
+        let per_writer = 200usize;
+        std::thread::scope(|s| {
+            for w in 0..writers {
+                let c = &c;
+                s.spawn(move || {
+                    for i in 0..per_writer {
+                        let src = VertexId((w * per_writer + i) as u64);
+                        c.insert_edge(Edge::new(src, VertexId(9_999_999), 1.0));
+                    }
+                });
+            }
+            s.spawn(|| {
+                for _ in 0..50 {
+                    c.faults().fail_shard(1);
+                    std::thread::yield_now();
+                    c.heal_shard(1);
+                }
+            });
+        });
+        for shard in 0..c.num_shards() {
+            if c.shard_health(shard) == ShardHealth::Healthy {
+                assert_eq!(
+                    c.pending_ops(shard),
+                    0,
+                    "ops stranded in the queue of a healthy shard {shard}"
+                );
+            }
+            // A late writer that observed a pre-heal failure verdict may
+            // legitimately re-fail the shard and queue; one more heal must
+            // deliver everything.
+            c.heal_shard(shard);
+        }
+        assert_eq!(
+            c.num_edges(),
+            writers * per_writer,
+            "every acked insert must land exactly once"
+        );
     }
 
     #[test]

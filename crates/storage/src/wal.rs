@@ -34,13 +34,16 @@
 //!   reports it in [`WalReplayReport::torn_tail`]; everything before it is
 //!   the durable prefix.
 //! * **Interior corruption** — a record fails its CRC and *more bytes
-//!   follow its frame*. That cannot be explained by a crash mid-append, so
-//!   replay returns a hard [`io::ErrorKind::InvalidData`] error naming the
-//!   byte offset rather than silently dropping committed updates.
+//!   follow its frame*, or a record's declared length is unreadable (zero,
+//!   over the limit, past end-of-file) while complete CRC-valid records can
+//!   still be found after it (a bit-flipped length prefix, not crash
+//!   debris). Either way replay returns a hard
+//!   [`io::ErrorKind::InvalidData`] error naming the byte offset rather
+//!   than silently dropping committed updates.
 
 use crate::crc32c::crc32c;
 use crate::topology::{DynamicGraphStore, StoreConfig};
-use platod2gl_graph::{Edge, EdgeType, GraphStore, UpdateOp, VertexId};
+use platod2gl_graph::{sanitize_weight, Edge, EdgeType, GraphStore, UpdateOp, VertexId};
 use std::fs::{File, OpenOptions};
 use std::io::{self, BufWriter, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
@@ -90,7 +93,10 @@ fn encode_edge_body(
     out.extend_from_slice(&dst.raw().to_le_bytes());
     out.extend_from_slice(&etype.0.to_le_bytes());
     if let Some(w) = weight {
-        out.extend_from_slice(&w.to_bits().to_le_bytes());
+        // Log the weight the store will actually apply (the sanitized one),
+        // so replay reproduces the applied state and never re-ingests a
+        // non-finite value.
+        out.extend_from_slice(&sanitize_weight(w).to_bits().to_le_bytes());
     }
 }
 
@@ -131,6 +137,16 @@ impl<'a> Decoder<'a> {
             .map(|s| u64::from_le_bytes(s.try_into().unwrap()))
     }
 
+    /// Decode a weight, clamping non-finite values to `0.0` *without* the
+    /// ingest boundary's debug assertion: replay is not ingest — the value
+    /// already passed ingest in a (possibly release-built) writer, and a
+    /// debug-built reader must recover the log, not panic on it. The clamp
+    /// matches what `sanitize_weight` applied in-memory at ingest time.
+    fn weight(&mut self) -> Option<f64> {
+        let w = f64::from_bits(self.u64()?);
+        Some(if w.is_finite() { w } else { 0.0 })
+    }
+
     fn op(&mut self) -> Option<UpdateOp> {
         let tag = self.u8()?;
         let src = VertexId(self.u64()?);
@@ -141,14 +157,14 @@ impl<'a> Decoder<'a> {
                 src,
                 dst,
                 etype,
-                weight: f64::from_bits(self.u64()?),
+                weight: self.weight()?,
             })),
             TAG_DELETE => Some(UpdateOp::Delete { src, dst, etype }),
             TAG_UPDATE_WEIGHT => Some(UpdateOp::UpdateWeight(Edge {
                 src,
                 dst,
                 etype,
-                weight: f64::from_bits(self.u64()?),
+                weight: self.weight()?,
             })),
             _ => None,
         }
@@ -316,6 +332,55 @@ fn invalid(msg: String) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg)
 }
 
+/// fsync a directory so a just-completed rename inside it survives power
+/// loss. POSIX makes rename atomicity a file-system property but its
+/// *durability* a directory property.
+fn sync_dir(dir: &Path) -> io::Result<()> {
+    #[cfg(unix)]
+    File::open(dir)?.sync_all()?;
+    #[cfg(not(unix))]
+    let _ = dir; // directory handles are not fsync-able portably
+    Ok(())
+}
+
+/// Total payload bytes the torn-tail disambiguation scan may spend on CRC
+/// checks before giving up. Bounds worst-case replay time on adversarial
+/// tails; real records are far smaller than this, so the scan always reaches
+/// the next record when one exists at realistic record sizes.
+const SCAN_CRC_BUDGET: usize = 64 << 20;
+
+/// Scan `data[from..]` for *any* offset at which a complete, CRC32C-valid
+/// record frame parses.
+///
+/// Used to tell a torn tail apart from a corrupted interior length prefix:
+/// a crash mid-append leaves only partial-record debris after the last
+/// durable record (nothing further can CRC-validate, short of a 2^-32
+/// collision), whereas a bit flip in an interior record's length prefix
+/// leaves every *subsequent* committed record intact and findable.
+fn valid_record_follows(data: &[u8], from: usize) -> bool {
+    let mut budget = SCAN_CRC_BUDGET;
+    // A frame needs at least len(4) + 1 payload byte + crc(4).
+    for start in from..data.len().saturating_sub(8) {
+        let len = u32::from_le_bytes(data[start..start + 4].try_into().unwrap());
+        if len == 0 || len > MAX_RECORD_LEN {
+            continue;
+        }
+        let Some(frame_end) = (start + 4).checked_add(len as usize + 4) else {
+            continue;
+        };
+        if frame_end > data.len() || budget == 0 {
+            continue;
+        }
+        let payload = &data[start + 4..start + 4 + len as usize];
+        budget = budget.saturating_sub(payload.len());
+        let stored = u32::from_le_bytes(data[frame_end - 4..frame_end].try_into().unwrap());
+        if crc32c(payload) == stored {
+            return true;
+        }
+    }
+    false
+}
+
 /// Replay a WAL, delivering each decoded op to `sink` in log order.
 ///
 /// Returns a report describing how much of the log was durable. See the
@@ -357,18 +422,37 @@ fn replay_wal_bytes(data: &[u8], sink: &mut dyn FnMut(UpdateOp)) -> io::Result<W
             return Ok(report);
         }
         let len = u32::from_le_bytes(data[pos..pos + 4].try_into().unwrap());
-        if len == 0 {
-            report.torn_tail = Some(TornTail {
-                offset: pos as u64,
-                kind: TornTailKind::ZeroFill,
-            });
-            return Ok(report);
-        }
         let frame = 4usize + len as usize + 4;
-        if len > MAX_RECORD_LEN || remaining < frame {
+        if len == 0 || len > MAX_RECORD_LEN || remaining < frame {
+            // The frame cannot be read as declared. A crash mid-append
+            // explains that only if nothing valid follows; if a complete
+            // CRC-valid record exists further on, the length prefix itself
+            // is corrupted interior data, and calling it a torn tail would
+            // silently truncate committed records.
+            if valid_record_follows(data, pos + 1) {
+                let why = if len == 0 {
+                    "a zero length".to_string()
+                } else if len > MAX_RECORD_LEN {
+                    format!("length {len} over the {MAX_RECORD_LEN}-byte limit")
+                } else {
+                    format!(
+                        "length {len}, extending {} bytes past end-of-file",
+                        frame - remaining
+                    )
+                };
+                return Err(invalid(format!(
+                    "WAL record at byte offset {pos} declares {why}, but \
+                     CRC-valid records follow it — corrupted length prefix, \
+                     refusing to replay"
+                )));
+            }
             report.torn_tail = Some(TornTail {
                 offset: pos as u64,
-                kind: TornTailKind::TruncatedRecord,
+                kind: if len == 0 {
+                    TornTailKind::ZeroFill
+                } else {
+                    TornTailKind::TruncatedRecord
+                },
             });
             return Ok(report);
         }
@@ -527,27 +611,32 @@ impl DurableGraphStore {
 
     /// Log and apply one op. The record is flushed to the OS before the
     /// in-memory store changes.
+    ///
+    /// The in-memory apply happens while the WAL lock is still held:
+    /// [`checkpoint`](DurableGraphStore::checkpoint) takes the same lock, so
+    /// no op can ever be logged-but-unapplied when a snapshot is cut (the
+    /// snapshot would miss the op and the subsequent WAL reset would lose
+    /// it), and in-memory apply order always matches log order, so replay
+    /// reproduces the pre-crash state even for conflicting concurrent ops.
     pub fn try_apply(&self, op: &UpdateOp) -> io::Result<()> {
-        {
-            let mut wal = self.lock_wal();
-            wal.append(op)?;
-            wal.flush()?;
-        }
+        let mut wal = self.lock_wal();
+        wal.append(op)?;
+        wal.flush()?;
         self.store.apply(op);
         Ok(())
     }
 
     /// Log and apply a batch atomically (one WAL record), using the store's
-    /// batch-parallel path.
+    /// batch-parallel path. As with [`try_apply`](DurableGraphStore::try_apply),
+    /// the apply runs under the WAL lock so a concurrent checkpoint can
+    /// never snapshot between the append and the apply.
     pub fn try_apply_batch(&self, ops: &[UpdateOp], threads: usize) -> io::Result<()> {
         if ops.is_empty() {
             return Ok(());
         }
-        {
-            let mut wal = self.lock_wal();
-            wal.append_batch(ops)?;
-            wal.flush()?;
-        }
+        let mut wal = self.lock_wal();
+        wal.append_batch(ops)?;
+        wal.flush()?;
         self.store.apply_batch_parallel(ops, threads);
         Ok(())
     }
@@ -577,6 +666,11 @@ impl DurableGraphStore {
             buf.get_ref().sync_data()?;
         }
         std::fs::rename(&tmp, &snap)?;
+        // Make the rename itself durable before touching the WAL: without a
+        // directory fsync, power loss could persist the WAL truncation below
+        // while the rename is still only in the directory's page cache,
+        // leaving the *old* snapshot next to an empty log.
+        sync_dir(&self.dir)?;
         // Reset the log: everything it held is now in the snapshot.
         let file = OpenOptions::new()
             .write(true)
@@ -798,6 +892,94 @@ mod tests {
         let msg = err.to_string();
         assert!(msg.contains("byte offset 8"), "{msg}");
         assert!(msg.contains("CRC32C"), "{msg}");
+    }
+
+    #[test]
+    fn interior_length_prefix_corruption_is_a_hard_error() {
+        // A bit flip making an interior record's len huge must not be
+        // mistaken for a torn tail: the records after it are intact and
+        // truncating them away would silently lose committed updates.
+        let ops = vec![ins(1, 2, 1.0), ins(3, 4, 2.0), ins(5, 6, 3.0)];
+        let bytes = wal_with(&ops);
+        for bit in 0..32 {
+            let mut corrupt = bytes.clone();
+            let byte = WAL_MAGIC.len() + (bit / 8);
+            corrupt[byte] ^= 1 << (bit % 8);
+            let mut out = Vec::new();
+            let result = replay_wal(Cursor::new(corrupt), |op| out.push(op));
+            match result {
+                // Flips that keep the frame readable are caught by the CRC
+                // (wrong payload window, bytes follow => interior error).
+                Err(e) => assert_eq!(e.kind(), io::ErrorKind::InvalidData, "bit {bit}"),
+                Ok(report) => panic!(
+                    "len bit {bit} flip silently replayed {} records (torn: {:?})",
+                    report.records, report.torn_tail
+                ),
+            }
+        }
+    }
+
+    #[test]
+    fn interior_zeroed_length_prefix_is_a_hard_error() {
+        // len == 0 with CRC-valid records following is a corrupted prefix,
+        // not filesystem zero-fill.
+        let bytes = wal_with(&[ins(1, 2, 1.0), ins(3, 4, 2.0)]);
+        let mut corrupt = bytes.clone();
+        corrupt[WAL_MAGIC.len()..WAL_MAGIC.len() + 4].fill(0);
+        let err = replay_wal(Cursor::new(corrupt), |_| {}).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("zero length"), "{err}");
+    }
+
+    #[test]
+    fn corrupted_tail_length_prefix_is_still_a_torn_tail() {
+        // The same corruption on the FINAL record has nothing valid after
+        // it, so it stays tolerated crash debris.
+        let ops = vec![ins(1, 2, 1.0), ins(3, 4, 2.0)];
+        let bytes = wal_with(&ops);
+        let frame = (bytes.len() - WAL_MAGIC.len()) / ops.len();
+        let last = WAL_MAGIC.len() + frame;
+        let mut corrupt = bytes;
+        corrupt[last] ^= 0x80; // low length byte of the final record
+        let (out, report) = replay_all(&corrupt);
+        assert_eq!(out, ops[..1]);
+        assert_eq!(
+            report.torn_tail.unwrap().kind,
+            TornTailKind::TruncatedRecord
+        );
+        assert_eq!(report.durable_len, last as u64);
+    }
+
+    #[test]
+    fn non_finite_logged_weight_replays_clamped_without_panicking() {
+        // A WAL written by an (old or release-built) writer may hold a raw
+        // non-finite weight. Replay must clamp it exactly as the ingest
+        // boundary would have — not trip sanitize_weight's debug assert.
+        let mut payload = vec![TAG_INSERT];
+        payload.extend_from_slice(&7u64.to_le_bytes());
+        payload.extend_from_slice(&8u64.to_le_bytes());
+        payload.extend_from_slice(&0u16.to_le_bytes());
+        payload.extend_from_slice(&f64::NAN.to_bits().to_le_bytes());
+        let mut bytes = WAL_MAGIC.to_vec();
+        bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        let crc = crc32c(&payload);
+        bytes.extend_from_slice(&payload);
+        bytes.extend_from_slice(&crc.to_le_bytes());
+
+        let (out, report) = replay_all(&bytes);
+        assert_eq!(report.records, 1);
+        assert_eq!(out, vec![ins(7, 8, 0.0)]);
+    }
+
+    #[test]
+    fn writer_logs_the_sanitized_weight() {
+        // Release-build contract: what reaches the log is what the store
+        // applies. (Debug builds assert at the ingest boundary instead,
+        // so exercise the encoder directly with a finite weight and check
+        // the canonical path stays byte-stable.)
+        let a = wal_with(&[ins(1, 2, 2.5)]);
+        let (out, _) = replay_all(&a);
+        assert_eq!(out, vec![ins(1, 2, 2.5)]);
     }
 
     #[test]
