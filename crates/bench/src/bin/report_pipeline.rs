@@ -1,0 +1,7 @@
+//! Mini-batch training pipeline throughput: prefetch on/off x neighbor
+//! cache on/off under streaming updates and simulated per-shard RPC
+//! latency. Run: cargo run -p platod2gl-bench --release --bin report_pipeline
+
+fn main() {
+    platod2gl_bench::experiments::pipeline_throughput();
+}

@@ -32,10 +32,10 @@
 pub use platod2gl_baseline::{AliGraphStore, PlatoGlConfig, PlatoGlStore};
 pub use platod2gl_fenwick::FsTable;
 pub use platod2gl_gnn::{
-    Adam, AttributeFeatures, DeepWalkConfig, DeepWalkTrainer, EmbeddingTable, FeatureProvider,
-    HashFeatures, Matrix, MetapathSampler, NegativeSampler, NeighborSampler, Node2VecWalker,
-    NodeSampler, RandomWalkSampler, SageNet, SageNetConfig, SampledSubgraph, SubgraphSampler,
-    TrainStats,
+    gather_features, Adam, AttributeFeatures, DeepWalkConfig, DeepWalkTrainer, EmbeddingTable,
+    FeatureProvider, HashFeatures, Matrix, MetapathSampler, NegativeSampler, NeighborSampler,
+    Node2VecWalker, NodeSampler, RandomWalkSampler, SageNet, SageNetConfig, SampledSubgraph,
+    SubgraphSampler, TrainStats,
 };
 pub use platod2gl_graph::{
     for_each_edge, read_edge_list, sanitize_weight, write_edge_list, DatasetProfile, Edge,
@@ -43,11 +43,15 @@ pub use platod2gl_graph::{
     VertexId, VertexType,
 };
 pub use platod2gl_mem::{human_bytes, DeepSize};
+pub use platod2gl_pipeline::{
+    Block, CacheConfig, CacheStats, EpochReport, KHopSampler, NeighborCache, PipelineConfig,
+    PipelineStats, SampleOutcome, TrainingPipeline,
+};
 pub use platod2gl_sampling::{AliasTable, CsTable, WeightedIndex};
 pub use platod2gl_samtree::{LeafIndex, OpStats, SamTree, SamTreeConfig};
 pub use platod2gl_server::{
-    BatchReport, Cluster, ClusterConfig, FaultInjector, FaultKind, GraphServer, LatencyHistogram,
-    TrafficStats,
+    BatchReport, Cluster, ClusterConfig, FaultInjector, FaultKind, GraphServer, HistogramSnapshot,
+    LatencyHistogram, TrafficStats,
 };
 pub use platod2gl_storage::{
     replay_wal, AttributeStore, DurableGraphStore, DynamicGraphStore, RecoveryReport, StoreConfig,

@@ -5,9 +5,23 @@
 //! workloads a hash-based provider generates stable pseudo-features with a
 //! controllable label signal.
 
+use crate::nn::Matrix;
 use bytes::Bytes;
 use platod2gl_graph::VertexId;
 use platod2gl_storage::AttributeStore;
+
+/// Gather a `nodes.len() x dim` feature matrix from a provider — the
+/// "feature gather" stage of the training pipeline, split out as a free
+/// function so prefetch workers can run it without borrowing the model.
+pub fn gather_features(provider: &dyn FeatureProvider, nodes: &[VertexId], dim: usize) -> Matrix {
+    let mut m = Matrix::zeros(nodes.len(), dim);
+    let mut buf = vec![0.0; dim];
+    for (r, &v) in nodes.iter().enumerate() {
+        provider.write_feature(v, &mut buf);
+        m.set_row(r, &buf);
+    }
+    m
+}
 
 /// Supplies the input embedding `e_u^{(0)} = f_u` of the paper's Eq. 1.
 pub trait FeatureProvider: Send + Sync {

@@ -157,6 +157,12 @@ impl SageNet {
         self.layers.len()
     }
 
+    /// The network's hyperparameters (pipelines validate their sampling
+    /// plan against `fanouts` / `feature_dim` before producing blocks).
+    pub fn config(&self) -> &SageNetConfig {
+        &self.cfg
+    }
+
     /// Sample the node flow for a seed batch: `nodes[d]` for d in `0..=L`.
     fn node_flow<S: GraphStore + ?Sized>(
         &self,
@@ -174,13 +180,7 @@ impl SageNet {
     }
 
     fn feature_matrix(&self, provider: &dyn FeatureProvider, nodes: &[VertexId]) -> Matrix {
-        let mut m = Matrix::zeros(nodes.len(), self.cfg.feature_dim);
-        let mut buf = vec![0.0; self.cfg.feature_dim];
-        for (r, &v) in nodes.iter().enumerate() {
-            provider.write_feature(v, &mut buf);
-            m.set_row(r, &buf);
-        }
-        m
+        crate::features::gather_features(provider, nodes, self.cfg.feature_dim)
     }
 
     /// Full forward pass, caching every intermediate for backprop.
@@ -194,14 +194,25 @@ impl SageNet {
         rng: &mut dyn RngCore,
     ) -> (Matrix, Vec<Vec<Matrix>>, Vec<Vec<Matrix>>) {
         let nf = self.node_flow(store, seeds, rng);
+        let feats = nf
+            .iter()
+            .map(|nodes| self.feature_matrix(provider, nodes))
+            .collect();
+        self.forward_from_features(feats)
+    }
+
+    /// Forward pass over pre-gathered depth features (`feats[d]` is the
+    /// feature matrix of depth-`d` nodes of an already-sampled node flow).
+    /// This is the entry point for pipelined training, where sampling and
+    /// feature gathering happened on a prefetch worker.
+    fn forward_from_features(
+        &self,
+        feats: Vec<Matrix>,
+    ) -> (Matrix, Vec<Vec<Matrix>>, Vec<Vec<Matrix>>) {
         let num_layers = self.layers.len();
         // h[0][d] = raw features at depth d.
         let mut h: Vec<Vec<Matrix>> = Vec::with_capacity(num_layers + 1);
-        h.push(
-            nf.iter()
-                .map(|nodes| self.feature_matrix(provider, nodes))
-                .collect(),
-        );
+        h.push(feats);
         // pooled[l][d] caches the mean-pooled neighbor input of layer l+1 at
         // depth d (needed for backward).
         let mut pooled_cache: Vec<Vec<Matrix>> = Vec::with_capacity(num_layers);
@@ -267,8 +278,43 @@ impl SageNet {
         rng: &mut dyn RngCore,
     ) -> TrainStats {
         assert_eq!(seeds.len(), labels.len());
+        let nf = self.node_flow(store, seeds, rng);
+        let feats = nf
+            .iter()
+            .map(|nodes| self.feature_matrix(provider, nodes))
+            .collect();
+        self.train_step_features(feats, labels)
+    }
+
+    /// One SGD step on a pre-sampled, pre-gathered minibatch block:
+    /// `feats[d]` holds the depth-`d` feature matrix of a padded node flow
+    /// (`feats[d + 1].rows() == feats[d].rows() * fanouts[d]`, seeds at
+    /// depth 0). Sampling and gathering can therefore run on prefetch
+    /// workers while this step consumes earlier blocks.
+    pub fn train_step_features(&mut self, feats: Vec<Matrix>, labels: &[usize]) -> TrainStats {
         let num_layers = self.layers.len();
-        let (logits, pooled_cache, h) = self.forward(store, provider, seeds, rng);
+        assert_eq!(
+            feats.len(),
+            num_layers + 1,
+            "need one feature matrix per node-flow depth"
+        );
+        assert_eq!(feats[0].rows(), labels.len(), "one label per seed row");
+        for (d, &fanout) in self.cfg.fanouts.iter().enumerate() {
+            assert_eq!(
+                feats[d + 1].rows(),
+                feats[d].rows() * fanout,
+                "depth {} rows must equal parent rows x fanout",
+                d + 1
+            );
+        }
+        for (d, m) in feats.iter().enumerate() {
+            assert_eq!(
+                m.cols(),
+                self.cfg.feature_dim,
+                "depth {d} feature width mismatch"
+            );
+        }
+        let (logits, pooled_cache, h) = self.forward_from_features(feats);
         let (loss, grad_logits) = softmax_cross_entropy(&logits, labels);
         let accuracy = {
             let mut correct = 0usize;
@@ -503,6 +549,60 @@ mod tests {
         assert_eq!(h[0][1].rows(), 4); // 2 seeds * fanout 2
         assert_eq!(h[1].len(), 1);
         assert_eq!(h[1][0].rows(), 2);
+    }
+
+    #[test]
+    fn train_step_features_matches_sampled_training() {
+        // Feeding an externally sampled+gathered block through
+        // train_step_features must learn exactly like the store-coupled
+        // train_step path: both are the same math on the same node flow.
+        let provider = HashFeatures::new(16, 2, 7);
+        let (store, vertices, labels) = community_graph(&provider, 200);
+        let cfg = SageNetConfig {
+            fanouts: vec![4, 4],
+            lr: 0.1,
+            ..Default::default()
+        };
+        let mut net = SageNet::new(cfg);
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut first = None;
+        let mut last = f64::INFINITY;
+        for _ in 0..10 {
+            for chunk in vertices.chunks(64) {
+                let batch_labels: Vec<usize> =
+                    chunk.iter().map(|v| labels[v.raw() as usize]).collect();
+                // External pipeline stand-in: sample the flow and gather
+                // features outside the net, then feed the block in.
+                let flow = net.node_flow(&store, chunk, &mut rng);
+                let feats: Vec<Matrix> = flow
+                    .iter()
+                    .map(|nodes| {
+                        crate::features::gather_features(&provider, nodes, net.cfg.feature_dim)
+                    })
+                    .collect();
+                let stats = net.train_step_features(feats, &batch_labels);
+                first.get_or_insert(stats.loss);
+                last = stats.loss;
+            }
+        }
+        let first = first.expect("ran");
+        assert!(
+            last < first * 0.6,
+            "block training did not learn: {first} -> {last}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "rows must equal parent rows x fanout")]
+    fn train_step_features_rejects_malformed_blocks() {
+        let mut net = SageNet::new(SageNetConfig {
+            feature_dim: 4,
+            hidden_dim: 4,
+            fanouts: vec![3],
+            ..Default::default()
+        });
+        let feats = vec![Matrix::zeros(2, 4), Matrix::zeros(5, 4)]; // needs 6 rows
+        net.train_step_features(feats, &[0, 1]);
     }
 
     #[test]

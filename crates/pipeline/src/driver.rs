@@ -1,0 +1,341 @@
+//! The trainer driver: batching, prefetch, and per-stage telemetry.
+//!
+//! A training epoch is a three-stage pipeline:
+//!
+//! ```text
+//!   sample (k-hop vs cluster+cache) -> gather (features) -> train (SGD)
+//! ```
+//!
+//! Sample and gather are read-only against shared state (`&Cluster`,
+//! `&NeighborCache`, `&dyn FeatureProvider`) so they can run on worker
+//! threads; train mutates the model and always runs on the caller's
+//! thread. With `prefetch_depth > 0` the workers produce finished
+//! [`Block`]s into a bounded channel — when the trainer falls behind, the
+//! channel fills and the workers block on `send`, which is the
+//! backpressure bound: at most `prefetch_depth + workers` blocks exist
+//! beyond the one being trained.
+
+use crate::cache::{CacheConfig, CacheStats, NeighborCache};
+use crate::sampler::KHopSampler;
+use platod2gl_gnn::{gather_features, FeatureProvider, Matrix, SageNet};
+use platod2gl_graph::{EdgeType, VertexId};
+use platod2gl_server::{Cluster, HistogramSnapshot, LatencyHistogram};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{RngCore, SeedableRng};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::sync_channel;
+use std::time::{Duration, Instant};
+
+/// Pipeline shape: what to sample, how to batch, how far to run ahead.
+#[derive(Clone, Debug)]
+pub struct PipelineConfig {
+    /// Relation to expand over.
+    pub etype: EdgeType,
+    /// Per-hop fanouts; must match the model's
+    /// [`SageNetConfig::fanouts`](platod2gl_gnn::SageNetConfig).
+    pub fanouts: Vec<usize>,
+    /// Seeds per mini-batch.
+    pub batch_size: usize,
+    /// Bounded channel capacity between workers and the trainer.
+    /// `0` disables prefetch: sample/gather/train run inline.
+    pub prefetch_depth: usize,
+    /// Producer threads when prefetching.
+    pub workers: usize,
+    /// Neighbor-cache shape ([`CacheConfig::disabled`] turns it off).
+    pub cache: CacheConfig,
+    /// Base RNG seed; worker streams derive from `(seed, epoch, worker)`.
+    pub seed: u64,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        Self {
+            etype: EdgeType::DEFAULT,
+            fanouts: vec![5, 5],
+            batch_size: 64,
+            prefetch_depth: 4,
+            workers: 2,
+            cache: CacheConfig::default(),
+            seed: 0x9e3779b97f4a7c15,
+        }
+    }
+}
+
+/// A fully materialized mini-batch, ready for `train_step_features`.
+pub struct Block {
+    /// Class labels for the seed vertices.
+    pub labels: Vec<usize>,
+    /// Per-level feature matrices (`feats[0]` = seeds).
+    pub feats: Vec<Matrix>,
+    /// Sample requests in this block answered by a degraded shard.
+    pub degraded_samples: u64,
+}
+
+/// Result of one epoch (or one `run_batches` call).
+#[derive(Clone, Debug, Default)]
+pub struct EpochReport {
+    /// Mini-batches trained.
+    pub batches: u64,
+    /// Batches containing at least one degraded sample.
+    pub degraded_batches: u64,
+    /// Mean cross-entropy loss over the batches.
+    pub mean_loss: f64,
+    /// Mean training accuracy over the batches.
+    pub mean_accuracy: f64,
+    /// Wall-clock time for the whole call.
+    pub elapsed: Duration,
+}
+
+impl EpochReport {
+    /// Batches per wall-clock second.
+    pub fn throughput(&self) -> f64 {
+        if self.elapsed.is_zero() {
+            return 0.0;
+        }
+        self.batches as f64 / self.elapsed.as_secs_f64()
+    }
+}
+
+/// Cumulative pipeline telemetry, serializable for the bench harness.
+#[derive(Clone, Debug)]
+pub struct PipelineStats {
+    pub sample: HistogramSnapshot,
+    pub gather: HistogramSnapshot,
+    pub train: HistogramSnapshot,
+    pub cache: CacheStats,
+    /// Distinct frontier expansions after dedup.
+    pub distinct_sampled: u64,
+    /// Requests issued to the cluster (dedup + cache misses only).
+    pub cluster_requests: u64,
+    /// Frontier slots before dedup (what a naive sampler would issue).
+    pub frontier_slots: u64,
+}
+
+impl PipelineStats {
+    /// Hand-rolled JSON object (the workspace vendors no serde_json).
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"sample\":{},\"gather\":{},\"train\":{},",
+                "\"cache\":{{\"hits\":{},\"stale_hits\":{},\"misses\":{},",
+                "\"hit_rate\":{:.4},\"stale_evictions\":{}}},",
+                "\"distinct_sampled\":{},\"cluster_requests\":{},",
+                "\"frontier_slots\":{}}}"
+            ),
+            self.sample.to_json(),
+            self.gather.to_json(),
+            self.train.to_json(),
+            self.cache.hits,
+            self.cache.stale_hits,
+            self.cache.misses,
+            self.cache.hit_rate(),
+            self.cache.stale_evictions,
+            self.distinct_sampled,
+            self.cluster_requests,
+            self.frontier_slots,
+        )
+    }
+}
+
+/// Drives mini-batch GraphSAGE training against a live, mutating cluster.
+pub struct TrainingPipeline<'a> {
+    cluster: &'a Cluster,
+    cfg: PipelineConfig,
+    sampler: KHopSampler,
+    cache: NeighborCache,
+    sample_lat: LatencyHistogram,
+    gather_lat: LatencyHistogram,
+    train_lat: LatencyHistogram,
+    distinct_sampled: AtomicU64,
+    cluster_requests: AtomicU64,
+    frontier_slots: AtomicU64,
+}
+
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+impl<'a> TrainingPipeline<'a> {
+    /// Build a pipeline over `cluster` with its own cache instance.
+    pub fn new(cluster: &'a Cluster, cfg: PipelineConfig) -> Self {
+        let sampler = KHopSampler::new(cfg.etype, cfg.fanouts.clone());
+        let cache = NeighborCache::new(cfg.cache);
+        Self {
+            cluster,
+            cfg,
+            sampler,
+            cache,
+            sample_lat: LatencyHistogram::new(),
+            gather_lat: LatencyHistogram::new(),
+            train_lat: LatencyHistogram::new(),
+            distinct_sampled: AtomicU64::new(0),
+            cluster_requests: AtomicU64::new(0),
+            frontier_slots: AtomicU64::new(0),
+        }
+    }
+
+    /// The pipeline's configuration.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.cfg
+    }
+
+    /// The neighbor cache (for inspection in tests and benches).
+    pub fn cache(&self) -> &NeighborCache {
+        &self.cache
+    }
+
+    /// Cumulative telemetry across all epochs run so far.
+    pub fn stats(&self) -> PipelineStats {
+        PipelineStats {
+            sample: self.sample_lat.snapshot(),
+            gather: self.gather_lat.snapshot(),
+            train: self.train_lat.snapshot(),
+            cache: self.cache.stats(),
+            distinct_sampled: self.distinct_sampled.load(Ordering::Relaxed),
+            cluster_requests: self.cluster_requests.load(Ordering::Relaxed),
+            frontier_slots: self.frontier_slots.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Sample + gather one batch into a trainable [`Block`].
+    fn produce_block(
+        &self,
+        provider: &dyn FeatureProvider,
+        seeds: &[VertexId],
+        labels: &[usize],
+        rng: &mut dyn RngCore,
+    ) -> Block {
+        let t = Instant::now();
+        let outcome = self
+            .sampler
+            .sample_block(self.cluster, &self.cache, seeds, rng);
+        self.sample_lat.record(t.elapsed());
+        self.distinct_sampled
+            .fetch_add(outcome.distinct_sampled, Ordering::Relaxed);
+        self.cluster_requests
+            .fetch_add(outcome.cluster_requests, Ordering::Relaxed);
+        let slots: u64 = outcome.levels[..outcome.levels.len() - 1]
+            .iter()
+            .map(|l| l.len() as u64)
+            .sum();
+        self.frontier_slots.fetch_add(slots, Ordering::Relaxed);
+
+        let t = Instant::now();
+        let dim = provider.dim();
+        let feats = outcome
+            .levels
+            .iter()
+            .map(|level| gather_features(provider, level, dim))
+            .collect();
+        self.gather_lat.record(t.elapsed());
+        Block {
+            labels: labels.to_vec(),
+            feats,
+            degraded_samples: outcome.degraded_samples,
+        }
+    }
+
+    /// Train on one materialized block, updating the running report.
+    fn train_block(&self, net: &mut SageNet, block: Block, report: &mut EpochReport) {
+        let t = Instant::now();
+        let stats = net.train_step_features(block.feats, &block.labels);
+        self.train_lat.record(t.elapsed());
+        report.batches += 1;
+        if block.degraded_samples > 0 {
+            report.degraded_batches += 1;
+        }
+        report.mean_loss += stats.loss;
+        report.mean_accuracy += stats.accuracy;
+    }
+
+    /// Run one epoch: shuffle `(seeds, labels)`, chunk into mini-batches,
+    /// and train on every batch (prefetched if configured).
+    pub fn run_epoch(
+        &self,
+        net: &mut SageNet,
+        provider: &dyn FeatureProvider,
+        seeds: &[VertexId],
+        labels: &[usize],
+        epoch: u64,
+    ) -> EpochReport {
+        assert_eq!(seeds.len(), labels.len(), "one label per seed");
+        let mut order: Vec<usize> = (0..seeds.len()).collect();
+        let mut rng = StdRng::seed_from_u64(mix64(self.cfg.seed ^ mix64(epoch)));
+        order.shuffle(&mut rng);
+        let batches: Vec<(Vec<VertexId>, Vec<usize>)> = order
+            .chunks(self.cfg.batch_size.max(1))
+            .map(|chunk| {
+                (
+                    chunk.iter().map(|&i| seeds[i]).collect(),
+                    chunk.iter().map(|&i| labels[i]).collect(),
+                )
+            })
+            .collect();
+        self.run_batches(net, provider, batches, epoch)
+    }
+
+    /// Train on an explicit batch list. Public so tests can interleave
+    /// fault injection deterministically between two halves of an epoch.
+    pub fn run_batches(
+        &self,
+        net: &mut SageNet,
+        provider: &dyn FeatureProvider,
+        batches: Vec<(Vec<VertexId>, Vec<usize>)>,
+        epoch: u64,
+    ) -> EpochReport {
+        assert_eq!(
+            net.config().fanouts,
+            self.cfg.fanouts,
+            "model and pipeline fanouts must agree"
+        );
+        let started = Instant::now();
+        let mut report = EpochReport::default();
+        if batches.is_empty() {
+            return report;
+        }
+        if self.cfg.prefetch_depth == 0 || self.cfg.workers == 0 {
+            let mut rng = StdRng::seed_from_u64(mix64(self.cfg.seed ^ mix64(epoch) ^ 0x53796e63));
+            for (seeds, labels) in &batches {
+                let block = self.produce_block(provider, seeds, labels, &mut rng);
+                self.train_block(net, block, &mut report);
+            }
+        } else {
+            let workers = self.cfg.workers.min(batches.len());
+            let (tx, rx) = sync_channel::<Block>(self.cfg.prefetch_depth);
+            std::thread::scope(|scope| {
+                for w in 0..workers {
+                    let tx = tx.clone();
+                    let batches = &batches;
+                    scope.spawn(move || {
+                        let mut rng = StdRng::seed_from_u64(mix64(
+                            self.cfg.seed ^ mix64(epoch) ^ mix64(w as u64 + 1),
+                        ));
+                        for (seeds, labels) in batches.iter().skip(w).step_by(workers) {
+                            let block = self.produce_block(provider, seeds, labels, &mut rng);
+                            // Trainer hung up (panic): just stop producing.
+                            if tx.send(block).is_err() {
+                                return;
+                            }
+                        }
+                    });
+                }
+                // Drop the template sender so `rx` closes when the last
+                // worker finishes — otherwise the consumer never exits.
+                drop(tx);
+                while let Ok(block) = rx.recv() {
+                    self.train_block(net, block, &mut report);
+                }
+            });
+        }
+        if report.batches > 0 {
+            report.mean_loss /= report.batches as f64;
+            report.mean_accuracy /= report.batches as f64;
+        }
+        report.elapsed = started.elapsed();
+        report
+    }
+}

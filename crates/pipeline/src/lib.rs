@@ -1,0 +1,32 @@
+//! # Mini-batch training pipeline
+//!
+//! End-to-end mini-batch GNN training over the live sharded cluster —
+//! the serving loop of PlatoD2GL's training plane, built from three
+//! cooperating pieces:
+//!
+//! * [`KHopSampler`] — expands seed batches level by level through the
+//!   cluster's weighted neighbor sampling, deduplicating repeated
+//!   frontier vertices and self-padding isolated or degraded ones so the
+//!   resulting node flow always has static GraphSAGE shapes.
+//! * [`NeighborCache`] — an epoch-versioned, sharded two-generation LRU
+//!   keyed by `(vertex, etype, fanout)`. Entries carry the cluster's
+//!   monotone graph version at fill time and are servable only while
+//!   `now - version <= max_staleness`, giving **bounded-staleness**
+//!   reads under concurrent graph updates.
+//! * [`TrainingPipeline`] — batches seeds, runs sample+gather on a pool
+//!   of prefetch workers feeding a bounded channel (backpressure: at most
+//!   `prefetch_depth + workers` blocks in flight), trains on the caller's
+//!   thread, and reports per-stage latency histograms, cache hit rates,
+//!   and degraded-batch counts.
+//!
+//! The pipeline is read-only against the cluster, so a writer thread can
+//! stream `apply_batch_sharded` updates concurrently — exactly the
+//! dynamic-graph training regime the paper targets.
+
+mod cache;
+mod driver;
+mod sampler;
+
+pub use cache::{CacheConfig, CacheStats, NeighborCache};
+pub use driver::{Block, EpochReport, PipelineConfig, PipelineStats, TrainingPipeline};
+pub use sampler::{KHopSampler, SampleOutcome};

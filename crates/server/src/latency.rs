@@ -19,6 +19,7 @@ pub struct LatencyHistogram {
     buckets: [AtomicU64; BUCKETS],
     count: AtomicU64,
     sum_ns: AtomicU64,
+    max_ns: AtomicU64,
 }
 
 impl Default for LatencyHistogram {
@@ -27,7 +28,50 @@ impl Default for LatencyHistogram {
             buckets: [const { AtomicU64::new(0) }; BUCKETS],
             count: AtomicU64::new(0),
             sum_ns: AtomicU64::new(0),
+            max_ns: AtomicU64::new(0),
         }
+    }
+}
+
+/// A point-in-time, serializable view of a [`LatencyHistogram`]: exact
+/// count/mean/max plus log2-resolution percentiles and the non-empty bucket
+/// counts, so stage and cluster histograms can be dumped into bench JSON
+/// instead of ad-hoc prints.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Observations recorded.
+    pub count: u64,
+    /// Exact mean in nanoseconds (not bucketed).
+    pub mean_ns: u64,
+    /// p50 upper bound in nanoseconds (log2 bucket resolution).
+    pub p50_ns: u64,
+    /// p95 upper bound in nanoseconds.
+    pub p95_ns: u64,
+    /// p99 upper bound in nanoseconds.
+    pub p99_ns: u64,
+    /// Exact maximum observation in nanoseconds.
+    pub max_ns: u64,
+    /// Non-empty buckets as `(log2_lower_bound, count)`: bucket `e` holds
+    /// durations in `[2^e, 2^(e+1))` ns.
+    pub buckets: Vec<(u32, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Render as a JSON object (the workspace vendors no JSON serializer,
+    /// so the report format is emitted by hand).
+    pub fn to_json(&self) -> String {
+        let mut buckets = String::from("[");
+        for (i, (exp, n)) in self.buckets.iter().enumerate() {
+            if i > 0 {
+                buckets.push(',');
+            }
+            buckets.push_str(&format!("[{exp},{n}]"));
+        }
+        buckets.push(']');
+        format!(
+            "{{\"count\":{},\"mean_ns\":{},\"p50_ns\":{},\"p95_ns\":{},\"p99_ns\":{},\"max_ns\":{},\"buckets\":{}}}",
+            self.count, self.mean_ns, self.p50_ns, self.p95_ns, self.p99_ns, self.max_ns, buckets
+        )
     }
 }
 
@@ -44,6 +88,12 @@ impl LatencyHistogram {
         self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// Exact maximum recorded duration (zero when empty).
+    pub fn max(&self) -> Duration {
+        Duration::from_nanos(self.max_ns.load(Ordering::Relaxed))
     }
 
     /// Observations recorded.
@@ -84,14 +134,26 @@ impl LatencyHistogram {
         Duration::from_nanos(u64::MAX)
     }
 
-    /// Convenience snapshot: (count, mean, p50, p99).
-    pub fn snapshot(&self) -> (u64, Duration, Duration, Duration) {
-        (
-            self.count(),
-            self.mean(),
-            self.quantile(0.5),
-            self.quantile(0.99),
-        )
+    /// Serializable snapshot: count, exact mean/max, p50/p95/p99 and the
+    /// non-empty bucket counts.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count(),
+            mean_ns: self.mean().as_nanos().min(u128::from(u64::MAX)) as u64,
+            p50_ns: self.quantile(0.5).as_nanos().min(u128::from(u64::MAX)) as u64,
+            p95_ns: self.quantile(0.95).as_nanos().min(u128::from(u64::MAX)) as u64,
+            p99_ns: self.quantile(0.99).as_nanos().min(u128::from(u64::MAX)) as u64,
+            max_ns: self.max_ns.load(Ordering::Relaxed),
+            buckets: self
+                .buckets
+                .iter()
+                .enumerate()
+                .filter_map(|(i, b)| {
+                    let n = b.load(Ordering::Relaxed);
+                    (n > 0).then_some((i as u32, n))
+                })
+                .collect(),
+        }
     }
 }
 
@@ -139,6 +201,30 @@ mod tests {
         h.record(Duration::from_nanos(100));
         h.record(Duration::from_nanos(300));
         assert_eq!(h.mean(), Duration::from_nanos(200));
+    }
+
+    #[test]
+    fn snapshot_is_serializable_and_consistent() {
+        let h = LatencyHistogram::new();
+        for us in [1u64, 50, 50, 2_000] {
+            h.record(Duration::from_micros(us));
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.max_ns, 2_000_000);
+        assert_eq!(s.mean_ns, h.mean().as_nanos() as u64);
+        assert!(s.p50_ns <= s.p95_ns && s.p95_ns <= s.p99_ns);
+        // Bucket counts must sum to the total count.
+        assert_eq!(s.buckets.iter().map(|(_, n)| n).sum::<u64>(), 4);
+        // Every bucket's lower bound must bound the max.
+        for (exp, _) in &s.buckets {
+            assert!(1u64 << exp <= s.max_ns);
+        }
+        let json = s.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
+        assert!(json.contains("\"count\":4"), "{json}");
+        assert!(json.contains("\"max_ns\":2000000"), "{json}");
+        assert!(json.contains("\"buckets\":[["), "{json}");
     }
 
     #[test]

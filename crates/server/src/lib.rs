@@ -37,7 +37,7 @@ mod faults;
 mod latency;
 
 pub use faults::{FaultInjector, FaultKind};
-pub use latency::LatencyHistogram;
+pub use latency::{HistogramSnapshot, LatencyHistogram};
 
 use faults::Verdict;
 use platod2gl_graph::{
@@ -197,6 +197,10 @@ pub struct Cluster {
     sample_latency: LatencyHistogram,
     /// Latency of batched update requests.
     update_latency: LatencyHistogram,
+    /// Monotone graph-version counter, bumped on every mutation that lands
+    /// on a shard (see [`Cluster::graph_version`]). Bounded-staleness
+    /// caches key their entries to this.
+    version: AtomicU64,
 }
 
 /// splitmix64, the shard router's hash.
@@ -241,6 +245,7 @@ impl Cluster {
             queued_ops: AtomicU64::new(0),
             sample_latency: LatencyHistogram::new(),
             update_latency: LatencyHistogram::new(),
+            version: AtomicU64::new(0),
         }
     }
 
@@ -298,6 +303,21 @@ impl Cluster {
         self.requests.fetch_add(requests, Ordering::Relaxed);
         self.request_bytes.fetch_add(req_bytes, Ordering::Relaxed);
         self.response_bytes.fetch_add(resp_bytes, Ordering::Relaxed);
+    }
+
+    /// The cluster's graph version: a monotone counter bumped once per
+    /// mutation that reaches a shard — each [`Cluster::apply_batch_sharded`]
+    /// call, each routed single-op write, each heal drain, decay sweep,
+    /// bulk delete, or restore. Readers that cache derived state (e.g. the
+    /// pipeline's neighbor cache) compare entry versions against this to
+    /// bound staleness under concurrent updates.
+    pub fn graph_version(&self) -> u64 {
+        self.version.load(Ordering::Acquire)
+    }
+
+    /// Advance the graph version after a mutation landed.
+    fn bump_version(&self) {
+        self.version.fetch_add(1, Ordering::Release);
     }
 
     /// Latency histogram of neighbor-sampling requests.
@@ -404,10 +424,14 @@ impl Cluster {
     /// when the op was queued instead of applied.
     fn apply_routed(&self, op: UpdateOp) -> bool {
         let shard = self.route(op.src());
-        match self.call_shard(shard, |s| s.topology.apply(&op)) {
+        let applied = match self.call_shard(shard, |s| s.topology.apply(&op)) {
             Ok(()) => true,
             Err(_) => !self.queue_op(shard, op),
+        };
+        if applied {
+            self.bump_version();
         }
+        applied
     }
 
     /// Clear any scripted fault on a shard, mark it healthy, and drain its
@@ -439,6 +463,7 @@ impl Cluster {
             self.servers[shard]
                 .topology
                 .apply_batch_parallel(&pending, self.config.threads_per_shard.max(1));
+            self.bump_version();
         }
     }
 
@@ -609,6 +634,11 @@ impl Cluster {
             }
         });
         self.update_latency.record(started.elapsed());
+        if !ops.is_empty() {
+            // Conservative: queued-only batches also bump (a cache refresh
+            // is cheap; serving around a missed invalidation is not).
+            self.bump_version();
+        }
 
         let mut first_panic = None;
         for (shard, outcome) in worker_outcomes {
@@ -633,6 +663,7 @@ impl Cluster {
         for server in &self.servers {
             server.topology.decay_weights(factor);
         }
+        self.bump_version();
     }
 
     /// The `k` heaviest out-neighbors of `v`, heaviest first. Empty when
@@ -651,7 +682,11 @@ impl Cluster {
     /// ops).
     pub fn delete_source(&self, v: VertexId, etype: EdgeType) -> usize {
         self.tally(1, ID_BYTES, 8);
-        self.read_or(self.route(v), 0, |s| s.topology.delete_source(v, etype))
+        let removed = self.read_or(self.route(v), 0, |s| s.topology.delete_source(v, etype));
+        if removed > 0 {
+            self.bump_version();
+        }
+        removed
     }
 
     /// Weighted neighbor sampling with explicit degradation: if the owning
@@ -695,6 +730,7 @@ impl Cluster {
     /// Restore a cluster snapshot, routing every source vertex to its
     /// owning shard and bulk-loading each shard's trees.
     pub fn restore_from(&self, r: impl std::io::Read) -> std::io::Result<()> {
+        self.bump_version();
         platod2gl_storage::read_snapshot(r, |batch| {
             let mut per_shard: Vec<Vec<Edge>> = vec![Vec::new(); self.servers.len()];
             for e in batch {
@@ -747,11 +783,18 @@ impl GraphStore for Cluster {
         self.tally(1, OP_BYTES, 1);
         let shard = self.route(src);
         match self.call_shard(shard, |s| s.topology.delete_edge(src, dst, etype)) {
-            Ok(existed) => existed,
+            Ok(existed) => {
+                if existed {
+                    self.bump_version();
+                }
+                existed
+            }
             Err(_) => {
                 // Queued (or, on a heal race, applied late); prior existence
                 // is unknown either way.
-                let _ = self.queue_op(shard, UpdateOp::Delete { src, dst, etype });
+                if !self.queue_op(shard, UpdateOp::Delete { src, dst, etype }) {
+                    self.bump_version();
+                }
                 false
             }
         }
@@ -761,9 +804,16 @@ impl GraphStore for Cluster {
         self.tally(1, OP_BYTES, 1);
         let shard = self.route(edge.src);
         match self.call_shard(shard, |s| s.topology.update_weight(edge)) {
-            Ok(existed) => existed,
+            Ok(existed) => {
+                if existed {
+                    self.bump_version();
+                }
+                existed
+            }
             Err(_) => {
-                let _ = self.queue_op(shard, UpdateOp::UpdateWeight(edge));
+                if !self.queue_op(shard, UpdateOp::UpdateWeight(edge)) {
+                    self.bump_version();
+                }
                 false
             }
         }
@@ -947,9 +997,10 @@ mod tests {
             let _ = c.sample_neighbors(v, EdgeType(0), 10, &mut rng);
         }
         assert_eq!(c.sample_latency().count(), 32);
-        let (_, mean, p50, p99) = c.sample_latency().snapshot();
-        assert!(mean > std::time::Duration::ZERO);
-        assert!(p50 <= p99);
+        let snap = c.sample_latency().snapshot();
+        assert!(snap.mean_ns > 0);
+        assert!(snap.p50_ns <= snap.p99_ns);
+        assert!(snap.max_ns >= snap.mean_ns);
         c.apply_batch_sharded(&DatasetProfile::tiny().update_stream(3).next_batch(100))
             .expect("no faults");
         assert_eq!(c.update_latency().count(), 1);
@@ -1003,6 +1054,37 @@ mod tests {
         }
         let counts = c.shard_edge_counts();
         assert!(counts.iter().all(|&n| n > 0), "{counts:?}");
+    }
+
+    #[test]
+    fn graph_version_advances_on_every_mutation_path() {
+        let c = small_cluster();
+        let v0 = c.graph_version();
+        c.insert_edge(Edge::new(VertexId(1), VertexId(2), 1.0));
+        let v1 = c.graph_version();
+        assert!(v1 > v0, "routed insert must bump the version");
+        // Reads leave the version alone.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let _ = c.sample_neighbors(VertexId(1), EdgeType(0), 4, &mut rng);
+        let _ = c.degree(VertexId(1), EdgeType(0));
+        assert_eq!(c.graph_version(), v1, "reads must not bump the version");
+        // A sharded batch bumps once.
+        c.apply_batch_sharded(&[
+            UpdateOp::Insert(Edge::new(VertexId(3), VertexId(4), 1.0)),
+            UpdateOp::Insert(Edge::new(VertexId(5), VertexId(6), 1.0)),
+        ])
+        .expect("no faults");
+        let v2 = c.graph_version();
+        assert!(v2 > v1);
+        // Deleting a present edge bumps; deleting a missing one does not.
+        assert!(c.delete_edge(VertexId(1), VertexId(2), EdgeType(0)));
+        let v3 = c.graph_version();
+        assert!(v3 > v2);
+        assert!(!c.delete_edge(VertexId(1), VertexId(2), EdgeType(0)));
+        assert_eq!(c.graph_version(), v3);
+        // Decay and heal paths bump too.
+        c.decay_weights(0.5);
+        assert!(c.graph_version() > v3);
     }
 
     // ------------------------------------------------------------------

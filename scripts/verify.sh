@@ -10,6 +10,12 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> cargo build --release --examples"
+cargo build --release --examples
+
+echo "==> pipeline smoke test (train_pipeline example, reduced size)"
+EPOCHS=2 VERTICES=200 cargo run -p platod2gl --release --example train_pipeline
+
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
 
