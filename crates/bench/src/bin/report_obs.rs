@@ -1,0 +1,7 @@
+//! Unified observability snapshot for a full-stack training run: per-
+//! subsystem metric digest, hot-path latency table, then the Prometheus
+//! and JSON expositions. Run: cargo run -p platod2gl-bench --release --bin report_obs
+
+fn main() {
+    platod2gl_bench::experiments::obs_report();
+}

@@ -475,10 +475,12 @@ pub fn pipeline_throughput() {
         ("prefetch, cache", 4, true),
     ];
     for (name, prefetch_depth, cache_on) in grid {
-        let cluster = Cluster::new(ClusterConfig {
-            num_shards: 6,
-            ..Default::default()
-        });
+        let cluster = Cluster::new(
+            ClusterConfig::builder()
+                .num_shards(6)
+                .build()
+                .expect("valid config"),
+        );
         let (vertices, labels) = build(&cluster);
         for shard in 0..cluster.num_shards() {
             cluster.faults().slow_shard(shard, rpc);
@@ -572,6 +574,127 @@ pub fn pipeline_throughput() {
     }
 }
 
+/// Observability report: run a full-stack training session — sharded
+/// cluster, WAL-backed durability sidecar, mini-batch pipeline — all
+/// recording into one shared registry, then print a per-subsystem digest
+/// followed by both exposition formats.
+pub fn obs_report() {
+    use platod2gl::{
+        Cluster, ClusterConfig, DurableGraphStore, Edge, FeatureProvider, HashFeatures,
+        PipelineConfig, Registry, SageNet, SageNetConfig, StoreConfig, TrainingPipeline, UpdateOp,
+        VertexId,
+    };
+    use std::sync::Arc;
+
+    println!("\n=== Observability: unified registry snapshot for one training run ===");
+    let registry = Arc::new(Registry::new());
+    let cluster = Cluster::with_registry(
+        ClusterConfig::builder()
+            .num_shards(4)
+            .build()
+            .expect("valid config"),
+        Arc::clone(&registry),
+    );
+    let dir = std::env::temp_dir().join(format!("platod2gl-report-obs-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let (durable, _) =
+        DurableGraphStore::open_with_registry(&dir, StoreConfig::default(), Arc::clone(&registry))
+            .expect("open durable store");
+
+    let n: u64 = 600;
+    let provider = HashFeatures::new(16, 2, 7);
+    let vertices: Vec<VertexId> = (0..n).map(VertexId).collect();
+    let labels: Vec<usize> = vertices.iter().map(|&v| provider.label(v)).collect();
+    let mut state = 0x00c0_ffeeu64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let mut ops = Vec::new();
+    for &v in &vertices {
+        for _ in 0..6 {
+            let mut u = VertexId(next() % n);
+            for _ in 0..8 {
+                if provider.label(u) == provider.label(v) {
+                    break;
+                }
+                u = VertexId(next() % n);
+            }
+            ops.push(UpdateOp::Insert(Edge::new(v, u, 1.0)));
+        }
+    }
+    cluster.apply_batch_sharded(&ops).expect("bulk load");
+    durable.try_apply_batch(&ops, 2).expect("wal apply");
+    durable.checkpoint().expect("wal checkpoint");
+
+    let pipeline = TrainingPipeline::new(
+        &cluster,
+        PipelineConfig::builder()
+            .fanouts(vec![5, 5])
+            .batch_size(64)
+            .seed(7)
+            .build()
+            .expect("valid pipeline config"),
+    );
+    let mut net = SageNet::new(SageNetConfig {
+        feature_dim: provider.dim(),
+        fanouts: vec![5, 5],
+        lr: 0.1,
+        ..Default::default()
+    });
+    for epoch in 0..2 {
+        let r = pipeline.run_epoch(&mut net, &provider, &vertices, &labels, epoch);
+        println!(
+            "  epoch {epoch}: loss {:.4}, accuracy {:.3}, {:.1} batches/s",
+            r.mean_loss,
+            r.mean_accuracy,
+            r.batches as f64 / r.elapsed.as_secs_f64().max(1e-9)
+        );
+    }
+
+    let snap = registry.snapshot();
+    header(&["subsystem", "counters", "events", "histograms"]);
+    for prefix in ["samtree.", "storage.", "wal.", "cluster.", "pipeline."] {
+        let counters = snap
+            .counters
+            .iter()
+            .filter(|(name, _)| name.starts_with(prefix))
+            .count();
+        let events: u64 = snap
+            .counters
+            .iter()
+            .filter(|(name, _)| name.starts_with(prefix))
+            .map(|(_, v)| v)
+            .sum();
+        let hists = snap
+            .histograms
+            .iter()
+            .filter(|(name, _)| name.starts_with(prefix))
+            .count();
+        row(
+            prefix.trim_end_matches('.'),
+            &[counters.to_string(), events.to_string(), hists.to_string()],
+        );
+    }
+    println!("\n  hot-path latency (p50 / p99, ms):");
+    for (name, h) in &snap.histograms {
+        println!(
+            "    {name:<28} {} / {}  (n={})",
+            ms(Duration::from_nanos(h.p50_ns)),
+            ms(Duration::from_nanos(h.p99_ns)),
+            h.count
+        );
+    }
+    println!("\n  spans captured: {}", snap.spans.len());
+    println!("\n--- Prometheus exposition ---");
+    print!("{}", snap.to_prometheus());
+    println!("--- JSON exposition ---");
+    println!("{}", snap.to_json());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// Run the whole evaluation in paper order.
 pub fn run_all() {
     println!(
@@ -588,4 +711,5 @@ pub fn run_all() {
     fig11_sensitivity();
     ablations();
     pipeline_throughput();
+    obs_report();
 }

@@ -37,21 +37,25 @@ pub use platod2gl_gnn::{
     Node2VecWalker, NodeSampler, RandomWalkSampler, SageNet, SageNetConfig, SampledSubgraph,
     SubgraphSampler, TrainStats,
 };
+#[allow(deprecated)]
+pub use platod2gl_graph::StoreError;
 pub use platod2gl_graph::{
     for_each_edge, read_edge_list, sanitize_weight, write_edge_list, DatasetProfile, Edge,
-    EdgeType, GraphStore, RelationSpec, Served, ShardHealth, StoreError, UpdateOp, UpdateStream,
+    EdgeType, Error, GraphStore, RelationSpec, Served, ShardHealth, UpdateOp, UpdateStream,
     VertexId, VertexType,
 };
 pub use platod2gl_mem::{human_bytes, DeepSize};
+pub use platod2gl_obs::{Counter, Gauge, Histogram, ObsSnapshot, Registry, SpanRecord, SpanTracer};
 pub use platod2gl_pipeline::{
     Block, CacheConfig, CacheStats, EpochReport, KHopSampler, NeighborCache, PipelineConfig,
-    PipelineStats, SampleOutcome, TrainingPipeline,
+    PipelineConfigBuilder, PipelineStats, SampleOutcome, TrainingPipeline,
 };
 pub use platod2gl_sampling::{AliasTable, CsTable, WeightedIndex};
 pub use platod2gl_samtree::{LeafIndex, OpStats, SamTree, SamTreeConfig};
 pub use platod2gl_server::{
-    BatchReport, Cluster, ClusterConfig, FaultInjector, FaultKind, GraphServer, HistogramSnapshot,
-    LatencyHistogram, TrafficStats,
+    BatchReport, Cluster, ClusterConfig, ClusterConfigBuilder, DegradedPolicy, FaultInjector,
+    FaultKind, GraphServer, HistogramSnapshot, LatencyHistogram, SampleRequest, SampleResponse,
+    SlotSource, TrafficStats,
 };
 pub use platod2gl_storage::{
     replay_wal, AttributeStore, DurableGraphStore, DynamicGraphStore, RecoveryReport, StoreConfig,
@@ -115,6 +119,11 @@ impl Builder {
     }
 
     /// Boot the system.
+    ///
+    /// # Panics
+    /// On an invalid configuration (zero shards, undersized samtree
+    /// capacity, …); [`ClusterConfig::builder`] exposes the same checks
+    /// as a `Result` for callers that prefer to handle them.
     pub fn build(self) -> PlatoD2GL {
         let store = StoreConfig {
             tree: SamTreeConfig {
@@ -122,16 +131,17 @@ impl Builder {
                 alpha: self.alpha,
                 compression: self.compression,
                 leaf_index: LeafIndex::Fenwick,
-            }
-            .validated(),
+            },
             ..StoreConfig::default()
         };
+        let config = ClusterConfig::builder()
+            .num_shards(self.num_shards)
+            .store(store)
+            .threads_per_shard(self.threads_per_shard)
+            .build()
+            .expect("invalid PlatoD2GL configuration");
         PlatoD2GL {
-            cluster: Cluster::new(ClusterConfig {
-                num_shards: self.num_shards,
-                store,
-                threads_per_shard: self.threads_per_shard,
-            }),
+            cluster: Cluster::new(config),
         }
     }
 }
@@ -248,13 +258,20 @@ impl PlatoD2GL {
 
     /// Checkpoint the cluster topology to a writer (shard-count
     /// independent; see [`Cluster::snapshot_to`]).
-    pub fn snapshot_to(&self, w: impl std::io::Write) -> std::io::Result<()> {
+    pub fn snapshot_to(&self, w: impl std::io::Write) -> Result<(), Error> {
         self.cluster.snapshot_to(w)
     }
 
     /// Restore a checkpoint into this (normally empty) system.
-    pub fn restore_from(&self, r: impl std::io::Read) -> std::io::Result<()> {
+    pub fn restore_from(&self, r: impl std::io::Read) -> Result<(), Error> {
         self.cluster.restore_from(r)
+    }
+
+    /// The system's observability registry (see [`Cluster::obs`]): one
+    /// snapshot covers cluster traffic, samtree/storage internals, and any
+    /// pipeline trained against [`PlatoD2GL::store`].
+    pub fn obs(&self) -> &std::sync::Arc<Registry> {
+        self.cluster.obs()
     }
 
     /// Aggregate samtree operation counters across shards (Table V).

@@ -1,0 +1,137 @@
+//! The unified error type for every public fallible API in the workspace.
+//!
+//! Before this module the workspace's signatures mixed three shapes:
+//! `Result<_, StoreError>` on the sharded router, bare `std::io::Result`
+//! on the durability layer, and panics on config validation. One enum with
+//! `From` impls lets `?` flow through every layer and gives callers a
+//! single type to match on.
+//!
+//! Low-level byte-format primitives (WAL record framing, snapshot
+//! encode/decode, edge-list parsing) intentionally keep `std::io::Result`:
+//! they are file-format code where an io error *is* the whole story, and
+//! the durability layer converts at its public boundary.
+
+use std::fmt;
+use std::io;
+
+/// Any error surfaced by a public PlatoD2GL API.
+#[derive(Debug)]
+pub enum Error {
+    /// The shard is failed (or exhausted its retry budget) and cannot take
+    /// the request.
+    ShardUnavailable { shard: usize },
+    /// A shard worker panicked while applying updates; the shard is marked
+    /// [`ShardHealth::Failed`] and its in-flight ops may be partially
+    /// applied.
+    ///
+    /// [`ShardHealth::Failed`]: crate::ShardHealth::Failed
+    ShardPanicked { shard: usize, detail: String },
+    /// An I/O error from the durability layer (WAL, snapshots).
+    Io(io::Error),
+    /// A configuration was rejected by validation (builder `build()`).
+    InvalidConfig { what: String },
+    /// Persisted state failed an integrity check during recovery.
+    Corrupt { what: String },
+}
+
+/// Deprecated name for [`Error`]. The router-only `StoreError` enum was
+/// folded into the unified error type; existing `match` arms over
+/// `StoreError::ShardUnavailable` / `StoreError::ShardPanicked` keep
+/// compiling through this alias.
+#[deprecated(since = "0.1.0", note = "use `Error` instead")]
+pub type StoreError = Error;
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::ShardUnavailable { shard } => {
+                write!(f, "shard {shard} is unavailable")
+            }
+            Error::ShardPanicked { shard, detail } => {
+                write!(f, "worker for shard {shard} panicked: {detail}")
+            }
+            Error::Io(e) => write!(f, "i/o error: {e}"),
+            Error::InvalidConfig { what } => write!(f, "invalid configuration: {what}"),
+            Error::Corrupt { what } => write!(f, "corrupt persisted state: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for Error {
+    fn from(e: io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+impl Error {
+    /// Shorthand for an [`Error::InvalidConfig`].
+    pub fn invalid_config(what: impl Into<String>) -> Self {
+        Error::InvalidConfig { what: what.into() }
+    }
+
+    /// True when the error is transient shard trouble (unavailable or
+    /// panicked) rather than persistent-state or configuration damage.
+    pub fn is_shard_fault(&self) -> bool {
+        matches!(
+            self,
+            Error::ShardUnavailable { .. } | Error::ShardPanicked { .. }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_messages_name_the_shard() {
+        let e = Error::ShardUnavailable { shard: 3 };
+        assert!(e.to_string().contains("shard 3"));
+        let p = Error::ShardPanicked {
+            shard: 1,
+            detail: "boom".into(),
+        };
+        assert!(p.to_string().contains("shard 1"));
+        assert!(p.to_string().contains("boom"));
+    }
+
+    #[test]
+    fn io_errors_convert_and_chain() {
+        let io = io::Error::new(io::ErrorKind::NotFound, "gone");
+        let e: Error = io.into();
+        assert!(e.to_string().contains("gone"));
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(!e.is_shard_fault());
+    }
+
+    #[test]
+    fn shard_faults_are_classified() {
+        assert!(Error::ShardUnavailable { shard: 0 }.is_shard_fault());
+        assert!(!Error::invalid_config("zero shards").is_shard_fault());
+        let c = Error::Corrupt {
+            what: "bad checksum".into(),
+        };
+        assert!(c.to_string().contains("bad checksum"));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_alias_still_matches() {
+        // Old-style code matched on StoreError variants; the alias keeps
+        // those arms compiling against the unified enum.
+        let e: StoreError = Error::ShardUnavailable { shard: 7 };
+        match e {
+            StoreError::ShardUnavailable { shard } => assert_eq!(shard, 7),
+            _ => panic!("wrong variant"),
+        }
+    }
+}

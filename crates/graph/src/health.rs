@@ -8,8 +8,6 @@
 //!
 //! [`GraphStore`]: crate::GraphStore
 
-use std::fmt;
-
 /// The router's view of one shard.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum ShardHealth {
@@ -63,33 +61,6 @@ impl<T> Served<T> {
     }
 }
 
-/// Errors surfaced by fault-aware storage routers.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub enum StoreError {
-    /// The shard is failed (or exhausted its retry budget) and cannot take
-    /// the request.
-    ShardUnavailable { shard: usize },
-    /// A shard worker panicked while applying updates; the shard is marked
-    /// [`ShardHealth::Failed`] and its in-flight ops may be partially
-    /// applied.
-    ShardPanicked { shard: usize, detail: String },
-}
-
-impl fmt::Display for StoreError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            StoreError::ShardUnavailable { shard } => {
-                write!(f, "shard {shard} is unavailable")
-            }
-            StoreError::ShardPanicked { shard, detail } => {
-                write!(f, "worker for shard {shard} panicked: {detail}")
-            }
-        }
-    }
-}
-
-impl std::error::Error for StoreError {}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -109,17 +80,5 @@ mod tests {
         let d: Served<Vec<i32>> = Served::degraded(Vec::new());
         assert!(d.degraded);
         assert!(d.value.is_empty());
-    }
-
-    #[test]
-    fn error_messages_name_the_shard() {
-        let e = StoreError::ShardUnavailable { shard: 3 };
-        assert!(e.to_string().contains("shard 3"));
-        let p = StoreError::ShardPanicked {
-            shard: 1,
-            detail: "boom".into(),
-        };
-        assert!(p.to_string().contains("shard 1"));
-        assert!(p.to_string().contains("boom"));
     }
 }

@@ -18,14 +18,18 @@
 
 pub mod conformance;
 mod edgelist;
+mod error;
 mod generator;
 mod health;
 mod profile;
 mod store;
 
 pub use edgelist::{for_each_edge, read_edge_list, write_edge_list};
+pub use error::Error;
+#[allow(deprecated)]
+pub use error::StoreError;
 pub use generator::{EdgeStream, UpdateStream, ZipfSampler};
-pub use health::{Served, ShardHealth, StoreError};
+pub use health::{Served, ShardHealth};
 pub use profile::{DatasetProfile, RelationSpec};
 pub use store::GraphStore;
 

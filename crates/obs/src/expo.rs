@@ -1,0 +1,212 @@
+//! Exposition: render an [`ObsSnapshot`] as Prometheus text or JSON.
+//!
+//! Both formats are emitted by hand — the workspace vendors no JSON
+//! serializer — and both are deterministic for a given snapshot (metric
+//! entries are name-sorted), so they can be golden-file tested.
+
+use crate::hist::HistogramSnapshot;
+use crate::registry::ObsSnapshot;
+use std::fmt::Write;
+
+/// Map a registry metric name to a Prometheus metric name: prefix with
+/// `plato_`, lowercase, and replace every character outside `[a-z0-9_]`
+/// (dots, dashes) with `_`.
+fn prom_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 6);
+    out.push_str("plato_");
+    for c in name.chars() {
+        let c = c.to_ascii_lowercase();
+        if c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl ObsSnapshot {
+    /// Render in the Prometheus text exposition format. Counters get a
+    /// `_total` suffix; histograms expand into cumulative
+    /// `_bucket{le="..."}` series (bucket upper bounds in seconds) plus
+    /// `_sum` and `_count`. Spans are not exposed here — they are trace
+    /// data, not time series.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in &self.counters {
+            let p = prom_name(name);
+            let _ = writeln!(out, "# TYPE {p}_total counter");
+            let _ = writeln!(out, "{p}_total {value}");
+        }
+        for (name, value) in &self.gauges {
+            let p = prom_name(name);
+            let _ = writeln!(out, "# TYPE {p} gauge");
+            let _ = writeln!(out, "{p} {value}");
+        }
+        for (name, h) in &self.histograms {
+            let p = prom_name(name);
+            let _ = writeln!(out, "# TYPE {p} histogram");
+            let mut cumulative = 0u64;
+            for &(exp, n) in &h.buckets {
+                cumulative += n;
+                // Bucket upper bound 2^(exp+1) ns, rendered in seconds.
+                let le = 2f64.powi(exp as i32 + 1) / 1e9;
+                let _ = writeln!(out, "{p}_bucket{{le=\"{le}\"}} {cumulative}");
+            }
+            let _ = writeln!(out, "{p}_bucket{{le=\"+Inf\"}} {}", h.count);
+            let _ = writeln!(out, "{p}_sum {}", h.sum_ns as f64 / 1e9);
+            let _ = writeln!(out, "{p}_count {}", h.count);
+        }
+        out
+    }
+
+    /// Render as one JSON object:
+    /// `{"counters":{..},"gauges":{..},"histograms":{..},"spans":[..]}`.
+    /// Histogram values use the same shape as
+    /// [`HistogramSnapshot::to_json`], so existing consumers of the bench
+    /// report format parse unchanged.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"counters\":{");
+        for (i, (name, value)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":{}", json_escape(name), value);
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (name, value)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":{}", json_escape(name), value);
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":{}", json_escape(name), h.to_json());
+        }
+        out.push_str("},\"spans\":[");
+        for (i, s) in self.spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let parent = match s.parent {
+                Some(p) => p.to_string(),
+                None => "null".to_string(),
+            };
+            let _ = write!(
+                out,
+                "{{\"name\":\"{}\",\"id\":{},\"parent\":{},\"start_ns\":{},\"duration_ns\":{}}}",
+                json_escape(s.name),
+                s.id,
+                parent,
+                s.start_ns,
+                s.duration_ns
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Re-exported so exposition consumers can name the histogram shape
+/// without importing the `hist` module path.
+pub type HistogramJson = HistogramSnapshot;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+    use std::time::Duration;
+
+    #[test]
+    fn prom_names_are_sanitized() {
+        assert_eq!(prom_name("cluster.requests"), "plato_cluster_requests");
+        assert_eq!(prom_name("WAL.append-bytes"), "plato_wal_append_bytes");
+    }
+
+    #[test]
+    fn prometheus_counter_and_gauge_lines() {
+        let r = Registry::new();
+        r.counter("cluster.requests").add(42);
+        r.gauge("storage.edges").set(17);
+        let text = r.snapshot().to_prometheus();
+        assert!(text.contains("# TYPE plato_cluster_requests_total counter"));
+        assert!(text.contains("plato_cluster_requests_total 42\n"));
+        assert!(text.contains("# TYPE plato_storage_edges gauge"));
+        assert!(text.contains("plato_storage_edges 17\n"));
+    }
+
+    #[test]
+    fn prometheus_histogram_is_cumulative() {
+        let r = Registry::new();
+        let h = r.histogram("lat_ns");
+        h.record(Duration::from_nanos(3)); // bucket exp 1
+        h.record(Duration::from_nanos(3));
+        h.record(Duration::from_nanos(1000)); // bucket exp 9
+        let text = r.snapshot().to_prometheus();
+        assert!(text.contains("# TYPE plato_lat_ns histogram"), "{text}");
+        // exp 1 -> le = 2^2 ns = 4e-9 s, cumulative 2.
+        assert!(
+            text.contains("plato_lat_ns_bucket{le=\"0.000000004\"} 2"),
+            "{text}"
+        );
+        // exp 9 -> le = 2^10 ns, cumulative 3.
+        assert!(
+            text.contains("plato_lat_ns_bucket{le=\"0.000001024\"} 3"),
+            "{text}"
+        );
+        assert!(
+            text.contains("plato_lat_ns_bucket{le=\"+Inf\"} 3"),
+            "{text}"
+        );
+        assert!(text.contains("plato_lat_ns_count 3"), "{text}");
+    }
+
+    #[test]
+    fn json_has_all_sections() {
+        let r = Registry::new();
+        r.counter("c").inc();
+        r.gauge("g").set(2);
+        r.histogram("h").record(Duration::from_nanos(5));
+        drop(r.span("unit"));
+        let json = r.snapshot().to_json();
+        assert!(json.starts_with("{\"counters\":{\"c\":1}"), "{json}");
+        assert!(json.contains("\"gauges\":{\"g\":2}"), "{json}");
+        assert!(
+            json.contains("\"histograms\":{\"h\":{\"count\":1"),
+            "{json}"
+        );
+        assert!(
+            json.contains("\"spans\":[{\"name\":\"unit\",\"id\":1,\"parent\":null"),
+            "{json}"
+        );
+        assert!(json.ends_with("]}"), "{json}");
+    }
+
+    #[test]
+    fn json_escapes_hostile_names() {
+        let r = Registry::new();
+        r.counter("weird\"name\\here").inc();
+        let json = r.snapshot().to_json();
+        assert!(json.contains("\"weird\\\"name\\\\here\":1"), "{json}");
+    }
+}

@@ -1,10 +1,12 @@
-//! Lock-free latency histograms for serving-path telemetry.
+//! Lock-free log2 latency histograms.
 //!
 //! Production graph services watch tail latency (the paper's Fig. 9/10
-//! numbers are exactly such measurements); this module gives each cluster a
-//! cheap always-on recorder: one atomic increment per observation into
-//! power-of-two nanosecond buckets, with percentile estimates read on
-//! demand.
+//! numbers are exactly such measurements); this module gives every
+//! subsystem a cheap always-on recorder: one atomic increment per
+//! observation into power-of-two nanosecond buckets, with percentile
+//! estimates read on demand. Formerly `crates/server/src/latency.rs`;
+//! it moved here so storage, WAL, and pipeline stages record through the
+//! same type the server uses.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
@@ -15,14 +17,14 @@ const BUCKETS: usize = 64;
 
 /// A concurrent histogram over durations with power-of-two buckets.
 #[derive(Debug)]
-pub struct LatencyHistogram {
+pub struct Histogram {
     buckets: [AtomicU64; BUCKETS],
     count: AtomicU64,
     sum_ns: AtomicU64,
     max_ns: AtomicU64,
 }
 
-impl Default for LatencyHistogram {
+impl Default for Histogram {
     fn default() -> Self {
         Self {
             buckets: [const { AtomicU64::new(0) }; BUCKETS],
@@ -33,10 +35,10 @@ impl Default for LatencyHistogram {
     }
 }
 
-/// A point-in-time, serializable view of a [`LatencyHistogram`]: exact
-/// count/mean/max plus log2-resolution percentiles and the non-empty bucket
-/// counts, so stage and cluster histograms can be dumped into bench JSON
-/// instead of ad-hoc prints.
+/// A point-in-time, serializable view of a [`Histogram`]: exact
+/// count/mean/sum/max plus log2-resolution percentiles and the non-empty
+/// bucket counts, so stage and cluster histograms can be dumped into bench
+/// JSON instead of ad-hoc prints.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct HistogramSnapshot {
     /// Observations recorded.
@@ -51,6 +53,8 @@ pub struct HistogramSnapshot {
     pub p99_ns: u64,
     /// Exact maximum observation in nanoseconds.
     pub max_ns: u64,
+    /// Exact sum of observations in nanoseconds (drives Prometheus `_sum`).
+    pub sum_ns: u64,
     /// Non-empty buckets as `(log2_lower_bound, count)`: bucket `e` holds
     /// durations in `[2^e, 2^(e+1))` ns.
     pub buckets: Vec<(u32, u64)>,
@@ -69,13 +73,14 @@ impl HistogramSnapshot {
         }
         buckets.push(']');
         format!(
-            "{{\"count\":{},\"mean_ns\":{},\"p50_ns\":{},\"p95_ns\":{},\"p99_ns\":{},\"max_ns\":{},\"buckets\":{}}}",
-            self.count, self.mean_ns, self.p50_ns, self.p95_ns, self.p99_ns, self.max_ns, buckets
+            "{{\"count\":{},\"mean_ns\":{},\"p50_ns\":{},\"p95_ns\":{},\"p99_ns\":{},\"max_ns\":{},\"sum_ns\":{},\"buckets\":{}}}",
+            self.count, self.mean_ns, self.p50_ns, self.p95_ns, self.p99_ns, self.max_ns,
+            self.sum_ns, buckets
         )
     }
 }
 
-impl LatencyHistogram {
+impl Histogram {
     /// Create an empty histogram.
     pub fn new() -> Self {
         Self::default()
@@ -83,7 +88,11 @@ impl LatencyHistogram {
 
     /// Record one observation.
     pub fn record(&self, d: Duration) {
-        let ns = d.as_nanos().min(u128::from(u64::MAX)) as u64;
+        self.record_ns(d.as_nanos().min(u128::from(u64::MAX)) as u64);
+    }
+
+    /// Record one observation given directly in nanoseconds.
+    pub fn record_ns(&self, ns: u64) {
         let bucket = (64 - ns.max(1).leading_zeros() as usize - 1).min(BUCKETS - 1);
         self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
@@ -99,6 +108,11 @@ impl LatencyHistogram {
     /// Observations recorded.
     pub fn count(&self) -> u64 {
         self.count.load(Ordering::Relaxed)
+    }
+
+    /// Exact sum of recorded durations in nanoseconds.
+    pub fn sum_ns(&self) -> u64 {
+        self.sum_ns.load(Ordering::Relaxed)
     }
 
     /// Mean latency (zero when empty).
@@ -134,8 +148,8 @@ impl LatencyHistogram {
         Duration::from_nanos(u64::MAX)
     }
 
-    /// Serializable snapshot: count, exact mean/max, p50/p95/p99 and the
-    /// non-empty bucket counts.
+    /// Serializable snapshot: count, exact mean/sum/max, p50/p95/p99 and
+    /// the non-empty bucket counts.
     pub fn snapshot(&self) -> HistogramSnapshot {
         HistogramSnapshot {
             count: self.count(),
@@ -144,6 +158,7 @@ impl LatencyHistogram {
             p95_ns: self.quantile(0.95).as_nanos().min(u128::from(u64::MAX)) as u64,
             p99_ns: self.quantile(0.99).as_nanos().min(u128::from(u64::MAX)) as u64,
             max_ns: self.max_ns.load(Ordering::Relaxed),
+            sum_ns: self.sum_ns.load(Ordering::Relaxed),
             buckets: self
                 .buckets
                 .iter()
@@ -163,7 +178,7 @@ mod tests {
 
     #[test]
     fn empty_histogram_reports_zero() {
-        let h = LatencyHistogram::new();
+        let h = Histogram::new();
         assert_eq!(h.count(), 0);
         assert_eq!(h.mean(), Duration::ZERO);
         assert_eq!(h.quantile(0.99), Duration::ZERO);
@@ -171,8 +186,8 @@ mod tests {
 
     #[test]
     fn buckets_bound_the_observation() {
-        let h = LatencyHistogram::new();
-        h.record(Duration::from_nanos(1000)); // bucket [512, 1024) -> no, 1000 in [512,1024)? 2^9=512, 2^10=1024
+        let h = Histogram::new();
+        h.record(Duration::from_nanos(1000)); // bucket [512, 1024)
         let p = h.quantile(1.0);
         assert!(p >= Duration::from_nanos(1000), "{p:?}");
         assert!(p <= Duration::from_nanos(2048), "{p:?}");
@@ -180,7 +195,7 @@ mod tests {
 
     #[test]
     fn quantiles_are_monotone() {
-        let h = LatencyHistogram::new();
+        let h = Histogram::new();
         for us in [1u64, 10, 100, 1_000, 10_000] {
             for _ in 0..20 {
                 h.record(Duration::from_micros(us));
@@ -197,15 +212,16 @@ mod tests {
 
     #[test]
     fn mean_is_exact_not_bucketed() {
-        let h = LatencyHistogram::new();
+        let h = Histogram::new();
         h.record(Duration::from_nanos(100));
         h.record(Duration::from_nanos(300));
         assert_eq!(h.mean(), Duration::from_nanos(200));
+        assert_eq!(h.sum_ns(), 400);
     }
 
     #[test]
     fn snapshot_is_serializable_and_consistent() {
-        let h = LatencyHistogram::new();
+        let h = Histogram::new();
         for us in [1u64, 50, 50, 2_000] {
             h.record(Duration::from_micros(us));
         }
@@ -224,23 +240,22 @@ mod tests {
         assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
         assert!(json.contains("\"count\":4"), "{json}");
         assert!(json.contains("\"max_ns\":2000000"), "{json}");
+        assert!(json.contains("\"sum_ns\":2101000"), "{json}");
         assert!(json.contains("\"buckets\":[["), "{json}");
     }
 
     #[test]
     fn concurrent_recording() {
-        let h = LatencyHistogram::new();
-        crossbeam::scope(|s| {
+        let h = Histogram::new();
+        std::thread::scope(|s| {
             for _ in 0..4 {
-                let h = &h;
-                s.spawn(move |_| {
+                s.spawn(|| {
                     for i in 0..10_000u64 {
                         h.record(Duration::from_nanos(i + 1));
                     }
                 });
             }
-        })
-        .expect("threads join");
+        });
         assert_eq!(h.count(), 40_000);
     }
 }

@@ -1,0 +1,38 @@
+//! Unified observability for PlatoD2GL: one registry per cluster, shared
+//! by every layer stacked on it.
+//!
+//! The paper's results are *measurements* — per-stage update and sampling
+//! latencies on billion-scale graphs (Sec. VIII) — and production
+//! deployments of PlatoGL-style systems run on per-component counters.
+//! Before this crate the repo had three disjoint stat mechanisms (server
+//! latency histograms, `TrafficStats` atomics, hand-rolled pipeline JSON);
+//! none could show a single run end-to-end. This crate replaces them with:
+//!
+//! * [`Counter`] / [`Gauge`] — sharded-atomic counters (cache-line-striped
+//!   hot path) and plain gauges;
+//! * [`Histogram`] — the log2 latency histogram formerly in
+//!   `crates/server/src/latency.rs`, now shared by storage, WAL, server,
+//!   and pipeline;
+//! * [`SpanTracer`] — enter/exit spans with monotonic timing, parent
+//!   linkage, and a ring buffer of recent completions;
+//! * [`Registry`] — names → handles; components resolve their handles once
+//!   and the hot path never touches a lock or a map;
+//! * [`ObsSnapshot`] — a point-in-time view with two exposition formats:
+//!   Prometheus text ([`ObsSnapshot::to_prometheus`]) and the JSON report
+//!   shape ([`ObsSnapshot::to_json`]).
+//!
+//! Naming convention: dot-separated lowercase paths rooted at the
+//! subsystem (`samtree.leaf_splits`, `wal.append_bytes`,
+//! `pipeline.cache.hits`); duration histograms end in `_ns`.
+
+mod expo;
+mod hist;
+mod metrics;
+mod registry;
+mod span;
+
+pub use expo::HistogramJson;
+pub use hist::{Histogram, HistogramSnapshot};
+pub use metrics::{Counter, Gauge};
+pub use registry::{ObsSnapshot, Registry};
+pub use span::{SpanGuard, SpanRecord, SpanTracer, DEFAULT_SPAN_CAPACITY};

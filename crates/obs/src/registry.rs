@@ -1,0 +1,196 @@
+//! The metrics registry: named counters, gauges, and histograms plus a
+//! span tracer, snapshotted as one unit.
+//!
+//! Lock discipline: the name → handle maps are behind `RwLock`s that are
+//! taken only at registration and snapshot time. Components resolve their
+//! handles once (an `Arc<Counter>` etc.) and keep them, so the hot path is
+//! pure striped-atomic arithmetic — no lock, no map lookup, no string
+//! hashing.
+//!
+//! Registries are per-instance, not global: each [`Cluster`] owns one and
+//! lends it to the storage, WAL, and pipeline layers stacked on top, so
+//! concurrently running tests (or tenants) never see each other's counts.
+//!
+//! [`Cluster`]: ../platod2gl_server/struct.Cluster.html
+
+use crate::hist::{Histogram, HistogramSnapshot};
+use crate::metrics::{Counter, Gauge};
+use crate::span::{SpanGuard, SpanRecord, SpanTracer};
+use std::collections::BTreeMap;
+use std::sync::{Arc, RwLock};
+
+/// A named-metric registry with an attached span tracer.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: RwLock<BTreeMap<String, Arc<Counter>>>,
+    gauges: RwLock<BTreeMap<String, Arc<Gauge>>>,
+    histograms: RwLock<BTreeMap<String, Arc<Histogram>>>,
+    tracer: SpanTracer,
+}
+
+/// Resolve `name` in one of the registry's maps, registering a fresh
+/// default metric on first use. Double-checked so the common case is a
+/// read lock.
+fn get_or_register<T: Default>(map: &RwLock<BTreeMap<String, Arc<T>>>, name: &str) -> Arc<T> {
+    if let Some(existing) = map.read().expect("registry map").get(name) {
+        return Arc::clone(existing);
+    }
+    let mut map = map.write().expect("registry map");
+    Arc::clone(
+        map.entry(name.to_string())
+            .or_insert_with(|| Arc::new(T::default())),
+    )
+}
+
+impl Registry {
+    /// Create an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Resolve (or register) the counter named `name`. Names are
+    /// dot-separated lowercase paths, e.g. `"cluster.requests"`.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        get_or_register(&self.counters, name)
+    }
+
+    /// Resolve (or register) the gauge named `name`.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        get_or_register(&self.gauges, name)
+    }
+
+    /// Resolve (or register) the histogram named `name`. Histograms of
+    /// durations end in `_ns` by convention.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        get_or_register(&self.histograms, name)
+    }
+
+    /// Enter a tracing span (records into the ring buffer on drop).
+    pub fn span(&self, name: &'static str) -> SpanGuard<'_> {
+        self.tracer.span(name)
+    }
+
+    /// The span tracer, for direct inspection.
+    pub fn tracer(&self) -> &SpanTracer {
+        &self.tracer
+    }
+
+    /// Point-in-time snapshot of every registered metric plus the recent
+    /// spans, suitable for JSON or Prometheus exposition.
+    pub fn snapshot(&self) -> ObsSnapshot {
+        ObsSnapshot {
+            counters: self
+                .counters
+                .read()
+                .expect("registry map")
+                .iter()
+                .map(|(name, c)| (name.clone(), c.get()))
+                .collect(),
+            gauges: self
+                .gauges
+                .read()
+                .expect("registry map")
+                .iter()
+                .map(|(name, g)| (name.clone(), g.get()))
+                .collect(),
+            histograms: self
+                .histograms
+                .read()
+                .expect("registry map")
+                .iter()
+                .map(|(name, h)| (name.clone(), h.snapshot()))
+                .collect(),
+            spans: self.tracer.recent(),
+        }
+    }
+}
+
+/// A point-in-time view of a whole [`Registry`]. Metric entries are sorted
+/// by name (the maps are BTree-ordered), which makes exposition output
+/// deterministic and golden-testable.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ObsSnapshot {
+    /// Counter values by name.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge values by name.
+    pub gauges: Vec<(String, i64)>,
+    /// Histogram snapshots by name.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+    /// Recent completed spans, oldest first.
+    pub spans: Vec<SpanRecord>,
+}
+
+impl ObsSnapshot {
+    /// Look up a counter value by exact name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// Look up a gauge value by exact name.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// Look up a histogram snapshot by exact name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn handles_are_shared_by_name() {
+        let r = Registry::new();
+        let a = r.counter("x.hits");
+        let b = r.counter("x.hits");
+        a.add(3);
+        b.add(4);
+        assert_eq!(r.snapshot().counter("x.hits"), Some(7));
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn snapshot_covers_all_kinds() {
+        let r = Registry::new();
+        r.counter("c").inc();
+        r.gauge("g").set(-5);
+        r.histogram("h_ns").record(Duration::from_micros(3));
+        drop(r.span("phase"));
+        let s = r.snapshot();
+        assert_eq!(s.counter("c"), Some(1));
+        assert_eq!(s.gauge("g"), Some(-5));
+        assert_eq!(s.histogram("h_ns").map(|h| h.count), Some(1));
+        assert_eq!(s.spans.len(), 1);
+        assert_eq!(s.spans[0].name, "phase");
+    }
+
+    #[test]
+    fn snapshot_is_name_sorted() {
+        let r = Registry::new();
+        r.counter("z.last").inc();
+        r.counter("a.first").inc();
+        r.counter("m.middle").inc();
+        let snap = r.snapshot();
+        let names: Vec<&str> = snap.counters.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["a.first", "m.middle", "z.last"]);
+    }
+
+    #[test]
+    fn missing_names_read_none() {
+        let r = Registry::new();
+        let s = r.snapshot();
+        assert_eq!(s.counter("nope"), None);
+        assert_eq!(s.gauge("nope"), None);
+        assert!(s.histogram("nope").is_none());
+    }
+}

@@ -1,0 +1,259 @@
+//! Lightweight span tracing: enter/exit timing with parent linkage.
+//!
+//! A [`SpanTracer`] hands out RAII [`SpanGuard`]s. Entering a span stamps
+//! a monotonic start offset and pushes the span onto a thread-local stack
+//! (so nested spans record their parent); dropping the guard measures the
+//! duration and appends a [`SpanRecord`] to a bounded ring buffer of the
+//! most recent completions. The ring is deliberately small and mutex-
+//! guarded: span completion is orders of magnitude rarer than counter
+//! increments (one per batch/checkpoint/epoch, not one per edge), so a
+//! short critical section beats the complexity of a lock-free ring.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// One completed span.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Static span name, e.g. `"wal.checkpoint"`.
+    pub name: &'static str,
+    /// Unique id within this tracer (monotonic from 1).
+    pub id: u64,
+    /// Id of the span that was active on this thread when this span
+    /// started, if any.
+    pub parent: Option<u64>,
+    /// Start offset in nanoseconds since the tracer was created.
+    pub start_ns: u64,
+    /// Wall-clock duration in nanoseconds (monotonic clock).
+    pub duration_ns: u64,
+}
+
+thread_local! {
+    /// Stack of (tracer epoch id, span id) for parent linkage. The tracer
+    /// epoch distinguishes spans from different tracers interleaved on one
+    /// thread; a span only parents spans of the same tracer.
+    static ACTIVE: RefCell<Vec<(u64, u64)>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Process-wide tracer instance counter (keys the thread-local stack).
+static NEXT_TRACER: AtomicU64 = AtomicU64::new(1);
+
+/// Records recent spans into a bounded ring buffer.
+#[derive(Debug)]
+pub struct SpanTracer {
+    tracer_id: u64,
+    epoch: Instant,
+    next_id: AtomicU64,
+    started: AtomicU64,
+    finished: AtomicU64,
+    capacity: usize,
+    ring: Mutex<VecDeque<SpanRecord>>,
+}
+
+/// Default ring capacity: enough to hold every span of a short run and the
+/// recent tail of a long one.
+pub const DEFAULT_SPAN_CAPACITY: usize = 256;
+
+impl Default for SpanTracer {
+    fn default() -> Self {
+        Self::with_capacity(DEFAULT_SPAN_CAPACITY)
+    }
+}
+
+impl SpanTracer {
+    /// Create a tracer retaining the `capacity` most recent spans.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            tracer_id: NEXT_TRACER.fetch_add(1, Ordering::Relaxed),
+            epoch: Instant::now(),
+            next_id: AtomicU64::new(1),
+            started: AtomicU64::new(0),
+            finished: AtomicU64::new(0),
+            capacity: capacity.max(1),
+            ring: Mutex::new(VecDeque::with_capacity(capacity.max(1))),
+        }
+    }
+
+    /// Enter a span; it completes (and is recorded) when the guard drops.
+    pub fn span(&self, name: &'static str) -> SpanGuard<'_> {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.started.fetch_add(1, Ordering::Relaxed);
+        let parent = ACTIVE.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            let parent = stack
+                .iter()
+                .rev()
+                .find(|(t, _)| *t == self.tracer_id)
+                .map(|(_, id)| *id);
+            stack.push((self.tracer_id, id));
+            parent
+        });
+        SpanGuard {
+            tracer: self,
+            name,
+            id,
+            parent,
+            start: Instant::now(),
+        }
+    }
+
+    /// Spans entered so far.
+    pub fn started(&self) -> u64 {
+        self.started.load(Ordering::Relaxed)
+    }
+
+    /// Spans completed so far (including any evicted from the ring).
+    pub fn finished(&self) -> u64 {
+        self.finished.load(Ordering::Relaxed)
+    }
+
+    /// The most recent completed spans, oldest first.
+    pub fn recent(&self) -> Vec<SpanRecord> {
+        self.ring
+            .lock()
+            .expect("span ring")
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    fn complete(&self, record: SpanRecord) {
+        ACTIVE.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            // Normally the top of the stack; a guard moved across threads
+            // or dropped out of order is removed wherever it sits.
+            if let Some(pos) = stack
+                .iter()
+                .rposition(|&(t, id)| t == self.tracer_id && id == record.id)
+            {
+                stack.remove(pos);
+            }
+        });
+        self.finished.fetch_add(1, Ordering::Relaxed);
+        let mut ring = self.ring.lock().expect("span ring");
+        if ring.len() == self.capacity {
+            ring.pop_front();
+        }
+        ring.push_back(record);
+    }
+}
+
+/// RAII guard for an in-flight span; records on drop.
+#[derive(Debug)]
+pub struct SpanGuard<'a> {
+    tracer: &'a SpanTracer,
+    name: &'static str,
+    id: u64,
+    parent: Option<u64>,
+    start: Instant,
+}
+
+impl SpanGuard<'_> {
+    /// This span's id (usable as an explicit parent reference).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        let duration_ns = self.start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+        let start_ns = self
+            .start
+            .duration_since(self.tracer.epoch)
+            .as_nanos()
+            .min(u128::from(u64::MAX)) as u64;
+        self.tracer.complete(SpanRecord {
+            name: self.name,
+            id: self.id,
+            parent: self.parent,
+            start_ns,
+            duration_ns,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_record_on_drop_with_parent_linkage() {
+        let t = SpanTracer::default();
+        {
+            let outer = t.span("outer");
+            let inner = t.span("inner");
+            assert_eq!(t.recent().len(), 0, "nothing recorded until drop");
+            drop(inner);
+            drop(outer);
+        }
+        let spans = t.recent();
+        assert_eq!(spans.len(), 2);
+        // Inner completes first; its parent is outer.
+        assert_eq!(spans[0].name, "inner");
+        assert_eq!(spans[1].name, "outer");
+        assert_eq!(spans[0].parent, Some(spans[1].id));
+        assert_eq!(spans[1].parent, None);
+        assert!(spans[1].duration_ns >= spans[0].duration_ns);
+        assert_eq!(t.started(), 2);
+        assert_eq!(t.finished(), 2);
+    }
+
+    #[test]
+    fn sibling_spans_share_a_parent() {
+        let t = SpanTracer::default();
+        let outer = t.span("outer");
+        let outer_id = outer.id();
+        t.span("a");
+        t.span("b");
+        drop(outer);
+        let spans = t.recent();
+        assert_eq!(spans[0].parent, Some(outer_id));
+        assert_eq!(spans[1].parent, Some(outer_id));
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let t = SpanTracer::with_capacity(4);
+        for i in 0..10 {
+            let _g = t.span(if i % 2 == 0 { "even" } else { "odd" });
+        }
+        let spans = t.recent();
+        assert_eq!(spans.len(), 4);
+        assert_eq!(t.finished(), 10);
+        // Oldest-first: ids 7..=10 survive.
+        assert_eq!(spans.first().map(|s| s.id), Some(7));
+        assert_eq!(spans.last().map(|s| s.id), Some(10));
+    }
+
+    #[test]
+    fn two_tracers_do_not_cross_parent() {
+        let a = SpanTracer::default();
+        let b = SpanTracer::default();
+        let ga = a.span("a_outer");
+        let gb = b.span("b_only");
+        drop(gb);
+        drop(ga);
+        assert_eq!(b.recent()[0].parent, None, "b must not parent under a");
+    }
+
+    #[test]
+    fn concurrent_span_recording() {
+        let t = SpanTracer::with_capacity(1024);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..100 {
+                        let _outer = t.span("outer");
+                        let _inner = t.span("inner");
+                    }
+                });
+            }
+        });
+        assert_eq!(t.finished(), 1600);
+        assert_eq!(t.recent().len(), 1024);
+    }
+}

@@ -1,0 +1,74 @@
+//! Golden-file test for both exposition formats.
+//!
+//! Builds a fully deterministic registry (fixed counter/gauge values,
+//! histogram observations given as exact nanosecond values, no spans —
+//! span timestamps come from a monotonic clock and would not be stable)
+//! and compares the rendered JSON and Prometheus text byte-for-byte
+//! against checked-in golden files.
+//!
+//! To regenerate after an intentional format change:
+//! `UPDATE_GOLDEN=1 cargo test -p platod2gl-obs --test golden_expo`
+
+use platod2gl_obs::Registry;
+use std::path::PathBuf;
+
+fn golden_registry() -> Registry {
+    let r = Registry::new();
+    r.counter("cluster.requests").add(1024);
+    r.counter("samtree.leaf_ops").add(77);
+    r.counter("wal.appends").add(3);
+    r.gauge("cluster.graph_version").set(12);
+    r.gauge("storage.edges").set(-1); // gauges may go negative
+    let h = r.histogram("cluster.sample_latency_ns");
+    // One observation per distinct bucket, plus repeats: exps 6, 9, 9, 13.
+    h.record_ns(100);
+    h.record_ns(1_000);
+    h.record_ns(1_023);
+    h.record_ns(15_000);
+    r
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+fn check(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden file {}: {e}", path.display()));
+    assert_eq!(
+        actual,
+        expected,
+        "exposition drifted from {} — run with UPDATE_GOLDEN=1 if intentional",
+        path.display()
+    );
+}
+
+#[test]
+fn prometheus_exposition_matches_golden() {
+    check(
+        "snapshot.prom",
+        &golden_registry().snapshot().to_prometheus(),
+    );
+}
+
+#[test]
+fn json_exposition_matches_golden() {
+    check("snapshot.json", &golden_registry().snapshot().to_json());
+}
+
+#[test]
+fn exposition_is_stable_across_snapshots() {
+    // Same registry, two snapshots: identical output (name-sorted, no
+    // iteration-order leakage from the internal maps).
+    let r = golden_registry();
+    assert_eq!(r.snapshot().to_json(), r.snapshot().to_json());
+    assert_eq!(r.snapshot().to_prometheus(), r.snapshot().to_prometheus());
+}

@@ -20,9 +20,9 @@
 //! workers do not serialize on one lock.
 
 use platod2gl_graph::{EdgeType, VertexId};
+use platod2gl_obs::{Counter, Registry};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// Cache sizing and staleness policy.
 #[derive(Clone, Copy, Debug)]
@@ -108,17 +108,22 @@ struct Segment {
 }
 
 /// Sharded, epoch-versioned neighbor cache.
+///
+/// Counters live in the shared observability registry when built with
+/// [`NeighborCache::with_registry`] (names `pipeline.cache.*`), so one
+/// snapshot shows cache behavior next to cluster and storage metrics;
+/// [`NeighborCache::new`] keeps them private to this instance.
 pub struct NeighborCache {
     cfg: CacheConfig,
     /// Entry budget of one shard's hot generation (half the shard budget).
     half_cap: usize,
     segments: Vec<Mutex<Segment>>,
-    hits: AtomicU64,
-    stale_hits: AtomicU64,
-    misses: AtomicU64,
-    stale_evictions: AtomicU64,
-    capacity_evictions: AtomicU64,
-    insertions: AtomicU64,
+    hits: Arc<Counter>,
+    stale_hits: Arc<Counter>,
+    misses: Arc<Counter>,
+    stale_evictions: Arc<Counter>,
+    capacity_evictions: Arc<Counter>,
+    insertions: Arc<Counter>,
 }
 
 /// splitmix64 finalizer (the same mix the shard router uses).
@@ -134,10 +139,25 @@ fn key_hash(key: &Key) -> u64 {
 }
 
 impl NeighborCache {
-    /// Build a cache; `shards` is clamped to at least 1.
+    /// Build a cache with instance-private counters; `shards` is clamped to
+    /// at least 1.
     pub fn new(cfg: CacheConfig) -> Self {
+        Self::build(cfg, None)
+    }
+
+    /// Build a cache whose counters are registered as `pipeline.cache.*`
+    /// in `registry`.
+    pub fn with_registry(cfg: CacheConfig, registry: &Registry) -> Self {
+        Self::build(cfg, Some(registry))
+    }
+
+    fn build(cfg: CacheConfig, registry: Option<&Registry>) -> Self {
         let shards = cfg.shards.max(1);
         let half_cap = (cfg.capacity / shards / 2).max(1);
+        let counter = |name: &str| match registry {
+            Some(r) => r.counter(name),
+            None => Arc::new(Counter::default()),
+        };
         Self {
             cfg,
             half_cap,
@@ -149,12 +169,12 @@ impl NeighborCache {
                     })
                 })
                 .collect(),
-            hits: AtomicU64::new(0),
-            stale_hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            stale_evictions: AtomicU64::new(0),
-            capacity_evictions: AtomicU64::new(0),
-            insertions: AtomicU64::new(0),
+            hits: counter("pipeline.cache.hits"),
+            stale_hits: counter("pipeline.cache.stale_hits"),
+            misses: counter("pipeline.cache.misses"),
+            stale_evictions: counter("pipeline.cache.stale_evictions"),
+            capacity_evictions: counter("pipeline.cache.capacity_evictions"),
+            insertions: counter("pipeline.cache.insertions"),
         }
     }
 
@@ -203,8 +223,7 @@ impl NeighborCache {
             let dropped = seg.cold.len();
             seg.cold = std::mem::take(&mut seg.hot);
             if dropped > 0 {
-                self.capacity_evictions
-                    .fetch_add(dropped as u64, Ordering::Relaxed);
+                self.capacity_evictions.add(dropped as u64);
             }
         }
     }
@@ -221,7 +240,7 @@ impl NeighborCache {
         now: u64,
     ) -> Option<Vec<VertexId>> {
         if !self.enabled() {
-            self.misses.fetch_add(1, Ordering::Relaxed);
+            self.misses.inc();
             return None;
         }
         let key = (v, etype, fanout);
@@ -233,12 +252,12 @@ impl NeighborCache {
                 } else {
                     &self.stale_hits
                 };
-                counter.fetch_add(1, Ordering::Relaxed);
+                counter.inc();
                 return Some(entry.neighbors.clone());
             }
             seg.hot.remove(&key);
-            self.stale_evictions.fetch_add(1, Ordering::Relaxed);
-            self.misses.fetch_add(1, Ordering::Relaxed);
+            self.stale_evictions.inc();
+            self.misses.inc();
             return None;
         }
         if let Some(entry) = seg.cold.remove(&key) {
@@ -248,15 +267,15 @@ impl NeighborCache {
                 } else {
                     &self.stale_hits
                 };
-                counter.fetch_add(1, Ordering::Relaxed);
+                counter.inc();
                 let neighbors = entry.neighbors.clone();
                 seg.hot.insert(key, entry);
                 self.maybe_rotate(&mut seg);
                 return Some(neighbors);
             }
-            self.stale_evictions.fetch_add(1, Ordering::Relaxed);
+            self.stale_evictions.inc();
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.misses.inc();
         None
     }
 
@@ -277,18 +296,18 @@ impl NeighborCache {
         seg.cold.remove(&key);
         seg.hot.insert(key, Entry { neighbors, version });
         self.maybe_rotate(&mut seg);
-        self.insertions.fetch_add(1, Ordering::Relaxed);
+        self.insertions.inc();
     }
 
     /// Counter snapshot.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            stale_hits: self.stale_hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            stale_evictions: self.stale_evictions.load(Ordering::Relaxed),
-            capacity_evictions: self.capacity_evictions.load(Ordering::Relaxed),
-            insertions: self.insertions.load(Ordering::Relaxed),
+            hits: self.hits.get(),
+            stale_hits: self.stale_hits.get(),
+            misses: self.misses.get(),
+            stale_evictions: self.stale_evictions.get(),
+            capacity_evictions: self.capacity_evictions.get(),
+            insertions: self.insertions.get(),
         }
     }
 }

@@ -18,13 +18,14 @@
 use crate::cache::{CacheConfig, CacheStats, NeighborCache};
 use crate::sampler::KHopSampler;
 use platod2gl_gnn::{gather_features, FeatureProvider, Matrix, SageNet};
-use platod2gl_graph::{EdgeType, VertexId};
-use platod2gl_server::{Cluster, HistogramSnapshot, LatencyHistogram};
+use platod2gl_graph::{EdgeType, Error, VertexId};
+use platod2gl_obs::{Counter, Histogram};
+use platod2gl_server::{Cluster, HistogramSnapshot};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{RngCore, SeedableRng};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::sync_channel;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Pipeline shape: what to sample, how to batch, how far to run ahead.
@@ -59,6 +60,92 @@ impl Default for PipelineConfig {
             cache: CacheConfig::default(),
             seed: 0x9e3779b97f4a7c15,
         }
+    }
+}
+
+impl PipelineConfig {
+    /// Start building a validated configuration.
+    pub fn builder() -> PipelineConfigBuilder {
+        PipelineConfigBuilder {
+            config: Self::default(),
+        }
+    }
+}
+
+/// Builder for [`PipelineConfig`] that validates at [`build`] time.
+///
+/// [`build`]: PipelineConfigBuilder::build
+#[derive(Clone, Debug)]
+pub struct PipelineConfigBuilder {
+    config: PipelineConfig,
+}
+
+impl PipelineConfigBuilder {
+    /// Relation to expand over.
+    pub fn etype(mut self, etype: EdgeType) -> Self {
+        self.config.etype = etype;
+        self
+    }
+
+    /// Per-hop fanouts.
+    pub fn fanouts(mut self, fanouts: Vec<usize>) -> Self {
+        self.config.fanouts = fanouts;
+        self
+    }
+
+    /// Seeds per mini-batch.
+    pub fn batch_size(mut self, n: usize) -> Self {
+        self.config.batch_size = n;
+        self
+    }
+
+    /// Bounded channel capacity between workers and the trainer.
+    pub fn prefetch_depth(mut self, depth: usize) -> Self {
+        self.config.prefetch_depth = depth;
+        self
+    }
+
+    /// Producer threads when prefetching.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.config.workers = workers;
+        self
+    }
+
+    /// Neighbor-cache shape.
+    pub fn cache(mut self, cache: CacheConfig) -> Self {
+        self.config.cache = cache;
+        self
+    }
+
+    /// Base RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Validate and produce the configuration.
+    pub fn build(self) -> Result<PipelineConfig, Error> {
+        let c = self.config;
+        if c.fanouts.is_empty() {
+            return Err(Error::invalid_config("fanouts must name at least one hop"));
+        }
+        if c.fanouts.contains(&0) {
+            return Err(Error::invalid_config("every hop fanout must be non-zero"));
+        }
+        if c.batch_size == 0 {
+            return Err(Error::invalid_config("batch_size must be at least 1"));
+        }
+        if c.cache.capacity > 0 && c.cache.shards == 0 {
+            return Err(Error::invalid_config(
+                "cache.shards must be at least 1 when the cache is enabled",
+            ));
+        }
+        if c.cache.max_staleness == u64::MAX {
+            return Err(Error::invalid_config(
+                "cache.max_staleness must be a finite bound (u64::MAX reads as unbounded)",
+            ));
+        }
+        Ok(c)
     }
 }
 
@@ -139,17 +226,24 @@ impl PipelineStats {
 }
 
 /// Drives mini-batch GraphSAGE training against a live, mutating cluster.
+///
+/// All telemetry records into the cluster's observability registry
+/// ([`Cluster::obs`]) under `pipeline.*` names, so one snapshot covers the
+/// whole serving + training stack; [`TrainingPipeline::stats`] remains as a
+/// typed view over those handles.
 pub struct TrainingPipeline<'a> {
     cluster: &'a Cluster,
     cfg: PipelineConfig,
     sampler: KHopSampler,
     cache: NeighborCache,
-    sample_lat: LatencyHistogram,
-    gather_lat: LatencyHistogram,
-    train_lat: LatencyHistogram,
-    distinct_sampled: AtomicU64,
-    cluster_requests: AtomicU64,
-    frontier_slots: AtomicU64,
+    sample_lat: Arc<Histogram>,
+    gather_lat: Arc<Histogram>,
+    train_lat: Arc<Histogram>,
+    batches: Arc<Counter>,
+    degraded_batches: Arc<Counter>,
+    distinct_sampled: Arc<Counter>,
+    cluster_requests: Arc<Counter>,
+    frontier_slots: Arc<Counter>,
 }
 
 fn mix64(mut x: u64) -> u64 {
@@ -160,21 +254,25 @@ fn mix64(mut x: u64) -> u64 {
 }
 
 impl<'a> TrainingPipeline<'a> {
-    /// Build a pipeline over `cluster` with its own cache instance.
+    /// Build a pipeline over `cluster` with its own cache instance. Stage
+    /// telemetry registers into the cluster's registry as `pipeline.*`.
     pub fn new(cluster: &'a Cluster, cfg: PipelineConfig) -> Self {
         let sampler = KHopSampler::new(cfg.etype, cfg.fanouts.clone());
-        let cache = NeighborCache::new(cfg.cache);
+        let registry = cluster.obs();
+        let cache = NeighborCache::with_registry(cfg.cache, registry);
         Self {
             cluster,
             cfg,
             sampler,
             cache,
-            sample_lat: LatencyHistogram::new(),
-            gather_lat: LatencyHistogram::new(),
-            train_lat: LatencyHistogram::new(),
-            distinct_sampled: AtomicU64::new(0),
-            cluster_requests: AtomicU64::new(0),
-            frontier_slots: AtomicU64::new(0),
+            sample_lat: registry.histogram("pipeline.sample_ns"),
+            gather_lat: registry.histogram("pipeline.gather_ns"),
+            train_lat: registry.histogram("pipeline.train_ns"),
+            batches: registry.counter("pipeline.batches"),
+            degraded_batches: registry.counter("pipeline.degraded_batches"),
+            distinct_sampled: registry.counter("pipeline.distinct_sampled"),
+            cluster_requests: registry.counter("pipeline.cluster_requests"),
+            frontier_slots: registry.counter("pipeline.frontier_slots"),
         }
     }
 
@@ -195,9 +293,9 @@ impl<'a> TrainingPipeline<'a> {
             gather: self.gather_lat.snapshot(),
             train: self.train_lat.snapshot(),
             cache: self.cache.stats(),
-            distinct_sampled: self.distinct_sampled.load(Ordering::Relaxed),
-            cluster_requests: self.cluster_requests.load(Ordering::Relaxed),
-            frontier_slots: self.frontier_slots.load(Ordering::Relaxed),
+            distinct_sampled: self.distinct_sampled.get(),
+            cluster_requests: self.cluster_requests.get(),
+            frontier_slots: self.frontier_slots.get(),
         }
     }
 
@@ -214,15 +312,13 @@ impl<'a> TrainingPipeline<'a> {
             .sampler
             .sample_block(self.cluster, &self.cache, seeds, rng);
         self.sample_lat.record(t.elapsed());
-        self.distinct_sampled
-            .fetch_add(outcome.distinct_sampled, Ordering::Relaxed);
-        self.cluster_requests
-            .fetch_add(outcome.cluster_requests, Ordering::Relaxed);
+        self.distinct_sampled.add(outcome.distinct_sampled);
+        self.cluster_requests.add(outcome.cluster_requests);
         let slots: u64 = outcome.levels[..outcome.levels.len() - 1]
             .iter()
             .map(|l| l.len() as u64)
             .sum();
-        self.frontier_slots.fetch_add(slots, Ordering::Relaxed);
+        self.frontier_slots.add(slots);
 
         let t = Instant::now();
         let dim = provider.dim();
@@ -244,8 +340,10 @@ impl<'a> TrainingPipeline<'a> {
         let t = Instant::now();
         let stats = net.train_step_features(block.feats, &block.labels);
         self.train_lat.record(t.elapsed());
+        self.batches.inc();
         report.batches += 1;
         if block.degraded_samples > 0 {
+            self.degraded_batches.inc();
             report.degraded_batches += 1;
         }
         report.mean_loss += stats.loss;
@@ -292,6 +390,7 @@ impl<'a> TrainingPipeline<'a> {
             self.cfg.fanouts,
             "model and pipeline fanouts must agree"
         );
+        let _span = self.cluster.obs().span("pipeline.run_batches");
         let started = Instant::now();
         let mut report = EpochReport::default();
         if batches.is_empty() {

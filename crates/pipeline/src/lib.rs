@@ -28,5 +28,7 @@ mod driver;
 mod sampler;
 
 pub use cache::{CacheConfig, CacheStats, NeighborCache};
-pub use driver::{Block, EpochReport, PipelineConfig, PipelineStats, TrainingPipeline};
+pub use driver::{
+    Block, EpochReport, PipelineConfig, PipelineConfigBuilder, PipelineStats, TrainingPipeline,
+};
 pub use sampler::{KHopSampler, SampleOutcome};

@@ -1,7 +1,7 @@
 //! K-hop fan-out sampling against the cluster.
 //!
-//! Expands a seed batch level by level through
-//! [`Cluster::sample_neighbors_detailed`], producing the padded node flow
+//! Expands a seed batch level by level through [`Cluster::sample`],
+//! producing the padded node flow
 //! GraphSAGE consumes: level `d+1` holds exactly
 //! `levels[d].len() * fanouts[d]` vertices, isolated (or degraded) parents
 //! self-padded — the tensor shapes stay static no matter what the graph or
@@ -20,7 +20,7 @@
 
 use crate::cache::NeighborCache;
 use platod2gl_graph::{EdgeType, VertexId};
-use platod2gl_server::Cluster;
+use platod2gl_server::{Cluster, SampleRequest};
 use rand::RngCore;
 use std::collections::HashMap;
 
@@ -88,8 +88,8 @@ impl KHopSampler {
                     }
                     None => {
                         out.cluster_requests += 1;
-                        let served = cluster.sample_neighbors_detailed(v, self.etype, fanout, rng);
-                        if served.degraded {
+                        let resp = cluster.sample(&SampleRequest::new(v, self.etype, fanout), rng);
+                        if resp.degraded {
                             out.degraded_samples += 1;
                         } else {
                             // Cache real answers only — including "no
@@ -99,11 +99,11 @@ impl KHopSampler {
                                 v,
                                 self.etype,
                                 fanout as u32,
-                                served.value.clone(),
+                                resp.neighbors.clone(),
                                 version,
                             );
                         }
-                        served.value
+                        resp.neighbors
                     }
                 };
                 lists.insert(v, neighbors);
@@ -146,10 +146,12 @@ mod tests {
     }
 
     fn cluster_with_star() -> Cluster {
-        let c = Cluster::new(ClusterConfig {
-            num_shards: 3,
-            ..Default::default()
-        });
+        let c = Cluster::new(
+            ClusterConfig::builder()
+                .num_shards(3)
+                .build()
+                .expect("valid config"),
+        );
         // 0 -> 1..=5, each i -> i*10, i*10+1.
         for i in 1..=5u64 {
             c.insert_edge(Edge::new(v(0), v(i), 1.0));

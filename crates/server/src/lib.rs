@@ -34,21 +34,24 @@
 //! shard storage directly and are not fault-routed.
 
 mod faults;
-mod latency;
+mod request;
 
 pub use faults::{FaultInjector, FaultKind};
-pub use latency::{HistogramSnapshot, LatencyHistogram};
+/// Legacy alias: the server's latency histogram is now the shared
+/// observability crate's [`Histogram`](platod2gl_obs::Histogram).
+pub use platod2gl_obs::Histogram as LatencyHistogram;
+pub use platod2gl_obs::HistogramSnapshot;
+pub use request::{DegradedPolicy, SampleRequest, SampleResponse, SlotSource};
 
 use faults::Verdict;
-use platod2gl_graph::{
-    Edge, EdgeType, GraphStore, Served, ShardHealth, StoreError, UpdateOp, VertexId,
-};
+use platod2gl_graph::{Edge, EdgeType, Error, GraphStore, Served, ShardHealth, UpdateOp, VertexId};
+use platod2gl_obs::{Counter, Gauge, Histogram, Registry};
 use platod2gl_storage::{AttributeStore, DynamicGraphStore, StoreConfig};
 use rand::RngCore;
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
-use std::sync::Mutex;
-use std::time::Duration;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 /// Cluster-level configuration.
 #[derive(Clone, Copy, Debug)]
@@ -68,6 +71,73 @@ impl Default for ClusterConfig {
             store: StoreConfig::default(),
             threads_per_shard: 1,
         }
+    }
+}
+
+impl ClusterConfig {
+    /// Start building a validated configuration.
+    pub fn builder() -> ClusterConfigBuilder {
+        ClusterConfigBuilder {
+            config: Self::default(),
+        }
+    }
+}
+
+/// Builder for [`ClusterConfig`] that validates at [`build`] time instead of
+/// panicking deep inside `Cluster::new` / tree construction.
+///
+/// [`build`]: ClusterConfigBuilder::build
+#[derive(Clone, Copy, Debug)]
+pub struct ClusterConfigBuilder {
+    config: ClusterConfig,
+}
+
+impl ClusterConfigBuilder {
+    /// Number of simulated graph servers.
+    pub fn num_shards(mut self, n: usize) -> Self {
+        self.config.num_shards = n;
+        self
+    }
+
+    /// Storage configuration applied to every shard.
+    pub fn store(mut self, store: StoreConfig) -> Self {
+        self.config.store = store;
+        self
+    }
+
+    /// Worker threads used inside each shard for batched updates.
+    pub fn threads_per_shard(mut self, threads: usize) -> Self {
+        self.config.threads_per_shard = threads;
+        self
+    }
+
+    /// Validate and produce the configuration.
+    pub fn build(self) -> Result<ClusterConfig, Error> {
+        let c = self.config;
+        if c.num_shards == 0 {
+            return Err(Error::invalid_config("num_shards must be at least 1"));
+        }
+        if c.threads_per_shard == 0 {
+            return Err(Error::invalid_config(
+                "threads_per_shard must be at least 1",
+            ));
+        }
+        if c.store.directory_shards == 0 {
+            return Err(Error::invalid_config(
+                "store.directory_shards must be at least 1",
+            ));
+        }
+        if c.store.tree.capacity < 4 {
+            return Err(Error::invalid_config(
+                "store.tree.capacity must be at least 4",
+            ));
+        }
+        if c.store.tree.alpha >= c.store.tree.capacity / 2 {
+            return Err(Error::invalid_config(
+                "store.tree.alpha must be below half of capacity",
+            ));
+        }
+        Ok(c)
     }
 }
 
@@ -180,26 +250,59 @@ pub struct BatchReport {
     pub queued_ops: usize,
 }
 
+/// Pre-resolved handles into the cluster's [`Registry`], so the serving hot
+/// path never touches the registry's name maps (one `Arc` deref + striped
+/// atomic per event).
+struct ClusterMetrics {
+    requests: Arc<Counter>,
+    request_bytes: Arc<Counter>,
+    response_bytes: Arc<Counter>,
+    failed_requests: Arc<Counter>,
+    retried_requests: Arc<Counter>,
+    degraded_responses: Arc<Counter>,
+    queued_ops: Arc<Counter>,
+    heals: Arc<Counter>,
+    healed_ops: Arc<Counter>,
+    sample_latency: Arc<Histogram>,
+    update_latency: Arc<Histogram>,
+    graph_version: Arc<Gauge>,
+}
+
+impl ClusterMetrics {
+    fn new(registry: &Registry) -> Self {
+        Self {
+            requests: registry.counter("cluster.requests"),
+            request_bytes: registry.counter("cluster.request_bytes"),
+            response_bytes: registry.counter("cluster.response_bytes"),
+            failed_requests: registry.counter("cluster.failed_requests"),
+            retried_requests: registry.counter("cluster.retried_requests"),
+            degraded_responses: registry.counter("cluster.degraded_responses"),
+            queued_ops: registry.counter("cluster.queued_ops"),
+            heals: registry.counter("cluster.heals"),
+            healed_ops: registry.counter("cluster.healed_ops"),
+            sample_latency: registry.histogram("cluster.sample_latency_ns"),
+            update_latency: registry.histogram("cluster.update_latency_ns"),
+            graph_version: registry.gauge("cluster.graph_version"),
+        }
+    }
+}
+
 /// A routing facade over `S` graph servers.
 pub struct Cluster {
     config: ClusterConfig,
     servers: Vec<GraphServer>,
     shard_states: Vec<ShardState>,
     faults: FaultInjector,
-    requests: AtomicU64,
-    request_bytes: AtomicU64,
-    response_bytes: AtomicU64,
-    failed_requests: AtomicU64,
-    retried_requests: AtomicU64,
-    degraded_responses: AtomicU64,
-    queued_ops: AtomicU64,
-    /// Latency of `sample_neighbors` requests.
-    sample_latency: LatencyHistogram,
-    /// Latency of batched update requests.
-    update_latency: LatencyHistogram,
+    /// Unified observability registry: cluster counters/histograms plus the
+    /// per-shard storage metrics (`samtree.*`, `storage.*`) — every shard
+    /// store is built against this same registry, so samtree activity
+    /// aggregates across shards.
+    registry: Arc<Registry>,
+    m: ClusterMetrics,
     /// Monotone graph-version counter, bumped on every mutation that lands
     /// on a shard (see [`Cluster::graph_version`]). Bounded-staleness
-    /// caches key their entries to this.
+    /// caches key their entries to this. Mirrored into the
+    /// `cluster.graph_version` gauge for exposition.
     version: AtomicU64,
 }
 
@@ -222,29 +325,29 @@ const MAX_RETRIES: u32 = 3;
 const BACKOFF_BASE_MICROS: u64 = 50;
 
 impl Cluster {
-    /// Boot a cluster.
+    /// Boot a cluster with its own fresh observability registry.
     pub fn new(config: ClusterConfig) -> Self {
+        Self::with_registry(config, Arc::new(Registry::new()))
+    }
+
+    /// Boot a cluster that records into a caller-provided registry (so a
+    /// pipeline, a WAL sidecar, and the cluster can share one snapshot).
+    pub fn with_registry(config: ClusterConfig, registry: Arc<Registry>) -> Self {
         assert!(config.num_shards >= 1);
+        let m = ClusterMetrics::new(&registry);
         Self {
             servers: (0..config.num_shards)
                 .map(|shard_id| GraphServer {
                     shard_id,
-                    topology: DynamicGraphStore::new(config.store),
+                    topology: DynamicGraphStore::with_registry(config.store, Arc::clone(&registry)),
                     attributes: AttributeStore::new(),
                 })
                 .collect(),
             shard_states: (0..config.num_shards).map(|_| ShardState::new()).collect(),
             faults: FaultInjector::new(config.num_shards),
             config,
-            requests: AtomicU64::new(0),
-            request_bytes: AtomicU64::new(0),
-            response_bytes: AtomicU64::new(0),
-            failed_requests: AtomicU64::new(0),
-            retried_requests: AtomicU64::new(0),
-            degraded_responses: AtomicU64::new(0),
-            queued_ops: AtomicU64::new(0),
-            sample_latency: LatencyHistogram::new(),
-            update_latency: LatencyHistogram::new(),
+            registry,
+            m,
             version: AtomicU64::new(0),
         }
     }
@@ -300,9 +403,9 @@ impl Cluster {
     }
 
     fn tally(&self, requests: u64, req_bytes: u64, resp_bytes: u64) {
-        self.requests.fetch_add(requests, Ordering::Relaxed);
-        self.request_bytes.fetch_add(req_bytes, Ordering::Relaxed);
-        self.response_bytes.fetch_add(resp_bytes, Ordering::Relaxed);
+        self.m.requests.add(requests);
+        self.m.request_bytes.add(req_bytes);
+        self.m.response_bytes.add(resp_bytes);
     }
 
     /// The cluster's graph version: a monotone counter bumped once per
@@ -317,44 +420,52 @@ impl Cluster {
 
     /// Advance the graph version after a mutation landed.
     fn bump_version(&self) {
-        self.version.fetch_add(1, Ordering::Release);
+        let v = self.version.fetch_add(1, Ordering::Release) + 1;
+        self.m.graph_version.set(v as i64);
+    }
+
+    /// The cluster's observability registry: cluster traffic/fault counters,
+    /// serving-latency histograms, and the aggregated `samtree.*` /
+    /// `storage.*` metrics of every shard store. Snapshot it for a unified
+    /// view (`cluster.obs().snapshot().to_json()` / `.to_prometheus()`).
+    pub fn obs(&self) -> &Arc<Registry> {
+        &self.registry
     }
 
     /// Latency histogram of neighbor-sampling requests.
     pub fn sample_latency(&self) -> &LatencyHistogram {
-        &self.sample_latency
+        &self.m.sample_latency
     }
 
     /// Latency histogram of batched update requests.
     pub fn update_latency(&self) -> &LatencyHistogram {
-        &self.update_latency
+        &self.m.update_latency
     }
 
     /// Snapshot of simulated network traffic and fault counters.
+    ///
+    /// Compatibility view over the registry counters (`cluster.*`); the
+    /// registry itself ([`Cluster::obs`]) is the full picture.
     pub fn traffic(&self) -> TrafficStats {
         TrafficStats {
-            requests: self.requests.load(Ordering::Relaxed),
-            request_bytes: self.request_bytes.load(Ordering::Relaxed),
-            response_bytes: self.response_bytes.load(Ordering::Relaxed),
-            failed_requests: self.failed_requests.load(Ordering::Relaxed),
-            retried_requests: self.retried_requests.load(Ordering::Relaxed),
-            degraded_responses: self.degraded_responses.load(Ordering::Relaxed),
-            queued_ops: self.queued_ops.load(Ordering::Relaxed),
+            requests: self.m.requests.get(),
+            request_bytes: self.m.request_bytes.get(),
+            response_bytes: self.m.response_bytes.get(),
+            failed_requests: self.m.failed_requests.get(),
+            retried_requests: self.m.retried_requests.get(),
+            degraded_responses: self.m.degraded_responses.get(),
+            queued_ops: self.m.queued_ops.get(),
         }
     }
 
     /// Run one request against a shard under the fault policy: honor the
     /// injector's verdict, retry transients with exponential backoff, and
     /// mark shard health. `Err` means the shard is (now) unavailable.
-    fn call_shard<T>(
-        &self,
-        shard: usize,
-        f: impl FnOnce(&GraphServer) -> T,
-    ) -> Result<T, StoreError> {
+    fn call_shard<T>(&self, shard: usize, f: impl FnOnce(&GraphServer) -> T) -> Result<T, Error> {
         let state = &self.shard_states[shard];
         if state.health() == ShardHealth::Failed {
-            self.failed_requests.fetch_add(1, Ordering::Relaxed);
-            return Err(StoreError::ShardUnavailable { shard });
+            self.m.failed_requests.inc();
+            return Err(Error::ShardUnavailable { shard });
         }
         let mut f = Some(f);
         for attempt in 0..=MAX_RETRIES {
@@ -369,22 +480,22 @@ impl Cluster {
                     return Ok(f.take().expect("closure used once")(&self.servers[shard]));
                 }
                 Verdict::Transient => {
-                    self.retried_requests.fetch_add(1, Ordering::Relaxed);
+                    self.m.retried_requests.inc();
                     state.set_health(ShardHealth::Degraded);
                     std::thread::sleep(Duration::from_micros(backoff_micros(attempt)));
                 }
                 Verdict::Unavailable => {
-                    self.failed_requests.fetch_add(1, Ordering::Relaxed);
+                    self.m.failed_requests.inc();
                     state.set_health(ShardHealth::Failed);
-                    return Err(StoreError::ShardUnavailable { shard });
+                    return Err(Error::ShardUnavailable { shard });
                 }
                 Verdict::PanicBatch => unreachable!("panic faults only fire on the batch path"),
             }
         }
         // Retry budget exhausted: treat the shard as down.
-        self.failed_requests.fetch_add(1, Ordering::Relaxed);
+        self.m.failed_requests.inc();
         state.set_health(ShardHealth::Failed);
-        Err(StoreError::ShardUnavailable { shard })
+        Err(Error::ShardUnavailable { shard })
     }
 
     /// Fault-routed read with a degraded fallback value.
@@ -392,7 +503,7 @@ impl Cluster {
         match self.call_shard(shard, f) {
             Ok(v) => v,
             Err(_) => {
-                self.degraded_responses.fetch_add(1, Ordering::Relaxed);
+                self.m.degraded_responses.inc();
                 fallback
             }
         }
@@ -416,7 +527,7 @@ impl Cluster {
             return false;
         }
         pending.push(op);
-        self.queued_ops.fetch_add(1, Ordering::Relaxed);
+        self.m.queued_ops.inc();
         true
     }
 
@@ -447,6 +558,8 @@ impl Cluster {
     /// [`Cluster::queue_op`] and applies directly, so no op is ever parked
     /// on a healthy shard.
     pub fn heal_shard(&self, shard: usize) -> usize {
+        let _span = self.registry.span("cluster.heal");
+        self.m.heals.inc();
         let state = &self.shard_states[shard];
         let mut drained = 0;
         loop {
@@ -455,6 +568,7 @@ impl Cluster {
                 if guard.is_empty() {
                     self.faults.clear(shard);
                     state.set_health(ShardHealth::Healthy);
+                    self.m.healed_ops.add(drained as u64);
                     return drained;
                 }
                 std::mem::take(&mut *guard)
@@ -496,9 +610,10 @@ impl Cluster {
     /// [`BatchReport::queued_ops`] and [`Cluster::heal_shard`]); a panicking
     /// shard worker is caught, the shard is marked
     /// [`ShardHealth::Failed`], every *other* shard's partition still
-    /// applies, and the panic surfaces as [`StoreError::ShardPanicked`].
-    pub fn apply_batch_sharded(&self, ops: &[UpdateOp]) -> Result<BatchReport, StoreError> {
-        let started = std::time::Instant::now();
+    /// applies, and the panic surfaces as [`Error::ShardPanicked`].
+    pub fn apply_batch_sharded(&self, ops: &[UpdateOp]) -> Result<BatchReport, Error> {
+        let _span = self.registry.span("cluster.apply_batch");
+        let started = Instant::now();
         let mut per_shard: Vec<Vec<UpdateOp>> = vec![Vec::new(); self.servers.len()];
         for op in ops {
             per_shard[self.route(op.src())].push(*op);
@@ -525,7 +640,7 @@ impl Cluster {
                 continue;
             }
             if self.shard_states[shard].health() == ShardHealth::Failed {
-                self.failed_requests.fetch_add(1, Ordering::Relaxed);
+                self.m.failed_requests.inc();
                 fates.push(Some(Fate::Queue));
                 continue;
             }
@@ -554,12 +669,12 @@ impl Cluster {
                         break;
                     }
                     Verdict::Transient => {
-                        self.retried_requests.fetch_add(1, Ordering::Relaxed);
+                        self.m.retried_requests.inc();
                         self.shard_states[shard].set_health(ShardHealth::Degraded);
                         std::thread::sleep(Duration::from_micros(backoff_micros(attempt)));
                     }
                     Verdict::Unavailable => {
-                        self.failed_requests.fetch_add(1, Ordering::Relaxed);
+                        self.m.failed_requests.inc();
                         self.shard_states[shard].set_health(ShardHealth::Failed);
                         fate = Some(Fate::Queue);
                         break;
@@ -570,7 +685,7 @@ impl Cluster {
                 Some(f) => f,
                 None => {
                     // Retry budget exhausted.
-                    self.failed_requests.fetch_add(1, Ordering::Relaxed);
+                    self.m.failed_requests.inc();
                     self.shard_states[shard].set_health(ShardHealth::Failed);
                     Fate::Queue
                 }
@@ -633,7 +748,7 @@ impl Cluster {
                 worker_outcomes.push((shard, outcome));
             }
         });
-        self.update_latency.record(started.elapsed());
+        self.m.update_latency.record(started.elapsed());
         if !ops.is_empty() {
             // Conservative: queued-only batches also bump (a cache refresh
             // is cheap; serving around a missed invalidation is not).
@@ -644,9 +759,9 @@ impl Cluster {
         for (shard, outcome) in worker_outcomes {
             if let Err(detail) = outcome {
                 self.shard_states[shard].set_health(ShardHealth::Failed);
-                self.failed_requests.fetch_add(1, Ordering::Relaxed);
+                self.m.failed_requests.inc();
                 if first_panic.is_none() {
-                    first_panic = Some(StoreError::ShardPanicked { shard, detail });
+                    first_panic = Some(Error::ShardPanicked { shard, detail });
                 }
             }
         }
@@ -689,10 +804,65 @@ impl Cluster {
         removed
     }
 
-    /// Weighted neighbor sampling with explicit degradation: if the owning
-    /// shard cannot answer (failed, or exhausted its retry budget), the
-    /// result is an **empty** sample flagged [`Served::degraded`] — the
-    /// trainer skips the neighborhood instead of crashing.
+    /// Weighted neighbor sampling — the single sampling entry point.
+    ///
+    /// If the owning shard cannot answer (failed, or exhausted its retry
+    /// budget), the response is degraded according to
+    /// [`SampleRequest::on_degraded`]: an empty neighbor set
+    /// ([`DegradedPolicy::EmptySet`], the historical behavior) or `fanout`
+    /// self-loop slots ([`DegradedPolicy::SelfLoop`]). Either way the
+    /// trainer keeps running instead of crashing; `degraded` and the
+    /// per-slot `sources` make the fallback explicit.
+    pub fn sample(&self, req: &SampleRequest, rng: &mut dyn RngCore) -> SampleResponse {
+        let started = Instant::now();
+        let shard = self.route(req.vertex);
+        let response = match self.call_shard(shard, |s| {
+            s.topology
+                .sample_neighbors(req.vertex, req.etype, req.fanout, rng)
+        }) {
+            Ok(ids) => {
+                let sources = vec![SlotSource::Sampled; ids.len()];
+                SampleResponse {
+                    neighbors: ids,
+                    sources,
+                    degraded: false,
+                    shard,
+                }
+            }
+            Err(_) => {
+                self.m.degraded_responses.inc();
+                let (neighbors, sources) = match req.on_degraded {
+                    DegradedPolicy::EmptySet => (Vec::new(), Vec::new()),
+                    DegradedPolicy::SelfLoop => (
+                        vec![req.vertex; req.fanout],
+                        vec![SlotSource::SelfLoop; req.fanout],
+                    ),
+                };
+                SampleResponse {
+                    neighbors,
+                    sources,
+                    degraded: true,
+                    shard,
+                }
+            }
+        };
+        // Self-loop padding is produced router-side and never crosses the
+        // simulated network, so degraded responses tally zero bytes.
+        let wire_ids = if response.degraded {
+            0
+        } else {
+            response.neighbors.len() as u64
+        };
+        self.tally(1, ID_BYTES + 8, wire_ids * ID_BYTES);
+        self.m.sample_latency.record(started.elapsed());
+        response
+    }
+
+    /// Weighted neighbor sampling with explicit degradation.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `Cluster::sample(&SampleRequest::new(v, etype, k), rng)`"
+    )]
     pub fn sample_neighbors_detailed(
         &self,
         v: VertexId,
@@ -700,36 +870,28 @@ impl Cluster {
         k: usize,
         rng: &mut dyn RngCore,
     ) -> Served<Vec<VertexId>> {
-        let started = std::time::Instant::now();
-        let shard = self.route(v);
-        let served = match self.call_shard(shard, |s| s.topology.sample_neighbors(v, etype, k, rng))
-        {
-            Ok(ids) => Served::ok(ids),
-            Err(_) => {
-                self.degraded_responses.fetch_add(1, Ordering::Relaxed);
-                Served::degraded(Vec::new())
-            }
-        };
-        self.tally(1, ID_BYTES + 8, served.value.len() as u64 * ID_BYTES);
-        self.sample_latency.record(started.elapsed());
-        served
+        self.sample(&SampleRequest::new(v, etype, k), rng)
+            .into_served()
     }
 
     /// Snapshot the whole cluster's topology into one stream. The format is
     /// shard-count independent, so a snapshot taken on 4 shards restores
     /// onto 8 (re-sharding without re-partitioning tools — the operation
     /// static stores need a full redeploy for).
-    pub fn snapshot_to(&self, w: impl std::io::Write) -> std::io::Result<()> {
+    pub fn snapshot_to(&self, w: impl std::io::Write) -> Result<(), Error> {
+        let _span = self.registry.span("cluster.snapshot");
         let mut entries = Vec::new();
         for server in &self.servers {
             entries.extend(server.topology.export_adjacency());
         }
-        platod2gl_storage::write_snapshot(w, &entries)
+        platod2gl_storage::write_snapshot(w, &entries)?;
+        Ok(())
     }
 
     /// Restore a cluster snapshot, routing every source vertex to its
     /// owning shard and bulk-loading each shard's trees.
-    pub fn restore_from(&self, r: impl std::io::Read) -> std::io::Result<()> {
+    pub fn restore_from(&self, r: impl std::io::Read) -> Result<(), Error> {
+        let _span = self.registry.span("cluster.restore");
         self.bump_version();
         platod2gl_storage::read_snapshot(r, |batch| {
             let mut per_shard: Vec<Vec<Edge>> = vec![Vec::new(); self.servers.len()];
@@ -741,7 +903,8 @@ impl Cluster {
                     server.topology.bulk_build(edges);
                 }
             }
-        })
+        })?;
+        Ok(())
     }
 
     /// Aggregate topology memory across shards (Table IV at cluster scope).
@@ -851,7 +1014,7 @@ impl GraphStore for Cluster {
         k: usize,
         rng: &mut dyn RngCore,
     ) -> Vec<VertexId> {
-        self.sample_neighbors_detailed(v, etype, k, rng).value
+        self.sample(&SampleRequest::new(v, etype, k), rng).neighbors
     }
 
     fn neighbors(&self, v: VertexId, etype: EdgeType) -> Vec<(VertexId, f64)> {
@@ -877,11 +1040,17 @@ mod tests {
     use platod2gl_graph::{conformance, DatasetProfile};
     use rand::SeedableRng;
 
+    fn cluster_with_shards(n: usize) -> Cluster {
+        Cluster::new(
+            ClusterConfig::builder()
+                .num_shards(n)
+                .build()
+                .expect("valid config"),
+        )
+    }
+
     fn small_cluster() -> Cluster {
-        Cluster::new(ClusterConfig {
-            num_shards: 3,
-            ..Default::default()
-        })
+        cluster_with_shards(3)
     }
 
     #[test]
@@ -891,10 +1060,7 @@ mod tests {
 
     #[test]
     fn routing_is_stable_and_covers_shards() {
-        let c = Cluster::new(ClusterConfig {
-            num_shards: 8,
-            ..Default::default()
-        });
+        let c = cluster_with_shards(8);
         let mut seen = [false; 8];
         for v in 0..1_000u64 {
             let r = c.route(VertexId(v));
@@ -1008,20 +1174,14 @@ mod tests {
 
     #[test]
     fn cluster_snapshot_restores_onto_different_shard_count() {
-        let src_cluster = Cluster::new(ClusterConfig {
-            num_shards: 3,
-            ..Default::default()
-        });
+        let src_cluster = cluster_with_shards(3);
         let profile = DatasetProfile::tiny();
         for e in profile.edge_stream(2) {
             src_cluster.insert_edge(e);
         }
         let mut bytes = Vec::new();
         src_cluster.snapshot_to(&mut bytes).expect("snapshot");
-        let dst_cluster = Cluster::new(ClusterConfig {
-            num_shards: 7,
-            ..Default::default()
-        });
+        let dst_cluster = cluster_with_shards(7);
         dst_cluster.restore_from(bytes.as_slice()).expect("restore");
         assert_eq!(dst_cluster.num_edges(), src_cluster.num_edges());
         for v in profile.sample_sources(50, 4) {
@@ -1044,10 +1204,7 @@ mod tests {
 
     #[test]
     fn zipf_load_is_skewed_but_all_shards_used() {
-        let c = Cluster::new(ClusterConfig {
-            num_shards: 4,
-            ..Default::default()
-        });
+        let c = cluster_with_shards(4);
         let profile = DatasetProfile::ogbn().scaled_to_edges(20_000);
         for e in profile.edge_stream(3).with_bidirected(false) {
             c.insert_edge(e);
@@ -1101,19 +1258,17 @@ mod tests {
 
     #[test]
     fn failed_shard_serves_degraded_samples_not_panics() {
-        let c = Cluster::new(ClusterConfig {
-            num_shards: 4,
-            ..Default::default()
-        });
+        let c = cluster_with_shards(4);
         for e in DatasetProfile::tiny().edge_stream(7) {
             c.insert_edge(e);
         }
         c.faults().fail_shard(2);
         let mut rng = rand::rngs::StdRng::seed_from_u64(3);
         let dead = vertex_on_shard(&c, 2);
-        let served = c.sample_neighbors_detailed(dead, EdgeType(0), 8, &mut rng);
-        assert!(served.degraded, "failed shard must flag degradation");
-        assert!(served.value.is_empty());
+        let resp = c.sample(&SampleRequest::new(dead, EdgeType(0), 8), &mut rng);
+        assert!(resp.degraded, "failed shard must flag degradation");
+        assert!(resp.neighbors.is_empty());
+        assert_eq!(resp.shard, 2);
         assert_eq!(c.shard_health(2), ShardHealth::Failed);
         // Vertices on healthy shards still sample at full fidelity.
         let mut healthy_sampled = false;
@@ -1121,9 +1276,10 @@ mod tests {
             if c.route(v) == 2 {
                 continue;
             }
-            let served = c.sample_neighbors_detailed(v, EdgeType(0), 8, &mut rng);
-            assert!(!served.degraded, "healthy shard degraded for {v:?}");
-            healthy_sampled |= !served.value.is_empty();
+            let resp = c.sample(&SampleRequest::new(v, EdgeType(0), 8), &mut rng);
+            assert!(!resp.degraded, "healthy shard degraded for {v:?}");
+            assert!(resp.sources.iter().all(|s| *s == SlotSource::Sampled));
+            healthy_sampled |= !resp.neighbors.is_empty();
         }
         assert!(healthy_sampled, "healthy shards must keep serving data");
         let t = c.traffic();
@@ -1133,10 +1289,7 @@ mod tests {
 
     #[test]
     fn updates_to_failed_shard_queue_and_drain_on_heal() {
-        let c = Cluster::new(ClusterConfig {
-            num_shards: 4,
-            ..Default::default()
-        });
+        let c = cluster_with_shards(4);
         c.faults().fail_shard(1);
         let dead = vertex_on_shard(&c, 1);
         let live = vertex_on_shard(&c, 0);
@@ -1172,9 +1325,9 @@ mod tests {
         let shard = c.route(VertexId(1));
         c.faults().inject_transient(shard, 2);
         let mut rng = rand::rngs::StdRng::seed_from_u64(0);
-        let served = c.sample_neighbors_detailed(VertexId(1), EdgeType(0), 4, &mut rng);
-        assert!(!served.degraded, "retries must succeed within budget");
-        assert_eq!(served.value.len(), 4);
+        let resp = c.sample(&SampleRequest::new(VertexId(1), EdgeType(0), 4), &mut rng);
+        assert!(!resp.degraded, "retries must succeed within budget");
+        assert_eq!(resp.neighbors.len(), 4);
         let t = c.traffic();
         assert_eq!(t.retried_requests, 2);
         assert_eq!(t.failed_requests, 0);
@@ -1192,21 +1345,18 @@ mod tests {
         let shard = c.route(VertexId(1));
         c.faults().inject_transient(shard, 100);
         let mut rng = rand::rngs::StdRng::seed_from_u64(0);
-        let served = c.sample_neighbors_detailed(VertexId(1), EdgeType(0), 4, &mut rng);
-        assert!(served.degraded);
+        let resp = c.sample(&SampleRequest::new(VertexId(1), EdgeType(0), 4), &mut rng);
+        assert!(resp.degraded);
         assert_eq!(c.shard_health(shard), ShardHealth::Failed);
         assert!(c.traffic().retried_requests >= MAX_RETRIES as u64);
         c.heal_shard(shard);
-        let served = c.sample_neighbors_detailed(VertexId(1), EdgeType(0), 4, &mut rng);
-        assert!(!served.degraded, "healed shard serves again");
+        let resp = c.sample(&SampleRequest::new(VertexId(1), EdgeType(0), 4), &mut rng);
+        assert!(!resp.degraded, "healed shard serves again");
     }
 
     #[test]
     fn panicking_batch_worker_is_captured_and_isolated() {
-        let c = Cluster::new(ClusterConfig {
-            num_shards: 4,
-            ..Default::default()
-        });
+        let c = cluster_with_shards(4);
         let dead = vertex_on_shard(&c, 3);
         let live = vertex_on_shard(&c, 0);
         c.faults().panic_next_batch(3);
@@ -1216,7 +1366,7 @@ mod tests {
         ];
         let err = c.apply_batch_sharded(&ops).expect_err("panic must surface");
         match err {
-            StoreError::ShardPanicked { shard, ref detail } => {
+            Error::ShardPanicked { shard, ref detail } => {
                 assert_eq!(shard, 3);
                 assert!(detail.contains("injected fault"), "{detail}");
             }
@@ -1243,10 +1393,7 @@ mod tests {
         // forever. queue_op re-checks health under the pending lock, and
         // heal_shard flips health in the critical section that observes
         // the queue empty, so the combination cannot happen.
-        let c = Cluster::new(ClusterConfig {
-            num_shards: 2,
-            ..Default::default()
-        });
+        let c = cluster_with_shards(2);
         let writers = 4usize;
         let per_writer = 200usize;
         std::thread::scope(|s| {
@@ -1295,9 +1442,9 @@ mod tests {
         c.faults().slow_shard(shard, Duration::from_millis(5));
         let mut rng = rand::rngs::StdRng::seed_from_u64(0);
         let started = std::time::Instant::now();
-        let served = c.sample_neighbors_detailed(VertexId(1), EdgeType(0), 2, &mut rng);
-        assert!(!served.degraded);
-        assert_eq!(served.value.len(), 2);
+        let resp = c.sample(&SampleRequest::new(VertexId(1), EdgeType(0), 2), &mut rng);
+        assert!(!resp.degraded);
+        assert_eq!(resp.neighbors.len(), 2);
         assert!(
             started.elapsed() >= Duration::from_millis(5),
             "slow fault must add latency"
@@ -1325,5 +1472,100 @@ mod tests {
             10,
             "data survives the outage"
         );
+    }
+
+    // ------------------------------------------------------------------
+    // Config builder, unified sample API, observability
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn config_builder_validates() {
+        assert!(ClusterConfig::builder().build().is_ok());
+        let cfg = ClusterConfig::builder()
+            .num_shards(6)
+            .threads_per_shard(2)
+            .build()
+            .expect("valid");
+        assert_eq!(cfg.num_shards, 6);
+        assert_eq!(cfg.threads_per_shard, 2);
+
+        let err = ClusterConfig::builder().num_shards(0).build().unwrap_err();
+        assert!(matches!(err, Error::InvalidConfig { .. }), "{err}");
+        assert!(ClusterConfig::builder()
+            .threads_per_shard(0)
+            .build()
+            .is_err());
+        let mut bad_store = StoreConfig::default();
+        bad_store.tree.capacity = 2;
+        assert!(ClusterConfig::builder().store(bad_store).build().is_err());
+        let mut bad_alpha = StoreConfig::default();
+        bad_alpha.tree.alpha = bad_alpha.tree.capacity; // >= capacity/2
+        assert!(ClusterConfig::builder().store(bad_alpha).build().is_err());
+        let bad_dir = StoreConfig {
+            directory_shards: 0,
+            ..Default::default()
+        };
+        assert!(ClusterConfig::builder().store(bad_dir).build().is_err());
+    }
+
+    #[test]
+    fn self_loop_policy_pads_degraded_samples() {
+        let c = cluster_with_shards(4);
+        c.faults().fail_shard(2);
+        let dead = vertex_on_shard(&c, 2);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let req = SampleRequest::new(dead, EdgeType(0), 5).on_degraded(DegradedPolicy::SelfLoop);
+        let resp = c.sample(&req, &mut rng);
+        assert!(resp.degraded);
+        assert_eq!(resp.neighbors, vec![dead; 5]);
+        assert_eq!(resp.sources, vec![SlotSource::SelfLoop; 5]);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_detailed_shim_matches_sample() {
+        let c = small_cluster();
+        for i in 0..20u64 {
+            c.insert_edge(Edge::new(VertexId(3), VertexId(500 + i), 1.0));
+        }
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let served = c.sample_neighbors_detailed(VertexId(3), EdgeType(0), 6, &mut rng);
+        assert!(!served.degraded);
+        assert_eq!(served.value.len(), 6);
+    }
+
+    #[test]
+    fn obs_registry_aggregates_cluster_and_storage_metrics() {
+        let c = small_cluster();
+        for e in DatasetProfile::tiny().edge_stream(1).take(500) {
+            c.insert_edge(e);
+        }
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        for v in DatasetProfile::tiny().sample_sources(8, 3) {
+            let _ = c.sample_neighbors(v, EdgeType(0), 4, &mut rng);
+        }
+        c.heal_shard(0);
+        let snap = c.obs().snapshot();
+        // Cluster-side counters mirror traffic().
+        assert_eq!(snap.counter("cluster.requests"), Some(c.traffic().requests));
+        assert_eq!(snap.counter("cluster.heals"), Some(1));
+        // Storage-side counters from all shards aggregate into the same
+        // registry (500 routed inserts → 500 leaf ops across shards).
+        assert!(snap.counter("samtree.leaf_ops").unwrap() >= 500);
+        assert_eq!(snap.counter("samtree.sample_requests"), Some(8));
+        // Serving latency is exposed as a histogram.
+        let (_, hist) = snap
+            .histograms
+            .iter()
+            .find(|(name, _)| name == "cluster.sample_latency_ns")
+            .expect("sample latency histogram registered");
+        assert_eq!(hist.count, 8);
+        // The graph-version gauge tracks the monotone counter.
+        assert_eq!(
+            snap.gauge("cluster.graph_version"),
+            Some(c.graph_version() as i64)
+        );
+        // Spans from heal_shard land in the tracer ring.
+        assert!(snap.spans.iter().any(|s| s.name == "cluster.heal"));
     }
 }

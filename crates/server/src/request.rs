@@ -1,0 +1,124 @@
+//! The unified sampling API: one request/response pair instead of the
+//! historical `sample_neighbors` / `sample_neighbors_detailed` split.
+//!
+//! A [`SampleRequest`] names the vertex, relation, fanout, and what the
+//! router should do when the owning shard cannot answer; a
+//! [`SampleResponse`] carries the draws plus per-slot provenance, so a
+//! trainer can tell a real weighted draw from degraded padding without
+//! re-deriving it from context.
+
+use platod2gl_graph::{EdgeType, Served, VertexId};
+
+/// What a degraded read (failed shard, exhausted retry budget) returns.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum DegradedPolicy {
+    /// Return an empty neighbor set — the historical behavior; callers
+    /// that pad (the k-hop sampler) do their own self-looping.
+    #[default]
+    EmptySet,
+    /// Return `fanout` copies of the queried vertex, pre-padded: the
+    /// standard GraphSAGE self-loop fallback, done router-side so shapes
+    /// stay static for callers that cannot pad.
+    SelfLoop,
+}
+
+/// Where one response slot came from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SlotSource {
+    /// A weighted draw served by the owning shard.
+    Sampled,
+    /// Self-loop padding produced by [`DegradedPolicy::SelfLoop`].
+    SelfLoop,
+}
+
+/// A neighbor-sampling request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SampleRequest {
+    /// The vertex whose out-neighborhood is sampled.
+    pub vertex: VertexId,
+    /// The relation to sample within.
+    pub etype: EdgeType,
+    /// Number of weighted draws requested.
+    pub fanout: usize,
+    /// Fallback behavior when the owning shard cannot answer.
+    pub on_degraded: DegradedPolicy,
+}
+
+impl SampleRequest {
+    /// A request with the default degraded policy ([`DegradedPolicy::EmptySet`]).
+    pub fn new(vertex: VertexId, etype: EdgeType, fanout: usize) -> Self {
+        Self {
+            vertex,
+            etype,
+            fanout,
+            on_degraded: DegradedPolicy::default(),
+        }
+    }
+
+    /// Set the degraded policy.
+    pub fn on_degraded(mut self, policy: DegradedPolicy) -> Self {
+        self.on_degraded = policy;
+        self
+    }
+}
+
+/// The answer to a [`SampleRequest`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SampleResponse {
+    /// The drawn neighbor IDs (possibly fewer than `fanout` when the
+    /// neighborhood is empty, or empty under [`DegradedPolicy::EmptySet`]).
+    pub neighbors: Vec<VertexId>,
+    /// Per-slot provenance, parallel to `neighbors`.
+    pub sources: Vec<SlotSource>,
+    /// True when the owning shard could not answer and the response is the
+    /// degraded fallback.
+    pub degraded: bool,
+    /// The shard that owns (or would have owned) the request.
+    pub shard: usize,
+}
+
+impl SampleResponse {
+    /// Bridge to the legacy [`Served`] shape used by the deprecated
+    /// `sample_neighbors_detailed`.
+    pub fn into_served(self) -> Served<Vec<VertexId>> {
+        if self.degraded {
+            Served::degraded(self.neighbors)
+        } else {
+            Served::ok(self.neighbors)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_builder_defaults_to_empty_set() {
+        let r = SampleRequest::new(VertexId(1), EdgeType(0), 5);
+        assert_eq!(r.on_degraded, DegradedPolicy::EmptySet);
+        let r = r.on_degraded(DegradedPolicy::SelfLoop);
+        assert_eq!(r.on_degraded, DegradedPolicy::SelfLoop);
+        assert_eq!(r.fanout, 5);
+    }
+
+    #[test]
+    fn into_served_preserves_degradation() {
+        let ok = SampleResponse {
+            neighbors: vec![VertexId(2)],
+            sources: vec![SlotSource::Sampled],
+            degraded: false,
+            shard: 0,
+        };
+        assert!(!ok.into_served().degraded);
+        let bad = SampleResponse {
+            neighbors: Vec::new(),
+            sources: Vec::new(),
+            degraded: true,
+            shard: 1,
+        };
+        let served = bad.into_served();
+        assert!(served.degraded);
+        assert!(served.value.is_empty());
+    }
+}

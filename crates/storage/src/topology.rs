@@ -1,15 +1,16 @@
 //! The samtree-based dynamic topology store (paper Sec. IV-B) and the
 //! PALM-style batch-parallel updater (Sec. VI-B, Appendix B).
 
-use crate::SharedOpStats;
 use parking_lot::RwLock;
 use platod2gl_cuckoo::CuckooMap;
 use platod2gl_graph::{sanitize_weight, Edge, EdgeType, GraphStore, UpdateOp, VertexId};
 use platod2gl_mem::DeepSize;
+use platod2gl_obs::{Counter, Gauge, Histogram, Registry};
 use platod2gl_samtree::{InsertOutcome, OpStats, SamTree, SamTreeConfig};
 use rand::RngCore;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// One exported adjacency entry: `((src, etype), [(dst, weight), ...])`.
 pub type AdjacencyEntry = ((u64, u16), Vec<(u64, f64)>);
@@ -90,18 +91,85 @@ pub struct DynamicGraphStore {
     config: StoreConfig,
     directory: CuckooMap<TreeKey, TreeCell>,
     num_edges: AtomicUsize,
-    stats: SharedOpStats,
+    registry: Arc<Registry>,
+    metrics: StoreMetrics,
+}
+
+/// Pre-resolved registry handles for the store's hot paths: the samtree
+/// operation counters (the paper's Table V), batch-apply timing, sampling
+/// traffic, and the resident-edge gauge. Handles are resolved once at
+/// construction so recording is pure atomic arithmetic.
+#[derive(Debug)]
+struct StoreMetrics {
+    leaf_ops: Arc<Counter>,
+    internal_ops: Arc<Counter>,
+    leaf_splits: Arc<Counter>,
+    internal_splits: Arc<Counter>,
+    merges: Arc<Counter>,
+    batches: Arc<Counter>,
+    batch_ops: Arc<Counter>,
+    apply_batch_ns: Arc<Histogram>,
+    sample_requests: Arc<Counter>,
+    sample_draws: Arc<Counter>,
+    edges: Arc<Gauge>,
+}
+
+impl StoreMetrics {
+    fn new(registry: &Registry) -> Self {
+        Self {
+            leaf_ops: registry.counter("samtree.leaf_ops"),
+            internal_ops: registry.counter("samtree.internal_ops"),
+            leaf_splits: registry.counter("samtree.leaf_splits"),
+            internal_splits: registry.counter("samtree.internal_splits"),
+            merges: registry.counter("samtree.merges"),
+            batches: registry.counter("storage.batches"),
+            batch_ops: registry.counter("storage.batch_ops"),
+            apply_batch_ns: registry.histogram("storage.apply_batch_ns"),
+            sample_requests: registry.counter("samtree.sample_requests"),
+            sample_draws: registry.counter("samtree.sample_draws"),
+            edges: registry.gauge("storage.edges"),
+        }
+    }
+
+    /// Fold one tree-local [`OpStats`] delta into the registry counters.
+    fn add_ops(&self, s: &OpStats) {
+        if s.leaf_ops > 0 {
+            self.leaf_ops.add(s.leaf_ops);
+        }
+        if s.internal_ops > 0 {
+            self.internal_ops.add(s.internal_ops);
+        }
+        if s.leaf_splits > 0 {
+            self.leaf_splits.add(s.leaf_splits);
+        }
+        if s.internal_splits > 0 {
+            self.internal_splits.add(s.internal_splits);
+        }
+        if s.merges > 0 {
+            self.merges.add(s.merges);
+        }
+    }
 }
 
 impl DynamicGraphStore {
-    /// Create an empty store with the given configuration.
+    /// Create an empty store with the given configuration and a private
+    /// metrics registry.
     pub fn new(config: StoreConfig) -> Self {
+        Self::with_registry(config, Arc::new(Registry::new()))
+    }
+
+    /// Create an empty store publishing its metrics (`samtree.*`,
+    /// `storage.*`) into a shared registry — how the sharded cluster gives
+    /// all of its shards one unified snapshot.
+    pub fn with_registry(config: StoreConfig, registry: Arc<Registry>) -> Self {
         let tree = config.tree.validated();
+        let metrics = StoreMetrics::new(&registry);
         Self {
             config: StoreConfig { tree, ..config },
             directory: CuckooMap::with_shards_and_capacity(config.directory_shards, 1024),
             num_edges: AtomicUsize::new(0),
-            stats: SharedOpStats::default(),
+            registry,
+            metrics,
         }
     }
 
@@ -111,14 +179,26 @@ impl DynamicGraphStore {
         Self::new(StoreConfig::default())
     }
 
+    /// The metrics registry this store records into.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
     /// The samtree configuration in effect.
     pub fn tree_config(&self) -> SamTreeConfig {
         self.config.tree
     }
 
-    /// Snapshot of the accumulated samtree operation counters (Table V).
+    /// Snapshot of the accumulated samtree operation counters (Table V),
+    /// served from the metrics registry.
     pub fn op_stats(&self) -> OpStats {
-        self.stats.snapshot()
+        OpStats {
+            leaf_ops: self.metrics.leaf_ops.get(),
+            internal_ops: self.metrics.internal_ops.get(),
+            leaf_splits: self.metrics.leaf_splits.get(),
+            internal_splits: self.metrics.internal_splits.get(),
+            merges: self.metrics.merges.get(),
+        }
     }
 
     /// Number of (vertex, relation) entries in the directory, i.e. source
@@ -192,7 +272,8 @@ impl DynamicGraphStore {
             self.num_edges
                 .fetch_sub((-edge_delta) as usize, Ordering::Relaxed);
         }
-        self.stats.add(&local);
+        self.metrics.edges.add(edge_delta as i64);
+        self.metrics.add_ops(&local);
     }
 
     /// The batch-based latch-free concurrent update (Sec. VI-B, App. B).
@@ -206,6 +287,9 @@ impl DynamicGraphStore {
     /// under Zipf-skewed sources.
     pub fn apply_batch_parallel(&self, ops: &[UpdateOp], threads: usize) {
         assert!(threads >= 1);
+        let started = Instant::now();
+        self.metrics.batches.inc();
+        self.metrics.batch_ops.add(ops.len() as u64);
         // Phase 1: sort and group (App. B "firstly sorts the queries
         // according to the IDs of vertices and then evenly divides them").
         let mut sorted: Vec<&UpdateOp> = ops.iter().collect();
@@ -217,6 +301,7 @@ impl DynamicGraphStore {
             for g in &groups {
                 self.apply_group_refs(g);
             }
+            self.metrics.apply_batch_ns.record(started.elapsed());
             return;
         }
         // Greedy longest-processing-time assignment: Zipf-skewed batches
@@ -242,6 +327,7 @@ impl DynamicGraphStore {
             }
         })
         .expect("batch worker panicked");
+        self.metrics.apply_batch_ns.record(started.elapsed());
     }
 
     fn apply_group_refs(&self, group: &[&UpdateOp]) {
@@ -276,6 +362,7 @@ impl DynamicGraphStore {
             if tree.is_empty() {
                 *tree = SamTree::bulk_load(&cfg, &pairs);
                 self.num_edges.fetch_add(tree.len(), Ordering::Relaxed);
+                self.metrics.edges.add(tree.len() as i64);
             } else {
                 // Source already populated (concurrent writer or repeated
                 // call): fall back to incremental inserts.
@@ -287,7 +374,8 @@ impl DynamicGraphStore {
                     }
                 }
                 self.num_edges.fetch_add(added, Ordering::Relaxed);
-                self.stats.add(&local);
+                self.metrics.edges.add(added as i64);
+                self.metrics.add_ops(&local);
             }
         }
     }
@@ -336,6 +424,7 @@ impl DynamicGraphStore {
         let removed = tree.len();
         *tree = SamTree::new();
         self.num_edges.fetch_sub(removed, Ordering::Relaxed);
+        self.metrics.edges.add(-(removed as i64));
         removed
     }
 
@@ -410,8 +499,9 @@ impl GraphStore for DynamicGraphStore {
             .is_some();
         if deleted {
             self.num_edges.fetch_sub(1, Ordering::Relaxed);
+            self.metrics.edges.add(-1);
         }
-        self.stats.add(&local);
+        self.metrics.add_ops(&local);
         deleted
     }
 
@@ -429,7 +519,7 @@ impl GraphStore for DynamicGraphStore {
             sanitize_weight(edge.weight),
             &mut local,
         );
-        self.stats.add(&local);
+        self.metrics.add_ops(&local);
         updated
     }
 
@@ -472,6 +562,7 @@ impl GraphStore for DynamicGraphStore {
         k: usize,
         rng: &mut dyn RngCore,
     ) -> Vec<VertexId> {
+        self.metrics.sample_requests.inc();
         let Some(cell) = self.cell(TreeKey {
             src: v.raw(),
             etype: etype.0,
@@ -479,7 +570,9 @@ impl GraphStore for DynamicGraphStore {
             return Vec::new();
         };
         let tree = cell.0.read();
-        tree.sample_k(k, rng).into_iter().map(VertexId).collect()
+        let picks: Vec<VertexId> = tree.sample_k(k, rng).into_iter().map(VertexId).collect();
+        self.metrics.sample_draws.add(picks.len() as u64);
+        picks
     }
 
     fn neighbors(&self, v: VertexId, etype: EdgeType) -> Vec<(VertexId, f64)> {
@@ -702,6 +795,48 @@ mod tests {
                 "sampled non-neighbor {s:?}"
             );
         }
+    }
+
+    #[test]
+    fn registry_metrics_track_store_activity() {
+        let registry = Arc::new(Registry::new());
+        let store = DynamicGraphStore::with_registry(
+            StoreConfig {
+                tree: SamTreeConfig {
+                    capacity: 8,
+                    alpha: 0,
+                    compression: true,
+                    leaf_index: LeafIndex::Fenwick,
+                },
+                directory_shards: 8,
+            },
+            Arc::clone(&registry),
+        );
+        let ops: Vec<UpdateOp> = (0..200u64)
+            .map(|i| UpdateOp::Insert(Edge::new(VertexId(i % 4), VertexId(i), 1.0)))
+            .collect();
+        store.apply_batch_parallel(&ops, 2);
+        let mut rng = StdRng::seed_from_u64(1);
+        store.sample_neighbors(VertexId(0), EdgeType(0), 10, &mut rng);
+        store.delete_edge(VertexId(0), VertexId(0), EdgeType(0));
+
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("storage.batches"), Some(1));
+        assert_eq!(snap.counter("storage.batch_ops"), Some(200));
+        assert!(snap.counter("samtree.leaf_ops").unwrap() >= 200);
+        assert!(
+            snap.counter("samtree.leaf_splits").unwrap() > 0,
+            "50 dsts per tree at capacity 8 must split"
+        );
+        assert_eq!(snap.counter("samtree.sample_requests"), Some(1));
+        assert_eq!(snap.counter("samtree.sample_draws"), Some(10));
+        assert_eq!(snap.gauge("storage.edges"), Some(store.num_edges() as i64));
+        assert_eq!(snap.histogram("storage.apply_batch_ns").unwrap().count, 1);
+        // op_stats is a view over the same counters.
+        assert_eq!(
+            store.op_stats().leaf_ops,
+            snap.counter("samtree.leaf_ops").unwrap()
+        );
     }
 
     #[test]

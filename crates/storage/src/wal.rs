@@ -43,11 +43,13 @@
 
 use crate::crc32c::crc32c;
 use crate::topology::{DynamicGraphStore, StoreConfig};
-use platod2gl_graph::{sanitize_weight, Edge, EdgeType, GraphStore, UpdateOp, VertexId};
+use platod2gl_graph::{sanitize_weight, Edge, EdgeType, Error, GraphStore, UpdateOp, VertexId};
+use platod2gl_obs::{Counter, Histogram, Registry};
 use std::fs::{File, OpenOptions};
 use std::io::{self, BufWriter, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 /// WAL file magic.
 pub const WAL_MAGIC: &[u8; 8] = b"PD2GWAL1";
@@ -538,15 +540,68 @@ pub struct DurableGraphStore {
     store: DynamicGraphStore,
     wal: Mutex<WalWriter<BufWriter<File>>>,
     dir: PathBuf,
+    registry: Arc<Registry>,
+    metrics: WalMetrics,
+}
+
+/// Pre-resolved registry handles for the durability hot paths.
+#[derive(Debug)]
+struct WalMetrics {
+    appends: Arc<Counter>,
+    append_ops: Arc<Counter>,
+    append_bytes: Arc<Counter>,
+    append_ns: Arc<Histogram>,
+    checkpoints: Arc<Counter>,
+    checkpoint_ns: Arc<Histogram>,
+    replayed_records: Arc<Counter>,
+    replayed_ops: Arc<Counter>,
+    torn_tails: Arc<Counter>,
+}
+
+impl WalMetrics {
+    fn new(registry: &Registry) -> Self {
+        Self {
+            appends: registry.counter("wal.appends"),
+            append_ops: registry.counter("wal.append_ops"),
+            append_bytes: registry.counter("wal.append_bytes"),
+            append_ns: registry.histogram("wal.append_ns"),
+            checkpoints: registry.counter("wal.checkpoints"),
+            checkpoint_ns: registry.histogram("wal.checkpoint_ns"),
+            replayed_records: registry.counter("wal.replayed_records"),
+            replayed_ops: registry.counter("wal.replayed_ops"),
+            torn_tails: registry.counter("wal.torn_tails"),
+        }
+    }
 }
 
 impl DurableGraphStore {
     /// Open (or create) a durable store in `dir`, recovering state from the
-    /// snapshot and WAL found there.
-    pub fn open(dir: impl AsRef<Path>, config: StoreConfig) -> io::Result<(Self, RecoveryReport)> {
+    /// snapshot and WAL found there. Metrics go to a private registry; use
+    /// [`DurableGraphStore::open_with_registry`] to share one.
+    pub fn open(
+        dir: impl AsRef<Path>,
+        config: StoreConfig,
+    ) -> Result<(Self, RecoveryReport), Error> {
+        Self::open_with_registry(dir, config, Arc::new(Registry::new()))
+    }
+
+    /// Open (or create) a durable store publishing its metrics (`wal.*`,
+    /// plus the wrapped store's `samtree.*` / `storage.*`) into a shared
+    /// registry, so durability shows up in the same snapshot as sampling
+    /// and training.
+    pub fn open_with_registry(
+        dir: impl AsRef<Path>,
+        config: StoreConfig,
+        registry: Arc<Registry>,
+    ) -> Result<(Self, RecoveryReport), Error> {
+        // The guard must not borrow the `registry` value we move into the
+        // struct below, so it holds its own Arc.
+        let span_owner = Arc::clone(&registry);
+        let recover_span = span_owner.span("wal.recover");
+        let metrics = WalMetrics::new(&registry);
         let dir = dir.as_ref().to_path_buf();
         std::fs::create_dir_all(&dir)?;
-        let store = DynamicGraphStore::new(config);
+        let store = DynamicGraphStore::with_registry(config, Arc::clone(&registry));
         let mut report = RecoveryReport::default();
 
         let snap_path = dir.join("snapshot.bin");
@@ -561,6 +616,11 @@ impl DurableGraphStore {
             report.wal_records = replay.records;
             report.wal_ops = replay.ops;
             report.torn_tail = replay.torn_tail;
+            metrics.replayed_records.add(replay.records);
+            metrics.replayed_ops.add(replay.ops);
+            if replay.torn_tail.is_some() {
+                metrics.torn_tails.inc();
+            }
             let file = OpenOptions::new().write(true).open(&wal_path)?;
             // Drop any torn tail so new appends start at the durable end.
             file.set_len(replay.durable_len.max(WAL_MAGIC.len() as u64))?;
@@ -592,9 +652,17 @@ impl DurableGraphStore {
             store,
             wal: Mutex::new(writer),
             dir,
+            registry,
+            metrics,
         };
         durable.sync()?;
+        drop(recover_span);
         Ok((durable, report))
+    }
+
+    /// The metrics registry this store records into.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
     }
 
     /// The wrapped in-memory store (read-only access; mutate through the
@@ -618,10 +686,16 @@ impl DurableGraphStore {
     /// snapshot would miss the op and the subsequent WAL reset would lose
     /// it), and in-memory apply order always matches log order, so replay
     /// reproduces the pre-crash state even for conflicting concurrent ops.
-    pub fn try_apply(&self, op: &UpdateOp) -> io::Result<()> {
+    pub fn try_apply(&self, op: &UpdateOp) -> Result<(), Error> {
         let mut wal = self.lock_wal();
+        let started = Instant::now();
+        let before = wal.offset();
         wal.append(op)?;
         wal.flush()?;
+        self.metrics.append_ns.record(started.elapsed());
+        self.metrics.appends.inc();
+        self.metrics.append_ops.inc();
+        self.metrics.append_bytes.add(wal.offset() - before);
         self.store.apply(op);
         Ok(())
     }
@@ -630,29 +704,38 @@ impl DurableGraphStore {
     /// batch-parallel path. As with [`try_apply`](DurableGraphStore::try_apply),
     /// the apply runs under the WAL lock so a concurrent checkpoint can
     /// never snapshot between the append and the apply.
-    pub fn try_apply_batch(&self, ops: &[UpdateOp], threads: usize) -> io::Result<()> {
+    pub fn try_apply_batch(&self, ops: &[UpdateOp], threads: usize) -> Result<(), Error> {
         if ops.is_empty() {
             return Ok(());
         }
         let mut wal = self.lock_wal();
+        let started = Instant::now();
+        let before = wal.offset();
         wal.append_batch(ops)?;
         wal.flush()?;
+        self.metrics.append_ns.record(started.elapsed());
+        self.metrics.appends.inc();
+        self.metrics.append_ops.add(ops.len() as u64);
+        self.metrics.append_bytes.add(wal.offset() - before);
         self.store.apply_batch_parallel(ops, threads);
         Ok(())
     }
 
     /// fsync the WAL file.
-    pub fn sync(&self) -> io::Result<()> {
+    pub fn sync(&self) -> Result<(), Error> {
         let mut wal = self.lock_wal();
         wal.flush()?;
-        wal.get_ref().get_ref().sync_data()
+        wal.get_ref().get_ref().sync_data()?;
+        Ok(())
     }
 
     /// Write a checkpoint: snapshot the store to `snapshot.tmp`, fsync,
     /// atomically rename over `snapshot.bin`, then reset the WAL. After a
     /// successful checkpoint the WAL is empty and recovery needs only the
     /// snapshot.
-    pub fn checkpoint(&self) -> io::Result<()> {
+    pub fn checkpoint(&self) -> Result<(), Error> {
+        let _span = self.registry.span("wal.checkpoint");
+        let started = Instant::now();
         // Hold the WAL lock across the whole checkpoint so no update can
         // slip between the snapshot and the log reset (it would be lost).
         let mut wal = self.lock_wal();
@@ -679,6 +762,8 @@ impl DurableGraphStore {
         *wal = WalWriter::create(BufWriter::new(file))?;
         wal.flush()?;
         wal.get_ref().get_ref().sync_data()?;
+        self.metrics.checkpoints.inc();
+        self.metrics.checkpoint_ns.record(started.elapsed());
         Ok(())
     }
 

@@ -15,8 +15,8 @@
 //! Run with: `cargo run -p platod2gl --release --example crash_recovery`
 
 use platod2gl::{
-    DatasetProfile, DurableGraphStore, Edge, EdgeType, GraphStore, PlatoD2GL, StoreConfig,
-    UpdateOp, VertexId,
+    DatasetProfile, DurableGraphStore, Edge, EdgeType, GraphStore, PlatoD2GL, SampleRequest,
+    StoreConfig, UpdateOp, VertexId,
 };
 
 fn main() {
@@ -88,12 +88,15 @@ fn main() {
 
     let served = {
         let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(9);
-        cluster.sample_neighbors_detailed(dead_vertex, EdgeType::DEFAULT, 8, &mut rng)
+        cluster.sample(
+            &SampleRequest::new(dead_vertex, EdgeType::DEFAULT, 8),
+            &mut rng,
+        )
     };
     println!(
         "shard {dead_shard} failed: sampling {dead_vertex:?} -> degraded={}, {} neighbors",
         served.degraded,
-        served.value.len()
+        served.neighbors.len()
     );
 
     system.apply_updates(&[UpdateOp::Insert(Edge::new(

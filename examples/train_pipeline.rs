@@ -69,10 +69,12 @@ fn main() {
     let epochs = env_usize("EPOCHS", 8) as u64;
     let n = env_usize("VERTICES", 600) as u64;
 
-    let cluster = Cluster::new(ClusterConfig {
-        num_shards: 6,
-        ..Default::default()
-    });
+    let cluster = Cluster::new(
+        ClusterConfig::builder()
+            .num_shards(6)
+            .build()
+            .expect("valid config"),
+    );
     let provider = HashFeatures::new(16, 2, 7);
     let (vertices, labels) = build_graph(&cluster, &provider, n);
     println!(
@@ -82,19 +84,20 @@ fn main() {
         cluster.num_shards()
     );
 
-    let cfg = PipelineConfig {
-        etype: EdgeType::DEFAULT,
-        fanouts: vec![5, 5],
-        batch_size: 64,
-        prefetch_depth: 4,
-        workers: 2,
-        cache: CacheConfig {
+    let cfg = PipelineConfig::builder()
+        .etype(EdgeType::DEFAULT)
+        .fanouts(vec![5, 5])
+        .batch_size(64)
+        .prefetch_depth(4)
+        .workers(2)
+        .cache(CacheConfig {
             capacity: 1 << 14,
             shards: 8,
             max_staleness: 128,
-        },
-        seed: 7,
-    };
+        })
+        .seed(7)
+        .build()
+        .expect("valid pipeline config");
     println!(
         "pipeline: fanouts {:?}, batch {}, prefetch depth {}, {} workers, cache staleness bound {}\n",
         cfg.fanouts, cfg.batch_size, cfg.prefetch_depth, cfg.workers, cfg.cache.max_staleness

@@ -20,10 +20,12 @@ fn community_cluster(
     n: u64,
     num_shards: usize,
 ) -> (Cluster, Vec<VertexId>, Vec<usize>) {
-    let cluster = Cluster::new(ClusterConfig {
-        num_shards,
-        ..Default::default()
-    });
+    let cluster = Cluster::new(
+        ClusterConfig::builder()
+            .num_shards(num_shards)
+            .build()
+            .expect("valid config"),
+    );
     let vertices: Vec<VertexId> = (0..n).map(VertexId).collect();
     let labels: Vec<usize> = vertices.iter().map(|&v| provider.label(v)).collect();
     let by_label: Vec<Vec<VertexId>> = (0..2)
@@ -222,10 +224,12 @@ fn two_hop_frequencies_match_composed_single_hop_marginals() {
     //   1 -> 10 (w 1), 11 (w 2)
     //   2 -> 10 (w 3), 12 (w 1)
     //   3 -> 11 (w 1), 12 (w 1), 13 (w 2)
-    let cluster = Cluster::new(ClusterConfig {
-        num_shards: 3,
-        ..Default::default()
-    });
+    let cluster = Cluster::new(
+        ClusterConfig::builder()
+            .num_shards(3)
+            .build()
+            .expect("valid config"),
+    );
     let edges = [
         (0u64, 1u64, 1.0f64),
         (0, 2, 2.0),
