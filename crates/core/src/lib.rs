@@ -29,6 +29,7 @@
 //! The facade wraps a simulated multi-shard cluster; every subsystem is
 //! also usable directly through the re-exported crates below.
 
+pub use platod2gl_admin::AdminServer;
 pub use platod2gl_baseline::{AliGraphStore, PlatoGlConfig, PlatoGlStore};
 pub use platod2gl_fenwick::FsTable;
 pub use platod2gl_gnn::{
@@ -45,7 +46,10 @@ pub use platod2gl_graph::{
     VertexId, VertexType,
 };
 pub use platod2gl_mem::{human_bytes, DeepSize};
-pub use platod2gl_obs::{Counter, Gauge, Histogram, ObsSnapshot, Registry, SpanRecord, SpanTracer};
+pub use platod2gl_obs::{
+    span_subtree, Counter, Gauge, Histogram, ObsSnapshot, Registry, SlowLog, SlowOpRecord,
+    SpanRecord, SpanTracer,
+};
 pub use platod2gl_pipeline::{
     Block, CacheConfig, CacheStats, EpochReport, KHopSampler, NeighborCache, PipelineConfig,
     PipelineConfigBuilder, PipelineStats, SampleOutcome, TrainingPipeline,
@@ -53,13 +57,13 @@ pub use platod2gl_pipeline::{
 pub use platod2gl_sampling::{AliasTable, CsTable, WeightedIndex};
 pub use platod2gl_samtree::{LeafIndex, OpStats, SamTree, SamTreeConfig};
 pub use platod2gl_server::{
-    BatchReport, Cluster, ClusterConfig, ClusterConfigBuilder, DegradedPolicy, FaultInjector,
-    FaultKind, GraphServer, HistogramSnapshot, LatencyHistogram, SampleRequest, SampleResponse,
-    SlotSource, TrafficStats,
+    BatchReport, Cluster, ClusterConfig, ClusterConfigBuilder, ClusterMemory, DegradedPolicy,
+    FaultInjector, FaultKind, GraphServer, HistogramSnapshot, LatencyHistogram, SampleRequest,
+    SampleResponse, ShardMemory, SlotSource, TrafficStats,
 };
 pub use platod2gl_storage::{
     replay_wal, AttributeStore, DurableGraphStore, DynamicGraphStore, RecoveryReport, StoreConfig,
-    TornTail, TornTailKind, WalReplayReport, SNAPSHOT_VERSION,
+    StoreMemory, TornTail, TornTailKind, WalReplayReport, SNAPSHOT_VERSION,
 };
 
 use rand::rngs::StdRng;

@@ -6,6 +6,8 @@
 
 use crate::hist::HistogramSnapshot;
 use crate::registry::ObsSnapshot;
+use crate::slow::SlowOpRecord;
+use crate::span::SpanRecord;
 use std::fmt::Write;
 
 /// Map a registry metric name to a Prometheus metric name: prefix with
@@ -25,8 +27,55 @@ fn prom_name(name: &str) -> String {
     out
 }
 
+/// Prometheus name for a duration histogram. The registry convention is a
+/// `_ns` suffix; the exposition renders bucket bounds and sums in seconds,
+/// so per the Prometheus naming rules the series carries the `_seconds`
+/// unit suffix instead.
+fn prom_hist_name(name: &str) -> String {
+    let base = name.strip_suffix("_ns").unwrap_or(name);
+    let mut p = prom_name(base);
+    if !p.ends_with("_seconds") {
+        p.push_str("_seconds");
+    }
+    p
+}
+
+/// Hand-written help strings for the load-bearing metrics; everything else
+/// falls back to a generated line naming the registry metric.
+fn known_help(name: &str) -> Option<&'static str> {
+    Some(match name {
+        "cluster.requests" => "Sample requests routed by the cluster front door",
+        "cluster.degraded_responses" => "Sample requests answered degraded (shard down)",
+        "cluster.sample_latency_ns" => "End-to-end cluster sample request latency",
+        "cluster.update_latency_ns" => "End-to-end cluster update latency",
+        "cluster.graph_version" => "Monotonic graph version, bumped per applied update round",
+        "graph.mem.samtree_bytes" => "Resident heap bytes of samtree topology across shards",
+        "graph.mem.attr_bytes" => "Resident heap bytes of vertex attribute blobs across shards",
+        "graph.mem.wal_bytes" => "Write-ahead log bytes since the last checkpoint",
+        "obs.spans_dropped" => "Span records evicted from the tracer ring before export",
+        "obs.slow_ops" => "Operations captured by the slow-op log",
+        "samtree.leaf_ops" => "Samtree leaf-level edge operations",
+        "samtree.sample_requests" => "Neighbor-sampling requests served by samtree stores",
+        "storage.edges" => "Resident edges across shards",
+        "wal.appends" => "WAL record appends",
+        _ => return None,
+    })
+}
+
+/// Write the `# HELP` line for one metric (`kind` feeds the fallback).
+fn help_line(out: &mut String, prom: &str, name: &str, kind: &str) {
+    match known_help(name) {
+        Some(help) => {
+            let _ = writeln!(out, "# HELP {prom} {help}");
+        }
+        None => {
+            let _ = writeln!(out, "# HELP {prom} PlatoD2GL {kind} {name}");
+        }
+    }
+}
+
 /// Minimal JSON string escaping (quotes, backslashes, control chars).
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -50,17 +99,20 @@ impl ObsSnapshot {
     pub fn to_prometheus(&self) -> String {
         let mut out = String::new();
         for (name, value) in &self.counters {
-            let p = prom_name(name);
-            let _ = writeln!(out, "# TYPE {p}_total counter");
-            let _ = writeln!(out, "{p}_total {value}");
+            let p = format!("{}_total", prom_name(name));
+            help_line(&mut out, &p, name, "counter");
+            let _ = writeln!(out, "# TYPE {p} counter");
+            let _ = writeln!(out, "{p} {value}");
         }
         for (name, value) in &self.gauges {
             let p = prom_name(name);
+            help_line(&mut out, &p, name, "gauge");
             let _ = writeln!(out, "# TYPE {p} gauge");
             let _ = writeln!(out, "{p} {value}");
         }
         for (name, h) in &self.histograms {
-            let p = prom_name(name);
+            let p = prom_hist_name(name);
+            help_line(&mut out, &p, name, "histogram");
             let _ = writeln!(out, "# TYPE {p} histogram");
             let mut cumulative = 0u64;
             for &(exp, n) in &h.buckets {
@@ -108,19 +160,51 @@ impl ObsSnapshot {
             if i > 0 {
                 out.push(',');
             }
-            let parent = match s.parent {
-                Some(p) => p.to_string(),
-                None => "null".to_string(),
-            };
-            let _ = write!(
-                out,
-                "{{\"name\":\"{}\",\"id\":{},\"parent\":{},\"start_ns\":{},\"duration_ns\":{}}}",
-                json_escape(s.name),
-                s.id,
-                parent,
-                s.start_ns,
-                s.duration_ns
-            );
+            out.push_str(&s.to_json());
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+impl SpanRecord {
+    /// Render as one JSON object:
+    /// `{"name":..,"id":..,"parent":..,"start_ns":..,"duration_ns":..}`.
+    pub fn to_json(&self) -> String {
+        let parent = match self.parent {
+            Some(p) => p.to_string(),
+            None => "null".to_string(),
+        };
+        format!(
+            "{{\"name\":\"{}\",\"id\":{},\"parent\":{},\"start_ns\":{},\"duration_ns\":{}}}",
+            json_escape(self.name),
+            self.id,
+            parent,
+            self.start_ns,
+            self.duration_ns
+        )
+    }
+}
+
+impl SlowOpRecord {
+    /// Render as one JSON object with the span tree inlined (root first).
+    pub fn to_json(&self) -> String {
+        let trace = match self.trace_id {
+            Some(t) => t.to_string(),
+            None => "null".to_string(),
+        };
+        let mut out = format!(
+            "{{\"op\":\"{}\",\"trace_id\":{},\"duration_ns\":{},\"detail\":\"{}\",\"spans\":[",
+            json_escape(self.op),
+            trace,
+            self.duration_ns,
+            json_escape(&self.detail)
+        );
+        for (i, s) in self.spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&s.to_json());
         }
         out.push_str("]}");
         out
@@ -163,22 +247,94 @@ mod tests {
         h.record(Duration::from_nanos(3));
         h.record(Duration::from_nanos(1000)); // bucket exp 9
         let text = r.snapshot().to_prometheus();
-        assert!(text.contains("# TYPE plato_lat_ns histogram"), "{text}");
+        // `_ns` histograms are rendered in seconds and so take the
+        // `_seconds` unit suffix.
+        assert!(
+            text.contains("# TYPE plato_lat_seconds histogram"),
+            "{text}"
+        );
+        assert!(!text.contains("plato_lat_ns"), "{text}");
         // exp 1 -> le = 2^2 ns = 4e-9 s, cumulative 2.
         assert!(
-            text.contains("plato_lat_ns_bucket{le=\"0.000000004\"} 2"),
+            text.contains("plato_lat_seconds_bucket{le=\"0.000000004\"} 2"),
             "{text}"
         );
         // exp 9 -> le = 2^10 ns, cumulative 3.
         assert!(
-            text.contains("plato_lat_ns_bucket{le=\"0.000001024\"} 3"),
+            text.contains("plato_lat_seconds_bucket{le=\"0.000001024\"} 3"),
             "{text}"
         );
         assert!(
-            text.contains("plato_lat_ns_bucket{le=\"+Inf\"} 3"),
+            text.contains("plato_lat_seconds_bucket{le=\"+Inf\"} 3"),
             "{text}"
         );
-        assert!(text.contains("plato_lat_ns_count 3"), "{text}");
+        assert!(text.contains("plato_lat_seconds_count 3"), "{text}");
+    }
+
+    #[test]
+    fn every_series_gets_a_help_line() {
+        let r = Registry::new();
+        r.counter("cluster.requests").inc();
+        r.counter("made.up_counter").inc();
+        r.gauge("storage.edges").set(1);
+        r.histogram("cluster.sample_latency_ns")
+            .record(Duration::from_micros(5));
+        let text = r.snapshot().to_prometheus();
+        // Known names get the curated text; unknown names the fallback.
+        assert!(
+            text.contains(
+                "# HELP plato_cluster_requests_total Sample requests \
+                 routed by the cluster front door"
+            ),
+            "{text}"
+        );
+        assert!(
+            text.contains("# HELP plato_made_up_counter_total PlatoD2GL counter made.up_counter"),
+            "{text}"
+        );
+        assert!(
+            text.contains("# HELP plato_storage_edges Resident edges across shards"),
+            "{text}"
+        );
+        assert!(
+            text.contains(
+                "# HELP plato_cluster_sample_latency_seconds End-to-end \
+                 cluster sample request latency"
+            ),
+            "{text}"
+        );
+        // HELP precedes TYPE for each series.
+        for series in [
+            "plato_cluster_requests_total",
+            "plato_cluster_sample_latency_seconds",
+        ] {
+            let help = text.find(&format!("# HELP {series} ")).expect(series);
+            let typ = text.find(&format!("# TYPE {series} ")).expect(series);
+            assert!(help < typ, "HELP must precede TYPE for {series}");
+        }
+    }
+
+    #[test]
+    fn slow_op_record_renders_span_tree_json() {
+        let r = Registry::new();
+        let root_id;
+        {
+            let root = r.span("cluster.sample");
+            root_id = root.id();
+            drop(r.span("samtree.sample"));
+        }
+        let rec = crate::slow::SlowOpRecord {
+            op: "cluster.sample",
+            trace_id: Some(7),
+            detail: "vertex=1 shard=0".to_string(),
+            duration_ns: 123,
+            spans: crate::slow::span_subtree(&r.tracer().recent(), root_id),
+        };
+        let json = rec.to_json();
+        assert!(json.starts_with("{\"op\":\"cluster.sample\",\"trace_id\":7,"));
+        assert!(json.contains("\"detail\":\"vertex=1 shard=0\""), "{json}");
+        assert!(json.contains("\"name\":\"cluster.sample\""), "{json}");
+        assert!(json.contains("\"name\":\"samtree.sample\""), "{json}");
     }
 
     #[test]
@@ -189,7 +345,10 @@ mod tests {
         r.histogram("h").record(Duration::from_nanos(5));
         drop(r.span("unit"));
         let json = r.snapshot().to_json();
-        assert!(json.starts_with("{\"counters\":{\"c\":1}"), "{json}");
+        assert!(
+            json.starts_with("{\"counters\":{\"c\":1,\"obs.slow_ops\":0,\"obs.spans_dropped\":0}"),
+            "{json}"
+        );
         assert!(json.contains("\"gauges\":{\"g\":2}"), "{json}");
         assert!(
             json.contains("\"histograms\":{\"h\":{\"count\":1"),

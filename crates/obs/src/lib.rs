@@ -15,6 +15,9 @@
 //!   and pipeline;
 //! * [`SpanTracer`] — enter/exit spans with monotonic timing, parent
 //!   linkage, and a ring buffer of recent completions;
+//! * [`SlowLog`] — a bounded ring of over-threshold operations, each
+//!   captured with its span tree ([`span_subtree`]) and request
+//!   provenance, so a single slow request is explainable after the fact;
 //! * [`Registry`] — names → handles; components resolve their handles once
 //!   and the hot path never touches a lock or a map;
 //! * [`ObsSnapshot`] — a point-in-time view with two exposition formats:
@@ -29,10 +32,12 @@ mod expo;
 mod hist;
 mod metrics;
 mod registry;
+mod slow;
 mod span;
 
 pub use expo::HistogramJson;
 pub use hist::{Histogram, HistogramSnapshot};
 pub use metrics::{Counter, Gauge};
 pub use registry::{ObsSnapshot, Registry};
+pub use slow::{span_subtree, SlowLog, SlowOpRecord, DEFAULT_SLOW_CAPACITY};
 pub use span::{SpanGuard, SpanRecord, SpanTracer, DEFAULT_SPAN_CAPACITY};

@@ -15,17 +15,40 @@
 
 use crate::hist::{Histogram, HistogramSnapshot};
 use crate::metrics::{Counter, Gauge};
-use crate::span::{SpanGuard, SpanRecord, SpanTracer};
+use crate::slow::{SlowLog, DEFAULT_SLOW_CAPACITY};
+use crate::span::{SpanGuard, SpanRecord, SpanTracer, DEFAULT_SPAN_CAPACITY};
 use std::collections::BTreeMap;
 use std::sync::{Arc, RwLock};
 
-/// A named-metric registry with an attached span tracer.
-#[derive(Debug, Default)]
+/// A named-metric registry with an attached span tracer and slow-op log.
+#[derive(Debug)]
 pub struct Registry {
     counters: RwLock<BTreeMap<String, Arc<Counter>>>,
     gauges: RwLock<BTreeMap<String, Arc<Gauge>>>,
     histograms: RwLock<BTreeMap<String, Arc<Histogram>>>,
     tracer: SpanTracer,
+    slow: SlowLog,
+}
+
+impl Default for Registry {
+    /// An empty registry with the observability-of-observability counters
+    /// pre-registered: `obs.spans_dropped` (tracer ring evictions) and
+    /// `obs.slow_ops` (slow-log captures) appear in every snapshot from
+    /// the start, so trace loss is never silent.
+    fn default() -> Self {
+        let spans_dropped = Arc::new(Counter::default());
+        let slow_ops = Arc::new(Counter::default());
+        let mut counters = BTreeMap::new();
+        counters.insert("obs.spans_dropped".to_string(), Arc::clone(&spans_dropped));
+        counters.insert("obs.slow_ops".to_string(), Arc::clone(&slow_ops));
+        Registry {
+            counters: RwLock::new(counters),
+            gauges: RwLock::default(),
+            histograms: RwLock::default(),
+            tracer: SpanTracer::with_drop_counter(DEFAULT_SPAN_CAPACITY, spans_dropped),
+            slow: SlowLog::with_counter(DEFAULT_SLOW_CAPACITY, slow_ops),
+        }
+    }
 }
 
 /// Resolve `name` in one of the registry's maps, registering a fresh
@@ -73,6 +96,11 @@ impl Registry {
     /// The span tracer, for direct inspection.
     pub fn tracer(&self) -> &SpanTracer {
         &self.tracer
+    }
+
+    /// The slow-op log (disabled until a threshold is set).
+    pub fn slow_log(&self) -> &SlowLog {
+        &self.slow
     }
 
     /// Point-in-time snapshot of every registered metric plus the recent
@@ -182,7 +210,29 @@ mod tests {
         r.counter("m.middle").inc();
         let snap = r.snapshot();
         let names: Vec<&str> = snap.counters.iter().map(|(n, _)| n.as_str()).collect();
-        assert_eq!(names, ["a.first", "m.middle", "z.last"]);
+        assert_eq!(
+            names,
+            [
+                "a.first",
+                "m.middle",
+                "obs.slow_ops",
+                "obs.spans_dropped",
+                "z.last"
+            ]
+        );
+    }
+
+    #[test]
+    fn obs_meta_counters_are_pre_registered_and_wired() {
+        let r = Registry::new();
+        let s = r.snapshot();
+        assert_eq!(s.counter("obs.spans_dropped"), Some(0));
+        assert_eq!(s.counter("obs.slow_ops"), Some(0));
+        // The tracer's eviction counter is the registered one.
+        for _ in 0..(crate::span::DEFAULT_SPAN_CAPACITY + 3) {
+            drop(r.span("spin"));
+        }
+        assert_eq!(r.snapshot().counter("obs.spans_dropped"), Some(3));
     }
 
     #[test]

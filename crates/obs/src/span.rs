@@ -9,10 +9,11 @@
 //! increments (one per batch/checkpoint/epoch, not one per edge), so a
 //! short critical section beats the complexity of a lock-free ring.
 
+use crate::metrics::Counter;
 use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// One completed span.
@@ -51,6 +52,7 @@ pub struct SpanTracer {
     finished: AtomicU64,
     capacity: usize,
     ring: Mutex<VecDeque<SpanRecord>>,
+    dropped: Arc<Counter>,
 }
 
 /// Default ring capacity: enough to hold every span of a short run and the
@@ -66,6 +68,13 @@ impl Default for SpanTracer {
 impl SpanTracer {
     /// Create a tracer retaining the `capacity` most recent spans.
     pub fn with_capacity(capacity: usize) -> Self {
+        Self::with_drop_counter(capacity, Arc::default())
+    }
+
+    /// Like [`SpanTracer::with_capacity`], tallying ring evictions into
+    /// `dropped` (the registry wires its `obs.spans_dropped` counter here,
+    /// so silent trace loss is visible in every snapshot).
+    pub fn with_drop_counter(capacity: usize, dropped: Arc<Counter>) -> Self {
         Self {
             tracer_id: NEXT_TRACER.fetch_add(1, Ordering::Relaxed),
             epoch: Instant::now(),
@@ -74,6 +83,7 @@ impl SpanTracer {
             finished: AtomicU64::new(0),
             capacity: capacity.max(1),
             ring: Mutex::new(VecDeque::with_capacity(capacity.max(1))),
+            dropped,
         }
     }
 
@@ -110,6 +120,11 @@ impl SpanTracer {
         self.finished.load(Ordering::Relaxed)
     }
 
+    /// Completed spans evicted from the ring before anyone read them.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.get()
+    }
+
     /// The most recent completed spans, oldest first.
     pub fn recent(&self) -> Vec<SpanRecord> {
         self.ring
@@ -136,6 +151,7 @@ impl SpanTracer {
         let mut ring = self.ring.lock().expect("span ring");
         if ring.len() == self.capacity {
             ring.pop_front();
+            self.dropped.inc();
         }
         ring.push_back(record);
     }
@@ -224,9 +240,21 @@ mod tests {
         let spans = t.recent();
         assert_eq!(spans.len(), 4);
         assert_eq!(t.finished(), 10);
+        assert_eq!(t.dropped(), 6, "evictions are tallied");
         // Oldest-first: ids 7..=10 survive.
         assert_eq!(spans.first().map(|s| s.id), Some(7));
         assert_eq!(spans.last().map(|s| s.id), Some(10));
+    }
+
+    #[test]
+    fn external_drop_counter_observes_evictions() {
+        let dropped = Arc::new(Counter::new());
+        let t = SpanTracer::with_drop_counter(2, Arc::clone(&dropped));
+        for _ in 0..5 {
+            let _g = t.span("s");
+        }
+        assert_eq!(dropped.get(), 3);
+        assert_eq!(t.dropped(), 3);
     }
 
     #[test]
@@ -238,6 +266,48 @@ mod tests {
         drop(gb);
         drop(ga);
         assert_eq!(b.recent()[0].parent, None, "b must not parent under a");
+    }
+
+    #[test]
+    fn parent_linkage_is_thread_local_and_tracer_local() {
+        let a = SpanTracer::default();
+        let b = SpanTracer::default();
+        // Main thread holds an `a` root open across the worker's lifetime.
+        let root = a.span("a_root");
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                // Same tracer, different thread: no inherited parent.
+                drop(a.span("a_worker"));
+                // Interleave both tracers on this thread; each child must
+                // link under its own tracer's root only.
+                let ra = a.span("a_inner_root");
+                let rb = b.span("b_root");
+                drop(a.span("a_child"));
+                drop(b.span("b_child"));
+                drop(rb);
+                drop(ra);
+            });
+        });
+        drop(root);
+        let sa = a.recent();
+        let by_name = |spans: &[SpanRecord], n: &str| {
+            spans.iter().find(|s| s.name == n).cloned().expect("span")
+        };
+        assert_eq!(
+            by_name(&sa, "a_worker").parent,
+            None,
+            "parent stack is thread-local: the open a_root on the main \
+             thread must not parent a worker-thread span"
+        );
+        let a_inner = by_name(&sa, "a_inner_root");
+        assert_eq!(by_name(&sa, "a_child").parent, Some(a_inner.id));
+        let sb = b.recent();
+        let b_root = by_name(&sb, "b_root");
+        assert_eq!(
+            b_root.parent, None,
+            "tracer b must not parent under tracer a's open span"
+        );
+        assert_eq!(by_name(&sb, "b_child").parent, Some(b_root.id));
     }
 
     #[test]

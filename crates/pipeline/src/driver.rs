@@ -308,9 +308,11 @@ impl<'a> TrainingPipeline<'a> {
         rng: &mut dyn RngCore,
     ) -> Block {
         let t = Instant::now();
-        let outcome = self
-            .sampler
-            .sample_block(self.cluster, &self.cache, seeds, rng);
+        let outcome = {
+            let _span = self.cluster.obs().span("pipeline.sample");
+            self.sampler
+                .sample_block(self.cluster, &self.cache, seeds, rng)
+        };
         self.sample_lat.record(t.elapsed());
         self.distinct_sampled.add(outcome.distinct_sampled);
         self.cluster_requests.add(outcome.cluster_requests);
@@ -321,6 +323,7 @@ impl<'a> TrainingPipeline<'a> {
         self.frontier_slots.add(slots);
 
         let t = Instant::now();
+        let _span = self.cluster.obs().span("pipeline.gather");
         let dim = provider.dim();
         let feats = outcome
             .levels
@@ -338,6 +341,7 @@ impl<'a> TrainingPipeline<'a> {
     /// Train on one materialized block, updating the running report.
     fn train_block(&self, net: &mut SageNet, block: Block, report: &mut EpochReport) {
         let t = Instant::now();
+        let _span = self.cluster.obs().span("pipeline.train_step");
         let stats = net.train_step_features(block.feats, &block.labels);
         self.train_lat.record(t.elapsed());
         self.batches.inc();

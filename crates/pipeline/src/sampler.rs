@@ -64,6 +64,9 @@ impl KHopSampler {
         seeds: &[VertexId],
         rng: &mut dyn RngCore,
     ) -> SampleOutcome {
+        // Each cluster.sample issued below nests under this span, so a
+        // slow request's capture shows which block expansion issued it.
+        let _span = cluster.obs().span("pipeline.sample_block");
         let mut out = SampleOutcome {
             levels: Vec::with_capacity(self.fanouts.len() + 1),
             ..Default::default()

@@ -1009,6 +1009,34 @@ impl SamTree {
         out
     }
 
+    /// Split the tree's heap footprint into `(leaf_bytes, internal_bytes)`.
+    ///
+    /// Leaf bytes are the id lists plus Fenwick tables holding actual
+    /// edges; internal bytes are separator/cumulative-sum tables and the
+    /// child spines — pure index overhead. The two always sum to
+    /// [`DeepSize::heap_bytes`], so the admin `/debug/memory` breakdown
+    /// stays consistent with the `graph.mem.samtree_bytes` gauge.
+    pub fn memory_breakdown(&self) -> (usize, usize) {
+        fn split(node: &Node) -> (usize, usize) {
+            match node {
+                Node::Leaf(l) => (l.ids.heap_bytes() + l.fs.heap_bytes(), 0),
+                Node::Internal(i) => {
+                    let mut leaf = 0;
+                    let mut internal = i.seps.heap_bytes()
+                        + i.cs.heap_bytes()
+                        + i.children.capacity() * std::mem::size_of::<Node>();
+                    for c in &i.children {
+                        let (l, n) = split(c);
+                        leaf += l;
+                        internal += n;
+                    }
+                    (leaf, internal)
+                }
+            }
+        }
+        split(&self.root)
+    }
+
     /// Number of (leaf, internal) nodes.
     pub fn node_counts(&self) -> (usize, usize) {
         fn count(node: &Node, acc: &mut (usize, usize)) {
@@ -1429,6 +1457,26 @@ mod tests {
             "compressed {b_on} should be well below plain {b_off}"
         );
         on.check_invariants(&c_on).expect("invariants");
+    }
+
+    #[test]
+    fn memory_breakdown_sums_to_heap_bytes() {
+        let c = cfg(16, 0);
+        let mut t = SamTree::new();
+        let mut stats = OpStats::default();
+        for i in 0..5_000u64 {
+            t.insert(&c, (i * 2654435761) % 100_000, 1.0, &mut stats);
+        }
+        let (leaf, internal) = t.memory_breakdown();
+        assert_eq!(leaf + internal, t.heap_bytes(), "breakdown is exact");
+        assert!(leaf > 0, "edges live in leaves");
+        assert!(internal > 0, "a 5k-entry tree has internal levels");
+        let empty = SamTree::new();
+        assert_eq!(empty.memory_breakdown().1, 0, "a lone leaf has no index");
+        assert_eq!(
+            empty.memory_breakdown().0 + empty.memory_breakdown().1,
+            empty.heap_bytes()
+        );
     }
 
     #[test]

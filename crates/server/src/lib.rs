@@ -46,7 +46,7 @@ pub use request::{DegradedPolicy, SampleRequest, SampleResponse, SlotSource};
 use faults::Verdict;
 use platod2gl_graph::{Edge, EdgeType, Error, GraphStore, Served, ShardHealth, UpdateOp, VertexId};
 use platod2gl_obs::{Counter, Gauge, Histogram, Registry};
-use platod2gl_storage::{AttributeStore, DynamicGraphStore, StoreConfig};
+use platod2gl_storage::{AttributeStore, DynamicGraphStore, StoreConfig, StoreMemory};
 use rand::RngCore;
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
@@ -62,6 +62,10 @@ pub struct ClusterConfig {
     pub store: StoreConfig,
     /// Worker threads used inside each shard for batched updates.
     pub threads_per_shard: usize,
+    /// Sample requests whose end-to-end latency reaches this threshold are
+    /// captured — span tree plus request provenance — into the registry's
+    /// slow-op log (served at `/debug/slow` by the admin server).
+    pub slow_op_threshold: Duration,
 }
 
 impl Default for ClusterConfig {
@@ -70,6 +74,7 @@ impl Default for ClusterConfig {
             num_shards: 4,
             store: StoreConfig::default(),
             threads_per_shard: 1,
+            slow_op_threshold: Duration::from_millis(100),
         }
     }
 }
@@ -108,6 +113,13 @@ impl ClusterConfigBuilder {
     /// Worker threads used inside each shard for batched updates.
     pub fn threads_per_shard(mut self, threads: usize) -> Self {
         self.config.threads_per_shard = threads;
+        self
+    }
+
+    /// Latency threshold above which a sample request is captured into the
+    /// slow-op log. `Duration::ZERO` captures everything (test/debug).
+    pub fn slow_op_threshold(mut self, threshold: Duration) -> Self {
+        self.config.slow_op_threshold = threshold;
         self
     }
 
@@ -250,6 +262,42 @@ pub struct BatchReport {
     pub queued_ops: usize,
 }
 
+/// Resident memory of one shard, as walked by
+/// [`Cluster::memory_breakdown`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ShardMemory {
+    /// Shard id.
+    pub shard: usize,
+    /// Topology store breakdown (samtree payload/index + directory).
+    pub topology: StoreMemory,
+    /// Vertex attribute blob bytes.
+    pub attr_bytes: usize,
+    /// Resident edges on this shard.
+    pub edges: usize,
+}
+
+/// Cluster-wide resident memory: the paper's Table IV accounting, walked
+/// live over every shard's `DeepSize` implementations. Produced by
+/// [`Cluster::memory_breakdown`], which also refreshes the
+/// `graph.mem.samtree_bytes` / `graph.mem.attr_bytes` gauges so the split
+/// appears in every snapshot and on `/metrics`.
+#[derive(Clone, Debug, Default)]
+pub struct ClusterMemory {
+    /// Per-shard breakdowns, shard order.
+    pub per_shard: Vec<ShardMemory>,
+    /// Total topology bytes (leaf + internal + directory) across shards —
+    /// the value published as `graph.mem.samtree_bytes`.
+    pub samtree_bytes: usize,
+    /// Samtree leaf payload bytes across shards.
+    pub leaf_bytes: usize,
+    /// Samtree internal-node (index) bytes across shards.
+    pub internal_bytes: usize,
+    /// Cuckoo directory bytes across shards.
+    pub directory_bytes: usize,
+    /// Attribute blob bytes across shards (`graph.mem.attr_bytes`).
+    pub attr_bytes: usize,
+}
+
 /// Pre-resolved handles into the cluster's [`Registry`], so the serving hot
 /// path never touches the registry's name maps (one `Arc` deref + striped
 /// atomic per event).
@@ -266,6 +314,8 @@ struct ClusterMetrics {
     sample_latency: Arc<Histogram>,
     update_latency: Arc<Histogram>,
     graph_version: Arc<Gauge>,
+    mem_samtree: Arc<Gauge>,
+    mem_attr: Arc<Gauge>,
 }
 
 impl ClusterMetrics {
@@ -283,6 +333,8 @@ impl ClusterMetrics {
             sample_latency: registry.histogram("cluster.sample_latency_ns"),
             update_latency: registry.histogram("cluster.update_latency_ns"),
             graph_version: registry.gauge("cluster.graph_version"),
+            mem_samtree: registry.gauge("graph.mem.samtree_bytes"),
+            mem_attr: registry.gauge("graph.mem.attr_bytes"),
         }
     }
 }
@@ -335,6 +387,7 @@ impl Cluster {
     pub fn with_registry(config: ClusterConfig, registry: Arc<Registry>) -> Self {
         assert!(config.num_shards >= 1);
         let m = ClusterMetrics::new(&registry);
+        registry.slow_log().set_threshold(config.slow_op_threshold);
         Self {
             servers: (0..config.num_shards)
                 .map(|shard_id| GraphServer {
@@ -815,8 +868,14 @@ impl Cluster {
     /// per-slot `sources` make the fallback explicit.
     pub fn sample(&self, req: &SampleRequest, rng: &mut dyn RngCore) -> SampleResponse {
         let started = Instant::now();
+        // Root span of this request's trace: shard dispatch, samtree
+        // descent, and FTS draws all nest under it (same thread, same
+        // registry), so the whole tree is recoverable from the ring by id.
+        let root = self.registry.span("cluster.sample");
+        let root_id = root.id();
         let shard = self.route(req.vertex);
         let response = match self.call_shard(shard, |s| {
+            let _dispatch = self.registry.span("shard.sample");
             s.topology
                 .sample_neighbors(req.vertex, req.etype, req.fanout, rng)
         }) {
@@ -854,7 +913,29 @@ impl Cluster {
             response.neighbors.len() as u64
         };
         self.tally(1, ID_BYTES + 8, wire_ids * ID_BYTES);
-        self.m.sample_latency.record(started.elapsed());
+        // Complete the root before reading the ring so the capture below
+        // sees it.
+        drop(root);
+        let elapsed = started.elapsed();
+        self.m.sample_latency.record(elapsed);
+        let slow = self.registry.slow_log();
+        if slow.is_slow(elapsed) {
+            slow.record(platod2gl_obs::SlowOpRecord {
+                op: "cluster.sample",
+                trace_id: req.trace_id,
+                detail: format!(
+                    "vertex={} etype={} fanout={} shard={} degraded={} returned={}",
+                    req.vertex.raw(),
+                    req.etype.0,
+                    req.fanout,
+                    shard,
+                    response.degraded,
+                    response.neighbors.len()
+                ),
+                duration_ns: elapsed.as_nanos().min(u128::from(u64::MAX)) as u64,
+                spans: platod2gl_obs::span_subtree(&self.registry.tracer().recent(), root_id),
+            });
+        }
         response
     }
 
@@ -913,6 +994,33 @@ impl Cluster {
             .iter()
             .map(|s| s.topology.topology_bytes())
             .sum()
+    }
+
+    /// Walk every shard's `DeepSize` accounting and refresh the
+    /// `graph.mem.samtree_bytes` / `graph.mem.attr_bytes` gauges.
+    /// Diagnostics-priced (takes each samtree's read lock in turn); the
+    /// admin server calls it per `/metrics` and `/debug/memory` request.
+    pub fn memory_breakdown(&self) -> ClusterMemory {
+        let _span = self.registry.span("cluster.memory_walk");
+        let mut mem = ClusterMemory::default();
+        for s in &self.servers {
+            let topology = s.topology.memory_breakdown();
+            let attr_bytes = s.attributes.attribute_bytes();
+            mem.samtree_bytes += topology.total_bytes;
+            mem.leaf_bytes += topology.leaf_bytes;
+            mem.internal_bytes += topology.internal_bytes;
+            mem.directory_bytes += topology.directory_bytes;
+            mem.attr_bytes += attr_bytes;
+            mem.per_shard.push(ShardMemory {
+                shard: s.shard_id,
+                topology,
+                attr_bytes,
+                edges: s.topology.num_edges(),
+            });
+        }
+        self.m.mem_samtree.set(mem.samtree_bytes as i64);
+        self.m.mem_attr.set(mem.attr_bytes as i64);
+        mem
     }
 }
 
@@ -1567,5 +1675,101 @@ mod tests {
         );
         // Spans from heal_shard land in the tracer ring.
         assert!(snap.spans.iter().any(|s| s.name == "cluster.heal"));
+    }
+
+    #[test]
+    fn slow_request_is_captured_with_full_span_tree() {
+        // Zero threshold: every request qualifies, no timing dependence.
+        let c = Cluster::new(
+            ClusterConfig::builder()
+                .num_shards(3)
+                .slow_op_threshold(Duration::ZERO)
+                .build()
+                .expect("valid config"),
+        );
+        for e in DatasetProfile::tiny().edge_stream(4).take(200) {
+            c.insert_edge(e);
+        }
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let v = DatasetProfile::tiny()
+            .sample_sources(1, 9)
+            .pop()
+            .expect("a source");
+        let resp = c.sample(
+            &SampleRequest::new(v, EdgeType(0), 4).with_trace_id(0xC0FFEE),
+            &mut rng,
+        );
+        let slow = c.obs().slow_log();
+        assert_eq!(slow.captured(), 1);
+        assert_eq!(c.obs().snapshot().counter("obs.slow_ops"), Some(1));
+        let captures = slow.recent();
+        let cap = &captures[0];
+        assert_eq!(cap.op, "cluster.sample");
+        assert_eq!(cap.trace_id, Some(0xC0FFEE));
+        assert!(
+            cap.detail.contains(&format!("vertex={}", v.raw()))
+                && cap.detail.contains(&format!("shard={}", resp.shard)),
+            "provenance missing: {}",
+            cap.detail
+        );
+        // The span tree must cover cluster -> shard -> samtree, correctly
+        // parent-linked (entry order, root first).
+        let names: Vec<&str> = cap.spans.iter().map(|s| s.name).collect();
+        assert_eq!(
+            names,
+            [
+                "cluster.sample",
+                "shard.sample",
+                "samtree.sample",
+                "samtree.fts_draw"
+            ],
+            "expected the full dispatch chain"
+        );
+        assert_eq!(cap.spans[0].parent, None);
+        for pair in cap.spans.windows(2) {
+            assert_eq!(pair[1].parent, Some(pair[0].id), "chain is linked");
+        }
+    }
+
+    #[test]
+    fn fast_requests_are_not_captured() {
+        // Default threshold (100ms) is far above an in-process sample.
+        let c = small_cluster();
+        for e in DatasetProfile::tiny().edge_stream(5).take(100) {
+            c.insert_edge(e);
+        }
+        let mut rng = rand::rngs::StdRng::seed_from_u64(12);
+        for v in DatasetProfile::tiny().sample_sources(8, 2) {
+            let _ = c.sample(&SampleRequest::new(v, EdgeType(0), 4), &mut rng);
+        }
+        assert_eq!(c.obs().slow_log().captured(), 0);
+        assert_eq!(c.obs().snapshot().counter("obs.slow_ops"), Some(0));
+    }
+
+    #[test]
+    fn memory_breakdown_refreshes_gauges_and_adds_up() {
+        let c = small_cluster();
+        for e in DatasetProfile::tiny().edge_stream(6).take(400) {
+            c.insert_edge(e);
+        }
+        c.set_vertex_attr(VertexId(1), bytes::Bytes::from(vec![0u8; 4096]));
+        let mem = c.memory_breakdown();
+        assert_eq!(mem.per_shard.len(), c.num_shards());
+        assert_eq!(mem.samtree_bytes, c.total_topology_bytes());
+        assert_eq!(
+            mem.leaf_bytes + mem.internal_bytes + mem.directory_bytes,
+            mem.samtree_bytes,
+            "split must be exact"
+        );
+        assert!(mem.attr_bytes >= 4096);
+        let snap = c.obs().snapshot();
+        assert_eq!(
+            snap.gauge("graph.mem.samtree_bytes"),
+            Some(mem.samtree_bytes as i64)
+        );
+        assert_eq!(
+            snap.gauge("graph.mem.attr_bytes"),
+            Some(mem.attr_bytes as i64)
+        );
     }
 }

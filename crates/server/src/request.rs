@@ -42,22 +42,35 @@ pub struct SampleRequest {
     pub fanout: usize,
     /// Fallback behavior when the owning shard cannot answer.
     pub on_degraded: DegradedPolicy,
+    /// Caller-supplied correlation id. Carried through the router and into
+    /// any slow-op capture of this request, so an operator can find one
+    /// known-bad request in `GET /debug/slow` by the id their client
+    /// logged. Not interpreted by the router.
+    pub trace_id: Option<u64>,
 }
 
 impl SampleRequest {
-    /// A request with the default degraded policy ([`DegradedPolicy::EmptySet`]).
+    /// A request with the default degraded policy ([`DegradedPolicy::EmptySet`])
+    /// and no trace id.
     pub fn new(vertex: VertexId, etype: EdgeType, fanout: usize) -> Self {
         Self {
             vertex,
             etype,
             fanout,
             on_degraded: DegradedPolicy::default(),
+            trace_id: None,
         }
     }
 
     /// Set the degraded policy.
     pub fn on_degraded(mut self, policy: DegradedPolicy) -> Self {
         self.on_degraded = policy;
+        self
+    }
+
+    /// Attach a correlation id for end-to-end tracing.
+    pub fn with_trace_id(mut self, trace_id: u64) -> Self {
+        self.trace_id = Some(trace_id);
         self
     }
 }
@@ -100,6 +113,8 @@ mod tests {
         let r = r.on_degraded(DegradedPolicy::SelfLoop);
         assert_eq!(r.on_degraded, DegradedPolicy::SelfLoop);
         assert_eq!(r.fanout, 5);
+        assert_eq!(r.trace_id, None);
+        assert_eq!(r.with_trace_id(99).trace_id, Some(99));
     }
 
     #[test]

@@ -27,7 +27,7 @@ mod wal;
 
 pub use attr::AttributeStore;
 pub use snapshot::{read_snapshot, write_snapshot, write_snapshot_v1, SNAPSHOT_VERSION};
-pub use topology::{AdjacencyEntry, DynamicGraphStore, StoreConfig};
+pub use topology::{AdjacencyEntry, DynamicGraphStore, StoreConfig, StoreMemory};
 pub use wal::{
     replay_wal, DurableGraphStore, RecoveryReport, TornTail, TornTailKind, WalReplayReport,
     WalWriter, WAL_MAGIC,

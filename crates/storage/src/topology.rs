@@ -69,6 +69,23 @@ impl DeepSize for TreeCell {
     }
 }
 
+/// One store's resident topology memory, split into samtree payload
+/// (leaf id lists + Fenwick tables), samtree index (separators,
+/// cumulative-sum tables, child spines), and directory overhead (cuckoo
+/// buckets + lock cells). The three parts sum to `total_bytes`, which is
+/// exactly [`GraphStore::topology_bytes`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoreMemory {
+    /// Bytes holding actual neighbor ids and weights (leaf level).
+    pub leaf_bytes: usize,
+    /// Samtree internal-node bytes (index overhead above the leaves).
+    pub internal_bytes: usize,
+    /// Cuckoo directory bytes (buckets, keys, lock cells).
+    pub directory_bytes: usize,
+    /// Total resident topology bytes.
+    pub total_bytes: usize,
+}
+
 /// PlatoD2GL's dynamic graph topology store: a concurrent cuckoo directory
 /// of per-vertex samtrees. Implements [`GraphStore`].
 ///
@@ -442,6 +459,27 @@ impl DynamicGraphStore {
         out
     }
 
+    /// Walk every samtree and split the store's resident topology bytes
+    /// into payload vs index (the paper's Table IV memory accounting,
+    /// served live at `/debug/memory`). Takes each tree's read lock in
+    /// turn — diagnostics cost, not hot-path cost.
+    pub fn memory_breakdown(&self) -> StoreMemory {
+        let mut leaf_bytes = 0;
+        let mut internal_bytes = 0;
+        self.directory.for_each(|_, cell| {
+            let (l, i) = cell.0.read().memory_breakdown();
+            leaf_bytes += l;
+            internal_bytes += i;
+        });
+        let total_bytes = self.topology_bytes();
+        StoreMemory {
+            leaf_bytes,
+            internal_bytes,
+            directory_bytes: total_bytes.saturating_sub(leaf_bytes + internal_bytes),
+            total_bytes,
+        }
+    }
+
     /// Per-tree diagnostics: (height, leaf count, internal count) of a
     /// vertex's samtree.
     pub fn tree_shape(&self, v: VertexId, etype: EdgeType) -> Option<(usize, usize, usize)> {
@@ -562,6 +600,10 @@ impl GraphStore for DynamicGraphStore {
         k: usize,
         rng: &mut dyn RngCore,
     ) -> Vec<VertexId> {
+        // Nested under the cluster's request root when sampling goes
+        // through a shared registry, so a slow request's capture shows the
+        // samtree descent and the FTS draws as separate levels.
+        let _span = self.registry.span("samtree.sample");
         self.metrics.sample_requests.inc();
         let Some(cell) = self.cell(TreeKey {
             src: v.raw(),
@@ -570,7 +612,10 @@ impl GraphStore for DynamicGraphStore {
             return Vec::new();
         };
         let tree = cell.0.read();
-        let picks: Vec<VertexId> = tree.sample_k(k, rng).into_iter().map(VertexId).collect();
+        let picks: Vec<VertexId> = {
+            let _draw = self.registry.span("samtree.fts_draw");
+            tree.sample_k(k, rng).into_iter().map(VertexId).collect()
+        };
         self.metrics.sample_draws.add(picks.len() as u64);
         picks
     }

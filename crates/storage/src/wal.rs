@@ -44,7 +44,7 @@
 use crate::crc32c::crc32c;
 use crate::topology::{DynamicGraphStore, StoreConfig};
 use platod2gl_graph::{sanitize_weight, Edge, EdgeType, Error, GraphStore, UpdateOp, VertexId};
-use platod2gl_obs::{Counter, Histogram, Registry};
+use platod2gl_obs::{Counter, Gauge, Histogram, Registry};
 use std::fs::{File, OpenOptions};
 use std::io::{self, BufWriter, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
@@ -556,6 +556,7 @@ struct WalMetrics {
     replayed_records: Arc<Counter>,
     replayed_ops: Arc<Counter>,
     torn_tails: Arc<Counter>,
+    mem_bytes: Arc<Gauge>,
 }
 
 impl WalMetrics {
@@ -570,6 +571,7 @@ impl WalMetrics {
             replayed_records: registry.counter("wal.replayed_records"),
             replayed_ops: registry.counter("wal.replayed_ops"),
             torn_tails: registry.counter("wal.torn_tails"),
+            mem_bytes: registry.gauge("graph.mem.wal_bytes"),
         }
     }
 }
@@ -656,6 +658,10 @@ impl DurableGraphStore {
             metrics,
         };
         durable.sync()?;
+        durable
+            .metrics
+            .mem_bytes
+            .set(durable.lock_wal().offset() as i64);
         drop(recover_span);
         Ok((durable, report))
     }
@@ -696,6 +702,7 @@ impl DurableGraphStore {
         self.metrics.appends.inc();
         self.metrics.append_ops.inc();
         self.metrics.append_bytes.add(wal.offset() - before);
+        self.metrics.mem_bytes.set(wal.offset() as i64);
         self.store.apply(op);
         Ok(())
     }
@@ -717,6 +724,7 @@ impl DurableGraphStore {
         self.metrics.appends.inc();
         self.metrics.append_ops.add(ops.len() as u64);
         self.metrics.append_bytes.add(wal.offset() - before);
+        self.metrics.mem_bytes.set(wal.offset() as i64);
         self.store.apply_batch_parallel(ops, threads);
         Ok(())
     }
@@ -764,6 +772,7 @@ impl DurableGraphStore {
         wal.get_ref().get_ref().sync_data()?;
         self.metrics.checkpoints.inc();
         self.metrics.checkpoint_ns.record(started.elapsed());
+        self.metrics.mem_bytes.set(wal.offset() as i64);
         Ok(())
     }
 

@@ -36,6 +36,18 @@ for needle in '"samtree.leaf_ops"' '"wal.appends"' '"cluster.requests"' \
     fi
 done
 
+echo "==> admin plane smoke test (admin_serve example, std TcpStream probes)"
+admin_out=$(cargo run -p platod2gl --release --example admin_serve 2>/dev/null)
+for needle in 'slow-op log captured a traced sample request' \
+    'GET /healthz -> 503' 'GET /healthz -> 200 (healed)' \
+    'GET /metrics -> 200' 'GET /debug/memory -> 200' \
+    'all endpoints probed, server shut down'; do
+    if ! grep -qF "$needle" <<<"$admin_out"; then
+        echo "verify: FAIL — admin smoke missing: $needle"
+        exit 1
+    fi
+done
+
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
 

@@ -144,7 +144,7 @@ fn one_snapshot_covers_samtree_storage_wal_server_and_pipeline() {
         "plato_wal_appends_total",
         "plato_cluster_requests_total",
         "plato_pipeline_batches_total",
-        "plato_cluster_sample_latency_ns_bucket",
+        "plato_cluster_sample_latency_seconds_bucket",
         "plato_storage_edges",
     ] {
         assert!(prom.contains(name), "{name} missing in Prometheus text");
