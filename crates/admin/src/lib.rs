@@ -16,6 +16,7 @@
 //! | `/debug/memory` | live `DeepSize` walk: samtree payload/index, directory, attributes, WAL |
 //! | `/debug/spans`  | the tracer's recent-span ring plus started/finished/dropped counts |
 //! | `/debug/slow`   | the slow-op log: over-threshold requests with their span trees |
+//! | `/debug/traffic`| RPC traffic accounting: request/byte counts (real wire-frame sizes), fault and degradation tallies |
 //!
 //! Every response is computed from the shared [`Cluster`] +
 //! [`Registry`](platod2gl_obs::Registry) on the accept thread — no
@@ -173,7 +174,8 @@ pub fn route(path: &str, cluster: &Cluster) -> (u16, &'static str, String) {
         "/" => (
             200,
             CT_TEXT,
-            "PlatoD2GL admin\n\n/metrics\n/healthz\n/debug/memory\n/debug/spans\n/debug/slow\n"
+            "PlatoD2GL admin\n\n/metrics\n/healthz\n/debug/memory\n/debug/spans\n/debug/slow\n\
+             /debug/traffic\n"
                 .to_string(),
         ),
         "/metrics" => {
@@ -185,6 +187,7 @@ pub fn route(path: &str, cluster: &Cluster) -> (u16, &'static str, String) {
         "/debug/memory" => (200, CT_JSON, memory_json(cluster)),
         "/debug/spans" => (200, CT_JSON, spans_json(cluster)),
         "/debug/slow" => (200, CT_JSON, slow_json(cluster)),
+        "/debug/traffic" => (200, CT_JSON, traffic_json(cluster)),
         _ => (404, CT_TEXT, "not found\n".to_string()),
     }
 }
@@ -297,6 +300,24 @@ fn slow_json(cluster: &Cluster) -> String {
     body
 }
 
+fn traffic_json(cluster: &Cluster) -> String {
+    // Byte counts use the real wire-frame encoding sizes (`server::wire`),
+    // so this view matches what the TCP rpc layer actually ships.
+    let t = cluster.traffic();
+    format!(
+        "{{\"requests\":{},\"request_bytes\":{},\"response_bytes\":{},\
+         \"failed_requests\":{},\"retried_requests\":{},\
+         \"degraded_responses\":{},\"queued_ops\":{}}}",
+        t.requests,
+        t.request_bytes,
+        t.response_bytes,
+        t.failed_requests,
+        t.retried_requests,
+        t.degraded_responses,
+        t.queued_ops
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -326,6 +347,7 @@ mod tests {
             "/debug/memory",
             "/debug/spans",
             "/debug/slow",
+            "/debug/traffic",
         ] {
             let (status, _, body) = route(path, &c);
             assert_eq!(status, 200, "{path}");
@@ -358,6 +380,29 @@ mod tests {
         let (status, _, body) = route("/healthz", &c);
         assert_eq!(status, 200);
         assert!(body.contains("\"health\":\"healthy\""), "{body}");
+    }
+
+    #[test]
+    fn traffic_endpoint_reports_wire_sized_byte_counts() {
+        let c = tiny_cluster();
+        use platod2gl_server::SampleRequest;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let _ = c.sample(&SampleRequest::new(VertexId(0), EdgeType(0), 4), &mut rng);
+        let (status, ct, body) = route("/debug/traffic", &c);
+        assert_eq!(status, 200);
+        assert_eq!(ct, CT_JSON);
+        let t = c.traffic();
+        assert!(t.requests > 0 && t.request_bytes > 0 && t.response_bytes > 0);
+        assert!(
+            body.contains(&format!("\"requests\":{}", t.requests)),
+            "{body}"
+        );
+        assert!(
+            body.contains(&format!("\"request_bytes\":{}", t.request_bytes)),
+            "{body}"
+        );
+        assert!(body.contains("\"degraded_responses\":0"), "{body}");
     }
 
     #[test]

@@ -54,12 +54,13 @@ pub use platod2gl_pipeline::{
     Block, CacheConfig, CacheStats, EpochReport, KHopSampler, NeighborCache, PipelineConfig,
     PipelineConfigBuilder, PipelineStats, SampleOutcome, TrainingPipeline,
 };
+pub use platod2gl_rpc::{GraphServiceServer, RemoteCluster, RemoteClusterConfig};
 pub use platod2gl_sampling::{AliasTable, CsTable, WeightedIndex};
 pub use platod2gl_samtree::{LeafIndex, OpStats, SamTree, SamTreeConfig};
 pub use platod2gl_server::{
-    BatchReport, Cluster, ClusterConfig, ClusterConfigBuilder, ClusterMemory, DegradedPolicy,
-    FaultInjector, FaultKind, GraphServer, HistogramSnapshot, LatencyHistogram, SampleRequest,
-    SampleResponse, ShardMemory, SlotSource, TrafficStats,
+    route_for, BatchReport, Cluster, ClusterConfig, ClusterConfigBuilder, ClusterMemory,
+    DegradedPolicy, FaultInjector, FaultKind, GraphServer, GraphService, HistogramSnapshot,
+    LatencyHistogram, SampleRequest, SampleResponse, ShardMemory, SlotSource, TrafficStats,
 };
 pub use platod2gl_storage::{
     replay_wal, AttributeStore, DurableGraphStore, DynamicGraphStore, RecoveryReport, StoreConfig,

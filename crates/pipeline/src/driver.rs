@@ -20,7 +20,7 @@ use crate::sampler::KHopSampler;
 use platod2gl_gnn::{gather_features, FeatureProvider, Matrix, SageNet};
 use platod2gl_graph::{EdgeType, Error, VertexId};
 use platod2gl_obs::{Counter, Histogram};
-use platod2gl_server::{Cluster, HistogramSnapshot};
+use platod2gl_server::{Cluster, GraphService, HistogramSnapshot};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{RngCore, SeedableRng};
@@ -225,14 +225,17 @@ impl PipelineStats {
     }
 }
 
-/// Drives mini-batch GraphSAGE training against a live, mutating cluster.
+/// Drives mini-batch GraphSAGE training against a live, mutating graph
+/// service — the in-process [`Cluster`] (the default) or any other
+/// [`GraphService`], such as the TCP `RemoteCluster` client; the pipeline
+/// is generic over that boundary and runs unmodified against either.
 ///
-/// All telemetry records into the cluster's observability registry
-/// ([`Cluster::obs`]) under `pipeline.*` names, so one snapshot covers the
-/// whole serving + training stack; [`TrainingPipeline::stats`] remains as a
-/// typed view over those handles.
-pub struct TrainingPipeline<'a> {
-    cluster: &'a Cluster,
+/// All telemetry records into the service's observability registry
+/// ([`GraphService::registry`]) under `pipeline.*` names, so one snapshot
+/// covers the whole serving + training stack; [`TrainingPipeline::stats`]
+/// remains as a typed view over those handles.
+pub struct TrainingPipeline<'a, S: GraphService = Cluster> {
+    service: &'a S,
     cfg: PipelineConfig,
     sampler: KHopSampler,
     cache: NeighborCache,
@@ -253,15 +256,15 @@ fn mix64(mut x: u64) -> u64 {
     x ^ (x >> 31)
 }
 
-impl<'a> TrainingPipeline<'a> {
-    /// Build a pipeline over `cluster` with its own cache instance. Stage
-    /// telemetry registers into the cluster's registry as `pipeline.*`.
-    pub fn new(cluster: &'a Cluster, cfg: PipelineConfig) -> Self {
+impl<'a, S: GraphService> TrainingPipeline<'a, S> {
+    /// Build a pipeline over `service` with its own cache instance. Stage
+    /// telemetry registers into the service's registry as `pipeline.*`.
+    pub fn new(service: &'a S, cfg: PipelineConfig) -> Self {
         let sampler = KHopSampler::new(cfg.etype, cfg.fanouts.clone());
-        let registry = cluster.obs();
+        let registry = service.registry();
         let cache = NeighborCache::with_registry(cfg.cache, registry);
         Self {
-            cluster,
+            service,
             cfg,
             sampler,
             cache,
@@ -309,9 +312,9 @@ impl<'a> TrainingPipeline<'a> {
     ) -> Block {
         let t = Instant::now();
         let outcome = {
-            let _span = self.cluster.obs().span("pipeline.sample");
+            let _span = self.service.registry().span("pipeline.sample");
             self.sampler
-                .sample_block(self.cluster, &self.cache, seeds, rng)
+                .sample_block(self.service, &self.cache, seeds, rng)
         };
         self.sample_lat.record(t.elapsed());
         self.distinct_sampled.add(outcome.distinct_sampled);
@@ -323,7 +326,7 @@ impl<'a> TrainingPipeline<'a> {
         self.frontier_slots.add(slots);
 
         let t = Instant::now();
-        let _span = self.cluster.obs().span("pipeline.gather");
+        let _span = self.service.registry().span("pipeline.gather");
         let dim = provider.dim();
         let feats = outcome
             .levels
@@ -341,7 +344,7 @@ impl<'a> TrainingPipeline<'a> {
     /// Train on one materialized block, updating the running report.
     fn train_block(&self, net: &mut SageNet, block: Block, report: &mut EpochReport) {
         let t = Instant::now();
-        let _span = self.cluster.obs().span("pipeline.train_step");
+        let _span = self.service.registry().span("pipeline.train_step");
         let stats = net.train_step_features(block.feats, &block.labels);
         self.train_lat.record(t.elapsed());
         self.batches.inc();
@@ -394,7 +397,7 @@ impl<'a> TrainingPipeline<'a> {
             self.cfg.fanouts,
             "model and pipeline fanouts must agree"
         );
-        let _span = self.cluster.obs().span("pipeline.run_batches");
+        let _span = self.service.registry().span("pipeline.run_batches");
         let started = Instant::now();
         let mut report = EpochReport::default();
         if batches.is_empty() {

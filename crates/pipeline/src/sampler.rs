@@ -1,18 +1,22 @@
-//! K-hop fan-out sampling against the cluster.
+//! K-hop fan-out sampling against a graph service.
 //!
-//! Expands a seed batch level by level through [`Cluster::sample`],
-//! producing the padded node flow
+//! Expands a seed batch level by level through
+//! [`GraphService::sample_many`], producing the padded node flow
 //! GraphSAGE consumes: level `d+1` holds exactly
 //! `levels[d].len() * fanouts[d]` vertices, isolated (or degraded) parents
 //! self-padded — the tensor shapes stay static no matter what the graph or
-//! the fault injector does.
+//! the fault injector does. The service may be the in-process `Cluster` or
+//! a `RemoteCluster` over TCP; the sampler is generic over the boundary.
 //!
-//! Two serving-path optimizations, both measured by the bench harness:
+//! Three serving-path optimizations, all measured by the bench harness:
 //!
 //! * **frontier dedup** — a vertex appearing `m` times in a level is
 //!   sampled once and its draw reused for every occurrence (each slot's
 //!   marginal distribution is unchanged because the shared draw is itself
 //!   weighted); hub-heavy frontiers collapse to a fraction of the RPCs;
+//! * **batch coalescing** — a level's cache misses are issued as one
+//!   [`GraphService::sample_many`] call, which a remote service turns into
+//!   pipelined frames instead of per-vertex round trips;
 //! * **neighbor cache** — draws are served from the epoch-versioned
 //!   [`NeighborCache`] when a bounded-staleness entry exists, and misses
 //!   refill it. Degraded responses (failed shards) are never cached, so a
@@ -20,7 +24,7 @@
 
 use crate::cache::NeighborCache;
 use platod2gl_graph::{EdgeType, VertexId};
-use platod2gl_server::{Cluster, SampleRequest};
+use platod2gl_server::{GraphService, SampleRequest};
 use rand::RngCore;
 use std::collections::HashMap;
 
@@ -57,16 +61,16 @@ impl KHopSampler {
     }
 
     /// Sample one padded block rooted at `seeds`.
-    pub fn sample_block(
+    pub fn sample_block<S: GraphService + ?Sized>(
         &self,
-        cluster: &Cluster,
+        service: &S,
         cache: &NeighborCache,
         seeds: &[VertexId],
         rng: &mut dyn RngCore,
     ) -> SampleOutcome {
-        // Each cluster.sample issued below nests under this span, so a
-        // slow request's capture shows which block expansion issued it.
-        let _span = cluster.obs().span("pipeline.sample_block");
+        // Each sample issued below nests under this span, so a slow
+        // request's capture shows which block expansion issued it.
+        let _span = service.registry().span("pipeline.sample_block");
         let mut out = SampleOutcome {
             levels: Vec::with_capacity(self.fanouts.len() + 1),
             ..Default::default()
@@ -75,41 +79,49 @@ impl KHopSampler {
         for (d, &fanout) in self.fanouts.iter().enumerate() {
             // Snapshot the version once per level: all of a level's cache
             // traffic is judged against the same point in time.
-            let version = cluster.graph_version();
+            let version = service.graph_version();
             let mut lists: HashMap<VertexId, Vec<VertexId>> =
                 HashMap::with_capacity(out.levels[d].len());
+            // Pass 1: dedup the frontier and answer what the cache can;
+            // misses coalesce into one batch so a remote service ships the
+            // whole level as pipelined frames, not per-vertex round trips.
+            let mut misses: Vec<SampleRequest> = Vec::new();
             for i in 0..out.levels[d].len() {
                 let v = out.levels[d][i];
                 if lists.contains_key(&v) {
                     continue;
                 }
                 out.distinct_sampled += 1;
-                let neighbors = match cache.lookup(v, self.etype, fanout as u32, version) {
+                match cache.lookup(v, self.etype, fanout as u32, version) {
                     Some(cached) => {
                         out.cache_served += 1;
-                        cached
+                        lists.insert(v, cached);
                     }
                     None => {
-                        out.cluster_requests += 1;
-                        let resp = cluster.sample(&SampleRequest::new(v, self.etype, fanout), rng);
-                        if resp.degraded {
-                            out.degraded_samples += 1;
-                        } else {
-                            // Cache real answers only — including "no
-                            // out-edges", which is knowledge; a degraded
-                            // empty set is not.
-                            cache.insert(
-                                v,
-                                self.etype,
-                                fanout as u32,
-                                resp.neighbors.clone(),
-                                version,
-                            );
-                        }
-                        resp.neighbors
+                        // Placeholder keeps later duplicates deduped; pass 2
+                        // overwrites it with the real answer.
+                        lists.insert(v, Vec::new());
+                        misses.push(SampleRequest::new(v, self.etype, fanout));
                     }
-                };
-                lists.insert(v, neighbors);
+                }
+            }
+            // Pass 2: one coalesced call for the level's misses.
+            out.cluster_requests += misses.len() as u64;
+            for (req, resp) in misses.iter().zip(service.sample_many(&misses, rng)) {
+                if resp.degraded {
+                    out.degraded_samples += 1;
+                } else {
+                    // Cache real answers only — including "no out-edges",
+                    // which is knowledge; a degraded empty set is not.
+                    cache.insert(
+                        req.vertex,
+                        self.etype,
+                        fanout as u32,
+                        resp.neighbors.clone(),
+                        version,
+                    );
+                }
+                lists.insert(req.vertex, resp.neighbors);
             }
             let frontier = &out.levels[d];
             let mut next = Vec::with_capacity(frontier.len() * fanout);

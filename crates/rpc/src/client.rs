@@ -1,0 +1,450 @@
+//! The remote graph-service client.
+//!
+//! [`RemoteCluster`] speaks the frame protocol to a
+//! [`GraphServiceServer`](crate::GraphServiceServer) and implements
+//! [`GraphService`] — the same surface as the in-process `Cluster` — so
+//! `KHopSampler` and `TrainingPipeline` run against a remote graph server
+//! unmodified.
+//!
+//! ## Connection pool and pipelining
+//!
+//! Connections are pooled: each call checks a stream out, runs its round
+//! trip(s), and checks it back in on success (a failed stream is dropped,
+//! never re-pooled). Concurrent callers — the pipeline's prefetch workers —
+//! each get their own stream. [`RemoteCluster::sample_many`] coalesces a
+//! frontier into chunks of [`RemoteClusterConfig::max_batch`] requests and
+//! *pipelines* them: all chunk frames are written before any reply is
+//! read, so a hub-heavy frontier costs one round trip of latency, not one
+//! per chunk.
+//!
+//! ## Failure mapping
+//!
+//! Transport failures retry with exponential backoff
+//! ([`RemoteClusterConfig::max_retries`], [`RemoteClusterConfig::retry_backoff`])
+//! on a fresh connection. Sampling is safe to retry because the
+//! per-request RNG seeds are drawn *before* any I/O; update batches are
+//! safe because every op kind is idempotent. When the budget is exhausted,
+//! the sampling path does **not** error: each affected request degrades
+//! according to its own [`DegradedPolicy`] — exactly what the in-process
+//! router does for a dead shard — so a trainer rides out a server restart
+//! with degraded batches instead of a crash. Update batches, whose loss
+//! would silently drop writes, surface `Error::Io` after the last retry.
+
+use crate::codec::{
+    decode_error_reply, decode_heal_reply, decode_health_reply, decode_sample_reply,
+    decode_update_reply, encode_heal_request, encode_sample_batch, encode_update_batch, error_code,
+    write_frame, FrameError, FrameKind, SampleBatch, UpdateBatch,
+};
+use platod2gl_graph::{Error, ShardHealth, UpdateOp};
+use platod2gl_obs::{Counter, Histogram, Registry};
+use platod2gl_server::{
+    route_for, BatchReport, DegradedPolicy, GraphService, SampleRequest, SampleResponse, SlotSource,
+};
+use rand::RngCore;
+use std::io::{self, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Client shape: timeouts, retry budget, pool and coalescing sizes.
+#[derive(Clone, Copy, Debug)]
+pub struct RemoteClusterConfig {
+    /// TCP connect timeout.
+    pub connect_timeout: Duration,
+    /// Per-round-trip socket timeout; also shipped to the server as the
+    /// batch's `deadline_ms` budget.
+    pub request_timeout: Duration,
+    /// Transport retries after the first attempt.
+    pub max_retries: u32,
+    /// Backoff before the first retry; doubles per attempt.
+    pub retry_backoff: Duration,
+    /// Idle connections kept in the pool (extras are dropped on check-in).
+    pub pool_size: usize,
+    /// Sample requests per pipelined frame.
+    pub max_batch: usize,
+}
+
+impl Default for RemoteClusterConfig {
+    fn default() -> Self {
+        Self {
+            connect_timeout: Duration::from_secs(1),
+            request_timeout: Duration::from_secs(2),
+            max_retries: 2,
+            retry_backoff: Duration::from_millis(10),
+            pool_size: 4,
+            max_batch: 256,
+        }
+    }
+}
+
+impl RemoteClusterConfig {
+    /// Per-round-trip socket timeout (and server-side deadline budget).
+    pub fn request_timeout(mut self, t: Duration) -> Self {
+        self.request_timeout = t;
+        self
+    }
+
+    /// Transport retries after the first attempt.
+    pub fn max_retries(mut self, n: u32) -> Self {
+        self.max_retries = n;
+        self
+    }
+
+    /// Backoff before the first retry; doubles per attempt.
+    pub fn retry_backoff(mut self, d: Duration) -> Self {
+        self.retry_backoff = d;
+        self
+    }
+
+    /// Sample requests per pipelined frame.
+    pub fn max_batch(mut self, n: usize) -> Self {
+        self.max_batch = n.max(1);
+        self
+    }
+}
+
+struct ClientMetrics {
+    requests: Arc<Counter>,
+    retries: Arc<Counter>,
+    transport_errors: Arc<Counter>,
+    degraded_fallbacks: Arc<Counter>,
+    reconnects: Arc<Counter>,
+    rtt: Arc<Histogram>,
+}
+
+impl ClientMetrics {
+    fn new(registry: &Arc<Registry>) -> Self {
+        Self {
+            requests: registry.counter("rpc.client.requests"),
+            retries: registry.counter("rpc.client.retries"),
+            transport_errors: registry.counter("rpc.client.transport_errors"),
+            degraded_fallbacks: registry.counter("rpc.client.degraded_fallbacks"),
+            reconnects: registry.counter("rpc.client.reconnects"),
+            rtt: registry.histogram("rpc.client.rtt_ns"),
+        }
+    }
+}
+
+/// A remote graph service reached over TCP, usable anywhere a `Cluster`
+/// is (it implements [`GraphService`]).
+pub struct RemoteCluster {
+    addr: SocketAddr,
+    cfg: RemoteClusterConfig,
+    registry: Arc<Registry>,
+    pool: Mutex<Vec<TcpStream>>,
+    num_shards: usize,
+    last_version: AtomicU64,
+    last_healths: Mutex<Vec<ShardHealth>>,
+    m: ClientMetrics,
+}
+
+impl RemoteCluster {
+    /// Connect to a graph server and learn its topology (shard count,
+    /// graph version) via an initial health probe. The client owns its own
+    /// registry: client-side `rpc.client.*` and `pipeline.*` telemetry
+    /// land here, while server-side spans/slow-ops stay in the server's.
+    pub fn connect(addr: impl ToSocketAddrs, cfg: RemoteClusterConfig) -> Result<Self, Error> {
+        let addr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "unresolvable address"))?;
+        let registry = Arc::new(Registry::new());
+        let m = ClientMetrics::new(&registry);
+        let client = Self {
+            addr,
+            cfg,
+            registry,
+            pool: Mutex::new(Vec::new()),
+            num_shards: 0,
+            last_version: AtomicU64::new(0),
+            last_healths: Mutex::new(Vec::new()),
+            m,
+        };
+        let health = client.probe().map_err(|e| {
+            Error::Io(io::Error::new(
+                io::ErrorKind::ConnectionRefused,
+                e.to_string(),
+            ))
+        })?;
+        Ok(Self {
+            num_shards: health.healths.len(),
+            ..client
+        })
+    }
+
+    /// The server address this client talks to.
+    pub fn server_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    fn dial(&self) -> io::Result<TcpStream> {
+        let stream = TcpStream::connect_timeout(&self.addr, self.cfg.connect_timeout)?;
+        stream.set_read_timeout(Some(self.cfg.request_timeout))?;
+        stream.set_write_timeout(Some(self.cfg.request_timeout))?;
+        stream.set_nodelay(true)?;
+        self.m.reconnects.inc();
+        Ok(stream)
+    }
+
+    fn checkout(&self) -> io::Result<TcpStream> {
+        let pooled = self.lock_pool().pop();
+        match pooled {
+            Some(stream) => Ok(stream),
+            None => self.dial(),
+        }
+    }
+
+    fn checkin(&self, stream: TcpStream) {
+        let mut pool = self.lock_pool();
+        if pool.len() < self.cfg.pool_size {
+            pool.push(stream);
+        }
+    }
+
+    fn lock_pool(&self) -> std::sync::MutexGuard<'_, Vec<TcpStream>> {
+        self.pool
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn deadline_ms(&self) -> u32 {
+        self.cfg
+            .request_timeout
+            .as_millis()
+            .min(u128::from(u32::MAX)) as u32
+    }
+
+    /// One request/reply exchange with retry + backoff. The closure runs
+    /// the whole exchange on a checked-out stream; any [`FrameError::Io`]
+    /// drops the stream, sleeps the (doubling) backoff, and retries on a
+    /// fresh connection. Protocol-level errors are not retried — a peer
+    /// speaking a different protocol will not improve on attempt two.
+    fn with_retries<T>(
+        &self,
+        mut exchange: impl FnMut(&mut TcpStream) -> Result<T, FrameError>,
+    ) -> Result<T, FrameError> {
+        let mut backoff = self.cfg.retry_backoff;
+        let mut attempt = 0;
+        loop {
+            let outcome = self.checkout().map_err(FrameError::Io).and_then(|mut s| {
+                let started = Instant::now();
+                let out = exchange(&mut s)?;
+                self.m.rtt.record(started.elapsed());
+                self.checkin(s);
+                Ok(out)
+            });
+            match outcome {
+                Ok(out) => return Ok(out),
+                Err(FrameError::Io(e)) if attempt < self.cfg.max_retries => {
+                    self.m.transport_errors.inc();
+                    self.m.retries.inc();
+                    attempt += 1;
+                    std::thread::sleep(backoff);
+                    backoff = backoff.saturating_mul(2);
+                    let _ = e;
+                }
+                Err(e) => {
+                    if matches!(e, FrameError::Io(_)) {
+                        self.m.transport_errors.inc();
+                    }
+                    return Err(e);
+                }
+            }
+        }
+    }
+
+    /// Health probe: graph version plus per-shard healths. Successful
+    /// probes refresh the client's cached view.
+    pub fn probe(&self) -> Result<crate::codec::HealthReply, FrameError> {
+        let reply = self.with_retries(|stream| {
+            write_frame(stream, FrameKind::HealthProbe, &[])?;
+            stream.flush()?;
+            let (kind, payload) = crate::codec::read_frame(stream)?;
+            expect_kind(kind, FrameKind::HealthReply, "health")?;
+            Ok(decode_health_reply(&payload)?)
+        })?;
+        self.last_version
+            .store(reply.graph_version, Ordering::Release);
+        *self.lock_healths() = reply.healths.clone();
+        Ok(reply)
+    }
+
+    fn lock_healths(&self) -> std::sync::MutexGuard<'_, Vec<ShardHealth>> {
+        self.last_healths
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Client-side degraded fallback for one request, used when transport
+    /// to the server is gone: same shape the in-process router produces
+    /// for a dead shard, with the shard predicted by the shared
+    /// [`route_for`] hash.
+    fn transport_degraded(&self, req: &SampleRequest) -> SampleResponse {
+        self.m.degraded_fallbacks.inc();
+        let (neighbors, sources) = match req.on_degraded {
+            DegradedPolicy::EmptySet => (Vec::new(), Vec::new()),
+            DegradedPolicy::SelfLoop => (
+                vec![req.vertex; req.fanout],
+                vec![SlotSource::SelfLoop; req.fanout],
+            ),
+        };
+        SampleResponse {
+            neighbors,
+            sources,
+            degraded: true,
+            shard: route_for(req.vertex, self.num_shards.max(1)),
+        }
+    }
+
+    /// Pipelined exchange of pre-seeded sample chunks: write every chunk
+    /// frame, flush once, then read the replies in order.
+    fn pipelined_sample(
+        &self,
+        chunks: &[&[(SampleRequest, u64)]],
+    ) -> Result<Vec<SampleResponse>, FrameError> {
+        let deadline_ms = self.deadline_ms();
+        self.with_retries(|stream| {
+            for chunk in chunks {
+                let batch = SampleBatch {
+                    deadline_ms,
+                    requests: chunk.to_vec(),
+                };
+                write_frame(stream, FrameKind::SampleBatch, &encode_sample_batch(&batch))?;
+            }
+            stream.flush()?;
+            let mut out = Vec::with_capacity(chunks.iter().map(|c| c.len()).sum());
+            for chunk in chunks {
+                let (kind, payload) = crate::codec::read_frame(stream)?;
+                expect_kind(kind, FrameKind::SampleReply, "sample")?;
+                let responses = decode_sample_reply(&payload)?;
+                if responses.len() != chunk.len() {
+                    return Err(FrameError::UnexpectedReply {
+                        expected: "positionally complete sample",
+                        got: kind,
+                    });
+                }
+                out.extend(responses);
+            }
+            Ok(out)
+        })
+    }
+}
+
+fn expect_kind(got: FrameKind, want: FrameKind, what: &'static str) -> Result<(), FrameError> {
+    if got == want {
+        return Ok(());
+    }
+    Err(FrameError::UnexpectedReply {
+        expected: what,
+        got,
+    })
+}
+
+impl GraphService for RemoteCluster {
+    fn sample_one(&self, req: &SampleRequest, rng: &mut dyn RngCore) -> SampleResponse {
+        self.sample_many(std::slice::from_ref(req), rng)
+            .pop()
+            .expect("one response per request")
+    }
+
+    fn sample_many(&self, reqs: &[SampleRequest], rng: &mut dyn RngCore) -> Vec<SampleResponse> {
+        // Seeds are drawn up front, in request order, exactly one per
+        // request — the determinism contract — and *before* any I/O, so a
+        // retry re-sends the same seeds instead of redrawing.
+        let seeded: Vec<(SampleRequest, u64)> = reqs.iter().map(|r| (*r, rng.next_u64())).collect();
+        if seeded.is_empty() {
+            return Vec::new();
+        }
+        self.m.requests.add(seeded.len() as u64);
+        let chunks: Vec<&[(SampleRequest, u64)]> = seeded.chunks(self.cfg.max_batch).collect();
+        match self.pipelined_sample(&chunks) {
+            Ok(responses) => responses,
+            // The server is unreachable (or answered garbage) past the
+            // retry budget: degrade every request per its own policy, the
+            // same contract the in-process router honors for dead shards.
+            // The trainer sees degraded batches, never a client error.
+            Err(_) => reqs.iter().map(|r| self.transport_degraded(r)).collect(),
+        }
+    }
+
+    fn apply_updates(&self, ops: &[UpdateOp]) -> Result<BatchReport, Error> {
+        let batch = UpdateBatch {
+            deadline_ms: self.deadline_ms(),
+            trace_id: None,
+            ops: ops.to_vec(),
+        };
+        let payload = encode_update_batch(&batch);
+        let outcome = self.with_retries(|stream| {
+            write_frame(stream, FrameKind::UpdateBatch, &payload)?;
+            stream.flush()?;
+            let (kind, reply) = crate::codec::read_frame(stream)?;
+            match kind {
+                FrameKind::UpdateReply => Ok(Ok(decode_update_reply(&reply)?)),
+                FrameKind::ErrorReply => Ok(Err(decode_error_reply(&reply)?)),
+                kind => Err(FrameError::UnexpectedReply {
+                    expected: "update",
+                    got: kind,
+                }),
+            }
+        });
+        match outcome {
+            Ok(Ok(reply)) => Ok(BatchReport {
+                applied_ops: reply.applied_ops as usize,
+                queued_ops: reply.queued_ops as usize,
+            }),
+            Ok(Err(err)) if err.code == error_code::SHARD_PANICKED => Err(Error::ShardPanicked {
+                shard: err.shard as usize,
+                detail: err.message,
+            }),
+            Ok(Err(err)) => Err(Error::Io(io::Error::new(
+                io::ErrorKind::InvalidData,
+                err.message,
+            ))),
+            Err(e) => Err(Error::Io(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                e.to_string(),
+            ))),
+        }
+    }
+
+    fn graph_version(&self) -> u64 {
+        // A failed probe falls back to the last observed version: the
+        // neighbor cache keeps serving bounded-stale entries through a
+        // server blip instead of thrashing.
+        match self.probe() {
+            Ok(reply) => reply.graph_version,
+            Err(_) => self.last_version.load(Ordering::Acquire),
+        }
+    }
+
+    fn num_shards(&self) -> usize {
+        self.num_shards
+    }
+
+    fn shard_healths(&self) -> Vec<ShardHealth> {
+        match self.probe() {
+            Ok(reply) => reply.healths,
+            Err(_) => self.lock_healths().clone(),
+        }
+    }
+
+    fn heal(&self, shard: usize) -> usize {
+        let drained = self.with_retries(|stream| {
+            write_frame(
+                stream,
+                FrameKind::HealRequest,
+                &encode_heal_request(shard as u32),
+            )?;
+            stream.flush()?;
+            let (kind, payload) = crate::codec::read_frame(stream)?;
+            expect_kind(kind, FrameKind::HealReply, "heal")?;
+            Ok(decode_heal_reply(&payload)?)
+        });
+        drained.unwrap_or(0) as usize
+    }
+
+    fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+}

@@ -1,0 +1,615 @@
+//! The frame layer of the graph-service protocol.
+//!
+//! Every message on the wire is one *frame*:
+//!
+//! ```text
+//! | len u32 LE | version u8 | kind u8 | payload ... | crc32c u32 LE |
+//! ```
+//!
+//! `len` counts everything after itself (version + kind + payload + CRC),
+//! so a reader always knows how many bytes to pull before it can judge the
+//! frame. The CRC32C trailer (same polynomial and implementation as the
+//! WAL, [`platod2gl_storage::crc32c`]) covers `version | kind | payload`;
+//! a frame whose trailer disagrees is rejected before any payload decode
+//! runs. The version byte is checked next — a peer speaking a different
+//! [`PROTOCOL_VERSION`] is rejected per frame, which lets a future v2
+//! server answer v1 frames differently instead of guessing from layout.
+//!
+//! Defensive bounds: `len` is validated against [`MAX_FRAME_BYTES`]
+//! *before* the body buffer is allocated, and every collection count
+//! inside a payload is validated against the bytes actually present
+//! ([`wire::Reader::count`]) — a forged length prefix or count cannot
+//! drive an oversized allocation, and no decode path panics on truncated
+//! or corrupt input.
+//!
+//! Record layouts inside payloads are defined by [`platod2gl_server::wire`]
+//! — the same functions the in-process cluster uses for traffic
+//! accounting, so simulated and real byte counts agree by construction.
+
+use platod2gl_graph::{ShardHealth, UpdateOp};
+use platod2gl_server::wire::{self, Reader, WireError};
+use platod2gl_server::{SampleRequest, SampleResponse};
+use platod2gl_storage::crc32c::crc32c;
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// Protocol version stamped into (and required of) every frame.
+pub const PROTOCOL_VERSION: u8 = 1;
+
+/// Upper bound on a whole frame. A length prefix exceeding this is
+/// rejected before any allocation — the cap bounds a malicious or corrupt
+/// peer to one small read. 16 MiB comfortably fits the largest legitimate
+/// frame (a ~64k-op update batch is under 2 MiB).
+pub const MAX_FRAME_BYTES: usize = 16 << 20;
+
+/// Everything after the length prefix that is not payload: version byte,
+/// kind byte, CRC trailer.
+const NON_PAYLOAD_BYTES: usize = 6;
+
+/// Message kinds. Requests have odd tags, their replies the next even tag.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FrameKind {
+    /// Client → server: a batch of seeded sample requests.
+    SampleBatch = 0x01,
+    /// Server → client: positionally parallel sample responses.
+    SampleReply = 0x02,
+    /// Client → server: a batch of update ops.
+    UpdateBatch = 0x03,
+    /// Server → client: applied/queued counts.
+    UpdateReply = 0x04,
+    /// Client → server: health probe (empty payload).
+    HealthProbe = 0x05,
+    /// Server → client: graph version + per-shard healths.
+    HealthReply = 0x06,
+    /// Client → server: heal one shard.
+    HealRequest = 0x07,
+    /// Server → client: ops drained by the heal.
+    HealReply = 0x08,
+    /// Server → client: the request could not be served (e.g. a shard
+    /// worker panicked). Carries a code, the shard, and a message.
+    ErrorReply = 0x7f,
+}
+
+impl FrameKind {
+    fn from_tag(tag: u8) -> Result<Self, FrameError> {
+        Ok(match tag {
+            0x01 => FrameKind::SampleBatch,
+            0x02 => FrameKind::SampleReply,
+            0x03 => FrameKind::UpdateBatch,
+            0x04 => FrameKind::UpdateReply,
+            0x05 => FrameKind::HealthProbe,
+            0x06 => FrameKind::HealthReply,
+            0x07 => FrameKind::HealRequest,
+            0x08 => FrameKind::HealReply,
+            0x7f => FrameKind::ErrorReply,
+            tag => return Err(FrameError::BadKind(tag)),
+        })
+    }
+}
+
+/// Why a frame could not be read or decoded.
+#[derive(Debug)]
+pub enum FrameError {
+    /// Transport failure (includes timeouts and mid-frame EOF).
+    Io(io::Error),
+    /// The length prefix exceeds [`MAX_FRAME_BYTES`] (or is shorter than
+    /// the mandatory version/kind/CRC bytes).
+    BadLength { len: u32 },
+    /// The CRC trailer disagrees with the frame contents.
+    BadCrc { expected: u32, actual: u32 },
+    /// The peer speaks a different protocol version.
+    BadVersion(u8),
+    /// Unknown message kind byte.
+    BadKind(u8),
+    /// The CRC-valid payload failed record-level decoding.
+    Wire(WireError),
+    /// The reply was well-formed but not the kind the call expected.
+    UnexpectedReply {
+        expected: &'static str,
+        got: FrameKind,
+    },
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "transport error: {e}"),
+            FrameError::BadLength { len } => write!(f, "bad frame length {len}"),
+            FrameError::BadCrc { expected, actual } => {
+                write!(
+                    f,
+                    "frame crc mismatch: stored {expected:#010x}, computed {actual:#010x}"
+                )
+            }
+            FrameError::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
+            FrameError::BadKind(k) => write!(f, "unknown frame kind {k:#04x}"),
+            FrameError::Wire(e) => write!(f, "payload decode error: {e}"),
+            FrameError::UnexpectedReply { expected, got } => {
+                write!(f, "expected {expected} reply, got {got:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FrameError::Io(e) => Some(e),
+            FrameError::Wire(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+impl From<WireError> for FrameError {
+    fn from(e: WireError) -> Self {
+        FrameError::Wire(e)
+    }
+}
+
+/// Encode one frame into a fresh buffer (length prefix through CRC).
+pub fn encode_frame(kind: FrameKind, payload: &[u8]) -> Vec<u8> {
+    let len = payload.len() + NON_PAYLOAD_BYTES;
+    let mut out = Vec::with_capacity(4 + len);
+    wire::put_u32(&mut out, len as u32);
+    out.push(PROTOCOL_VERSION);
+    out.push(kind as u8);
+    out.extend_from_slice(payload);
+    let crc = crc32c(&out[4..]);
+    wire::put_u32(&mut out, crc);
+    out
+}
+
+/// Write one frame (single `write_all`, so a frame is never interleaved
+/// with another writer's bytes on the same stream).
+pub fn write_frame(w: &mut impl Write, kind: FrameKind, payload: &[u8]) -> io::Result<()> {
+    w.write_all(&encode_frame(kind, payload))
+}
+
+/// Read one frame: length prefix, bounded allocation, CRC and version
+/// checks, kind parse. The payload is returned still encoded; pair with
+/// the `decode_*` functions below.
+pub fn read_frame(r: &mut impl Read) -> Result<(FrameKind, Vec<u8>), FrameError> {
+    let mut len_buf = [0u8; 4];
+    r.read_exact(&mut len_buf)?;
+    let len = u32::from_le_bytes(len_buf);
+    if (len as usize) < NON_PAYLOAD_BYTES || len as usize > MAX_FRAME_BYTES {
+        return Err(FrameError::BadLength { len });
+    }
+    let mut body = vec![0u8; len as usize];
+    r.read_exact(&mut body)?;
+    let crc_off = body.len() - 4;
+    let expected = u32::from_le_bytes(body[crc_off..].try_into().unwrap());
+    let actual = crc32c(&body[..crc_off]);
+    if expected != actual {
+        return Err(FrameError::BadCrc { expected, actual });
+    }
+    if body[0] != PROTOCOL_VERSION {
+        return Err(FrameError::BadVersion(body[0]));
+    }
+    let kind = FrameKind::from_tag(body[1])?;
+    body.truncate(crc_off);
+    body.drain(..2);
+    Ok((kind, body))
+}
+
+/// A [`FrameKind::SampleBatch`] payload: deadline plus seeded requests.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SampleBatch {
+    /// Server-side deadline in milliseconds; `0` means none. Requests the
+    /// server reaches after the deadline has lapsed are answered degraded
+    /// without touching shards.
+    pub deadline_ms: u32,
+    /// Requests with their per-request RNG seeds (see
+    /// [`platod2gl_server::GraphService`]'s determinism contract).
+    pub requests: Vec<(SampleRequest, u64)>,
+}
+
+/// Encode a [`SampleBatch`] payload.
+pub fn encode_sample_batch(batch: &SampleBatch) -> Vec<u8> {
+    let mut buf =
+        Vec::with_capacity(8 + batch.requests.len() * wire::SAMPLE_REQUEST_BYTES as usize);
+    wire::put_u32(&mut buf, batch.deadline_ms);
+    wire::put_u32(&mut buf, batch.requests.len() as u32);
+    for (req, seed) in &batch.requests {
+        wire::put_sample_request(&mut buf, req, *seed);
+    }
+    buf
+}
+
+/// Decode a [`SampleBatch`] payload.
+pub fn decode_sample_batch(payload: &[u8]) -> Result<SampleBatch, WireError> {
+    let mut r = Reader::new(payload);
+    let deadline_ms = r.u32()?;
+    let n = r.count(wire::SAMPLE_REQUEST_BYTES as usize)?;
+    let mut requests = Vec::with_capacity(n);
+    for _ in 0..n {
+        requests.push(wire::get_sample_request(&mut r)?);
+    }
+    Ok(SampleBatch {
+        deadline_ms,
+        requests,
+    })
+}
+
+/// Encode a [`FrameKind::SampleReply`] payload.
+pub fn encode_sample_reply(responses: &[SampleResponse]) -> Vec<u8> {
+    let mut buf = Vec::new();
+    wire::put_u32(&mut buf, responses.len() as u32);
+    for resp in responses {
+        wire::put_sample_response(&mut buf, resp);
+    }
+    buf
+}
+
+/// Decode a [`FrameKind::SampleReply`] payload.
+pub fn decode_sample_reply(payload: &[u8]) -> Result<Vec<SampleResponse>, WireError> {
+    let mut r = Reader::new(payload);
+    let n = r.count(wire::sample_response_bytes(0) as usize)?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(wire::get_sample_response(&mut r)?);
+    }
+    Ok(out)
+}
+
+/// A [`FrameKind::UpdateBatch`] payload.
+#[derive(Clone, Debug, PartialEq)]
+pub struct UpdateBatch {
+    /// Server-side deadline in milliseconds; `0` means none.
+    pub deadline_ms: u32,
+    /// Correlation id carried into the server's slow-op log.
+    pub trace_id: Option<u64>,
+    /// The ops, in submission order.
+    pub ops: Vec<UpdateOp>,
+}
+
+/// Encode an [`UpdateBatch`] payload.
+pub fn encode_update_batch(batch: &UpdateBatch) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(17 + batch.ops.len() * wire::UPDATE_OP_BYTES as usize);
+    wire::put_u32(&mut buf, batch.deadline_ms);
+    wire::put_trace_id(&mut buf, batch.trace_id);
+    wire::put_u32(&mut buf, batch.ops.len() as u32);
+    for op in &batch.ops {
+        wire::put_update_op(&mut buf, op);
+    }
+    buf
+}
+
+/// Decode an [`UpdateBatch`] payload.
+pub fn decode_update_batch(payload: &[u8]) -> Result<UpdateBatch, WireError> {
+    let mut r = Reader::new(payload);
+    let deadline_ms = r.u32()?;
+    let trace_id = wire::get_trace_id(&mut r)?;
+    let n = r.count(wire::UPDATE_OP_BYTES as usize)?;
+    let mut ops = Vec::with_capacity(n);
+    for _ in 0..n {
+        ops.push(wire::get_update_op(&mut r)?);
+    }
+    Ok(UpdateBatch {
+        deadline_ms,
+        trace_id,
+        ops,
+    })
+}
+
+/// A [`FrameKind::UpdateReply`] payload: the server-side
+/// [`BatchReport`](platod2gl_server::BatchReport) counts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct UpdateReply {
+    /// Ops applied to healthy shards.
+    pub applied_ops: u64,
+    /// Ops queued against failed shards (drained on heal).
+    pub queued_ops: u64,
+}
+
+/// Encode an [`UpdateReply`] payload.
+pub fn encode_update_reply(reply: &UpdateReply) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(16);
+    wire::put_u64(&mut buf, reply.applied_ops);
+    wire::put_u64(&mut buf, reply.queued_ops);
+    buf
+}
+
+/// Decode an [`UpdateReply`] payload.
+pub fn decode_update_reply(payload: &[u8]) -> Result<UpdateReply, WireError> {
+    let mut r = Reader::new(payload);
+    Ok(UpdateReply {
+        applied_ops: r.u64()?,
+        queued_ops: r.u64()?,
+    })
+}
+
+/// A [`FrameKind::HealthReply`] payload.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HealthReply {
+    /// The service's monotone graph version.
+    pub graph_version: u64,
+    /// Per-shard healths, shard order (its length is the shard count).
+    pub healths: Vec<ShardHealth>,
+}
+
+/// Encode a [`HealthReply`] payload.
+pub fn encode_health_reply(reply: &HealthReply) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(12 + reply.healths.len());
+    wire::put_u64(&mut buf, reply.graph_version);
+    wire::put_u32(&mut buf, reply.healths.len() as u32);
+    for &h in &reply.healths {
+        buf.push(wire::health_tag(h));
+    }
+    buf
+}
+
+/// Decode a [`HealthReply`] payload.
+pub fn decode_health_reply(payload: &[u8]) -> Result<HealthReply, WireError> {
+    let mut r = Reader::new(payload);
+    let graph_version = r.u64()?;
+    let n = r.count(1)?;
+    let mut healths = Vec::with_capacity(n);
+    for _ in 0..n {
+        healths.push(wire::health_from(r.u8()?)?);
+    }
+    Ok(HealthReply {
+        graph_version,
+        healths,
+    })
+}
+
+/// Encode a [`FrameKind::HealRequest`] payload.
+pub fn encode_heal_request(shard: u32) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(4);
+    wire::put_u32(&mut buf, shard);
+    buf
+}
+
+/// Decode a [`FrameKind::HealRequest`] payload.
+pub fn decode_heal_request(payload: &[u8]) -> Result<u32, WireError> {
+    Reader::new(payload).u32()
+}
+
+/// Encode a [`FrameKind::HealReply`] payload.
+pub fn encode_heal_reply(drained: u64) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(8);
+    wire::put_u64(&mut buf, drained);
+    buf
+}
+
+/// Decode a [`FrameKind::HealReply`] payload.
+pub fn decode_heal_reply(payload: &[u8]) -> Result<u64, WireError> {
+    Reader::new(payload).u64()
+}
+
+/// Error codes carried by [`FrameKind::ErrorReply`].
+pub mod error_code {
+    /// A shard worker panicked while applying the batch.
+    pub const SHARD_PANICKED: u8 = 1;
+    /// The request payload decoded but was semantically invalid.
+    pub const BAD_REQUEST: u8 = 2;
+}
+
+/// A [`FrameKind::ErrorReply`] payload.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ErrorReply {
+    /// One of [`error_code`]'s constants.
+    pub code: u8,
+    /// The shard the error names (0 when not shard-specific).
+    pub shard: u32,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+/// Encode an [`ErrorReply`] payload.
+pub fn encode_error_reply(reply: &ErrorReply) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(9 + reply.message.len());
+    buf.push(reply.code);
+    wire::put_u32(&mut buf, reply.shard);
+    wire::put_u32(&mut buf, reply.message.len() as u32);
+    buf.extend_from_slice(reply.message.as_bytes());
+    buf
+}
+
+/// Decode an [`ErrorReply`] payload.
+pub fn decode_error_reply(payload: &[u8]) -> Result<ErrorReply, WireError> {
+    let mut r = Reader::new(payload);
+    let code = r.u8()?;
+    let shard = r.u32()?;
+    let n = r.count(1)?;
+    let mut bytes = Vec::with_capacity(n);
+    for _ in 0..n {
+        bytes.push(r.u8()?);
+    }
+    let message = String::from_utf8(bytes).map_err(|_| WireError::BadTag {
+        what: "error message utf8",
+        tag: 0,
+    })?;
+    Ok(ErrorReply {
+        code,
+        shard,
+        message,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use platod2gl_graph::{Edge, EdgeType, VertexId};
+    use platod2gl_server::SlotSource;
+
+    fn roundtrip(kind: FrameKind, payload: &[u8]) -> (FrameKind, Vec<u8>) {
+        let encoded = encode_frame(kind, payload);
+        read_frame(&mut encoded.as_slice()).expect("roundtrip")
+    }
+
+    #[test]
+    fn frames_roundtrip_every_kind() {
+        for kind in [
+            FrameKind::SampleBatch,
+            FrameKind::SampleReply,
+            FrameKind::UpdateBatch,
+            FrameKind::UpdateReply,
+            FrameKind::HealthProbe,
+            FrameKind::HealthReply,
+            FrameKind::HealRequest,
+            FrameKind::HealReply,
+            FrameKind::ErrorReply,
+        ] {
+            let (back_kind, back_payload) = roundtrip(kind, b"xyz");
+            assert_eq!(back_kind, kind);
+            assert_eq!(back_payload, b"xyz");
+        }
+    }
+
+    #[test]
+    fn frame_sizes_match_the_wire_size_model() {
+        let batch = SampleBatch {
+            deadline_ms: 250,
+            requests: vec![
+                (SampleRequest::new(VertexId(1), EdgeType(0), 4), 7),
+                (
+                    SampleRequest::new(VertexId(2), EdgeType(1), 8).with_trace_id(99),
+                    8,
+                ),
+            ],
+        };
+        let frame = encode_frame(FrameKind::SampleBatch, &encode_sample_batch(&batch));
+        assert_eq!(frame.len() as u64, wire::sample_request_frame_bytes(2));
+
+        let resps = vec![
+            SampleResponse {
+                neighbors: vec![VertexId(3), VertexId(4)],
+                sources: vec![SlotSource::Sampled; 2],
+                degraded: false,
+                shard: 0,
+            },
+            SampleResponse {
+                neighbors: Vec::new(),
+                sources: Vec::new(),
+                degraded: true,
+                shard: 1,
+            },
+        ];
+        let frame = encode_frame(FrameKind::SampleReply, &encode_sample_reply(&resps));
+        assert_eq!(
+            frame.len() as u64,
+            wire::sample_response_frame_bytes([2, 0])
+        );
+
+        let ops = UpdateBatch {
+            deadline_ms: 0,
+            trace_id: Some(5),
+            ops: vec![UpdateOp::Insert(Edge::new(VertexId(1), VertexId(2), 1.0)); 3],
+        };
+        let frame = encode_frame(FrameKind::UpdateBatch, &encode_update_batch(&ops));
+        assert_eq!(frame.len() as u64, wire::update_frame_bytes(3));
+
+        let reply = UpdateReply {
+            applied_ops: 3,
+            queued_ops: 0,
+        };
+        let frame = encode_frame(FrameKind::UpdateReply, &encode_update_reply(&reply));
+        assert_eq!(frame.len() as u64, wire::UPDATE_REPLY_FRAME_BYTES);
+    }
+
+    #[test]
+    fn corrupt_frames_are_rejected_without_panics() {
+        let good = encode_frame(FrameKind::HealthProbe, &[]);
+
+        // Truncation at every cut point: either an Io (short read) error
+        // or a graceful decode error, never a panic.
+        for cut in 0..good.len() {
+            assert!(read_frame(&mut &good[..cut]).is_err(), "cut at {cut}");
+        }
+
+        // Flip one payload byte: the CRC must catch it.
+        let batch = encode_frame(
+            FrameKind::SampleBatch,
+            &encode_sample_batch(&SampleBatch {
+                deadline_ms: 0,
+                requests: vec![(SampleRequest::new(VertexId(9), EdgeType(0), 2), 1)],
+            }),
+        );
+        for i in 4..batch.len() {
+            let mut bad = batch.clone();
+            bad[i] ^= 0x40;
+            match read_frame(&mut bad.as_slice()) {
+                Err(_) => {}
+                // A flip in the length prefix region is out of scope here
+                // (i starts at 4), so success means the CRC failed us.
+                Ok(_) => panic!("flipped byte {i} went undetected"),
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_before_allocation() {
+        let mut huge = Vec::new();
+        wire::put_u32(&mut huge, u32::MAX);
+        huge.extend_from_slice(&[0u8; 32]);
+        assert!(matches!(
+            read_frame(&mut huge.as_slice()),
+            Err(FrameError::BadLength { len: u32::MAX })
+        ));
+        // Undersized too: a length that cannot hold version+kind+crc.
+        let mut tiny = Vec::new();
+        wire::put_u32(&mut tiny, 3);
+        tiny.extend_from_slice(&[0u8; 8]);
+        assert!(matches!(
+            read_frame(&mut tiny.as_slice()),
+            Err(FrameError::BadLength { len: 3 })
+        ));
+    }
+
+    #[test]
+    fn wrong_version_and_unknown_kind_are_rejected() {
+        let mut frame = encode_frame(FrameKind::HealReply, &encode_heal_reply(1));
+        frame[4] = 9; // version byte
+        let crc = crc32c(&frame[4..frame.len() - 4]);
+        let at = frame.len() - 4;
+        frame[at..].copy_from_slice(&crc.to_le_bytes());
+        assert!(matches!(
+            read_frame(&mut frame.as_slice()),
+            Err(FrameError::BadVersion(9))
+        ));
+
+        let mut frame = encode_frame(FrameKind::HealReply, &encode_heal_reply(1));
+        frame[5] = 0x44; // kind byte
+        let crc = crc32c(&frame[4..frame.len() - 4]);
+        let at = frame.len() - 4;
+        frame[at..].copy_from_slice(&crc.to_le_bytes());
+        assert!(matches!(
+            read_frame(&mut frame.as_slice()),
+            Err(FrameError::BadKind(0x44))
+        ));
+    }
+
+    #[test]
+    fn health_and_error_payloads_roundtrip() {
+        let health = HealthReply {
+            graph_version: 42,
+            healths: vec![
+                ShardHealth::Healthy,
+                ShardHealth::Degraded,
+                ShardHealth::Failed,
+            ],
+        };
+        let back = decode_health_reply(&encode_health_reply(&health)).expect("health");
+        assert_eq!(back, health);
+
+        let err = ErrorReply {
+            code: error_code::SHARD_PANICKED,
+            shard: 3,
+            message: "worker for shard 3 panicked: boom".to_string(),
+        };
+        let back = decode_error_reply(&encode_error_reply(&err)).expect("error");
+        assert_eq!(back, err);
+
+        assert_eq!(decode_heal_request(&encode_heal_request(7)), Ok(7));
+        assert_eq!(decode_heal_reply(&encode_heal_reply(11)), Ok(11));
+    }
+}

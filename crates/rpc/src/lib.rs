@@ -1,0 +1,37 @@
+//! # Real network RPC plane
+//!
+//! PlatoD2GL's deployed architecture (Sec. VII) is trainers issuing
+//! sampling and update RPCs to graph servers that own hash-partitioned
+//! shards. This crate is that wire boundary, dependency-free (std
+//! `TcpListener`/`TcpStream`, same zero-dep discipline as
+//! `platod2gl-admin`), in three layers:
+//!
+//! * [`codec`] — length-prefixed, CRC32C-framed binary messages. Record
+//!   layouts and sizes come from [`platod2gl_server::wire`], the same
+//!   functions the in-process cluster's traffic accounting uses, so
+//!   simulated and real `net.*` byte counts agree by construction.
+//! * [`GraphServiceServer`] — hosts a shared
+//!   [`GraphService`](platod2gl_server::GraphService) (an `Arc<Cluster>` +
+//!   its registry) and serves concurrent connections with per-batch
+//!   deadlines. Requests feed the cluster's span tracer and slow-op log —
+//!   client trace ids show up in the server's `GET /debug/slow`.
+//! * [`RemoteCluster`] — the client. Implements `GraphService`, so
+//!   `KHopSampler` and `TrainingPipeline` run against a remote server
+//!   unmodified; pools connections, pipelines coalesced sample batches,
+//!   and maps transport failure onto per-request
+//!   [`DegradedPolicy`](platod2gl_server::DegradedPolicy) fallbacks
+//!   instead of erroring the batch.
+//!
+//! ## Determinism across the wire
+//!
+//! A trainer with a fixed RNG seed produces bit-identical mini-batches
+//! against a local `Cluster` and a `RemoteCluster`: the client draws
+//! exactly one `u64` per request and ships it; the server derives the
+//! sampling stream from that seed exactly as the in-process path does.
+
+mod client;
+pub mod codec;
+mod server;
+
+pub use client::{RemoteCluster, RemoteClusterConfig};
+pub use server::GraphServiceServer;

@@ -1,0 +1,410 @@
+//! The graph-service TCP server.
+//!
+//! [`GraphServiceServer`] hosts any shared [`GraphService`] (in practice an
+//! `Arc<Cluster>` with its registry) and serves the frame protocol of
+//! [`codec`](crate::codec) to concurrent connections: one accept thread,
+//! one thread per connection, frames on a connection answered in order —
+//! which is what makes client-side pipelining (write k frames, read k
+//! replies) sound.
+//!
+//! Observability flows through the *service's* registry: every sample
+//! request runs through [`GraphService::sample_one`], so the cluster's
+//! root spans and slow-op captures (with the client's trace ids, shipped
+//! in the request records) land in the same ring the admin server reads —
+//! `GET /debug/slow` works across the wire. The rpc layer adds its own
+//! `rpc.server.*` counters and records slow update batches under
+//! `rpc.update_batch`.
+//!
+//! ## Deadlines
+//!
+//! Sample and update batches carry a `deadline_ms` budget. The server
+//! checks it between requests: once a batch's budget has lapsed, remaining
+//! sample requests are answered degraded (per each request's policy)
+//! without touching shards, and `rpc.server.deadline_expired` counts them.
+//! The check is between requests, not preemptive — a single slow shard
+//! call can overshoot the deadline by its own duration, which is the same
+//! contract the paper's servers offer (cancellation is cooperative).
+
+use crate::codec::{
+    decode_heal_request, decode_sample_batch, decode_update_batch, encode_error_reply,
+    encode_heal_reply, encode_health_reply, encode_sample_reply, encode_update_reply, error_code,
+    read_frame, write_frame, ErrorReply, FrameError, FrameKind, HealthReply, UpdateReply,
+};
+use platod2gl_graph::Error;
+use platod2gl_obs::SlowOpRecord;
+use platod2gl_server::{route_for, DegradedPolicy, GraphService, SampleResponse, SlotSource};
+use rand::RngCore;
+use std::io::{self, Read};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Poll interval of the accept loop while idle.
+const ACCEPT_POLL: Duration = Duration::from_millis(5);
+/// Socket read timeout of connection threads: the granularity at which an
+/// idle connection notices the stop flag.
+const CONN_POLL: Duration = Duration::from_millis(25);
+
+/// Feeds the wire-shipped seed to [`GraphService::sample_one`], which by
+/// contract draws exactly one `u64` — the same derivation the in-process
+/// path performs, so remote draws are bit-identical to local ones.
+struct SeedRng(u64);
+
+impl RngCore for SeedRng {
+    fn next_u32(&mut self) -> u32 {
+        self.next_u64() as u32
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let s = self.0;
+        // A second draw would break the determinism contract; feeding a
+        // derived value keeps it *defined* rather than a repeat.
+        self.0 = s.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        s
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+/// A running graph-service TCP server: accept thread plus one thread per
+/// live connection, all joined on [`GraphServiceServer::shutdown`] (or
+/// drop), so shutdown is clean — no detached threads left running.
+pub struct GraphServiceServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl GraphServiceServer {
+    /// Bind `addr` (port 0 for an ephemeral port) and serve `service` on
+    /// background threads until shutdown.
+    pub fn bind<S>(addr: impl ToSocketAddrs, service: Arc<S>) -> io::Result<Self>
+    where
+        S: GraphService + Send + Sync + 'static,
+    {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_stop = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("platod2gl-rpc-accept".to_string())
+            .spawn(move || accept_loop(&listener, &service, &thread_stop))?;
+        Ok(Self {
+            addr: local,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (resolves port 0 to the actual ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting, drain connection threads, and join everything.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for GraphServiceServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn accept_loop<S>(listener: &TcpListener, service: &Arc<S>, stop: &Arc<AtomicBool>)
+where
+    S: GraphService + Send + Sync + 'static,
+{
+    let mut conns: Vec<JoinHandle<()>> = Vec::new();
+    let connections = service.registry().counter("rpc.server.connections");
+    while !stop.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                connections.inc();
+                let service = Arc::clone(service);
+                let stop = Arc::clone(stop);
+                let spawned = std::thread::Builder::new()
+                    .name("platod2gl-rpc-conn".to_string())
+                    .spawn(move || {
+                        // A broken connection must not take the server
+                        // down; the error ends this connection only.
+                        let _ = serve_connection(stream, &*service, &stop);
+                    });
+                if let Ok(handle) = spawned {
+                    conns.push(handle);
+                }
+                // Opportunistically reap finished connections so a
+                // long-lived server does not accumulate dead handles.
+                conns.retain(|h| !h.is_finished());
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(_) => std::thread::sleep(ACCEPT_POLL),
+        }
+    }
+    for handle in conns {
+        let _ = handle.join();
+    }
+}
+
+/// Read exactly `buf.len()` bytes. `Ok(false)` means the connection ended
+/// cleanly — EOF before the first byte, or the stop flag was raised (an
+/// abandoned partial frame at shutdown is fine: the stream is dropped).
+fn read_full(stream: &mut TcpStream, buf: &mut [u8], stop: &AtomicBool) -> io::Result<bool> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => {
+                if filled == 0 {
+                    return Ok(false);
+                }
+                return Err(io::ErrorKind::UnexpectedEof.into());
+            }
+            Ok(n) => filled += n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                if stop.load(Ordering::Acquire) {
+                    return Ok(false);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(true)
+}
+
+fn serve_connection<S: GraphService>(
+    mut stream: TcpStream,
+    service: &S,
+    stop: &AtomicBool,
+) -> Result<(), FrameError> {
+    stream.set_read_timeout(Some(CONN_POLL))?;
+    stream.set_nodelay(true)?;
+    let registry = Arc::clone(service.registry());
+    let frames = registry.counter("rpc.server.frames");
+    let sample_requests = registry.counter("rpc.server.sample_requests");
+    let update_ops = registry.counter("rpc.server.update_ops");
+    let errors = registry.counter("rpc.server.errors");
+    let deadline_expired = registry.counter("rpc.server.deadline_expired");
+    let request_lat = registry.histogram("rpc.server.request_ns");
+
+    loop {
+        // Pull the length prefix with the stop-aware reader, then hand the
+        // already-framed bytes to the codec.
+        let mut len_buf = [0u8; 4];
+        if !read_full(&mut stream, &mut len_buf, stop)? {
+            return Ok(());
+        }
+        let len = u32::from_le_bytes(len_buf);
+        if (len as usize) < 6 || len as usize > crate::codec::MAX_FRAME_BYTES {
+            return Err(FrameError::BadLength { len });
+        }
+        let mut body = vec![0u8; len as usize];
+        if !read_full(&mut stream, &mut body, stop)? {
+            return Ok(());
+        }
+        let mut framed = Vec::with_capacity(4 + body.len());
+        framed.extend_from_slice(&len_buf);
+        framed.extend_from_slice(&body);
+        let (kind, payload) = match read_frame(&mut framed.as_slice()) {
+            Ok(frame) => frame,
+            Err(e) => {
+                // The stream cannot be trusted past a framing error: tell
+                // the peer and close.
+                errors.inc();
+                let reply = ErrorReply {
+                    code: error_code::BAD_REQUEST,
+                    shard: 0,
+                    message: e.to_string(),
+                };
+                let _ = write_frame(
+                    &mut stream,
+                    FrameKind::ErrorReply,
+                    &encode_error_reply(&reply),
+                );
+                return Err(e);
+            }
+        };
+        frames.inc();
+        let started = Instant::now();
+        let _span = registry.span("rpc.server.request");
+        match kind {
+            FrameKind::SampleBatch => {
+                let batch = decode_sample_batch(&payload)?;
+                sample_requests.add(batch.requests.len() as u64);
+                let deadline = Duration::from_millis(u64::from(batch.deadline_ms));
+                let mut responses = Vec::with_capacity(batch.requests.len());
+                for (req, seed) in &batch.requests {
+                    if batch.deadline_ms > 0 && started.elapsed() >= deadline {
+                        deadline_expired.inc();
+                        responses.push(degraded_response(
+                            req.vertex,
+                            req.fanout,
+                            req.on_degraded,
+                            route_for(req.vertex, service.num_shards()),
+                        ));
+                        continue;
+                    }
+                    responses.push(service.sample_one(req, &mut SeedRng(*seed)));
+                }
+                write_frame(
+                    &mut stream,
+                    FrameKind::SampleReply,
+                    &encode_sample_reply(&responses),
+                )?;
+            }
+            FrameKind::UpdateBatch => {
+                let batch = decode_update_batch(&payload)?;
+                update_ops.add(batch.ops.len() as u64);
+                match service.apply_updates(&batch.ops) {
+                    Ok(report) => {
+                        let reply = UpdateReply {
+                            applied_ops: report.applied_ops as u64,
+                            queued_ops: report.queued_ops as u64,
+                        };
+                        write_frame(
+                            &mut stream,
+                            FrameKind::UpdateReply,
+                            &encode_update_reply(&reply),
+                        )?;
+                    }
+                    Err(e) => {
+                        errors.inc();
+                        let shard = match &e {
+                            Error::ShardPanicked { shard, .. }
+                            | Error::ShardUnavailable { shard } => *shard as u32,
+                            _ => 0,
+                        };
+                        let reply = ErrorReply {
+                            code: error_code::SHARD_PANICKED,
+                            shard,
+                            message: e.to_string(),
+                        };
+                        write_frame(
+                            &mut stream,
+                            FrameKind::ErrorReply,
+                            &encode_error_reply(&reply),
+                        )?;
+                    }
+                }
+                let elapsed = started.elapsed();
+                let slow = registry.slow_log();
+                if slow.is_slow(elapsed) {
+                    slow.record(SlowOpRecord {
+                        op: "rpc.update_batch",
+                        trace_id: batch.trace_id,
+                        detail: format!("ops={}", batch.ops.len()),
+                        duration_ns: elapsed.as_nanos().min(u128::from(u64::MAX)) as u64,
+                        spans: Vec::new(),
+                    });
+                }
+            }
+            FrameKind::HealthProbe => {
+                let reply = HealthReply {
+                    graph_version: service.graph_version(),
+                    healths: service.shard_healths(),
+                };
+                write_frame(
+                    &mut stream,
+                    FrameKind::HealthReply,
+                    &encode_health_reply(&reply),
+                )?;
+            }
+            FrameKind::HealRequest => {
+                let shard = decode_heal_request(&payload)? as usize;
+                let drained = if shard < service.num_shards() {
+                    service.heal(shard) as u64
+                } else {
+                    0
+                };
+                write_frame(
+                    &mut stream,
+                    FrameKind::HealReply,
+                    &encode_heal_reply(drained),
+                )?;
+            }
+            // Reply kinds arriving at the server are a protocol violation.
+            kind => {
+                errors.inc();
+                let reply = ErrorReply {
+                    code: error_code::BAD_REQUEST,
+                    shard: 0,
+                    message: format!("unexpected client frame {kind:?}"),
+                };
+                write_frame(
+                    &mut stream,
+                    FrameKind::ErrorReply,
+                    &encode_error_reply(&reply),
+                )?;
+            }
+        }
+        request_lat.record(started.elapsed());
+    }
+}
+
+/// Client-policy degraded response, used when the server refuses a request
+/// (deadline lapsed) without consulting the shard.
+fn degraded_response(
+    vertex: platod2gl_graph::VertexId,
+    fanout: usize,
+    policy: DegradedPolicy,
+    shard: usize,
+) -> SampleResponse {
+    let (neighbors, sources) = match policy {
+        DegradedPolicy::EmptySet => (Vec::new(), Vec::new()),
+        DegradedPolicy::SelfLoop => (vec![vertex; fanout], vec![SlotSource::SelfLoop; fanout]),
+    };
+    SampleResponse {
+        neighbors,
+        sources,
+        degraded: true,
+        shard,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seed_rng_first_draw_is_the_seed() {
+        let mut rng = SeedRng(42);
+        assert_eq!(rng.next_u64(), 42);
+        // Further draws are defined and distinct, but the contract says
+        // they must never be requested on the sampling path.
+        assert_ne!(rng.next_u64(), 42);
+    }
+
+    #[test]
+    fn degraded_response_honors_policy() {
+        use platod2gl_graph::VertexId;
+        let empty = degraded_response(VertexId(5), 3, DegradedPolicy::EmptySet, 1);
+        assert!(empty.degraded && empty.neighbors.is_empty());
+        let looped = degraded_response(VertexId(5), 3, DegradedPolicy::SelfLoop, 1);
+        assert_eq!(looped.neighbors, vec![VertexId(5); 3]);
+        assert_eq!(looped.sources, vec![SlotSource::SelfLoop; 3]);
+    }
+}

@@ -1,0 +1,258 @@
+//! Property tests for the frame codec: every frame type round-trips
+//! through encode → frame → read → decode for arbitrary payload contents,
+//! frame sizes agree with the `server::wire` size model the in-process
+//! traffic accounting uses, and malformed bytes (truncation, corruption,
+//! forged length prefixes) are rejected without panics or unbounded
+//! allocation.
+
+use platod2gl_graph::{Edge, EdgeType, ShardHealth, UpdateOp, VertexId};
+use platod2gl_rpc::codec::{
+    decode_error_reply, decode_heal_reply, decode_heal_request, decode_health_reply,
+    decode_sample_batch, decode_sample_reply, decode_update_batch, decode_update_reply,
+    encode_error_reply, encode_frame, encode_heal_reply, encode_heal_request, encode_health_reply,
+    encode_sample_batch, encode_sample_reply, encode_update_batch, encode_update_reply, read_frame,
+    ErrorReply, FrameKind, HealthReply, SampleBatch, UpdateBatch, UpdateReply, MAX_FRAME_BYTES,
+};
+use platod2gl_server::wire;
+use platod2gl_server::{DegradedPolicy, SampleRequest, SampleResponse, SlotSource};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// One seeded sample request with arbitrary vertex, relation, fanout,
+/// degraded policy, and optional trace id.
+fn arb_request() -> impl Strategy<Value = (SampleRequest, u64)> {
+    (
+        (any::<u64>(), 0u16..16, 0usize..64),
+        (any::<bool>(), any::<bool>(), any::<u64>(), any::<u64>()),
+    )
+        .prop_map(|((v, et, fanout), (self_loop, traced, trace, seed))| {
+            let mut req = SampleRequest::new(VertexId(v), EdgeType(et), fanout);
+            if self_loop {
+                req = req.on_degraded(DegradedPolicy::SelfLoop);
+            }
+            if traced {
+                req = req.with_trace_id(trace);
+            }
+            (req, seed)
+        })
+}
+
+/// A sample response with arbitrary neighbors, per-slot provenance,
+/// degraded flag, and shard.
+fn arb_response() -> impl Strategy<Value = SampleResponse> {
+    (
+        vec((any::<u64>(), any::<bool>()), 0..24),
+        any::<bool>(),
+        0usize..1024,
+    )
+        .prop_map(|(slots, degraded, shard)| {
+            let neighbors = slots.iter().map(|&(v, _)| VertexId(v)).collect();
+            let sources = slots
+                .iter()
+                .map(|&(_, sampled)| {
+                    if sampled {
+                        SlotSource::Sampled
+                    } else {
+                        SlotSource::SelfLoop
+                    }
+                })
+                .collect();
+            SampleResponse {
+                neighbors,
+                sources,
+                degraded,
+                shard,
+            }
+        })
+}
+
+/// Any of the three update-op kinds. Weights round-trip exactly: the wire
+/// ships the f64 bit pattern.
+fn arb_op() -> impl Strategy<Value = UpdateOp> {
+    ((0u8..3, any::<u64>()), (any::<u64>(), 0u16..8, 0.0f64..1e6)).prop_map(
+        |((kind, src), (dst, et, weight))| {
+            let edge = Edge {
+                src: VertexId(src),
+                dst: VertexId(dst),
+                etype: EdgeType(et),
+                weight,
+            };
+            match kind {
+                0 => UpdateOp::Insert(edge),
+                1 => UpdateOp::Delete {
+                    src: VertexId(src),
+                    dst: VertexId(dst),
+                    etype: EdgeType(et),
+                },
+                _ => UpdateOp::UpdateWeight(edge),
+            }
+        },
+    )
+}
+
+fn arb_health() -> impl Strategy<Value = ShardHealth> {
+    (0u8..3).prop_map(|tag| match tag {
+        0 => ShardHealth::Healthy,
+        1 => ShardHealth::Degraded,
+        _ => ShardHealth::Failed,
+    })
+}
+
+/// Frame-level round trip: encode the payload, frame it, read the frame
+/// back, and return the decoded payload bytes (asserting the kind).
+fn frame_roundtrip(kind: FrameKind, payload: &[u8]) -> Vec<u8> {
+    let framed = encode_frame(kind, payload);
+    let (got_kind, got_payload) = read_frame(&mut framed.as_slice()).expect("valid frame");
+    assert_eq!(got_kind, kind);
+    got_payload
+}
+
+proptest! {
+    #[test]
+    fn sample_batches_roundtrip(
+        deadline_ms in any::<u32>(),
+        requests in vec(arb_request(), 0..40),
+    ) {
+        let batch = SampleBatch { deadline_ms, requests };
+        let framed = encode_frame(FrameKind::SampleBatch, &encode_sample_batch(&batch));
+        prop_assert_eq!(
+            framed.len() as u64,
+            wire::sample_request_frame_bytes(batch.requests.len())
+        );
+        let payload = frame_roundtrip(FrameKind::SampleBatch, &encode_sample_batch(&batch));
+        let back = decode_sample_batch(&payload).expect("decode");
+        prop_assert_eq!(back, batch);
+    }
+
+    #[test]
+    fn sample_replies_roundtrip(responses in vec(arb_response(), 0..32)) {
+        let framed = encode_frame(FrameKind::SampleReply, &encode_sample_reply(&responses));
+        prop_assert_eq!(
+            framed.len() as u64,
+            wire::sample_response_frame_bytes(responses.iter().map(|r| r.neighbors.len()))
+        );
+        let payload = frame_roundtrip(FrameKind::SampleReply, &encode_sample_reply(&responses));
+        let back = decode_sample_reply(&payload).expect("decode");
+        prop_assert_eq!(back, responses);
+    }
+
+    #[test]
+    fn update_batches_roundtrip(
+        deadline_ms in any::<u32>(),
+        traced in any::<bool>(),
+        trace in any::<u64>(),
+        ops in vec(arb_op(), 0..48),
+    ) {
+        let batch = UpdateBatch {
+            deadline_ms,
+            trace_id: traced.then_some(trace),
+            ops,
+        };
+        let framed = encode_frame(FrameKind::UpdateBatch, &encode_update_batch(&batch));
+        prop_assert_eq!(framed.len() as u64, wire::update_frame_bytes(batch.ops.len()));
+        let payload = frame_roundtrip(FrameKind::UpdateBatch, &encode_update_batch(&batch));
+        let back = decode_update_batch(&payload).expect("decode");
+        prop_assert_eq!(back, batch);
+    }
+
+    #[test]
+    fn update_replies_roundtrip(applied in any::<u64>(), queued in any::<u64>()) {
+        let reply = UpdateReply { applied_ops: applied, queued_ops: queued };
+        let framed = encode_frame(FrameKind::UpdateReply, &encode_update_reply(&reply));
+        prop_assert_eq!(framed.len() as u64, wire::UPDATE_REPLY_FRAME_BYTES);
+        let payload = frame_roundtrip(FrameKind::UpdateReply, &encode_update_reply(&reply));
+        prop_assert_eq!(decode_update_reply(&payload).expect("decode"), reply);
+    }
+
+    #[test]
+    fn health_replies_roundtrip(
+        graph_version in any::<u64>(),
+        healths in vec(arb_health(), 0..64),
+    ) {
+        let reply = HealthReply { graph_version, healths };
+        let payload = frame_roundtrip(FrameKind::HealthReply, &encode_health_reply(&reply));
+        prop_assert_eq!(decode_health_reply(&payload).expect("decode"), reply);
+    }
+
+    #[test]
+    fn heal_frames_roundtrip(shard in any::<u32>(), drained in any::<u64>()) {
+        let payload = frame_roundtrip(FrameKind::HealRequest, &encode_heal_request(shard));
+        prop_assert_eq!(decode_heal_request(&payload), Ok(shard));
+        let payload = frame_roundtrip(FrameKind::HealReply, &encode_heal_reply(drained));
+        prop_assert_eq!(decode_heal_reply(&payload), Ok(drained));
+    }
+
+    #[test]
+    fn error_replies_roundtrip(
+        code in any::<u8>(),
+        shard in any::<u32>(),
+        message_bytes in vec(32u8..127, 0..80),
+    ) {
+        let reply = ErrorReply {
+            code,
+            shard,
+            message: String::from_utf8(message_bytes).expect("ascii"),
+        };
+        let payload = frame_roundtrip(FrameKind::ErrorReply, &encode_error_reply(&reply));
+        prop_assert_eq!(decode_error_reply(&payload).expect("decode"), reply);
+    }
+
+    /// Arbitrary bytes fed to the frame reader never panic: they are
+    /// either a (vanishingly unlikely) valid frame or a structured error.
+    #[test]
+    fn arbitrary_bytes_never_panic_the_reader(bytes in vec(any::<u8>(), 0..256)) {
+        let _ = read_frame(&mut bytes.as_slice());
+    }
+
+    /// Truncating a valid frame anywhere makes it invalid, never a panic.
+    #[test]
+    fn truncated_frames_are_rejected(
+        requests in vec(arb_request(), 1..8),
+        cut_seed in any::<u64>(),
+    ) {
+        let batch = SampleBatch { deadline_ms: 0, requests };
+        let framed = encode_frame(FrameKind::SampleBatch, &encode_sample_batch(&batch));
+        let cut = (cut_seed as usize) % framed.len();
+        prop_assert!(read_frame(&mut &framed[..cut]).is_err());
+    }
+
+    /// Flipping any bit past the length prefix is caught (CRC, version, or
+    /// kind check) — no corrupt frame decodes successfully.
+    #[test]
+    fn corrupted_frames_are_rejected(
+        ops in vec(arb_op(), 0..16),
+        at_seed in any::<u64>(),
+        bit in 0u8..8,
+    ) {
+        let batch = UpdateBatch { deadline_ms: 5, trace_id: Some(7), ops };
+        let mut framed = encode_frame(FrameKind::UpdateBatch, &encode_update_batch(&batch));
+        let at = 4 + (at_seed as usize) % (framed.len() - 4);
+        framed[at] ^= 1 << bit;
+        prop_assert!(read_frame(&mut framed.as_slice()).is_err());
+    }
+
+    /// A forged length prefix beyond the cap is rejected before the body
+    /// buffer is allocated, whatever follows it.
+    #[test]
+    fn forged_length_prefixes_never_allocate(
+        len in (MAX_FRAME_BYTES as u32 + 1)..u32::MAX,
+        tail in vec(any::<u8>(), 0..32),
+    ) {
+        let mut bytes = len.to_le_bytes().to_vec();
+        bytes.extend_from_slice(&tail);
+        prop_assert!(read_frame(&mut bytes.as_slice()).is_err());
+    }
+
+    /// Counts inside a CRC-valid payload are validated against the bytes
+    /// actually present: a forged count cannot drive an oversized
+    /// allocation or a panic.
+    #[test]
+    fn forged_payload_counts_are_rejected(count in 100u32..u32::MAX) {
+        // A sample reply claiming `count` responses but carrying none.
+        let mut payload = Vec::new();
+        wire::put_u32(&mut payload, count);
+        let framed = encode_frame(FrameKind::SampleReply, &payload);
+        let (_, body) = read_frame(&mut framed.as_slice()).expect("frame itself is valid");
+        prop_assert!(decode_sample_reply(&body).is_err());
+    }
+}

@@ -1,0 +1,318 @@
+//! End-to-end tests over real sockets: a `GraphServiceServer` hosting a
+//! live `Cluster` on an ephemeral port, driven by `RemoteCluster` (and,
+//! for protocol-edge cases, a raw `TcpStream`).
+//!
+//! The contracts under test are the ones the trainer relies on:
+//! bit-identical sampling local vs. remote under a shared seed, update
+//! batches and heals round-tripping, server-side faults surfacing as
+//! degraded responses (not client errors), deadlines degrading
+//! late-in-batch requests, and transport loss mapping to per-request
+//! degraded fallbacks.
+
+use platod2gl_graph::{Edge, EdgeType, Error, GraphStore, ShardHealth, UpdateOp, VertexId};
+use platod2gl_rpc::codec::{
+    decode_error_reply, decode_sample_reply, encode_sample_batch, error_code, read_frame,
+    write_frame, FrameError, FrameKind, SampleBatch,
+};
+use platod2gl_rpc::{GraphServiceServer, RemoteCluster, RemoteClusterConfig};
+use platod2gl_server::{
+    route_for, Cluster, ClusterConfig, DegradedPolicy, GraphService, SampleRequest, SlotSource,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+const ET: EdgeType = EdgeType::DEFAULT;
+
+/// A 3-shard cluster with a dense ring so every vertex has neighbors, and
+/// a zero slow-op threshold so every request is capturable.
+fn loaded_cluster() -> Arc<Cluster> {
+    let config = ClusterConfig::builder()
+        .num_shards(3)
+        .slow_op_threshold(Duration::ZERO)
+        .build()
+        .expect("valid config");
+    let cluster = Arc::new(Cluster::new(config));
+    for v in 0..90u64 {
+        for k in 1..=4u64 {
+            cluster.insert_edge(Edge::new(VertexId(v), VertexId((v + k * 13) % 90), 1.0));
+        }
+    }
+    cluster
+}
+
+fn serve(cluster: &Arc<Cluster>) -> (GraphServiceServer, RemoteCluster) {
+    let server = GraphServiceServer::bind("127.0.0.1:0", Arc::clone(cluster)).expect("bind");
+    let client = RemoteCluster::connect(
+        server.local_addr(),
+        RemoteClusterConfig::default()
+            .max_retries(1)
+            .retry_backoff(Duration::from_millis(2)),
+    )
+    .expect("connect");
+    (server, client)
+}
+
+/// Vertices owned by `shard` under the shared routing hash.
+fn vertices_on_shard(shard: usize, num_shards: usize) -> Vec<VertexId> {
+    (0..90u64)
+        .map(VertexId)
+        .filter(|&v| route_for(v, num_shards) == shard)
+        .collect()
+}
+
+#[test]
+fn remote_sampling_is_bit_identical_to_local() {
+    let cluster = loaded_cluster();
+    let (server, remote) = serve(&cluster);
+
+    let reqs: Vec<SampleRequest> = (0..40u64)
+        .map(|v| SampleRequest::new(VertexId(v), ET, 8))
+        .collect();
+    // Same seed on both sides: the remote path must consume exactly one
+    // u64 per request (shipped on the wire), like the local path.
+    let local = cluster.sample_many(&reqs, &mut StdRng::seed_from_u64(0xD2D2));
+    let over_wire = remote.sample_many(&reqs, &mut StdRng::seed_from_u64(0xD2D2));
+    assert_eq!(local, over_wire, "wire transport must not perturb draws");
+    assert!(over_wire.iter().all(|r| !r.degraded));
+
+    // And the batch is insensitive to client-side chunking: a max_batch
+    // smaller than the request count pipelines multiple frames.
+    let chunked = RemoteCluster::connect(
+        server.local_addr(),
+        RemoteClusterConfig::default().max_batch(7),
+    )
+    .expect("connect");
+    let pipelined = chunked.sample_many(&reqs, &mut StdRng::seed_from_u64(0xD2D2));
+    assert_eq!(local, pipelined, "chunking must not change results");
+
+    server.shutdown();
+}
+
+#[test]
+fn updates_and_heal_round_trip_over_the_wire() {
+    let cluster = loaded_cluster();
+    let (server, remote) = serve(&cluster);
+    assert_eq!(remote.num_shards(), 3);
+
+    let before = cluster.num_edges();
+    let ops: Vec<UpdateOp> = (0..20u64)
+        .map(|i| UpdateOp::Insert(Edge::new(VertexId(200 + i), VertexId(300 + i), 0.5)))
+        .collect();
+    let report = remote.apply_updates(&ops).expect("apply over wire");
+    assert_eq!(report.applied_ops, 20);
+    assert_eq!(report.queued_ops, 0);
+    assert_eq!(cluster.num_edges(), before + 20);
+
+    // Fail a shard: its ops queue server-side instead of applying, and
+    // the remote heal drains them.
+    let shard = 1;
+    cluster.faults().fail_shard(shard);
+    let queued_ops: Vec<UpdateOp> = vertices_on_shard(shard, 3)
+        .iter()
+        .take(5)
+        .map(|&v| UpdateOp::Insert(Edge::new(v, VertexId(777), 1.0)))
+        .collect();
+    let report = remote
+        .apply_updates(&queued_ops)
+        .expect("queued, not error");
+    assert_eq!(report.queued_ops, 5);
+    assert_eq!(remote.shard_healths()[shard], ShardHealth::Failed);
+
+    let drained = remote.heal(shard);
+    assert_eq!(drained, 5, "heal must drain the queued ops");
+    assert_eq!(remote.shard_healths()[shard], ShardHealth::Healthy);
+
+    // Healing an out-of-range shard is a no-op, not a server fault.
+    assert_eq!(remote.heal(99), 0);
+    server.shutdown();
+}
+
+#[test]
+fn worker_panic_maps_to_shard_panicked_error() {
+    let cluster = loaded_cluster();
+    let (server, remote) = serve(&cluster);
+
+    let shard = 2;
+    cluster.faults().panic_next_batch(shard);
+    let ops: Vec<UpdateOp> = vertices_on_shard(shard, 3)
+        .iter()
+        .take(3)
+        .map(|&v| UpdateOp::Insert(Edge::new(v, VertexId(888), 1.0)))
+        .collect();
+    match remote.apply_updates(&ops) {
+        Err(Error::ShardPanicked { shard: s, .. }) => assert_eq!(s, shard),
+        other => panic!("expected ShardPanicked, got {other:?}"),
+    }
+    server.shutdown();
+}
+
+#[test]
+fn server_side_shard_fault_degrades_sampling_without_client_errors() {
+    let cluster = loaded_cluster();
+    let (server, remote) = serve(&cluster);
+
+    let shard = 0;
+    cluster.faults().fail_shard(shard);
+    let reqs: Vec<SampleRequest> = vertices_on_shard(shard, 3)
+        .iter()
+        .take(6)
+        .map(|&v| {
+            SampleRequest::new(v, ET, 4)
+                .on_degraded(DegradedPolicy::SelfLoop)
+                .with_trace_id(0xFA01)
+        })
+        .collect();
+    let responses = remote.sample_many(&reqs, &mut StdRng::seed_from_u64(1));
+    for (req, resp) in reqs.iter().zip(&responses) {
+        assert!(resp.degraded, "failed shard must degrade, not error");
+        assert_eq!(resp.shard, shard);
+        // The degraded policy travelled the wire: router-side self-loop
+        // padding, full fanout, provenance marked.
+        assert_eq!(resp.neighbors, vec![req.vertex; 4]);
+        assert_eq!(resp.sources, vec![SlotSource::SelfLoop; 4]);
+    }
+
+    // The trace id crossed the wire into the server's slow-op log — the
+    // same ring `GET /debug/slow` serves.
+    let captures = cluster.obs().slow_log().recent();
+    assert!(
+        captures.iter().any(|c| c.trace_id == Some(0xFA01)),
+        "client trace id must reach the server's slow-op log"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn transport_loss_degrades_sampling_and_errors_updates() {
+    let cluster = loaded_cluster();
+    let (server, remote) = serve(&cluster);
+    server.shutdown(); // the server goes away *after* connect
+
+    let reqs = [
+        SampleRequest::new(VertexId(3), ET, 5).on_degraded(DegradedPolicy::SelfLoop),
+        SampleRequest::new(VertexId(4), ET, 5),
+    ];
+    let responses = remote.sample_many(&reqs, &mut StdRng::seed_from_u64(9));
+    assert_eq!(responses.len(), 2);
+    assert!(responses.iter().all(|r| r.degraded));
+    assert_eq!(responses[0].neighbors, vec![VertexId(3); 5]);
+    assert!(responses[1].neighbors.is_empty());
+    // The predicted owner is the shared routing hash, so provenance stays
+    // meaningful even without a server.
+    assert_eq!(responses[0].shard, route_for(VertexId(3), 3));
+
+    let snap = remote.registry().snapshot();
+    assert_eq!(snap.counter("rpc.client.degraded_fallbacks"), Some(2));
+    assert!(snap.counter("rpc.client.retries").unwrap_or(0) >= 1);
+
+    // Updates must NOT silently degrade — dropped writes are data loss.
+    let err = remote.apply_updates(&[UpdateOp::Insert(Edge::new(VertexId(1), VertexId(2), 1.0))]);
+    assert!(matches!(err, Err(Error::Io(_))));
+
+    // Version/health probes fall back to the last observed state.
+    assert_eq!(remote.graph_version(), cluster.graph_version());
+    assert_eq!(remote.shard_healths().len(), 3);
+}
+
+#[test]
+fn deadline_lapse_degrades_remaining_requests_server_side() {
+    let cluster = loaded_cluster();
+    let server = GraphServiceServer::bind("127.0.0.1:0", Arc::clone(&cluster)).expect("bind");
+
+    // Make every shard slow, then ship a batch whose deadline only the
+    // first request can beat: the server must answer the rest degraded
+    // without touching the (slow) shards.
+    for shard in 0..3 {
+        cluster
+            .faults()
+            .slow_shard(shard, Duration::from_millis(25));
+    }
+    let requests: Vec<(SampleRequest, u64)> = (0..4u64)
+        .map(|v| {
+            (
+                SampleRequest::new(VertexId(v), ET, 3).on_degraded(DegradedPolicy::SelfLoop),
+                v + 1,
+            )
+        })
+        .collect();
+    let batch = SampleBatch {
+        deadline_ms: 1,
+        requests,
+    };
+    let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+    write_frame(
+        &mut stream,
+        FrameKind::SampleBatch,
+        &encode_sample_batch(&batch),
+    )
+    .expect("send");
+    stream.flush().expect("flush");
+    let (kind, payload) = read_frame(&mut stream).expect("reply");
+    assert_eq!(kind, FrameKind::SampleReply);
+    let responses = decode_sample_reply(&payload).expect("decode");
+    assert_eq!(responses.len(), 4);
+    assert!(
+        !responses[0].degraded,
+        "first request starts inside the deadline"
+    );
+    for resp in &responses[1..] {
+        assert!(resp.degraded, "post-deadline requests must degrade");
+        assert_eq!(resp.sources, vec![SlotSource::SelfLoop; 3]);
+    }
+    assert_eq!(
+        cluster
+            .obs()
+            .snapshot()
+            .counter("rpc.server.deadline_expired"),
+        Some(3)
+    );
+    server.shutdown();
+}
+
+#[test]
+fn malformed_frames_get_an_error_reply_then_close() {
+    let cluster = loaded_cluster();
+    let server = GraphServiceServer::bind("127.0.0.1:0", Arc::clone(&cluster)).expect("bind");
+
+    let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+    // A plausible length prefix followed by garbage: CRC cannot match.
+    let mut junk = 10u32.to_le_bytes().to_vec();
+    junk.extend_from_slice(&[0xAB; 10]);
+    stream.write_all(&junk).expect("send junk");
+    stream.flush().expect("flush");
+
+    let (kind, payload) = read_frame(&mut stream).expect("error reply");
+    assert_eq!(kind, FrameKind::ErrorReply);
+    let err = decode_error_reply(&payload).expect("decode");
+    assert_eq!(err.code, error_code::BAD_REQUEST);
+
+    // The server does not trust the stream past a framing error: closed.
+    match read_frame(&mut stream) {
+        Err(FrameError::Io(_)) => {}
+        other => panic!("expected the connection to close, got {other:?}"),
+    }
+
+    // The server itself is unharmed: a fresh connection still works.
+    let remote = RemoteCluster::connect(server.local_addr(), RemoteClusterConfig::default())
+        .expect("connect after bad peer");
+    assert_eq!(remote.num_shards(), 3);
+    server.shutdown();
+}
+
+#[test]
+fn health_probe_tracks_graph_version_across_updates() {
+    let cluster = loaded_cluster();
+    let (server, remote) = serve(&cluster);
+
+    let v0 = remote.graph_version();
+    assert_eq!(v0, cluster.graph_version());
+    remote
+        .apply_updates(&[UpdateOp::Insert(Edge::new(VertexId(5), VertexId(6), 2.0))])
+        .expect("apply");
+    assert!(remote.graph_version() > v0, "version advances after writes");
+    server.shutdown();
+}

@@ -35,6 +35,8 @@
 
 mod faults;
 mod request;
+mod service;
+pub mod wire;
 
 pub use faults::{FaultInjector, FaultKind};
 /// Legacy alias: the server's latency histogram is now the shared
@@ -42,6 +44,7 @@ pub use faults::{FaultInjector, FaultKind};
 pub use platod2gl_obs::Histogram as LatencyHistogram;
 pub use platod2gl_obs::HistogramSnapshot;
 pub use request::{DegradedPolicy, SampleRequest, SampleResponse, SlotSource};
+pub use service::GraphService;
 
 use faults::Verdict;
 use platod2gl_graph::{Edge, EdgeType, Error, GraphStore, Served, ShardHealth, UpdateOp, VertexId};
@@ -311,6 +314,7 @@ struct ClusterMetrics {
     queued_ops: Arc<Counter>,
     heals: Arc<Counter>,
     healed_ops: Arc<Counter>,
+    batch_apply_errors: Arc<Counter>,
     sample_latency: Arc<Histogram>,
     update_latency: Arc<Histogram>,
     graph_version: Arc<Gauge>,
@@ -330,6 +334,7 @@ impl ClusterMetrics {
             queued_ops: registry.counter("cluster.queued_ops"),
             heals: registry.counter("cluster.heals"),
             healed_ops: registry.counter("cluster.healed_ops"),
+            batch_apply_errors: registry.counter("cluster.batch_apply_errors"),
             sample_latency: registry.histogram("cluster.sample_latency_ns"),
             update_latency: registry.histogram("cluster.update_latency_ns"),
             graph_version: registry.gauge("cluster.graph_version"),
@@ -366,9 +371,17 @@ fn mix(mut x: u64) -> u64 {
     x ^ (x >> 31)
 }
 
-/// On-wire size model: one edge op is (src, dst, weight, etype) = 26 bytes.
-const OP_BYTES: u64 = 26;
-/// A sampled-neighbor response entry is a vertex ID.
+/// Hash-by-source routing, as a free function so remote clients
+/// (`platod2gl-rpc`) can predict shard ownership without a cluster handle.
+pub fn route_for(v: VertexId, num_shards: usize) -> usize {
+    (mix(v.raw()) % num_shards.max(1) as u64) as usize
+}
+
+/// Byte size of a vertex/scalar field on the *maintenance* read paths
+/// (degree, weight sums, attribute fetches, top-k). Those paths are not
+/// part of the RPC wire protocol, so their traffic is modeled, not
+/// codec-derived; the serving paths (sampling, update batches) account
+/// with the real frame sizes from [`wire`].
 const ID_BYTES: u64 = 8;
 
 /// Retry budget for transient shard faults.
@@ -417,7 +430,7 @@ impl Cluster {
 
     /// Hash-by-source routing: the shard owning vertex `v`'s out-edges.
     pub fn route(&self, v: VertexId) -> usize {
-        (mix(v.raw()) % self.servers.len() as u64) as usize
+        route_for(v, self.servers.len())
     }
 
     /// Access a shard directly (diagnostics; production clients only talk
@@ -671,11 +684,13 @@ impl Cluster {
         for op in ops {
             per_shard[self.route(op.src())].push(*op);
         }
-        self.tally(
-            per_shard.iter().filter(|p| !p.is_empty()).count() as u64,
-            ops.len() as u64 * OP_BYTES,
-            0,
-        );
+        // One update frame per shard that receives a partition, one reply
+        // frame back from each — exactly what the rpc transport ships.
+        let live_shards = per_shard.iter().filter(|p| !p.is_empty());
+        let (frames, req_bytes) = live_shards.fold((0u64, 0u64), |(n, b), p| {
+            (n + 1, b + wire::update_frame_bytes(p.len()))
+        });
+        self.tally(frames, req_bytes, frames * wire::UPDATE_REPLY_FRAME_BYTES);
 
         // Resolve each shard's fate up front (retrying transients), so the
         // parallel phase below only runs real work.
@@ -905,14 +920,14 @@ impl Cluster {
                 }
             }
         };
-        // Self-loop padding is produced router-side and never crosses the
-        // simulated network, so degraded responses tally zero bytes.
-        let wire_ids = if response.degraded {
-            0
-        } else {
-            response.neighbors.len() as u64
-        };
-        self.tally(1, ID_BYTES + 8, wire_ids * ID_BYTES);
+        // Degraded responses are real frames too (the graph server answers
+        // them on the wire), so they are tallied at their encoded size —
+        // this keeps in-process and remote `net.*` numbers comparable.
+        self.tally(
+            1,
+            wire::sample_request_frame_bytes(1),
+            wire::sample_response_frame_bytes([response.neighbors.len()]),
+        );
         // Complete the root before reading the ring so the capture below
         // sees it.
         drop(root);
@@ -1046,12 +1061,20 @@ impl GraphStore for Cluster {
     }
 
     fn insert_edge(&self, edge: Edge) {
-        self.tally(1, OP_BYTES, 0);
+        self.tally(
+            1,
+            wire::update_frame_bytes(1),
+            wire::UPDATE_REPLY_FRAME_BYTES,
+        );
         self.apply_routed(UpdateOp::Insert(edge));
     }
 
     fn delete_edge(&self, src: VertexId, dst: VertexId, etype: EdgeType) -> bool {
-        self.tally(1, OP_BYTES, 1);
+        self.tally(
+            1,
+            wire::update_frame_bytes(1),
+            wire::UPDATE_REPLY_FRAME_BYTES,
+        );
         let shard = self.route(src);
         match self.call_shard(shard, |s| s.topology.delete_edge(src, dst, etype)) {
             Ok(existed) => {
@@ -1072,7 +1095,11 @@ impl GraphStore for Cluster {
     }
 
     fn update_weight(&self, edge: Edge) -> bool {
-        self.tally(1, OP_BYTES, 1);
+        self.tally(
+            1,
+            wire::update_frame_bytes(1),
+            wire::UPDATE_REPLY_FRAME_BYTES,
+        );
         let shard = self.route(edge.src);
         match self.call_shard(shard, |s| s.topology.update_weight(edge)) {
             Ok(existed) => {
@@ -1094,8 +1121,12 @@ impl GraphStore for Cluster {
         // The infallible trait signature reports shard loss via
         // `shard_health` / `traffic()` instead of a panic: a worker panic
         // is already captured per shard and recorded by the time
-        // apply_batch_sharded returns.
-        let _ = self.apply_batch_sharded(ops);
+        // apply_batch_sharded returns. The swallow is deliberate — but it
+        // is *counted*, so a snapshot of `cluster.batch_apply_errors`
+        // reveals how many batches lost their error this way.
+        if self.apply_batch_sharded(ops).is_err() {
+            self.m.batch_apply_errors.inc();
+        }
     }
 
     fn degree(&self, v: VertexId, etype: EdgeType) -> usize {

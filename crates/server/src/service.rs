@@ -1,0 +1,179 @@
+//! The graph-service abstraction: one sampling/update surface served by
+//! both the in-process [`Cluster`] and a remote graph server.
+//!
+//! The paper's deployed architecture (Sec. VII) is trainers issuing
+//! sampling and update RPCs against graph servers that own hash-partitioned
+//! shards. [`GraphService`] is that boundary as a trait: the k-hop sampler
+//! and the training pipeline are generic over it, so the same trainer binary
+//! runs against a `Cluster` in its own address space or against a
+//! `RemoteCluster` (`platod2gl-rpc`) talking to a graph server over TCP —
+//! unmodified.
+//!
+//! ## Determinism contract
+//!
+//! [`GraphService::sample_many`] must consume **exactly one** `next_u64`
+//! from the caller's RNG per request — the per-request seed. The in-process
+//! implementation derives a fresh `StdRng` from that seed before sampling;
+//! the remote client ships the seed inside the request record and the graph
+//! server performs the same derivation. Consequently a trainer with a fixed
+//! seed produces bit-identical mini-batches whether the service is local or
+//! remote, which is what makes the two deployments testable against each
+//! other.
+
+use crate::request::{SampleRequest, SampleResponse};
+use crate::{BatchReport, Cluster};
+use platod2gl_graph::{Error, ShardHealth, UpdateOp};
+use platod2gl_obs::Registry;
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+use std::sync::Arc;
+
+/// The sampling/update surface of a graph service, local or remote.
+///
+/// `Sync` is required so prefetch workers can share one service reference
+/// across threads (the training pipeline's producer pool does exactly
+/// that).
+pub trait GraphService: Sync {
+    /// Weighted neighbor sampling for one request.
+    ///
+    /// Consumes exactly one `next_u64` from `rng` (see the module docs'
+    /// determinism contract).
+    fn sample_one(&self, req: &SampleRequest, rng: &mut dyn RngCore) -> SampleResponse;
+
+    /// Weighted neighbor sampling for a batch of requests.
+    ///
+    /// Responses are positionally parallel to `reqs`. Implementations may
+    /// coalesce the batch into fewer network round trips (the remote client
+    /// packs a whole frontier into pipelined frames); the default simply
+    /// loops, which consumes the RNG identically.
+    fn sample_many(&self, reqs: &[SampleRequest], rng: &mut dyn RngCore) -> Vec<SampleResponse> {
+        reqs.iter().map(|r| self.sample_one(r, rng)).collect()
+    }
+
+    /// Apply a batch of update ops, partitioned to owning shards.
+    ///
+    /// Ops queued against failed shards surface in
+    /// [`BatchReport::queued_ops`]; a shard worker panic surfaces as
+    /// [`Error::ShardPanicked`]. All three op kinds are idempotent
+    /// (insert-or-update, set-weight, delete), so remote implementations
+    /// may retry a batch whose reply was lost.
+    fn apply_updates(&self, ops: &[UpdateOp]) -> Result<BatchReport, Error>;
+
+    /// The service's monotone graph version (bumped on every mutation);
+    /// bounded-staleness caches key entries to this.
+    fn graph_version(&self) -> u64;
+
+    /// Number of shards behind the service.
+    fn num_shards(&self) -> usize;
+
+    /// Health of every shard, shard order.
+    fn shard_healths(&self) -> Vec<ShardHealth>;
+
+    /// Clear faults on a shard and drain its queued updates. Returns the
+    /// number of drained ops.
+    fn heal(&self, shard: usize) -> usize;
+
+    /// The observability registry telemetry for this service records into.
+    /// Layers stacked on the service (pipeline, caches) register their own
+    /// metrics here so one snapshot covers the whole stack.
+    fn registry(&self) -> &Arc<Registry>;
+}
+
+impl GraphService for Cluster {
+    fn sample_one(&self, req: &SampleRequest, rng: &mut dyn RngCore) -> SampleResponse {
+        // Same derivation the graph server applies to the wire seed.
+        let mut derived = StdRng::seed_from_u64(rng.next_u64());
+        self.sample(req, &mut derived)
+    }
+
+    fn apply_updates(&self, ops: &[UpdateOp]) -> Result<BatchReport, Error> {
+        self.apply_batch_sharded(ops)
+    }
+
+    fn graph_version(&self) -> u64 {
+        Cluster::graph_version(self)
+    }
+
+    fn num_shards(&self) -> usize {
+        Cluster::num_shards(self)
+    }
+
+    fn shard_healths(&self) -> Vec<ShardHealth> {
+        self.health()
+    }
+
+    fn heal(&self, shard: usize) -> usize {
+        self.heal_shard(shard)
+    }
+
+    fn registry(&self) -> &Arc<Registry> {
+        self.obs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ClusterConfig;
+    use platod2gl_graph::{Edge, EdgeType, GraphStore, VertexId};
+
+    fn service_cluster() -> Cluster {
+        let c = Cluster::new(
+            ClusterConfig::builder()
+                .num_shards(2)
+                .build()
+                .expect("valid config"),
+        );
+        for i in 1..=6u64 {
+            c.insert_edge(Edge::new(VertexId(0), VertexId(i), 1.0));
+        }
+        c
+    }
+
+    #[test]
+    fn sample_one_consumes_exactly_one_u64() {
+        let c = service_cluster();
+        let req = SampleRequest::new(VertexId(0), EdgeType(0), 4);
+        let mut a = StdRng::seed_from_u64(99);
+        let mut b = StdRng::seed_from_u64(99);
+        let resp = GraphService::sample_one(&c, &req, &mut a);
+        assert_eq!(resp.neighbors.len(), 4);
+        // Manually perform the contract's derivation on the twin stream:
+        // the two must agree draw for draw.
+        let mut derived = StdRng::seed_from_u64(b.next_u64());
+        let twin = c.sample(&req, &mut derived);
+        assert_eq!(twin.neighbors, resp.neighbors);
+        // And both streams must now be at the same position.
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn sample_many_matches_sequential_sample_one() {
+        let c = service_cluster();
+        let reqs: Vec<SampleRequest> = (0..4)
+            .map(|i| SampleRequest::new(VertexId(i % 2), EdgeType(0), 3))
+            .collect();
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let batch = GraphService::sample_many(&c, &reqs, &mut a);
+        let seq: Vec<SampleResponse> = reqs
+            .iter()
+            .map(|r| GraphService::sample_one(&c, r, &mut b))
+            .collect();
+        assert_eq!(batch, seq);
+    }
+
+    #[test]
+    fn trait_surface_mirrors_cluster_inherent_api() {
+        let c = service_cluster();
+        let svc: &dyn GraphService = &c;
+        assert_eq!(svc.num_shards(), 2);
+        assert_eq!(svc.graph_version(), Cluster::graph_version(&c));
+        assert_eq!(svc.shard_healths().len(), 2);
+        let report = svc
+            .apply_updates(&[UpdateOp::Insert(Edge::new(VertexId(9), VertexId(10), 1.0))])
+            .expect("no faults");
+        assert_eq!(report.applied_ops, 1);
+        assert_eq!(svc.heal(0), 0, "healthy shard drains nothing");
+    }
+}

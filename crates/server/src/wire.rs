@@ -1,0 +1,509 @@
+//! Record-level wire encoding for the graph-service RPC protocol.
+//!
+//! This module is the **single source of truth for on-wire record sizes**:
+//! the rpc crate's frame codec (`platod2gl-rpc`) encodes requests and
+//! responses with these functions, and [`Cluster`](crate::Cluster)'s
+//! simulated-traffic accounting (`cluster.request_bytes` /
+//! `cluster.response_bytes`) is computed from the same functions — so an
+//! in-process run and a remote run over real sockets report comparable
+//! `net.*` numbers instead of drifting hand-estimates.
+//!
+//! Records are little-endian and fixed-layout (no varints): a
+//! [`SampleRequest`] record is always [`SAMPLE_REQUEST_BYTES`] bytes, an
+//! [`UpdateOp`] record always [`UPDATE_OP_BYTES`]. The *frame* layer —
+//! length prefix, protocol version byte, message kind, CRC32C trailer —
+//! lives in `platod2gl-rpc::codec`; its fixed overhead is
+//! [`FRAME_OVERHEAD_BYTES`] and is included by the `*_frame_bytes` sizing
+//! helpers below.
+//!
+//! ## Record layouts
+//!
+//! ```text
+//! SampleRequest  (32 B): vertex u64 | etype u16 | fanout u32 | policy u8
+//!                        | trace_present u8 | trace_id u64 | rng_seed u64
+//! SampleResponse (9 + 9n B): flags u8 (bit0 = degraded) | shard u32 | n u32
+//!                        | n x (neighbor u64 | source u8)
+//! UpdateOp       (27 B): kind u8 | src u64 | dst u64 | etype u16 | weight f64
+//! ```
+//!
+//! The `rng_seed` field makes remote sampling deterministic: the client
+//! draws exactly one `u64` from its RNG per request and ships it; the
+//! server seeds a fresh `StdRng` from it. The in-process
+//! [`GraphService`](crate::GraphService) implementation performs the same
+//! derivation, so a trainer produces identical draws against either.
+
+use crate::request::{DegradedPolicy, SampleRequest, SampleResponse, SlotSource};
+use platod2gl_graph::{Edge, EdgeType, ShardHealth, UpdateOp, VertexId};
+use std::fmt;
+
+/// Fixed per-frame overhead of the rpc frame layer: 4-byte length prefix,
+/// 1 version byte, 1 kind byte, 4-byte CRC32C trailer.
+pub const FRAME_OVERHEAD_BYTES: u64 = 10;
+
+/// Encoded size of one [`SampleRequest`] record.
+pub const SAMPLE_REQUEST_BYTES: u64 = 32;
+
+/// Encoded size of one [`UpdateOp`] record.
+pub const UPDATE_OP_BYTES: u64 = 27;
+
+/// Fixed body prefix of a sample-batch request frame: deadline u32 +
+/// request count u32.
+pub const SAMPLE_BATCH_HEADER_BYTES: u64 = 8;
+
+/// Fixed body prefix of an update-batch request frame: deadline u32 +
+/// trace_present u8 + trace_id u64 + op count u32.
+pub const UPDATE_BATCH_HEADER_BYTES: u64 = 17;
+
+/// Encoded size of one [`SampleResponse`] record with `n` neighbor slots.
+pub fn sample_response_bytes(n: usize) -> u64 {
+    9 + 9 * n as u64
+}
+
+/// Full on-wire size of a sample request frame carrying `count` requests.
+pub fn sample_request_frame_bytes(count: usize) -> u64 {
+    FRAME_OVERHEAD_BYTES + SAMPLE_BATCH_HEADER_BYTES + count as u64 * SAMPLE_REQUEST_BYTES
+}
+
+/// Full on-wire size of a sample reply frame whose responses carry the
+/// given neighbor-slot counts.
+pub fn sample_response_frame_bytes(neighbor_counts: impl IntoIterator<Item = usize>) -> u64 {
+    FRAME_OVERHEAD_BYTES
+        + 4
+        + neighbor_counts
+            .into_iter()
+            .map(sample_response_bytes)
+            .sum::<u64>()
+}
+
+/// Full on-wire size of an update request frame carrying `ops` ops.
+pub fn update_frame_bytes(ops: usize) -> u64 {
+    FRAME_OVERHEAD_BYTES + UPDATE_BATCH_HEADER_BYTES + ops as u64 * UPDATE_OP_BYTES
+}
+
+/// Full on-wire size of an update reply frame (applied u64 + queued u64).
+pub const UPDATE_REPLY_FRAME_BYTES: u64 = FRAME_OVERHEAD_BYTES + 16;
+
+/// A record failed to decode. The frame layer has already verified the
+/// CRC when this is raised, so a `WireError` means a peer speaking a
+/// different (or corrupted-at-source) record layout, not line noise.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer ended before the record did.
+    Truncated,
+    /// An enum tag byte held an unknown value.
+    BadTag { what: &'static str, tag: u8 },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "record truncated"),
+            WireError::BadTag { what, tag } => write!(f, "bad {what} tag {tag:#04x}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Bounds-checked little-endian cursor over an encoded buffer.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// True when the whole buffer has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated);
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    pub fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub fn u16(&mut self) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    pub fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    pub fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    pub fn f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// A `count` read from the wire, validated against the bytes actually
+    /// present: `count * min_record_bytes` must fit in the remainder.
+    /// Guards every collection allocation, so a forged count in an
+    /// otherwise CRC-valid frame cannot drive an oversized `Vec` reserve.
+    pub fn count(&mut self, min_record_bytes: usize) -> Result<usize, WireError> {
+        let n = self.u32()? as usize;
+        if n.saturating_mul(min_record_bytes) > self.remaining() {
+            return Err(WireError::Truncated);
+        }
+        Ok(n)
+    }
+}
+
+pub fn put_u16(buf: &mut Vec<u8>, v: u16) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+pub fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+pub fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_opt_u64(buf: &mut Vec<u8>, v: Option<u64>) {
+    buf.push(u8::from(v.is_some()));
+    put_u64(buf, v.unwrap_or(0));
+}
+
+fn get_opt_u64(r: &mut Reader<'_>) -> Result<Option<u64>, WireError> {
+    let present = match r.u8()? {
+        0 => false,
+        1 => true,
+        tag => {
+            return Err(WireError::BadTag {
+                what: "option",
+                tag,
+            })
+        }
+    };
+    let v = r.u64()?;
+    Ok(present.then_some(v))
+}
+
+/// Encode an optional trace id (present flag + value, 9 bytes).
+pub fn put_trace_id(buf: &mut Vec<u8>, trace_id: Option<u64>) {
+    put_opt_u64(buf, trace_id);
+}
+
+/// Decode an optional trace id.
+pub fn get_trace_id(r: &mut Reader<'_>) -> Result<Option<u64>, WireError> {
+    get_opt_u64(r)
+}
+
+fn policy_tag(p: DegradedPolicy) -> u8 {
+    match p {
+        DegradedPolicy::EmptySet => 0,
+        DegradedPolicy::SelfLoop => 1,
+    }
+}
+
+fn policy_from(tag: u8) -> Result<DegradedPolicy, WireError> {
+    match tag {
+        0 => Ok(DegradedPolicy::EmptySet),
+        1 => Ok(DegradedPolicy::SelfLoop),
+        tag => Err(WireError::BadTag {
+            what: "degraded policy",
+            tag,
+        }),
+    }
+}
+
+fn source_tag(s: SlotSource) -> u8 {
+    match s {
+        SlotSource::Sampled => 0,
+        SlotSource::SelfLoop => 1,
+    }
+}
+
+fn source_from(tag: u8) -> Result<SlotSource, WireError> {
+    match tag {
+        0 => Ok(SlotSource::Sampled),
+        1 => Ok(SlotSource::SelfLoop),
+        tag => Err(WireError::BadTag {
+            what: "slot source",
+            tag,
+        }),
+    }
+}
+
+/// Encode one shard health as a byte.
+pub fn health_tag(h: ShardHealth) -> u8 {
+    match h {
+        ShardHealth::Healthy => 0,
+        ShardHealth::Degraded => 1,
+        ShardHealth::Failed => 2,
+    }
+}
+
+/// Decode one shard health byte.
+pub fn health_from(tag: u8) -> Result<ShardHealth, WireError> {
+    match tag {
+        0 => Ok(ShardHealth::Healthy),
+        1 => Ok(ShardHealth::Degraded),
+        2 => Ok(ShardHealth::Failed),
+        tag => Err(WireError::BadTag {
+            what: "shard health",
+            tag,
+        }),
+    }
+}
+
+/// Encode one [`SampleRequest`] record plus its per-request RNG seed.
+pub fn put_sample_request(buf: &mut Vec<u8>, req: &SampleRequest, rng_seed: u64) {
+    let before = buf.len();
+    put_u64(buf, req.vertex.raw());
+    put_u16(buf, req.etype.0);
+    put_u32(buf, req.fanout as u32);
+    buf.push(policy_tag(req.on_degraded));
+    put_opt_u64(buf, req.trace_id);
+    put_u64(buf, rng_seed);
+    debug_assert_eq!((buf.len() - before) as u64, SAMPLE_REQUEST_BYTES);
+}
+
+/// Decode one [`SampleRequest`] record; returns the request and its seed.
+pub fn get_sample_request(r: &mut Reader<'_>) -> Result<(SampleRequest, u64), WireError> {
+    let vertex = VertexId(r.u64()?);
+    let etype = EdgeType(r.u16()?);
+    let fanout = r.u32()? as usize;
+    let on_degraded = policy_from(r.u8()?)?;
+    let trace_id = get_opt_u64(r)?;
+    let rng_seed = r.u64()?;
+    Ok((
+        SampleRequest {
+            vertex,
+            etype,
+            fanout,
+            on_degraded,
+            trace_id,
+        },
+        rng_seed,
+    ))
+}
+
+/// Encode one [`SampleResponse`] record.
+pub fn put_sample_response(buf: &mut Vec<u8>, resp: &SampleResponse) {
+    let before = buf.len();
+    buf.push(u8::from(resp.degraded));
+    put_u32(buf, resp.shard as u32);
+    put_u32(buf, resp.neighbors.len() as u32);
+    for (i, v) in resp.neighbors.iter().enumerate() {
+        put_u64(buf, v.raw());
+        let source = resp.sources.get(i).copied().unwrap_or(SlotSource::Sampled);
+        buf.push(source_tag(source));
+    }
+    debug_assert_eq!(
+        (buf.len() - before) as u64,
+        sample_response_bytes(resp.neighbors.len())
+    );
+}
+
+/// Decode one [`SampleResponse`] record.
+pub fn get_sample_response(r: &mut Reader<'_>) -> Result<SampleResponse, WireError> {
+    let degraded = match r.u8()? {
+        0 => false,
+        1 => true,
+        tag => return Err(WireError::BadTag { what: "flags", tag }),
+    };
+    let shard = r.u32()? as usize;
+    let n = r.count(9)?;
+    let mut neighbors = Vec::with_capacity(n);
+    let mut sources = Vec::with_capacity(n);
+    for _ in 0..n {
+        neighbors.push(VertexId(r.u64()?));
+        sources.push(source_from(r.u8()?)?);
+    }
+    Ok(SampleResponse {
+        neighbors,
+        sources,
+        degraded,
+        shard,
+    })
+}
+
+const OP_INSERT: u8 = 0;
+const OP_UPDATE_WEIGHT: u8 = 1;
+const OP_DELETE: u8 = 2;
+
+/// Encode one [`UpdateOp`] record (fixed layout: deletes carry a zero
+/// weight so every op is [`UPDATE_OP_BYTES`]).
+pub fn put_update_op(buf: &mut Vec<u8>, op: &UpdateOp) {
+    let before = buf.len();
+    let (kind, src, dst, etype, weight) = match op {
+        UpdateOp::Insert(e) => (OP_INSERT, e.src, e.dst, e.etype, e.weight),
+        UpdateOp::UpdateWeight(e) => (OP_UPDATE_WEIGHT, e.src, e.dst, e.etype, e.weight),
+        UpdateOp::Delete { src, dst, etype } => (OP_DELETE, *src, *dst, *etype, 0.0),
+    };
+    buf.push(kind);
+    put_u64(buf, src.raw());
+    put_u64(buf, dst.raw());
+    put_u16(buf, etype.0);
+    buf.extend_from_slice(&weight.to_le_bytes());
+    debug_assert_eq!((buf.len() - before) as u64, UPDATE_OP_BYTES);
+}
+
+/// Decode one [`UpdateOp`] record.
+pub fn get_update_op(r: &mut Reader<'_>) -> Result<UpdateOp, WireError> {
+    let kind = r.u8()?;
+    let src = VertexId(r.u64()?);
+    let dst = VertexId(r.u64()?);
+    let etype = EdgeType(r.u16()?);
+    let weight = r.f64()?;
+    match kind {
+        OP_INSERT => Ok(UpdateOp::Insert(Edge {
+            src,
+            dst,
+            etype,
+            weight,
+        })),
+        OP_UPDATE_WEIGHT => Ok(UpdateOp::UpdateWeight(Edge {
+            src,
+            dst,
+            etype,
+            weight,
+        })),
+        OP_DELETE => Ok(UpdateOp::Delete { src, dst, etype }),
+        tag => Err(WireError::BadTag {
+            what: "update op",
+            tag,
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_request_roundtrips_and_sizes_match() {
+        let req = SampleRequest::new(VertexId(0xDEAD_BEEF), EdgeType(7), 25)
+            .on_degraded(DegradedPolicy::SelfLoop)
+            .with_trace_id(42);
+        let mut buf = Vec::new();
+        put_sample_request(&mut buf, &req, 0x1234_5678_9abc_def0);
+        assert_eq!(buf.len() as u64, SAMPLE_REQUEST_BYTES);
+        let mut r = Reader::new(&buf);
+        let (back, seed) = get_sample_request(&mut r).expect("decode");
+        assert_eq!(back, req);
+        assert_eq!(seed, 0x1234_5678_9abc_def0);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn sample_response_roundtrips_and_sizes_match() {
+        let resp = SampleResponse {
+            neighbors: vec![VertexId(1), VertexId(2), VertexId(1)],
+            sources: vec![
+                SlotSource::Sampled,
+                SlotSource::SelfLoop,
+                SlotSource::Sampled,
+            ],
+            degraded: true,
+            shard: 3,
+        };
+        let mut buf = Vec::new();
+        put_sample_response(&mut buf, &resp);
+        assert_eq!(buf.len() as u64, sample_response_bytes(3));
+        let back = get_sample_response(&mut Reader::new(&buf)).expect("decode");
+        assert_eq!(back, resp);
+    }
+
+    #[test]
+    fn update_ops_roundtrip_at_fixed_size() {
+        let ops = [
+            UpdateOp::Insert(Edge::new(VertexId(1), VertexId(2), 0.5)),
+            UpdateOp::UpdateWeight(Edge::new(VertexId(3), VertexId(4), 2.5)),
+            UpdateOp::Delete {
+                src: VertexId(5),
+                dst: VertexId(6),
+                etype: EdgeType(9),
+            },
+        ];
+        for op in &ops {
+            let mut buf = Vec::new();
+            put_update_op(&mut buf, op);
+            assert_eq!(buf.len() as u64, UPDATE_OP_BYTES);
+            let back = get_update_op(&mut Reader::new(&buf)).expect("decode");
+            assert_eq!(back, *op);
+        }
+    }
+
+    #[test]
+    fn truncated_records_error_instead_of_panicking() {
+        let mut buf = Vec::new();
+        put_sample_request(
+            &mut buf,
+            &SampleRequest::new(VertexId(1), EdgeType(0), 4),
+            7,
+        );
+        for cut in 0..buf.len() {
+            let mut r = Reader::new(&buf[..cut]);
+            assert_eq!(get_sample_request(&mut r), Err(WireError::Truncated));
+        }
+    }
+
+    #[test]
+    fn forged_counts_are_rejected_before_allocation() {
+        // degraded=0, shard=0, then a count claiming u32::MAX entries with
+        // no bytes behind it: must reject, not reserve.
+        let mut buf = vec![0u8];
+        put_u32(&mut buf, 0);
+        put_u32(&mut buf, u32::MAX);
+        assert_eq!(
+            get_sample_response(&mut Reader::new(&buf)),
+            Err(WireError::Truncated)
+        );
+    }
+
+    #[test]
+    fn bad_tags_are_rejected() {
+        // Unknown op kind.
+        let mut buf = vec![9u8];
+        buf.extend_from_slice(&[0u8; 26]);
+        assert!(matches!(
+            get_update_op(&mut Reader::new(&buf)),
+            Err(WireError::BadTag {
+                what: "update op",
+                ..
+            })
+        ));
+        assert!(health_from(3).is_err());
+        assert!(policy_from(2).is_err());
+        assert!(source_from(7).is_err());
+    }
+
+    #[test]
+    fn frame_sizing_helpers_compose_record_sizes() {
+        assert_eq!(
+            sample_request_frame_bytes(3),
+            FRAME_OVERHEAD_BYTES + 8 + 3 * SAMPLE_REQUEST_BYTES
+        );
+        assert_eq!(
+            sample_response_frame_bytes([0, 2]),
+            FRAME_OVERHEAD_BYTES + 4 + (9) + (9 + 18)
+        );
+        assert_eq!(
+            update_frame_bytes(2),
+            FRAME_OVERHEAD_BYTES + UPDATE_BATCH_HEADER_BYTES + 2 * UPDATE_OP_BYTES
+        );
+    }
+}

@@ -48,6 +48,20 @@ for needle in 'slow-op log captured a traced sample request' \
     fi
 done
 
+echo "==> distributed smoke test (remote_train example: TCP graph server + remote trainer)"
+rpc_out=$(cargo run -p platod2gl --release --example remote_train 2>/dev/null)
+for needle in 'graph server listening on' \
+    'remote sampling bit-identical to local' \
+    'remote update batch applied' \
+    'trainer survived' \
+    'remote heal drained' \
+    'server shut down cleanly'; do
+    if ! grep -qF "$needle" <<<"$rpc_out"; then
+        echo "verify: FAIL — distributed smoke missing: $needle"
+        exit 1
+    fi
+done
+
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
 
