@@ -175,7 +175,7 @@ pub fn route(path: &str, cluster: &Cluster) -> (u16, &'static str, String) {
             200,
             CT_TEXT,
             "PlatoD2GL admin\n\n/metrics\n/healthz\n/debug/memory\n/debug/spans\n/debug/slow\n\
-             /debug/traffic\n"
+             /debug/traffic\n/debug/txns\n"
                 .to_string(),
         ),
         "/metrics" => {
@@ -188,6 +188,7 @@ pub fn route(path: &str, cluster: &Cluster) -> (u16, &'static str, String) {
         "/debug/spans" => (200, CT_JSON, spans_json(cluster)),
         "/debug/slow" => (200, CT_JSON, slow_json(cluster)),
         "/debug/traffic" => (200, CT_JSON, traffic_json(cluster)),
+        "/debug/txns" => (200, CT_JSON, txns_json(cluster)),
         _ => (404, CT_TEXT, "not found\n".to_string()),
     }
 }
@@ -200,6 +201,11 @@ fn health_str(h: ShardHealth) -> &'static str {
     }
 }
 
+/// Consecutive txn aborts at which the storage plane reports degraded: a
+/// one-off rejection is normal validation traffic, a streak means writers
+/// are systematically failing to commit.
+const ABORT_STREAK_DEGRADED: u64 = 3;
+
 fn healthz(cluster: &Cluster) -> (u16, &'static str, String) {
     let health = cluster.health();
     let status_str = if health.contains(&ShardHealth::Failed) {
@@ -209,8 +215,25 @@ fn healthz(cluster: &Cluster) -> (u16, &'static str, String) {
     } else {
         "ok"
     };
+    // Storage sickness is a *distinct* axis from shard health: WAL
+    // append/fsync failures and txn abort streaks mean writes are in
+    // trouble even while every shard still answers reads. It never flips
+    // the probe to 503 — the cluster is still serving.
+    let wal_append_errors = cluster
+        .obs()
+        .snapshot()
+        .counter("wal.append_errors")
+        .unwrap_or(0);
+    let abort_streak = cluster.txn_abort_streak();
+    let storage_status = if wal_append_errors > 0 || abort_streak >= ABORT_STREAK_DEGRADED {
+        "degraded"
+    } else {
+        "ok"
+    };
     let mut body = format!(
-        "{{\"status\":\"{status_str}\",\"graph_version\":{},\"num_edges\":{},\"shards\":[",
+        "{{\"status\":\"{status_str}\",\"graph_version\":{},\"num_edges\":{},\
+         \"storage\":{{\"status\":\"{storage_status}\",\"wal_append_errors\":{wal_append_errors},\
+         \"txn_abort_streak\":{abort_streak}}},\"shards\":[",
         cluster.graph_version(),
         cluster.num_edges()
     );
@@ -318,6 +341,48 @@ fn traffic_json(cluster: &Cluster) -> String {
     )
 }
 
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn txns_json(cluster: &Cluster) -> String {
+    let snap = cluster.obs().snapshot();
+    let count = |name: &str| snap.counter(name).unwrap_or(0);
+    let mut body = format!(
+        "{{\"committed\":{},\"aborted\":{},\"deduped\":{},\"ops_applied\":{},\
+         \"abort_streak\":{},\"recent\":[",
+        count("txn.committed"),
+        count("txn.aborted"),
+        count("txn.deduped"),
+        count("txn.ops_applied"),
+        cluster.txn_abort_streak()
+    );
+    for (i, entry) in cluster.txn_journal().iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        body.push_str(&format!(
+            "{{\"txn_id\":{},\"outcome\":\"{}\",\"ops\":{},\"detail\":\"{}\"}}",
+            entry.txn_id,
+            entry.outcome,
+            entry.ops,
+            json_escape(&entry.detail)
+        ));
+    }
+    body.push_str("]}");
+    body
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -348,6 +413,7 @@ mod tests {
             "/debug/spans",
             "/debug/slow",
             "/debug/traffic",
+            "/debug/txns",
         ] {
             let (status, _, body) = route(path, &c);
             assert_eq!(status, 200, "{path}");
@@ -380,6 +446,46 @@ mod tests {
         let (status, _, body) = route("/healthz", &c);
         assert_eq!(status, 200);
         assert!(body.contains("\"health\":\"healthy\""), "{body}");
+    }
+
+    #[test]
+    fn txns_endpoint_and_healthz_storage_field_track_the_txn_plane() {
+        use platod2gl_graph::GraphTxn;
+        let c = tiny_cluster();
+        let (_, _, body) = route("/healthz", &c);
+        assert!(body.contains("\"storage\":{\"status\":\"ok\""), "{body}");
+
+        let receipt = c
+            .apply_txn(&GraphTxn::new(41).insert_edge(Edge::new(VertexId(20), VertexId(21), 1.0)))
+            .expect("commits");
+        assert_eq!(receipt.ops_applied, 1);
+        // Three dangling deletes in a row: a storage-degraded abort streak.
+        for id in 50..53u64 {
+            let txn = GraphTxn::new(id).delete_edge(VertexId(999), VertexId(998), EdgeType(0));
+            assert!(c.apply_txn(&txn).is_err());
+        }
+        let (status, ct, body) = route("/debug/txns", &c);
+        assert_eq!((status, ct), (200, CT_JSON));
+        assert!(body.contains("\"committed\":1"), "{body}");
+        assert!(body.contains("\"aborted\":3"), "{body}");
+        assert!(body.contains("\"abort_streak\":3"), "{body}");
+        assert!(body.contains("\"outcome\":\"rejected\""), "{body}");
+
+        // The storage axis degrades, but shard health keeps the probe 200.
+        let (status, _, body) = route("/healthz", &c);
+        assert_eq!(status, 200, "{body}");
+        assert!(
+            body.contains("\"storage\":{\"status\":\"degraded\""),
+            "{body}"
+        );
+        assert!(body.contains("\"txn_abort_streak\":3"), "{body}");
+        assert!(body.contains("\"status\":\"ok\""), "shards stay ok: {body}");
+
+        // A commit clears the streak and the degraded storage status.
+        c.apply_txn(&GraphTxn::new(60).insert_edge(Edge::new(VertexId(30), VertexId(31), 1.0)))
+            .expect("commits");
+        let (_, _, body) = route("/healthz", &c);
+        assert!(body.contains("\"storage\":{\"status\":\"ok\""), "{body}");
     }
 
     #[test]

@@ -1,0 +1,7 @@
+//! Transactional write plane throughput: validated `apply_txn` vs the raw
+//! sharded batch path, across batch sizes; writes BENCH_6.json.
+//! Run: cargo run -p platod2gl-bench --release --bin report_txn
+
+fn main() {
+    platod2gl_bench::experiments::txn_report();
+}

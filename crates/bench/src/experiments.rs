@@ -695,6 +695,89 @@ pub fn obs_report() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Transactional write plane: txn apply throughput vs the raw sharded
+/// batch path, across batch sizes. The gap is the price of phase-1
+/// validation + the ledger/journal bookkeeping; it should stay a small
+/// constant factor. Writes the machine-readable trail to `BENCH_6.json`.
+pub fn txn_report() {
+    use platod2gl::{Cluster, ClusterConfig, Edge, GraphTxn, UpdateOp, VertexId};
+
+    println!("\n=== Txn plane: validated txn apply vs raw apply_batch_sharded (ops/s) ===");
+    let rounds: u64 = 24;
+    header(&["batch", "raw ops/s", "txn ops/s", "txn/raw"]);
+
+    let fresh_cluster = || {
+        let c = Cluster::new(
+            ClusterConfig::builder()
+                .num_shards(4)
+                .build()
+                .expect("valid config"),
+        );
+        for v in 0..2_000u64 {
+            c.insert_edge(Edge::new(VertexId(v), VertexId(v + 10_000), 1.0));
+        }
+        c
+    };
+    // Fresh, key-disjoint inserts each round: valid under phase 1 and
+    // identical work for both paths.
+    let batch_ops = |round: u64, batch: u64| -> Vec<UpdateOp> {
+        (0..batch)
+            .map(|k| {
+                let v = 100_000 + round * batch + k;
+                UpdateOp::Insert(Edge::new(VertexId(v), VertexId(v + 1_000_000), 1.0))
+            })
+            .collect()
+    };
+
+    let mut json_rows = Vec::new();
+    for exp in [8u32, 10, 12, 14] {
+        let batch = 1u64 << exp;
+
+        let raw = fresh_cluster();
+        let t = Instant::now();
+        for round in 0..rounds {
+            raw.apply_batch_sharded(&batch_ops(round, batch))
+                .expect("raw");
+        }
+        let raw_ops_per_s = (rounds * batch) as f64 / t.elapsed().as_secs_f64();
+
+        let txn_cluster = fresh_cluster();
+        let t = Instant::now();
+        for round in 0..rounds {
+            let mut txn = GraphTxn::new(round + 1);
+            for op in batch_ops(round, batch) {
+                if let UpdateOp::Insert(e) = op {
+                    txn = txn.insert_edge(e);
+                }
+            }
+            txn_cluster.apply_txn(&txn).expect("txn");
+        }
+        let txn_ops_per_s = (rounds * batch) as f64 / t.elapsed().as_secs_f64();
+
+        let ratio = txn_ops_per_s / raw_ops_per_s;
+        row(
+            &batch.to_string(),
+            &[
+                format!("{raw_ops_per_s:.0}"),
+                format!("{txn_ops_per_s:.0}"),
+                format!("{ratio:.2}x"),
+            ],
+        );
+        json_rows.push(format!(
+            "{{\"batch\":{batch},\"raw_ops_per_s\":{raw_ops_per_s:.0},\
+             \"txn_ops_per_s\":{txn_ops_per_s:.0},\"txn_over_raw\":{ratio:.3}}}"
+        ));
+    }
+
+    let json = format!(
+        "{{\"bench\":\"txn_apply_vs_raw\",\"shards\":4,\"rounds\":{rounds},\
+         \"rows\":[{}]}}\n",
+        json_rows.join(",")
+    );
+    std::fs::write("BENCH_6.json", &json).expect("write BENCH_6.json");
+    println!("  wrote BENCH_6.json ({} rows)", json_rows.len());
+}
+
 /// Run the whole evaluation in paper order.
 pub fn run_all() {
     println!(
@@ -711,5 +794,6 @@ pub fn run_all() {
     fig11_sensitivity();
     ablations();
     pipeline_throughput();
+    txn_report();
     obs_report();
 }

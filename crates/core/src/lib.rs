@@ -41,9 +41,10 @@ pub use platod2gl_gnn::{
 #[allow(deprecated)]
 pub use platod2gl_graph::StoreError;
 pub use platod2gl_graph::{
-    for_each_edge, read_edge_list, sanitize_weight, write_edge_list, DatasetProfile, Edge,
-    EdgeType, Error, GraphStore, RelationSpec, Served, ShardHealth, UpdateOp, UpdateStream,
-    VertexId, VertexType,
+    for_each_edge, read_edge_list, sanitize_weight, validate_and_lower, write_edge_list,
+    DatasetProfile, Edge, EdgeType, Error, GraphStore, GraphTxn, RelationSpec, Served, ShardHealth,
+    StoreTxnView, TxnError, TxnOp, TxnReceipt, TxnView, TxnViolation, UpdateOp, UpdateStream,
+    VertexId, VertexType, ViolationKind,
 };
 pub use platod2gl_mem::{human_bytes, DeepSize};
 pub use platod2gl_obs::{
@@ -61,10 +62,12 @@ pub use platod2gl_server::{
     route_for, BatchReport, Cluster, ClusterConfig, ClusterConfigBuilder, ClusterMemory,
     DegradedPolicy, FaultInjector, FaultKind, GraphServer, GraphService, HistogramSnapshot,
     LatencyHistogram, SampleRequest, SampleResponse, ShardMemory, SlotSource, TrafficStats,
+    TxnLogEntry,
 };
 pub use platod2gl_storage::{
-    replay_wal, AttributeStore, DurableGraphStore, DynamicGraphStore, RecoveryReport, StoreConfig,
-    StoreMemory, TornTail, TornTailKind, WalReplayReport, SNAPSHOT_VERSION,
+    replay_wal, AttributeStore, CrashInjector, CrashPoint, DurableGraphStore, DynamicGraphStore,
+    RecoveryReport, StoreConfig, StoreMemory, TornTail, TornTailKind, WalReplayReport,
+    SNAPSHOT_VERSION,
 };
 
 use rand::rngs::StdRng;

@@ -23,6 +23,7 @@ mod generator;
 mod health;
 mod profile;
 mod store;
+mod txn;
 
 pub use edgelist::{for_each_edge, read_edge_list, write_edge_list};
 pub use error::Error;
@@ -32,6 +33,10 @@ pub use generator::{EdgeStream, UpdateStream, ZipfSampler};
 pub use health::{Served, ShardHealth};
 pub use profile::{DatasetProfile, RelationSpec};
 pub use store::GraphStore;
+pub use txn::{
+    validate_and_lower, GraphTxn, StoreTxnView, TxnError, TxnOp, TxnReceipt, TxnView, TxnViolation,
+    ViolationKind,
+};
 
 use serde::{Deserialize, Serialize};
 

@@ -1,0 +1,777 @@
+//! Typed graph transactions: the two-phase validated batch-op layer.
+//!
+//! PlatoD2GL's dynamic-graph premise is only trustworthy if a batch of
+//! updates is all-or-nothing — across shards and across crashes. A
+//! [`GraphTxn`] is the typed front half of that contract:
+//!
+//! * **Phase 1** ([`validate_and_lower`]) checks the *whole* batch against
+//!   live topology (through a [`TxnView`]) before anything mutates:
+//!   dangling deletes and weight patches, duplicate ops on one key,
+//!   non-finite weights, unknown edge types, empty transactions. Any
+//!   violation aborts the transaction with a structured [`TxnError`]
+//!   carrying *every* violation found — zero changes applied.
+//! * **Phase 2** applies the lowered [`UpdateOp`] list atomically through
+//!   the executing store (the durable store brackets it with WAL
+//!   batch-commit markers; the cluster fans it out per shard). Phase 2
+//!   never revalidates: lowering already resolved every op against
+//!   pre-transaction state, and the duplicate-key rule guarantees the
+//!   lowered ops are key-disjoint, so apply order within the batch cannot
+//!   change the outcome.
+//!
+//! The op vocabulary is deliberately higher-level than [`UpdateOp`]:
+//! [`TxnOp::DeleteVertex`] expands to deletes of the vertex's *current*
+//! out-neighbors at validation time, and [`TxnOp::UpsertVertex`] is a
+//! validation anchor that lowers to nothing (vertices materialize with
+//! their first edge in every engine here).
+//!
+//! All ops in one transaction read **pre-transaction state**: that is what
+//! the duplicate-key rejection buys. Two ops on one `(src, dst, etype)`
+//! key — or an edge op under a [`TxnOp::DeleteVertex`] claiming the whole
+//! `(src, etype, *)` range — would make the outcome order-dependent, so
+//! phase 1 rejects the pair instead of picking a winner.
+
+use crate::{Edge, EdgeType, Error, GraphStore, UpdateOp, VertexId};
+use std::collections::HashMap;
+use std::fmt;
+
+/// One typed operation inside a [`GraphTxn`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum TxnOp {
+    /// Insert an edge (or update its weight if present — Alg. 2 upsert
+    /// semantics, same as [`UpdateOp::Insert`]).
+    InsertEdge(Edge),
+    /// Delete an edge that must exist at validation time.
+    DeleteEdge {
+        src: VertexId,
+        dst: VertexId,
+        etype: EdgeType,
+    },
+    /// Set the weight of an edge that must exist at validation time.
+    PatchWeight(Edge),
+    /// Assert a vertex into existence. Engines here materialize vertices
+    /// with their first edge, so this lowers to no [`UpdateOp`]s; it
+    /// participates in duplicate-key validation and documents intent.
+    UpsertVertex { vertex: VertexId },
+    /// Delete every current out-edge of `vertex` in the relation. Expands
+    /// at validation time to one delete per neighbor; claims the whole
+    /// `(vertex, etype, *)` keyspace for conflict purposes.
+    DeleteVertex { vertex: VertexId, etype: EdgeType },
+}
+
+/// A transaction: a client-chosen id plus its typed ops.
+///
+/// The id is the retry/idempotence token: a remote client re-sends the
+/// same id when a reply is lost, and the server's transaction ledger
+/// answers replays from the committed receipt instead of re-applying.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct GraphTxn {
+    id: u64,
+    ops: Vec<TxnOp>,
+}
+
+impl GraphTxn {
+    /// Start an empty transaction with a client-chosen id.
+    pub fn new(id: u64) -> Self {
+        GraphTxn {
+            id,
+            ops: Vec::new(),
+        }
+    }
+
+    /// The transaction id (idempotence token).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The typed ops, in submission order.
+    pub fn ops(&self) -> &[TxnOp] {
+        &self.ops
+    }
+
+    /// Number of typed ops.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True when no ops have been added (phase 1 rejects empty txns).
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Append any op.
+    pub fn push(&mut self, op: TxnOp) {
+        self.ops.push(op);
+    }
+
+    /// Builder: insert (or upsert) an edge.
+    pub fn insert_edge(mut self, edge: Edge) -> Self {
+        self.ops.push(TxnOp::InsertEdge(edge));
+        self
+    }
+
+    /// Builder: delete an existing edge.
+    pub fn delete_edge(mut self, src: VertexId, dst: VertexId, etype: EdgeType) -> Self {
+        self.ops.push(TxnOp::DeleteEdge { src, dst, etype });
+        self
+    }
+
+    /// Builder: set the weight of an existing edge.
+    pub fn patch_weight(mut self, edge: Edge) -> Self {
+        self.ops.push(TxnOp::PatchWeight(edge));
+        self
+    }
+
+    /// Builder: assert a vertex into existence.
+    pub fn upsert_vertex(mut self, vertex: VertexId) -> Self {
+        self.ops.push(TxnOp::UpsertVertex { vertex });
+        self
+    }
+
+    /// Builder: delete all of a vertex's out-edges in one relation.
+    pub fn delete_vertex(mut self, vertex: VertexId, etype: EdgeType) -> Self {
+        self.ops.push(TxnOp::DeleteVertex { vertex, etype });
+        self
+    }
+}
+
+/// Why one op failed phase-1 validation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ViolationKind {
+    /// [`TxnOp::DeleteEdge`] names an edge that does not exist.
+    DanglingDelete,
+    /// [`TxnOp::PatchWeight`] names an edge that does not exist.
+    DanglingPatch,
+    /// Two ops touch one key (or a [`TxnOp::DeleteVertex`] claim overlaps
+    /// an edge op), making the outcome order-dependent.
+    DuplicateKey,
+    /// A NaN or infinite weight reached the transaction boundary.
+    NonFiniteWeight,
+    /// The op names an edge type outside the view's registered range.
+    UnknownEtype,
+    /// The transaction carries no ops.
+    Empty,
+}
+
+impl fmt::Display for ViolationKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ViolationKind::DanglingDelete => "dangling delete",
+            ViolationKind::DanglingPatch => "dangling weight patch",
+            ViolationKind::DuplicateKey => "duplicate key",
+            ViolationKind::NonFiniteWeight => "non-finite weight",
+            ViolationKind::UnknownEtype => "unknown edge type",
+            ViolationKind::Empty => "empty transaction",
+        })
+    }
+}
+
+/// One phase-1 violation: which op, what rule, and the specifics.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TxnViolation {
+    /// Index of the offending op in [`GraphTxn::ops`].
+    pub op_index: usize,
+    pub kind: ViolationKind,
+    /// Human-readable specifics (the key, the conflicting op index, …).
+    pub detail: String,
+}
+
+impl fmt::Display for TxnViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "op {}: {}: {}", self.op_index, self.kind, self.detail)
+    }
+}
+
+/// Why a transaction did not commit.
+#[derive(Debug)]
+pub enum TxnError {
+    /// Phase 1 rejected the batch; zero changes were applied. Carries
+    /// every violation found, not just the first.
+    Rejected {
+        txn_id: u64,
+        violations: Vec<TxnViolation>,
+    },
+    /// Phase 2 could not run (shard down/panicked, WAL I/O failure). For
+    /// the durable store, a missing commit marker makes recovery drop the
+    /// partial batch, so the on-disk outcome is still all-or-nothing.
+    Store(Error),
+}
+
+impl TxnError {
+    /// The phase-1 violations, empty for store-side failures.
+    pub fn violations(&self) -> &[TxnViolation] {
+        match self {
+            TxnError::Rejected { violations, .. } => violations,
+            TxnError::Store(_) => &[],
+        }
+    }
+
+    /// True when phase 1 rejected the batch (a clean, zero-change abort).
+    pub fn is_rejected(&self) -> bool {
+        matches!(self, TxnError::Rejected { .. })
+    }
+}
+
+impl fmt::Display for TxnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TxnError::Rejected { txn_id, violations } => {
+                write!(
+                    f,
+                    "txn {txn_id} rejected with {} violation(s)",
+                    violations.len()
+                )?;
+                for v in violations {
+                    write!(f, "; {v}")?;
+                }
+                Ok(())
+            }
+            TxnError::Store(e) => write!(f, "txn store failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TxnError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TxnError::Store(e) => Some(e),
+            TxnError::Rejected { .. } => None,
+        }
+    }
+}
+
+impl From<Error> for TxnError {
+    fn from(e: Error) -> Self {
+        TxnError::Store(e)
+    }
+}
+
+impl From<std::io::Error> for TxnError {
+    fn from(e: std::io::Error) -> Self {
+        TxnError::Store(Error::Io(e))
+    }
+}
+
+/// Commit acknowledgement: what a successful [`GraphTxn`] applied.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TxnReceipt {
+    /// The transaction id echoed back.
+    pub txn_id: u64,
+    /// Lowered [`UpdateOp`]s applied (0 for pure-upsert transactions).
+    pub ops_applied: u64,
+    /// The service's graph version after the commit (0 where the executor
+    /// has no version counter, e.g. a bare durable store).
+    pub graph_version: u64,
+    /// True when this receipt answered a replayed txn id from the ledger
+    /// instead of a fresh apply (idempotent retry).
+    pub deduped: bool,
+}
+
+/// Read access to live topology for phase-1 validation.
+///
+/// Implemented by any executor that can answer point lookups: the durable
+/// store validates against its in-memory store, the cluster against its
+/// routed shards. `known_etype` defaults to accepting everything — views
+/// with a registered relation schema override it.
+pub trait TxnView {
+    /// Weight of the edge, if it exists.
+    fn edge_weight(&self, src: VertexId, dst: VertexId, etype: EdgeType) -> Option<f64>;
+
+    /// All current out-neighbors of `v` with weights (drives
+    /// [`TxnOp::DeleteVertex`] expansion).
+    fn neighbors(&self, v: VertexId, etype: EdgeType) -> Vec<(VertexId, f64)>;
+
+    /// Whether the edge type is registered. Defaults to `true` (no schema).
+    fn known_etype(&self, etype: EdgeType) -> bool {
+        let _ = etype;
+        true
+    }
+}
+
+/// A [`TxnView`] over any [`GraphStore`], with an optional edge-type limit
+/// (`etype.0 < limit` is known; `None` accepts everything).
+pub struct StoreTxnView<'a> {
+    store: &'a dyn GraphStore,
+    etype_limit: Option<u16>,
+}
+
+impl<'a> StoreTxnView<'a> {
+    /// View with no relation schema: every etype is known.
+    pub fn new(store: &'a dyn GraphStore) -> Self {
+        StoreTxnView {
+            store,
+            etype_limit: None,
+        }
+    }
+
+    /// Restrict known edge types to `0..limit`.
+    pub fn with_etype_limit(mut self, limit: u16) -> Self {
+        self.etype_limit = Some(limit);
+        self
+    }
+}
+
+impl TxnView for StoreTxnView<'_> {
+    fn edge_weight(&self, src: VertexId, dst: VertexId, etype: EdgeType) -> Option<f64> {
+        self.store.edge_weight(src, dst, etype)
+    }
+
+    fn neighbors(&self, v: VertexId, etype: EdgeType) -> Vec<(VertexId, f64)> {
+        self.store.neighbors(v, etype)
+    }
+
+    fn known_etype(&self, etype: EdgeType) -> bool {
+        self.etype_limit.is_none_or(|limit| etype.0 < limit)
+    }
+}
+
+/// Phase 1: validate the whole transaction against `view` and lower it to
+/// a key-disjoint, deterministically ordered [`UpdateOp`] batch.
+///
+/// Collects **every** violation before returning (an operator fixing a
+/// rejected feed batch wants the full list, not a fix-one-resubmit loop).
+/// On success the lowered ops are sorted by `(src, etype, dst)` — a total
+/// order, because duplicate-key rejection made the keys disjoint — so the
+/// WAL bytes and the commit CRC of a given logical transaction are
+/// reproducible regardless of submission order.
+pub fn validate_and_lower(txn: &GraphTxn, view: &dyn TxnView) -> Result<Vec<UpdateOp>, TxnError> {
+    let mut violations: Vec<TxnViolation> = Vec::new();
+    if txn.ops.is_empty() {
+        violations.push(TxnViolation {
+            op_index: 0,
+            kind: ViolationKind::Empty,
+            detail: "transaction carries no ops".to_string(),
+        });
+        return Err(TxnError::Rejected {
+            txn_id: txn.id,
+            violations,
+        });
+    }
+
+    // Conflict tracking. Keys are raw ids so one map covers all op kinds:
+    //  * edge_keys    — first op per (src, etype, dst)
+    //  * edge_sources — first edge op per (src, etype) (DeleteVertex overlap)
+    //  * source_claims— DeleteVertex claims on a whole (src, etype) range
+    //  * vertex_claims— UpsertVertex claims per vertex
+    let mut edge_keys: HashMap<(u64, u16, u64), usize> = HashMap::new();
+    let mut edge_sources: HashMap<(u64, u16), usize> = HashMap::new();
+    let mut source_claims: HashMap<(u64, u16), usize> = HashMap::new();
+    let mut vertex_claims: HashMap<u64, usize> = HashMap::new();
+    let mut lowered: Vec<UpdateOp> = Vec::with_capacity(txn.ops.len());
+
+    let violate = |violations: &mut Vec<TxnViolation>, i: usize, kind, detail: String| {
+        violations.push(TxnViolation {
+            op_index: i,
+            kind,
+            detail,
+        });
+    };
+
+    for (i, op) in txn.ops.iter().enumerate() {
+        // Edge-granular ops share the key bookkeeping.
+        let mut claim_edge_key =
+            |violations: &mut Vec<TxnViolation>, src: VertexId, dst: VertexId, etype: EdgeType| {
+                let key = (src.raw(), etype.0, dst.raw());
+                if let Some(&j) = edge_keys.get(&key) {
+                    violate(
+                        violations,
+                        i,
+                        ViolationKind::DuplicateKey,
+                        format!(
+                            "edge ({src:?} -> {dst:?}, etype {}) already touched by op {j}",
+                            etype.0
+                        ),
+                    );
+                } else {
+                    edge_keys.insert(key, i);
+                }
+                if let Some(&j) = source_claims.get(&(src.raw(), etype.0)) {
+                    violate(
+                        violations,
+                        i,
+                        ViolationKind::DuplicateKey,
+                        format!(
+                            "op {j} deletes vertex {src:?} in etype {}, covering this edge",
+                            etype.0
+                        ),
+                    );
+                }
+                edge_sources.entry((src.raw(), etype.0)).or_insert(i);
+            };
+
+        match op {
+            TxnOp::InsertEdge(e) => {
+                claim_edge_key(&mut violations, e.src, e.dst, e.etype);
+                if !view.known_etype(e.etype) {
+                    violate(
+                        &mut violations,
+                        i,
+                        ViolationKind::UnknownEtype,
+                        format!("etype {} is not registered", e.etype.0),
+                    );
+                }
+                if !e.weight.is_finite() {
+                    violate(
+                        &mut violations,
+                        i,
+                        ViolationKind::NonFiniteWeight,
+                        format!(
+                            "insert of ({:?} -> {:?}) carries weight {}",
+                            e.src, e.dst, e.weight
+                        ),
+                    );
+                }
+                lowered.push(UpdateOp::Insert(*e));
+            }
+            TxnOp::DeleteEdge { src, dst, etype } => {
+                claim_edge_key(&mut violations, *src, *dst, *etype);
+                if !view.known_etype(*etype) {
+                    violate(
+                        &mut violations,
+                        i,
+                        ViolationKind::UnknownEtype,
+                        format!("etype {} is not registered", etype.0),
+                    );
+                } else if view.edge_weight(*src, *dst, *etype).is_none() {
+                    violate(
+                        &mut violations,
+                        i,
+                        ViolationKind::DanglingDelete,
+                        format!(
+                            "edge ({src:?} -> {dst:?}, etype {}) does not exist",
+                            etype.0
+                        ),
+                    );
+                }
+                lowered.push(UpdateOp::Delete {
+                    src: *src,
+                    dst: *dst,
+                    etype: *etype,
+                });
+            }
+            TxnOp::PatchWeight(e) => {
+                claim_edge_key(&mut violations, e.src, e.dst, e.etype);
+                if !view.known_etype(e.etype) {
+                    violate(
+                        &mut violations,
+                        i,
+                        ViolationKind::UnknownEtype,
+                        format!("etype {} is not registered", e.etype.0),
+                    );
+                } else if view.edge_weight(e.src, e.dst, e.etype).is_none() {
+                    violate(
+                        &mut violations,
+                        i,
+                        ViolationKind::DanglingPatch,
+                        format!(
+                            "edge ({:?} -> {:?}, etype {}) does not exist",
+                            e.src, e.dst, e.etype.0
+                        ),
+                    );
+                }
+                if !e.weight.is_finite() {
+                    violate(
+                        &mut violations,
+                        i,
+                        ViolationKind::NonFiniteWeight,
+                        format!(
+                            "patch of ({:?} -> {:?}) carries weight {}",
+                            e.src, e.dst, e.weight
+                        ),
+                    );
+                }
+                lowered.push(UpdateOp::UpdateWeight(*e));
+            }
+            TxnOp::UpsertVertex { vertex } => {
+                if let Some(&j) = vertex_claims.get(&vertex.raw()) {
+                    violate(
+                        &mut violations,
+                        i,
+                        ViolationKind::DuplicateKey,
+                        format!("vertex {vertex:?} already upserted by op {j}"),
+                    );
+                } else {
+                    vertex_claims.insert(vertex.raw(), i);
+                }
+                // Lowers to nothing: vertices materialize with their first
+                // edge in every engine here.
+            }
+            TxnOp::DeleteVertex { vertex, etype } => {
+                let range = (vertex.raw(), etype.0);
+                if let Some(&j) = source_claims.get(&range) {
+                    violate(
+                        &mut violations,
+                        i,
+                        ViolationKind::DuplicateKey,
+                        format!(
+                            "vertex {vertex:?} etype {} already deleted by op {j}",
+                            etype.0
+                        ),
+                    );
+                } else {
+                    source_claims.insert(range, i);
+                }
+                if let Some(&j) = edge_sources.get(&range) {
+                    violate(
+                        &mut violations,
+                        i,
+                        ViolationKind::DuplicateKey,
+                        format!(
+                            "op {j} touches an edge of {vertex:?} etype {} covered by this delete",
+                            etype.0
+                        ),
+                    );
+                }
+                if !view.known_etype(*etype) {
+                    violate(
+                        &mut violations,
+                        i,
+                        ViolationKind::UnknownEtype,
+                        format!("etype {} is not registered", etype.0),
+                    );
+                } else {
+                    // Expand against pre-transaction topology. A vertex
+                    // with no out-edges is a legal no-op delete.
+                    for (dst, _w) in view.neighbors(*vertex, *etype) {
+                        lowered.push(UpdateOp::Delete {
+                            src: *vertex,
+                            dst,
+                            etype: *etype,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    if !violations.is_empty() {
+        return Err(TxnError::Rejected {
+            txn_id: txn.id,
+            violations,
+        });
+    }
+    // Keys are disjoint, so (src, etype, dst) is a total order: the lowered
+    // batch (and therefore its WAL bytes and commit CRC) is canonical.
+    lowered.sort_by_key(|op| (op.src().raw(), op.etype().0, op.dst().raw()));
+    Ok(lowered)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// In-memory view: a set of (src, etype, dst) -> weight.
+    #[derive(Default)]
+    struct MockView {
+        edges: HashMap<(u64, u16, u64), f64>,
+        etype_limit: Option<u16>,
+    }
+
+    impl MockView {
+        fn with(edges: &[(u64, u16, u64, f64)]) -> Self {
+            MockView {
+                edges: edges.iter().map(|&(s, t, d, w)| ((s, t, d), w)).collect(),
+                etype_limit: None,
+            }
+        }
+    }
+
+    impl TxnView for MockView {
+        fn edge_weight(&self, src: VertexId, dst: VertexId, etype: EdgeType) -> Option<f64> {
+            self.edges.get(&(src.raw(), etype.0, dst.raw())).copied()
+        }
+
+        fn neighbors(&self, v: VertexId, etype: EdgeType) -> Vec<(VertexId, f64)> {
+            let mut out: Vec<(VertexId, f64)> = self
+                .edges
+                .iter()
+                .filter(|(&(s, t, _), _)| s == v.raw() && t == etype.0)
+                .map(|(&(_, _, d), &w)| (VertexId(d), w))
+                .collect();
+            out.sort_by_key(|(d, _)| d.raw());
+            out
+        }
+
+        fn known_etype(&self, etype: EdgeType) -> bool {
+            self.etype_limit.is_none_or(|limit| etype.0 < limit)
+        }
+    }
+
+    fn v(i: u64) -> VertexId {
+        VertexId(i)
+    }
+
+    fn kinds(err: &TxnError) -> Vec<ViolationKind> {
+        err.violations().iter().map(|vl| vl.kind).collect()
+    }
+
+    #[test]
+    fn builder_collects_ops_in_order() {
+        let txn = GraphTxn::new(7)
+            .insert_edge(Edge::new(v(1), v(2), 1.0))
+            .delete_edge(v(3), v(4), EdgeType(1))
+            .upsert_vertex(v(9));
+        assert_eq!(txn.id(), 7);
+        assert_eq!(txn.len(), 3);
+        assert!(matches!(txn.ops()[2], TxnOp::UpsertVertex { .. }));
+    }
+
+    #[test]
+    fn valid_txn_lowers_sorted_by_key() {
+        let view = MockView::with(&[(5, 0, 6, 1.0)]);
+        let txn = GraphTxn::new(1)
+            .insert_edge(Edge::new(v(9), v(1), 2.0))
+            .delete_edge(v(5), v(6), EdgeType::DEFAULT)
+            .insert_edge(Edge::new(v(2), v(3), 1.0));
+        let lowered = validate_and_lower(&txn, &view).expect("valid");
+        let srcs: Vec<u64> = lowered.iter().map(|op| op.src().raw()).collect();
+        assert_eq!(srcs, vec![2, 5, 9], "canonical (src, etype, dst) order");
+    }
+
+    #[test]
+    fn empty_txn_is_rejected() {
+        let err = validate_and_lower(&GraphTxn::new(3), &MockView::default()).unwrap_err();
+        assert_eq!(kinds(&err), vec![ViolationKind::Empty]);
+        assert!(err.is_rejected());
+    }
+
+    #[test]
+    fn dangling_delete_and_patch_are_rejected_together() {
+        let view = MockView::with(&[(1, 0, 2, 1.0)]);
+        let txn = GraphTxn::new(4)
+            .delete_edge(v(1), v(9), EdgeType::DEFAULT) // missing
+            .patch_weight(Edge::new(v(8), v(9), 3.0)) // missing
+            .delete_edge(v(1), v(2), EdgeType::DEFAULT); // fine
+        let err = validate_and_lower(&txn, &view).unwrap_err();
+        assert_eq!(
+            kinds(&err),
+            vec![ViolationKind::DanglingDelete, ViolationKind::DanglingPatch],
+            "all violations reported, valid op not flagged"
+        );
+        assert_eq!(err.violations()[0].op_index, 0);
+        assert_eq!(err.violations()[1].op_index, 1);
+    }
+
+    #[test]
+    fn duplicate_edge_key_is_rejected() {
+        let view = MockView::with(&[(1, 0, 2, 1.0)]);
+        let txn = GraphTxn::new(5)
+            .patch_weight(Edge::new(v(1), v(2), 3.0))
+            .delete_edge(v(1), v(2), EdgeType::DEFAULT);
+        let err = validate_and_lower(&txn, &view).unwrap_err();
+        assert_eq!(kinds(&err), vec![ViolationKind::DuplicateKey]);
+        assert!(err.violations()[0].detail.contains("op 0"));
+    }
+
+    #[test]
+    fn delete_vertex_conflicts_with_edge_ops_in_both_orders() {
+        let view = MockView::with(&[(1, 0, 2, 1.0), (1, 0, 3, 1.0)]);
+        // DeleteVertex after an edge op on the claimed range.
+        let txn = GraphTxn::new(6)
+            .delete_edge(v(1), v(2), EdgeType::DEFAULT)
+            .delete_vertex(v(1), EdgeType::DEFAULT);
+        let err = validate_and_lower(&txn, &view).unwrap_err();
+        assert_eq!(kinds(&err), vec![ViolationKind::DuplicateKey]);
+        // And before.
+        let txn = GraphTxn::new(7)
+            .delete_vertex(v(1), EdgeType::DEFAULT)
+            .insert_edge(Edge::new(v(1), v(9), 1.0));
+        let err = validate_and_lower(&txn, &view).unwrap_err();
+        assert_eq!(kinds(&err), vec![ViolationKind::DuplicateKey]);
+        // A different etype does not conflict.
+        let txn = GraphTxn::new(8)
+            .delete_vertex(v(1), EdgeType::DEFAULT)
+            .insert_edge(Edge {
+                src: v(1),
+                dst: v(9),
+                etype: EdgeType(1),
+                weight: 1.0,
+            });
+        assert!(validate_and_lower(&txn, &view).is_ok());
+    }
+
+    #[test]
+    fn delete_vertex_expands_to_current_neighbors() {
+        let view = MockView::with(&[(4, 0, 7, 1.0), (4, 0, 8, 2.0), (4, 1, 9, 1.0)]);
+        let txn = GraphTxn::new(9).delete_vertex(v(4), EdgeType::DEFAULT);
+        let lowered = validate_and_lower(&txn, &view).expect("valid");
+        assert_eq!(
+            lowered,
+            vec![
+                UpdateOp::Delete {
+                    src: v(4),
+                    dst: v(7),
+                    etype: EdgeType::DEFAULT
+                },
+                UpdateOp::Delete {
+                    src: v(4),
+                    dst: v(8),
+                    etype: EdgeType::DEFAULT
+                },
+            ],
+            "only the claimed relation is expanded"
+        );
+        // No out-edges: a legal no-op.
+        let txn = GraphTxn::new(10).delete_vertex(v(99), EdgeType::DEFAULT);
+        assert!(validate_and_lower(&txn, &view).expect("valid").is_empty());
+    }
+
+    #[test]
+    fn upsert_vertex_lowers_to_nothing_and_dedupes() {
+        let view = MockView::default();
+        let txn = GraphTxn::new(11).upsert_vertex(v(5)).upsert_vertex(v(6));
+        assert!(validate_and_lower(&txn, &view).expect("valid").is_empty());
+        let txn = GraphTxn::new(12).upsert_vertex(v(5)).upsert_vertex(v(5));
+        let err = validate_and_lower(&txn, &view).unwrap_err();
+        assert_eq!(kinds(&err), vec![ViolationKind::DuplicateKey]);
+    }
+
+    #[test]
+    fn non_finite_weights_are_rejected() {
+        let view = MockView::with(&[(1, 0, 2, 1.0)]);
+        let txn = GraphTxn::new(13)
+            .insert_edge(Edge::new(v(3), v(4), f64::NAN))
+            .patch_weight(Edge::new(v(1), v(2), f64::INFINITY));
+        let err = validate_and_lower(&txn, &view).unwrap_err();
+        assert_eq!(
+            kinds(&err),
+            vec![
+                ViolationKind::NonFiniteWeight,
+                ViolationKind::NonFiniteWeight
+            ]
+        );
+    }
+
+    #[test]
+    fn unknown_etype_is_rejected_under_a_limit() {
+        let mut view = MockView::with(&[(1, 0, 2, 1.0)]);
+        view.etype_limit = Some(2);
+        let ok = GraphTxn::new(14).insert_edge(Edge {
+            src: v(1),
+            dst: v(9),
+            etype: EdgeType(1),
+            weight: 1.0,
+        });
+        assert!(validate_and_lower(&ok, &view).is_ok());
+        let bad = GraphTxn::new(15).insert_edge(Edge {
+            src: v(1),
+            dst: v(9),
+            etype: EdgeType(2),
+            weight: 1.0,
+        });
+        let err = validate_and_lower(&bad, &view).unwrap_err();
+        assert_eq!(kinds(&err), vec![ViolationKind::UnknownEtype]);
+    }
+
+    #[test]
+    fn rejection_display_names_every_violation() {
+        let view = MockView::default();
+        let txn = GraphTxn::new(16)
+            .delete_edge(v(1), v(2), EdgeType::DEFAULT)
+            .delete_edge(v(1), v(2), EdgeType::DEFAULT);
+        let err = validate_and_lower(&txn, &view).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("txn 16 rejected"), "{msg}");
+        assert!(msg.contains("dangling delete"), "{msg}");
+        assert!(msg.contains("duplicate key"), "{msg}");
+    }
+}

@@ -32,10 +32,11 @@
 
 use crate::codec::{
     decode_error_reply, decode_heal_reply, decode_health_reply, decode_sample_reply,
-    decode_update_reply, encode_heal_request, encode_sample_batch, encode_update_batch, error_code,
-    write_frame, FrameError, FrameKind, SampleBatch, UpdateBatch,
+    decode_txn_reply, decode_update_reply, encode_heal_request, encode_sample_batch,
+    encode_txn_apply, encode_update_batch, error_code, write_frame, FrameError, FrameKind,
+    SampleBatch, TxnApply, TxnReply, UpdateBatch,
 };
-use platod2gl_graph::{Error, ShardHealth, UpdateOp};
+use platod2gl_graph::{Error, GraphTxn, ShardHealth, TxnError, TxnReceipt, UpdateOp};
 use platod2gl_obs::{Counter, Histogram, Registry};
 use platod2gl_server::{
     route_for, BatchReport, DegradedPolicy, GraphService, SampleRequest, SampleResponse, SlotSource,
@@ -405,6 +406,48 @@ impl GraphService for RemoteCluster {
                 io::ErrorKind::BrokenPipe,
                 e.to_string(),
             ))),
+        }
+    }
+
+    fn apply_txn(&self, txn: &GraphTxn) -> Result<TxnReceipt, TxnError> {
+        // Encoded once; every retry re-sends the identical frame — same
+        // txn id — so the server's idempotence ledger answers a replayed
+        // commit from the cached receipt instead of applying twice.
+        let payload = encode_txn_apply(&TxnApply {
+            txn_id: txn.id(),
+            ops: txn.ops().to_vec(),
+        });
+        let outcome = self.with_retries(|stream| {
+            write_frame(stream, FrameKind::TxnApply, &payload)?;
+            stream.flush()?;
+            let (kind, reply) = crate::codec::read_frame(stream)?;
+            expect_kind(kind, FrameKind::TxnReply, "txn")?;
+            Ok(decode_txn_reply(&reply)?)
+        });
+        match outcome {
+            Ok(TxnReply::Committed(receipt)) => Ok(receipt),
+            Ok(TxnReply::Rejected { txn_id, violations }) => {
+                Err(TxnError::Rejected { txn_id, violations })
+            }
+            Ok(TxnReply::StoreError {
+                shard,
+                code,
+                message,
+            }) if code == error_code::SHARD_PANICKED && message.contains("panicked") => {
+                Err(TxnError::Store(Error::ShardPanicked {
+                    shard: shard as usize,
+                    detail: message,
+                }))
+            }
+            Ok(TxnReply::StoreError { shard, .. }) => {
+                Err(TxnError::Store(Error::ShardUnavailable {
+                    shard: shard as usize,
+                }))
+            }
+            Err(e) => Err(TxnError::Store(Error::Io(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                e.to_string(),
+            )))),
         }
     }
 

@@ -26,7 +26,7 @@
 //! — the same functions the in-process cluster uses for traffic
 //! accounting, so simulated and real byte counts agree by construction.
 
-use platod2gl_graph::{ShardHealth, UpdateOp};
+use platod2gl_graph::{ShardHealth, TxnOp, TxnReceipt, TxnViolation, UpdateOp, ViolationKind};
 use platod2gl_server::wire::{self, Reader, WireError};
 use platod2gl_server::{SampleRequest, SampleResponse};
 use platod2gl_storage::crc32c::crc32c;
@@ -65,6 +65,13 @@ pub enum FrameKind {
     HealRequest = 0x07,
     /// Server → client: ops drained by the heal.
     HealReply = 0x08,
+    /// Client → server: a typed transaction (txn id + ops). Retried with
+    /// the *same* id after transport failures; the server's idempotence
+    /// ledger answers replays from the cached receipt.
+    TxnApply = 0x09,
+    /// Server → client: committed receipt, phase-1 rejection, or store
+    /// error (see [`TxnReply`]).
+    TxnReply = 0x0a,
     /// Server → client: the request could not be served (e.g. a shard
     /// worker panicked). Carries a code, the shard, and a message.
     ErrorReply = 0x7f,
@@ -81,6 +88,8 @@ impl FrameKind {
             0x06 => FrameKind::HealthReply,
             0x07 => FrameKind::HealRequest,
             0x08 => FrameKind::HealReply,
+            0x09 => FrameKind::TxnApply,
+            0x0a => FrameKind::TxnReply,
             0x7f => FrameKind::ErrorReply,
             tag => return Err(FrameError::BadKind(tag)),
         })
@@ -385,6 +394,197 @@ pub fn decode_heal_reply(payload: &[u8]) -> Result<u64, WireError> {
     Reader::new(payload).u64()
 }
 
+/// A [`FrameKind::TxnApply`] payload: the typed transaction.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TxnApply {
+    /// Client-chosen transaction id — the idempotence key. A retry of a
+    /// lost reply re-sends the same id.
+    pub txn_id: u64,
+    /// The typed ops, in submission order.
+    pub ops: Vec<TxnOp>,
+}
+
+/// Encode a [`TxnApply`] payload.
+pub fn encode_txn_apply(apply: &TxnApply) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(12 + apply.ops.len() * wire::TXN_OP_BYTES as usize);
+    wire::put_u64(&mut buf, apply.txn_id);
+    wire::put_u32(&mut buf, apply.ops.len() as u32);
+    for op in &apply.ops {
+        wire::put_txn_op(&mut buf, op);
+    }
+    buf
+}
+
+/// Decode a [`TxnApply`] payload.
+pub fn decode_txn_apply(payload: &[u8]) -> Result<TxnApply, WireError> {
+    let mut r = Reader::new(payload);
+    let txn_id = r.u64()?;
+    let n = r.count(wire::TXN_OP_BYTES as usize)?;
+    let mut ops = Vec::with_capacity(n);
+    for _ in 0..n {
+        ops.push(wire::get_txn_op(&mut r)?);
+    }
+    Ok(TxnApply { txn_id, ops })
+}
+
+/// A [`FrameKind::TxnReply`] payload: the three transaction outcomes.
+///
+/// Status byte 0 = committed, 1 = rejected (phase-1 violations follow),
+/// 2 = store error (shard + code + message, the [`ErrorReply`] shape).
+#[derive(Clone, Debug, PartialEq)]
+pub enum TxnReply {
+    /// The transaction committed (or was answered from the idempotence
+    /// ledger — `receipt.deduped`).
+    Committed(TxnReceipt),
+    /// Phase 1 rejected the batch; zero changes were applied.
+    Rejected {
+        txn_id: u64,
+        violations: Vec<TxnViolation>,
+    },
+    /// Phase 2 could not run (shard unavailable or panicked).
+    StoreError {
+        shard: u32,
+        /// One of [`error_code`]'s constants.
+        code: u8,
+        message: String,
+    },
+}
+
+const TXN_STATUS_COMMITTED: u8 = 0;
+const TXN_STATUS_REJECTED: u8 = 1;
+const TXN_STATUS_STORE_ERROR: u8 = 2;
+
+fn violation_tag(kind: ViolationKind) -> u8 {
+    match kind {
+        ViolationKind::DanglingDelete => 0,
+        ViolationKind::DanglingPatch => 1,
+        ViolationKind::DuplicateKey => 2,
+        ViolationKind::NonFiniteWeight => 3,
+        ViolationKind::UnknownEtype => 4,
+        ViolationKind::Empty => 5,
+    }
+}
+
+fn violation_from(tag: u8) -> Result<ViolationKind, WireError> {
+    Ok(match tag {
+        0 => ViolationKind::DanglingDelete,
+        1 => ViolationKind::DanglingPatch,
+        2 => ViolationKind::DuplicateKey,
+        3 => ViolationKind::NonFiniteWeight,
+        4 => ViolationKind::UnknownEtype,
+        5 => ViolationKind::Empty,
+        tag => {
+            return Err(WireError::BadTag {
+                what: "violation kind",
+                tag,
+            })
+        }
+    })
+}
+
+fn put_string(buf: &mut Vec<u8>, s: &str) {
+    wire::put_u32(buf, s.len() as u32);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+fn get_string(r: &mut Reader<'_>) -> Result<String, WireError> {
+    let n = r.count(1)?;
+    let mut bytes = Vec::with_capacity(n);
+    for _ in 0..n {
+        bytes.push(r.u8()?);
+    }
+    String::from_utf8(bytes).map_err(|_| WireError::BadTag {
+        what: "txn string utf8",
+        tag: 0,
+    })
+}
+
+/// Encode a [`TxnReply`] payload.
+pub fn encode_txn_reply(reply: &TxnReply) -> Vec<u8> {
+    let mut buf = Vec::new();
+    match reply {
+        TxnReply::Committed(receipt) => {
+            buf.push(TXN_STATUS_COMMITTED);
+            wire::put_u64(&mut buf, receipt.txn_id);
+            wire::put_u64(&mut buf, receipt.ops_applied);
+            wire::put_u64(&mut buf, receipt.graph_version);
+            buf.push(u8::from(receipt.deduped));
+        }
+        TxnReply::Rejected { txn_id, violations } => {
+            buf.push(TXN_STATUS_REJECTED);
+            wire::put_u64(&mut buf, *txn_id);
+            wire::put_u32(&mut buf, violations.len() as u32);
+            for v in violations {
+                wire::put_u32(&mut buf, v.op_index as u32);
+                buf.push(violation_tag(v.kind));
+                put_string(&mut buf, &v.detail);
+            }
+        }
+        TxnReply::StoreError {
+            shard,
+            code,
+            message,
+        } => {
+            buf.push(TXN_STATUS_STORE_ERROR);
+            wire::put_u32(&mut buf, *shard);
+            buf.push(*code);
+            put_string(&mut buf, message);
+        }
+    }
+    buf
+}
+
+/// Decode a [`TxnReply`] payload.
+pub fn decode_txn_reply(payload: &[u8]) -> Result<TxnReply, WireError> {
+    let mut r = Reader::new(payload);
+    match r.u8()? {
+        TXN_STATUS_COMMITTED => {
+            let txn_id = r.u64()?;
+            let ops_applied = r.u64()?;
+            let graph_version = r.u64()?;
+            let deduped = r.u8()? != 0;
+            Ok(TxnReply::Committed(TxnReceipt {
+                txn_id,
+                ops_applied,
+                graph_version,
+                deduped,
+            }))
+        }
+        TXN_STATUS_REJECTED => {
+            let txn_id = r.u64()?;
+            // Smallest violation record: op_index u32 + kind u8 + empty
+            // string (u32 length).
+            let n = r.count(9)?;
+            let mut violations = Vec::with_capacity(n);
+            for _ in 0..n {
+                let op_index = r.u32()? as usize;
+                let kind = violation_from(r.u8()?)?;
+                let detail = get_string(&mut r)?;
+                violations.push(TxnViolation {
+                    op_index,
+                    kind,
+                    detail,
+                });
+            }
+            Ok(TxnReply::Rejected { txn_id, violations })
+        }
+        TXN_STATUS_STORE_ERROR => {
+            let shard = r.u32()?;
+            let code = r.u8()?;
+            let message = get_string(&mut r)?;
+            Ok(TxnReply::StoreError {
+                shard,
+                code,
+                message,
+            })
+        }
+        tag => Err(WireError::BadTag {
+            what: "txn reply status",
+            tag,
+        }),
+    }
+}
+
 /// Error codes carried by [`FrameKind::ErrorReply`].
 pub mod error_code {
     /// A shard worker panicked while applying the batch.
@@ -457,6 +657,8 @@ mod tests {
             FrameKind::HealthReply,
             FrameKind::HealRequest,
             FrameKind::HealReply,
+            FrameKind::TxnApply,
+            FrameKind::TxnReply,
             FrameKind::ErrorReply,
         ] {
             let (back_kind, back_payload) = roundtrip(kind, b"xyz");
@@ -611,5 +813,78 @@ mod tests {
 
         assert_eq!(decode_heal_request(&encode_heal_request(7)), Ok(7));
         assert_eq!(decode_heal_reply(&encode_heal_reply(11)), Ok(11));
+    }
+
+    #[test]
+    fn txn_payloads_roundtrip_and_sizes_match() {
+        let apply = TxnApply {
+            txn_id: 0xdead_beef,
+            ops: vec![
+                TxnOp::InsertEdge(Edge::new(VertexId(1), VertexId(2), 0.5)),
+                TxnOp::DeleteEdge {
+                    src: VertexId(3),
+                    dst: VertexId(4),
+                    etype: EdgeType(1),
+                },
+                TxnOp::UpsertVertex {
+                    vertex: VertexId(5),
+                },
+            ],
+        };
+        let payload = encode_txn_apply(&apply);
+        let frame = encode_frame(FrameKind::TxnApply, &payload);
+        assert_eq!(frame.len() as u64, wire::txn_frame_bytes(3));
+        assert_eq!(decode_txn_apply(&payload).expect("apply"), apply);
+
+        let committed = TxnReply::Committed(TxnReceipt {
+            txn_id: 7,
+            ops_applied: 3,
+            graph_version: 12,
+            deduped: true,
+        });
+        let payload = encode_txn_reply(&committed);
+        let frame = encode_frame(FrameKind::TxnReply, &payload);
+        assert_eq!(frame.len() as u64, wire::TXN_REPLY_FRAME_BYTES);
+        assert_eq!(decode_txn_reply(&payload).expect("committed"), committed);
+
+        let rejected = TxnReply::Rejected {
+            txn_id: 9,
+            violations: vec![
+                TxnViolation {
+                    op_index: 0,
+                    kind: ViolationKind::DanglingDelete,
+                    detail: "edge (1, 0, 2) does not exist".to_string(),
+                },
+                TxnViolation {
+                    op_index: 4,
+                    kind: ViolationKind::NonFiniteWeight,
+                    detail: String::new(),
+                },
+            ],
+        };
+        let back = decode_txn_reply(&encode_txn_reply(&rejected)).expect("rejected");
+        assert_eq!(back, rejected);
+
+        let store_err = TxnReply::StoreError {
+            shard: 2,
+            code: error_code::SHARD_PANICKED,
+            message: "worker for shard 2 panicked".to_string(),
+        };
+        let back = decode_txn_reply(&encode_txn_reply(&store_err)).expect("store error");
+        assert_eq!(back, store_err);
+
+        // Truncations decode to errors, never panics.
+        let payload = encode_txn_reply(&rejected);
+        for cut in 0..payload.len() {
+            assert!(decode_txn_reply(&payload[..cut]).is_err(), "cut at {cut}");
+        }
+        // Unknown status byte.
+        assert!(matches!(
+            decode_txn_reply(&[9u8]),
+            Err(WireError::BadTag {
+                what: "txn reply status",
+                ..
+            })
+        ));
     }
 }

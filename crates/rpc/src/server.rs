@@ -26,11 +26,12 @@
 //! contract the paper's servers offer (cancellation is cooperative).
 
 use crate::codec::{
-    decode_heal_request, decode_sample_batch, decode_update_batch, encode_error_reply,
-    encode_heal_reply, encode_health_reply, encode_sample_reply, encode_update_reply, error_code,
-    read_frame, write_frame, ErrorReply, FrameError, FrameKind, HealthReply, UpdateReply,
+    decode_heal_request, decode_sample_batch, decode_txn_apply, decode_update_batch,
+    encode_error_reply, encode_heal_reply, encode_health_reply, encode_sample_reply,
+    encode_txn_reply, encode_update_reply, error_code, read_frame, write_frame, ErrorReply,
+    FrameError, FrameKind, HealthReply, TxnReply, UpdateReply,
 };
-use platod2gl_graph::Error;
+use platod2gl_graph::{Error, GraphTxn, TxnError};
 use platod2gl_obs::SlowOpRecord;
 use platod2gl_server::{route_for, DegradedPolicy, GraphService, SampleResponse, SlotSource};
 use rand::RngCore;
@@ -207,6 +208,7 @@ fn serve_connection<S: GraphService>(
     let frames = registry.counter("rpc.server.frames");
     let sample_requests = registry.counter("rpc.server.sample_requests");
     let update_ops = registry.counter("rpc.server.update_ops");
+    let txn_ops = registry.counter("rpc.server.txn_ops");
     let errors = registry.counter("rpc.server.errors");
     let deadline_expired = registry.counter("rpc.server.deadline_expired");
     let request_lat = registry.histogram("rpc.server.request_ns");
@@ -321,6 +323,39 @@ fn serve_connection<S: GraphService>(
                         spans: Vec::new(),
                     });
                 }
+            }
+            FrameKind::TxnApply => {
+                let apply = decode_txn_apply(&payload)?;
+                txn_ops.add(apply.ops.len() as u64);
+                let mut txn = GraphTxn::new(apply.txn_id);
+                for op in apply.ops {
+                    txn.push(op);
+                }
+                // Every outcome — commit, rejection, store error — is a
+                // well-formed TxnReply, so the client can always tell a
+                // served verdict from a transport failure (only the latter
+                // is retried, with the same txn id).
+                let reply = match service.apply_txn(&txn) {
+                    Ok(receipt) => TxnReply::Committed(receipt),
+                    Err(TxnError::Rejected { txn_id, violations }) => {
+                        errors.inc();
+                        TxnReply::Rejected { txn_id, violations }
+                    }
+                    Err(TxnError::Store(e)) => {
+                        errors.inc();
+                        let shard = match &e {
+                            Error::ShardPanicked { shard, .. }
+                            | Error::ShardUnavailable { shard } => *shard as u32,
+                            _ => 0,
+                        };
+                        TxnReply::StoreError {
+                            shard,
+                            code: error_code::SHARD_PANICKED,
+                            message: e.to_string(),
+                        }
+                    }
+                };
+                write_frame(&mut stream, FrameKind::TxnReply, &encode_txn_reply(&reply))?;
             }
             FrameKind::HealthProbe => {
                 let reply = HealthReply {

@@ -29,6 +29,10 @@ pub enum FaultKind {
     /// The next batch-update worker for the shard panics (worker crash);
     /// reads are unaffected until the crash happens.
     PanicNextBatch,
+    /// The next *transaction* touching the shard is refused at admission
+    /// (clean abort, zero changes); plain reads, updates, and batches are
+    /// unaffected. One-shot.
+    AbortNextTxn,
 }
 
 /// What the router should do with one request, as decided by the injector.
@@ -98,6 +102,28 @@ impl FaultInjector {
         self.set(shard, FaultKind::PanicNextBatch);
     }
 
+    /// Refuse the next transaction that involves the shard (clean abort at
+    /// admission; non-transactional traffic is unaffected).
+    pub fn abort_next_txn(&self, shard: usize) {
+        self.set(shard, FaultKind::AbortNextTxn);
+    }
+
+    /// Consume a pending [`FaultKind::AbortNextTxn`] for the shard.
+    /// Called once per shard at transaction admission.
+    pub(crate) fn take_abort_txn(&self, shard: usize) -> bool {
+        if self.active.load(Ordering::Relaxed) == 0 {
+            return false;
+        }
+        let mut plan = self.lock(shard);
+        if *plan == Some(FaultKind::AbortNextTxn) {
+            plan.take();
+            self.active.fetch_sub(1, Ordering::Relaxed);
+            true
+        } else {
+            false
+        }
+    }
+
     /// Remove any fault plan for the shard.
     pub fn clear(&self, shard: usize) {
         let mut plan = self.lock(shard);
@@ -145,6 +171,9 @@ impl FaultInjector {
                     Verdict::Proceed
                 }
             }
+            // Only consumed at transaction admission (take_abort_txn);
+            // regular traffic proceeds.
+            Some(FaultKind::AbortNextTxn) => Verdict::Proceed,
         }
     }
 }
@@ -189,6 +218,18 @@ mod tests {
         assert_eq!(inj.verdict(0, false), Verdict::Proceed, "reads unaffected");
         assert_eq!(inj.verdict(0, true), Verdict::PanicBatch);
         assert_eq!(inj.verdict(0, true), Verdict::Proceed, "one-shot");
+    }
+
+    #[test]
+    fn abort_next_txn_only_consumed_at_admission() {
+        let inj = FaultInjector::new(2);
+        inj.abort_next_txn(0);
+        assert_eq!(inj.verdict(0, false), Verdict::Proceed, "reads pass");
+        assert_eq!(inj.verdict(0, true), Verdict::Proceed, "batches pass");
+        assert!(!inj.take_abort_txn(1), "other shard unaffected");
+        assert!(inj.take_abort_txn(0));
+        assert!(!inj.take_abort_txn(0), "one-shot");
+        assert_eq!(inj.fault(0), None);
     }
 
     #[test]

@@ -36,6 +36,7 @@
 mod faults;
 mod request;
 mod service;
+mod txn;
 pub mod wire;
 
 pub use faults::{FaultInjector, FaultKind};
@@ -45,9 +46,13 @@ pub use platod2gl_obs::Histogram as LatencyHistogram;
 pub use platod2gl_obs::HistogramSnapshot;
 pub use request::{DegradedPolicy, SampleRequest, SampleResponse, SlotSource};
 pub use service::GraphService;
+pub use txn::TxnLogEntry;
 
 use faults::Verdict;
-use platod2gl_graph::{Edge, EdgeType, Error, GraphStore, Served, ShardHealth, UpdateOp, VertexId};
+use platod2gl_graph::{
+    validate_and_lower, Edge, EdgeType, Error, GraphStore, GraphTxn, Served, ShardHealth, TxnError,
+    TxnReceipt, TxnView, UpdateOp, VertexId,
+};
 use platod2gl_obs::{Counter, Gauge, Histogram, Registry};
 use platod2gl_storage::{AttributeStore, DynamicGraphStore, StoreConfig, StoreMemory};
 use rand::RngCore;
@@ -55,6 +60,7 @@ use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
+use txn::TxnPlane;
 
 /// Cluster-level configuration.
 #[derive(Clone, Copy, Debug)]
@@ -315,6 +321,11 @@ struct ClusterMetrics {
     heals: Arc<Counter>,
     healed_ops: Arc<Counter>,
     batch_apply_errors: Arc<Counter>,
+    txn_committed: Arc<Counter>,
+    txn_aborted: Arc<Counter>,
+    txn_deduped: Arc<Counter>,
+    txn_ops_applied: Arc<Counter>,
+    txn_abort_streak: Arc<Gauge>,
     sample_latency: Arc<Histogram>,
     update_latency: Arc<Histogram>,
     graph_version: Arc<Gauge>,
@@ -335,6 +346,11 @@ impl ClusterMetrics {
             heals: registry.counter("cluster.heals"),
             healed_ops: registry.counter("cluster.healed_ops"),
             batch_apply_errors: registry.counter("cluster.batch_apply_errors"),
+            txn_committed: registry.counter("txn.committed"),
+            txn_aborted: registry.counter("txn.aborted"),
+            txn_deduped: registry.counter("txn.deduped"),
+            txn_ops_applied: registry.counter("txn.ops_applied"),
+            txn_abort_streak: registry.gauge("txn.abort_streak"),
             sample_latency: registry.histogram("cluster.sample_latency_ns"),
             update_latency: registry.histogram("cluster.update_latency_ns"),
             graph_version: registry.gauge("cluster.graph_version"),
@@ -356,6 +372,10 @@ pub struct Cluster {
     /// aggregates across shards.
     registry: Arc<Registry>,
     m: ClusterMetrics,
+    /// Transaction-plane state: the idempotence ledger answering RPC
+    /// retries, the `/debug/txns` journal, the abort streak fed to
+    /// `/healthz`, and the declared relation schema.
+    txn: TxnPlane,
     /// Monotone graph-version counter, bumped on every mutation that lands
     /// on a shard (see [`Cluster::graph_version`]). Bounded-staleness
     /// caches key their entries to this. Mirrored into the
@@ -414,6 +434,7 @@ impl Cluster {
             config,
             registry,
             m,
+            txn: TxnPlane::new(),
             version: AtomicU64::new(0),
         }
     }
@@ -839,6 +860,253 @@ impl Cluster {
         }
     }
 
+    /// Declare the relation schema: edge types `0..limit` are known, and a
+    /// transaction naming any other etype is rejected in phase 1 with
+    /// [`ViolationKind::UnknownEtype`](platod2gl_graph::ViolationKind).
+    /// `None` (the default) removes the restriction. Only the transactional
+    /// path validates against the schema; raw update batches are unchecked.
+    pub fn set_etype_limit(&self, limit: Option<u16>) {
+        let raw = limit.map_or(u32::MAX, u32::from);
+        self.txn.etype_limit.store(raw, Ordering::Relaxed);
+    }
+
+    /// The `/debug/txns` journal: recent transaction outcomes, oldest first.
+    pub fn txn_journal(&self) -> Vec<TxnLogEntry> {
+        self.txn.recent()
+    }
+
+    /// Consecutive transaction aborts since the last commit (a storage
+    /// sickness signal for `/healthz`, distinct from shard health).
+    pub fn txn_abort_streak(&self) -> u64 {
+        self.txn.abort_streak.load(Ordering::Relaxed)
+    }
+
+    /// Record one aborted transaction: counter, streak, journal.
+    fn note_txn_abort(&self, txn_id: u64, outcome: &'static str, detail: String) {
+        self.m.txn_aborted.inc();
+        let streak = self.txn.abort_streak.fetch_add(1, Ordering::Relaxed) + 1;
+        self.m.txn_abort_streak.set(streak as i64);
+        self.txn.log(TxnLogEntry {
+            txn_id,
+            outcome,
+            ops: 0,
+            detail,
+        });
+    }
+
+    /// Apply a typed transaction: two-phase, all-or-nothing across shards.
+    ///
+    /// **Phase 1** validates the whole batch against live topology
+    /// ([`validate_and_lower`]) and rejects it — zero changes — on any
+    /// violation. **Phase 2** partitions the lowered ops by owning shard
+    /// and applies every partition in parallel through the PALM batch
+    /// updater, bumping the graph version once on commit.
+    ///
+    /// Admission is *strict*, unlike [`Cluster::apply_batch_sharded`]: a
+    /// transaction is atomic across shards, so if any involved shard is
+    /// failed, unavailable after retries, or scripted with
+    /// [`FaultKind::AbortNextTxn`], the whole transaction aborts cleanly
+    /// (nothing is queued — atomicity over availability). Admission aborts
+    /// never mutate shard health; the regular update path owns failure
+    /// discovery. A *worker panic* mid-apply is a real shard crash: the
+    /// shard is marked failed and the error surfaces as
+    /// [`Error::ShardPanicked`].
+    ///
+    /// Replaying an already-committed txn id answers from the idempotence
+    /// ledger with `deduped = true` instead of applying twice — the server
+    /// half of the RPC retry contract.
+    pub fn apply_txn(&self, txn: &GraphTxn) -> Result<TxnReceipt, TxnError> {
+        let _span = self.registry.span("cluster.apply_txn");
+        let started = Instant::now();
+
+        if let Some(mut receipt) = self.txn.lookup(txn.id()) {
+            receipt.deduped = true;
+            self.m.txn_deduped.inc();
+            self.txn.log(TxnLogEntry {
+                txn_id: txn.id(),
+                outcome: "deduped",
+                ops: receipt.ops_applied,
+                detail: String::new(),
+            });
+            return Ok(receipt);
+        }
+
+        // Phase 1: validate against the cluster's live topology (the
+        // `TxnView` impl below routes reads to the owning shards).
+        let lowered = match validate_and_lower(txn, self) {
+            Ok(lowered) => lowered,
+            Err(e) => {
+                self.note_txn_abort(
+                    txn.id(),
+                    "rejected",
+                    format!("{} violation(s)", e.violations().len()),
+                );
+                return Err(e);
+            }
+        };
+
+        let mut per_shard: Vec<Vec<UpdateOp>> = vec![Vec::new(); self.servers.len()];
+        for op in &lowered {
+            per_shard[self.route(op.src())].push(*op);
+        }
+        // One txn-apply frame per involved shard, one reply back from each.
+        let live_shards = per_shard.iter().filter(|p| !p.is_empty());
+        let (frames, req_bytes) = live_shards.fold((0u64, 0u64), |(n, b), p| {
+            (n + 1, b + wire::txn_frame_bytes(p.len()))
+        });
+        self.tally(frames, req_bytes, frames * wire::TXN_REPLY_FRAME_BYTES);
+
+        // Strict admission: every involved shard must be able to take its
+        // partition *before* any shard applies anything.
+        struct Admission {
+            delay: Option<Duration>,
+            panic: bool,
+        }
+        let mut admitted: Vec<Option<Admission>> = Vec::with_capacity(per_shard.len());
+        for (shard, shard_ops) in per_shard.iter().enumerate() {
+            if shard_ops.is_empty() {
+                admitted.push(None);
+                continue;
+            }
+            if self.faults.take_abort_txn(shard) {
+                self.m.failed_requests.inc();
+                self.note_txn_abort(
+                    txn.id(),
+                    "unavailable",
+                    format!("shard {shard}: scripted txn abort"),
+                );
+                return Err(TxnError::Store(Error::ShardUnavailable { shard }));
+            }
+            if self.shard_states[shard].health() == ShardHealth::Failed {
+                self.m.failed_requests.inc();
+                self.note_txn_abort(txn.id(), "unavailable", format!("shard {shard}: failed"));
+                return Err(TxnError::Store(Error::ShardUnavailable { shard }));
+            }
+            let mut admission = None;
+            for attempt in 0..=MAX_RETRIES {
+                match self.faults.verdict(shard, true) {
+                    Verdict::Proceed => {
+                        admission = Some(Admission {
+                            delay: None,
+                            panic: false,
+                        });
+                        break;
+                    }
+                    Verdict::ProceedAfter(delay) => {
+                        admission = Some(Admission {
+                            delay: Some(delay),
+                            panic: false,
+                        });
+                        break;
+                    }
+                    Verdict::PanicBatch => {
+                        admission = Some(Admission {
+                            delay: None,
+                            panic: true,
+                        });
+                        break;
+                    }
+                    Verdict::Transient => {
+                        self.m.retried_requests.inc();
+                        std::thread::sleep(Duration::from_micros(backoff_micros(attempt)));
+                    }
+                    Verdict::Unavailable => break,
+                }
+            }
+            match admission {
+                Some(a) => admitted.push(Some(a)),
+                None => {
+                    // Unavailable, or retry budget exhausted: clean abort.
+                    self.m.failed_requests.inc();
+                    self.note_txn_abort(
+                        txn.id(),
+                        "unavailable",
+                        format!("shard {shard}: unavailable"),
+                    );
+                    return Err(TxnError::Store(Error::ShardUnavailable { shard }));
+                }
+            }
+        }
+
+        // Phase 2: apply every partition, shards in parallel.
+        let threads = self.config.threads_per_shard.max(1);
+        let mut worker_outcomes: Vec<(usize, Result<(), String>)> = Vec::new();
+        std::thread::scope(|s| {
+            let mut handles = Vec::new();
+            for (shard, (shard_ops, admission)) in per_shard.iter().zip(&admitted).enumerate() {
+                let Some(admission) = admission else { continue };
+                let server = &self.servers[shard];
+                let (delay, panic) = (admission.delay, admission.panic);
+                handles.push((
+                    shard,
+                    s.spawn(move || {
+                        std::panic::catch_unwind(AssertUnwindSafe(|| {
+                            if let Some(d) = delay {
+                                std::thread::sleep(d);
+                            }
+                            if panic {
+                                panic!("injected fault: shard {shard} txn worker crashed");
+                            }
+                            server.topology.apply_batch_parallel(shard_ops, threads);
+                        }))
+                        .map_err(|payload| panic_message(&*payload))
+                    }),
+                ));
+            }
+            for (shard, handle) in handles {
+                let outcome = handle
+                    .join()
+                    .unwrap_or_else(|payload| Err(panic_message(&*payload)));
+                worker_outcomes.push((shard, outcome));
+            }
+        });
+        self.m.update_latency.record(started.elapsed());
+
+        let mut first_panic = None;
+        let mut any_applied = false;
+        for (shard, outcome) in worker_outcomes {
+            match outcome {
+                Ok(()) => any_applied = true,
+                Err(detail) => {
+                    self.shard_states[shard].set_health(ShardHealth::Failed);
+                    self.m.failed_requests.inc();
+                    if first_panic.is_none() {
+                        first_panic = Some(Error::ShardPanicked { shard, detail });
+                    }
+                }
+            }
+        }
+        if any_applied {
+            // Version bumps only when shard state actually changed — a
+            // rejected or admission-aborted txn leaves caches valid. A
+            // partial panic still bumps: the surviving shards mutated.
+            self.bump_version();
+        }
+        if let Some(e) = first_panic {
+            self.note_txn_abort(txn.id(), "panicked", e.to_string());
+            return Err(TxnError::Store(e));
+        }
+
+        let receipt = TxnReceipt {
+            txn_id: txn.id(),
+            ops_applied: lowered.len() as u64,
+            graph_version: self.graph_version(),
+            deduped: false,
+        };
+        self.txn.record_commit(receipt);
+        self.txn.abort_streak.store(0, Ordering::Relaxed);
+        self.m.txn_abort_streak.set(0);
+        self.m.txn_committed.inc();
+        self.m.txn_ops_applied.add(receipt.ops_applied);
+        self.txn.log(TxnLogEntry {
+            txn_id: txn.id(),
+            outcome: "committed",
+            ops: receipt.ops_applied,
+            detail: String::new(),
+        });
+        Ok(receipt)
+    }
+
     /// Time-decay sweep across all shards (each shard in sequence; shards
     /// are independent so production runs them concurrently). Maintenance
     /// path: not fault-routed.
@@ -1052,6 +1320,25 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
         s.clone()
     } else {
         "non-string panic payload".to_string()
+    }
+}
+
+/// Phase-1 validation reads, routed to the owning shards. Reads go to shard
+/// storage directly (validation is a maintenance-grade path, not
+/// fault-routed): a transaction that touches an unavailable shard is caught
+/// at admission, not during validation.
+impl TxnView for Cluster {
+    fn edge_weight(&self, src: VertexId, dst: VertexId, etype: EdgeType) -> Option<f64> {
+        self.shard_for(src).topology.edge_weight(src, dst, etype)
+    }
+
+    fn neighbors(&self, v: VertexId, etype: EdgeType) -> Vec<(VertexId, f64)> {
+        self.shard_for(v).topology.neighbors(v, etype)
+    }
+
+    fn known_etype(&self, etype: EdgeType) -> bool {
+        let limit = self.txn.etype_limit.load(Ordering::Relaxed);
+        limit == u32::MAX || u32::from(etype.0) < limit
     }
 }
 
@@ -1600,8 +1887,11 @@ mod tests {
         c.faults().fail_shard(shard);
         assert_eq!(c.degree(VertexId(4), EdgeType(0)), 0);
         assert_eq!(c.weight_sum(VertexId(4), EdgeType(0)), 0.0);
-        assert_eq!(c.edge_weight(VertexId(4), VertexId(100), EdgeType(0)), None);
-        assert!(c.neighbors(VertexId(4), EdgeType(0)).is_empty());
+        assert_eq!(
+            GraphStore::edge_weight(&c, VertexId(4), VertexId(100), EdgeType(0)),
+            None
+        );
+        assert!(GraphStore::neighbors(&c, VertexId(4), EdgeType(0)).is_empty());
         assert!(c.top_k_neighbors(VertexId(4), EdgeType(0), 3).is_empty());
         let t = c.traffic();
         assert!(t.degraded_responses >= 5);

@@ -22,7 +22,7 @@
 
 use crate::request::{SampleRequest, SampleResponse};
 use crate::{BatchReport, Cluster};
-use platod2gl_graph::{Error, ShardHealth, UpdateOp};
+use platod2gl_graph::{Error, GraphTxn, ShardHealth, TxnError, TxnReceipt, UpdateOp};
 use platod2gl_obs::Registry;
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
@@ -59,6 +59,12 @@ pub trait GraphService: Sync {
     /// may retry a batch whose reply was lost.
     fn apply_updates(&self, ops: &[UpdateOp]) -> Result<BatchReport, Error>;
 
+    /// Apply a typed transaction: phase-1 validated against live topology,
+    /// all-or-nothing, idempotent on txn-id replay (see
+    /// [`Cluster::apply_txn`]). Remote implementations retry with the
+    /// *same* txn id so a lost reply never double-applies.
+    fn apply_txn(&self, txn: &GraphTxn) -> Result<TxnReceipt, TxnError>;
+
     /// The service's monotone graph version (bumped on every mutation);
     /// bounded-staleness caches key entries to this.
     fn graph_version(&self) -> u64;
@@ -88,6 +94,10 @@ impl GraphService for Cluster {
 
     fn apply_updates(&self, ops: &[UpdateOp]) -> Result<BatchReport, Error> {
         self.apply_batch_sharded(ops)
+    }
+
+    fn apply_txn(&self, txn: &GraphTxn) -> Result<TxnReceipt, TxnError> {
+        Cluster::apply_txn(self, txn)
     }
 
     fn graph_version(&self) -> u64 {
@@ -175,5 +185,19 @@ mod tests {
             .expect("no faults");
         assert_eq!(report.applied_ops, 1);
         assert_eq!(svc.heal(0), 0, "healthy shard drains nothing");
+        let receipt = svc
+            .apply_txn(&GraphTxn::new(1).insert_edge(Edge::new(VertexId(11), VertexId(12), 1.0)))
+            .expect("commits");
+        assert_eq!(receipt.ops_applied, 1);
+        assert!(!receipt.deduped);
+        assert!(
+            svc.apply_txn(&GraphTxn::new(1).insert_edge(Edge::new(
+                VertexId(11),
+                VertexId(12),
+                1.0
+            )))
+            .expect("replay answers from the ledger")
+            .deduped
+        );
     }
 }

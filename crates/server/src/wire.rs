@@ -24,6 +24,7 @@
 //! SampleResponse (9 + 9n B): flags u8 (bit0 = degraded) | shard u32 | n u32
 //!                        | n x (neighbor u64 | source u8)
 //! UpdateOp       (27 B): kind u8 | src u64 | dst u64 | etype u16 | weight f64
+//! TxnOp          (27 B): kind u8 | src u64 | dst u64 | etype u16 | weight f64
 //! ```
 //!
 //! The `rng_seed` field makes remote sampling deterministic: the client
@@ -33,7 +34,7 @@
 //! derivation, so a trainer produces identical draws against either.
 
 use crate::request::{DegradedPolicy, SampleRequest, SampleResponse, SlotSource};
-use platod2gl_graph::{Edge, EdgeType, ShardHealth, UpdateOp, VertexId};
+use platod2gl_graph::{Edge, EdgeType, ShardHealth, TxnOp, UpdateOp, VertexId};
 use std::fmt;
 
 /// Fixed per-frame overhead of the rpc frame layer: 4-byte length prefix,
@@ -82,6 +83,24 @@ pub fn update_frame_bytes(ops: usize) -> u64 {
 
 /// Full on-wire size of an update reply frame (applied u64 + queued u64).
 pub const UPDATE_REPLY_FRAME_BYTES: u64 = FRAME_OVERHEAD_BYTES + 16;
+
+/// Encoded size of one [`TxnOp`] record (same fixed 27-byte layout as
+/// [`UpdateOp`]: vertex-granular ops carry a zero dst/weight).
+pub const TXN_OP_BYTES: u64 = 27;
+
+/// Fixed body prefix of a txn-apply frame: txn_id u64 + op count u32.
+pub const TXN_BATCH_HEADER_BYTES: u64 = 12;
+
+/// Full on-wire size of a txn-apply frame carrying `ops` typed ops.
+pub fn txn_frame_bytes(ops: usize) -> u64 {
+    FRAME_OVERHEAD_BYTES + TXN_BATCH_HEADER_BYTES + ops as u64 * TXN_OP_BYTES
+}
+
+/// Full on-wire size of a committed txn reply frame (status u8 + txn_id
+/// u64 + ops_applied u64 + graph_version u64 + deduped u8). Rejection
+/// replies are larger (they carry violations); the traffic model uses the
+/// commit size, the overwhelmingly common case.
+pub const TXN_REPLY_FRAME_BYTES: u64 = FRAME_OVERHEAD_BYTES + 26;
 
 /// A record failed to decode. The frame layer has already verified the
 /// CRC when this is raised, so a `WireError` means a peer speaking a
@@ -389,6 +408,70 @@ pub fn get_update_op(r: &mut Reader<'_>) -> Result<UpdateOp, WireError> {
     }
 }
 
+const TXNOP_INSERT_EDGE: u8 = 0;
+const TXNOP_DELETE_EDGE: u8 = 1;
+const TXNOP_PATCH_WEIGHT: u8 = 2;
+const TXNOP_UPSERT_VERTEX: u8 = 3;
+const TXNOP_DELETE_VERTEX: u8 = 4;
+
+/// Encode one [`TxnOp`] record (fixed layout mirroring [`put_update_op`]:
+/// kind u8 | src u64 | dst u64 | etype u16 | weight f64; vertex-granular
+/// ops carry a zero dst and weight).
+pub fn put_txn_op(buf: &mut Vec<u8>, op: &TxnOp) {
+    let before = buf.len();
+    let (kind, src, dst, etype, weight) = match op {
+        TxnOp::InsertEdge(e) => (TXNOP_INSERT_EDGE, e.src, e.dst, e.etype, e.weight),
+        TxnOp::DeleteEdge { src, dst, etype } => (TXNOP_DELETE_EDGE, *src, *dst, *etype, 0.0),
+        TxnOp::PatchWeight(e) => (TXNOP_PATCH_WEIGHT, e.src, e.dst, e.etype, e.weight),
+        TxnOp::UpsertVertex { vertex } => (
+            TXNOP_UPSERT_VERTEX,
+            *vertex,
+            VertexId(0),
+            EdgeType::DEFAULT,
+            0.0,
+        ),
+        TxnOp::DeleteVertex { vertex, etype } => {
+            (TXNOP_DELETE_VERTEX, *vertex, VertexId(0), *etype, 0.0)
+        }
+    };
+    buf.push(kind);
+    put_u64(buf, src.raw());
+    put_u64(buf, dst.raw());
+    put_u16(buf, etype.0);
+    buf.extend_from_slice(&weight.to_le_bytes());
+    debug_assert_eq!((buf.len() - before) as u64, TXN_OP_BYTES);
+}
+
+/// Decode one [`TxnOp`] record.
+pub fn get_txn_op(r: &mut Reader<'_>) -> Result<TxnOp, WireError> {
+    let kind = r.u8()?;
+    let src = VertexId(r.u64()?);
+    let dst = VertexId(r.u64()?);
+    let etype = EdgeType(r.u16()?);
+    let weight = r.f64()?;
+    match kind {
+        TXNOP_INSERT_EDGE => Ok(TxnOp::InsertEdge(Edge {
+            src,
+            dst,
+            etype,
+            weight,
+        })),
+        TXNOP_DELETE_EDGE => Ok(TxnOp::DeleteEdge { src, dst, etype }),
+        TXNOP_PATCH_WEIGHT => Ok(TxnOp::PatchWeight(Edge {
+            src,
+            dst,
+            etype,
+            weight,
+        })),
+        TXNOP_UPSERT_VERTEX => Ok(TxnOp::UpsertVertex { vertex: src }),
+        TXNOP_DELETE_VERTEX => Ok(TxnOp::DeleteVertex { vertex: src, etype }),
+        tag => Err(WireError::BadTag {
+            what: "txn op",
+            tag,
+        }),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -505,5 +588,48 @@ mod tests {
             update_frame_bytes(2),
             FRAME_OVERHEAD_BYTES + UPDATE_BATCH_HEADER_BYTES + 2 * UPDATE_OP_BYTES
         );
+        assert_eq!(
+            txn_frame_bytes(4),
+            FRAME_OVERHEAD_BYTES + TXN_BATCH_HEADER_BYTES + 4 * TXN_OP_BYTES
+        );
+    }
+
+    #[test]
+    fn txn_ops_roundtrip_at_fixed_size() {
+        let ops = [
+            TxnOp::InsertEdge(Edge::new(VertexId(1), VertexId(2), 0.5)),
+            TxnOp::DeleteEdge {
+                src: VertexId(3),
+                dst: VertexId(4),
+                etype: EdgeType(7),
+            },
+            TxnOp::PatchWeight(Edge {
+                src: VertexId(5),
+                dst: VertexId(6),
+                etype: EdgeType(2),
+                weight: 9.25,
+            }),
+            TxnOp::UpsertVertex {
+                vertex: VertexId(8),
+            },
+            TxnOp::DeleteVertex {
+                vertex: VertexId(9),
+                etype: EdgeType(3),
+            },
+        ];
+        for op in &ops {
+            let mut buf = Vec::new();
+            put_txn_op(&mut buf, op);
+            assert_eq!(buf.len() as u64, TXN_OP_BYTES);
+            let back = get_txn_op(&mut Reader::new(&buf)).expect("decode");
+            assert_eq!(back, *op);
+        }
+        // Unknown kind tag.
+        let mut buf = vec![5u8];
+        buf.extend_from_slice(&[0u8; 26]);
+        assert!(matches!(
+            get_txn_op(&mut Reader::new(&buf)),
+            Err(WireError::BadTag { what: "txn op", .. })
+        ));
     }
 }

@@ -21,11 +21,13 @@
 
 mod attr;
 pub mod crc32c;
+mod fault;
 mod snapshot;
 mod topology;
 mod wal;
 
 pub use attr::AttributeStore;
+pub use fault::{CrashInjector, CrashPoint};
 pub use snapshot::{read_snapshot, write_snapshot, write_snapshot_v1, SNAPSHOT_VERSION};
 pub use topology::{AdjacencyEntry, DynamicGraphStore, StoreConfig, StoreMemory};
 pub use wal::{

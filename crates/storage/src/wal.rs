@@ -17,10 +17,42 @@
 //!   tag 2 Delete        body = src:u64le dst:u64le etype:u16le
 //!   tag 3 UpdateWeight  body = src:u64le dst:u64le etype:u16le weight:f64le-bits
 //!   tag 4 Batch         body = count:u32le , count × (tag:u8 , body as above)
+//!   tag 5 BatchBegin    body = txn_id:u64le , n_ops:u32le
+//!   tag 6 BatchCommit   body = txn_id:u64le , crc:u32le
 //! ```
 //!
 //! A `Batch` record is replayed atomically: either all of its ops are
 //! delivered or (if the record is torn) none are.
+//!
+//! # Transaction markers
+//!
+//! A transaction ([`DurableGraphStore::try_apply_txn`]) brackets its op
+//! records with `BatchBegin{txn_id, n_ops}` and `BatchCommit{txn_id, crc}`
+//! markers. `crc` is CRC32C over the concatenated little-endian per-record
+//! CRC32C values of the transaction's op records, in order — streamable at
+//! write and replay time, and transitively covering the op payloads (each
+//! record CRC already covers its payload).
+//!
+//! Replay buffers the ops between a `BatchBegin` and its `BatchCommit` and
+//! delivers them only when the commit marker matches (same txn id, op count
+//! equal to the begin's `n_ops`, CRC chain equal to the commit's `crc`):
+//!
+//! * **No commit before end-of-file** (the process died mid-transaction):
+//!   the buffered ops are dropped, reported as
+//!   [`TornTailKind::UncommittedBatch`], and `durable_len` rolls back to the
+//!   `BatchBegin` offset so the whole partial transaction is truncated away.
+//! * **No commit before the next `BatchBegin`** (the process died
+//!   mid-transaction, restarted, and kept appending): the buffered ops are
+//!   dropped and counted in [`WalReplayReport::dropped_batches`]; the
+//!   records stay on disk (there is durable data after them) and every
+//!   future replay deterministically drops them again.
+//! * A `BatchCommit` with no pending transaction, a mismatched txn id or op
+//!   count, or a CRC-chain mismatch is a hard
+//!   [`io::ErrorKind::InvalidData`] error: every involved record passed its
+//!   own CRC, so this is a writer bug or tampering, never crash debris.
+//!
+//! Logs written before these markers existed (no tag-5/6 records) replay
+//! exactly as before.
 //!
 //! # Torn-tail semantics
 //!
@@ -42,12 +74,17 @@
 //!   than silently dropping committed updates.
 
 use crate::crc32c::crc32c;
+use crate::fault::{CrashInjector, CrashPoint};
 use crate::topology::{DynamicGraphStore, StoreConfig};
-use platod2gl_graph::{sanitize_weight, Edge, EdgeType, Error, GraphStore, UpdateOp, VertexId};
+use platod2gl_graph::{
+    sanitize_weight, validate_and_lower, Edge, EdgeType, Error, GraphStore, GraphTxn, StoreTxnView,
+    TxnError, TxnReceipt, UpdateOp, VertexId,
+};
 use platod2gl_obs::{Counter, Gauge, Histogram, Registry};
 use std::fs::{File, OpenOptions};
 use std::io::{self, BufWriter, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
@@ -58,6 +95,8 @@ const TAG_INSERT: u8 = 1;
 const TAG_DELETE: u8 = 2;
 const TAG_UPDATE_WEIGHT: u8 = 3;
 const TAG_BATCH: u8 = 4;
+const TAG_BATCH_BEGIN: u8 = 5;
+const TAG_BATCH_COMMIT: u8 = 6;
 
 /// Upper bound on a single record payload; anything larger is treated as
 /// corruption. A batch of 1M ops encodes to ~27 MB, far below this.
@@ -173,25 +212,52 @@ impl<'a> Decoder<'a> {
     }
 }
 
-/// Decode a full record payload into its ops. `None` on any structural
-/// problem (unknown tag, short body, trailing bytes).
-fn decode_payload(payload: &[u8], ops: &mut Vec<UpdateOp>) -> Option<usize> {
+/// What one CRC-validated record holds.
+enum RecordBody {
+    /// Plain op record (single op or tag-4 batch): `n` ops pushed.
+    Ops(usize),
+    /// Transaction `BatchBegin` marker.
+    TxnBegin { txn_id: u64, n_ops: u32 },
+    /// Transaction `BatchCommit` marker.
+    TxnCommit { txn_id: u64, crc: u32 },
+}
+
+/// Decode a full record payload. `None` on any structural problem (unknown
+/// tag, short body, trailing bytes). Ops are pushed onto `ops`.
+fn decode_payload(payload: &[u8], ops: &mut Vec<UpdateOp>) -> Option<RecordBody> {
     let mut d = Decoder::new(payload);
     let first = *payload.first()?;
-    let n = if first == TAG_BATCH {
-        d.u8()?;
-        let count = d.u32()? as usize;
-        for _ in 0..count {
-            ops.push(d.op()?);
+    let body = match first {
+        TAG_BATCH => {
+            d.u8()?;
+            let count = d.u32()? as usize;
+            for _ in 0..count {
+                ops.push(d.op()?);
+            }
+            RecordBody::Ops(count)
         }
-        count
-    } else {
-        ops.push(d.op()?);
-        1
+        TAG_BATCH_BEGIN => {
+            d.u8()?;
+            RecordBody::TxnBegin {
+                txn_id: d.u64()?,
+                n_ops: d.u32()?,
+            }
+        }
+        TAG_BATCH_COMMIT => {
+            d.u8()?;
+            RecordBody::TxnCommit {
+                txn_id: d.u64()?,
+                crc: d.u32()?,
+            }
+        }
+        _ => {
+            ops.push(d.op()?);
+            RecordBody::Ops(1)
+        }
     };
     // A CRC-valid record with trailing junk indicates a writer bug, not a
     // torn write — reject it.
-    (d.pos == payload.len()).then_some(n)
+    (d.pos == payload.len()).then_some(body)
 }
 
 // ---------------------------------------------------------------------------
@@ -232,7 +298,7 @@ impl<W: Write> WalWriter<W> {
         }
     }
 
-    fn append_payload(&mut self) -> io::Result<()> {
+    fn append_payload(&mut self) -> io::Result<u32> {
         let payload = &self.scratch;
         let crc = crc32c(payload);
         self.w.write_all(&(payload.len() as u32).to_le_bytes())?;
@@ -240,21 +306,28 @@ impl<W: Write> WalWriter<W> {
         self.w.write_all(&crc.to_le_bytes())?;
         self.offset += 4 + payload.len() as u64 + 4;
         self.records += 1;
-        Ok(())
+        Ok(crc)
     }
 
     /// Append a single op as one record.
     pub fn append(&mut self, op: &UpdateOp) -> io::Result<()> {
         self.scratch.clear();
         encode_op(op, &mut self.scratch);
-        self.append_payload()
+        self.append_payload().map(|_| ())
     }
 
     /// Append a batch of ops as one atomic record. Empty batches are a
     /// no-op (a zero-length frame is reserved as a torn-tail marker).
     pub fn append_batch(&mut self, ops: &[UpdateOp]) -> io::Result<()> {
+        self.append_batch_crc(ops).map(|_| ())
+    }
+
+    /// [`append_batch`](WalWriter::append_batch), returning the record's
+    /// CRC32C — the transaction protocol chains these into its commit
+    /// marker. An empty batch writes nothing and returns 0.
+    pub fn append_batch_crc(&mut self, ops: &[UpdateOp]) -> io::Result<u32> {
         if ops.is_empty() {
-            return Ok(());
+            return Ok(0);
         }
         self.scratch.clear();
         self.scratch.push(TAG_BATCH);
@@ -266,6 +339,27 @@ impl<W: Write> WalWriter<W> {
             self.scratch.extend_from_slice(&tmp);
         }
         self.append_payload()
+    }
+
+    /// Append a `BatchBegin{txn_id, n_ops}` transaction marker.
+    pub fn append_txn_begin(&mut self, txn_id: u64, n_ops: u32) -> io::Result<()> {
+        self.scratch.clear();
+        self.scratch.push(TAG_BATCH_BEGIN);
+        self.scratch.extend_from_slice(&txn_id.to_le_bytes());
+        self.scratch.extend_from_slice(&n_ops.to_le_bytes());
+        self.append_payload().map(|_| ())
+    }
+
+    /// Append a `BatchCommit{txn_id, crc}` transaction marker. `crc` is
+    /// CRC32C over the concatenated little-endian record CRCs returned by
+    /// the transaction's [`append_batch_crc`](WalWriter::append_batch_crc)
+    /// calls, in order.
+    pub fn append_txn_commit(&mut self, txn_id: u64, crc: u32) -> io::Result<()> {
+        self.scratch.clear();
+        self.scratch.push(TAG_BATCH_COMMIT);
+        self.scratch.extend_from_slice(&txn_id.to_le_bytes());
+        self.scratch.extend_from_slice(&crc.to_le_bytes());
+        self.append_payload().map(|_| ())
     }
 
     pub fn flush(&mut self) -> io::Result<()> {
@@ -306,6 +400,11 @@ pub enum TornTailKind {
     BadTailChecksum,
     /// A zero-length frame (zero-fill from crash on a preallocated file).
     ZeroFill,
+    /// The log ended while a transaction's `BatchBegin` had no matching
+    /// `BatchCommit` — the process died mid-transaction. The offset points
+    /// at the `BatchBegin` record; truncating there removes the whole
+    /// partial transaction.
+    UncommittedBatch,
 }
 
 /// A tolerated partial record at the end of the log.
@@ -328,6 +427,9 @@ pub struct WalReplayReport {
     pub durable_len: u64,
     /// The tolerated partial record, if the log did not end cleanly.
     pub torn_tail: Option<TornTail>,
+    /// Uncommitted transactions dropped (no `BatchCommit` before the next
+    /// `BatchBegin` or end-of-file). Their ops were never delivered.
+    pub dropped_batches: u64,
 }
 
 fn invalid(msg: String) -> io::Error {
@@ -410,10 +512,43 @@ fn replay_wal_bytes(data: &[u8], sink: &mut dyn FnMut(UpdateOp)) -> io::Result<W
     let mut pos = WAL_MAGIC.len();
     let mut ops = Vec::new();
 
+    /// An in-flight transaction: everything between its `BatchBegin` and
+    /// the `BatchCommit` that has not yet arrived.
+    struct Pending {
+        txn_id: u64,
+        n_ops: u32,
+        /// Byte offset of the `BatchBegin` record.
+        begin_offset: u64,
+        /// `report.records` before the `BatchBegin` was counted.
+        records_at_begin: u64,
+        ops: Vec<UpdateOp>,
+        /// Concatenated little-endian record CRCs (the commit-CRC chain).
+        crc_chain: Vec<u8>,
+    }
+
+    // The log ended (cleanly or torn) while a transaction was pending: the
+    // commit marker never made it to disk. Drop the buffered ops and roll
+    // the durable prefix back to the `BatchBegin`, so truncation removes
+    // the whole partial transaction. This supersedes any later torn tail —
+    // the partial txn starts earlier.
+    fn drop_pending_at_eof(report: &mut WalReplayReport, p: Pending) {
+        report.durable_len = p.begin_offset;
+        report.records = p.records_at_begin;
+        report.dropped_batches += 1;
+        report.torn_tail = Some(TornTail {
+            offset: p.begin_offset,
+            kind: TornTailKind::UncommittedBatch,
+        });
+    }
+    let mut pending: Option<Pending> = None;
+
     loop {
         report.durable_len = pos as u64;
         let remaining = data.len() - pos;
         if remaining == 0 {
+            if let Some(p) = pending.take() {
+                drop_pending_at_eof(&mut report, p);
+            }
             return Ok(report);
         }
         if remaining < 4 {
@@ -421,6 +556,9 @@ fn replay_wal_bytes(data: &[u8], sink: &mut dyn FnMut(UpdateOp)) -> io::Result<W
                 offset: pos as u64,
                 kind: TornTailKind::TruncatedHeader,
             });
+            if let Some(p) = pending.take() {
+                drop_pending_at_eof(&mut report, p);
+            }
             return Ok(report);
         }
         let len = u32::from_le_bytes(data[pos..pos + 4].try_into().unwrap());
@@ -456,6 +594,9 @@ fn replay_wal_bytes(data: &[u8], sink: &mut dyn FnMut(UpdateOp)) -> io::Result<W
                     TornTailKind::TruncatedRecord
                 },
             });
+            if let Some(p) = pending.take() {
+                drop_pending_at_eof(&mut report, p);
+            }
             return Ok(report);
         }
         let payload = &data[pos + 4..pos + 4 + len as usize];
@@ -473,6 +614,9 @@ fn replay_wal_bytes(data: &[u8], sink: &mut dyn FnMut(UpdateOp)) -> io::Result<W
                     offset: pos as u64,
                     kind: TornTailKind::BadTailChecksum,
                 });
+                if let Some(p) = pending.take() {
+                    drop_pending_at_eof(&mut report, p);
+                }
                 return Ok(report);
             }
             return Err(invalid(format!(
@@ -483,17 +627,82 @@ fn replay_wal_bytes(data: &[u8], sink: &mut dyn FnMut(UpdateOp)) -> io::Result<W
             )));
         }
         ops.clear();
-        let n = decode_payload(payload, &mut ops).ok_or_else(|| {
+        let body = decode_payload(payload, &mut ops).ok_or_else(|| {
             invalid(format!(
                 "WAL record at byte offset {pos} passed its CRC but does not \
                  decode as a valid op record — writer bug or tampering"
             ))
         })?;
-        for op in ops.drain(..) {
-            sink(op);
-        }
         report.records += 1;
-        report.ops += n as u64;
+        match body {
+            RecordBody::Ops(n) => {
+                if let Some(p) = pending.as_mut() {
+                    // Inside a transaction: buffer, deliver only at commit.
+                    p.ops.append(&mut ops);
+                    p.crc_chain.extend_from_slice(&computed.to_le_bytes());
+                } else {
+                    for op in ops.drain(..) {
+                        sink(op);
+                    }
+                    report.ops += n as u64;
+                }
+            }
+            RecordBody::TxnBegin { txn_id, n_ops } => {
+                if pending.is_some() {
+                    // A new transaction began while one was pending: the
+                    // earlier one crashed mid-flight and the process kept
+                    // appending after restart. Its records stay on disk
+                    // (durable data follows); its ops are never delivered.
+                    report.dropped_batches += 1;
+                }
+                pending = Some(Pending {
+                    txn_id,
+                    n_ops,
+                    begin_offset: pos as u64,
+                    records_at_begin: report.records - 1,
+                    ops: Vec::new(),
+                    crc_chain: Vec::new(),
+                });
+            }
+            RecordBody::TxnCommit { txn_id, crc } => {
+                // Every mismatch below is on CRC-valid records, so it is a
+                // writer bug or tampering — never crash debris.
+                let Some(p) = pending.take() else {
+                    return Err(invalid(format!(
+                        "WAL BatchCommit for txn {txn_id} at byte offset {pos} \
+                         has no pending BatchBegin — orphan commit marker, \
+                         refusing to replay"
+                    )));
+                };
+                if p.txn_id != txn_id {
+                    return Err(invalid(format!(
+                        "WAL BatchCommit at byte offset {pos} names txn {txn_id} \
+                         but txn {} is pending — refusing to replay",
+                        p.txn_id
+                    )));
+                }
+                if p.ops.len() != p.n_ops as usize {
+                    return Err(invalid(format!(
+                        "WAL txn {txn_id} committed {} ops but its BatchBegin \
+                         declared {} — refusing to replay",
+                        p.ops.len(),
+                        p.n_ops
+                    )));
+                }
+                let chained = crc32c(&p.crc_chain);
+                if chained != crc {
+                    return Err(invalid(format!(
+                        "WAL txn {txn_id} commit CRC chain mismatch at byte \
+                         offset {pos} (stored {crc:#010x}, computed \
+                         {chained:#010x}) — refusing to replay"
+                    )));
+                }
+                report.ops += p.ops.len() as u64;
+                for op in p.ops {
+                    sink(op);
+                }
+            }
+        }
         pos += frame;
     }
 }
@@ -514,6 +723,9 @@ pub struct RecoveryReport {
     /// A tolerated torn tail, if the WAL did not end cleanly. The file is
     /// truncated back to `torn_tail.offset` before appends resume.
     pub torn_tail: Option<TornTail>,
+    /// Uncommitted transactions dropped during replay (crash before the
+    /// commit marker); their ops were not applied.
+    pub dropped_batches: u64,
 }
 
 /// A [`DynamicGraphStore`] with crash-safe durability: updates are logged
@@ -542,6 +754,13 @@ pub struct DurableGraphStore {
     dir: PathBuf,
     registry: Arc<Registry>,
     metrics: WalMetrics,
+    crash: CrashInjector,
+    /// Set when a write failed after WAL bytes may have hit disk (e.g. a
+    /// transaction died between its markers). Further writes fail-stop:
+    /// appending past a dangling `BatchBegin` would be dropped with it on
+    /// recovery. A successful checkpoint (which resets the log) clears it;
+    /// otherwise reopen the store to recover.
+    wal_poisoned: AtomicBool,
 }
 
 /// Pre-resolved registry handles for the durability hot paths.
@@ -553,9 +772,13 @@ struct WalMetrics {
     append_ns: Arc<Histogram>,
     checkpoints: Arc<Counter>,
     checkpoint_ns: Arc<Histogram>,
+    append_errors: Arc<Counter>,
     replayed_records: Arc<Counter>,
     replayed_ops: Arc<Counter>,
+    replayed_dropped: Arc<Counter>,
     torn_tails: Arc<Counter>,
+    txn_committed: Arc<Counter>,
+    txn_aborted: Arc<Counter>,
     mem_bytes: Arc<Gauge>,
 }
 
@@ -568,9 +791,13 @@ impl WalMetrics {
             append_ns: registry.histogram("wal.append_ns"),
             checkpoints: registry.counter("wal.checkpoints"),
             checkpoint_ns: registry.histogram("wal.checkpoint_ns"),
+            append_errors: registry.counter("wal.append_errors"),
             replayed_records: registry.counter("wal.replayed_records"),
             replayed_ops: registry.counter("wal.replayed_ops"),
+            replayed_dropped: registry.counter("txn.replayed_dropped"),
             torn_tails: registry.counter("wal.torn_tails"),
+            txn_committed: registry.counter("txn.committed"),
+            txn_aborted: registry.counter("txn.aborted"),
             mem_bytes: registry.gauge("graph.mem.wal_bytes"),
         }
     }
@@ -618,8 +845,10 @@ impl DurableGraphStore {
             report.wal_records = replay.records;
             report.wal_ops = replay.ops;
             report.torn_tail = replay.torn_tail;
+            report.dropped_batches = replay.dropped_batches;
             metrics.replayed_records.add(replay.records);
             metrics.replayed_ops.add(replay.ops);
+            metrics.replayed_dropped.add(replay.dropped_batches);
             if replay.torn_tail.is_some() {
                 metrics.torn_tails.inc();
             }
@@ -656,6 +885,8 @@ impl DurableGraphStore {
             dir,
             registry,
             metrics,
+            crash: CrashInjector::new(),
+            wal_poisoned: AtomicBool::new(false),
         };
         durable.sync()?;
         durable
@@ -683,6 +914,39 @@ impl DurableGraphStore {
             .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
+    /// The crash-point injector guarding this store's durability paths.
+    /// Arming it makes the next guarded call fail as if the process died
+    /// there; the store then fail-stops writes until reopened (see
+    /// [`CrashInjector`]).
+    pub fn crash_injector(&self) -> &CrashInjector {
+        &self.crash
+    }
+
+    /// True when a failed write left the WAL tail in an unknown state and
+    /// the store is refusing further writes.
+    pub fn is_wal_poisoned(&self) -> bool {
+        self.wal_poisoned.load(Ordering::Acquire)
+    }
+
+    fn check_poisoned(&self) -> io::Result<()> {
+        if self.is_wal_poisoned() {
+            return Err(io::Error::other(
+                "WAL tail holds an uncommitted transaction after a failed \
+                 write; reopen the store (or checkpoint) to recover",
+            ));
+        }
+        Ok(())
+    }
+
+    /// Record a failed append and, when bytes may already be on disk past
+    /// the last durable record, fail-stop future writes.
+    fn note_append_error(&self, tail_dirty: bool) {
+        self.metrics.append_errors.inc();
+        if tail_dirty {
+            self.wal_poisoned.store(true, Ordering::Release);
+        }
+    }
+
     /// Log and apply one op. The record is flushed to the OS before the
     /// in-memory store changes.
     ///
@@ -696,8 +960,18 @@ impl DurableGraphStore {
         let mut wal = self.lock_wal();
         let started = Instant::now();
         let before = wal.offset();
-        wal.append(op)?;
-        wal.flush()?;
+        let res: io::Result<()> = (|| {
+            self.check_poisoned()?;
+            self.crash.hit(CrashPoint::WalAppend)?;
+            wal.append(op)?;
+            wal.flush()
+        })();
+        if let Err(e) = res {
+            // The single record either made it whole or is a torn tail
+            // replay already tolerates — no poison needed.
+            self.note_append_error(false);
+            return Err(e.into());
+        }
         self.metrics.append_ns.record(started.elapsed());
         self.metrics.appends.inc();
         self.metrics.append_ops.inc();
@@ -718,8 +992,16 @@ impl DurableGraphStore {
         let mut wal = self.lock_wal();
         let started = Instant::now();
         let before = wal.offset();
-        wal.append_batch(ops)?;
-        wal.flush()?;
+        let res: io::Result<()> = (|| {
+            self.check_poisoned()?;
+            self.crash.hit(CrashPoint::WalAppend)?;
+            wal.append_batch(ops)?;
+            wal.flush()
+        })();
+        if let Err(e) = res {
+            self.note_append_error(false);
+            return Err(e.into());
+        }
         self.metrics.append_ns.record(started.elapsed());
         self.metrics.appends.inc();
         self.metrics.append_ops.add(ops.len() as u64);
@@ -727,6 +1009,90 @@ impl DurableGraphStore {
         self.metrics.mem_bytes.set(wal.offset() as i64);
         self.store.apply_batch_parallel(ops, threads);
         Ok(())
+    }
+
+    /// Ops per tag-4 record inside a transaction: bounds record size and
+    /// exercises the multi-record commit-CRC chain on realistic batches.
+    const TXN_CHUNK_OPS: usize = 4096;
+
+    /// Apply a [`GraphTxn`] with all-or-nothing semantics across crashes.
+    ///
+    /// **Phase 1** validates the whole transaction against the live store
+    /// (dangling deletes/patches, duplicate keys, non-finite weights) and
+    /// aborts with every violation found — zero changes, nothing logged.
+    /// **Phase 2** brackets the lowered ops with `BatchBegin`/`BatchCommit`
+    /// WAL markers, fsyncs, then applies in memory. A crash anywhere before
+    /// the commit marker is recovered to the pre-transaction graph (replay
+    /// drops the uncommitted batch); a crash at or after it recovers to the
+    /// post-transaction graph. Never in between.
+    ///
+    /// A transaction that lowers to zero ops (pure vertex upserts) commits
+    /// without touching the WAL.
+    pub fn try_apply_txn(&self, txn: &GraphTxn, threads: usize) -> Result<TxnReceipt, TxnError> {
+        // Phase 1: validate against live topology; abort applies nothing.
+        let lowered = match validate_and_lower(txn, &StoreTxnView::new(&self.store)) {
+            Ok(lowered) => lowered,
+            Err(e) => {
+                self.metrics.txn_aborted.inc();
+                return Err(e);
+            }
+        };
+        let receipt = TxnReceipt {
+            txn_id: txn.id(),
+            ops_applied: lowered.len() as u64,
+            graph_version: 0,
+            deduped: false,
+        };
+        if lowered.is_empty() {
+            // Nothing to log or apply; still a successful commit.
+            self.metrics.txn_committed.inc();
+            return Ok(receipt);
+        }
+
+        // Phase 2: WAL protocol under the writer lock (same checkpoint
+        // exclusion argument as try_apply), then in-memory apply.
+        let mut wal = self.lock_wal();
+        let started = Instant::now();
+        let before = wal.offset();
+        let res: io::Result<()> = (|| {
+            self.check_poisoned()?;
+            self.crash.hit(CrashPoint::TxnBeforeBegin)?;
+            wal.append_txn_begin(txn.id(), lowered.len() as u32)?;
+            wal.flush()?;
+            self.crash.hit(CrashPoint::TxnAfterBegin)?;
+            let mut crc_chain = Vec::with_capacity(4 * lowered.len().div_ceil(Self::TXN_CHUNK_OPS));
+            for chunk in lowered.chunks(Self::TXN_CHUNK_OPS) {
+                let crc = wal.append_batch_crc(chunk)?;
+                crc_chain.extend_from_slice(&crc.to_le_bytes());
+            }
+            wal.flush()?;
+            self.crash.hit(CrashPoint::TxnAfterOps)?;
+            wal.append_txn_commit(txn.id(), crc32c(&crc_chain))?;
+            wal.flush()?;
+            self.crash.hit(CrashPoint::TxnAfterCommit)?;
+            wal.get_ref().get_ref().sync_data()?;
+            self.crash.hit(CrashPoint::TxnAfterFsync)?;
+            Ok(())
+        })();
+        if let Err(e) = res {
+            // The tail may hold a dangling BatchBegin: fail-stop writes
+            // when anything past `before` could be on disk. Recovery (or a
+            // checkpoint) drops the partial transaction. Note the in-memory
+            // graph was NOT touched — abort leaves pre-txn state even
+            // in-process.
+            let tail_dirty = wal.offset() > before;
+            self.note_append_error(tail_dirty);
+            self.metrics.txn_aborted.inc();
+            return Err(TxnError::Store(Error::Io(e)));
+        }
+        self.metrics.append_ns.record(started.elapsed());
+        self.metrics.appends.inc();
+        self.metrics.append_ops.add(lowered.len() as u64);
+        self.metrics.append_bytes.add(wal.offset() - before);
+        self.metrics.mem_bytes.set(wal.offset() as i64);
+        self.store.apply_batch_parallel(&lowered, threads);
+        self.metrics.txn_committed.inc();
+        Ok(receipt)
     }
 
     /// fsync the WAL file.
@@ -756,12 +1122,15 @@ impl DurableGraphStore {
             buf.flush()?;
             buf.get_ref().sync_data()?;
         }
+        self.crash.hit(CrashPoint::CheckpointAfterSnapshotWrite)?;
         std::fs::rename(&tmp, &snap)?;
+        self.crash.hit(CrashPoint::CheckpointAfterRename)?;
         // Make the rename itself durable before touching the WAL: without a
         // directory fsync, power loss could persist the WAL truncation below
         // while the rename is still only in the directory's page cache,
         // leaving the *old* snapshot next to an empty log.
         sync_dir(&self.dir)?;
+        self.crash.hit(CrashPoint::CheckpointAfterDirSync)?;
         // Reset the log: everything it held is now in the snapshot.
         let file = OpenOptions::new()
             .write(true)
@@ -770,6 +1139,10 @@ impl DurableGraphStore {
         *wal = WalWriter::create(BufWriter::new(file))?;
         wal.flush()?;
         wal.get_ref().get_ref().sync_data()?;
+        self.crash.hit(CrashPoint::CheckpointAfterWalReset)?;
+        // The log is empty and the snapshot holds everything it did: any
+        // poisoned tail is gone.
+        self.wal_poisoned.store(false, Ordering::Release);
         self.metrics.checkpoints.inc();
         self.metrics.checkpoint_ns.record(started.elapsed());
         self.metrics.mem_bytes.set(wal.offset() as i64);
@@ -1098,5 +1471,274 @@ mod tests {
             report.torn_tail.unwrap().kind,
             TornTailKind::TruncatedHeader
         );
+    }
+
+    // -----------------------------------------------------------------
+    // Transaction markers
+    // -----------------------------------------------------------------
+
+    /// Write `ops` as a committed txn (chunked), returning the log bytes.
+    fn wal_with_txn(
+        w: &mut WalWriter<Vec<u8>>,
+        txn_id: u64,
+        ops: &[UpdateOp],
+        chunk: usize,
+    ) -> io::Result<()> {
+        w.append_txn_begin(txn_id, ops.len() as u32)?;
+        let mut chain = Vec::new();
+        for c in ops.chunks(chunk.max(1)) {
+            chain.extend_from_slice(&w.append_batch_crc(c)?.to_le_bytes());
+        }
+        w.append_txn_commit(txn_id, crc32c(&chain))
+    }
+
+    #[test]
+    fn committed_txn_replays_all_ops() {
+        let ops: Vec<UpdateOp> = (0..10).map(|i| ins(i, i + 1, i as f64)).collect();
+        let mut w = WalWriter::create(Vec::new()).unwrap();
+        wal_with_txn(&mut w, 42, &ops, 3).unwrap();
+        let bytes = w.into_inner();
+        let (out, report) = replay_all(&bytes);
+        assert_eq!(out, ops);
+        assert_eq!(report.ops, 10);
+        assert_eq!(report.dropped_batches, 0);
+        assert_eq!(report.durable_len, bytes.len() as u64);
+        assert!(report.torn_tail.is_none());
+    }
+
+    #[test]
+    fn txn_without_commit_is_dropped_and_rolled_back() {
+        let mut w = WalWriter::create(Vec::new()).unwrap();
+        w.append(&ins(1, 2, 1.0)).unwrap();
+        let begin_offset = w.offset();
+        w.append_txn_begin(7, 2).unwrap();
+        w.append_batch(&[ins(3, 4, 1.0), ins(5, 6, 1.0)]).unwrap();
+        // No commit marker: the process died here.
+        let (out, report) = replay_all(&w.into_inner());
+        assert_eq!(out, vec![ins(1, 2, 1.0)], "txn ops never delivered");
+        assert_eq!(report.dropped_batches, 1);
+        assert_eq!(report.records, 1, "rolled back to before the begin");
+        assert_eq!(
+            report.durable_len, begin_offset,
+            "truncation point is the begin"
+        );
+        let tail = report.torn_tail.unwrap();
+        assert_eq!(tail.kind, TornTailKind::UncommittedBatch);
+        assert_eq!(tail.offset, begin_offset);
+    }
+
+    #[test]
+    fn interior_crashed_txn_is_dropped_but_later_data_survives() {
+        // txn A dies mid-flight, the process restarts and commits txn B
+        // plus a plain record. A's ops vanish; everything after replays.
+        let mut w = WalWriter::create(Vec::new()).unwrap();
+        w.append_txn_begin(1, 2).unwrap();
+        w.append_batch(&[ins(1, 2, 1.0)]).unwrap(); // only 1 of 2 ops
+        wal_with_txn(&mut w, 2, &[ins(10, 11, 1.0), ins(12, 13, 1.0)], 10).unwrap();
+        w.append(&ins(20, 21, 1.0)).unwrap();
+        let bytes = w.into_inner();
+        let (out, report) = replay_all(&bytes);
+        assert_eq!(
+            out,
+            vec![ins(10, 11, 1.0), ins(12, 13, 1.0), ins(20, 21, 1.0)],
+            "txn A's ops dropped, committed txn B and plain record intact"
+        );
+        assert_eq!(report.dropped_batches, 1);
+        assert_eq!(
+            report.durable_len,
+            bytes.len() as u64,
+            "no truncation: durable data follows"
+        );
+        assert!(report.torn_tail.is_none());
+    }
+
+    #[test]
+    fn torn_tail_inside_a_txn_rolls_back_to_the_begin() {
+        let mut w = WalWriter::create(Vec::new()).unwrap();
+        w.append(&ins(1, 2, 1.0)).unwrap();
+        let begin_offset = w.offset();
+        wal_with_txn(&mut w, 9, &[ins(3, 4, 1.0), ins(5, 6, 1.0)], 1).unwrap();
+        let mut bytes = w.into_inner();
+        // Tear the commit marker (drop its last 3 bytes).
+        bytes.truncate(bytes.len() - 3);
+        let (out, report) = replay_all(&bytes);
+        assert_eq!(out, vec![ins(1, 2, 1.0)]);
+        assert_eq!(report.dropped_batches, 1);
+        let tail = report.torn_tail.unwrap();
+        assert_eq!(tail.kind, TornTailKind::UncommittedBatch);
+        assert_eq!(tail.offset, begin_offset);
+        assert_eq!(report.durable_len, begin_offset);
+    }
+
+    #[test]
+    fn orphan_commit_marker_is_a_hard_error() {
+        let mut w = WalWriter::create(Vec::new()).unwrap();
+        w.append_txn_commit(5, 0).unwrap();
+        let err = replay_wal(Cursor::new(w.into_inner()), |_| {}).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("orphan commit"), "{err}");
+    }
+
+    #[test]
+    fn commit_with_wrong_txn_id_count_or_crc_is_a_hard_error() {
+        // Wrong id.
+        let mut w = WalWriter::create(Vec::new()).unwrap();
+        w.append_txn_begin(1, 1).unwrap();
+        let crc = w.append_batch_crc(&[ins(1, 2, 1.0)]).unwrap();
+        w.append_txn_commit(2, crc32c(&crc.to_le_bytes())).unwrap();
+        let err = replay_wal(Cursor::new(w.into_inner()), |_| {}).unwrap_err();
+        assert!(err.to_string().contains("names txn 2"), "{err}");
+
+        // Wrong op count.
+        let mut w = WalWriter::create(Vec::new()).unwrap();
+        w.append_txn_begin(1, 5).unwrap();
+        let crc = w.append_batch_crc(&[ins(1, 2, 1.0)]).unwrap();
+        w.append_txn_commit(1, crc32c(&crc.to_le_bytes())).unwrap();
+        let err = replay_wal(Cursor::new(w.into_inner()), |_| {}).unwrap_err();
+        assert!(err.to_string().contains("declared 5"), "{err}");
+
+        // Wrong CRC chain.
+        let mut w = WalWriter::create(Vec::new()).unwrap();
+        w.append_txn_begin(1, 1).unwrap();
+        w.append_batch(&[ins(1, 2, 1.0)]).unwrap();
+        w.append_txn_commit(1, 0xDEAD_BEEF).unwrap();
+        let err = replay_wal(Cursor::new(w.into_inner()), |_| {}).unwrap_err();
+        assert!(err.to_string().contains("CRC chain mismatch"), "{err}");
+    }
+
+    #[test]
+    fn markerless_v5_wal_replays_unchanged() {
+        // A log written by the pre-txn writer (plain + tag-4 batch records
+        // only) must replay byte-identically to the old semantics.
+        let mut w = WalWriter::create(Vec::new()).unwrap();
+        w.append(&ins(1, 2, 1.0)).unwrap();
+        w.append_batch(&[ins(3, 4, 2.0), ins(5, 6, 3.0)]).unwrap();
+        let (out, report) = replay_all(&w.into_inner());
+        assert_eq!(out, vec![ins(1, 2, 1.0), ins(3, 4, 2.0), ins(5, 6, 3.0)]);
+        assert_eq!(report.records, 2);
+        assert_eq!(report.ops, 3);
+        assert_eq!(report.dropped_batches, 0);
+    }
+
+    #[test]
+    fn plain_records_interleave_with_txns() {
+        let mut w = WalWriter::create(Vec::new()).unwrap();
+        w.append(&ins(1, 2, 1.0)).unwrap();
+        wal_with_txn(&mut w, 3, &[ins(3, 4, 1.0)], 1).unwrap();
+        w.append(&ins(5, 6, 1.0)).unwrap();
+        wal_with_txn(&mut w, 4, &[ins(7, 8, 1.0), ins(9, 10, 1.0)], 1).unwrap();
+        let (out, report) = replay_all(&w.into_inner());
+        assert_eq!(out.len(), 5, "log order preserved across markers");
+        assert_eq!(out[0], ins(1, 2, 1.0));
+        assert_eq!(out[2], ins(5, 6, 1.0));
+        assert_eq!(report.ops, 5);
+        assert_eq!(report.dropped_batches, 0);
+    }
+
+    #[test]
+    fn durable_store_txn_commits_and_recovers() {
+        let dir = tempdir("txn_commit");
+        let txn = GraphTxn::new(99)
+            .insert_edge(Edge::new(v(1), v(2), 1.0))
+            .insert_edge(Edge::new(v(3), v(4), 2.0));
+        {
+            let (store, _) = DurableGraphStore::open(&dir, StoreConfig::default()).unwrap();
+            let receipt = store.try_apply_txn(&txn, 2).unwrap();
+            assert_eq!(receipt.txn_id, 99);
+            assert_eq!(receipt.ops_applied, 2);
+            assert_eq!(store.num_edges(), 2);
+        }
+        let (store, report) = DurableGraphStore::open(&dir, StoreConfig::default()).unwrap();
+        assert_eq!(report.wal_ops, 2);
+        assert_eq!(report.dropped_batches, 0);
+        assert_eq!(store.num_edges(), 2);
+        assert_eq!(store.edge_weight(v(3), v(4), EdgeType::DEFAULT), Some(2.0));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn durable_store_txn_rejection_applies_nothing() {
+        let dir = tempdir("txn_reject");
+        let (store, _) = DurableGraphStore::open(&dir, StoreConfig::default()).unwrap();
+        store.insert_edge(Edge::new(v(1), v(2), 1.0));
+        let bytes_before = store.wal_bytes();
+        let txn = GraphTxn::new(1)
+            .insert_edge(Edge::new(v(5), v(6), 1.0))
+            .delete_edge(v(8), v(9), EdgeType::DEFAULT); // dangling
+        let err = store.try_apply_txn(&txn, 2).unwrap_err();
+        assert!(err.is_rejected());
+        assert_eq!(store.num_edges(), 1, "zero changes on abort");
+        assert_eq!(store.wal_bytes(), bytes_before, "nothing logged on abort");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn injected_crash_before_commit_recovers_pre_txn_state() {
+        let dir = tempdir("txn_crash_pre");
+        let txn = GraphTxn::new(5)
+            .insert_edge(Edge::new(v(10), v(11), 1.0))
+            .insert_edge(Edge::new(v(12), v(13), 1.0));
+        {
+            let (store, _) = DurableGraphStore::open(&dir, StoreConfig::default()).unwrap();
+            store.insert_edge(Edge::new(v(1), v(2), 1.0));
+            store.crash_injector().arm(CrashPoint::TxnAfterOps);
+            let err = store.try_apply_txn(&txn, 2).unwrap_err();
+            assert!(matches!(err, TxnError::Store(_)));
+            assert_eq!(store.num_edges(), 1, "in-memory graph untouched");
+            assert!(store.is_wal_poisoned(), "tail holds a dangling begin");
+            assert!(
+                store.try_apply(&ins(50, 51, 1.0)).is_err(),
+                "writes fail-stop until reopen"
+            );
+        }
+        let (store, report) = DurableGraphStore::open(&dir, StoreConfig::default()).unwrap();
+        assert_eq!(report.dropped_batches, 1);
+        assert_eq!(store.num_edges(), 1, "pre-txn state");
+        assert!(!store.is_wal_poisoned());
+        // The truncated log accepts new writes cleanly.
+        store.try_apply_txn(&txn, 2).unwrap();
+        assert_eq!(store.num_edges(), 3);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn injected_crash_after_commit_recovers_post_txn_state() {
+        let dir = tempdir("txn_crash_post");
+        let txn = GraphTxn::new(6).insert_edge(Edge::new(v(10), v(11), 1.0));
+        {
+            let (store, _) = DurableGraphStore::open(&dir, StoreConfig::default()).unwrap();
+            store.crash_injector().arm(CrashPoint::TxnAfterFsync);
+            let err = store.try_apply_txn(&txn, 2).unwrap_err();
+            assert!(matches!(err, TxnError::Store(_)));
+            assert_eq!(store.num_edges(), 0, "apply never ran in-process");
+        }
+        let (store, report) = DurableGraphStore::open(&dir, StoreConfig::default()).unwrap();
+        assert_eq!(report.dropped_batches, 0);
+        assert_eq!(report.wal_ops, 1, "committed txn replayed");
+        assert_eq!(store.num_edges(), 1, "post-txn state");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn zero_op_txn_commits_without_touching_the_wal() {
+        let dir = tempdir("txn_zero");
+        let (store, _) = DurableGraphStore::open(&dir, StoreConfig::default()).unwrap();
+        let bytes_before = store.wal_bytes();
+        let receipt = store
+            .try_apply_txn(&GraphTxn::new(1).upsert_vertex(v(9)), 1)
+            .unwrap();
+        assert_eq!(receipt.ops_applied, 0);
+        assert_eq!(store.wal_bytes(), bytes_before);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    fn tempdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "platod2gl_wal_txn_{tag}_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
     }
 }

@@ -8,10 +8,17 @@
 //! O(block) CSTable rewrites; AliGraph rebuilds a full alias table per
 //! touched vertex.
 //!
+//! The second act streams through the *transactional* write path: the
+//! live feed is applied as [`GraphTxn`] batches, and a poisoned batch — one
+//! dangling delete among good inserts — aborts whole mid-stream, leaving
+//! the graph bit-identical to before the batch. The writer repairs the
+//! batch and resends under a fresh txn id.
+//!
 //! Run with: `cargo run -p platod2gl --release --example streaming_updates`
 
 use platod2gl::{
-    AliGraphStore, DatasetProfile, DynamicGraphStore, GraphStore, PlatoGlStore, UpdateOp,
+    AliGraphStore, Cluster, ClusterConfig, DatasetProfile, DynamicGraphStore, Edge, EdgeType,
+    GraphStore, GraphTxn, PlatoGlStore, UpdateOp, VertexId,
 };
 use std::time::Instant;
 
@@ -79,5 +86,81 @@ fn main() {
         "\nPlatoD2GL vs PlatoGL: {:.1}x update throughput, {:.1}% less topology memory",
         d2gl.1 / platogl.1,
         (1.0 - d2gl.2 as f64 / platogl.2 as f64) * 100.0
+    );
+
+    transactional_streaming();
+}
+
+/// Act 2: the same streaming shape through the transactional write path.
+/// Each round is one all-or-nothing [`GraphTxn`]; the round-5 batch is
+/// poisoned with a dangling delete and must abort without touching the
+/// graph, mid-stream, while the rounds around it commit normally.
+fn transactional_streaming() {
+    const ET: EdgeType = EdgeType::DEFAULT;
+    let cluster = Cluster::new(
+        ClusterConfig::builder()
+            .num_shards(4)
+            .build()
+            .expect("config"),
+    );
+    println!("\n--- transactional streaming (4 shards) ---");
+
+    // A writer that only deletes/patches edges it previously inserted —
+    // the discipline phase-1 validation enforces against live topology.
+    let mut inserted: Vec<Edge> = Vec::new();
+    let mut committed = 0u64;
+    for round in 0u64..10 {
+        // Two ids reserved per round: one for the first attempt, one for
+        // a repaired resend (txn ids are idempotence tokens — a repaired
+        // batch is a NEW transaction, not a retry of the aborted one).
+        let mut txn = GraphTxn::new(round * 2 + 1);
+        for k in 0..64u64 {
+            let e = Edge::new(
+                VertexId(round * 1_000 + k),
+                VertexId(round * 1_000 + k + 500),
+                1.0 + k as f64,
+            );
+            txn = txn.insert_edge(e);
+            inserted.push(e);
+        }
+        // Churn: patch one old edge and delete another, like a live feed.
+        if inserted.len() > 128 {
+            let patch = inserted[round as usize * 3];
+            txn = txn.patch_weight(Edge::new(patch.src, patch.dst, 99.0));
+            let victim = inserted.remove(round as usize * 5 + 64);
+            txn = txn.delete_edge(victim.src, victim.dst, ET);
+        }
+        if round == 5 {
+            // Poison pill: this edge never existed. The WHOLE batch — 64
+            // good inserts included — must abort.
+            let bad = txn
+                .clone()
+                .delete_edge(VertexId(777_777), VertexId(888_888), ET);
+            let version = cluster.graph_version();
+            let edges = cluster.num_edges();
+            let err = cluster.apply_txn(&bad).expect_err("dangling delete");
+            assert_eq!(cluster.graph_version(), version, "no version bump");
+            assert_eq!(cluster.num_edges(), edges, "no partial apply");
+            println!(
+                "round {round}: poisoned batch aborted mid-stream ({} violation(s)), \
+                 graph untouched at version {version}",
+                err.violations().len()
+            );
+            // The writer drops the bad op and resends under a fresh id.
+            let mut resend = GraphTxn::new(round * 2 + 2);
+            for op in txn.ops() {
+                resend.push(*op);
+            }
+            txn = resend;
+        }
+        let receipt = cluster.apply_txn(&txn).expect("clean batch commits");
+        committed += 1;
+        assert!(!receipt.deduped);
+    }
+    println!(
+        "streamed 10 rounds transactionally: {committed} committed, 1 aborted, \
+         final graph: {} edges at version {}",
+        cluster.num_edges(),
+        cluster.graph_version()
     );
 }

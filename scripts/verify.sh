@@ -62,6 +62,25 @@ for needle in 'graph server listening on' \
     fi
 done
 
+echo "==> txn crash-matrix smoke (txn_crash_sweep example: every crash point, fixed workload)"
+txn_out=$(cargo run -p platod2gl --release --example txn_crash_sweep 2>/dev/null)
+for needle in 'crash at txn-after-ops: recovered pre-txn graph' \
+    'crash at txn-after-commit: recovered post-txn graph' \
+    'crash matrix: 10/10 crash points verified' \
+    'marker-less v5 WAL replayed cleanly'; do
+    if ! grep -qF "$needle" <<<"$txn_out"; then
+        echo "verify: FAIL — txn crash-matrix smoke missing: $needle"
+        exit 1
+    fi
+done
+
+echo "==> txn throughput trail (report_txn -> BENCH_6.json)"
+cargo run -p platod2gl-bench --release --bin report_txn
+if ! grep -qF '"bench":"txn_apply_vs_raw"' BENCH_6.json; then
+    echo "verify: FAIL — BENCH_6.json missing or malformed"
+    exit 1
+fi
+
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
 
