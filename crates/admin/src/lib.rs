@@ -64,6 +64,26 @@ impl AdminServer {
     /// Bind `addr` (use port 0 for an ephemeral port) and start serving
     /// `cluster` on a background thread.
     pub fn bind(addr: impl ToSocketAddrs, cluster: Arc<Cluster>) -> io::Result<Self> {
+        Self::bind_routed(addr, move |path| route(path, &cluster))
+    }
+
+    /// Bind an admin plane for a whole fleet: `/healthz` aggregates
+    /// partition ownership across servers (one replica down is degraded
+    /// but 200; an unowned partition is 503) and `/debug/partitions`
+    /// renders the routing table with per-partition health and load.
+    pub fn bind_fleet<F>(addr: impl ToSocketAddrs, fleet: Arc<F>) -> io::Result<Self>
+    where
+        F: FleetIntrospect + Send + Sync + 'static,
+    {
+        Self::bind_routed(addr, move |path| route_fleet(path, fleet.as_ref()))
+    }
+
+    /// Bind with an arbitrary GET router — the shared accept loop behind
+    /// both the single-cluster and the fleet admin planes.
+    pub fn bind_routed<R>(addr: impl ToSocketAddrs, route_fn: R) -> io::Result<Self>
+    where
+        R: Fn(&str) -> (u16, &'static str, String) + Send + 'static,
+    {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let local = listener.local_addr()?;
@@ -71,7 +91,7 @@ impl AdminServer {
         let thread_stop = Arc::clone(&stop);
         let handle = std::thread::Builder::new()
             .name("platod2gl-admin".to_string())
-            .spawn(move || serve(&listener, &cluster, &thread_stop))?;
+            .spawn(move || serve(&listener, &route_fn, &thread_stop))?;
         Ok(Self {
             addr: local,
             stop,
@@ -103,13 +123,16 @@ impl Drop for AdminServer {
     }
 }
 
-fn serve(listener: &TcpListener, cluster: &Cluster, stop: &AtomicBool) {
+fn serve<R>(listener: &TcpListener, route_fn: &R, stop: &AtomicBool)
+where
+    R: Fn(&str) -> (u16, &'static str, String),
+{
     while !stop.load(Ordering::Acquire) {
         match listener.accept() {
             Ok((stream, _peer)) => {
                 // A broken client connection must not take the admin plane
                 // down; drop the error and keep accepting.
-                let _ = handle_connection(stream, cluster);
+                let _ = handle_connection(stream, route_fn);
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                 std::thread::sleep(ACCEPT_POLL);
@@ -119,7 +142,10 @@ fn serve(listener: &TcpListener, cluster: &Cluster, stop: &AtomicBool) {
     }
 }
 
-fn handle_connection(stream: TcpStream, cluster: &Cluster) -> io::Result<()> {
+fn handle_connection<R>(stream: TcpStream, route_fn: &R) -> io::Result<()>
+where
+    R: Fn(&str) -> (u16, &'static str, String),
+{
     stream.set_read_timeout(Some(READ_TIMEOUT))?;
     stream.set_nonblocking(false)?;
     let mut reader = BufReader::new(stream.try_clone()?);
@@ -139,7 +165,7 @@ fn handle_connection(stream: TcpStream, cluster: &Cluster) -> io::Result<()> {
     let (status, content_type, body) = if method != "GET" {
         (405, CT_TEXT, "method not allowed\n".to_string())
     } else {
-        route(path, cluster)
+        route_fn(path)
     };
     write_response(stream, status, content_type, &body)
 }
@@ -191,6 +217,155 @@ pub fn route(path: &str, cluster: &Cluster) -> (u16, &'static str, String) {
         "/debug/txns" => (200, CT_JSON, txns_json(cluster)),
         _ => (404, CT_TEXT, "not found\n".to_string()),
     }
+}
+
+// ---------------------------------------------------------------------
+// Fleet introspection: the admin view of a multi-server deployment.
+// ---------------------------------------------------------------------
+
+/// One fleet server as the admin plane sees it.
+#[derive(Clone, Debug)]
+pub struct FleetServerView {
+    /// Stable fleet identity.
+    pub id: u64,
+    /// Dialable graph-service address.
+    pub addr: String,
+    /// Whether a health probe currently succeeds.
+    pub reachable: bool,
+}
+
+/// One partition's routing row plus its live health and load.
+#[derive(Clone, Debug)]
+pub struct FleetPartitionView {
+    /// Partition index in the keyspace.
+    pub partition: u32,
+    /// Owning server id.
+    pub owner: u64,
+    /// Replica server id, if the fleet has one.
+    pub replica: Option<u64>,
+    /// Owner currently reachable.
+    pub owner_up: bool,
+    /// Replica present *and* reachable.
+    pub replica_up: bool,
+    /// Resident `(src, etype)` keys on the owner.
+    pub keys: u64,
+}
+
+/// Point-in-time fleet state for `/healthz` and `/debug/partitions`.
+#[derive(Clone, Debug, Default)]
+pub struct FleetSnapshot {
+    /// Partition-map epoch in effect.
+    pub epoch: u64,
+    /// Partition keyspace size.
+    pub num_partitions: u32,
+    /// Roster, map order.
+    pub servers: Vec<FleetServerView>,
+    /// One row per partition.
+    pub partitions: Vec<FleetPartitionView>,
+}
+
+/// What a fleet must expose to be served by [`AdminServer::bind_fleet`].
+/// Implemented by `platod2gl_fleet::FleetCluster`; the trait lives here so
+/// the admin plane needs no fleet dependency.
+pub trait FleetIntrospect {
+    /// Probe the fleet and assemble the current snapshot.
+    fn fleet_snapshot(&self) -> FleetSnapshot;
+
+    /// The fleet client's own metric registry (for `/metrics`).
+    fn registry(&self) -> &Arc<platod2gl_obs::Registry>;
+}
+
+/// Dispatch one GET against a fleet. Split out (and `pub` for tests) so
+/// endpoint behavior is testable without sockets.
+pub fn route_fleet(path: &str, fleet: &dyn FleetIntrospect) -> (u16, &'static str, String) {
+    match path {
+        "/" => (
+            200,
+            CT_TEXT,
+            "PlatoD2GL fleet admin\n\n/metrics\n/healthz\n/debug/partitions\n".to_string(),
+        ),
+        "/metrics" => (200, CT_PROM, fleet.registry().snapshot().to_prometheus()),
+        "/healthz" => fleet_healthz(&fleet.fleet_snapshot()),
+        "/debug/partitions" => (200, CT_JSON, partitions_json(&fleet.fleet_snapshot())),
+        _ => (404, CT_TEXT, "not found\n".to_string()),
+    }
+}
+
+/// Fleet health is about *coverage*, not individual boxes: a partition
+/// whose owner is down but whose replica still answers is degraded yet
+/// serving (200); a partition with neither copy reachable is unowned —
+/// reads fail — and that flips the probe to 503.
+fn fleet_healthz(snap: &FleetSnapshot) -> (u16, &'static str, String) {
+    let unowned: Vec<u32> = snap
+        .partitions
+        .iter()
+        .filter(|p| !p.owner_up && !p.replica_up)
+        .map(|p| p.partition)
+        .collect();
+    let degraded = snap
+        .partitions
+        .iter()
+        .any(|p| !p.owner_up || (p.replica.is_some() && !p.replica_up))
+        || snap.servers.iter().any(|s| !s.reachable);
+    let status_str = if !unowned.is_empty() {
+        "unowned"
+    } else if degraded {
+        "degraded"
+    } else {
+        "ok"
+    };
+    let mut body = format!(
+        "{{\"status\":\"{status_str}\",\"epoch\":{},\"num_partitions\":{},\
+         \"servers_reachable\":{},\"servers_total\":{},\"unowned_partitions\":[",
+        snap.epoch,
+        snap.num_partitions,
+        snap.servers.iter().filter(|s| s.reachable).count(),
+        snap.servers.len()
+    );
+    for (i, p) in unowned.iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        body.push_str(&p.to_string());
+    }
+    body.push_str("]}");
+    let status = if unowned.is_empty() { 200 } else { 503 };
+    (status, CT_JSON, body)
+}
+
+fn partitions_json(snap: &FleetSnapshot) -> String {
+    let mut body = format!(
+        "{{\"epoch\":{},\"num_partitions\":{},\"servers\":[",
+        snap.epoch, snap.num_partitions
+    );
+    for (i, s) in snap.servers.iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        body.push_str(&format!(
+            "{{\"id\":{},\"addr\":\"{}\",\"reachable\":{}}}",
+            s.id,
+            json_escape(&s.addr),
+            s.reachable
+        ));
+    }
+    body.push_str("],\"partitions\":[");
+    for (i, p) in snap.partitions.iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        let replica = match p.replica {
+            Some(r) => r.to_string(),
+            None => "null".to_string(),
+        };
+        body.push_str(&format!(
+            "{{\"partition\":{},\"owner\":{},\"replica\":{replica},\"owner_up\":{},\
+             \"replica_up\":{},\"keys\":{}}}",
+            p.partition, p.owner, p.owner_up, p.replica_up, p.keys
+        ));
+    }
+    body.push_str("]}");
+    body
 }
 
 fn health_str(h: ShardHealth) -> &'static str {
@@ -523,6 +698,90 @@ mod tests {
             .gauge("graph.mem.samtree_bytes")
             .expect("gauge refreshed by scrape");
         assert!(published > 0);
+    }
+
+    struct StubFleet {
+        snap: FleetSnapshot,
+        registry: Arc<platod2gl_obs::Registry>,
+    }
+
+    impl FleetIntrospect for StubFleet {
+        fn fleet_snapshot(&self) -> FleetSnapshot {
+            self.snap.clone()
+        }
+        fn registry(&self) -> &Arc<platod2gl_obs::Registry> {
+            &self.registry
+        }
+    }
+
+    fn stub_fleet(owner_up: bool, replica_up: bool) -> StubFleet {
+        StubFleet {
+            snap: FleetSnapshot {
+                epoch: 4,
+                num_partitions: 2,
+                servers: vec![
+                    FleetServerView {
+                        id: 1,
+                        addr: "127.0.0.1:7001".into(),
+                        reachable: owner_up,
+                    },
+                    FleetServerView {
+                        id: 2,
+                        addr: "127.0.0.1:7002".into(),
+                        reachable: replica_up,
+                    },
+                ],
+                partitions: (0..2)
+                    .map(|p| FleetPartitionView {
+                        partition: p,
+                        owner: 1,
+                        replica: Some(2),
+                        owner_up,
+                        replica_up,
+                        keys: 7,
+                    })
+                    .collect(),
+            },
+            registry: Arc::new(platod2gl_obs::Registry::new()),
+        }
+    }
+
+    #[test]
+    fn fleet_healthz_distinguishes_degraded_from_unowned() {
+        let healthy = stub_fleet(true, true);
+        let (status, _, body) = route_fleet("/healthz", &healthy);
+        assert_eq!(status, 200);
+        assert!(body.contains("\"status\":\"ok\""), "{body}");
+
+        // One replica down: degraded but still serving — 200.
+        let degraded = stub_fleet(true, false);
+        let (status, _, body) = route_fleet("/healthz", &degraded);
+        assert_eq!(status, 200, "{body}");
+        assert!(body.contains("\"status\":\"degraded\""), "{body}");
+
+        // Owner *and* replica down: the partition is unowned — 503.
+        let dark = stub_fleet(false, false);
+        let (status, _, body) = route_fleet("/healthz", &dark);
+        assert_eq!(status, 503, "{body}");
+        assert!(body.contains("\"status\":\"unowned\""), "{body}");
+        assert!(body.contains("\"unowned_partitions\":[0,1]"), "{body}");
+    }
+
+    #[test]
+    fn fleet_partitions_endpoint_renders_the_routing_table() {
+        let fleet = stub_fleet(true, true);
+        let (status, ct, body) = route_fleet("/debug/partitions", &fleet);
+        assert_eq!((status, ct), (200, CT_JSON));
+        assert!(body.contains("\"epoch\":4"), "{body}");
+        assert!(body.contains("\"addr\":\"127.0.0.1:7001\""), "{body}");
+        assert!(
+            body.contains("\"partition\":1,\"owner\":1,\"replica\":2"),
+            "{body}"
+        );
+        assert!(body.contains("\"keys\":7"), "{body}");
+        assert_eq!(route_fleet("/nope", &fleet).0, 404);
+        let (_, ct, _) = route_fleet("/metrics", &fleet);
+        assert!(ct.starts_with("text/plain"));
     }
 
     #[test]

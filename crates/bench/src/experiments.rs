@@ -778,6 +778,165 @@ pub fn txn_report() {
     println!("  wrote BENCH_6.json ({} rows)", json_rows.len());
 }
 
+/// Scale-out: k-hop sampling throughput of a partition-routed fleet at
+/// 1/2/3 servers against one remote server holding the whole graph.
+///
+/// Every shard of every server — including the single-server baseline —
+/// carries the same modeled per-request latency, standing in for the
+/// storage/NIC service time a production shard pays. What the fleet buys
+/// is *overlap*: the client splits each request batch by partition owner
+/// and dispatches the per-server frames concurrently, so three servers'
+/// service times run in parallel where the single server serializes
+/// them. That is the paper's horizontal-scaling claim in miniature, and
+/// it holds on a one-core box because waiting, not computing, dominates.
+/// Writes the machine-readable trail to `BENCH_7.json`.
+pub fn fleet_report() {
+    use platod2gl::{
+        Cluster, ClusterConfig, Edge, FleetCluster, FleetClusterConfig, FleetNode, GraphService,
+        GraphServiceServer, PartitionMap, RemoteCluster, RemoteClusterConfig, SampleRequest,
+        ServerEntry, UpdateOp, VertexId,
+    };
+    use std::sync::Arc;
+
+    const VERTICES: u64 = 1_000;
+    const DEGREE: u64 = 4;
+    const REQS_PER_ROUND: usize = 2_048;
+    const ROUNDS: usize = 4;
+    const SHARD_LATENCY: Duration = Duration::from_micros(100);
+    const PARTITIONS: u32 = 64;
+    const FANOUT: usize = 4;
+
+    println!("\n=== Scale-out: fleet sampling throughput vs one remote server (reqs/s) ===");
+    println!(
+        "  {} vertices x deg {DEGREE}, {REQS_PER_ROUND} reqs/round x {ROUNDS} rounds, \
+         {}us modeled shard latency everywhere",
+        VERTICES,
+        SHARD_LATENCY.as_micros()
+    );
+    header(&["deployment", "reqs/s", "vs 1 server"]);
+
+    let ops: Vec<UpdateOp> = (0..VERTICES)
+        .flat_map(|v| {
+            (1..=DEGREE).map(move |k| {
+                UpdateOp::Insert(Edge::new(
+                    VertexId(v),
+                    VertexId((v + k * 131) % VERTICES),
+                    1.0 + k as f64 * 0.5,
+                ))
+            })
+        })
+        .collect();
+    let reqs: Vec<SampleRequest> = (0..REQS_PER_ROUND)
+        .map(|i| SampleRequest::new(VertexId(i as u64 % VERTICES), EdgeType(0), FANOUT))
+        .collect();
+    let client_cfg = RemoteClusterConfig::default().request_timeout(Duration::from_secs(30));
+
+    let fresh_cluster = || {
+        Arc::new(Cluster::new(
+            ClusterConfig::builder()
+                .num_shards(2)
+                .build()
+                .expect("valid config"),
+        ))
+    };
+    let slow_all = |c: &Cluster| {
+        for shard in 0..c.num_shards() {
+            c.faults().slow_shard(shard, SHARD_LATENCY);
+        }
+    };
+    let measure = |svc: &dyn GraphService| -> f64 {
+        let mut rng = StdRng::seed_from_u64(7);
+        // Warm-up round: connection pools, samtree caches.
+        let _ = svc.sample_many(&reqs, &mut rng);
+        let t = Instant::now();
+        for _ in 0..ROUNDS {
+            let responses = svc.sample_many(&reqs, &mut rng);
+            assert_eq!(responses.len(), reqs.len());
+        }
+        (ROUNDS * REQS_PER_ROUND) as f64 / t.elapsed().as_secs_f64()
+    };
+
+    // Baseline: one remote server, whole graph, same modeled latency.
+    let single_cluster = fresh_cluster();
+    let single_server = GraphServiceServer::bind("127.0.0.1:0", Arc::clone(&single_cluster))
+        .expect("bind baseline");
+    let single = RemoteCluster::connect(single_server.local_addr(), client_cfg).expect("connect");
+    single.apply_updates(&ops).expect("load baseline");
+    slow_all(&single_cluster);
+    let single_reqs_per_s = measure(&single);
+    row(
+        "1 server",
+        &[format!("{single_reqs_per_s:.0}"), "1.00x".into()],
+    );
+
+    let mut json_rows = Vec::new();
+    let mut speedup_3v1 = 0.0;
+    for n in [1usize, 2, 3] {
+        let clusters: Vec<_> = (0..n).map(|_| fresh_cluster()).collect();
+        let nodes: Vec<Arc<FleetNode>> = clusters
+            .iter()
+            .enumerate()
+            .map(|(i, c)| Arc::new(FleetNode::new(Arc::clone(c), i as u64 + 1, client_cfg)))
+            .collect();
+        let servers: Vec<GraphServiceServer> = nodes
+            .iter()
+            .map(|node| GraphServiceServer::bind("127.0.0.1:0", Arc::clone(node)).expect("bind"))
+            .collect();
+        let roster: Vec<ServerEntry> = nodes
+            .iter()
+            .zip(&servers)
+            .map(|(node, server)| ServerEntry {
+                id: node.server_id(),
+                addr: server.local_addr().to_string(),
+            })
+            .collect();
+        let map = PartitionMap::build(roster, PARTITIONS).expect("valid roster");
+        for node in &nodes {
+            node.install(map.clone());
+        }
+        let addrs: Vec<String> = servers.iter().map(|s| s.local_addr().to_string()).collect();
+        let fleet = FleetCluster::connect(
+            &addrs,
+            FleetClusterConfig {
+                client: client_cfg,
+                num_partitions: PARTITIONS,
+            },
+        )
+        .expect("connect fleet");
+        fleet.apply_updates(&ops).expect("load fleet");
+        for c in &clusters {
+            slow_all(c);
+        }
+        let reqs_per_s = measure(&fleet);
+        let speedup = reqs_per_s / single_reqs_per_s;
+        if n == 3 {
+            speedup_3v1 = speedup;
+        }
+        row(
+            &format!("fleet x{n}"),
+            &[format!("{reqs_per_s:.0}"), format!("{speedup:.2}x")],
+        );
+        json_rows.push(format!(
+            "{{\"servers\":{n},\"reqs_per_s\":{reqs_per_s:.0},\"speedup_vs_single\":{speedup:.3}}}"
+        ));
+        for server in servers {
+            server.shutdown();
+        }
+    }
+    single_server.shutdown();
+
+    let json = format!(
+        "{{\"bench\":\"fleet_scaleout\",\"partitions\":{PARTITIONS},\
+         \"shard_latency_us\":{},\"requests_per_round\":{REQS_PER_ROUND},\
+         \"rounds\":{ROUNDS},\"single_reqs_per_s\":{single_reqs_per_s:.0},\
+         \"speedup_3v1\":{speedup_3v1:.3},\"rows\":[{}]}}\n",
+        SHARD_LATENCY.as_micros(),
+        json_rows.join(",")
+    );
+    std::fs::write("BENCH_7.json", &json).expect("write BENCH_7.json");
+    println!("  wrote BENCH_7.json (speedup_3v1 = {speedup_3v1:.2}x)");
+}
+
 /// Run the whole evaluation in paper order.
 pub fn run_all() {
     println!(
@@ -796,4 +955,5 @@ pub fn run_all() {
     pipeline_throughput();
     txn_report();
     obs_report();
+    fleet_report();
 }

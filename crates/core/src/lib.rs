@@ -29,9 +29,15 @@
 //! The facade wraps a simulated multi-shard cluster; every subsystem is
 //! also usable directly through the re-exported crates below.
 
-pub use platod2gl_admin::AdminServer;
+pub use platod2gl_admin::{
+    AdminServer, FleetIntrospect, FleetPartitionView, FleetServerView, FleetSnapshot,
+};
 pub use platod2gl_baseline::{AliGraphStore, PlatoGlConfig, PlatoGlStore};
 pub use platod2gl_fenwick::FsTable;
+pub use platod2gl_fleet::{
+    FleetCluster, FleetClusterConfig, FleetNode, JoinReport, MigrationReport, PartitionMap,
+    ServerEntry,
+};
 pub use platod2gl_gnn::{
     gather_features, Adam, AttributeFeatures, DeepWalkConfig, DeepWalkTrainer, EmbeddingTable,
     FeatureProvider, HashFeatures, Matrix, MetapathSampler, NegativeSampler, NeighborSampler,
@@ -59,10 +65,10 @@ pub use platod2gl_rpc::{GraphServiceServer, RemoteCluster, RemoteClusterConfig};
 pub use platod2gl_sampling::{AliasTable, CsTable, WeightedIndex};
 pub use platod2gl_samtree::{LeafIndex, OpStats, SamTree, SamTreeConfig};
 pub use platod2gl_server::{
-    route_for, BatchReport, Cluster, ClusterConfig, ClusterConfigBuilder, ClusterMemory,
-    DegradedPolicy, FaultInjector, FaultKind, GraphServer, GraphService, HistogramSnapshot,
-    LatencyHistogram, SampleRequest, SampleResponse, ShardMemory, SlotSource, TrafficStats,
-    TxnLogEntry,
+    partition_for, route_for, BatchReport, Cluster, ClusterConfig, ClusterConfigBuilder,
+    ClusterMemory, DegradedPolicy, FaultInjector, FaultKind, GraphServer, GraphService,
+    HistogramSnapshot, LatencyHistogram, PartitionChunk, SampleRequest, SampleResponse,
+    ShardMemory, SlotSource, TrafficStats, TxnLogEntry,
 };
 pub use platod2gl_storage::{
     replay_wal, AttributeStore, CrashInjector, CrashPoint, DurableGraphStore, DynamicGraphStore,

@@ -1,0 +1,506 @@
+//! The fleet client: one [`GraphService`] routed across N servers.
+//!
+//! [`FleetCluster`] holds a [`PartitionMap`] plus a [`RemoteCluster`]
+//! connection per fleet server and implements [`GraphService`], so
+//! `KHopSampler` and `TrainingPipeline` train through a whole fleet
+//! unmodified — exactly as they run against one `Cluster` or one
+//! `RemoteCluster`.
+//!
+//! ## Determinism
+//!
+//! [`FleetCluster::sample_many`] honors the service determinism contract:
+//! it draws exactly one `next_u64` per request, *in request order, before
+//! any I/O*, then partitions `(request, seed)` pairs by owning server and
+//! ships each group with its seeds pinned. Each server derives the same
+//! per-request RNG a single server would have, so a fixed-seed trainer
+//! produces bit-identical batches whether the graph lives on one server
+//! or ten — and a replica retry with the same pinned seed is bit-identical
+//! too, which is what makes failover invisible to a training run.
+//!
+//! ## Degraded reads
+//!
+//! A request whose owner cannot answer (connection dead, or the owning
+//! shard faulted) retries on the partition's replica with the same seed.
+//! Only when both copies fail does the request degrade under its own
+//! [`DegradedPolicy`], client-side.
+
+use crate::map::{PartitionMap, ServerEntry, DEFAULT_PARTITIONS};
+use platod2gl_graph::{Error, GraphTxn, ShardHealth, TxnError, TxnReceipt, UpdateOp};
+use platod2gl_obs::{Counter, Registry};
+use platod2gl_rpc::{RemoteCluster, RemoteClusterConfig};
+use platod2gl_server::{
+    BatchReport, DegradedPolicy, GraphService, SampleRequest, SampleResponse, SlotSource,
+};
+use rand::RngCore;
+use std::collections::HashMap;
+use std::net::ToSocketAddrs;
+use std::sync::{Arc, RwLock};
+
+/// Fleet client shape: the per-server connection config plus the
+/// partition-keyspace size used when the servers carry no map.
+#[derive(Clone, Copy, Debug)]
+pub struct FleetClusterConfig {
+    /// Per-server connection config (timeouts, retries, pooling).
+    pub client: RemoteClusterConfig,
+    /// Partition count for a client-built map (servers without a resident
+    /// map, e.g. plain graph servers fronted only for sampling
+    /// scale-out). Ignored when a server supplies its map.
+    pub num_partitions: u32,
+}
+
+impl Default for FleetClusterConfig {
+    fn default() -> Self {
+        Self {
+            client: RemoteClusterConfig::default(),
+            num_partitions: DEFAULT_PARTITIONS,
+        }
+    }
+}
+
+struct FleetMetrics {
+    replica_reads: Arc<Counter>,
+    degraded_requests: Arc<Counter>,
+    map_refreshes: Arc<Counter>,
+}
+
+struct FleetState {
+    map: PartitionMap,
+    /// Connections keyed by stable server id.
+    conns: HashMap<u64, Arc<RemoteCluster>>,
+}
+
+/// A partition-routed client over a fleet of graph servers.
+pub struct FleetCluster {
+    pub(crate) cfg: FleetClusterConfig,
+    registry: Arc<Registry>,
+    state: RwLock<FleetState>,
+    m: FleetMetrics,
+}
+
+/// Build the degraded fallback a request's policy asks for — the same
+/// shape the in-process router and the single-server client produce.
+fn degraded_response(req: &SampleRequest) -> SampleResponse {
+    match req.on_degraded {
+        DegradedPolicy::EmptySet => SampleResponse {
+            neighbors: Vec::new(),
+            sources: Vec::new(),
+            degraded: true,
+            shard: 0,
+        },
+        DegradedPolicy::SelfLoop => SampleResponse {
+            neighbors: vec![req.vertex; req.fanout],
+            sources: vec![SlotSource::SelfLoop; req.fanout],
+            degraded: true,
+            shard: 0,
+        },
+    }
+}
+
+impl FleetCluster {
+    /// Connect to every address and adopt the fleet's partition map (the
+    /// first server that carries one wins; highest epoch is reconciled on
+    /// [`FleetCluster::refresh_map`]). When *no* server carries a map —
+    /// plain graph servers — the client builds its own over the address
+    /// list, which scales sampling out without server-side replication.
+    pub fn connect<A: AsRef<str>>(addrs: &[A], cfg: FleetClusterConfig) -> Result<Self, Error> {
+        if addrs.is_empty() {
+            return Err(Error::invalid_config("fleet address list is empty"));
+        }
+        let mut dialed = Vec::with_capacity(addrs.len());
+        for a in addrs {
+            dialed.push(Arc::new(RemoteCluster::connect(a.as_ref(), cfg.client)?));
+        }
+        let fetched = dialed.iter().find_map(|c| c.fleet_map_bytes());
+        let map = match fetched {
+            Some((_, bytes)) => PartitionMap::decode(&bytes)?,
+            None => {
+                let roster: Vec<ServerEntry> = dialed
+                    .iter()
+                    .enumerate()
+                    .map(|(i, c)| ServerEntry {
+                        id: i as u64 + 1,
+                        addr: c.server_addr().to_string(),
+                    })
+                    .collect();
+                PartitionMap::build(roster, cfg.num_partitions)?
+            }
+        };
+        Self::from_map(map, dialed, cfg)
+    }
+
+    /// Join an existing fleet through any one member: fetch its map,
+    /// dial every server the map names. Errors if the seed carries no
+    /// map — joining requires a fleet, not a bag of plain servers.
+    pub fn join(seed_addr: &str, cfg: FleetClusterConfig) -> Result<Self, Error> {
+        let seed = Arc::new(RemoteCluster::connect(seed_addr, cfg.client)?);
+        let (_, bytes) = seed
+            .fleet_map_bytes()
+            .ok_or_else(|| Error::invalid_config("seed server carries no fleet partition map"))?;
+        let map = PartitionMap::decode(&bytes)?;
+        Self::from_map(map, vec![seed], cfg)
+    }
+
+    fn from_map(
+        map: PartitionMap,
+        dialed: Vec<Arc<RemoteCluster>>,
+        cfg: FleetClusterConfig,
+    ) -> Result<Self, Error> {
+        let registry = Arc::new(Registry::new());
+        let m = FleetMetrics {
+            replica_reads: registry.counter("fleet.client.replica_reads"),
+            degraded_requests: registry.counter("fleet.client.degraded_requests"),
+            map_refreshes: registry.counter("fleet.client.map_refreshes"),
+        };
+        let conns = Self::conns_for(&map, &dialed, cfg.client)?;
+        Ok(Self {
+            cfg,
+            registry,
+            state: RwLock::new(FleetState { map, conns }),
+            m,
+        })
+    }
+
+    /// Match dialed connections to roster entries by address; dial any
+    /// roster member not yet connected.
+    fn conns_for(
+        map: &PartitionMap,
+        dialed: &[Arc<RemoteCluster>],
+        client_cfg: RemoteClusterConfig,
+    ) -> Result<HashMap<u64, Arc<RemoteCluster>>, Error> {
+        let mut conns = HashMap::with_capacity(map.servers().len());
+        for entry in map.servers() {
+            let resolved = entry.addr.as_str().to_socket_addrs()?.next();
+            let reuse = dialed
+                .iter()
+                .find(|c| Some(c.server_addr()) == resolved)
+                .cloned();
+            let conn = match reuse {
+                Some(c) => c,
+                None => Arc::new(RemoteCluster::connect(entry.addr.as_str(), client_cfg)?),
+            };
+            conns.insert(entry.id, conn);
+        }
+        Ok(conns)
+    }
+
+    fn snapshot(&self) -> (PartitionMap, HashMap<u64, Arc<RemoteCluster>>) {
+        let s = self.state.read().unwrap_or_else(|e| e.into_inner());
+        (s.map.clone(), s.conns.clone())
+    }
+
+    /// The resident map's epoch.
+    pub fn map_epoch(&self) -> u64 {
+        self.state
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .map
+            .epoch()
+    }
+
+    /// Snapshot the resident map.
+    pub fn map_snapshot(&self) -> PartitionMap {
+        self.state
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .map
+            .clone()
+    }
+
+    /// Ask every reachable server for its map and adopt the highest
+    /// epoch seen (dialing any newly-listed servers). Returns the epoch
+    /// in effect afterwards — how a client catches up after a migration.
+    pub fn refresh_map(&self) -> Result<u64, Error> {
+        let (cur, conns) = self.snapshot();
+        let mut best: Option<PartitionMap> = None;
+        for conn in conns.values() {
+            if let Some((epoch, bytes)) = conn.fleet_map_bytes() {
+                if epoch > best.as_ref().map_or(cur.epoch(), |b| b.epoch()) {
+                    best = Some(PartitionMap::decode(&bytes)?);
+                }
+            }
+        }
+        match best {
+            Some(map) => self.install_local(map),
+            None => Ok(cur.epoch()),
+        }
+    }
+
+    /// Adopt a newer map (no-op at or below the resident epoch), dialing
+    /// any servers it names that we are not yet connected to.
+    pub(crate) fn install_local(&self, map: PartitionMap) -> Result<u64, Error> {
+        let (cur, _) = self.snapshot();
+        if map.epoch() <= cur.epoch() {
+            return Ok(cur.epoch());
+        }
+        let dialed: Vec<Arc<RemoteCluster>> = {
+            let s = self.state.read().unwrap_or_else(|e| e.into_inner());
+            s.conns.values().cloned().collect()
+        };
+        let conns = Self::conns_for(&map, &dialed, self.cfg.client)?;
+        let mut s = self.state.write().unwrap_or_else(|e| e.into_inner());
+        if map.epoch() <= s.map.epoch() {
+            return Ok(s.map.epoch());
+        }
+        let epoch = map.epoch();
+        s.map = map;
+        s.conns = conns;
+        self.m.map_refreshes.inc();
+        Ok(epoch)
+    }
+
+    /// Register an already-dialed connection for a server id (used by the
+    /// join path before the staged map is installed).
+    pub(crate) fn register_conn(&self, id: u64, conn: Arc<RemoteCluster>) {
+        let mut s = self.state.write().unwrap_or_else(|e| e.into_inner());
+        s.conns.insert(id, conn);
+    }
+
+    fn conn(
+        conns: &HashMap<u64, Arc<RemoteCluster>>,
+        map: &PartitionMap,
+        idx: u32,
+    ) -> Option<Arc<RemoteCluster>> {
+        conns.get(&map.servers()[idx as usize].id).cloned()
+    }
+
+    /// Connection to the server at roster index `idx` under `map`.
+    pub(crate) fn conn_by_index(&self, map: &PartitionMap, idx: u32) -> Option<Arc<RemoteCluster>> {
+        let s = self.state.read().unwrap_or_else(|e| e.into_inner());
+        Self::conn(&s.conns, map, idx)
+    }
+
+    /// Connection to the server with this stable id.
+    pub(crate) fn conn_by_id(&self, id: u64) -> Option<Arc<RemoteCluster>> {
+        let s = self.state.read().unwrap_or_else(|e| e.into_inner());
+        s.conns.get(&id).cloned()
+    }
+
+    /// Sample one owner-group, falling back per-request to the replica
+    /// and then to the degraded policy. Returns responses parallel to
+    /// `idxs`.
+    fn sample_group(
+        &self,
+        map: &PartitionMap,
+        conns: &HashMap<u64, Arc<RemoteCluster>>,
+        owner: u32,
+        reqs: &[SampleRequest],
+        seeds: &[u64],
+        idxs: &[usize],
+    ) -> Vec<SampleResponse> {
+        let batch: Vec<(SampleRequest, u64)> = idxs.iter().map(|&i| (reqs[i], seeds[i])).collect();
+        let primary = Self::conn(conns, map, owner).and_then(|c| c.sample_with_seeds(&batch).ok());
+        let mut out: Vec<Option<SampleResponse>> = match primary {
+            Some(v) => v.into_iter().map(Some).collect(),
+            None => vec![None; idxs.len()],
+        };
+
+        // Collect the positions that still need an answer, grouped by
+        // the partition's replica server.
+        let mut retry: HashMap<u32, Vec<usize>> = HashMap::new();
+        for (pos, slot) in out.iter().enumerate() {
+            if slot.as_ref().is_none_or(|r| r.degraded) {
+                let p = map.partition_of(batch[pos].0.vertex);
+                if let Some(r) = map.replica_index(p) {
+                    if r != owner {
+                        retry.entry(r).or_default().push(pos);
+                    }
+                }
+            }
+        }
+        for (ridx, positions) in retry {
+            let sub: Vec<(SampleRequest, u64)> = positions.iter().map(|&pos| batch[pos]).collect();
+            let replies = Self::conn(conns, map, ridx).and_then(|c| c.sample_with_seeds(&sub).ok());
+            if let Some(replies) = replies {
+                for (k, &pos) in positions.iter().enumerate() {
+                    let better = !replies[k].degraded || out[pos].is_none();
+                    if better {
+                        if !replies[k].degraded {
+                            self.m.replica_reads.inc();
+                        }
+                        out[pos] = Some(replies[k].clone());
+                    }
+                }
+            }
+        }
+
+        out.into_iter()
+            .enumerate()
+            .map(|(pos, slot)| match slot {
+                Some(r) => {
+                    if r.degraded {
+                        self.m.degraded_requests.inc();
+                    }
+                    r
+                }
+                None => {
+                    self.m.degraded_requests.inc();
+                    degraded_response(&batch[pos].0)
+                }
+            })
+            .collect()
+    }
+
+    /// Per-server shard-index offsets, map roster order — the fleet's
+    /// global shard numbering for `shard_healths`/`heal`.
+    fn shard_layout(
+        map: &PartitionMap,
+        conns: &HashMap<u64, Arc<RemoteCluster>>,
+    ) -> Vec<(Arc<RemoteCluster>, usize)> {
+        map.servers()
+            .iter()
+            .filter_map(|e| conns.get(&e.id).cloned())
+            .map(|c| {
+                let n = c.num_shards();
+                (c, n)
+            })
+            .collect()
+    }
+}
+
+impl GraphService for FleetCluster {
+    fn sample_one(&self, req: &SampleRequest, rng: &mut dyn RngCore) -> SampleResponse {
+        self.sample_many(std::slice::from_ref(req), rng)
+            .pop()
+            .expect("one request yields one response")
+    }
+
+    fn sample_many(&self, reqs: &[SampleRequest], rng: &mut dyn RngCore) -> Vec<SampleResponse> {
+        // Seeds first, in request order: the determinism contract.
+        let seeds: Vec<u64> = reqs.iter().map(|_| rng.next_u64()).collect();
+        if reqs.is_empty() {
+            return Vec::new();
+        }
+        let (map, conns) = self.snapshot();
+        let mut groups: HashMap<u32, Vec<usize>> = HashMap::new();
+        for (i, req) in reqs.iter().enumerate() {
+            groups.entry(map.owner_of(req.vertex)).or_default().push(i);
+        }
+        let groups: Vec<(u32, Vec<usize>)> = groups.into_iter().collect();
+        let mut out: Vec<Option<SampleResponse>> = vec![None; reqs.len()];
+        // One thread per owner group: the groups hit different servers,
+        // so their round trips overlap.
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(groups.len());
+            for (owner, idxs) in &groups {
+                let (map, conns, seeds) = (&map, &conns, &seeds);
+                handles.push(
+                    scope.spawn(move || self.sample_group(map, conns, *owner, reqs, seeds, idxs)),
+                );
+            }
+            for (handle, (_, idxs)) in handles.into_iter().zip(&groups) {
+                let responses = handle.join().expect("sampler thread never panics");
+                for (resp, &i) in responses.into_iter().zip(idxs) {
+                    out[i] = Some(resp);
+                }
+            }
+        });
+        out.into_iter()
+            .map(|r| r.expect("every request answered"))
+            .collect()
+    }
+
+    fn apply_updates(&self, ops: &[UpdateOp]) -> Result<BatchReport, Error> {
+        let (map, conns) = self.snapshot();
+        let mut groups: HashMap<u32, Vec<UpdateOp>> = HashMap::new();
+        for op in ops {
+            groups.entry(map.owner_of(op.src())).or_default().push(*op);
+        }
+        let mut report = BatchReport::default();
+        for (owner, batch) in groups {
+            let conn = Self::conn(&conns, &map, owner).ok_or(Error::ShardUnavailable {
+                shard: owner as usize,
+            })?;
+            let r = conn.apply_updates(&batch)?;
+            report.applied_ops += r.applied_ops;
+            report.queued_ops += r.queued_ops;
+        }
+        Ok(report)
+    }
+
+    fn apply_txn(&self, txn: &GraphTxn) -> Result<TxnReceipt, TxnError> {
+        let (map, conns) = self.snapshot();
+        let mut owners: Vec<u32> = Vec::new();
+        for op in txn.ops() {
+            let owner = map.owner_index(map.partition_of(crate::node::txn_op_src(op)));
+            if !owners.contains(&owner) {
+                owners.push(owner);
+            }
+        }
+        let route = |owner: u32| -> Result<Arc<RemoteCluster>, TxnError> {
+            Self::conn(&conns, &map, owner).ok_or(TxnError::Store(Error::ShardUnavailable {
+                shard: owner as usize,
+            }))
+        };
+        match owners.as_slice() {
+            [] => route(0)?.apply_txn(txn),
+            [owner] => route(*owner)?.apply_txn(txn),
+            many => {
+                // A txn spanning owners splits into per-owner sub-txns
+                // with ids derived deterministically from the original —
+                // each leg stays idempotent on retry, but atomicity is
+                // per-server, not fleet-wide (see DESIGN.md §6g).
+                let mut receipt = TxnReceipt {
+                    txn_id: txn.id(),
+                    ..TxnReceipt::default()
+                };
+                receipt.deduped = true;
+                for &owner in many {
+                    let server_id = map.servers()[owner as usize].id;
+                    let mut sub = GraphTxn::new(
+                        txn.id() ^ (0x9e37_79b9_7f4a_7c15 ^ server_id).rotate_left(17),
+                    );
+                    for op in txn.ops() {
+                        if map.owner_index(map.partition_of(crate::node::txn_op_src(op))) == owner {
+                            sub.push(*op);
+                        }
+                    }
+                    let r = route(owner)?.apply_txn(&sub)?;
+                    receipt.ops_applied += r.ops_applied;
+                    receipt.graph_version = receipt.graph_version.max(r.graph_version);
+                    receipt.deduped &= r.deduped;
+                }
+                Ok(receipt)
+            }
+        }
+    }
+
+    fn graph_version(&self) -> u64 {
+        let (map, conns) = self.snapshot();
+        Self::shard_layout(&map, &conns)
+            .iter()
+            .map(|(c, _)| c.graph_version())
+            .sum()
+    }
+
+    fn num_shards(&self) -> usize {
+        let (map, conns) = self.snapshot();
+        Self::shard_layout(&map, &conns)
+            .iter()
+            .map(|(_, n)| n)
+            .sum()
+    }
+
+    fn shard_healths(&self) -> Vec<ShardHealth> {
+        let (map, conns) = self.snapshot();
+        Self::shard_layout(&map, &conns)
+            .iter()
+            .flat_map(|(c, _)| c.shard_healths())
+            .collect()
+    }
+
+    fn heal(&self, shard: usize) -> usize {
+        let (map, conns) = self.snapshot();
+        let mut offset = 0usize;
+        for (conn, n) in Self::shard_layout(&map, &conns) {
+            if shard < offset + n {
+                return conn.heal(shard - offset);
+            }
+            offset += n;
+        }
+        0
+    }
+
+    fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+}

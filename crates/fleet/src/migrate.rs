@@ -1,0 +1,207 @@
+//! Live shard migration: move a partition to a new owner while serving.
+//!
+//! The state machine, driven from the client side against the owning
+//! server's migration plane (`begin_migration` / `export_partition` /
+//! `migration_tail` / `end_migration`):
+//!
+//! 1. **Arm** the source's migration journal — every op touching the
+//!    partition from now on is recorded alongside being applied.
+//! 2. **Stream** the partition as resumable snapshot-v2 chunks into the
+//!    target over the replica channel (no fan-out from the target). The
+//!    source keeps serving; writes race the copy but land in the journal.
+//! 3. **Drain** the journal tail in rounds until a round comes back
+//!    empty — the copies have converged up to in-flight writes.
+//! 4. **Promote**: bump the map epoch with the target as owner and the
+//!    source as replica, and install it — *target first* (so a relay
+//!    from a staler server can never bounce back), then the rest of the
+//!    fleet, then this client.
+//! 5. **Final drain + disarm**: one more tail round catches writes that
+//!    landed on the source between the last drain and its map install
+//!    (those are journaled; post-install writes relay to the target
+//!    directly), then `end_migration` disarms the journal.
+//!
+//! Every streamed op is idempotent and replica-channel retries are
+//! absorbed by the target, so a crashed migration is safe to re-run.
+//! The source keeps its copy as the partition's replica — clients still
+//! routing on the old epoch read correct data until they refresh.
+
+use crate::cluster::FleetCluster;
+use crate::map::ServerEntry;
+use platod2gl_graph::{Error, UpdateOp};
+use platod2gl_rpc::RemoteCluster;
+use platod2gl_server::GraphService;
+use platod2gl_storage::read_snapshot;
+use std::net::ToSocketAddrs;
+use std::sync::Arc;
+
+/// Edge budget per streamed chunk.
+const CHUNK_EDGES: usize = 4096;
+/// Convergence drain rounds before promoting regardless (the post-promote
+/// final drain still catches the remainder).
+const MAX_TAIL_ROUNDS: usize = 10;
+
+/// What one partition move did.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MigrationReport {
+    /// The migrated partition.
+    pub partition: u32,
+    /// Edges streamed in snapshot chunks.
+    pub edges_streamed: u64,
+    /// Snapshot chunks shipped.
+    pub chunks: usize,
+    /// Journal-tail ops replayed onto the target.
+    pub tail_ops: usize,
+    /// Total ops the source journaled while armed.
+    pub journaled: u64,
+    /// Map epoch after the promote.
+    pub epoch: u64,
+}
+
+/// What a server join did: the identity it was assigned and each
+/// partition move rendezvous ranking demanded.
+#[derive(Clone, Debug, Default)]
+pub struct JoinReport {
+    /// The stable id assigned to the joining server.
+    pub server_id: u64,
+    /// One report per migrated partition.
+    pub moved: Vec<MigrationReport>,
+}
+
+impl FleetCluster {
+    /// Move one partition to the server with `target_server_id`, live.
+    /// Serving continues throughout; see the module docs for the state
+    /// machine and why no write is lost.
+    pub fn migrate_partition(
+        &self,
+        partition: u32,
+        target_server_id: u64,
+    ) -> Result<MigrationReport, Error> {
+        let map = self.map_snapshot();
+        if partition >= map.num_partitions() {
+            return Err(Error::invalid_config("partition out of range"));
+        }
+        let tgt_idx = map
+            .index_of(target_server_id)
+            .ok_or_else(|| Error::invalid_config("target server not in roster"))?;
+        let src_idx = map.owner_index(partition);
+        if src_idx == tgt_idx {
+            return Err(Error::invalid_config("target already owns the partition"));
+        }
+        let conn_of = |idx: u32| -> Result<Arc<RemoteCluster>, Error> {
+            self.conn_by_index(&map, idx)
+                .ok_or(Error::ShardUnavailable {
+                    shard: idx as usize,
+                })
+        };
+        let src = conn_of(src_idx)?;
+        let tgt = conn_of(tgt_idx)?;
+        let num_partitions = map.num_partitions();
+
+        // 1. Arm the journal.
+        src.begin_migration(partition, num_partitions)?;
+
+        // 2. Stream snapshot chunks (resumable (src, etype) cursor).
+        let mut report = MigrationReport {
+            partition,
+            ..MigrationReport::default()
+        };
+        let mut cursor = None;
+        loop {
+            let chunk = src.export_partition(partition, num_partitions, cursor, CHUNK_EDGES)?;
+            let mut ops: Vec<UpdateOp> = Vec::new();
+            read_snapshot(&chunk.snapshot[..], |batch| {
+                ops.extend(batch.into_iter().map(UpdateOp::Insert));
+            })?;
+            if !ops.is_empty() {
+                tgt.apply_replica_updates(&ops)?;
+            }
+            report.edges_streamed += chunk.edges;
+            report.chunks += 1;
+            cursor = chunk.cursor;
+            if chunk.done {
+                break;
+            }
+        }
+
+        // 3. Drain the journal until a round comes back empty.
+        let mut from_seq = 0u64;
+        for _ in 0..MAX_TAIL_ROUNDS {
+            let (ops, next) = src.migration_tail(partition, from_seq)?;
+            from_seq = next;
+            if ops.is_empty() {
+                break;
+            }
+            report.tail_ops += ops.len();
+            tgt.apply_replica_updates(&ops)?;
+        }
+
+        // 4. Promote and install: target first, then the fleet, then us.
+        let promoted = map.promote(partition, tgt_idx)?;
+        let bytes = promoted.encode();
+        tgt.install_fleet_map(promoted.epoch(), &bytes)?;
+        for (i, entry) in promoted.servers().iter().enumerate() {
+            if i as u32 == tgt_idx {
+                continue;
+            }
+            if let Some(conn) = self.conn_by_id(entry.id) {
+                conn.install_fleet_map(promoted.epoch(), &bytes)?;
+            }
+        }
+        report.epoch = promoted.epoch();
+
+        // 5. Final drain, then disarm.
+        let (ops, _) = src.migration_tail(partition, from_seq)?;
+        if !ops.is_empty() {
+            report.tail_ops += ops.len();
+            tgt.apply_replica_updates(&ops)?;
+        }
+        report.journaled = src.end_migration(partition)?;
+        self.install_local(promoted)?;
+        Ok(report)
+    }
+
+    /// Bring a freshly-started server into the fleet under the identity it
+    /// was booted with: announce the widened roster (epoch bump, ownership
+    /// unchanged), then live-migrate every partition rendezvous ranking
+    /// hands it. Training through this call sees zero failed batches.
+    ///
+    /// `new_id` must match the `server_id` the node at `addr` was created
+    /// with — the node recognizes its own writes (vs ops to relay) by
+    /// finding that id in the installed map.
+    pub fn join_and_migrate(&self, addr: &str, new_id: u64) -> Result<JoinReport, Error> {
+        let conn = Arc::new(RemoteCluster::connect(addr, self.cfg.client)?);
+        let resolved = addr
+            .to_socket_addrs()?
+            .next()
+            .map(|a| a.to_string())
+            .unwrap_or_else(|| addr.to_string());
+        let map = self.map_snapshot();
+        if map.index_of(new_id).is_some() {
+            return Err(Error::invalid_config("joining server id already in roster"));
+        }
+        let (staged, moves) = map.with_server(ServerEntry {
+            id: new_id,
+            addr: resolved,
+        })?;
+        let bytes = staged.encode();
+        // The joining server learns the roster (and its own place in it)
+        // first, then the incumbents, then this client.
+        conn.install_fleet_map(staged.epoch(), &bytes)?;
+        for entry in map.servers() {
+            if let Some(c) = self.conn_by_id(entry.id) {
+                c.install_fleet_map(staged.epoch(), &bytes)?;
+            }
+        }
+        self.register_conn(new_id, conn);
+        self.install_local(staged)?;
+
+        let mut joined = JoinReport {
+            server_id: new_id,
+            moved: Vec::with_capacity(moves.len()),
+        };
+        for p in moves {
+            joined.moved.push(self.migrate_partition(p, new_id)?);
+        }
+        Ok(joined)
+    }
+}

@@ -1,0 +1,336 @@
+//! The server-side fleet member: a [`Cluster`] plus routing awareness.
+//!
+//! A [`FleetNode`] wraps one in-process `Cluster` and makes it a citizen
+//! of a fleet: it carries (a copy of) the [`PartitionMap`], fans writes it
+//! owns out to the partition's replica, and relays writes it does *not*
+//! own to the current owner — the path that keeps clients routing on a
+//! stale map correct during a migration.
+//!
+//! ## Why replication cannot loop
+//!
+//! First-hand writes (`apply_updates` / `apply_txn`) fan out; writes that
+//! arrive on the **replica channel** (`apply_replica_updates` /
+//! `apply_replica_txn`, dedicated wire frames) apply locally and are never
+//! re-forwarded. Owner → replica is therefore always one hop.
+//!
+//! Relays (stale-routed first-hand writes) forward first-hand, so the
+//! receiving owner does its own replica fan-out. A relay ping-pong would
+//! need two servers that each believe the *other* owns a partition, which
+//! epoch-monotonic installs plus the migration driver's install order
+//! (new owner first — see [`crate::FleetCluster::migrate_partition`])
+//! rule out: by the time the old owner relays, the new owner's map
+//! already names itself.
+
+use crate::map::PartitionMap;
+use platod2gl_graph::{
+    Error, GraphTxn, ShardHealth, TxnError, TxnOp, TxnReceipt, UpdateOp, VertexId,
+};
+use platod2gl_obs::{Counter, Registry};
+use platod2gl_rpc::{RemoteCluster, RemoteClusterConfig};
+use platod2gl_server::{
+    BatchReport, Cluster, GraphService, PartitionChunk, SampleRequest, SampleResponse,
+};
+use rand::RngCore;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, RwLock};
+
+/// The source vertex a typed txn op routes by — the same key
+/// `UpdateOp::src()` provides for lowered ops.
+pub(crate) fn txn_op_src(op: &TxnOp) -> VertexId {
+    match op {
+        TxnOp::InsertEdge(e) | TxnOp::PatchWeight(e) => e.src,
+        TxnOp::DeleteEdge { src, .. } => *src,
+        TxnOp::UpsertVertex { vertex } | TxnOp::DeleteVertex { vertex, .. } => *vertex,
+    }
+}
+
+struct NodeMetrics {
+    replica_fanouts: Arc<Counter>,
+    replica_errors: Arc<Counter>,
+    relayed_ops: Arc<Counter>,
+    map_installs: Arc<Counter>,
+}
+
+/// One fleet member: a local [`Cluster`] served over RPC, plus the
+/// partition map and peer connections that make it replicate and relay.
+pub struct FleetNode {
+    cluster: Arc<Cluster>,
+    server_id: u64,
+    peer_cfg: RemoteClusterConfig,
+    map: RwLock<Option<PartitionMap>>,
+    peers: Mutex<HashMap<u64, Arc<RemoteCluster>>>,
+    m: NodeMetrics,
+}
+
+impl FleetNode {
+    /// Wrap a cluster as fleet member `server_id`. The node starts
+    /// map-less (it behaves exactly like the bare cluster) until a map is
+    /// installed — locally via [`FleetNode::install`] during bootstrap, or
+    /// over the wire via the `MapInstall` frame.
+    pub fn new(cluster: Arc<Cluster>, server_id: u64, peer_cfg: RemoteClusterConfig) -> Self {
+        let registry = cluster.obs().clone();
+        let m = NodeMetrics {
+            replica_fanouts: registry.counter("fleet.node.replica_fanouts"),
+            replica_errors: registry.counter("fleet.node.replica_errors"),
+            relayed_ops: registry.counter("fleet.node.relayed_ops"),
+            map_installs: registry.counter("fleet.node.map_installs"),
+        };
+        Self {
+            cluster,
+            server_id,
+            peer_cfg,
+            map: RwLock::new(None),
+            peers: Mutex::new(HashMap::new()),
+            m,
+        }
+    }
+
+    /// This node's stable fleet identity.
+    pub fn server_id(&self) -> u64 {
+        self.server_id
+    }
+
+    /// The wrapped cluster (tests and admin wiring reach through).
+    pub fn cluster(&self) -> &Arc<Cluster> {
+        &self.cluster
+    }
+
+    /// Install a map directly (bootstrap path). Epoch-monotonic: an
+    /// install at or below the resident epoch is a no-op. Returns the
+    /// epoch now in effect.
+    pub fn install(&self, map: PartitionMap) -> u64 {
+        let mut slot = self.map.write().unwrap_or_else(|e| e.into_inner());
+        match slot.as_ref() {
+            Some(cur) if cur.epoch() >= map.epoch() => cur.epoch(),
+            _ => {
+                let epoch = map.epoch();
+                *slot = Some(map);
+                self.m.map_installs.inc();
+                epoch
+            }
+        }
+    }
+
+    /// Snapshot the resident map.
+    pub fn map_snapshot(&self) -> Option<PartitionMap> {
+        self.map.read().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+
+    /// A pooled connection to the peer at roster index `idx`.
+    fn peer(&self, map: &PartitionMap, idx: u32) -> Result<Arc<RemoteCluster>, Error> {
+        let entry = &map.servers()[idx as usize];
+        if entry.id == self.server_id {
+            return Err(Error::invalid_config("peer lookup resolved to self"));
+        }
+        let mut peers = self.peers.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(p) = peers.get(&entry.id) {
+            return Ok(p.clone());
+        }
+        let conn = Arc::new(RemoteCluster::connect(entry.addr.as_str(), self.peer_cfg)?);
+        peers.insert(entry.id, conn.clone());
+        Ok(conn)
+    }
+
+    /// Partition ops into (owned-by-me, foreign-owner → ops) under `map`.
+    fn split_by_owner(
+        &self,
+        map: &PartitionMap,
+        my_idx: u32,
+        ops: &[UpdateOp],
+    ) -> (Vec<UpdateOp>, HashMap<u32, Vec<UpdateOp>>) {
+        let mut owned = Vec::with_capacity(ops.len());
+        let mut foreign: HashMap<u32, Vec<UpdateOp>> = HashMap::new();
+        for op in ops {
+            let owner = map.owner_of(op.src());
+            if owner == my_idx {
+                owned.push(*op);
+            } else {
+                foreign.entry(owner).or_default().push(*op);
+            }
+        }
+        (owned, foreign)
+    }
+}
+
+impl GraphService for FleetNode {
+    fn sample_one(&self, req: &SampleRequest, rng: &mut dyn RngCore) -> SampleResponse {
+        GraphService::sample_one(&*self.cluster, req, rng)
+    }
+
+    fn sample_many(&self, reqs: &[SampleRequest], rng: &mut dyn RngCore) -> Vec<SampleResponse> {
+        GraphService::sample_many(&*self.cluster, reqs, rng)
+    }
+
+    fn apply_updates(&self, ops: &[UpdateOp]) -> Result<BatchReport, Error> {
+        let map = self.map_snapshot();
+        let Some(map) = map else {
+            return self.cluster.apply_batch_sharded(ops);
+        };
+        let Some(my_idx) = map.index_of(self.server_id) else {
+            return self.cluster.apply_batch_sharded(ops);
+        };
+        let (owned, foreign) = self.split_by_owner(&map, my_idx, ops);
+        let mut report = self.cluster.apply_batch_sharded(&owned)?;
+
+        // Leader → replica fan-out for the ops we own. Best-effort: a
+        // down replica degrades reads (clients fall back to the owner's
+        // answer), it must not fail the owner's write path.
+        let mut per_replica: HashMap<u32, Vec<UpdateOp>> = HashMap::new();
+        for op in &owned {
+            let p = map.partition_of(op.src());
+            if let Some(r) = map.replica_index(p) {
+                if r != my_idx {
+                    per_replica.entry(r).or_default().push(*op);
+                }
+            }
+        }
+        for (ridx, batch) in per_replica {
+            let sent = self
+                .peer(&map, ridx)
+                .and_then(|peer| peer.apply_replica_updates(&batch));
+            match sent {
+                Ok(_) => self.m.replica_fanouts.inc(),
+                Err(_) => self.m.replica_errors.inc(),
+            }
+        }
+
+        // Stale-routed ops: relay first-hand to the real owner, who does
+        // its own replica fan-out. Losing these would silently drop
+        // writes, so relay failures are hard errors.
+        for (owner, batch) in foreign {
+            let peer = self.peer(&map, owner)?;
+            let relayed = peer.apply_updates(&batch)?;
+            self.m.relayed_ops.add(batch.len() as u64);
+            report.applied_ops += relayed.applied_ops;
+            report.queued_ops += relayed.queued_ops;
+        }
+        Ok(report)
+    }
+
+    fn apply_txn(&self, txn: &GraphTxn) -> Result<TxnReceipt, TxnError> {
+        let receipt = self.cluster.apply_txn(txn)?;
+        let Some(map) = self.map_snapshot() else {
+            return Ok(receipt);
+        };
+        let Some(my_idx) = map.index_of(self.server_id) else {
+            return Ok(receipt);
+        };
+        // Forward under the *original* txn id: owned partitions to their
+        // replicas (replica channel — never re-forwarded), stale-routed
+        // partitions to their owner (first-hand — the owner fans out).
+        // Dedupe ledgers absorb the overlap when a txn touches several
+        // partitions that share a server.
+        let mut replica_targets: Vec<u32> = Vec::new();
+        let mut owner_targets: Vec<u32> = Vec::new();
+        for op in txn.ops() {
+            let p = map.partition_of(txn_op_src(op));
+            let owner = map.owner_index(p);
+            if owner == my_idx {
+                if let Some(r) = map.replica_index(p) {
+                    if r != my_idx && !replica_targets.contains(&r) {
+                        replica_targets.push(r);
+                    }
+                }
+            } else if !owner_targets.contains(&owner) {
+                owner_targets.push(owner);
+            }
+        }
+        for ridx in replica_targets {
+            let sent = self
+                .peer(&map, ridx)
+                .map_err(TxnError::Store)
+                .and_then(|peer| peer.apply_replica_txn(txn));
+            match sent {
+                Ok(_) => self.m.replica_fanouts.inc(),
+                Err(_) => self.m.replica_errors.inc(),
+            }
+        }
+        for oidx in owner_targets {
+            // Best-effort like the replica leg: this node is (or is
+            // becoming) the partition's replica, so the data is not lost
+            // and degraded reads keep serving it if the relay fails.
+            let sent = self
+                .peer(&map, oidx)
+                .map_err(TxnError::Store)
+                .and_then(|peer| peer.apply_txn(txn));
+            match sent {
+                Ok(r) => self.m.relayed_ops.add(r.ops_applied),
+                Err(_) => self.m.replica_errors.inc(),
+            }
+        }
+        Ok(receipt)
+    }
+
+    fn apply_replica_updates(&self, ops: &[UpdateOp]) -> Result<BatchReport, Error> {
+        // Replica channel: apply locally, never re-forward. The
+        // version-silent variant keeps replication and migration streams
+        // from masquerading as logical writes to fleet clients (whose
+        // trainer caches invalidate on the fleet-wide version sum).
+        self.cluster.apply_batch_replicated(ops)
+    }
+
+    fn apply_replica_txn(&self, txn: &GraphTxn) -> Result<TxnReceipt, TxnError> {
+        self.cluster.apply_txn_replicated(txn)
+    }
+
+    fn fleet_map_bytes(&self) -> Option<(u64, Vec<u8>)> {
+        self.map_snapshot().map(|m| (m.epoch(), m.encode()))
+    }
+
+    fn install_fleet_map(&self, epoch: u64, bytes: &[u8]) -> Result<u64, Error> {
+        let map = PartitionMap::decode(bytes)?;
+        if map.epoch() != epoch {
+            return Err(Error::invalid_config(
+                "map install frame epoch disagrees with encoded map",
+            ));
+        }
+        Ok(self.install(map))
+    }
+
+    fn begin_migration(&self, partition: u32, num_partitions: u32) -> Result<u64, Error> {
+        self.cluster.begin_migration(partition, num_partitions)
+    }
+
+    fn migration_tail(&self, partition: u32, from_seq: u64) -> Result<(Vec<UpdateOp>, u64), Error> {
+        self.cluster.migration_tail(partition, from_seq)
+    }
+
+    fn end_migration(&self, partition: u32) -> Result<u64, Error> {
+        self.cluster.end_migration(partition)
+    }
+
+    fn export_partition(
+        &self,
+        partition: u32,
+        num_partitions: u32,
+        cursor: Option<(u64, u16)>,
+        max_edges: usize,
+    ) -> Result<PartitionChunk, Error> {
+        self.cluster
+            .export_partition(partition, num_partitions, cursor, max_edges)
+    }
+
+    fn partition_key_counts(&self, num_partitions: u32) -> Vec<u64> {
+        self.cluster.partition_key_counts(num_partitions)
+    }
+
+    fn graph_version(&self) -> u64 {
+        self.cluster.graph_version()
+    }
+
+    fn num_shards(&self) -> usize {
+        self.cluster.num_shards()
+    }
+
+    fn shard_healths(&self) -> Vec<ShardHealth> {
+        self.cluster.health()
+    }
+
+    fn heal(&self, shard: usize) -> usize {
+        self.cluster.heal_shard(shard)
+    }
+
+    fn registry(&self) -> &Arc<Registry> {
+        self.cluster.obs()
+    }
+}

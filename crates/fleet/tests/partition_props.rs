@@ -1,0 +1,98 @@
+//! Property tests for the partition map: rendezvous hashing moves only
+//! ~1/(N+1) of the keyspace when a server joins, every remapped vertex
+//! moves *to* the new server, and routing survives an encode/decode
+//! round-trip unchanged.
+
+use platod2gl_fleet::{PartitionMap, ServerEntry};
+use platod2gl_graph::VertexId;
+use proptest::prelude::*;
+
+const PARTITIONS: u32 = 128;
+const VERTICES: u64 = 10_000;
+
+fn roster(n: u64, id_salt: u64) -> Vec<ServerEntry> {
+    (0..n)
+        .map(|i| ServerEntry {
+            id: i * 31 + 1 + id_salt,
+            addr: format!("10.0.0.{}:7000", i + 1),
+        })
+        .collect()
+}
+
+/// Owner server id of every vertex in the 10k keyspace under a map.
+fn owner_ids(map: &PartitionMap) -> Vec<u64> {
+    (0..VERTICES)
+        .map(|v| map.servers()[map.owner_of(VertexId(v)) as usize].id)
+        .collect()
+}
+
+proptest! {
+    /// Growing a fleet from N to N+1 servers remaps at most ~1/(N+1) of
+    /// a 10k-vertex keyspace (plus slack for partition granularity), and
+    /// every vertex that moved, moved to the new server.
+    #[test]
+    fn join_remaps_about_one_over_n_plus_one(n in 1u64..8, id_salt in 0u64..1000) {
+        let before = PartitionMap::build(roster(n, id_salt), PARTITIONS).expect("valid roster");
+        let joiner = ServerEntry { id: 100_000 + id_salt, addr: "10.0.1.1:7000".into() };
+        let (staged, moves) = before.with_server(joiner.clone()).expect("joins");
+
+        // The staged map itself moves nothing: migration does, one
+        // partition at a time. Promote every scheduled move to get the
+        // steady-state assignment.
+        let mut after = staged.clone();
+        let new_idx = after.index_of(joiner.id).expect("joiner in roster");
+        for &p in &moves {
+            after = after.promote(p, new_idx).expect("promotes");
+        }
+
+        let a = owner_ids(&before);
+        let b = owner_ids(&after);
+        let moved: Vec<u64> = (0..VERTICES)
+            .filter(|&v| a[v as usize] != b[v as usize])
+            .collect();
+
+        // Expected fraction 1/(N+1). Each of the 128 partitions moves
+        // independently with that probability, so allow four binomial
+        // standard deviations of slack for granularity.
+        let fraction = moved.len() as f64 / VERTICES as f64;
+        let q = 1.0 / (n as f64 + 1.0);
+        let sigma = (q * (1.0 - q) / f64::from(PARTITIONS)).sqrt();
+        let bound = q + 4.0 * sigma + 0.01;
+        prop_assert!(
+            fraction <= bound,
+            "N={n}: {} of {VERTICES} vertices moved ({fraction:.3} > {bound:.3})",
+            moved.len()
+        );
+        for v in moved {
+            prop_assert_eq!(
+                b[v as usize], joiner.id,
+                "vertex {} moved somewhere other than the joining server", v
+            );
+        }
+    }
+
+    /// Routing is stable under serialization: a decoded map answers every
+    /// ownership question exactly like the original.
+    #[test]
+    fn routing_survives_encode_decode(n in 1u64..6, id_salt in 0u64..1000, promotes in 0u32..5) {
+        let mut map = PartitionMap::build(roster(n, id_salt), PARTITIONS).expect("valid roster");
+        // Exercise non-trivial maps: a few promotes scatter owners and
+        // replicas away from the pure rendezvous assignment.
+        if n > 1 {
+            for k in 0..promotes {
+                let p = (k * 37) % PARTITIONS;
+                let owner = map.owner_index(p);
+                let next = (owner + 1) % n as u32;
+                map = map.promote(p, next).expect("promotes");
+            }
+        }
+        let decoded = PartitionMap::decode(&map.encode()).expect("round-trips");
+        prop_assert_eq!(decoded.epoch(), map.epoch());
+        for v in 0..VERTICES {
+            prop_assert_eq!(decoded.owner_of(VertexId(v)), map.owner_of(VertexId(v)));
+        }
+        for p in 0..PARTITIONS {
+            prop_assert_eq!(decoded.replica_index(p), map.replica_index(p));
+        }
+    }
+}

@@ -31,15 +31,19 @@
 //! would silently drop writes, surface `Error::Io` after the last retry.
 
 use crate::codec::{
-    decode_error_reply, decode_heal_reply, decode_health_reply, decode_sample_reply,
-    decode_txn_reply, decode_update_reply, encode_heal_request, encode_sample_batch,
-    encode_txn_apply, encode_update_batch, error_code, write_frame, FrameError, FrameKind,
-    SampleBatch, TxnApply, TxnReply, UpdateBatch,
+    decode_error_reply, decode_heal_reply, decode_health_reply, decode_map_reply,
+    decode_migrate_ctl_reply, decode_partition_chunk, decode_partition_stats_reply,
+    decode_sample_reply, decode_tail_reply, decode_txn_reply, decode_update_reply,
+    encode_heal_request, encode_map_install, encode_migrate_ctl, encode_partition_fetch,
+    encode_partition_stats, encode_sample_batch, encode_tail_fetch, encode_txn_apply,
+    encode_update_batch, error_code, migrate_action, write_frame, FrameError, FrameKind, MapReply,
+    PartitionFetch, SampleBatch, TxnApply, TxnReply, UpdateBatch,
 };
 use platod2gl_graph::{Error, GraphTxn, ShardHealth, TxnError, TxnReceipt, UpdateOp};
 use platod2gl_obs::{Counter, Histogram, Registry};
 use platod2gl_server::{
-    route_for, BatchReport, DegradedPolicy, GraphService, SampleRequest, SampleResponse, SlotSource,
+    route_for, BatchReport, DegradedPolicy, GraphService, PartitionChunk, SampleRequest,
+    SampleResponse, SlotSource,
 };
 use rand::RngCore;
 use std::io::{self, Write};
@@ -111,6 +115,7 @@ struct ClientMetrics {
     transport_errors: Arc<Counter>,
     degraded_fallbacks: Arc<Counter>,
     reconnects: Arc<Counter>,
+    pool_evictions: Arc<Counter>,
     rtt: Arc<Histogram>,
 }
 
@@ -122,6 +127,7 @@ impl ClientMetrics {
             transport_errors: registry.counter("rpc.client.transport_errors"),
             degraded_fallbacks: registry.counter("rpc.client.degraded_fallbacks"),
             reconnects: registry.counter("rpc.client.reconnects"),
+            pool_evictions: registry.counter("rpc.client.pool_evictions"),
             rtt: registry.histogram("rpc.client.rtt_ns"),
         }
     }
@@ -188,12 +194,22 @@ impl RemoteCluster {
         Ok(stream)
     }
 
-    fn checkout(&self) -> io::Result<TcpStream> {
+    /// Check a stream out of the pool (the flag says it was pooled) or
+    /// dial a fresh one.
+    fn checkout(&self) -> io::Result<(TcpStream, bool)> {
         let pooled = self.lock_pool().pop();
         match pooled {
-            Some(stream) => Ok(stream),
-            None => self.dial(),
+            Some(stream) => Ok((stream, true)),
+            None => self.dial().map(|stream| (stream, false)),
         }
+    }
+
+    /// Park a dead stream in the pool — test hook for the eviction path
+    /// (a server restart leaves exactly this: pooled streams whose peer is
+    /// gone).
+    #[cfg(test)]
+    fn inject_pooled(&self, stream: TcpStream) {
+        self.lock_pool().push(stream);
     }
 
     fn checkin(&self, stream: TcpStream) {
@@ -221,6 +237,13 @@ impl RemoteCluster {
     /// drops the stream, sleeps the (doubling) backoff, and retries on a
     /// fresh connection. Protocol-level errors are not retried — a peer
     /// speaking a different protocol will not improve on attempt two.
+    /// Stale pooled connections (the server restarted since check-in) are
+    /// a special case: the dead stream is evicted and the exchange redialed
+    /// immediately, **without** spending a retry or sleeping a backoff —
+    /// otherwise one restart burns the whole retry budget on streams that
+    /// were doomed before the request existed. The eviction loop is bounded
+    /// by the pool size: failed streams are never re-pooled, so each
+    /// eviction shrinks the pool until checkout dials fresh.
     fn with_retries<T>(
         &self,
         mut exchange: impl FnMut(&mut TcpStream) -> Result<T, FrameError>,
@@ -228,15 +251,27 @@ impl RemoteCluster {
         let mut backoff = self.cfg.retry_backoff;
         let mut attempt = 0;
         loop {
-            let outcome = self.checkout().map_err(FrameError::Io).and_then(|mut s| {
-                let started = Instant::now();
-                let out = exchange(&mut s)?;
-                self.m.rtt.record(started.elapsed());
-                self.checkin(s);
-                Ok(out)
-            });
+            let (outcome, pooled) = match self.checkout() {
+                Ok((mut s, pooled)) => {
+                    let run: Result<T, FrameError> = (|| {
+                        let started = Instant::now();
+                        let out = exchange(&mut s)?;
+                        self.m.rtt.record(started.elapsed());
+                        Ok(out)
+                    })();
+                    if run.is_ok() {
+                        self.checkin(s);
+                    }
+                    (run, pooled)
+                }
+                Err(e) => (Err(FrameError::Io(e)), false),
+            };
             match outcome {
                 Ok(out) => return Ok(out),
+                Err(FrameError::Io(_)) if pooled => {
+                    self.m.transport_errors.inc();
+                    self.m.pool_evictions.inc();
+                }
                 Err(FrameError::Io(e)) if attempt < self.cfg.max_retries => {
                     self.m.transport_errors.inc();
                     self.m.retries.inc();
@@ -330,54 +365,196 @@ impl RemoteCluster {
             Ok(out)
         })
     }
-}
 
-fn expect_kind(got: FrameKind, want: FrameKind, what: &'static str) -> Result<(), FrameError> {
-    if got == want {
-        return Ok(());
-    }
-    Err(FrameError::UnexpectedReply {
-        expected: what,
-        got,
-    })
-}
-
-impl GraphService for RemoteCluster {
-    fn sample_one(&self, req: &SampleRequest, rng: &mut dyn RngCore) -> SampleResponse {
-        self.sample_many(std::slice::from_ref(req), rng)
-            .pop()
-            .expect("one response per request")
-    }
-
-    fn sample_many(&self, reqs: &[SampleRequest], rng: &mut dyn RngCore) -> Vec<SampleResponse> {
-        // Seeds are drawn up front, in request order, exactly one per
-        // request — the determinism contract — and *before* any I/O, so a
-        // retry re-sends the same seeds instead of redrawing.
-        let seeded: Vec<(SampleRequest, u64)> = reqs.iter().map(|r| (*r, rng.next_u64())).collect();
+    /// Sample a batch whose per-request seeds were already drawn. This is
+    /// the building block fleet routing needs: the fleet client draws one
+    /// seed per request in frontier order (the determinism contract), then
+    /// partitions the *seeded* requests by owning server — each server sees
+    /// only its slice, with the seeds the single-server run would have used.
+    ///
+    /// `Err` means transport to this server is gone past the retry budget
+    /// (the caller decides whether to degrade or try a replica); `Ok`
+    /// responses are positionally parallel to `seeded`.
+    pub fn sample_with_seeds(
+        &self,
+        seeded: &[(SampleRequest, u64)],
+    ) -> Result<Vec<SampleResponse>, Error> {
         if seeded.is_empty() {
-            return Vec::new();
+            return Ok(Vec::new());
         }
         self.m.requests.add(seeded.len() as u64);
         let chunks: Vec<&[(SampleRequest, u64)]> = seeded.chunks(self.cfg.max_batch).collect();
-        match self.pipelined_sample(&chunks) {
-            Ok(responses) => responses,
-            // The server is unreachable (or answered garbage) past the
-            // retry budget: degrade every request per its own policy, the
-            // same contract the in-process router honors for dead shards.
-            // The trainer sees degraded batches, never a client error.
-            Err(_) => reqs.iter().map(|r| self.transport_degraded(r)).collect(),
-        }
+        self.pipelined_sample(&chunks).map_err(fleet_err)
     }
 
-    fn apply_updates(&self, ops: &[UpdateOp]) -> Result<BatchReport, Error> {
+    // ------------------------------------------------------------------
+    // Fleet plane: typed exchanges for the frames the fleet crate drives.
+    // ------------------------------------------------------------------
+
+    /// Fetch the server's fleet partition map (epoch + opaque bytes).
+    pub fn fetch_map(&self) -> Result<MapReply, Error> {
+        self.with_retries(|stream| {
+            write_frame(stream, FrameKind::MapFetch, &[])?;
+            stream.flush()?;
+            let (kind, payload) = crate::codec::read_frame(stream)?;
+            expect_kind(kind, FrameKind::MapReply, "map")?;
+            Ok(decode_map_reply(&payload)?)
+        })
+        .map_err(fleet_err)
+    }
+
+    /// Install a partition map on the server; returns the epoch in effect.
+    pub fn install_map(&self, epoch: u64, bytes: &[u8]) -> Result<u64, Error> {
+        let payload = encode_map_install(epoch, bytes);
+        self.with_retries(|stream| {
+            write_frame(stream, FrameKind::MapInstall, &payload)?;
+            stream.flush()?;
+            let (kind, reply) = crate::codec::read_frame(stream)?;
+            match kind {
+                FrameKind::MapInstallReply => {
+                    Ok(Ok(platod2gl_server::wire::Reader::new(&reply).u64()?))
+                }
+                FrameKind::ErrorReply => Ok(Err(decode_error_reply(&reply)?)),
+                kind => Err(FrameError::UnexpectedReply {
+                    expected: "map install",
+                    got: kind,
+                }),
+            }
+        })
+        .map_err(fleet_err)?
+        .map_err(|err| Error::invalid_config(err.message))
+    }
+
+    /// Apply an update batch over the replication channel (the receiver
+    /// must not re-forward — see
+    /// [`FrameKind::ReplicaBatch`](crate::codec::FrameKind::ReplicaBatch)).
+    pub fn replica_updates(&self, ops: &[UpdateOp]) -> Result<BatchReport, Error> {
         let batch = UpdateBatch {
             deadline_ms: self.deadline_ms(),
             trace_id: None,
             ops: ops.to_vec(),
         };
         let payload = encode_update_batch(&batch);
+        self.exchange_update(FrameKind::ReplicaBatch, &payload)
+    }
+
+    /// Apply a transaction over the replication channel, under its
+    /// original id (the replica's dedupe ledger absorbs retries).
+    pub fn replica_txn(&self, txn: &GraphTxn) -> Result<TxnReceipt, TxnError> {
+        let payload = encode_txn_apply(&TxnApply {
+            txn_id: txn.id(),
+            ops: txn.ops().to_vec(),
+        });
+        self.exchange_txn(FrameKind::ReplicaTxn, &payload)
+    }
+
+    /// Fetch one resumable chunk of a partition export.
+    pub fn fetch_partition_chunk(
+        &self,
+        partition: u32,
+        num_partitions: u32,
+        cursor: Option<(u64, u16)>,
+        max_edges: u32,
+    ) -> Result<PartitionChunk, Error> {
+        let payload = encode_partition_fetch(&PartitionFetch {
+            partition,
+            num_partitions,
+            cursor,
+            max_edges,
+        });
+        let chunk = self
+            .with_retries(|stream| {
+                write_frame(stream, FrameKind::PartitionFetch, &payload)?;
+                stream.flush()?;
+                let (kind, reply) = crate::codec::read_frame(stream)?;
+                match kind {
+                    FrameKind::PartitionChunkReply => Ok(Ok(decode_partition_chunk(&reply)?)),
+                    FrameKind::ErrorReply => Ok(Err(decode_error_reply(&reply)?)),
+                    kind => Err(FrameError::UnexpectedReply {
+                        expected: "partition chunk",
+                        got: kind,
+                    }),
+                }
+            })
+            .map_err(fleet_err)?
+            .map_err(|err| Error::invalid_config(err.message))?;
+        Ok(PartitionChunk {
+            snapshot: chunk.snapshot,
+            cursor: chunk.cursor,
+            done: chunk.done,
+            edges: chunk.edges,
+        })
+    }
+
+    /// Arm the server's migration journal for one partition.
+    pub fn migrate_begin(&self, partition: u32, num_partitions: u32) -> Result<u64, Error> {
+        self.migrate_ctl(migrate_action::BEGIN, partition, num_partitions)
+    }
+
+    /// Disarm it; returns the total ops the journal buffered.
+    pub fn migrate_end(&self, partition: u32) -> Result<u64, Error> {
+        self.migrate_ctl(migrate_action::END, partition, 0)
+    }
+
+    fn migrate_ctl(&self, action: u8, partition: u32, num_partitions: u32) -> Result<u64, Error> {
+        let payload = encode_migrate_ctl(action, partition, num_partitions);
+        self.with_retries(|stream| {
+            write_frame(stream, FrameKind::MigrateCtl, &payload)?;
+            stream.flush()?;
+            let (kind, reply) = crate::codec::read_frame(stream)?;
+            match kind {
+                FrameKind::MigrateCtlReply => Ok(Ok(decode_migrate_ctl_reply(&reply)?)),
+                FrameKind::ErrorReply => Ok(Err(decode_error_reply(&reply)?)),
+                kind => Err(FrameError::UnexpectedReply {
+                    expected: "migrate ctl",
+                    got: kind,
+                }),
+            }
+        })
+        .map_err(fleet_err)?
+        .map_err(|err| Error::invalid_config(err.message))
+    }
+
+    /// Fetch journaled migration ops from `from_seq` on.
+    pub fn fetch_tail(&self, partition: u32, from_seq: u64) -> Result<(Vec<UpdateOp>, u64), Error> {
+        let payload = encode_tail_fetch(partition, from_seq);
+        let reply = self
+            .with_retries(|stream| {
+                write_frame(stream, FrameKind::TailFetch, &payload)?;
+                stream.flush()?;
+                let (kind, reply) = crate::codec::read_frame(stream)?;
+                match kind {
+                    FrameKind::TailReply => Ok(Ok(decode_tail_reply(&reply)?)),
+                    FrameKind::ErrorReply => Ok(Err(decode_error_reply(&reply)?)),
+                    kind => Err(FrameError::UnexpectedReply {
+                        expected: "tail",
+                        got: kind,
+                    }),
+                }
+            })
+            .map_err(fleet_err)?
+            .map_err(|err| Error::Corrupt { what: err.message })?;
+        Ok((reply.ops, reply.next_seq))
+    }
+
+    /// Per-partition resident key counts.
+    pub fn partition_stats(&self, num_partitions: u32) -> Result<Vec<u64>, Error> {
+        let payload = encode_partition_stats(num_partitions);
+        self.with_retries(|stream| {
+            write_frame(stream, FrameKind::PartitionStats, &payload)?;
+            stream.flush()?;
+            let (kind, reply) = crate::codec::read_frame(stream)?;
+            expect_kind(kind, FrameKind::PartitionStatsReply, "partition stats")?;
+            Ok(decode_partition_stats_reply(&reply)?)
+        })
+        .map_err(fleet_err)
+    }
+
+    /// Shared body of the update-batch exchange (first-hand and replica
+    /// channels differ only in the request frame kind).
+    fn exchange_update(&self, kind: FrameKind, payload: &[u8]) -> Result<BatchReport, Error> {
         let outcome = self.with_retries(|stream| {
-            write_frame(stream, FrameKind::UpdateBatch, &payload)?;
+            write_frame(stream, kind, payload)?;
             stream.flush()?;
             let (kind, reply) = crate::codec::read_frame(stream)?;
             match kind {
@@ -409,16 +586,10 @@ impl GraphService for RemoteCluster {
         }
     }
 
-    fn apply_txn(&self, txn: &GraphTxn) -> Result<TxnReceipt, TxnError> {
-        // Encoded once; every retry re-sends the identical frame — same
-        // txn id — so the server's idempotence ledger answers a replayed
-        // commit from the cached receipt instead of applying twice.
-        let payload = encode_txn_apply(&TxnApply {
-            txn_id: txn.id(),
-            ops: txn.ops().to_vec(),
-        });
+    /// Shared body of the txn exchange (first-hand and replica channels).
+    fn exchange_txn(&self, kind: FrameKind, payload: &[u8]) -> Result<TxnReceipt, TxnError> {
         let outcome = self.with_retries(|stream| {
-            write_frame(stream, FrameKind::TxnApply, &payload)?;
+            write_frame(stream, kind, payload)?;
             stream.flush()?;
             let (kind, reply) = crate::codec::read_frame(stream)?;
             expect_kind(kind, FrameKind::TxnReply, "txn")?;
@@ -449,6 +620,65 @@ impl GraphService for RemoteCluster {
                 e.to_string(),
             )))),
         }
+    }
+}
+
+/// Transport/protocol failure → the service-level error the fleet plane
+/// reports.
+fn fleet_err(e: FrameError) -> Error {
+    Error::Io(io::Error::new(io::ErrorKind::BrokenPipe, e.to_string()))
+}
+
+fn expect_kind(got: FrameKind, want: FrameKind, what: &'static str) -> Result<(), FrameError> {
+    if got == want {
+        return Ok(());
+    }
+    Err(FrameError::UnexpectedReply {
+        expected: what,
+        got,
+    })
+}
+
+impl GraphService for RemoteCluster {
+    fn sample_one(&self, req: &SampleRequest, rng: &mut dyn RngCore) -> SampleResponse {
+        self.sample_many(std::slice::from_ref(req), rng)
+            .pop()
+            .expect("one response per request")
+    }
+
+    fn sample_many(&self, reqs: &[SampleRequest], rng: &mut dyn RngCore) -> Vec<SampleResponse> {
+        // Seeds are drawn up front, in request order, exactly one per
+        // request — the determinism contract — and *before* any I/O, so a
+        // retry re-sends the same seeds instead of redrawing.
+        let seeded: Vec<(SampleRequest, u64)> = reqs.iter().map(|r| (*r, rng.next_u64())).collect();
+        match self.sample_with_seeds(&seeded) {
+            Ok(responses) => responses,
+            // The server is unreachable (or answered garbage) past the
+            // retry budget: degrade every request per its own policy, the
+            // same contract the in-process router honors for dead shards.
+            // The trainer sees degraded batches, never a client error.
+            Err(_) => reqs.iter().map(|r| self.transport_degraded(r)).collect(),
+        }
+    }
+
+    fn apply_updates(&self, ops: &[UpdateOp]) -> Result<BatchReport, Error> {
+        let batch = UpdateBatch {
+            deadline_ms: self.deadline_ms(),
+            trace_id: None,
+            ops: ops.to_vec(),
+        };
+        self.exchange_update(FrameKind::UpdateBatch, &encode_update_batch(&batch))
+    }
+
+    fn apply_txn(&self, txn: &GraphTxn) -> Result<TxnReceipt, TxnError> {
+        // Encoded once; every retry re-sends the identical frame — same
+        // txn id — so the server's idempotence ledger answers a replayed
+        // commit from the cached receipt instead of applying twice.
+        let payload = encode_txn_apply(&TxnApply {
+            txn_id: txn.id(),
+            ops: txn.ops().to_vec(),
+        });
+        self.exchange_txn(FrameKind::TxnApply, &payload)
     }
 
     fn graph_version(&self) -> u64 {
@@ -489,5 +719,114 @@ impl GraphService for RemoteCluster {
 
     fn registry(&self) -> &Arc<Registry> {
         &self.registry
+    }
+
+    // Fleet hooks forward over the wire, so a RemoteCluster is a fully
+    // transparent proxy for a fleet-aware server.
+
+    fn apply_replica_updates(&self, ops: &[UpdateOp]) -> Result<BatchReport, Error> {
+        self.replica_updates(ops)
+    }
+
+    fn apply_replica_txn(&self, txn: &GraphTxn) -> Result<TxnReceipt, TxnError> {
+        self.replica_txn(txn)
+    }
+
+    fn fleet_map_bytes(&self) -> Option<(u64, Vec<u8>)> {
+        let reply = self.fetch_map().ok()?;
+        reply.bytes.map(|bytes| (reply.epoch, bytes))
+    }
+
+    fn install_fleet_map(&self, epoch: u64, bytes: &[u8]) -> Result<u64, Error> {
+        self.install_map(epoch, bytes)
+    }
+
+    fn begin_migration(&self, partition: u32, num_partitions: u32) -> Result<u64, Error> {
+        self.migrate_begin(partition, num_partitions)
+    }
+
+    fn migration_tail(&self, partition: u32, from_seq: u64) -> Result<(Vec<UpdateOp>, u64), Error> {
+        self.fetch_tail(partition, from_seq)
+    }
+
+    fn end_migration(&self, partition: u32) -> Result<u64, Error> {
+        self.migrate_end(partition)
+    }
+
+    fn export_partition(
+        &self,
+        partition: u32,
+        num_partitions: u32,
+        cursor: Option<(u64, u16)>,
+        max_edges: usize,
+    ) -> Result<PartitionChunk, Error> {
+        self.fetch_partition_chunk(
+            partition,
+            num_partitions,
+            cursor,
+            max_edges.min(u32::MAX as usize) as u32,
+        )
+    }
+
+    fn partition_key_counts(&self, num_partitions: u32) -> Vec<u64> {
+        self.partition_stats(num_partitions)
+            .unwrap_or_else(|_| vec![0; num_partitions.max(1) as usize])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphServiceServer;
+    use platod2gl_server::{Cluster, ClusterConfig};
+
+    fn counter_value(registry: &Arc<Registry>, name: &str) -> u64 {
+        registry
+            .snapshot()
+            .counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |(_, v)| *v)
+    }
+
+    /// A dead pooled stream (the classic server-restart residue) must be
+    /// evicted and redialed without spending the retry budget: the probe
+    /// succeeds with zero retries and one recorded eviction.
+    #[test]
+    fn dead_pooled_connection_is_evicted_without_burning_retries() {
+        let cluster = Arc::new(Cluster::new(
+            ClusterConfig::builder()
+                .num_shards(2)
+                .build()
+                .expect("valid config"),
+        ));
+        let server = GraphServiceServer::bind("127.0.0.1:0", cluster).expect("bind");
+        let client = RemoteCluster::connect(server.local_addr(), RemoteClusterConfig::default())
+            .expect("connect");
+
+        // Manufacture a dead stream: connect to a throwaway listener, then
+        // drop the accepted side. The client's pool now holds a connection
+        // whose peer is gone — exactly what a server restart leaves.
+        let graveyard = std::net::TcpListener::bind("127.0.0.1:0").expect("bind graveyard");
+        let dead = TcpStream::connect(graveyard.local_addr().expect("addr")).expect("dial");
+        drop(graveyard.accept().expect("accept").0);
+        drop(graveyard);
+        dead.set_read_timeout(Some(Duration::from_millis(200)))
+            .expect("timeout");
+        client.inject_pooled(dead);
+
+        let retries_before = counter_value(client.registry(), "rpc.client.retries");
+        let health = client.probe().expect("probe rides out the dead stream");
+        assert_eq!(health.healths.len(), 2);
+        assert_eq!(
+            counter_value(client.registry(), "rpc.client.retries"),
+            retries_before,
+            "eviction must not count as a retry"
+        );
+        assert_eq!(
+            counter_value(client.registry(), "rpc.client.pool_evictions"),
+            1
+        );
+        server.shutdown();
     }
 }

@@ -72,6 +72,48 @@ pub enum FrameKind {
     /// Server → client: committed receipt, phase-1 rejection, or store
     /// error (see [`TxnReply`]).
     TxnReply = 0x0a,
+    /// Client → server: fetch the server's fleet partition map (empty
+    /// payload). Any fleet member answers; new clients bootstrap routing
+    /// from a single seed address this way.
+    MapFetch = 0x0b,
+    /// Server → client: the partition map (or "none carried").
+    MapReply = 0x0c,
+    /// Client → server: install a (newer) fleet partition map. Servers are
+    /// epoch-monotonic — an older map is ignored.
+    MapInstall = 0x0d,
+    /// Server → client: the map epoch now in effect.
+    MapInstallReply = 0x0e,
+    /// Leader → replica: an update batch on the replication channel. The
+    /// payload is the [`UpdateBatch`] codec and the reply is a standard
+    /// [`FrameKind::UpdateReply`] / [`FrameKind::ErrorReply`] — a
+    /// deliberate deviation from the odd/even pairing, since the reply
+    /// shape is identical and reusing it keeps client plumbing shared.
+    /// The receiving server applies WITHOUT re-forwarding to its own
+    /// replicas (loop prevention).
+    ReplicaBatch = 0x0f,
+    /// Leader → replica: a transaction on the replication channel, under
+    /// its *original* txn id so the replica's dedupe ledger absorbs
+    /// retries. Payload is the [`TxnApply`] codec; reply is a standard
+    /// [`FrameKind::TxnReply`] (same deviation as [`FrameKind::ReplicaBatch`]).
+    ReplicaTxn = 0x11,
+    /// Mover → leader: export one partition chunk (resumable cursor).
+    PartitionFetch = 0x13,
+    /// Leader → mover: a snapshot-v2 chunk of the partition.
+    PartitionChunkReply = 0x14,
+    /// Mover → leader: arm (begin) or disarm (end) the live-migration
+    /// journal for one partition.
+    MigrateCtl = 0x15,
+    /// Leader → mover: starting sequence (begin) or total journaled (end).
+    MigrateCtlReply = 0x16,
+    /// Mover → leader: journaled ops for the migrating partition from a
+    /// sequence number on.
+    TailFetch = 0x17,
+    /// Leader → mover: the ops plus the next sequence to resume from.
+    TailReply = 0x18,
+    /// Client → server: per-partition resident key counts.
+    PartitionStats = 0x19,
+    /// Server → client: the counts, partition order.
+    PartitionStatsReply = 0x1a,
     /// Server → client: the request could not be served (e.g. a shard
     /// worker panicked). Carries a code, the shard, and a message.
     ErrorReply = 0x7f,
@@ -90,6 +132,20 @@ impl FrameKind {
             0x08 => FrameKind::HealReply,
             0x09 => FrameKind::TxnApply,
             0x0a => FrameKind::TxnReply,
+            0x0b => FrameKind::MapFetch,
+            0x0c => FrameKind::MapReply,
+            0x0d => FrameKind::MapInstall,
+            0x0e => FrameKind::MapInstallReply,
+            0x0f => FrameKind::ReplicaBatch,
+            0x11 => FrameKind::ReplicaTxn,
+            0x13 => FrameKind::PartitionFetch,
+            0x14 => FrameKind::PartitionChunkReply,
+            0x15 => FrameKind::MigrateCtl,
+            0x16 => FrameKind::MigrateCtlReply,
+            0x17 => FrameKind::TailFetch,
+            0x18 => FrameKind::TailReply,
+            0x19 => FrameKind::PartitionStats,
+            0x1a => FrameKind::PartitionStatsReply,
             0x7f => FrameKind::ErrorReply,
             tag => return Err(FrameError::BadKind(tag)),
         })
@@ -585,6 +641,289 @@ pub fn decode_txn_reply(payload: &[u8]) -> Result<TxnReply, WireError> {
     }
 }
 
+/// A [`FrameKind::MapReply`] payload: the server's fleet partition map as
+/// opaque encoded bytes (the fleet crate owns the map codec), or `None`
+/// when the server carries no map.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MapReply {
+    /// The map's epoch (0 when absent).
+    pub epoch: u64,
+    /// The encoded map, absent on non-fleet servers.
+    pub bytes: Option<Vec<u8>>,
+}
+
+/// Encode a [`MapReply`] payload.
+pub fn encode_map_reply(reply: &MapReply) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(13 + reply.bytes.as_ref().map_or(0, Vec::len));
+    wire::put_u64(&mut buf, reply.epoch);
+    match &reply.bytes {
+        Some(bytes) => {
+            buf.push(1);
+            wire::put_u32(&mut buf, bytes.len() as u32);
+            buf.extend_from_slice(bytes);
+        }
+        None => buf.push(0),
+    }
+    buf
+}
+
+/// Decode a [`FrameKind::MapReply`] payload.
+pub fn decode_map_reply(payload: &[u8]) -> Result<MapReply, WireError> {
+    let mut r = Reader::new(payload);
+    let epoch = r.u64()?;
+    let bytes = match r.u8()? {
+        0 => None,
+        _ => {
+            let n = r.count(1)?;
+            let mut bytes = Vec::with_capacity(n);
+            for _ in 0..n {
+                bytes.push(r.u8()?);
+            }
+            Some(bytes)
+        }
+    };
+    Ok(MapReply { epoch, bytes })
+}
+
+/// Encode a [`FrameKind::MapInstall`] payload.
+pub fn encode_map_install(epoch: u64, bytes: &[u8]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(12 + bytes.len());
+    wire::put_u64(&mut buf, epoch);
+    wire::put_u32(&mut buf, bytes.len() as u32);
+    buf.extend_from_slice(bytes);
+    buf
+}
+
+/// Decode a [`FrameKind::MapInstall`] payload into `(epoch, map bytes)`.
+pub fn decode_map_install(payload: &[u8]) -> Result<(u64, Vec<u8>), WireError> {
+    let mut r = Reader::new(payload);
+    let epoch = r.u64()?;
+    let n = r.count(1)?;
+    let mut bytes = Vec::with_capacity(n);
+    for _ in 0..n {
+        bytes.push(r.u8()?);
+    }
+    Ok((epoch, bytes))
+}
+
+/// A [`FrameKind::PartitionFetch`] payload: one chunk request of a
+/// resumable partition export.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PartitionFetch {
+    /// The partition to export.
+    pub partition: u32,
+    /// The partition-space size the id is relative to.
+    pub num_partitions: u32,
+    /// Resume strictly after this `(src, etype)` key; `None` starts over.
+    pub cursor: Option<(u64, u16)>,
+    /// Edge budget for the chunk.
+    pub max_edges: u32,
+}
+
+/// Encode a [`PartitionFetch`] payload.
+pub fn encode_partition_fetch(fetch: &PartitionFetch) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(23);
+    wire::put_u32(&mut buf, fetch.partition);
+    wire::put_u32(&mut buf, fetch.num_partitions);
+    let (src, etype) = fetch.cursor.unwrap_or((0, 0));
+    buf.push(u8::from(fetch.cursor.is_some()));
+    wire::put_u64(&mut buf, src);
+    wire::put_u16(&mut buf, etype);
+    wire::put_u32(&mut buf, fetch.max_edges);
+    buf
+}
+
+/// Decode a [`PartitionFetch`] payload.
+pub fn decode_partition_fetch(payload: &[u8]) -> Result<PartitionFetch, WireError> {
+    let mut r = Reader::new(payload);
+    let partition = r.u32()?;
+    let num_partitions = r.u32()?;
+    let has_cursor = r.u8()? != 0;
+    let src = r.u64()?;
+    let etype = r.u16()?;
+    let max_edges = r.u32()?;
+    Ok(PartitionFetch {
+        partition,
+        num_partitions,
+        cursor: has_cursor.then_some((src, etype)),
+        max_edges,
+    })
+}
+
+/// A [`FrameKind::PartitionChunkReply`] payload: one snapshot-v2 chunk of
+/// a migrating partition (mirrors
+/// [`platod2gl_server::PartitionChunk`](platod2gl_server::PartitionChunk)).
+#[derive(Clone, Debug, PartialEq)]
+pub struct PartitionChunkReply {
+    /// The chunk reached the end of the partition.
+    pub done: bool,
+    /// Last `(src, etype)` key included; feed back as the next cursor.
+    pub cursor: Option<(u64, u16)>,
+    /// Edges inside the chunk.
+    pub edges: u64,
+    /// Snapshot-v2 bytes (per-block CRC; decode with
+    /// [`platod2gl_storage::read_snapshot`](platod2gl_storage::read_snapshot)).
+    pub snapshot: Vec<u8>,
+}
+
+/// Encode a [`PartitionChunkReply`] payload.
+pub fn encode_partition_chunk(chunk: &PartitionChunkReply) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(24 + chunk.snapshot.len());
+    buf.push(u8::from(chunk.done));
+    let (src, etype) = chunk.cursor.unwrap_or((0, 0));
+    buf.push(u8::from(chunk.cursor.is_some()));
+    wire::put_u64(&mut buf, src);
+    wire::put_u16(&mut buf, etype);
+    wire::put_u64(&mut buf, chunk.edges);
+    wire::put_u32(&mut buf, chunk.snapshot.len() as u32);
+    buf.extend_from_slice(&chunk.snapshot);
+    buf
+}
+
+/// Decode a [`PartitionChunkReply`] payload.
+pub fn decode_partition_chunk(payload: &[u8]) -> Result<PartitionChunkReply, WireError> {
+    let mut r = Reader::new(payload);
+    let done = r.u8()? != 0;
+    let has_cursor = r.u8()? != 0;
+    let src = r.u64()?;
+    let etype = r.u16()?;
+    let edges = r.u64()?;
+    let n = r.count(1)?;
+    let mut snapshot = Vec::with_capacity(n);
+    for _ in 0..n {
+        snapshot.push(r.u8()?);
+    }
+    Ok(PartitionChunkReply {
+        done,
+        cursor: has_cursor.then_some((src, etype)),
+        edges,
+        snapshot,
+    })
+}
+
+/// Actions carried by [`FrameKind::MigrateCtl`].
+pub mod migrate_action {
+    /// Arm the migration journal.
+    pub const BEGIN: u8 = 0;
+    /// Disarm it.
+    pub const END: u8 = 1;
+}
+
+/// Encode a [`FrameKind::MigrateCtl`] payload.
+pub fn encode_migrate_ctl(action: u8, partition: u32, num_partitions: u32) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(9);
+    buf.push(action);
+    wire::put_u32(&mut buf, partition);
+    wire::put_u32(&mut buf, num_partitions);
+    buf
+}
+
+/// Decode a [`FrameKind::MigrateCtl`] payload into
+/// `(action, partition, num_partitions)`.
+pub fn decode_migrate_ctl(payload: &[u8]) -> Result<(u8, u32, u32), WireError> {
+    let mut r = Reader::new(payload);
+    let action = r.u8()?;
+    if action > migrate_action::END {
+        return Err(WireError::BadTag {
+            what: "migrate action",
+            tag: action,
+        });
+    }
+    Ok((action, r.u32()?, r.u32()?))
+}
+
+/// Encode a [`FrameKind::MigrateCtlReply`] payload (one u64: starting
+/// sequence on begin, total journaled on end).
+pub fn encode_migrate_ctl_reply(value: u64) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(8);
+    wire::put_u64(&mut buf, value);
+    buf
+}
+
+/// Decode a [`FrameKind::MigrateCtlReply`] payload.
+pub fn decode_migrate_ctl_reply(payload: &[u8]) -> Result<u64, WireError> {
+    Reader::new(payload).u64()
+}
+
+/// Encode a [`FrameKind::TailFetch`] payload.
+pub fn encode_tail_fetch(partition: u32, from_seq: u64) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(12);
+    wire::put_u32(&mut buf, partition);
+    wire::put_u64(&mut buf, from_seq);
+    buf
+}
+
+/// Decode a [`FrameKind::TailFetch`] payload into `(partition, from_seq)`.
+pub fn decode_tail_fetch(payload: &[u8]) -> Result<(u32, u64), WireError> {
+    let mut r = Reader::new(payload);
+    Ok((r.u32()?, r.u64()?))
+}
+
+/// A [`FrameKind::TailReply`] payload: journaled ops since `from_seq`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TailReply {
+    /// The sequence to resume the next tail fetch from.
+    pub next_seq: u64,
+    /// The ops, journal order.
+    pub ops: Vec<UpdateOp>,
+}
+
+/// Encode a [`TailReply`] payload.
+pub fn encode_tail_reply(reply: &TailReply) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(12 + reply.ops.len() * wire::UPDATE_OP_BYTES as usize);
+    wire::put_u64(&mut buf, reply.next_seq);
+    wire::put_u32(&mut buf, reply.ops.len() as u32);
+    for op in &reply.ops {
+        wire::put_update_op(&mut buf, op);
+    }
+    buf
+}
+
+/// Decode a [`TailReply`] payload.
+pub fn decode_tail_reply(payload: &[u8]) -> Result<TailReply, WireError> {
+    let mut r = Reader::new(payload);
+    let next_seq = r.u64()?;
+    let n = r.count(wire::UPDATE_OP_BYTES as usize)?;
+    let mut ops = Vec::with_capacity(n);
+    for _ in 0..n {
+        ops.push(wire::get_update_op(&mut r)?);
+    }
+    Ok(TailReply { next_seq, ops })
+}
+
+/// Encode a [`FrameKind::PartitionStats`] payload.
+pub fn encode_partition_stats(num_partitions: u32) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(4);
+    wire::put_u32(&mut buf, num_partitions);
+    buf
+}
+
+/// Decode a [`FrameKind::PartitionStats`] payload.
+pub fn decode_partition_stats(payload: &[u8]) -> Result<u32, WireError> {
+    Reader::new(payload).u32()
+}
+
+/// Encode a [`FrameKind::PartitionStatsReply`] payload.
+pub fn encode_partition_stats_reply(counts: &[u64]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(4 + counts.len() * 8);
+    wire::put_u32(&mut buf, counts.len() as u32);
+    for &c in counts {
+        wire::put_u64(&mut buf, c);
+    }
+    buf
+}
+
+/// Decode a [`FrameKind::PartitionStatsReply`] payload.
+pub fn decode_partition_stats_reply(payload: &[u8]) -> Result<Vec<u64>, WireError> {
+    let mut r = Reader::new(payload);
+    let n = r.count(8)?;
+    let mut counts = Vec::with_capacity(n);
+    for _ in 0..n {
+        counts.push(r.u64()?);
+    }
+    Ok(counts)
+}
+
 /// Error codes carried by [`FrameKind::ErrorReply`].
 pub mod error_code {
     /// A shard worker panicked while applying the batch.
@@ -659,6 +998,20 @@ mod tests {
             FrameKind::HealReply,
             FrameKind::TxnApply,
             FrameKind::TxnReply,
+            FrameKind::MapFetch,
+            FrameKind::MapReply,
+            FrameKind::MapInstall,
+            FrameKind::MapInstallReply,
+            FrameKind::ReplicaBatch,
+            FrameKind::ReplicaTxn,
+            FrameKind::PartitionFetch,
+            FrameKind::PartitionChunkReply,
+            FrameKind::MigrateCtl,
+            FrameKind::MigrateCtlReply,
+            FrameKind::TailFetch,
+            FrameKind::TailReply,
+            FrameKind::PartitionStats,
+            FrameKind::PartitionStatsReply,
             FrameKind::ErrorReply,
         ] {
             let (back_kind, back_payload) = roundtrip(kind, b"xyz");
@@ -813,6 +1166,114 @@ mod tests {
 
         assert_eq!(decode_heal_request(&encode_heal_request(7)), Ok(7));
         assert_eq!(decode_heal_reply(&encode_heal_reply(11)), Ok(11));
+    }
+
+    #[test]
+    fn fleet_payloads_roundtrip() {
+        for reply in [
+            MapReply {
+                epoch: 0,
+                bytes: None,
+            },
+            MapReply {
+                epoch: 42,
+                bytes: Some(vec![1, 2, 3, 4, 5]),
+            },
+            MapReply {
+                epoch: 7,
+                bytes: Some(Vec::new()),
+            },
+        ] {
+            assert_eq!(
+                decode_map_reply(&encode_map_reply(&reply)).expect("map reply"),
+                reply
+            );
+        }
+        assert_eq!(
+            decode_map_install(&encode_map_install(9, &[0xaa, 0xbb])).expect("install"),
+            (9, vec![0xaa, 0xbb])
+        );
+
+        for fetch in [
+            PartitionFetch {
+                partition: 3,
+                num_partitions: 64,
+                cursor: None,
+                max_edges: 10_000,
+            },
+            PartitionFetch {
+                partition: 63,
+                num_partitions: 64,
+                cursor: Some((0xdead_beef, 7)),
+                max_edges: 1,
+            },
+        ] {
+            assert_eq!(
+                decode_partition_fetch(&encode_partition_fetch(&fetch)).expect("fetch"),
+                fetch
+            );
+        }
+
+        let chunk = PartitionChunkReply {
+            done: false,
+            cursor: Some((19, 2)),
+            edges: 55,
+            snapshot: vec![9u8; 128],
+        };
+        assert_eq!(
+            decode_partition_chunk(&encode_partition_chunk(&chunk)).expect("chunk"),
+            chunk
+        );
+
+        assert_eq!(
+            decode_migrate_ctl(&encode_migrate_ctl(migrate_action::BEGIN, 5, 64)).expect("ctl"),
+            (migrate_action::BEGIN, 5, 64)
+        );
+        assert!(decode_migrate_ctl(&encode_migrate_ctl(9, 5, 64)).is_err());
+        assert_eq!(
+            decode_migrate_ctl_reply(&encode_migrate_ctl_reply(123)),
+            Ok(123)
+        );
+
+        assert_eq!(
+            decode_tail_fetch(&encode_tail_fetch(5, 999)).expect("tail fetch"),
+            (5, 999)
+        );
+        let tail = TailReply {
+            next_seq: 17,
+            ops: vec![
+                UpdateOp::Insert(Edge::new(VertexId(1), VertexId(2), 1.5)),
+                UpdateOp::Delete {
+                    src: VertexId(3),
+                    dst: VertexId(4),
+                    etype: EdgeType(2),
+                },
+            ],
+        };
+        assert_eq!(
+            decode_tail_reply(&encode_tail_reply(&tail)).expect("tail reply"),
+            tail
+        );
+
+        assert_eq!(decode_partition_stats(&encode_partition_stats(64)), Ok(64));
+        let counts = vec![0u64, 3, 99, u64::MAX];
+        assert_eq!(
+            decode_partition_stats_reply(&encode_partition_stats_reply(&counts)).expect("stats"),
+            counts
+        );
+
+        // Truncations decode to errors, never panics.
+        let payload = encode_partition_chunk(&chunk);
+        for cut in 0..payload.len() {
+            assert!(
+                decode_partition_chunk(&payload[..cut]).is_err(),
+                "cut {cut}"
+            );
+        }
+        let payload = encode_tail_reply(&tail);
+        for cut in 0..payload.len() {
+            assert!(decode_tail_reply(&payload[..cut]).is_err(), "cut {cut}");
+        }
     }
 
     #[test]

@@ -26,10 +26,14 @@
 //! contract the paper's servers offer (cancellation is cooperative).
 
 use crate::codec::{
-    decode_heal_request, decode_sample_batch, decode_txn_apply, decode_update_batch,
-    encode_error_reply, encode_heal_reply, encode_health_reply, encode_sample_reply,
-    encode_txn_reply, encode_update_reply, error_code, read_frame, write_frame, ErrorReply,
-    FrameError, FrameKind, HealthReply, TxnReply, UpdateReply,
+    decode_heal_request, decode_map_install, decode_migrate_ctl, decode_partition_fetch,
+    decode_partition_stats, decode_sample_batch, decode_tail_fetch, decode_txn_apply,
+    decode_update_batch, encode_error_reply, encode_heal_reply, encode_health_reply,
+    encode_map_reply, encode_migrate_ctl_reply, encode_partition_chunk,
+    encode_partition_stats_reply, encode_sample_reply, encode_tail_reply, encode_txn_reply,
+    encode_update_reply, error_code, migrate_action, read_frame, write_frame, ErrorReply,
+    FrameError, FrameKind, HealthReply, MapReply, PartitionChunkReply, TailReply, TxnReply,
+    UpdateReply,
 };
 use platod2gl_graph::{Error, GraphTxn, TxnError};
 use platod2gl_obs::SlowOpRecord;
@@ -379,6 +383,208 @@ fn serve_connection<S: GraphService>(
                     &mut stream,
                     FrameKind::HealReply,
                     &encode_heal_reply(drained),
+                )?;
+            }
+            FrameKind::ReplicaBatch => {
+                // Same shape as UpdateBatch, but applied through the
+                // replication entry point, which never re-forwards to the
+                // server's own replicas (loop prevention).
+                let batch = decode_update_batch(&payload)?;
+                update_ops.add(batch.ops.len() as u64);
+                match service.apply_replica_updates(&batch.ops) {
+                    Ok(report) => {
+                        let reply = UpdateReply {
+                            applied_ops: report.applied_ops as u64,
+                            queued_ops: report.queued_ops as u64,
+                        };
+                        write_frame(
+                            &mut stream,
+                            FrameKind::UpdateReply,
+                            &encode_update_reply(&reply),
+                        )?;
+                    }
+                    Err(e) => {
+                        errors.inc();
+                        let shard = match &e {
+                            Error::ShardPanicked { shard, .. }
+                            | Error::ShardUnavailable { shard } => *shard as u32,
+                            _ => 0,
+                        };
+                        let reply = ErrorReply {
+                            code: error_code::SHARD_PANICKED,
+                            shard,
+                            message: e.to_string(),
+                        };
+                        write_frame(
+                            &mut stream,
+                            FrameKind::ErrorReply,
+                            &encode_error_reply(&reply),
+                        )?;
+                    }
+                }
+            }
+            FrameKind::ReplicaTxn => {
+                let apply = decode_txn_apply(&payload)?;
+                txn_ops.add(apply.ops.len() as u64);
+                let mut txn = GraphTxn::new(apply.txn_id);
+                for op in apply.ops {
+                    txn.push(op);
+                }
+                let reply = match service.apply_replica_txn(&txn) {
+                    Ok(receipt) => TxnReply::Committed(receipt),
+                    Err(TxnError::Rejected { txn_id, violations }) => {
+                        errors.inc();
+                        TxnReply::Rejected { txn_id, violations }
+                    }
+                    Err(TxnError::Store(e)) => {
+                        errors.inc();
+                        let shard = match &e {
+                            Error::ShardPanicked { shard, .. }
+                            | Error::ShardUnavailable { shard } => *shard as u32,
+                            _ => 0,
+                        };
+                        TxnReply::StoreError {
+                            shard,
+                            code: error_code::SHARD_PANICKED,
+                            message: e.to_string(),
+                        }
+                    }
+                };
+                write_frame(&mut stream, FrameKind::TxnReply, &encode_txn_reply(&reply))?;
+            }
+            FrameKind::MapFetch => {
+                let reply = match service.fleet_map_bytes() {
+                    Some((epoch, bytes)) => MapReply {
+                        epoch,
+                        bytes: Some(bytes),
+                    },
+                    None => MapReply {
+                        epoch: 0,
+                        bytes: None,
+                    },
+                };
+                write_frame(&mut stream, FrameKind::MapReply, &encode_map_reply(&reply))?;
+            }
+            FrameKind::MapInstall => {
+                let (epoch, bytes) = decode_map_install(&payload)?;
+                match service.install_fleet_map(epoch, &bytes) {
+                    Ok(effective) => {
+                        let mut buf = Vec::with_capacity(8);
+                        platod2gl_server::wire::put_u64(&mut buf, effective);
+                        write_frame(&mut stream, FrameKind::MapInstallReply, &buf)?;
+                    }
+                    Err(e) => {
+                        errors.inc();
+                        let reply = ErrorReply {
+                            code: error_code::BAD_REQUEST,
+                            shard: 0,
+                            message: e.to_string(),
+                        };
+                        write_frame(
+                            &mut stream,
+                            FrameKind::ErrorReply,
+                            &encode_error_reply(&reply),
+                        )?;
+                    }
+                }
+            }
+            FrameKind::PartitionFetch => {
+                let fetch = decode_partition_fetch(&payload)?;
+                match service.export_partition(
+                    fetch.partition,
+                    fetch.num_partitions,
+                    fetch.cursor,
+                    fetch.max_edges as usize,
+                ) {
+                    Ok(chunk) => {
+                        let reply = PartitionChunkReply {
+                            done: chunk.done,
+                            cursor: chunk.cursor,
+                            edges: chunk.edges,
+                            snapshot: chunk.snapshot,
+                        };
+                        write_frame(
+                            &mut stream,
+                            FrameKind::PartitionChunkReply,
+                            &encode_partition_chunk(&reply),
+                        )?;
+                    }
+                    Err(e) => {
+                        errors.inc();
+                        let reply = ErrorReply {
+                            code: error_code::BAD_REQUEST,
+                            shard: 0,
+                            message: e.to_string(),
+                        };
+                        write_frame(
+                            &mut stream,
+                            FrameKind::ErrorReply,
+                            &encode_error_reply(&reply),
+                        )?;
+                    }
+                }
+            }
+            FrameKind::MigrateCtl => {
+                let (action, partition, num_partitions) = decode_migrate_ctl(&payload)?;
+                let outcome = if action == migrate_action::BEGIN {
+                    service.begin_migration(partition, num_partitions)
+                } else {
+                    service.end_migration(partition)
+                };
+                match outcome {
+                    Ok(value) => write_frame(
+                        &mut stream,
+                        FrameKind::MigrateCtlReply,
+                        &encode_migrate_ctl_reply(value),
+                    )?,
+                    Err(e) => {
+                        errors.inc();
+                        let reply = ErrorReply {
+                            code: error_code::BAD_REQUEST,
+                            shard: 0,
+                            message: e.to_string(),
+                        };
+                        write_frame(
+                            &mut stream,
+                            FrameKind::ErrorReply,
+                            &encode_error_reply(&reply),
+                        )?;
+                    }
+                }
+            }
+            FrameKind::TailFetch => {
+                let (partition, from_seq) = decode_tail_fetch(&payload)?;
+                match service.migration_tail(partition, from_seq) {
+                    Ok((ops, next_seq)) => {
+                        let reply = TailReply { next_seq, ops };
+                        write_frame(
+                            &mut stream,
+                            FrameKind::TailReply,
+                            &encode_tail_reply(&reply),
+                        )?;
+                    }
+                    Err(e) => {
+                        errors.inc();
+                        let reply = ErrorReply {
+                            code: error_code::BAD_REQUEST,
+                            shard: 0,
+                            message: e.to_string(),
+                        };
+                        write_frame(
+                            &mut stream,
+                            FrameKind::ErrorReply,
+                            &encode_error_reply(&reply),
+                        )?;
+                    }
+                }
+            }
+            FrameKind::PartitionStats => {
+                let num_partitions = decode_partition_stats(&payload)?;
+                let counts = service.partition_key_counts(num_partitions);
+                write_frame(
+                    &mut stream,
+                    FrameKind::PartitionStatsReply,
+                    &encode_partition_stats_reply(&counts),
                 )?;
             }
             // Reply kinds arriving at the server are a protocol violation.

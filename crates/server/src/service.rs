@@ -21,7 +21,7 @@
 //! other.
 
 use crate::request::{SampleRequest, SampleResponse};
-use crate::{BatchReport, Cluster};
+use crate::{BatchReport, Cluster, PartitionChunk};
 use platod2gl_graph::{Error, GraphTxn, ShardHealth, TxnError, TxnReceipt, UpdateOp};
 use platod2gl_obs::Registry;
 use rand::rngs::StdRng;
@@ -83,6 +83,91 @@ pub trait GraphService: Sync {
     /// Layers stacked on the service (pipeline, caches) register their own
     /// metrics here so one snapshot covers the whole stack.
     fn registry(&self) -> &Arc<Registry>;
+
+    // ------------------------------------------------------------------
+    // Fleet plane (scale-out). Defaults make every service usable behind
+    // a single server; fleet-aware implementations override.
+    // ------------------------------------------------------------------
+
+    /// Apply a batch that arrived on the replication channel (leader →
+    /// replica fan-out). Same semantics as
+    /// [`GraphService::apply_updates`], but implementations must **not**
+    /// re-forward to their own replicas — that is what breaks the
+    /// leader→replica→leader loop.
+    fn apply_replica_updates(&self, ops: &[UpdateOp]) -> Result<BatchReport, Error> {
+        self.apply_updates(ops)
+    }
+
+    /// Apply a transaction that arrived on the replication channel. The
+    /// leader forwards the txn under its *original* id, so the replica's
+    /// dedupe ledger absorbs retries exactly like first-hand submissions.
+    fn apply_replica_txn(&self, txn: &GraphTxn) -> Result<TxnReceipt, TxnError> {
+        self.apply_txn(txn)
+    }
+
+    /// The fleet partition map this service carries, as `(epoch, encoded
+    /// bytes)` — `None` when the service is not fleet-aware. New clients
+    /// bootstrap their routing table from any server via this.
+    fn fleet_map_bytes(&self) -> Option<(u64, Vec<u8>)> {
+        None
+    }
+
+    /// Install a (newer) fleet partition map. Returns the epoch now in
+    /// effect. Implementations must be epoch-monotonic: an install older
+    /// than the resident map is a no-op that reports the resident epoch.
+    fn install_fleet_map(&self, _epoch: u64, _bytes: &[u8]) -> Result<u64, Error> {
+        Err(Error::invalid_config(
+            "this service does not carry a fleet partition map",
+        ))
+    }
+
+    /// Arm the live-migration journal for one partition (see
+    /// [`Cluster::begin_migration`]). Returns the starting journal
+    /// sequence number.
+    fn begin_migration(&self, _partition: u32, _num_partitions: u32) -> Result<u64, Error> {
+        Err(Error::invalid_config(
+            "this service does not support live migration",
+        ))
+    }
+
+    /// Journaled ops for a migrating partition from `from_seq` on, plus
+    /// the next sequence to resume from.
+    fn migration_tail(
+        &self,
+        _partition: u32,
+        _from_seq: u64,
+    ) -> Result<(Vec<UpdateOp>, u64), Error> {
+        Err(Error::invalid_config(
+            "this service does not support live migration",
+        ))
+    }
+
+    /// Disarm the migration journal; returns total ops it buffered.
+    fn end_migration(&self, _partition: u32) -> Result<u64, Error> {
+        Err(Error::invalid_config(
+            "this service does not support live migration",
+        ))
+    }
+
+    /// Export one partition's adjacency as a resumable snapshot-v2 chunk.
+    fn export_partition(
+        &self,
+        _partition: u32,
+        _num_partitions: u32,
+        _cursor: Option<(u64, u16)>,
+        _max_edges: usize,
+    ) -> Result<PartitionChunk, Error> {
+        Err(Error::invalid_config(
+            "this service does not support partition export",
+        ))
+    }
+
+    /// Resident `(src, etype)` key count per partition — the
+    /// `/debug/partitions` load view. Services without partition-level
+    /// accounting report zeros.
+    fn partition_key_counts(&self, num_partitions: u32) -> Vec<u64> {
+        vec![0; num_partitions.max(1) as usize]
+    }
 }
 
 impl GraphService for Cluster {
@@ -118,6 +203,32 @@ impl GraphService for Cluster {
 
     fn registry(&self) -> &Arc<Registry> {
         self.obs()
+    }
+
+    fn begin_migration(&self, partition: u32, num_partitions: u32) -> Result<u64, Error> {
+        Cluster::begin_migration(self, partition, num_partitions)
+    }
+
+    fn migration_tail(&self, partition: u32, from_seq: u64) -> Result<(Vec<UpdateOp>, u64), Error> {
+        Cluster::migration_tail(self, partition, from_seq)
+    }
+
+    fn end_migration(&self, partition: u32) -> Result<u64, Error> {
+        Cluster::end_migration(self, partition)
+    }
+
+    fn export_partition(
+        &self,
+        partition: u32,
+        num_partitions: u32,
+        cursor: Option<(u64, u16)>,
+        max_edges: usize,
+    ) -> Result<PartitionChunk, Error> {
+        Cluster::export_partition(self, partition, num_partitions, cursor, max_edges)
+    }
+
+    fn partition_key_counts(&self, num_partitions: u32) -> Vec<u64> {
+        Cluster::partition_key_counts(self, num_partitions)
     }
 }
 

@@ -459,6 +459,19 @@ impl DynamicGraphStore {
         out
     }
 
+    /// Visit every resident `(src, etype)` directory key with its current
+    /// edge count, without materializing the adjacency lists the way
+    /// [`DynamicGraphStore::export_adjacency`] does. Partition accounting
+    /// (`/debug/partitions` key counts) walks the whole directory this way.
+    pub fn for_each_source(&self, mut f: impl FnMut(VertexId, EdgeType, usize)) {
+        self.directory.for_each(|key, cell| {
+            let len = cell.0.read().len();
+            if len > 0 {
+                f(VertexId(key.src), EdgeType(key.etype), len);
+            }
+        });
+    }
+
     /// Walk every samtree and split the store's resident topology bytes
     /// into payload vs index (the paper's Table IV memory accounting,
     /// served live at `/debug/memory`). Takes each tree's read lock in

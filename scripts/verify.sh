@@ -81,6 +81,32 @@ if ! grep -qF '"bench":"txn_apply_vs_raw"' BENCH_6.json; then
     exit 1
 fi
 
+echo "==> fleet smoke test (fleet_train example: 3-server fleet + live join/migration)"
+fleet_out=$(cargo run -p platod2gl --release --example fleet_train 2>/dev/null)
+for needle in 'fleet client connected: 3 servers' \
+    'partition-routed ingest' \
+    'epoch 2 trained through a live migration' \
+    '0 degraded' \
+    'joiner owns its migrated partitions and serves their data' \
+    'fleet shut down cleanly'; do
+    if ! grep -qF "$needle" <<<"$fleet_out"; then
+        echo "verify: FAIL — fleet smoke missing: $needle"
+        exit 1
+    fi
+done
+
+echo "==> fleet scale-out trail (report_fleet -> BENCH_7.json, speedup_3v1 >= 1.5)"
+cargo run -p platod2gl-bench --release --bin report_fleet
+if ! grep -qF '"bench":"fleet_scaleout"' BENCH_7.json; then
+    echo "verify: FAIL — BENCH_7.json missing or malformed"
+    exit 1
+fi
+speedup=$(sed -n 's/.*"speedup_3v1":\([0-9.]*\).*/\1/p' BENCH_7.json)
+if ! awk -v s="$speedup" 'BEGIN { exit !(s >= 1.5) }'; then
+    echo "verify: FAIL — fleet speedup_3v1 = $speedup < 1.5"
+    exit 1
+fi
+
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
 

@@ -1,0 +1,423 @@
+//! Acceptance tests for the scale-out mode: a full training pipeline over
+//! a 3-server partition-routed fleet must be bit-identical to the same
+//! run against one remote server; a live shard migration under a running
+//! epoch must lose zero batches; a dead leader must fail over to its
+//! replica bit-identically; and the fleet admin plane must render the
+//! routing table and distinguish degraded from unowned.
+
+use platod2gl::{
+    AdminServer, Cluster, ClusterConfig, Edge, EdgeType, FleetCluster, FleetClusterConfig,
+    FleetNode, GraphService, GraphServiceServer, GraphStore, HashFeatures, PartitionMap,
+    PipelineConfig, RemoteCluster, RemoteClusterConfig, SageNet, SageNetConfig, SampleRequest,
+    ServerEntry, TrainingPipeline, UpdateOp, VertexId,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+const ET: EdgeType = EdgeType::DEFAULT;
+const N: u64 = 120;
+const PARTITIONS: u32 = 64;
+
+/// The deterministic edge stream both deployments load, as service-level
+/// ops so the fleet partitions it by owner exactly like production
+/// ingest.
+fn edge_ops() -> Vec<UpdateOp> {
+    let mut ops = Vec::new();
+    for v in 0..N {
+        for k in 1..=5u64 {
+            ops.push(UpdateOp::Insert(Edge::new(
+                VertexId(v),
+                VertexId((v + k * 7) % N),
+                1.0 + (k as f64) * 0.25,
+            )));
+        }
+    }
+    ops
+}
+
+fn client_cfg() -> RemoteClusterConfig {
+    RemoteClusterConfig::default()
+        .max_retries(0)
+        .request_timeout(Duration::from_millis(500))
+}
+
+fn fleet_cfg() -> FleetClusterConfig {
+    FleetClusterConfig {
+        client: client_cfg(),
+        num_partitions: PARTITIONS,
+    }
+}
+
+struct Fleet {
+    nodes: Vec<Arc<FleetNode>>,
+    servers: Vec<Option<GraphServiceServer>>,
+    addrs: Vec<SocketAddr>,
+}
+
+/// Start `n` empty fleet members on ephemeral ports and install the
+/// epoch-1 map on each.
+fn start_fleet(n: usize) -> Fleet {
+    let mut nodes = Vec::with_capacity(n);
+    let mut servers = Vec::with_capacity(n);
+    let mut addrs = Vec::with_capacity(n);
+    for i in 0..n {
+        let cluster = Arc::new(Cluster::new(
+            ClusterConfig::builder()
+                .num_shards(2)
+                .build()
+                .expect("valid config"),
+        ));
+        let node = Arc::new(FleetNode::new(cluster, i as u64 + 1, client_cfg()));
+        let server = GraphServiceServer::bind("127.0.0.1:0", Arc::clone(&node)).expect("bind");
+        addrs.push(server.local_addr());
+        nodes.push(node);
+        servers.push(Some(server));
+    }
+    let roster: Vec<ServerEntry> = nodes
+        .iter()
+        .zip(&addrs)
+        .map(|(node, addr)| ServerEntry {
+            id: node.server_id(),
+            addr: addr.to_string(),
+        })
+        .collect();
+    let map = PartitionMap::build(roster, PARTITIONS).expect("valid roster");
+    for node in &nodes {
+        node.install(map.clone());
+    }
+    Fleet {
+        nodes,
+        servers,
+        addrs,
+    }
+}
+
+impl Fleet {
+    fn addr_strings(&self) -> Vec<String> {
+        self.addrs.iter().map(|a| a.to_string()).collect()
+    }
+
+    fn shutdown(mut self) {
+        for server in self.servers.iter_mut().filter_map(Option::take) {
+            server.shutdown();
+        }
+    }
+}
+
+fn pipeline_config(seed: u64) -> PipelineConfig {
+    PipelineConfig::builder()
+        .etype(ET)
+        .fanouts(vec![3, 3])
+        .batch_size(24)
+        .prefetch_depth(0)
+        .workers(0)
+        .seed(seed)
+        .build()
+        .expect("valid pipeline config")
+}
+
+fn fresh_net() -> SageNet {
+    SageNet::new(SageNetConfig {
+        fanouts: vec![3, 3],
+        lr: 0.05,
+        seed: 17,
+        ..Default::default()
+    })
+}
+
+fn http_get(addr: SocketAddr, path: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .write_all(format!("GET {path} HTTP/1.0\r\n\r\n").as_bytes())
+        .expect("send");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read");
+    let status: u16 = response
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+/// The scale-out headline: a fixed-seed trainer produces bit-identical
+/// losses whether its `GraphService` is one remote server holding the
+/// whole graph or a 3-server fleet holding hash-routed partitions of it.
+#[test]
+fn fleet_training_is_bit_identical_to_single_server_remote() {
+    let provider = HashFeatures::new(16, 2, 7);
+    let seeds: Vec<VertexId> = (0..N).map(VertexId).collect();
+    let labels: Vec<usize> = seeds.iter().map(|&v| provider.label(v)).collect();
+    let ops = edge_ops();
+
+    // Single server, whole graph — loaded through the service interface.
+    let single_cluster = Arc::new(Cluster::new(
+        ClusterConfig::builder()
+            .num_shards(2)
+            .build()
+            .expect("valid config"),
+    ));
+    let single_server =
+        GraphServiceServer::bind("127.0.0.1:0", Arc::clone(&single_cluster)).expect("bind");
+    let single = RemoteCluster::connect(single_server.local_addr(), client_cfg()).expect("connect");
+    single.apply_updates(&ops).expect("loads");
+
+    // 3-server fleet — the same op stream, partition-routed.
+    let fleet_servers = start_fleet(3);
+    let fleet = FleetCluster::connect(&fleet_servers.addr_strings(), fleet_cfg()).expect("connect");
+    let report = fleet.apply_updates(&ops).expect("loads");
+    assert_eq!(report.applied_ops, ops.len());
+
+    // Every server holds a strict subset; the fleet holds the whole graph
+    // exactly twice (each partition lives on its owner and one replica).
+    let per_server: Vec<usize> = fleet_servers
+        .nodes
+        .iter()
+        .map(|n| n.cluster().num_edges())
+        .collect();
+    assert_eq!(
+        per_server.iter().sum::<usize>(),
+        2 * single_cluster.num_edges()
+    );
+    assert!(
+        per_server.iter().all(|&e| e < single_cluster.num_edges()),
+        "data must actually be partitioned: {per_server:?}"
+    );
+
+    let single_pipe = TrainingPipeline::new(&single, pipeline_config(42));
+    let fleet_pipe = TrainingPipeline::new(&fleet, pipeline_config(42));
+    let mut single_net = fresh_net();
+    let mut fleet_net = fresh_net();
+    for epoch in 0..2 {
+        let a = single_pipe.run_epoch(&mut single_net, &provider, &seeds, &labels, epoch);
+        let b = fleet_pipe.run_epoch(&mut fleet_net, &provider, &seeds, &labels, epoch);
+        assert_eq!(a.batches, b.batches);
+        assert_eq!(b.degraded_batches, 0);
+        assert_eq!(
+            a.mean_loss.to_bits(),
+            b.mean_loss.to_bits(),
+            "epoch {epoch}: losses must be bit-identical across deployments"
+        );
+        assert_eq!(a.mean_accuracy.to_bits(), b.mean_accuracy.to_bits());
+    }
+
+    single_server.shutdown();
+    fleet_servers.shutdown();
+}
+
+/// A new server joins mid-epoch and partitions live-migrate onto it while
+/// the trainer keeps running: zero degraded/failed batches, and the run's
+/// losses are bit-identical to an undisturbed fleet's.
+#[test]
+fn live_migration_during_epoch_two_loses_zero_batches() {
+    let provider = HashFeatures::new(16, 2, 7);
+    let seeds: Vec<VertexId> = (0..N).map(VertexId).collect();
+    let labels: Vec<usize> = seeds.iter().map(|&v| provider.label(v)).collect();
+    let ops = edge_ops();
+
+    // Control fleet: identical data, no migration.
+    let control_servers = start_fleet(3);
+    let control =
+        FleetCluster::connect(&control_servers.addr_strings(), fleet_cfg()).expect("connect");
+    control.apply_updates(&ops).expect("loads");
+
+    // Fleet under test, plus a fourth empty server not yet in the roster.
+    let fleet_servers = start_fleet(3);
+    let fleet = Arc::new(
+        FleetCluster::connect(&fleet_servers.addr_strings(), fleet_cfg()).expect("connect"),
+    );
+    fleet.apply_updates(&ops).expect("loads");
+    let joiner_cluster = Arc::new(Cluster::new(
+        ClusterConfig::builder()
+            .num_shards(2)
+            .build()
+            .expect("valid config"),
+    ));
+    let joiner_node = Arc::new(FleetNode::new(
+        Arc::clone(&joiner_cluster),
+        99,
+        client_cfg(),
+    ));
+    let joiner_server =
+        GraphServiceServer::bind("127.0.0.1:0", Arc::clone(&joiner_node)).expect("bind");
+    let joiner_addr = joiner_server.local_addr().to_string();
+
+    let control_pipe = TrainingPipeline::new(&control, pipeline_config(91));
+    let fleet_pipe = TrainingPipeline::new(&*fleet, pipeline_config(91));
+    let mut control_net = fresh_net();
+    let mut fleet_net = fresh_net();
+
+    // Epoch 1: identical, undisturbed.
+    let a = control_pipe.run_epoch(&mut control_net, &provider, &seeds, &labels, 0);
+    let b = fleet_pipe.run_epoch(&mut fleet_net, &provider, &seeds, &labels, 0);
+    assert_eq!(a.mean_loss.to_bits(), b.mean_loss.to_bits());
+
+    // Epoch 2 with the join + live migration racing the batches.
+    let epoch_before = fleet.map_epoch();
+    let migrator = {
+        let fleet = Arc::clone(&fleet);
+        std::thread::spawn(move || {
+            // Land inside the epoch, not before it.
+            std::thread::sleep(Duration::from_millis(20));
+            fleet
+                .join_and_migrate(&joiner_addr, 99)
+                .expect("joins live")
+        })
+    };
+    let a = control_pipe.run_epoch(&mut control_net, &provider, &seeds, &labels, 1);
+    let b = fleet_pipe.run_epoch(&mut fleet_net, &provider, &seeds, &labels, 1);
+    let joined = migrator.join().expect("migration thread");
+
+    assert_eq!(b.degraded_batches, 0, "migration must lose zero batches");
+    assert_eq!(a.batches, b.batches);
+    assert_eq!(
+        a.mean_loss.to_bits(),
+        b.mean_loss.to_bits(),
+        "a live migration must not perturb training"
+    );
+
+    // The migration really happened: ownership moved, the epoch advanced
+    // (join + one promote per moved partition), data landed on the joiner.
+    assert!(
+        !joined.moved.is_empty(),
+        "the joiner must attract partitions"
+    );
+    assert_eq!(
+        fleet.map_epoch(),
+        epoch_before + 1 + joined.moved.len() as u64
+    );
+    assert!(joiner_cluster.num_edges() > 0);
+    let map = fleet.map_snapshot();
+    for report in &joined.moved {
+        let owner = map.servers()[map.owner_index(report.partition) as usize].id;
+        assert_eq!(owner, joined.server_id);
+    }
+
+    // A brand-new client bootstrapping from any incumbent learns the
+    // post-migration roster (including the joiner's address) and samples
+    // identically to the incumbent client.
+    let late = FleetCluster::join(&fleet_servers.addrs[0].to_string(), fleet_cfg()).expect("join");
+    assert_eq!(late.map_epoch(), fleet.map_epoch());
+    let reqs: Vec<SampleRequest> = (0..N)
+        .map(|v| SampleRequest::new(VertexId(v), ET, 4))
+        .collect();
+    let mut rng_a = StdRng::seed_from_u64(1234);
+    let mut rng_b = StdRng::seed_from_u64(1234);
+    let via_fleet = fleet.sample_many(&reqs, &mut rng_a);
+    let via_late = late.sample_many(&reqs, &mut rng_b);
+    for (x, y) in via_fleet.iter().zip(&via_late) {
+        assert_eq!(x.neighbors, y.neighbors);
+        assert!(!x.degraded);
+    }
+
+    joiner_server.shutdown();
+    fleet_servers.shutdown();
+    control_servers.shutdown();
+}
+
+/// Kill a partition's leader: reads retry on the replica with the same
+/// pinned seed, so the answers are bit-identical to the pre-failure ones
+/// and nothing degrades.
+#[test]
+fn leader_failure_fails_over_to_replica_bit_identically() {
+    let ops = edge_ops();
+    let mut fleet_servers = start_fleet(2);
+    let fleet = FleetCluster::connect(&fleet_servers.addr_strings(), fleet_cfg()).expect("connect");
+    fleet.apply_updates(&ops).expect("loads");
+
+    // With two servers every partition's replica is the other server, so
+    // the write fan-out must have left each holding the full edge set.
+    for node in &fleet_servers.nodes {
+        assert_eq!(node.cluster().num_edges(), ops.len());
+    }
+
+    let reqs: Vec<SampleRequest> = (0..N)
+        .map(|v| SampleRequest::new(VertexId(v), ET, 4))
+        .collect();
+    let mut rng = StdRng::seed_from_u64(77);
+    let before = fleet.sample_many(&reqs, &mut rng);
+    assert!(before.iter().all(|r| !r.degraded));
+
+    // Kill server 1 (roster index 0). Its partitions' leader is gone.
+    fleet_servers.servers[0].take().expect("running").shutdown();
+
+    let mut rng = StdRng::seed_from_u64(77);
+    let after = fleet.sample_many(&reqs, &mut rng);
+    for (x, y) in before.iter().zip(&after) {
+        assert!(!y.degraded, "replica failover must not degrade");
+        assert_eq!(
+            x.neighbors, y.neighbors,
+            "same seed + same adjacency on the replica = same draws"
+        );
+    }
+    let replica_reads = fleet
+        .registry()
+        .snapshot()
+        .counter("fleet.client.replica_reads")
+        .unwrap_or(0);
+    assert!(replica_reads > 0, "failover must be visible in metrics");
+
+    fleet_servers.shutdown();
+}
+
+/// The fleet admin plane over real sockets: `/debug/partitions` renders
+/// the live routing table, `/healthz` is 200-degraded with one server
+/// down (replicas cover) and 503-unowned when a partition loses both
+/// copies.
+#[test]
+fn fleet_admin_endpoints_track_partition_coverage() {
+    let ops = edge_ops();
+    let mut fleet_servers = start_fleet(3);
+    let fleet = Arc::new(
+        FleetCluster::connect(&fleet_servers.addr_strings(), fleet_cfg()).expect("connect"),
+    );
+    fleet.apply_updates(&ops).expect("loads");
+    let admin = AdminServer::bind_fleet("127.0.0.1:0", Arc::clone(&fleet)).expect("bind admin");
+
+    let (status, body) = http_get(admin.local_addr(), "/healthz");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"status\":\"ok\""), "{body}");
+    assert!(body.contains("\"servers_reachable\":3"), "{body}");
+
+    let (status, body) = http_get(admin.local_addr(), "/debug/partitions");
+    assert_eq!(status, 200);
+    assert!(
+        body.contains(&format!("\"num_partitions\":{PARTITIONS}")),
+        "{body}"
+    );
+    assert!(body.contains("\"owner_up\":true"), "{body}");
+    // Key counts are live: the sum over partitions equals the loaded
+    // (src, etype) keys — N distinct sources, one relation.
+    let keys_total: u64 = body
+        .split("\"keys\":")
+        .skip(1)
+        .filter_map(|chunk| chunk.split(['}', ',']).next()?.parse::<u64>().ok())
+        .sum();
+    assert_eq!(keys_total, N);
+
+    // One server down: everything it owned fails over to replicas —
+    // degraded, still serving, still 200.
+    fleet_servers.servers[2].take().expect("running").shutdown();
+    let (status, body) = http_get(admin.local_addr(), "/healthz");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"status\":\"degraded\""), "{body}");
+    assert!(body.contains("\"unowned_partitions\":[]"), "{body}");
+
+    // Two servers down: some partition has neither owner nor replica —
+    // unowned, 503.
+    fleet_servers.servers[1].take().expect("running").shutdown();
+    let (status, body) = http_get(admin.local_addr(), "/healthz");
+    assert_eq!(status, 503, "{body}");
+    assert!(body.contains("\"status\":\"unowned\""), "{body}");
+
+    admin.shutdown();
+    fleet_servers.shutdown();
+}
