@@ -446,9 +446,11 @@ impl GraphService for FleetCluster {
                 receipt.deduped = true;
                 for &owner in many {
                     let server_id = map.servers()[owner as usize].id;
-                    let mut sub = GraphTxn::new(
-                        txn.id() ^ (0x9e37_79b9_7f4a_7c15 ^ server_id).rotate_left(17),
-                    );
+                    let mut sub = GraphTxn::new(crate::node::derive_txn_id(
+                        txn.id(),
+                        server_id,
+                        crate::node::CH_OWNER_SPLIT,
+                    ));
                     for op in txn.ops() {
                         if map.owner_index(map.partition_of(crate::node::txn_op_src(op))) == owner {
                             sub.push(*op);

@@ -15,10 +15,15 @@
 //!    source as replica, and install it — *target first* (so a relay
 //!    from a staler server can never bounce back), then the rest of the
 //!    fleet, then this client.
-//! 5. **Final drain + disarm**: one more tail round catches writes that
-//!    landed on the source between the last drain and its map install
-//!    (those are journaled; post-install writes relay to the target
-//!    directly), then `end_migration` disarms the journal.
+//! 5. **Final drain + disarm**: tail rounds run until one comes back
+//!    empty, catching every write that landed on the source between the
+//!    last pre-promote drain and its map install (those are journaled;
+//!    post-install writes relay to the target directly, and
+//!    replica-channel echoes are never journaled, so the loop terminates
+//!    once every server holds the promoted map). `end_migration` then
+//!    disarms the journal — and the move fails loudly if the journal
+//!    advanced past the last drained sequence, rather than silently
+//!    dropping an acked write.
 //!
 //! Every streamed op is idempotent and replica-channel retries are
 //! absorbed by the target, so a crashed migration is safe to re-run.
@@ -39,6 +44,12 @@ const CHUNK_EDGES: usize = 4096;
 /// Convergence drain rounds before promoting regardless (the post-promote
 /// final drain still catches the remainder).
 const MAX_TAIL_ROUNDS: usize = 10;
+/// Cap on post-promote drain rounds. Once every server holds the promoted
+/// map nothing new is journaled (first-hand writes relay to the target,
+/// replica echoes are not journaled), so hitting this cap means writes
+/// are still racing the drain and the move must fail rather than drop
+/// them.
+const MAX_FINAL_DRAIN_ROUNDS: usize = 64;
 
 /// What one partition move did.
 #[derive(Clone, Copy, Debug, Default)]
@@ -149,13 +160,42 @@ impl FleetCluster {
         }
         report.epoch = promoted.epoch();
 
-        // 5. Final drain, then disarm.
-        let (ops, _) = src.migration_tail(partition, from_seq)?;
-        if !ops.is_empty() {
+        // 5. Final drain until an empty round, then disarm. Every server
+        // now holds the promoted map, so the journal only still carries
+        // writes that landed before a server's install — a finite set;
+        // an empty round proves the target has every acked write.
+        let mut rounds = 0usize;
+        loop {
+            let (ops, next) = src.migration_tail(partition, from_seq)?;
+            from_seq = next;
+            if ops.is_empty() {
+                break;
+            }
+            rounds += 1;
+            if rounds > MAX_FINAL_DRAIN_ROUNDS {
+                src.end_migration(partition)?;
+                return Err(Error::Corrupt {
+                    what: format!(
+                        "partition {partition} migration final drain did not converge \
+                         in {MAX_FINAL_DRAIN_ROUNDS} rounds; restart the migration"
+                    ),
+                });
+            }
             report.tail_ops += ops.len();
             tgt.apply_replica_updates(&ops)?;
         }
         report.journaled = src.end_migration(partition)?;
+        if report.journaled > from_seq {
+            // Ops raced the disarm itself — impossible once every server
+            // routes on the promoted map, so surface it instead of
+            // silently losing acked writes.
+            return Err(Error::Corrupt {
+                what: format!(
+                    "partition {partition} journaled {} op(s) after the final drain",
+                    report.journaled - from_seq
+                ),
+            });
+        }
         self.install_local(promoted)?;
         Ok(report)
     }

@@ -14,12 +14,17 @@
 //! re-forwarded. Owner → replica is therefore always one hop.
 //!
 //! Relays (stale-routed first-hand writes) forward first-hand, so the
-//! receiving owner does its own replica fan-out. A relay ping-pong would
-//! need two servers that each believe the *other* owns a partition, which
+//! receiving owner does its own replica fan-out. Both write paths relay
+//! **only the foreign subset** of a batch/txn — the receiver owns
+//! everything it is handed (under the sender's map), so it has nothing of
+//! the sender's to bounce back. A relay ping-pong would additionally need
+//! two servers that each believe the *other* owns a partition, which
 //! epoch-monotonic installs plus the migration driver's install order
 //! (new owner first — see [`crate::FleetCluster::migrate_partition`])
 //! rule out: by the time the old owner relays, the new owner's map
-//! already names itself.
+//! already names itself. And because a relayed txn keeps its original id,
+//! even a pathological bounce dedupes against the sender's ledger instead
+//! of re-applying.
 
 use crate::map::PartitionMap;
 use platod2gl_graph::{
@@ -42,6 +47,31 @@ pub(crate) fn txn_op_src(op: &TxnOp) -> VertexId {
         TxnOp::DeleteEdge { src, .. } => *src,
         TxnOp::UpsertVertex { vertex } | TxnOp::DeleteVertex { vertex, .. } => *vertex,
     }
+}
+
+/// Channel tag for the client-side cross-owner split
+/// ([`crate::FleetCluster::apply_txn`]).
+pub(crate) const CH_OWNER_SPLIT: u64 = 1;
+/// Channel tag for owner → replica sub-txns ([`FleetNode::apply_txn`]).
+pub(crate) const CH_REPLICA: u64 = 2;
+
+/// splitmix64's finalizer: a full-avalanche 64-bit mix.
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The id a per-server sub-txn carries in place of its parent's.
+/// Deterministic, so a retried leg dedupes at the receiver; fully mixed,
+/// so a derived id colliding with an unrelated client txn id in a
+/// server's dedupe ledger is a 64-bit birthday event, not (as a plain
+/// XOR derivation was) a single-flip coincidence. The channel tag keeps
+/// the owner-split and replica legs a server may receive for the *same*
+/// parent txn from deduping each other away.
+pub(crate) fn derive_txn_id(base: u64, server_id: u64, channel: u64) -> u64 {
+    mix64(base ^ mix64(server_id ^ channel.rotate_left(56)))
 }
 
 struct NodeMetrics {
@@ -208,55 +238,93 @@ impl GraphService for FleetNode {
     }
 
     fn apply_txn(&self, txn: &GraphTxn) -> Result<TxnReceipt, TxnError> {
-        let receipt = self.cluster.apply_txn(txn)?;
         let Some(map) = self.map_snapshot() else {
-            return Ok(receipt);
+            return self.cluster.apply_txn(txn);
         };
         let Some(my_idx) = map.index_of(self.server_id) else {
-            return Ok(receipt);
+            return self.cluster.apply_txn(txn);
         };
-        // Forward under the *original* txn id: owned partitions to their
-        // replicas (replica channel — never re-forwarded), stale-routed
-        // partitions to their owner (first-hand — the owner fans out).
-        // Dedupe ledgers absorb the overlap when a txn touches several
-        // partitions that share a server.
-        let mut replica_targets: Vec<u32> = Vec::new();
-        let mut owner_targets: Vec<u32> = Vec::new();
+        // Split exactly as `apply_updates` does: ops this node owns apply
+        // locally and fan out to their replicas; stale-routed ops relay to
+        // their owner *without* applying here — a local copy of a foreign
+        // partition would never see the owner's later deletes, and could
+        // resurrect them if the partition ever migrates here. Relaying
+        // only the foreign subset is also what keeps relays loop-free
+        // (see the module docs): the receiver owns everything in its leg.
+        let mut owned = GraphTxn::new(txn.id());
+        let mut foreign: Vec<(u32, GraphTxn)> = Vec::new();
         for op in txn.ops() {
-            let p = map.partition_of(txn_op_src(op));
-            let owner = map.owner_index(p);
+            let owner = map.owner_index(map.partition_of(txn_op_src(op)));
             if owner == my_idx {
-                if let Some(r) = map.replica_index(p) {
-                    if r != my_idx && !replica_targets.contains(&r) {
-                        replica_targets.push(r);
-                    }
-                }
-            } else if !owner_targets.contains(&owner) {
-                owner_targets.push(owner);
+                owned.push(*op);
+            } else if let Some((_, sub)) = foreign.iter_mut().find(|(o, _)| *o == owner) {
+                sub.push(*op);
+            } else {
+                // The relay leg keeps the *original* txn id: a client
+                // retry landing on either server dedupes, and a bounce
+                // from a staler receiver dedupes against our own ledger.
+                let mut sub = GraphTxn::new(txn.id());
+                sub.push(*op);
+                foreign.push((owner, sub));
             }
         }
-        for ridx in replica_targets {
+
+        let mut receipt = if owned.is_empty() {
+            // Nothing of ours — the receipt aggregates the relay legs.
+            TxnReceipt {
+                txn_id: txn.id(),
+                deduped: true,
+                ..TxnReceipt::default()
+            }
+        } else {
+            self.cluster.apply_txn(&owned)?
+        };
+
+        // Owner → replica fan-out: one sub-txn per replica holding exactly
+        // the partitions it replicates, under a derived id (a server can
+        // receive a relay leg and a replica leg of the same parent txn —
+        // distinct ids keep them from deduping each other away).
+        // Best-effort: a down replica degrades reads, it must not fail
+        // the owner's write path.
+        let mut per_replica: Vec<(u32, GraphTxn)> = Vec::new();
+        for op in owned.ops() {
+            let p = map.partition_of(txn_op_src(op));
+            let Some(r) = map.replica_index(p) else {
+                continue;
+            };
+            if r == my_idx {
+                continue;
+            }
+            if let Some((_, sub)) = per_replica.iter_mut().find(|(idx, _)| *idx == r) {
+                sub.push(*op);
+            } else {
+                let id = derive_txn_id(txn.id(), map.servers()[r as usize].id, CH_REPLICA);
+                let mut sub = GraphTxn::new(id);
+                sub.push(*op);
+                per_replica.push((r, sub));
+            }
+        }
+        for (ridx, sub) in per_replica {
             let sent = self
                 .peer(&map, ridx)
                 .map_err(TxnError::Store)
-                .and_then(|peer| peer.apply_replica_txn(txn));
+                .and_then(|peer| peer.apply_replica_txn(&sub));
             match sent {
                 Ok(_) => self.m.replica_fanouts.inc(),
                 Err(_) => self.m.replica_errors.inc(),
             }
         }
-        for oidx in owner_targets {
-            // Best-effort like the replica leg: this node is (or is
-            // becoming) the partition's replica, so the data is not lost
-            // and degraded reads keep serving it if the relay fails.
-            let sent = self
-                .peer(&map, oidx)
-                .map_err(TxnError::Store)
-                .and_then(|peer| peer.apply_txn(txn));
-            match sent {
-                Ok(r) => self.m.relayed_ops.add(r.ops_applied),
-                Err(_) => self.m.replica_errors.inc(),
-            }
+
+        // Stale-routed legs: hard errors, exactly like the update path —
+        // this node no longer applies them locally, so a dropped relay
+        // would silently lose an acked write.
+        for (oidx, sub) in foreign {
+            let peer = self.peer(&map, oidx).map_err(TxnError::Store)?;
+            let r = peer.apply_txn(&sub)?;
+            self.m.relayed_ops.add(sub.len() as u64);
+            receipt.ops_applied += r.ops_applied;
+            receipt.graph_version = receipt.graph_version.max(r.graph_version);
+            receipt.deduped &= r.deduped;
         }
         Ok(receipt)
     }
@@ -332,5 +400,33 @@ impl GraphService for FleetNode {
 
     fn registry(&self) -> &Arc<Registry> {
         self.cluster.obs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{derive_txn_id, CH_OWNER_SPLIT, CH_REPLICA};
+    use std::collections::HashSet;
+
+    #[test]
+    fn derived_txn_ids_are_distinct_per_leg_and_well_mixed() {
+        let mut seen = HashSet::new();
+        for base in [0u64, 1, 42, u64::MAX, 0x4242_4242] {
+            assert!(seen.insert(base), "bases themselves are distinct");
+            for server_id in 1..=8u64 {
+                for channel in [CH_OWNER_SPLIT, CH_REPLICA] {
+                    let id = derive_txn_id(base, server_id, channel);
+                    assert!(
+                        seen.insert(id),
+                        "derived ids must collide with neither bases nor each other"
+                    );
+                }
+            }
+        }
+        // Deterministic: a retried leg re-derives the same id.
+        assert_eq!(
+            derive_txn_id(7, 3, CH_REPLICA),
+            derive_txn_id(7, 3, CH_REPLICA)
+        );
     }
 }

@@ -439,11 +439,14 @@ pub struct PartitionChunk {
 /// memory under a runaway writer.
 const MIGRATION_JOURNAL_CAP: usize = 1 << 20;
 
-/// Journal of update ops applied to a partition while it is being
-/// migrated: armed by `begin_migration`, drained in sequence-numbered
-/// rounds by `migration_tail`, disarmed by `end_migration`. The `armed`
-/// flag keeps the write hot path at one relaxed atomic load when no
-/// migration is running.
+/// Journal of **first-hand** update ops applied to a partition while it
+/// is being migrated: armed by `begin_migration`, drained in
+/// sequence-numbered rounds by `migration_tail`, disarmed by
+/// `end_migration`. Replica-channel applies are never journaled — after
+/// the promote they are the new owner's echoes of ops the target already
+/// holds, and journaling them would keep the final drain from ever
+/// converging. The `armed` flag keeps the write hot path at one relaxed
+/// atomic load when no migration is running.
 struct MigrationLog {
     armed: AtomicBool,
     inner: Mutex<Option<MigrationState>>,
@@ -786,11 +789,13 @@ impl Cluster {
 
     /// [`Cluster::apply_batch_sharded`] for the replication/migration
     /// channel: applies identically but does **not** advance
-    /// [`Cluster::graph_version`]. Replica fan-out and migration snapshot
-    /// streams are data *moves* — the logical graph a fleet client
-    /// observes is unchanged, and bumping the version here would
-    /// spuriously invalidate trainer caches fleet-wide every time a
-    /// partition replicates or migrates.
+    /// [`Cluster::graph_version`] or feed the migration journal. Replica
+    /// fan-out and migration snapshot streams are data *moves* — the
+    /// logical graph a fleet client observes is unchanged, so bumping the
+    /// version here would spuriously invalidate trainer caches
+    /// fleet-wide, and journaling here would let a migrated partition's
+    /// new owner echo drained ops back into the source's journal forever
+    /// (the final drain would never see an empty round).
     pub fn apply_batch_replicated(&self, ops: &[UpdateOp]) -> Result<BatchReport, Error> {
         self.apply_batch_routed(ops, false)
     }
@@ -934,7 +939,9 @@ impl Cluster {
                     .unwrap_or_else(|payload| Err(panic_message(&*payload)));
                 if outcome.is_ok() {
                     report.applied_ops += n_ops;
-                    self.record_migration_ops(&per_shard[shard]);
+                    if bump_version {
+                        self.record_migration_ops(&per_shard[shard]);
+                    }
                 }
                 worker_outcomes.push((shard, outcome));
             }
@@ -1023,8 +1030,9 @@ impl Cluster {
 
     /// [`Cluster::apply_txn`] for the replication channel: same
     /// validation, WAL, and dedupe-ledger semantics, but the graph
-    /// version does not advance — a replicated txn is an echo of a commit
-    /// the owner already versioned, not a new logical write (see
+    /// version does not advance and the migration journal is not fed — a
+    /// replicated txn is an echo of a commit the owner already versioned,
+    /// not a new logical write (see
     /// [`Cluster::apply_batch_replicated`]).
     pub fn apply_txn_replicated(&self, txn: &GraphTxn) -> Result<TxnReceipt, TxnError> {
         self.apply_txn_routed(txn, false)
@@ -1183,7 +1191,9 @@ impl Cluster {
             match outcome {
                 Ok(()) => {
                     any_applied = true;
-                    self.record_migration_ops(&per_shard[shard]);
+                    if bump_version {
+                        self.record_migration_ops(&per_shard[shard]);
+                    }
                 }
                 Err(detail) => {
                     self.shard_states[shard].set_health(ShardHealth::Failed);
@@ -1334,35 +1344,47 @@ impl Cluster {
         if num_partitions == 0 || partition >= num_partitions {
             return Err(Error::invalid_config("partition out of range"));
         }
-        let mut entries: Vec<platod2gl_storage::AdjacencyEntry> = Vec::new();
+        // Census pass: directory keys and edge counts only — a serving
+        // node must not re-materialize the whole store's adjacency for
+        // every chunk it streams.
+        let mut keys: Vec<((u64, u16), usize)> = Vec::new();
         for server in &self.servers {
-            for entry in server.topology.export_adjacency() {
-                let (src, _etype) = entry.0;
-                if partition_for(VertexId(src), num_partitions) != partition {
-                    continue;
+            server.topology.for_each_source(|src, etype, len| {
+                if partition_for(src, num_partitions) != partition {
+                    return;
                 }
-                if let Some(cur) = cursor {
-                    if entry.0 <= cur {
-                        continue;
-                    }
+                let key = (src.raw(), etype.0);
+                if cursor.is_some_and(|cur| key <= cur) {
+                    return;
                 }
-                entries.push(entry);
-            }
+                keys.push((key, len));
+            });
         }
-        entries.sort_by_key(|e| e.0);
+        keys.sort_unstable_by_key(|(k, _)| *k);
         let budget = max_edges.max(1);
-        let mut taken = Vec::new();
-        let mut edges = 0u64;
-        let mut done = true;
-        for entry in entries {
-            if !taken.is_empty() && edges as usize + entry.1.len() > budget {
-                done = false;
+        let mut take = 0usize;
+        let mut planned = 0usize;
+        for (i, (_, len)) in keys.iter().enumerate() {
+            if i > 0 && planned + len > budget {
                 break;
             }
-            edges += entry.1.len() as u64;
-            taken.push(entry);
+            planned += len;
+            take += 1;
         }
-        let next_cursor = taken.last().map(|e| e.0).or(cursor);
+        let done = take == keys.len();
+        // Materialize only the chunk's keys, each from its owning shard.
+        // A tree racing away between census and fetch is fine: its
+        // mutation is in the migration journal either way.
+        let mut taken: Vec<platod2gl_storage::AdjacencyEntry> = Vec::with_capacity(take);
+        let mut edges = 0u64;
+        for &((src, etype), _) in &keys[..take] {
+            let server = &self.servers[self.route(VertexId(src))];
+            if let Some(entries) = server.topology.adjacency_of(VertexId(src), EdgeType(etype)) {
+                edges += entries.len() as u64;
+                taken.push(((src, etype), entries));
+            }
+        }
+        let next_cursor = keys[..take].last().map(|(k, _)| *k).or(cursor);
         let mut snapshot = Vec::new();
         platod2gl_storage::write_snapshot(&mut snapshot, &taken)?;
         Ok(PartitionChunk {

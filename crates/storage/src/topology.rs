@@ -459,6 +459,20 @@ impl DynamicGraphStore {
         out
     }
 
+    /// One `(src, etype)` tree's full `(dst, weight)` list, or `None` if
+    /// the key is not resident (or its tree is empty). The targeted
+    /// counterpart of [`DynamicGraphStore::export_adjacency`]: partition
+    /// export streams chunks by materializing only the keys inside the
+    /// chunk's budget instead of the whole store.
+    pub fn adjacency_of(&self, v: VertexId, etype: EdgeType) -> Option<Vec<(u64, f64)>> {
+        let cell = self.cell(TreeKey {
+            src: v.raw(),
+            etype: etype.0,
+        })?;
+        let entries = cell.0.read().entries();
+        (!entries.is_empty()).then_some(entries)
+    }
+
     /// Visit every resident `(src, etype)` directory key with its current
     /// edge count, without materializing the adjacency lists the way
     /// [`DynamicGraphStore::export_adjacency`] does. Partition accounting

@@ -7,7 +7,7 @@
 
 use platod2gl::{
     AdminServer, Cluster, ClusterConfig, Edge, EdgeType, FleetCluster, FleetClusterConfig,
-    FleetNode, GraphService, GraphServiceServer, GraphStore, HashFeatures, PartitionMap,
+    FleetNode, GraphService, GraphServiceServer, GraphStore, GraphTxn, HashFeatures, PartitionMap,
     PipelineConfig, RemoteCluster, RemoteClusterConfig, SageNet, SageNetConfig, SampleRequest,
     ServerEntry, TrainingPipeline, UpdateOp, VertexId,
 };
@@ -321,6 +321,78 @@ fn live_migration_during_epoch_two_loses_zero_batches() {
     joiner_server.shutdown();
     fleet_servers.shutdown();
     control_servers.shutdown();
+}
+
+/// A txn shipped whole to one server first-hand (a client routing on no
+/// map, or a stale one) lands every op on its owning server: the
+/// receiver applies only its own subset locally and relays the foreign
+/// subsets per owner, so no server accumulates a stray copy of a
+/// partition it neither owns nor replicates — and a retry of the same
+/// txn id dedupes on every leg instead of re-applying or bouncing.
+#[test]
+fn stale_routed_txn_relays_subsets_without_polluting_foreign_stores() {
+    let fleet_servers = start_fleet(3);
+    let map = fleet_servers.nodes[0]
+        .map_snapshot()
+        .expect("map installed");
+
+    // One insert per roster member: a vertex owned by each of the three.
+    let picks: Vec<VertexId> = (0..3u32)
+        .map(|idx| {
+            (0..N)
+                .map(VertexId)
+                .find(|&v| map.owner_of(v) == idx)
+                .expect("every server owns vertices")
+        })
+        .collect();
+    let mut txn = GraphTxn::new(0x4242_4242);
+    for &v in &picks {
+        txn = txn.insert_edge(Edge::new(v, VertexId(v.raw() + 1000), 2.0));
+    }
+
+    // Ship the whole txn to server 0 — two thirds of it are stale-routed.
+    let direct = RemoteCluster::connect(fleet_servers.addrs[0], client_cfg()).expect("connect");
+    let receipt = direct.apply_txn(&txn).expect("commits");
+    assert_eq!(
+        receipt.ops_applied, 3,
+        "relay legs aggregate into the receipt"
+    );
+    assert!(!receipt.deduped);
+
+    // Each op lives exactly on its partition's owner and replica; the
+    // relaying server holds nothing it is not assigned.
+    for (i, node) in fleet_servers.nodes.iter().enumerate() {
+        for &v in &picks {
+            let p = map.partition_of(v);
+            let assigned = map.owner_index(p) == i as u32 || map.replica_index(p) == Some(i as u32);
+            let held = node.cluster().degree(v, ET) > 0;
+            assert_eq!(
+                held,
+                assigned,
+                "server {i} vs vertex {}: a store must hold a partition iff assigned to it",
+                v.raw()
+            );
+        }
+    }
+    let total: usize = fleet_servers
+        .nodes
+        .iter()
+        .map(|n| n.cluster().num_edges())
+        .sum();
+    assert_eq!(total, 6, "one owner copy + one replica copy per edge");
+
+    // The retry dedupes end to end: same receipt, no new copies.
+    let retry = direct.apply_txn(&txn).expect("dedupes");
+    assert!(retry.deduped);
+    assert_eq!(retry.ops_applied, 3);
+    let total_after: usize = fleet_servers
+        .nodes
+        .iter()
+        .map(|n| n.cluster().num_edges())
+        .sum();
+    assert_eq!(total_after, total);
+
+    fleet_servers.shutdown();
 }
 
 /// Kill a partition's leader: reads retry on the replica with the same
