@@ -67,6 +67,22 @@ impl AdminServer {
         Self::bind_routed(addr, move |path| route(path, &cluster))
     }
 
+    /// Bind a single-cluster admin plane that additionally serves
+    /// `GET /debug/rpc` — the live connection table of a graph-service
+    /// server (backend in use, accept/reject totals, per-connection
+    /// protocol version, frame counts, and in-flight requests). `rpc` is
+    /// typically `GraphServiceServer::introspect()`.
+    pub fn bind_with_rpc<R>(
+        addr: impl ToSocketAddrs,
+        cluster: Arc<Cluster>,
+        rpc: R,
+    ) -> io::Result<Self>
+    where
+        R: RpcIntrospect + Send + Sync + 'static,
+    {
+        Self::bind_routed(addr, move |path| route_rpc(path, &cluster, &rpc))
+    }
+
     /// Bind an admin plane for a whole fleet: `/healthz` aggregates
     /// partition ownership across servers (one replica down is degraded
     /// but 200; an unowned partition is 503) and `/debug/partitions`
@@ -217,6 +233,96 @@ pub fn route(path: &str, cluster: &Cluster) -> (u16, &'static str, String) {
         "/debug/txns" => (200, CT_JSON, txns_json(cluster)),
         _ => (404, CT_TEXT, "not found\n".to_string()),
     }
+}
+
+// ---------------------------------------------------------------------
+// RPC introspection: the admin view of a graph-service server's
+// connection table.
+// ---------------------------------------------------------------------
+
+/// One live RPC connection as the admin plane sees it.
+#[derive(Clone, Debug)]
+pub struct RpcConnView {
+    /// Peer address.
+    pub peer: String,
+    /// Protocol version of the last served frame (`0` before the first).
+    pub protocol: u8,
+    /// Frames served on this connection.
+    pub frames: u64,
+    /// Requests dispatched but not yet answered.
+    pub in_flight: u64,
+    /// Connection age in milliseconds.
+    pub age_ms: u64,
+}
+
+/// Point-in-time state of one graph-service server for `/debug/rpc`.
+#[derive(Clone, Debug, Default)]
+pub struct RpcSnapshot {
+    /// Serving core in use: `"epoll"`, `"scan"`, or `"threaded"`.
+    pub backend: String,
+    /// Connections accepted since bind.
+    pub accepted: u64,
+    /// Connections refused (table full) since bind.
+    pub rejected: u64,
+    /// Connections currently open.
+    pub open: u64,
+    /// One row per open connection.
+    pub conns: Vec<RpcConnView>,
+}
+
+/// What a graph-service server must expose to be served by
+/// [`AdminServer::bind_with_rpc`]. Implemented by
+/// `platod2gl_rpc::ServerIntrospect`; the trait lives here so the admin
+/// plane needs no rpc dependency.
+pub trait RpcIntrospect {
+    /// Assemble the current connection-table snapshot.
+    fn rpc_snapshot(&self) -> RpcSnapshot;
+}
+
+/// Dispatch one GET against a cluster plus a server's connection table.
+/// Split out (and `pub` for tests) so endpoint behavior is testable
+/// without sockets.
+pub fn route_rpc(
+    path: &str,
+    cluster: &Cluster,
+    rpc: &dyn RpcIntrospect,
+) -> (u16, &'static str, String) {
+    match path {
+        "/" => (
+            200,
+            CT_TEXT,
+            "PlatoD2GL admin\n\n/metrics\n/healthz\n/debug/memory\n/debug/spans\n/debug/slow\n\
+             /debug/traffic\n/debug/txns\n/debug/rpc\n"
+                .to_string(),
+        ),
+        "/debug/rpc" => (200, CT_JSON, rpc_json(&rpc.rpc_snapshot())),
+        other => route(other, cluster),
+    }
+}
+
+fn rpc_json(snap: &RpcSnapshot) -> String {
+    let mut body = format!(
+        "{{\"backend\":\"{}\",\"accepted\":{},\"rejected\":{},\"open\":{},\"conns\":[",
+        json_escape(&snap.backend),
+        snap.accepted,
+        snap.rejected,
+        snap.open
+    );
+    for (i, c) in snap.conns.iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        body.push_str(&format!(
+            "{{\"peer\":\"{}\",\"protocol\":{},\"frames\":{},\"in_flight\":{},\"age_ms\":{}}}",
+            json_escape(&c.peer),
+            c.protocol,
+            c.frames,
+            c.in_flight,
+            c.age_ms
+        ));
+    }
+    body.push_str("]}");
+    body
 }
 
 // ---------------------------------------------------------------------
@@ -483,11 +589,23 @@ fn spans_json(cluster: &Cluster) -> String {
 
 fn slow_json(cluster: &Cluster) -> String {
     let slow = cluster.obs().slow_log();
+    // Tail context for the captures: the p99 of every latency histogram
+    // in the registry, so an operator reading one slow op can see whether
+    // the tail as a whole moved (`rpc.server.request_ns` is the one the
+    // serving core maintains).
+    let snap = cluster.obs().snapshot();
     let mut body = format!(
-        "{{\"threshold_ns\":{},\"captured\":{},\"ops\":[",
+        "{{\"threshold_ns\":{},\"captured\":{},\"p99_ns\":{{",
         slow.threshold_ns(),
         slow.captured()
     );
+    for (i, (name, h)) in snap.histograms.iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        body.push_str(&format!("\"{}\":{}", json_escape(name), h.p99_ns));
+    }
+    body.push_str("},\"ops\":[");
     for (i, op) in slow.recent().iter().enumerate() {
         if i > 0 {
             body.push(',');
@@ -744,6 +862,59 @@ mod tests {
             },
             registry: Arc::new(platod2gl_obs::Registry::new()),
         }
+    }
+
+    struct StubRpc;
+
+    impl RpcIntrospect for StubRpc {
+        fn rpc_snapshot(&self) -> RpcSnapshot {
+            RpcSnapshot {
+                backend: "epoll".to_string(),
+                accepted: 9,
+                rejected: 1,
+                open: 1,
+                conns: vec![RpcConnView {
+                    peer: "127.0.0.1:5555".to_string(),
+                    protocol: 2,
+                    frames: 12,
+                    in_flight: 3,
+                    age_ms: 40,
+                }],
+            }
+        }
+    }
+
+    #[test]
+    fn rpc_route_serves_the_connection_table_and_falls_through() {
+        let c = tiny_cluster();
+        let (status, ct, body) = route_rpc("/debug/rpc", &c, &StubRpc);
+        assert_eq!((status, ct), (200, CT_JSON));
+        assert!(body.contains("\"backend\":\"epoll\""), "{body}");
+        assert!(body.contains("\"accepted\":9"), "{body}");
+        assert!(body.contains("\"rejected\":1"), "{body}");
+        assert!(
+            body.contains("\"peer\":\"127.0.0.1:5555\",\"protocol\":2,\"frames\":12"),
+            "{body}"
+        );
+        // Every plain-cluster endpoint still answers through the rpc
+        // router, and the index advertises the new endpoint.
+        let (_, _, index) = route_rpc("/", &c, &StubRpc);
+        assert!(index.contains("/debug/rpc"), "{index}");
+        assert_eq!(route_rpc("/healthz", &c, &StubRpc).0, 200);
+        assert_eq!(route_rpc("/nope", &c, &StubRpc).0, 404);
+    }
+
+    #[test]
+    fn slow_endpoint_reports_histogram_p99s() {
+        let c = tiny_cluster();
+        // Record into a histogram so the p99 map has a row.
+        c.obs()
+            .histogram("rpc.server.request_ns")
+            .record(Duration::from_micros(80));
+        let (status, _, body) = route("/debug/slow", &c);
+        assert_eq!(status, 200);
+        assert!(body.contains("\"p99_ns\":{"), "{body}");
+        assert!(body.contains("\"rpc.server.request_ns\":"), "{body}");
     }
 
     #[test]

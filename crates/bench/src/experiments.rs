@@ -937,6 +937,226 @@ pub fn fleet_report() {
     println!("  wrote BENCH_7.json (speedup_3v1 = {speedup_3v1:.2}x)");
 }
 
+/// Serving-core report: connection-churn throughput of the thread-per-
+/// connection backend vs the readiness-driven event loop at 64 / 512 /
+/// 2048 concurrent connections, plus a 10k-accept endurance phase.
+///
+/// Each driver session is the life of one short-lived client: connect,
+/// pipeline a burst of v2-framed sample requests, drain the replies, and
+/// close. The threaded backend pays a thread spawn + teardown per
+/// session and schedules one blocked thread per open socket; the event
+/// loop serves the same churn from a single poller thread.
+pub fn rpc_report() {
+    use platod2gl::{Cluster, ClusterConfig, Edge, SampleRequest, VertexId};
+    use platod2gl_rpc::codec::{
+        encode_frame_v2, encode_sample_batch, read_frame_ex, FrameKind, SampleBatch,
+    };
+    use platod2gl_rpc::{Backend, GraphServiceServer, ServerConfig};
+    use std::io::Write;
+    use std::net::{SocketAddr, TcpStream};
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::{Arc, Barrier};
+
+    const DRIVERS: usize = 8;
+    const PIPELINE: usize = 8;
+    const CONN_GRID: [usize; 3] = [64, 512, 2048];
+    const VERTICES: u64 = 256;
+    const ACCEPT_TOTAL: usize = 10_000;
+    const ACCEPT_WAVE: usize = 500;
+
+    println!("\n=== Serving core: connection churn, threaded vs event loop (reqs/s) ===");
+    println!(
+        "  {DRIVERS} drivers; session = connect + pipeline {PIPELINE} v2 sample frames + drain + close"
+    );
+    header(&["backend", "64 conns", "512 conns", "2048 conns"]);
+
+    let cluster = Arc::new(Cluster::new(
+        ClusterConfig::builder()
+            .num_shards(2)
+            .build()
+            .expect("valid config"),
+    ));
+    for v in 0..VERTICES {
+        cluster.insert_edge(Edge::new(VertexId(v), VertexId((v + 1) % VERTICES), 1.0));
+    }
+    let payload = encode_sample_batch(&SampleBatch {
+        deadline_ms: 30_000,
+        requests: (0..4)
+            .map(|i| (SampleRequest::new(VertexId(i), EdgeType(0), 4), 0x5EED + i))
+            .collect(),
+    });
+
+    // One churn cell: every driver owns `conns / DRIVERS` connection
+    // slots, all open at once, so the server genuinely holds `conns`
+    // connections. The flood-connect warm-up is paced by a probe round
+    // trip per socket (serial per driver, so pending accepts stay under
+    // the listener backlog) and is NOT timed; the timed phase serves
+    // `ROUNDS` pipelined bursts per slot and closes + reconnects the slot
+    // between rounds — the thread-per-connection backend pays a thread
+    // spawn and teardown per reconnect, the event loop only an accept.
+    const ROUNDS: usize = 2;
+    let connect_probed = |addr: SocketAddr| -> TcpStream {
+        let mut s = TcpStream::connect(addr).expect("connect");
+        s.set_nodelay(true).expect("nodelay");
+        let probe = encode_frame_v2(FrameKind::HealthProbe, 1, &[]);
+        s.write_all(&probe).expect("probe");
+        let (header, _) = read_frame_ex(&mut s).expect("probe reply");
+        assert_eq!(header.kind, FrameKind::HealthReply);
+        s
+    };
+    let churn = |addr: SocketAddr, conns: usize| -> f64 {
+        let connected = Arc::new(Barrier::new(DRIVERS + 1));
+        let done = Arc::new(Barrier::new(DRIVERS + 1));
+        let handles: Vec<_> = (0..DRIVERS)
+            .map(|_| {
+                let payload = payload.clone();
+                let connected = Arc::clone(&connected);
+                let done = Arc::clone(&done);
+                std::thread::spawn(move || {
+                    let sessions = conns / DRIVERS;
+                    let mut socks: Vec<TcpStream> =
+                        (0..sessions).map(|_| connect_probed(addr)).collect();
+                    connected.wait();
+                    for round in 0..ROUNDS {
+                        for (i, sock) in socks.iter_mut().enumerate() {
+                            for req in 0..PIPELINE {
+                                let frame = encode_frame_v2(
+                                    FrameKind::SampleBatch,
+                                    (i * PIPELINE + req) as u64 + 1,
+                                    &payload,
+                                );
+                                sock.write_all(&frame).expect("send");
+                            }
+                            for _ in 0..PIPELINE {
+                                let (header, _) = read_frame_ex(sock).expect("reply");
+                                assert_eq!(header.kind, FrameKind::SampleReply);
+                            }
+                            if round + 1 < ROUNDS {
+                                // Churn the slot: close and redial.
+                                let fresh = TcpStream::connect(addr).expect("reconnect");
+                                fresh.set_nodelay(true).expect("nodelay");
+                                *sock = fresh;
+                            }
+                        }
+                    }
+                    done.wait();
+                })
+            })
+            .collect();
+        connected.wait();
+        let t = Instant::now();
+        done.wait();
+        let elapsed = t.elapsed().as_secs_f64();
+        for h in handles {
+            h.join().expect("driver clean");
+        }
+        (conns * PIPELINE * ROUNDS) as f64 / elapsed
+    };
+
+    let mut rates = std::collections::HashMap::new();
+    for backend in [Backend::Threaded, Backend::EventLoop] {
+        let name = match backend {
+            Backend::Threaded => "threaded",
+            Backend::EventLoop => "event-loop",
+        };
+        let server = GraphServiceServer::bind_with(
+            "127.0.0.1:0",
+            Arc::clone(&cluster),
+            ServerConfig::builder()
+                .backend(backend)
+                .max_connections(4096)
+                .build()
+                .expect("valid config"),
+        )
+        .expect("bind");
+        let addr = server.local_addr();
+        // Warm-up: fault in lazy paths on both sides.
+        churn(addr, DRIVERS);
+        let mut cells = Vec::new();
+        for conns in CONN_GRID {
+            let reqs_per_s = churn(addr, conns);
+            rates.insert((name, conns), reqs_per_s);
+            cells.push(format!("{reqs_per_s:.0}"));
+        }
+        row(name, &cells);
+        server.shutdown();
+    }
+
+    // Endurance: 10k accepts against the event loop, in bounded waves so
+    // client-side ephemeral ports stay within ulimit.
+    let server = GraphServiceServer::bind_with(
+        "127.0.0.1:0",
+        Arc::clone(&cluster),
+        ServerConfig::builder()
+            .max_connections(4096)
+            .build()
+            .expect("valid config"),
+    )
+    .expect("bind");
+    let addr = server.local_addr();
+    let accept_errors = Arc::new(AtomicU64::new(0));
+    let mut accepted = 0usize;
+    while accepted < ACCEPT_TOTAL {
+        let wave = ACCEPT_WAVE.min(ACCEPT_TOTAL - accepted);
+        let per_driver = wave / DRIVERS;
+        let handles: Vec<_> = (0..DRIVERS)
+            .map(|_| {
+                let errors = Arc::clone(&accept_errors);
+                std::thread::spawn(move || {
+                    for _ in 0..per_driver {
+                        match TcpStream::connect(addr) {
+                            Ok(mut s) => {
+                                let probe = encode_frame_v2(FrameKind::HealthProbe, 1, &[]);
+                                let served = s.write_all(&probe).is_ok()
+                                    && matches!(
+                                        read_frame_ex(&mut s),
+                                        Ok((h, _)) if h.kind == FrameKind::HealthReply
+                                    );
+                                if !served {
+                                    errors.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                            Err(_) => {
+                                errors.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("accept driver clean");
+        }
+        accepted += per_driver * DRIVERS;
+    }
+    let accept_errors = accept_errors.load(Ordering::Relaxed);
+    server.shutdown();
+    println!("  {accepted} accepts, {accept_errors} errors");
+
+    let speedup =
+        |conns: usize| rates[&("event-loop", conns)] / rates[&("threaded", conns)].max(1e-9);
+    let (s64, s512, s2048) = (speedup(64), speedup(512), speedup(2048));
+    println!("  event loop vs threaded: {s64:.2}x @64, {s512:.2}x @512, {s2048:.2}x @2048 conns");
+
+    let mut json_rows = Vec::new();
+    for name in ["threaded", "event-loop"] {
+        for conns in CONN_GRID {
+            json_rows.push(format!(
+                "{{\"backend\":\"{name}\",\"conns\":{conns},\"reqs_per_s\":{:.0}}}",
+                rates[&(name, conns)]
+            ));
+        }
+    }
+    let json = format!(
+        "{{\"bench\":\"rpc_serving\",\"pipeline\":{PIPELINE},\"drivers\":{DRIVERS},\
+         \"speedup_64\":{s64:.3},\"speedup_512\":{s512:.3},\"speedup_2048\":{s2048:.3},\
+         \"accepts\":{accepted},\"accept_errors\":{accept_errors},\"rows\":[{}]}}\n",
+        json_rows.join(",")
+    );
+    std::fs::write("BENCH_8.json", &json).expect("write BENCH_8.json");
+    println!("  wrote BENCH_8.json (speedup_512 = {s512:.2}x)");
+}
+
 /// Run the whole evaluation in paper order.
 pub fn run_all() {
     println!(
@@ -956,4 +1176,5 @@ pub fn run_all() {
     txn_report();
     obs_report();
     fleet_report();
+    rpc_report();
 }

@@ -44,8 +44,6 @@ pub use platod2gl_gnn::{
     Node2VecWalker, NodeSampler, RandomWalkSampler, SageNet, SageNetConfig, SampledSubgraph,
     SubgraphSampler, TrainStats,
 };
-#[allow(deprecated)]
-pub use platod2gl_graph::StoreError;
 pub use platod2gl_graph::{
     for_each_edge, read_edge_list, sanitize_weight, validate_and_lower, write_edge_list,
     DatasetProfile, Edge, EdgeType, Error, GraphStore, GraphTxn, RelationSpec, Served, ShardHealth,
@@ -61,7 +59,10 @@ pub use platod2gl_pipeline::{
     Block, CacheConfig, CacheStats, EpochReport, KHopSampler, NeighborCache, PipelineConfig,
     PipelineConfigBuilder, PipelineStats, SampleOutcome, TrainingPipeline,
 };
-pub use platod2gl_rpc::{GraphServiceServer, RemoteCluster, RemoteClusterConfig};
+pub use platod2gl_rpc::{
+    Backend, ClientConfig, ClientConfigBuilder, ConnectionMode, GraphServiceServer, PollerKind,
+    RemoteCluster, RemoteClusterConfig, ServerConfig, ServerConfigBuilder, ServerIntrospect,
+};
 pub use platod2gl_sampling::{AliasTable, CsTable, WeightedIndex};
 pub use platod2gl_samtree::{LeafIndex, OpStats, SamTree, SamTreeConfig};
 pub use platod2gl_server::{

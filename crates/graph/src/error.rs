@@ -34,13 +34,6 @@ pub enum Error {
     Corrupt { what: String },
 }
 
-/// Deprecated name for [`Error`]. The router-only `StoreError` enum was
-/// folded into the unified error type; existing `match` arms over
-/// `StoreError::ShardUnavailable` / `StoreError::ShardPanicked` keep
-/// compiling through this alias.
-#[deprecated(since = "0.1.0", note = "use `Error` instead")]
-pub type StoreError = Error;
-
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -121,17 +114,5 @@ mod tests {
             what: "bad checksum".into(),
         };
         assert!(c.to_string().contains("bad checksum"));
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_alias_still_matches() {
-        // Old-style code matched on StoreError variants; the alias keeps
-        // those arms compiling against the unified enum.
-        let e: StoreError = Error::ShardUnavailable { shard: 7 };
-        match e {
-            StoreError::ShardUnavailable { shard } => assert_eq!(shard, 7),
-            _ => panic!("wrong variant"),
-        }
     }
 }

@@ -27,8 +27,6 @@ mod txn;
 
 pub use edgelist::{for_each_edge, read_edge_list, write_edge_list};
 pub use error::Error;
-#[allow(deprecated)]
-pub use error::StoreError;
 pub use generator::{EdgeStream, UpdateStream, ZipfSampler};
 pub use health::{Served, ShardHealth};
 pub use profile::{DatasetProfile, RelationSpec};

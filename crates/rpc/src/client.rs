@@ -6,25 +6,40 @@
 //! `KHopSampler` and `TrainingPipeline` run against a remote graph server
 //! unmodified.
 //!
-//! ## Connection pool and pipelining
+//! ## Connection modes
 //!
-//! Connections are pooled: each call checks a stream out, runs its round
-//! trip(s), and checks it back in on success (a failed stream is dropped,
-//! never re-pooled). Concurrent callers — the pipeline's prefetch workers —
-//! each get their own stream. [`RemoteCluster::sample_many`] coalesces a
-//! frontier into chunks of [`RemoteClusterConfig::max_batch`] requests and
-//! *pipelines* them: all chunk frames are written before any reply is
-//! read, so a hub-heavy frontier costs one round trip of latency, not one
-//! per chunk.
+//! [`ConnectionMode::Pooled`] (the default) is strictly
+//! request/reply-per-stream: each call checks a stream out of the pool,
+//! runs its round trip(s), and checks it back in on success (a failed
+//! stream is dropped, never re-pooled; a stream idle past
+//! [`ClientConfig::idle_timeout`] is reaped at the next checkout and
+//! counted in `rpc.client.pool_evictions`). Concurrent callers — the
+//! pipeline's prefetch workers — each get their own stream.
+//!
+//! [`ConnectionMode::Multiplexed`] shares a handful of sockets
+//! ([`ClientConfig::mux_connections`]) among all callers: every request
+//! carries a fresh `req_id`, a per-channel reader thread demultiplexes
+//! replies back to their waiters by id, and up to
+//! [`ClientConfig::max_in_flight`] requests ride one socket concurrently.
+//! Many in-flight requests over few file descriptors is exactly the shape
+//! the event-loop server is built for.
+//!
+//! Either way, [`RemoteCluster::sample_many`] coalesces a frontier into
+//! chunks of [`ClientConfig::max_batch`] requests and *pipelines* them:
+//! all chunk frames are written before any reply is read, and replies are
+//! re-stitched into request order by correlation id — so a hub-heavy
+//! frontier costs one round trip of latency, not one per chunk, and a
+//! server answering out of order (event loop with workers) changes
+//! nothing observable.
 //!
 //! ## Failure mapping
 //!
 //! Transport failures retry with exponential backoff
-//! ([`RemoteClusterConfig::max_retries`], [`RemoteClusterConfig::retry_backoff`])
-//! on a fresh connection. Sampling is safe to retry because the
-//! per-request RNG seeds are drawn *before* any I/O; update batches are
-//! safe because every op kind is idempotent. When the budget is exhausted,
-//! the sampling path does **not** error: each affected request degrades
+//! ([`ClientConfig::max_retries`], [`ClientConfig::retry_backoff`]) on a
+//! fresh connection. Sampling is safe to retry because the per-request
+//! RNG seeds are drawn *before* any I/O; update batches are safe because
+//! every op kind is idempotent. When the budget is exhausted, the
+//! sampling path does **not** error: each affected request degrades
 //! according to its own [`DegradedPolicy`] — exactly what the in-process
 //! router does for a dead shard — so a trainer rides out a server restart
 //! with degraded batches instead of a crash. Update batches, whose loss
@@ -33,11 +48,12 @@
 use crate::codec::{
     decode_error_reply, decode_heal_reply, decode_health_reply, decode_map_reply,
     decode_migrate_ctl_reply, decode_partition_chunk, decode_partition_stats_reply,
-    decode_sample_reply, decode_tail_reply, decode_txn_reply, decode_update_reply,
+    decode_sample_reply, decode_tail_reply, decode_txn_reply, decode_update_reply, encode_frame_v2,
     encode_heal_request, encode_map_install, encode_migrate_ctl, encode_partition_fetch,
     encode_partition_stats, encode_sample_batch, encode_tail_fetch, encode_txn_apply,
-    encode_update_batch, error_code, migrate_action, write_frame, FrameError, FrameKind, MapReply,
-    PartitionFetch, SampleBatch, TxnApply, TxnReply, UpdateBatch,
+    encode_update_batch, error_code, frame_len, migrate_action, parse_frame, read_frame_ex,
+    write_frame_v2, FrameError, FrameKind, MapReply, PartitionFetch, SampleBatch, TxnApply,
+    TxnReply, UpdateBatch, PROTOCOL_V2,
 };
 use platod2gl_graph::{Error, GraphTxn, ShardHealth, TxnError, TxnReceipt, UpdateOp};
 use platod2gl_obs::{Counter, Histogram, Registry};
@@ -46,15 +62,32 @@ use platod2gl_server::{
     SampleResponse, SlotSource,
 };
 use rand::RngCore;
-use std::io::{self, Write};
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
-/// Client shape: timeouts, retry budget, pool and coalescing sizes.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// How a [`RemoteCluster`] maps calls onto sockets.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ConnectionMode {
+    /// One exchange at a time per pooled stream (the default).
+    #[default]
+    Pooled,
+    /// Few shared sockets, many correlated in-flight requests each.
+    Multiplexed,
+}
+
+/// Client shape: timeouts, retry budget, pool/mux and coalescing sizes.
+/// Build via [`ClientConfig::builder`] for validation; the chained setters
+/// remain for terse call sites.
 #[derive(Clone, Copy, Debug)]
-pub struct RemoteClusterConfig {
+pub struct ClientConfig {
     /// TCP connect timeout.
     pub connect_timeout: Duration,
     /// Per-round-trip socket timeout; also shipped to the server as the
@@ -68,9 +101,25 @@ pub struct RemoteClusterConfig {
     pub pool_size: usize,
     /// Sample requests per pipelined frame.
     pub max_batch: usize,
+    /// Connection mode (pooled vs multiplexed).
+    pub mode: ConnectionMode,
+    /// Multiplexed mode: sockets shared by all callers.
+    pub mux_connections: usize,
+    /// Multiplexed mode: in-flight request ceiling per socket. A full
+    /// channel pushes back (the caller retries after backoff) instead of
+    /// queueing unboundedly.
+    pub max_in_flight: usize,
+    /// Pooled streams idle longer than this are reaped at checkout
+    /// (`rpc.client.pool_evictions` counts them) instead of being handed
+    /// to a request that would stall on a half-dead socket.
+    pub idle_timeout: Duration,
 }
 
-impl Default for RemoteClusterConfig {
+/// The pre-PR-8 name of [`ClientConfig`], kept so existing call sites and
+/// the fleet crate compile unchanged.
+pub type RemoteClusterConfig = ClientConfig;
+
+impl Default for ClientConfig {
     fn default() -> Self {
         Self {
             connect_timeout: Duration::from_secs(1),
@@ -79,11 +128,22 @@ impl Default for RemoteClusterConfig {
             retry_backoff: Duration::from_millis(10),
             pool_size: 4,
             max_batch: 256,
+            mode: ConnectionMode::Pooled,
+            mux_connections: 2,
+            max_in_flight: 1024,
+            idle_timeout: Duration::from_secs(30),
         }
     }
 }
 
-impl RemoteClusterConfig {
+impl ClientConfig {
+    /// Start building a validated config.
+    pub fn builder() -> ClientConfigBuilder {
+        ClientConfigBuilder {
+            cfg: Self::default(),
+        }
+    }
+
     /// Per-round-trip socket timeout (and server-side deadline budget).
     pub fn request_timeout(mut self, t: Duration) -> Self {
         self.request_timeout = t;
@@ -106,6 +166,119 @@ impl RemoteClusterConfig {
     pub fn max_batch(mut self, n: usize) -> Self {
         self.max_batch = n.max(1);
         self
+    }
+
+    /// Connection mode.
+    pub fn mode(mut self, mode: ConnectionMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Multiplexed mode: sockets shared by all callers.
+    pub fn mux_connections(mut self, n: usize) -> Self {
+        self.mux_connections = n.max(1);
+        self
+    }
+
+    /// Idle reap threshold for pooled streams.
+    pub fn idle_timeout(mut self, d: Duration) -> Self {
+        self.idle_timeout = d;
+        self
+    }
+}
+
+/// Builder for [`ClientConfig`] — the validated construction path.
+#[derive(Clone, Copy, Debug)]
+pub struct ClientConfigBuilder {
+    cfg: ClientConfig,
+}
+
+impl ClientConfigBuilder {
+    /// Per-round-trip socket timeout (and server-side deadline budget).
+    pub fn request_timeout(mut self, t: Duration) -> Self {
+        self.cfg.request_timeout = t;
+        self
+    }
+
+    /// TCP connect timeout.
+    pub fn connect_timeout(mut self, t: Duration) -> Self {
+        self.cfg.connect_timeout = t;
+        self
+    }
+
+    /// Transport retries after the first attempt.
+    pub fn max_retries(mut self, n: u32) -> Self {
+        self.cfg.max_retries = n;
+        self
+    }
+
+    /// Backoff before the first retry; doubles per attempt.
+    pub fn retry_backoff(mut self, d: Duration) -> Self {
+        self.cfg.retry_backoff = d;
+        self
+    }
+
+    /// Idle connections kept in the pool.
+    pub fn pool_size(mut self, n: usize) -> Self {
+        self.cfg.pool_size = n;
+        self
+    }
+
+    /// Sample requests per pipelined frame.
+    pub fn max_batch(mut self, n: usize) -> Self {
+        self.cfg.max_batch = n;
+        self
+    }
+
+    /// Connection mode.
+    pub fn mode(mut self, mode: ConnectionMode) -> Self {
+        self.cfg.mode = mode;
+        self
+    }
+
+    /// Multiplexed mode: sockets shared by all callers.
+    pub fn mux_connections(mut self, n: usize) -> Self {
+        self.cfg.mux_connections = n;
+        self
+    }
+
+    /// Multiplexed mode: in-flight ceiling per socket.
+    pub fn max_in_flight(mut self, n: usize) -> Self {
+        self.cfg.max_in_flight = n;
+        self
+    }
+
+    /// Idle reap threshold for pooled streams.
+    pub fn idle_timeout(mut self, d: Duration) -> Self {
+        self.cfg.idle_timeout = d;
+        self
+    }
+
+    /// Validate and produce the config.
+    pub fn build(self) -> Result<ClientConfig, Error> {
+        let c = &self.cfg;
+        if c.max_batch == 0 {
+            return Err(Error::invalid_config("client max_batch must be at least 1"));
+        }
+        if c.request_timeout.is_zero() || c.connect_timeout.is_zero() {
+            return Err(Error::invalid_config("client timeouts must be non-zero"));
+        }
+        if c.mux_connections == 0 {
+            return Err(Error::invalid_config(
+                "client mux_connections must be at least 1",
+            ));
+        }
+        if c.max_in_flight == 0 {
+            return Err(Error::invalid_config(
+                "client max_in_flight must be at least 1",
+            ));
+        }
+        if c.idle_timeout.is_zero() {
+            return Err(Error::invalid_config(
+                "client idle_timeout must be non-zero",
+            ));
+        }
+        Ok(self.cfg)
     }
 }
 
@@ -133,13 +306,186 @@ impl ClientMetrics {
     }
 }
 
+// ---------------------------------------------------------------------
+// Multiplexed channels.
+// ---------------------------------------------------------------------
+
+/// What a mux waiter receives: the reply frame, or why it will never come.
+type MuxReply = Result<(FrameKind, Vec<u8>), String>;
+
+/// One shared socket: writers serialize frame writes under a mutex, a
+/// dedicated reader thread parses replies and routes each to its waiter
+/// by `req_id`.
+struct MuxChannel {
+    writer: Mutex<TcpStream>,
+    pending: Arc<Mutex<HashMap<u64, mpsc::SyncSender<MuxReply>>>>,
+    alive: Arc<AtomicBool>,
+    reader: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl MuxChannel {
+    fn dial(addr: &SocketAddr, cfg: &ClientConfig) -> io::Result<Arc<Self>> {
+        let stream = TcpStream::connect_timeout(addr, cfg.connect_timeout)?;
+        stream.set_nodelay(true)?;
+        stream.set_write_timeout(Some(cfg.request_timeout))?;
+        let read_side = stream.try_clone()?;
+        // Short poll so the reader notices `alive` dropping at shutdown;
+        // partial frames survive timeouts because the reader buffers
+        // bytes itself instead of using blocking exact reads.
+        read_side.set_read_timeout(Some(Duration::from_millis(50)))?;
+        let pending: Arc<Mutex<HashMap<u64, mpsc::SyncSender<MuxReply>>>> =
+            Arc::new(Mutex::new(HashMap::new()));
+        let alive = Arc::new(AtomicBool::new(true));
+        let channel = Arc::new(Self {
+            writer: Mutex::new(stream),
+            pending: Arc::clone(&pending),
+            alive: Arc::clone(&alive),
+            reader: Mutex::new(None),
+        });
+        let handle = std::thread::Builder::new()
+            .name("platod2gl-rpc-mux".to_string())
+            .spawn(move || mux_reader(read_side, &pending, &alive))?;
+        *lock(&channel.reader) = Some(handle);
+        Ok(channel)
+    }
+
+    /// Register a waiter and write the request frame. Fails fast when the
+    /// channel is dead or at its in-flight ceiling.
+    fn submit(
+        &self,
+        req_id: u64,
+        kind: FrameKind,
+        payload: &[u8],
+        max_in_flight: usize,
+    ) -> Result<mpsc::Receiver<MuxReply>, FrameError> {
+        if !self.alive.load(Ordering::Acquire) {
+            return Err(FrameError::Io(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                "mux channel closed",
+            )));
+        }
+        let (tx, rx) = mpsc::sync_channel(1);
+        {
+            let mut pending = lock(&self.pending);
+            if pending.len() >= max_in_flight {
+                return Err(FrameError::Io(io::Error::new(
+                    io::ErrorKind::WouldBlock,
+                    "mux channel at max in-flight",
+                )));
+            }
+            pending.insert(req_id, tx);
+        }
+        let frame = encode_frame_v2(kind, req_id, payload);
+        let wrote = {
+            let mut writer = lock(&self.writer);
+            writer.write_all(&frame).and_then(|()| writer.flush())
+        };
+        if let Err(e) = wrote {
+            lock(&self.pending).remove(&req_id);
+            self.fail("write failed");
+            return Err(FrameError::Io(e));
+        }
+        Ok(rx)
+    }
+
+    fn cancel(&self, req_id: u64) {
+        lock(&self.pending).remove(&req_id);
+    }
+
+    /// Mark the channel dead and wake every waiter with the reason.
+    fn fail(&self, why: &str) {
+        self.alive.store(false, Ordering::Release);
+        for (_, tx) in lock(&self.pending).drain() {
+            let _ = tx.try_send(Err(why.to_string()));
+        }
+    }
+
+    fn shutdown(&self) {
+        self.alive.store(false, Ordering::Release);
+        let _ = lock(&self.writer).shutdown(std::net::Shutdown::Both);
+        if let Some(handle) = lock(&self.reader).take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Reader-thread body: buffer bytes, parse frames, deliver by `req_id`.
+/// A reply whose id has no waiter (timed out and cancelled) is dropped.
+fn mux_reader(
+    mut stream: TcpStream,
+    pending: &Mutex<HashMap<u64, mpsc::SyncSender<MuxReply>>>,
+    alive: &AtomicBool,
+) {
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 64 * 1024];
+    let fail = |why: &str| {
+        alive.store(false, Ordering::Release);
+        for (_, tx) in lock(pending).drain() {
+            let _ = tx.try_send(Err(why.to_string()));
+        }
+    };
+    while alive.load(Ordering::Acquire) {
+        match stream.read(&mut chunk) {
+            Ok(0) => {
+                fail("server closed the connection");
+                return;
+            }
+            Ok(n) => {
+                buf.extend_from_slice(&chunk[..n]);
+                loop {
+                    let flen = match frame_len(&buf) {
+                        Ok(None) => break,
+                        Ok(Some(flen)) => {
+                            if buf.len() < flen {
+                                break;
+                            }
+                            flen
+                        }
+                        Err(e) => {
+                            fail(&e.to_string());
+                            return;
+                        }
+                    };
+                    match parse_frame(&buf[..flen]) {
+                        Ok((header, payload)) => {
+                            if let Some(tx) = lock(pending).remove(&header.req_id) {
+                                let _ = tx.try_send(Ok((header.kind, payload.to_vec())));
+                            }
+                        }
+                        Err(e) => {
+                            fail(&e.to_string());
+                            return;
+                        }
+                    }
+                    buf.drain(..flen);
+                }
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) => {}
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => {
+                fail(&e.to_string());
+                return;
+            }
+        }
+    }
+}
+
 /// A remote graph service reached over TCP, usable anywhere a `Cluster`
 /// is (it implements [`GraphService`]).
 pub struct RemoteCluster {
     addr: SocketAddr,
-    cfg: RemoteClusterConfig,
+    cfg: ClientConfig,
     registry: Arc<Registry>,
-    pool: Mutex<Vec<TcpStream>>,
+    /// Pooled streams with their check-in instant (idle-reap bookkeeping).
+    pool: Mutex<Vec<(TcpStream, Instant)>>,
+    /// Multiplexed channels (empty in pooled mode).
+    mux: Mutex<Vec<Arc<MuxChannel>>>,
+    mux_rr: AtomicUsize,
+    next_req_id: AtomicU64,
     num_shards: usize,
     last_version: AtomicU64,
     last_healths: Mutex<Vec<ShardHealth>>,
@@ -151,18 +497,21 @@ impl RemoteCluster {
     /// graph version) via an initial health probe. The client owns its own
     /// registry: client-side `rpc.client.*` and `pipeline.*` telemetry
     /// land here, while server-side spans/slow-ops stay in the server's.
-    pub fn connect(addr: impl ToSocketAddrs, cfg: RemoteClusterConfig) -> Result<Self, Error> {
+    pub fn connect(addr: impl ToSocketAddrs, cfg: ClientConfig) -> Result<Self, Error> {
         let addr = addr
             .to_socket_addrs()?
             .next()
             .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "unresolvable address"))?;
         let registry = Arc::new(Registry::new());
         let m = ClientMetrics::new(&registry);
-        let client = Self {
+        let mut client = Self {
             addr,
             cfg,
             registry,
             pool: Mutex::new(Vec::new()),
+            mux: Mutex::new(Vec::new()),
+            mux_rr: AtomicUsize::new(0),
+            next_req_id: AtomicU64::new(1),
             num_shards: 0,
             last_version: AtomicU64::new(0),
             last_healths: Mutex::new(Vec::new()),
@@ -174,15 +523,17 @@ impl RemoteCluster {
                 e.to_string(),
             ))
         })?;
-        Ok(Self {
-            num_shards: health.healths.len(),
-            ..client
-        })
+        client.num_shards = health.healths.len();
+        Ok(client)
     }
 
     /// The server address this client talks to.
     pub fn server_addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    fn next_req_id(&self) -> u64 {
+        self.next_req_id.fetch_add(1, Ordering::Relaxed)
     }
 
     fn dial(&self) -> io::Result<TcpStream> {
@@ -195,34 +546,44 @@ impl RemoteCluster {
     }
 
     /// Check a stream out of the pool (the flag says it was pooled) or
-    /// dial a fresh one.
+    /// dial a fresh one. Streams idle past `idle_timeout` are reaped
+    /// first — handing one to a request just trades a cheap reconnect now
+    /// for a stalled read later.
     fn checkout(&self) -> io::Result<(TcpStream, bool)> {
-        let pooled = self.lock_pool().pop();
+        let now = Instant::now();
+        let (pooled, reaped) = {
+            let mut pool = self.lock_pool();
+            let before = pool.len();
+            pool.retain(|(_, parked)| now.duration_since(*parked) < self.cfg.idle_timeout);
+            let reaped = (before - pool.len()) as u64;
+            (pool.pop(), reaped)
+        };
+        if reaped > 0 {
+            self.m.pool_evictions.add(reaped);
+        }
         match pooled {
-            Some(stream) => Ok((stream, true)),
+            Some((stream, _)) => Ok((stream, true)),
             None => self.dial().map(|stream| (stream, false)),
         }
     }
 
-    /// Park a dead stream in the pool — test hook for the eviction path
-    /// (a server restart leaves exactly this: pooled streams whose peer is
-    /// gone).
+    /// Park a stream in the pool — test hook for the eviction paths (a
+    /// server restart leaves dead pooled streams; a long pause leaves
+    /// stale ones).
     #[cfg(test)]
     fn inject_pooled(&self, stream: TcpStream) {
-        self.lock_pool().push(stream);
+        self.lock_pool().push((stream, Instant::now()));
     }
 
     fn checkin(&self, stream: TcpStream) {
         let mut pool = self.lock_pool();
         if pool.len() < self.cfg.pool_size {
-            pool.push(stream);
+            pool.push((stream, Instant::now()));
         }
     }
 
-    fn lock_pool(&self) -> std::sync::MutexGuard<'_, Vec<TcpStream>> {
-        self.pool
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    fn lock_pool(&self) -> MutexGuard<'_, Vec<(TcpStream, Instant)>> {
+        lock(&self.pool)
     }
 
     fn deadline_ms(&self) -> u32 {
@@ -290,26 +651,127 @@ impl RemoteCluster {
         }
     }
 
+    // ------------------------------------------------------------------
+    // Multiplexed transport.
+    // ------------------------------------------------------------------
+
+    /// Pick (or dial) a live mux channel, round-robin across the
+    /// configured socket count.
+    fn mux_channel(&self) -> Result<Arc<MuxChannel>, FrameError> {
+        let mut channels = lock(&self.mux);
+        channels.retain(|c| c.alive.load(Ordering::Acquire));
+        if channels.len() < self.cfg.mux_connections {
+            let channel = MuxChannel::dial(&self.addr, &self.cfg).map_err(FrameError::Io)?;
+            self.m.reconnects.inc();
+            channels.push(Arc::clone(&channel));
+            return Ok(channel);
+        }
+        let i = self.mux_rr.fetch_add(1, Ordering::Relaxed) % channels.len();
+        Ok(Arc::clone(&channels[i]))
+    }
+
+    /// Wait for one correlated reply. A timeout kills the channel: its
+    /// stream ordering is unknowable once a reply has been abandoned.
+    fn mux_await(
+        &self,
+        channel: &MuxChannel,
+        req_id: u64,
+        rx: &mpsc::Receiver<MuxReply>,
+    ) -> Result<(FrameKind, Vec<u8>), FrameError> {
+        match rx.recv_timeout(self.cfg.request_timeout) {
+            Ok(Ok(reply)) => Ok(reply),
+            Ok(Err(why)) => Err(FrameError::Io(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                why,
+            ))),
+            Err(_) => {
+                channel.cancel(req_id);
+                channel.fail("request timed out");
+                Err(FrameError::Io(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    "mux reply timed out",
+                )))
+            }
+        }
+    }
+
+    fn mux_call_once(
+        &self,
+        kind: FrameKind,
+        payload: &[u8],
+    ) -> Result<(FrameKind, Vec<u8>), FrameError> {
+        let channel = self.mux_channel()?;
+        let req_id = self.next_req_id();
+        let started = Instant::now();
+        let rx = channel.submit(req_id, kind, payload, self.cfg.max_in_flight)?;
+        let reply = self.mux_await(&channel, req_id, &rx)?;
+        self.m.rtt.record(started.elapsed());
+        Ok(reply)
+    }
+
+    /// The generic one-shot exchange, mode-dispatched: returns the reply
+    /// frame for the caller to interpret. Transport errors are retried
+    /// with backoff in both modes.
+    fn roundtrip(
+        &self,
+        kind: FrameKind,
+        payload: &[u8],
+    ) -> Result<(FrameKind, Vec<u8>), FrameError> {
+        match self.cfg.mode {
+            ConnectionMode::Pooled => self.with_retries(|stream| {
+                let req_id = self.next_req_id();
+                write_frame_v2(stream, kind, req_id, payload)?;
+                stream.flush()?;
+                let (header, reply) = read_frame_ex(stream)?;
+                // A v2 server echoes the id; a mismatch means the stream
+                // carries someone else's reply and cannot be trusted.
+                if header.version == PROTOCOL_V2 && header.req_id != req_id {
+                    return Err(FrameError::UnexpectedReply {
+                        expected: "matching correlation id",
+                        got: header.kind,
+                    });
+                }
+                Ok((header.kind, reply))
+            }),
+            ConnectionMode::Multiplexed => {
+                let mut backoff = self.cfg.retry_backoff;
+                let mut attempt = 0;
+                loop {
+                    match self.mux_call_once(kind, payload) {
+                        Ok(reply) => return Ok(reply),
+                        Err(FrameError::Io(_)) if attempt < self.cfg.max_retries => {
+                            self.m.transport_errors.inc();
+                            self.m.retries.inc();
+                            attempt += 1;
+                            std::thread::sleep(backoff);
+                            backoff = backoff.saturating_mul(2);
+                        }
+                        Err(e) => {
+                            if matches!(e, FrameError::Io(_)) {
+                                self.m.transport_errors.inc();
+                            }
+                            return Err(e);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
     /// Health probe: graph version plus per-shard healths. Successful
     /// probes refresh the client's cached view.
     pub fn probe(&self) -> Result<crate::codec::HealthReply, FrameError> {
-        let reply = self.with_retries(|stream| {
-            write_frame(stream, FrameKind::HealthProbe, &[])?;
-            stream.flush()?;
-            let (kind, payload) = crate::codec::read_frame(stream)?;
-            expect_kind(kind, FrameKind::HealthReply, "health")?;
-            Ok(decode_health_reply(&payload)?)
-        })?;
+        let (kind, payload) = self.roundtrip(FrameKind::HealthProbe, &[])?;
+        expect_kind(kind, FrameKind::HealthReply, "health")?;
+        let reply = decode_health_reply(&payload)?;
         self.last_version
             .store(reply.graph_version, Ordering::Release);
         *self.lock_healths() = reply.healths.clone();
         Ok(reply)
     }
 
-    fn lock_healths(&self) -> std::sync::MutexGuard<'_, Vec<ShardHealth>> {
-        self.last_healths
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    fn lock_healths(&self) -> MutexGuard<'_, Vec<ShardHealth>> {
+        lock(&self.last_healths)
     }
 
     /// Client-side degraded fallback for one request, used when transport
@@ -334,36 +796,91 @@ impl RemoteCluster {
     }
 
     /// Pipelined exchange of pre-seeded sample chunks: write every chunk
-    /// frame, flush once, then read the replies in order.
+    /// frame, then read the replies and re-stitch them into request order
+    /// by correlation id (an event-loop server with workers may answer
+    /// out of order).
     fn pipelined_sample(
         &self,
         chunks: &[&[(SampleRequest, u64)]],
     ) -> Result<Vec<SampleResponse>, FrameError> {
         let deadline_ms = self.deadline_ms();
-        self.with_retries(|stream| {
-            for chunk in chunks {
-                let batch = SampleBatch {
+        let encoded: Vec<Vec<u8>> = chunks
+            .iter()
+            .map(|chunk| {
+                encode_sample_batch(&SampleBatch {
                     deadline_ms,
                     requests: chunk.to_vec(),
-                };
-                write_frame(stream, FrameKind::SampleBatch, &encode_sample_batch(&batch))?;
-            }
-            stream.flush()?;
-            let mut out = Vec::with_capacity(chunks.iter().map(|c| c.len()).sum());
-            for chunk in chunks {
-                let (kind, payload) = crate::codec::read_frame(stream)?;
-                expect_kind(kind, FrameKind::SampleReply, "sample")?;
-                let responses = decode_sample_reply(&payload)?;
-                if responses.len() != chunk.len() {
-                    return Err(FrameError::UnexpectedReply {
-                        expected: "positionally complete sample",
-                        got: kind,
-                    });
+                })
+            })
+            .collect();
+        match self.cfg.mode {
+            ConnectionMode::Pooled => self.with_retries(|stream| {
+                let ids: Vec<u64> = chunks.iter().map(|_| self.next_req_id()).collect();
+                for (payload, &id) in encoded.iter().zip(&ids) {
+                    write_frame_v2(stream, FrameKind::SampleBatch, id, payload)?;
                 }
-                out.extend(responses);
+                stream.flush()?;
+                let mut by_id: HashMap<u64, (FrameKind, Vec<u8>)> =
+                    HashMap::with_capacity(chunks.len());
+                for _ in chunks {
+                    let (header, payload) = read_frame_ex(stream)?;
+                    by_id.insert(header.req_id, (header.kind, payload));
+                }
+                stitch_sample_replies(chunks, &ids, |id| by_id.remove(&id))
+            }),
+            ConnectionMode::Multiplexed => {
+                let mut backoff = self.cfg.retry_backoff;
+                let mut attempt = 0;
+                loop {
+                    match self.mux_pipelined_once(chunks, &encoded) {
+                        Ok(out) => return Ok(out),
+                        Err(FrameError::Io(_)) if attempt < self.cfg.max_retries => {
+                            self.m.transport_errors.inc();
+                            self.m.retries.inc();
+                            attempt += 1;
+                            std::thread::sleep(backoff);
+                            backoff = backoff.saturating_mul(2);
+                        }
+                        Err(e) => {
+                            if matches!(e, FrameError::Io(_)) {
+                                self.m.transport_errors.inc();
+                            }
+                            return Err(e);
+                        }
+                    }
+                }
             }
-            Ok(out)
-        })
+        }
+    }
+
+    /// One multiplexed pipelined attempt: submit every chunk on one
+    /// channel (all frames in flight at once), then collect the replies.
+    fn mux_pipelined_once(
+        &self,
+        chunks: &[&[(SampleRequest, u64)]],
+        encoded: &[Vec<u8>],
+    ) -> Result<Vec<SampleResponse>, FrameError> {
+        let channel = self.mux_channel()?;
+        let started = Instant::now();
+        let mut waiters = Vec::with_capacity(chunks.len());
+        for payload in encoded {
+            let req_id = self.next_req_id();
+            let rx = channel.submit(
+                req_id,
+                FrameKind::SampleBatch,
+                payload,
+                self.cfg.max_in_flight,
+            )?;
+            waiters.push((req_id, rx));
+        }
+        let mut by_id: HashMap<u64, (FrameKind, Vec<u8>)> = HashMap::with_capacity(waiters.len());
+        for (req_id, rx) in &waiters {
+            let reply = self.mux_await(&channel, *req_id, rx)?;
+            by_id.insert(*req_id, reply);
+        }
+        self.m.rtt.record(started.elapsed());
+        let ids: Vec<u64> = waiters.iter().map(|(id, _)| *id).collect();
+        stitch_sample_replies(chunks, &ids, |id| by_id.remove(&id))
     }
 
     /// Sample a batch whose per-request seeds were already drawn. This is
@@ -393,36 +910,32 @@ impl RemoteCluster {
 
     /// Fetch the server's fleet partition map (epoch + opaque bytes).
     pub fn fetch_map(&self) -> Result<MapReply, Error> {
-        self.with_retries(|stream| {
-            write_frame(stream, FrameKind::MapFetch, &[])?;
-            stream.flush()?;
-            let (kind, payload) = crate::codec::read_frame(stream)?;
-            expect_kind(kind, FrameKind::MapReply, "map")?;
-            Ok(decode_map_reply(&payload)?)
-        })
-        .map_err(fleet_err)
+        let (kind, payload) = self
+            .roundtrip(FrameKind::MapFetch, &[])
+            .map_err(fleet_err)?;
+        expect_kind(kind, FrameKind::MapReply, "map").map_err(fleet_err)?;
+        decode_map_reply(&payload).map_err(|e| fleet_err(e.into()))
     }
 
     /// Install a partition map on the server; returns the epoch in effect.
     pub fn install_map(&self, epoch: u64, bytes: &[u8]) -> Result<u64, Error> {
         let payload = encode_map_install(epoch, bytes);
-        self.with_retries(|stream| {
-            write_frame(stream, FrameKind::MapInstall, &payload)?;
-            stream.flush()?;
-            let (kind, reply) = crate::codec::read_frame(stream)?;
-            match kind {
-                FrameKind::MapInstallReply => {
-                    Ok(Ok(platod2gl_server::wire::Reader::new(&reply).u64()?))
-                }
-                FrameKind::ErrorReply => Ok(Err(decode_error_reply(&reply)?)),
-                kind => Err(FrameError::UnexpectedReply {
-                    expected: "map install",
-                    got: kind,
-                }),
+        let (kind, reply) = self
+            .roundtrip(FrameKind::MapInstall, &payload)
+            .map_err(fleet_err)?;
+        match kind {
+            FrameKind::MapInstallReply => platod2gl_server::wire::Reader::new(&reply)
+                .u64()
+                .map_err(|e| fleet_err(e.into())),
+            FrameKind::ErrorReply => {
+                let err = decode_error_reply(&reply).map_err(|e| fleet_err(e.into()))?;
+                Err(Error::invalid_config(err.message))
             }
-        })
-        .map_err(fleet_err)?
-        .map_err(|err| Error::invalid_config(err.message))
+            kind => Err(fleet_err(FrameError::UnexpectedReply {
+                expected: "map install",
+                got: kind,
+            })),
+        }
     }
 
     /// Apply an update batch over the replication channel (the receiver
@@ -462,22 +975,24 @@ impl RemoteCluster {
             cursor,
             max_edges,
         });
-        let chunk = self
-            .with_retries(|stream| {
-                write_frame(stream, FrameKind::PartitionFetch, &payload)?;
-                stream.flush()?;
-                let (kind, reply) = crate::codec::read_frame(stream)?;
-                match kind {
-                    FrameKind::PartitionChunkReply => Ok(Ok(decode_partition_chunk(&reply)?)),
-                    FrameKind::ErrorReply => Ok(Err(decode_error_reply(&reply)?)),
-                    kind => Err(FrameError::UnexpectedReply {
-                        expected: "partition chunk",
-                        got: kind,
-                    }),
-                }
-            })
-            .map_err(fleet_err)?
-            .map_err(|err| Error::invalid_config(err.message))?;
+        let (kind, reply) = self
+            .roundtrip(FrameKind::PartitionFetch, &payload)
+            .map_err(fleet_err)?;
+        let chunk = match kind {
+            FrameKind::PartitionChunkReply => {
+                decode_partition_chunk(&reply).map_err(|e| fleet_err(e.into()))?
+            }
+            FrameKind::ErrorReply => {
+                let err = decode_error_reply(&reply).map_err(|e| fleet_err(e.into()))?;
+                return Err(Error::invalid_config(err.message));
+            }
+            kind => {
+                return Err(fleet_err(FrameError::UnexpectedReply {
+                    expected: "partition chunk",
+                    got: kind,
+                }))
+            }
+        };
         Ok(PartitionChunk {
             snapshot: chunk.snapshot,
             cursor: chunk.cursor,
@@ -498,74 +1013,69 @@ impl RemoteCluster {
 
     fn migrate_ctl(&self, action: u8, partition: u32, num_partitions: u32) -> Result<u64, Error> {
         let payload = encode_migrate_ctl(action, partition, num_partitions);
-        self.with_retries(|stream| {
-            write_frame(stream, FrameKind::MigrateCtl, &payload)?;
-            stream.flush()?;
-            let (kind, reply) = crate::codec::read_frame(stream)?;
-            match kind {
-                FrameKind::MigrateCtlReply => Ok(Ok(decode_migrate_ctl_reply(&reply)?)),
-                FrameKind::ErrorReply => Ok(Err(decode_error_reply(&reply)?)),
-                kind => Err(FrameError::UnexpectedReply {
-                    expected: "migrate ctl",
-                    got: kind,
-                }),
+        let (kind, reply) = self
+            .roundtrip(FrameKind::MigrateCtl, &payload)
+            .map_err(fleet_err)?;
+        match kind {
+            FrameKind::MigrateCtlReply => {
+                decode_migrate_ctl_reply(&reply).map_err(|e| fleet_err(e.into()))
             }
-        })
-        .map_err(fleet_err)?
-        .map_err(|err| Error::invalid_config(err.message))
+            FrameKind::ErrorReply => {
+                let err = decode_error_reply(&reply).map_err(|e| fleet_err(e.into()))?;
+                Err(Error::invalid_config(err.message))
+            }
+            kind => Err(fleet_err(FrameError::UnexpectedReply {
+                expected: "migrate ctl",
+                got: kind,
+            })),
+        }
     }
 
     /// Fetch journaled migration ops from `from_seq` on.
     pub fn fetch_tail(&self, partition: u32, from_seq: u64) -> Result<(Vec<UpdateOp>, u64), Error> {
         let payload = encode_tail_fetch(partition, from_seq);
-        let reply = self
-            .with_retries(|stream| {
-                write_frame(stream, FrameKind::TailFetch, &payload)?;
-                stream.flush()?;
-                let (kind, reply) = crate::codec::read_frame(stream)?;
-                match kind {
-                    FrameKind::TailReply => Ok(Ok(decode_tail_reply(&reply)?)),
-                    FrameKind::ErrorReply => Ok(Err(decode_error_reply(&reply)?)),
-                    kind => Err(FrameError::UnexpectedReply {
-                        expected: "tail",
-                        got: kind,
-                    }),
-                }
-            })
-            .map_err(fleet_err)?
-            .map_err(|err| Error::Corrupt { what: err.message })?;
-        Ok((reply.ops, reply.next_seq))
+        let (kind, reply) = self
+            .roundtrip(FrameKind::TailFetch, &payload)
+            .map_err(fleet_err)?;
+        match kind {
+            FrameKind::TailReply => {
+                let tail = decode_tail_reply(&reply).map_err(|e| fleet_err(e.into()))?;
+                Ok((tail.ops, tail.next_seq))
+            }
+            FrameKind::ErrorReply => {
+                let err = decode_error_reply(&reply).map_err(|e| fleet_err(e.into()))?;
+                Err(Error::Corrupt { what: err.message })
+            }
+            kind => Err(fleet_err(FrameError::UnexpectedReply {
+                expected: "tail",
+                got: kind,
+            })),
+        }
     }
 
     /// Per-partition resident key counts.
     pub fn partition_stats(&self, num_partitions: u32) -> Result<Vec<u64>, Error> {
         let payload = encode_partition_stats(num_partitions);
-        self.with_retries(|stream| {
-            write_frame(stream, FrameKind::PartitionStats, &payload)?;
-            stream.flush()?;
-            let (kind, reply) = crate::codec::read_frame(stream)?;
-            expect_kind(kind, FrameKind::PartitionStatsReply, "partition stats")?;
-            Ok(decode_partition_stats_reply(&reply)?)
-        })
-        .map_err(fleet_err)
+        let (kind, reply) = self
+            .roundtrip(FrameKind::PartitionStats, &payload)
+            .map_err(fleet_err)?;
+        expect_kind(kind, FrameKind::PartitionStatsReply, "partition stats").map_err(fleet_err)?;
+        decode_partition_stats_reply(&reply).map_err(|e| fleet_err(e.into()))
     }
 
     /// Shared body of the update-batch exchange (first-hand and replica
     /// channels differ only in the request frame kind).
     fn exchange_update(&self, kind: FrameKind, payload: &[u8]) -> Result<BatchReport, Error> {
-        let outcome = self.with_retries(|stream| {
-            write_frame(stream, kind, payload)?;
-            stream.flush()?;
-            let (kind, reply) = crate::codec::read_frame(stream)?;
-            match kind {
+        let outcome = self
+            .roundtrip(kind, payload)
+            .and_then(|(kind, reply)| match kind {
                 FrameKind::UpdateReply => Ok(Ok(decode_update_reply(&reply)?)),
                 FrameKind::ErrorReply => Ok(Err(decode_error_reply(&reply)?)),
                 kind => Err(FrameError::UnexpectedReply {
                     expected: "update",
                     got: kind,
                 }),
-            }
-        });
+            });
         match outcome {
             Ok(Ok(reply)) => Ok(BatchReport {
                 applied_ops: reply.applied_ops as usize,
@@ -588,10 +1098,7 @@ impl RemoteCluster {
 
     /// Shared body of the txn exchange (first-hand and replica channels).
     fn exchange_txn(&self, kind: FrameKind, payload: &[u8]) -> Result<TxnReceipt, TxnError> {
-        let outcome = self.with_retries(|stream| {
-            write_frame(stream, kind, payload)?;
-            stream.flush()?;
-            let (kind, reply) = crate::codec::read_frame(stream)?;
+        let outcome = self.roundtrip(kind, payload).and_then(|(kind, reply)| {
             expect_kind(kind, FrameKind::TxnReply, "txn")?;
             Ok(decode_txn_reply(&reply)?)
         });
@@ -621,6 +1128,41 @@ impl RemoteCluster {
             )))),
         }
     }
+}
+
+impl Drop for RemoteCluster {
+    fn drop(&mut self) {
+        // Mux reader threads are joined here; pooled streams just drop.
+        for channel in lock(&self.mux).drain(..) {
+            channel.shutdown();
+        }
+    }
+}
+
+/// Re-stitch correlated sample replies into request order and validate
+/// positional completeness per chunk.
+fn stitch_sample_replies(
+    chunks: &[&[(SampleRequest, u64)]],
+    ids: &[u64],
+    mut take: impl FnMut(u64) -> Option<(FrameKind, Vec<u8>)>,
+) -> Result<Vec<SampleResponse>, FrameError> {
+    let mut out = Vec::with_capacity(chunks.iter().map(|c| c.len()).sum());
+    for (chunk, &id) in chunks.iter().zip(ids) {
+        let (kind, payload) = take(id).ok_or(FrameError::UnexpectedReply {
+            expected: "correlated sample",
+            got: FrameKind::SampleReply,
+        })?;
+        expect_kind(kind, FrameKind::SampleReply, "sample")?;
+        let responses = decode_sample_reply(&payload)?;
+        if responses.len() != chunk.len() {
+            return Err(FrameError::UnexpectedReply {
+                expected: "positionally complete sample",
+                got: kind,
+            });
+        }
+        out.extend(responses);
+    }
+    Ok(out)
 }
 
 /// Transport/protocol failure → the service-level error the fleet plane
@@ -703,17 +1245,12 @@ impl GraphService for RemoteCluster {
     }
 
     fn heal(&self, shard: usize) -> usize {
-        let drained = self.with_retries(|stream| {
-            write_frame(
-                stream,
-                FrameKind::HealRequest,
-                &encode_heal_request(shard as u32),
-            )?;
-            stream.flush()?;
-            let (kind, payload) = crate::codec::read_frame(stream)?;
-            expect_kind(kind, FrameKind::HealReply, "heal")?;
-            Ok(decode_heal_reply(&payload)?)
-        });
+        let drained = self
+            .roundtrip(FrameKind::HealRequest, &encode_heal_request(shard as u32))
+            .and_then(|(kind, payload)| {
+                expect_kind(kind, FrameKind::HealReply, "heal")?;
+                Ok(decode_heal_reply(&payload)?)
+            });
         drained.unwrap_or(0) as usize
     }
 
@@ -789,20 +1326,24 @@ mod tests {
             .map_or(0, |(_, v)| *v)
     }
 
-    /// A dead pooled stream (the classic server-restart residue) must be
-    /// evicted and redialed without spending the retry budget: the probe
-    /// succeeds with zero retries and one recorded eviction.
-    #[test]
-    fn dead_pooled_connection_is_evicted_without_burning_retries() {
+    fn tiny_server() -> GraphServiceServer {
         let cluster = Arc::new(Cluster::new(
             ClusterConfig::builder()
                 .num_shards(2)
                 .build()
                 .expect("valid config"),
         ));
-        let server = GraphServiceServer::bind("127.0.0.1:0", cluster).expect("bind");
-        let client = RemoteCluster::connect(server.local_addr(), RemoteClusterConfig::default())
-            .expect("connect");
+        GraphServiceServer::bind("127.0.0.1:0", cluster).expect("bind")
+    }
+
+    /// A dead pooled stream (the classic server-restart residue) must be
+    /// evicted and redialed without spending the retry budget: the probe
+    /// succeeds with zero retries and one recorded eviction.
+    #[test]
+    fn dead_pooled_connection_is_evicted_without_burning_retries() {
+        let server = tiny_server();
+        let client =
+            RemoteCluster::connect(server.local_addr(), ClientConfig::default()).expect("connect");
 
         // Manufacture a dead stream: connect to a throwaway listener, then
         // drop the accepted side. The client's pool now holds a connection
@@ -827,6 +1368,76 @@ mod tests {
             counter_value(client.registry(), "rpc.client.pool_evictions"),
             1
         );
+        server.shutdown();
+    }
+
+    /// A pooled stream parked past `idle_timeout` is reaped at checkout —
+    /// counted in `rpc.client.pool_evictions` — instead of being handed to
+    /// a request. The stream here is alive but points at a black-hole
+    /// listener that will never answer: only the reap saves the probe from
+    /// stalling on it.
+    #[test]
+    fn idle_pooled_connection_is_reaped_at_checkout() {
+        let server = tiny_server();
+        let cfg = ClientConfig::builder()
+            .idle_timeout(Duration::from_millis(20))
+            .build()
+            .expect("valid");
+        let client = RemoteCluster::connect(server.local_addr(), cfg).expect("connect");
+        // Drop the connect-probe's pooled stream so the count below is
+        // exactly the injected stream's reap.
+        client.lock_pool().clear();
+
+        // A live-but-stale stream: the black-hole listener accepts and
+        // holds the connection open without ever serving the protocol.
+        let black_hole = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        let stale = TcpStream::connect(black_hole.local_addr().expect("addr")).expect("dial");
+        let _held = black_hole.accept().expect("accept").0;
+        client.inject_pooled(stale);
+
+        std::thread::sleep(Duration::from_millis(40));
+        let evictions_before = counter_value(client.registry(), "rpc.client.pool_evictions");
+        client.probe().expect("probe rides on a fresh dial");
+        assert_eq!(
+            counter_value(client.registry(), "rpc.client.pool_evictions"),
+            evictions_before + 1,
+            "the stale stream must be reaped, not used"
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn client_config_builder_validates() {
+        let cfg = ClientConfig::builder()
+            .mode(ConnectionMode::Multiplexed)
+            .mux_connections(3)
+            .max_in_flight(64)
+            .build()
+            .expect("valid");
+        assert_eq!(cfg.mode, ConnectionMode::Multiplexed);
+        assert_eq!(cfg.mux_connections, 3);
+        assert!(ClientConfig::builder().max_batch(0).build().is_err());
+        assert!(ClientConfig::builder().mux_connections(0).build().is_err());
+        assert!(ClientConfig::builder()
+            .idle_timeout(Duration::ZERO)
+            .build()
+            .is_err());
+    }
+
+    /// The multiplexed mode serves the full GraphService surface over a
+    /// couple of shared sockets.
+    #[test]
+    fn multiplexed_mode_round_trips() {
+        let server = tiny_server();
+        let cfg = ClientConfig::builder()
+            .mode(ConnectionMode::Multiplexed)
+            .mux_connections(2)
+            .build()
+            .expect("valid");
+        let client = RemoteCluster::connect(server.local_addr(), cfg).expect("connect");
+        assert_eq!(client.num_shards(), 2);
+        let health = client.probe().expect("probe over mux");
+        assert_eq!(health.healths.len(), 2);
         server.shutdown();
     }
 }

@@ -1,19 +1,34 @@
 //! The frame layer of the graph-service protocol.
 //!
-//! Every message on the wire is one *frame*:
+//! Every message on the wire is one *frame*. The current (v2) layout is:
+//!
+//! ```text
+//! | len u32 LE | version u8 | kind u8 | req_id u64 LE | payload ... | crc32c u32 LE |
+//! ```
+//!
+//! and the legacy (v1) layout, still accepted from old clients, omits the
+//! `req_id`:
 //!
 //! ```text
 //! | len u32 LE | version u8 | kind u8 | payload ... | crc32c u32 LE |
 //! ```
 //!
-//! `len` counts everything after itself (version + kind + payload + CRC),
-//! so a reader always knows how many bytes to pull before it can judge the
+//! `len` counts everything after itself (header + payload + CRC), so a
+//! reader always knows how many bytes to pull before it can judge the
 //! frame. The CRC32C trailer (same polynomial and implementation as the
-//! WAL, [`platod2gl_storage::crc32c`]) covers `version | kind | payload`;
-//! a frame whose trailer disagrees is rejected before any payload decode
-//! runs. The version byte is checked next — a peer speaking a different
-//! [`PROTOCOL_VERSION`] is rejected per frame, which lets a future v2
-//! server answer v1 frames differently instead of guessing from layout.
+//! WAL, [`platod2gl_storage::crc32c`]) covers everything between `len`
+//! and the trailer; a frame whose trailer disagrees is rejected before
+//! any payload decode runs. The version byte is checked next and selects
+//! the header layout.
+//!
+//! ## Request correlation (v2)
+//!
+//! `req_id` is an opaque correlation id: a server echoes the request's id
+//! into the reply frame, which is what lets the event-loop server answer
+//! **out of order** and lets a multiplexing client pipeline many in-flight
+//! requests over one socket, re-stitching replies by id. v1 frames carry
+//! no id, so v1 connections are answered strictly in order (the PR-5
+//! contract old clients were built against).
 //!
 //! Defensive bounds: `len` is validated against [`MAX_FRAME_BYTES`]
 //! *before* the body buffer is allocated, and every collection count
@@ -21,6 +36,12 @@
 //! ([`wire::Reader::count`]) — a forged length prefix or count cannot
 //! drive an oversized allocation, and no decode path panics on truncated
 //! or corrupt input.
+//!
+//! For buffer-oriented readers (the event-loop server) the
+//! [`frame_len`]/[`parse_frame`] pair decodes a frame **zero-copy**: the
+//! returned payload borrows from the read buffer instead of re-allocating
+//! per frame. [`read_frame`]/[`read_frame_ex`] remain the streaming
+//! entry points for blocking sockets.
 //!
 //! Record layouts inside payloads are defined by [`platod2gl_server::wire`]
 //! — the same functions the in-process cluster uses for traffic
@@ -33,8 +54,16 @@ use platod2gl_storage::crc32c::crc32c;
 use std::fmt;
 use std::io::{self, Read, Write};
 
-/// Protocol version stamped into (and required of) every frame.
-pub const PROTOCOL_VERSION: u8 = 1;
+/// The legacy protocol version: in-order replies, no request id.
+pub const PROTOCOL_V1: u8 = 1;
+
+/// The current protocol version: `req_id`-correlated, replies may arrive
+/// out of order.
+pub const PROTOCOL_V2: u8 = 2;
+
+/// Protocol version stamped into frames by default ([`PROTOCOL_V2`]).
+/// Readers accept both [`PROTOCOL_V1`] and [`PROTOCOL_V2`].
+pub const PROTOCOL_VERSION: u8 = PROTOCOL_V2;
 
 /// Upper bound on a whole frame. A length prefix exceeding this is
 /// rejected before any allocation — the cap bounds a malicious or corrupt
@@ -42,9 +71,13 @@ pub const PROTOCOL_VERSION: u8 = 1;
 /// frame (a ~64k-op update batch is under 2 MiB).
 pub const MAX_FRAME_BYTES: usize = 16 << 20;
 
-/// Everything after the length prefix that is not payload: version byte,
-/// kind byte, CRC trailer.
-const NON_PAYLOAD_BYTES: usize = 6;
+/// Everything after the length prefix that is not payload in a v1 frame:
+/// version byte, kind byte, CRC trailer.
+const V1_NON_PAYLOAD_BYTES: usize = 6;
+
+/// Everything after the length prefix that is not payload in a v2 frame:
+/// version byte, kind byte, req_id, CRC trailer.
+const V2_NON_PAYLOAD_BYTES: usize = 14;
 
 /// Message kinds. Requests have odd tags, their replies the next even tag.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -218,17 +251,65 @@ impl From<WireError> for FrameError {
     }
 }
 
-/// Encode one frame into a fresh buffer (length prefix through CRC).
-pub fn encode_frame(kind: FrameKind, payload: &[u8]) -> Vec<u8> {
-    let len = payload.len() + NON_PAYLOAD_BYTES;
+/// The decoded header of one frame: which protocol version the peer
+/// spoke, the message kind, and (v2) the correlation id. v1 frames carry
+/// no id; their header reports `req_id: 0`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FrameHeader {
+    /// [`PROTOCOL_V1`] or [`PROTOCOL_V2`]. A server mirrors the request's
+    /// version into the reply so old clients never see a v2 frame.
+    pub version: u8,
+    /// The message kind.
+    pub kind: FrameKind,
+    /// Correlation id (v2 only; `0` on v1 frames). Replies echo the
+    /// request's id.
+    pub req_id: u64,
+}
+
+/// Encode one v2 frame into a fresh buffer (length prefix through CRC).
+pub fn encode_frame_v2(kind: FrameKind, req_id: u64, payload: &[u8]) -> Vec<u8> {
+    let len = payload.len() + V2_NON_PAYLOAD_BYTES;
     let mut out = Vec::with_capacity(4 + len);
     wire::put_u32(&mut out, len as u32);
-    out.push(PROTOCOL_VERSION);
+    out.push(PROTOCOL_V2);
+    out.push(kind as u8);
+    wire::put_u64(&mut out, req_id);
+    out.extend_from_slice(payload);
+    let crc = crc32c(&out[4..]);
+    wire::put_u32(&mut out, crc);
+    out
+}
+
+/// Encode one legacy v1 frame (no request id). Kept for old-client compat
+/// tests and for servers answering v1 peers.
+pub fn encode_frame_v1(kind: FrameKind, payload: &[u8]) -> Vec<u8> {
+    let len = payload.len() + V1_NON_PAYLOAD_BYTES;
+    let mut out = Vec::with_capacity(4 + len);
+    wire::put_u32(&mut out, len as u32);
+    out.push(PROTOCOL_V1);
     out.push(kind as u8);
     out.extend_from_slice(payload);
     let crc = crc32c(&out[4..]);
     wire::put_u32(&mut out, crc);
     out
+}
+
+/// Encode one frame at the default version with correlation id 0 — the
+/// convenience for strictly request/reply flows that never have more than
+/// one frame in flight per stream.
+pub fn encode_frame(kind: FrameKind, payload: &[u8]) -> Vec<u8> {
+    encode_frame_v2(kind, 0, payload)
+}
+
+/// Encode a reply frame matching a request's header: same version, same
+/// correlation id. This is the one servers must use — an old (v1) client
+/// must never see a v2 frame.
+pub fn encode_reply_frame(req: &FrameHeader, kind: FrameKind, payload: &[u8]) -> Vec<u8> {
+    if req.version == PROTOCOL_V1 {
+        encode_frame_v1(kind, payload)
+    } else {
+        encode_frame_v2(kind, req.req_id, payload)
+    }
 }
 
 /// Write one frame (single `write_all`, so a frame is never interleaved
@@ -237,31 +318,114 @@ pub fn write_frame(w: &mut impl Write, kind: FrameKind, payload: &[u8]) -> io::R
     w.write_all(&encode_frame(kind, payload))
 }
 
-/// Read one frame: length prefix, bounded allocation, CRC and version
-/// checks, kind parse. The payload is returned still encoded; pair with
-/// the `decode_*` functions below.
-pub fn read_frame(r: &mut impl Read) -> Result<(FrameKind, Vec<u8>), FrameError> {
-    let mut len_buf = [0u8; 4];
-    r.read_exact(&mut len_buf)?;
-    let len = u32::from_le_bytes(len_buf);
-    if (len as usize) < NON_PAYLOAD_BYTES || len as usize > MAX_FRAME_BYTES {
+/// Write one v2 frame carrying an explicit correlation id.
+pub fn write_frame_v2(
+    w: &mut impl Write,
+    kind: FrameKind,
+    req_id: u64,
+    payload: &[u8],
+) -> io::Result<()> {
+    w.write_all(&encode_frame_v2(kind, req_id, payload))
+}
+
+/// Validate a length prefix against the frame bounds.
+fn check_len(len: u32) -> Result<(), FrameError> {
+    if (len as usize) < V1_NON_PAYLOAD_BYTES || len as usize > MAX_FRAME_BYTES {
         return Err(FrameError::BadLength { len });
     }
-    let mut body = vec![0u8; len as usize];
-    r.read_exact(&mut body)?;
+    Ok(())
+}
+
+/// Validate a CRC-checked frame body (everything after the length prefix)
+/// and split it into header + payload bounds. Returns the header and the
+/// payload range *within* `body`.
+fn parse_body(body: &[u8], len: u32) -> Result<(FrameHeader, std::ops::Range<usize>), FrameError> {
     let crc_off = body.len() - 4;
     let expected = u32::from_le_bytes(body[crc_off..].try_into().unwrap());
     let actual = crc32c(&body[..crc_off]);
     if expected != actual {
         return Err(FrameError::BadCrc { expected, actual });
     }
-    if body[0] != PROTOCOL_VERSION {
-        return Err(FrameError::BadVersion(body[0]));
+    match body[0] {
+        PROTOCOL_V1 => {
+            let kind = FrameKind::from_tag(body[1])?;
+            Ok((
+                FrameHeader {
+                    version: PROTOCOL_V1,
+                    kind,
+                    req_id: 0,
+                },
+                2..crc_off,
+            ))
+        }
+        PROTOCOL_V2 => {
+            if (len as usize) < V2_NON_PAYLOAD_BYTES {
+                return Err(FrameError::BadLength { len });
+            }
+            let kind = FrameKind::from_tag(body[1])?;
+            let req_id = u64::from_le_bytes(body[2..10].try_into().unwrap());
+            Ok((
+                FrameHeader {
+                    version: PROTOCOL_V2,
+                    kind,
+                    req_id,
+                },
+                10..crc_off,
+            ))
+        }
+        v => Err(FrameError::BadVersion(v)),
     }
-    let kind = FrameKind::from_tag(body[1])?;
-    body.truncate(crc_off);
-    body.drain(..2);
-    Ok((kind, body))
+}
+
+/// Peek at a buffered byte stream: how long is the frame at its head?
+///
+/// Returns `Ok(None)` when fewer than 4 bytes are buffered (the length
+/// prefix itself is incomplete), `Ok(Some(total))` with the whole frame's
+/// size *including* the prefix otherwise. The length is bounds-checked
+/// here — **before** any caller would grow a buffer to fit it — so a
+/// forged prefix cannot drive an oversized allocation.
+pub fn frame_len(buf: &[u8]) -> Result<Option<usize>, FrameError> {
+    if buf.len() < 4 {
+        return Ok(None);
+    }
+    let len = u32::from_le_bytes(buf[..4].try_into().unwrap());
+    check_len(len)?;
+    Ok(Some(4 + len as usize))
+}
+
+/// Zero-copy decode of one complete frame sitting at the head of `buf`
+/// (`buf[..total]` with `total` from [`frame_len`]): CRC and version
+/// checks, header parse, and a payload that **borrows** from `buf` —
+/// no per-frame allocation. This is the event-loop server's read path.
+pub fn parse_frame(buf: &[u8]) -> Result<(FrameHeader, &[u8]), FrameError> {
+    let len = u32::from_le_bytes(buf[..4].try_into().unwrap());
+    check_len(len)?;
+    let body = &buf[4..4 + len as usize];
+    let (header, payload) = parse_body(body, len)?;
+    Ok((header, &body[payload]))
+}
+
+/// Read one frame from a blocking stream: length prefix, bounded
+/// allocation, CRC and version checks, header parse. The payload is
+/// returned still encoded; pair with the `decode_*` functions below.
+pub fn read_frame_ex(r: &mut impl Read) -> Result<(FrameHeader, Vec<u8>), FrameError> {
+    let mut len_buf = [0u8; 4];
+    r.read_exact(&mut len_buf)?;
+    let len = u32::from_le_bytes(len_buf);
+    check_len(len)?;
+    let mut body = vec![0u8; len as usize];
+    r.read_exact(&mut body)?;
+    let (header, payload) = parse_body(&body, len)?;
+    body.truncate(payload.end);
+    body.drain(..payload.start);
+    Ok((header, body))
+}
+
+/// [`read_frame_ex`] minus the header detail — for strictly in-order
+/// request/reply flows that don't correlate by id.
+pub fn read_frame(r: &mut impl Read) -> Result<(FrameKind, Vec<u8>), FrameError> {
+    let (header, payload) = read_frame_ex(r)?;
+    Ok((header.kind, payload))
 }
 
 /// A [`FrameKind::SampleBatch`] payload: deadline plus seeded requests.
@@ -1140,6 +1304,81 @@ mod tests {
         assert!(matches!(
             read_frame(&mut frame.as_slice()),
             Err(FrameError::BadKind(0x44))
+        ));
+    }
+
+    #[test]
+    fn both_versions_decode_and_reply_frames_mirror_the_request() {
+        // v2 round-trip keeps the correlation id.
+        let v2 = encode_frame_v2(FrameKind::HealthProbe, 0xfeed_beef_cafe_0001, b"pp");
+        let (header, payload) = read_frame_ex(&mut v2.as_slice()).expect("v2");
+        assert_eq!(header.version, PROTOCOL_V2);
+        assert_eq!(header.kind, FrameKind::HealthProbe);
+        assert_eq!(header.req_id, 0xfeed_beef_cafe_0001);
+        assert_eq!(payload, b"pp");
+
+        // v1 round-trip reports id 0.
+        let v1 = encode_frame_v1(FrameKind::HealthProbe, b"qq");
+        let (header, payload) = read_frame_ex(&mut v1.as_slice()).expect("v1");
+        assert_eq!(header.version, PROTOCOL_V1);
+        assert_eq!(header.req_id, 0);
+        assert_eq!(payload, b"qq");
+        assert_eq!(v2.len(), v1.len() + 8, "v2 header adds exactly req_id");
+
+        // A reply to a v1 request is a v1 frame; to a v2 request, a v2
+        // frame under the same id.
+        let (req_v1, _) = read_frame_ex(&mut v1.as_slice()).expect("v1");
+        let reply = encode_reply_frame(&req_v1, FrameKind::HealthReply, b"r");
+        let (h, _) = read_frame_ex(&mut reply.as_slice()).expect("reply");
+        assert_eq!(h.version, PROTOCOL_V1);
+        let (req_v2, _) = read_frame_ex(&mut v2.as_slice()).expect("v2");
+        let reply = encode_reply_frame(&req_v2, FrameKind::HealthReply, b"r");
+        let (h, _) = read_frame_ex(&mut reply.as_slice()).expect("reply");
+        assert_eq!((h.version, h.req_id), (PROTOCOL_V2, req_v2.req_id));
+    }
+
+    #[test]
+    fn zero_copy_parse_agrees_with_the_streaming_reader() {
+        for frame in [
+            encode_frame_v2(FrameKind::HealReply, 42, &encode_heal_reply(7)),
+            encode_frame_v1(FrameKind::HealReply, &encode_heal_reply(7)),
+        ] {
+            let total = frame_len(&frame).expect("len").expect("complete");
+            assert_eq!(total, frame.len());
+            let (header, payload) = parse_frame(&frame).expect("parse");
+            let (stream_header, stream_payload) =
+                read_frame_ex(&mut frame.as_slice()).expect("read");
+            assert_eq!(header, stream_header);
+            assert_eq!(payload, stream_payload.as_slice());
+        }
+        // An incomplete prefix is "not yet", not an error.
+        assert!(matches!(frame_len(&[1, 2]), Ok(None)));
+        // A forged prefix is rejected at peek time, before any buffering.
+        let mut huge = Vec::new();
+        wire::put_u32(&mut huge, u32::MAX);
+        assert!(matches!(
+            frame_len(&huge),
+            Err(FrameError::BadLength { len: u32::MAX })
+        ));
+    }
+
+    #[test]
+    fn v2_frame_too_short_for_its_header_is_rejected() {
+        // len = 8 can hold a v1 header but not a v2 one; forge a frame
+        // claiming version 2 at that length with a valid CRC.
+        let mut body = vec![PROTOCOL_V2, FrameKind::HealthProbe as u8, 0, 0];
+        let crc = crc32c(&body);
+        wire::put_u32(&mut body, crc);
+        let mut frame = Vec::new();
+        wire::put_u32(&mut frame, body.len() as u32);
+        frame.extend_from_slice(&body);
+        assert!(matches!(
+            read_frame_ex(&mut frame.as_slice()),
+            Err(FrameError::BadLength { len: 8 })
+        ));
+        assert!(matches!(
+            parse_frame(&frame),
+            Err(FrameError::BadLength { len: 8 })
         ));
     }
 

@@ -1,0 +1,351 @@
+//! Backend-agnostic request dispatch.
+//!
+//! Both server backends — the legacy thread-per-connection loop and the
+//! readiness-driven event loop — funnel every decoded frame through
+//! [`dispatch`]: one CRC-valid `(kind, payload)` in, one encoded reply
+//! `(kind, payload)` out. Nothing in here touches a socket, which is the
+//! point: the [`GraphService`] surface no longer assumes one blocking
+//! reply per read. A backend may answer inline (threaded, event loop with
+//! `workers = 0`) or hand frames to a worker pool and write completions
+//! out of order under their request ids (event loop with `workers > 0`).
+//!
+//! Telemetry flows through the *service's* registry, exactly as before:
+//! `rpc.server.*` counters, the request-latency histogram, and slow
+//! update batches recorded with the client's trace id so `GET /debug/slow`
+//! works across the wire.
+
+use crate::codec::{
+    decode_heal_request, decode_map_install, decode_migrate_ctl, decode_partition_fetch,
+    decode_partition_stats, decode_sample_batch, decode_tail_fetch, decode_txn_apply,
+    decode_update_batch, encode_error_reply, encode_heal_reply, encode_health_reply,
+    encode_map_reply, encode_migrate_ctl_reply, encode_partition_chunk,
+    encode_partition_stats_reply, encode_sample_reply, encode_tail_reply, encode_txn_reply,
+    encode_update_reply, error_code, migrate_action, ErrorReply, FrameError, FrameKind,
+    HealthReply, MapReply, PartitionChunkReply, TailReply, TxnReply, UpdateReply,
+};
+use platod2gl_graph::{Error, GraphTxn, TxnError};
+use platod2gl_obs::{Counter, Histogram, Registry, SlowOpRecord};
+use platod2gl_server::{route_for, DegradedPolicy, GraphService, SampleResponse, SlotSource};
+use rand::RngCore;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Feeds the wire-shipped seed to [`GraphService::sample_one`], which by
+/// contract draws exactly one `u64` — the same derivation the in-process
+/// path performs, so remote draws are bit-identical to local ones.
+pub(crate) struct SeedRng(pub u64);
+
+impl RngCore for SeedRng {
+    fn next_u32(&mut self) -> u32 {
+        self.next_u64() as u32
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let s = self.0;
+        // A second draw would break the determinism contract; feeding a
+        // derived value keeps it *defined* rather than a repeat.
+        self.0 = s.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        s
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+/// Pre-resolved `rpc.server.*` handles, shared by every connection (and
+/// every dispatch worker) of one server.
+pub(crate) struct ServerMetrics {
+    pub registry: Arc<Registry>,
+    pub frames: Arc<Counter>,
+    pub sample_requests: Arc<Counter>,
+    pub update_ops: Arc<Counter>,
+    pub txn_ops: Arc<Counter>,
+    pub errors: Arc<Counter>,
+    pub deadline_expired: Arc<Counter>,
+    pub request_lat: Arc<Histogram>,
+}
+
+impl ServerMetrics {
+    pub fn new(registry: Arc<Registry>) -> Self {
+        Self {
+            frames: registry.counter("rpc.server.frames"),
+            sample_requests: registry.counter("rpc.server.sample_requests"),
+            update_ops: registry.counter("rpc.server.update_ops"),
+            txn_ops: registry.counter("rpc.server.txn_ops"),
+            errors: registry.counter("rpc.server.errors"),
+            deadline_expired: registry.counter("rpc.server.deadline_expired"),
+            request_lat: registry.histogram("rpc.server.request_ns"),
+            registry,
+        }
+    }
+}
+
+/// Map a store error to the `ErrorReply` the update/replica paths ship.
+fn store_error_reply(e: &Error) -> ErrorReply {
+    let shard = match e {
+        Error::ShardPanicked { shard, .. } | Error::ShardUnavailable { shard } => *shard as u32,
+        _ => 0,
+    };
+    ErrorReply {
+        code: error_code::SHARD_PANICKED,
+        shard,
+        message: e.to_string(),
+    }
+}
+
+fn bad_request_reply(message: String) -> (FrameKind, Vec<u8>) {
+    let reply = ErrorReply {
+        code: error_code::BAD_REQUEST,
+        shard: 0,
+        message,
+    };
+    (FrameKind::ErrorReply, encode_error_reply(&reply))
+}
+
+/// Client-policy degraded response, used when the server refuses a request
+/// (deadline lapsed) without consulting the shard.
+pub(crate) fn degraded_response(
+    vertex: platod2gl_graph::VertexId,
+    fanout: usize,
+    policy: DegradedPolicy,
+    shard: usize,
+) -> SampleResponse {
+    let (neighbors, sources) = match policy {
+        DegradedPolicy::EmptySet => (Vec::new(), Vec::new()),
+        DegradedPolicy::SelfLoop => (vec![vertex; fanout], vec![SlotSource::SelfLoop; fanout]),
+    };
+    SampleResponse {
+        neighbors,
+        sources,
+        degraded: true,
+        shard,
+    }
+}
+
+/// Serve one CRC-valid frame: decode the payload, run it against the
+/// service, encode the reply. `started` is the frame's receipt time —
+/// batch deadlines are measured from it. `Err` means the payload failed
+/// record-level decoding; the connection cannot be trusted past that and
+/// the caller closes it.
+pub(crate) fn dispatch<S: GraphService + ?Sized>(
+    service: &S,
+    m: &ServerMetrics,
+    kind: FrameKind,
+    payload: &[u8],
+    started: Instant,
+) -> Result<(FrameKind, Vec<u8>), FrameError> {
+    m.frames.inc();
+    let _span = m.registry.span("rpc.server.request");
+    let reply = match kind {
+        FrameKind::SampleBatch => {
+            let batch = decode_sample_batch(payload)?;
+            m.sample_requests.add(batch.requests.len() as u64);
+            let deadline = Duration::from_millis(u64::from(batch.deadline_ms));
+            let mut responses = Vec::with_capacity(batch.requests.len());
+            for (req, seed) in &batch.requests {
+                if batch.deadline_ms > 0 && started.elapsed() >= deadline {
+                    m.deadline_expired.inc();
+                    responses.push(degraded_response(
+                        req.vertex,
+                        req.fanout,
+                        req.on_degraded,
+                        route_for(req.vertex, service.num_shards()),
+                    ));
+                    continue;
+                }
+                responses.push(service.sample_one(req, &mut SeedRng(*seed)));
+            }
+            (FrameKind::SampleReply, encode_sample_reply(&responses))
+        }
+        FrameKind::UpdateBatch | FrameKind::ReplicaBatch => {
+            let batch = decode_update_batch(payload)?;
+            m.update_ops.add(batch.ops.len() as u64);
+            // The replica channel applies through the replication entry
+            // point, which never re-forwards (loop prevention).
+            let outcome = if kind == FrameKind::ReplicaBatch {
+                service.apply_replica_updates(&batch.ops)
+            } else {
+                service.apply_updates(&batch.ops)
+            };
+            let reply = match outcome {
+                Ok(report) => {
+                    let reply = UpdateReply {
+                        applied_ops: report.applied_ops as u64,
+                        queued_ops: report.queued_ops as u64,
+                    };
+                    (FrameKind::UpdateReply, encode_update_reply(&reply))
+                }
+                Err(e) => {
+                    m.errors.inc();
+                    (
+                        FrameKind::ErrorReply,
+                        encode_error_reply(&store_error_reply(&e)),
+                    )
+                }
+            };
+            let elapsed = started.elapsed();
+            let slow = m.registry.slow_log();
+            if slow.is_slow(elapsed) {
+                slow.record(SlowOpRecord {
+                    op: "rpc.update_batch",
+                    trace_id: batch.trace_id,
+                    detail: format!("ops={}", batch.ops.len()),
+                    duration_ns: elapsed.as_nanos().min(u128::from(u64::MAX)) as u64,
+                    spans: Vec::new(),
+                });
+            }
+            reply
+        }
+        FrameKind::TxnApply | FrameKind::ReplicaTxn => {
+            let apply = decode_txn_apply(payload)?;
+            m.txn_ops.add(apply.ops.len() as u64);
+            let mut txn = GraphTxn::new(apply.txn_id);
+            for op in apply.ops {
+                txn.push(op);
+            }
+            // Every outcome — commit, rejection, store error — is a
+            // well-formed TxnReply, so the client can always tell a served
+            // verdict from a transport failure (only the latter is
+            // retried, with the same txn id).
+            let outcome = if kind == FrameKind::ReplicaTxn {
+                service.apply_replica_txn(&txn)
+            } else {
+                service.apply_txn(&txn)
+            };
+            let reply = match outcome {
+                Ok(receipt) => TxnReply::Committed(receipt),
+                Err(TxnError::Rejected { txn_id, violations }) => {
+                    m.errors.inc();
+                    TxnReply::Rejected { txn_id, violations }
+                }
+                Err(TxnError::Store(e)) => {
+                    m.errors.inc();
+                    let err = store_error_reply(&e);
+                    TxnReply::StoreError {
+                        shard: err.shard,
+                        code: err.code,
+                        message: err.message,
+                    }
+                }
+            };
+            (FrameKind::TxnReply, encode_txn_reply(&reply))
+        }
+        FrameKind::HealthProbe => {
+            let reply = HealthReply {
+                graph_version: service.graph_version(),
+                healths: service.shard_healths(),
+            };
+            (FrameKind::HealthReply, encode_health_reply(&reply))
+        }
+        FrameKind::HealRequest => {
+            let shard = decode_heal_request(payload)? as usize;
+            let drained = if shard < service.num_shards() {
+                service.heal(shard) as u64
+            } else {
+                0
+            };
+            (FrameKind::HealReply, encode_heal_reply(drained))
+        }
+        FrameKind::MapFetch => {
+            let reply = match service.fleet_map_bytes() {
+                Some((epoch, bytes)) => MapReply {
+                    epoch,
+                    bytes: Some(bytes),
+                },
+                None => MapReply {
+                    epoch: 0,
+                    bytes: None,
+                },
+            };
+            (FrameKind::MapReply, encode_map_reply(&reply))
+        }
+        FrameKind::MapInstall => {
+            let (epoch, bytes) = decode_map_install(payload)?;
+            match service.install_fleet_map(epoch, &bytes) {
+                Ok(effective) => {
+                    let mut buf = Vec::with_capacity(8);
+                    platod2gl_server::wire::put_u64(&mut buf, effective);
+                    (FrameKind::MapInstallReply, buf)
+                }
+                Err(e) => {
+                    m.errors.inc();
+                    bad_request_reply(e.to_string())
+                }
+            }
+        }
+        FrameKind::PartitionFetch => {
+            let fetch = decode_partition_fetch(payload)?;
+            match service.export_partition(
+                fetch.partition,
+                fetch.num_partitions,
+                fetch.cursor,
+                fetch.max_edges as usize,
+            ) {
+                Ok(chunk) => {
+                    let reply = PartitionChunkReply {
+                        done: chunk.done,
+                        cursor: chunk.cursor,
+                        edges: chunk.edges,
+                        snapshot: chunk.snapshot,
+                    };
+                    (
+                        FrameKind::PartitionChunkReply,
+                        encode_partition_chunk(&reply),
+                    )
+                }
+                Err(e) => {
+                    m.errors.inc();
+                    bad_request_reply(e.to_string())
+                }
+            }
+        }
+        FrameKind::MigrateCtl => {
+            let (action, partition, num_partitions) = decode_migrate_ctl(payload)?;
+            let outcome = if action == migrate_action::BEGIN {
+                service.begin_migration(partition, num_partitions)
+            } else {
+                service.end_migration(partition)
+            };
+            match outcome {
+                Ok(value) => (FrameKind::MigrateCtlReply, encode_migrate_ctl_reply(value)),
+                Err(e) => {
+                    m.errors.inc();
+                    bad_request_reply(e.to_string())
+                }
+            }
+        }
+        FrameKind::TailFetch => {
+            let (partition, from_seq) = decode_tail_fetch(payload)?;
+            match service.migration_tail(partition, from_seq) {
+                Ok((ops, next_seq)) => {
+                    let reply = TailReply { next_seq, ops };
+                    (FrameKind::TailReply, encode_tail_reply(&reply))
+                }
+                Err(e) => {
+                    m.errors.inc();
+                    bad_request_reply(e.to_string())
+                }
+            }
+        }
+        FrameKind::PartitionStats => {
+            let num_partitions = decode_partition_stats(payload)?;
+            let counts = service.partition_key_counts(num_partitions);
+            (
+                FrameKind::PartitionStatsReply,
+                encode_partition_stats_reply(&counts),
+            )
+        }
+        // Reply kinds arriving at a server are a protocol violation (the
+        // connection stays open — the reply names the offense).
+        kind => {
+            m.errors.inc();
+            bad_request_reply(format!("unexpected client frame {kind:?}"))
+        }
+    };
+    m.request_lat.record(started.elapsed());
+    Ok(reply)
+}

@@ -1,0 +1,809 @@
+//! The readiness-driven event-loop backend of [`GraphServiceServer`].
+//!
+//! One loop thread owns every connection. A [`Poller`] (epoll on Linux,
+//! scanning fallback elsewhere — see [`crate::poll`]) reports readiness;
+//! connections are non-blocking with per-connection read and write
+//! buffers, so no thread ever parks on a socket. Frames are decoded
+//! zero-copy: [`parse_frame`] borrows the payload straight out of the
+//! connection's read buffer, and with `workers = 0` (the default) the
+//! request is dispatched inline on that borrowed slice — no payload copy
+//! between socket and handler.
+//!
+//! With `workers > 0`, CRC-valid frames are copied onto a work queue and
+//! dispatch runs on a small worker pool; completions come back through a
+//! completion queue plus a [`Waker`] poke, and replies are written in
+//! whatever order handlers finish. Protocol v2 clients correlate replies
+//! by `req_id`, so out-of-order completion is fine for them; v1 frames
+//! have no id, so their replies are held back in a per-connection
+//! sequence buffer and flushed strictly in request order — an old client
+//! on a new server observes exactly the PR-5 contract.
+//!
+//! Write-path frames (`TxnApply`/`UpdateBatch` and their replica twins)
+//! never run on the loop thread *or* the bounded pool: a fleet node's
+//! handler for them issues nested RPCs (relay to owners, replicate to
+//! followers), and a handler that blocks on a peer whose own loop is
+//! blocked on us is a distributed deadlock. They are offloaded to
+//! short-lived threads — unbounded, like the legacy thread-per-connection
+//! core, but scoped to the write path where request rates are batch-sized
+//! — and their replies come back through the same completion queue.
+//!
+//! Event-loop health is published as gauges on the service's registry:
+//! `rpc.server.ready_queue_depth` (events per poll batch),
+//! `rpc.server.in_flight_requests` (dispatched, reply not yet queued),
+//! `rpc.server.accept_backlog` (accepts drained in the latest burst —
+//! how far behind the listener the loop is running), and
+//! `rpc.server.open_connections`.
+//!
+//! [`GraphServiceServer`]: crate::GraphServiceServer
+
+use crate::codec::{
+    encode_error_reply, encode_reply_frame, error_code, frame_len, parse_frame, ErrorReply,
+    FrameError, FrameHeader, FrameKind, PROTOCOL_V1, PROTOCOL_V2,
+};
+use crate::dispatch::{dispatch, ServerMetrics};
+use crate::poll::{PollEvent, Poller, Waker};
+use crate::server::ServerConfig;
+use crate::stats::{ConnInfo, RpcServerStats};
+use platod2gl_server::GraphService;
+use std::collections::{BTreeMap, VecDeque};
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Poller token of the listening socket. (The poller reserves `u64::MAX`
+/// for its internal waker; connection tokens pack a 32-bit slab index and
+/// a 32-bit generation, so neither sentinel can collide.)
+const LISTENER_TOKEN: u64 = u64::MAX - 1;
+/// Idle wait ceiling; wakes (shutdown, worker completions) cut it short.
+const WAIT_TIMEOUT: Duration = Duration::from_millis(100);
+/// Read granularity: bytes appended to a connection's read buffer per
+/// `read` call while draining a readable socket.
+const READ_CHUNK: usize = 64 * 1024;
+
+fn make_token(idx: usize, gen: u32) -> u64 {
+    (u64::from(gen) << 32) | idx as u64
+}
+
+fn split_token(token: u64) -> (usize, u32) {
+    ((token & 0xffff_ffff) as usize, (token >> 32) as u32)
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Spawn the loop thread; returns its handle and a waker that interrupts
+/// the poller (used by shutdown).
+pub(crate) fn spawn<S>(
+    listener: TcpListener,
+    service: Arc<S>,
+    stop: Arc<AtomicBool>,
+    stats: Arc<RpcServerStats>,
+    cfg: ServerConfig,
+) -> io::Result<(JoinHandle<()>, Waker)>
+where
+    S: GraphService + Send + Sync + 'static,
+{
+    let poller = Poller::new(cfg.poller)?;
+    stats.set_backend(poller.backend_name());
+    let waker = poller.waker();
+    let loop_waker = waker.clone();
+    let handle = std::thread::Builder::new()
+        .name("platod2gl-rpc-loop".to_string())
+        .spawn(move || run(listener, service, stop, stats, cfg, poller, loop_waker))?;
+    Ok((handle, waker))
+}
+
+/// One non-blocking connection owned by the loop.
+struct Conn {
+    stream: TcpStream,
+    gen: u32,
+    conn_id: u64,
+    info: Arc<ConnInfo>,
+    /// Accumulated unread bytes; frames are parsed zero-copy out of the
+    /// front and drained once handled.
+    rbuf: Vec<u8>,
+    /// Bytes the socket would not take yet; `wpos` marks how far the
+    /// front has already been written.
+    wbuf: Vec<u8>,
+    wpos: usize,
+    /// Whether the poller currently watches this socket for writability.
+    want_write: bool,
+    /// Version of the last good frame, so even an error reply to a
+    /// garbled frame is encoded in a layout the peer can parse.
+    peer_version: u8,
+    /// v1 ordering state (worker mode): next sequence to assign to an
+    /// incoming v1 frame / next sequence allowed to flush, plus replies
+    /// that finished early.
+    v1_next_assign: u64,
+    v1_next_flush: u64,
+    v1_hold: BTreeMap<u64, (Vec<u8>, bool)>,
+    /// Stop reading, flush what is queued, then close (fatal frame error).
+    closing: bool,
+    /// Close now; the peer is gone or the stream is broken.
+    dead: bool,
+}
+
+impl Conn {
+    fn pending_write(&self) -> bool {
+        self.wpos < self.wbuf.len()
+    }
+}
+
+/// A unit of deferred dispatch (worker mode): the frame header plus an
+/// owned copy of the payload.
+struct WorkItem {
+    token: u64,
+    v1_seq: Option<u64>,
+    header: FrameHeader,
+    payload: Vec<u8>,
+    started: Instant,
+}
+
+/// A finished dispatch: the fully encoded reply frame, ready to queue.
+struct Completion {
+    token: u64,
+    v1_seq: Option<u64>,
+    version: u8,
+    bytes: Vec<u8>,
+    /// The payload failed record-level decoding — send the (error) reply,
+    /// then close.
+    close_after: bool,
+}
+
+/// The loop's completion inbox, shared by pool workers and offload
+/// threads: finished dispatches land here, a waker poke gets the loop to
+/// drain them.
+struct Completions {
+    done: Mutex<Vec<Completion>>,
+    waker: Waker,
+}
+
+impl Completions {
+    fn push(&self, completion: Completion) {
+        lock(&self.done).push(completion);
+        self.waker.wake();
+    }
+
+    fn drain(&self) -> Vec<Completion> {
+        std::mem::take(&mut *lock(&self.done))
+    }
+}
+
+struct PoolShared {
+    queue: Mutex<VecDeque<WorkItem>>,
+    cv: Condvar,
+    stop: AtomicBool,
+}
+
+/// The optional dispatch worker pool (`cfg.workers > 0`).
+struct WorkerPool {
+    shared: Arc<PoolShared>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    fn start<S>(
+        n: usize,
+        service: &Arc<S>,
+        metrics: &Arc<ServerMetrics>,
+        completions: &Arc<Completions>,
+    ) -> Option<Self>
+    where
+        S: GraphService + Send + Sync + 'static,
+    {
+        if n == 0 {
+            return None;
+        }
+        let shared = Arc::new(PoolShared {
+            queue: Mutex::new(VecDeque::new()),
+            cv: Condvar::new(),
+            stop: AtomicBool::new(false),
+        });
+        let handles = (0..n)
+            .filter_map(|i| {
+                let shared = Arc::clone(&shared);
+                let service = Arc::clone(service);
+                let metrics = Arc::clone(metrics);
+                let completions = Arc::clone(completions);
+                std::thread::Builder::new()
+                    .name(format!("platod2gl-rpc-worker-{i}"))
+                    .spawn(move || worker_body(&shared, &*service, &metrics, &completions))
+                    .ok()
+            })
+            .collect();
+        Some(Self { shared, handles })
+    }
+
+    fn submit(&self, item: WorkItem) {
+        lock(&self.shared.queue).push_back(item);
+        self.shared.cv.notify_one();
+    }
+
+    fn stop_and_join(self) {
+        self.shared.stop.store(true, Ordering::Release);
+        self.shared.cv.notify_all();
+        for handle in self.handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_body<S: GraphService + ?Sized>(
+    shared: &PoolShared,
+    service: &S,
+    metrics: &ServerMetrics,
+    completions: &Completions,
+) {
+    loop {
+        let item = {
+            let mut queue = lock(&shared.queue);
+            loop {
+                if shared.stop.load(Ordering::Acquire) {
+                    return;
+                }
+                if let Some(item) = queue.pop_front() {
+                    break item;
+                }
+                // Timed wait so a missed notify can never park a worker
+                // past shutdown.
+                let (guard, _) = shared
+                    .cv
+                    .wait_timeout(queue, Duration::from_millis(100))
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                queue = guard;
+            }
+        };
+        completions.push(run_item(service, metrics, &item));
+    }
+}
+
+/// Dispatch one deferred item to its finished completion.
+fn run_item<S: GraphService + ?Sized>(
+    service: &S,
+    metrics: &ServerMetrics,
+    item: &WorkItem,
+) -> Completion {
+    match dispatch(
+        service,
+        metrics,
+        item.header.kind,
+        &item.payload,
+        item.started,
+    ) {
+        Ok((kind, reply)) => Completion {
+            token: item.token,
+            v1_seq: item.v1_seq,
+            version: item.header.version,
+            bytes: encode_reply_frame(&item.header, kind, &reply),
+            close_after: false,
+        },
+        Err(e) => {
+            metrics.errors.inc();
+            Completion {
+                token: item.token,
+                v1_seq: item.v1_seq,
+                version: item.header.version,
+                bytes: error_frame(item.header.version, &e),
+                close_after: true,
+            }
+        }
+    }
+}
+
+/// Frame kinds whose handlers may issue nested RPCs (fleet relay and
+/// replication) and therefore must never occupy the loop thread or a
+/// bounded pool slot — see the module docs on distributed deadlock.
+fn must_offload(kind: FrameKind) -> bool {
+    matches!(
+        kind,
+        FrameKind::TxnApply
+            | FrameKind::ReplicaTxn
+            | FrameKind::UpdateBatch
+            | FrameKind::ReplicaBatch
+    )
+}
+
+/// Run a re-entrant dispatch on its own short-lived thread. If the spawn
+/// itself fails (fd/thread exhaustion) the item runs inline — possibly
+/// stalling the loop, but never losing the request.
+fn spawn_offload<S>(
+    service: &Arc<S>,
+    metrics: &Arc<ServerMetrics>,
+    completions: &Arc<Completions>,
+    item: WorkItem,
+) where
+    S: GraphService + Send + Sync + 'static,
+{
+    // The item sits in a shared slot so a failed spawn can take it back
+    // and still produce a completion.
+    let slot = Arc::new(Mutex::new(Some(item)));
+    let thread_slot = Arc::clone(&slot);
+    let thread_service = Arc::clone(service);
+    let thread_metrics = Arc::clone(metrics);
+    let thread_completions = Arc::clone(completions);
+    let spawned = std::thread::Builder::new()
+        .name("platod2gl-rpc-offload".to_string())
+        .spawn(move || {
+            if let Some(item) = lock(&thread_slot).take() {
+                thread_completions.push(run_item(&*thread_service, &thread_metrics, &item));
+            }
+        });
+    if spawned.is_err() {
+        if let Some(item) = lock(&slot).take() {
+            completions.push(run_item(&**service, metrics, &item));
+        }
+    }
+}
+
+/// A best-effort error reply encoded in the peer's own protocol version.
+fn error_frame(peer_version: u8, e: &FrameError) -> Vec<u8> {
+    let header = FrameHeader {
+        version: peer_version,
+        kind: FrameKind::ErrorReply,
+        req_id: 0,
+    };
+    let reply = ErrorReply {
+        code: error_code::BAD_REQUEST,
+        shard: 0,
+        message: e.to_string(),
+    };
+    encode_reply_frame(&header, FrameKind::ErrorReply, &encode_error_reply(&reply))
+}
+
+#[allow(clippy::too_many_lines)]
+fn run<S>(
+    listener: TcpListener,
+    service: Arc<S>,
+    stop: Arc<AtomicBool>,
+    stats: Arc<RpcServerStats>,
+    cfg: ServerConfig,
+    mut poller: Poller,
+    waker: Waker,
+) where
+    S: GraphService + Send + Sync + 'static,
+{
+    let metrics = Arc::new(ServerMetrics::new(Arc::clone(service.registry())));
+    let registry = Arc::clone(&metrics.registry);
+    let connections = registry.counter("rpc.server.connections");
+    let g_ready = registry.gauge("rpc.server.ready_queue_depth");
+    let g_in_flight = registry.gauge("rpc.server.in_flight_requests");
+    let g_backlog = registry.gauge("rpc.server.accept_backlog");
+    let g_open = registry.gauge("rpc.server.open_connections");
+
+    if poller.register(&listener, LISTENER_TOKEN, false).is_err() {
+        return;
+    }
+    let completions = Arc::new(Completions {
+        done: Mutex::new(Vec::new()),
+        waker,
+    });
+    let pool = WorkerPool::start(cfg.workers, &service, &metrics, &completions);
+
+    let mut slots: Vec<Option<Conn>> = Vec::new();
+    let mut gens: Vec<u32> = Vec::new();
+    let mut free: Vec<usize> = Vec::new();
+    let mut open = 0usize;
+    let mut in_flight = 0i64;
+    let mut events: Vec<PollEvent> = Vec::new();
+
+    while !stop.load(Ordering::Acquire) {
+        let _ = poller.wait(&mut events, WAIT_TIMEOUT);
+        g_ready.set(events.len() as i64);
+
+        // Completions first (pool workers and write-path offload threads):
+        // they free in-flight slots and may queue writes that this batch's
+        // writable events then flush.
+        for done in completions.drain() {
+            let (idx, gen) = split_token(done.token);
+            let touched = match slots.get_mut(idx).and_then(Option::as_mut) {
+                Some(conn) if conn.gen == gen => {
+                    in_flight -= 1;
+                    conn.info.in_flight.fetch_sub(1, Ordering::Relaxed);
+                    apply_completion(conn, done);
+                    true
+                }
+                _ => false, // connection already closed; drop the reply
+            };
+            if touched {
+                settle(
+                    &mut poller,
+                    &stats,
+                    &g_open,
+                    idx,
+                    &mut slots,
+                    &mut free,
+                    &mut open,
+                    &mut in_flight,
+                );
+            }
+        }
+        g_in_flight.set(in_flight);
+
+        for &ev in &events {
+            if ev.token == LISTENER_TOKEN {
+                let burst = accept_burst(
+                    &listener,
+                    &mut poller,
+                    &stats,
+                    &connections,
+                    cfg.max_connections,
+                    &mut slots,
+                    &mut gens,
+                    &mut free,
+                    &mut open,
+                );
+                g_backlog.set(burst);
+                g_open.set(open as i64);
+                continue;
+            }
+            let (idx, gen) = split_token(ev.token);
+            let touched = match slots.get_mut(idx).and_then(Option::as_mut) {
+                // Stale tokens from an already-recycled slot are spurious
+                // wakes — the generation check filters them.
+                Some(conn) if conn.gen == gen => {
+                    if ev.readable && !conn.closing && !conn.dead {
+                        handle_readable(
+                            conn,
+                            &service,
+                            &metrics,
+                            &completions,
+                            pool.as_ref(),
+                            ev.token,
+                            &mut in_flight,
+                        );
+                    }
+                    if ev.writable && !conn.dead {
+                        flush_writes(conn);
+                    }
+                    true
+                }
+                _ => false,
+            };
+            if touched {
+                settle(
+                    &mut poller,
+                    &stats,
+                    &g_open,
+                    idx,
+                    &mut slots,
+                    &mut free,
+                    &mut open,
+                    &mut in_flight,
+                );
+            }
+        }
+        g_in_flight.set(in_flight);
+    }
+
+    if let Some(pool) = pool {
+        pool.stop_and_join();
+    }
+    // Connections drop (and close) with the slab.
+}
+
+/// Post-touch bookkeeping shared by every path that mutates a connection:
+/// sync poller write interest, then close if the connection is finished.
+#[allow(clippy::too_many_arguments)]
+fn settle(
+    poller: &mut Poller,
+    stats: &RpcServerStats,
+    g_open: &platod2gl_obs::Gauge,
+    idx: usize,
+    slots: &mut [Option<Conn>],
+    free: &mut Vec<usize>,
+    open: &mut usize,
+    in_flight: &mut i64,
+) {
+    let Some(mut conn) = slots.get_mut(idx).and_then(Option::take) else {
+        return;
+    };
+    let token = make_token(idx, conn.gen);
+    let finished = conn.dead
+        || (conn.closing
+            && !conn.pending_write()
+            && conn.info.in_flight.load(Ordering::Relaxed) == 0);
+    if finished {
+        let _ = poller.deregister(&conn.stream, token);
+        stats.close(conn.conn_id);
+        // Dispatches still in flight for this connection will be dropped
+        // at completion (stale generation); settle their gauge debt now.
+        *in_flight -= conn.info.in_flight.load(Ordering::Relaxed) as i64;
+        free.push(idx);
+        *open -= 1;
+        g_open.set(*open as i64);
+        return; // the connection drops (and closes) here
+    }
+    let want = conn.pending_write();
+    if want != conn.want_write && poller.rearm(&conn.stream, token, want).is_ok() {
+        conn.want_write = want;
+    }
+    slots[idx] = Some(conn);
+}
+
+/// Drain the listener until `WouldBlock`; returns how many connections
+/// the burst accepted (the accept-backlog gauge).
+#[allow(clippy::too_many_arguments)]
+fn accept_burst(
+    listener: &TcpListener,
+    poller: &mut Poller,
+    stats: &RpcServerStats,
+    connections: &platod2gl_obs::Counter,
+    max_connections: usize,
+    slots: &mut Vec<Option<Conn>>,
+    gens: &mut Vec<u32>,
+    free: &mut Vec<usize>,
+    open: &mut usize,
+) -> i64 {
+    let mut burst = 0i64;
+    loop {
+        match listener.accept() {
+            Ok((stream, peer)) => {
+                burst += 1;
+                if *open >= max_connections {
+                    stats.rejected.fetch_add(1, Ordering::Relaxed);
+                    continue; // stream drops, peer sees a reset
+                }
+                if stream.set_nonblocking(true).is_err() {
+                    stats.rejected.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+                let _ = stream.set_nodelay(true);
+                let idx = free.pop().unwrap_or_else(|| {
+                    slots.push(None);
+                    gens.push(0);
+                    slots.len() - 1
+                });
+                gens[idx] = gens[idx].wrapping_add(1);
+                let token = make_token(idx, gens[idx]);
+                if poller.register(&stream, token, false).is_err() {
+                    free.push(idx);
+                    stats.rejected.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+                connections.inc();
+                let info = ConnInfo::new(peer.to_string());
+                let conn_id = stats.open(Arc::clone(&info));
+                slots[idx] = Some(Conn {
+                    stream,
+                    gen: gens[idx],
+                    conn_id,
+                    info,
+                    rbuf: Vec::new(),
+                    wbuf: Vec::new(),
+                    wpos: 0,
+                    want_write: false,
+                    peer_version: PROTOCOL_V2,
+                    v1_next_assign: 0,
+                    v1_next_flush: 0,
+                    v1_hold: BTreeMap::new(),
+                    closing: false,
+                    dead: false,
+                });
+                *open += 1;
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => break,
+        }
+    }
+    burst
+}
+
+/// What one parsed frame asks the loop to do (computed while the payload
+/// still borrows the read buffer, applied after the borrow ends).
+enum Step {
+    /// Inline dispatch finished: route this completion (it still honors
+    /// the v1 hold-back, so inline replies cannot overtake deferred ones).
+    Done(Completion),
+    /// Deferred (pool or offload thread): nothing to write yet.
+    Submitted,
+    /// Fatal framing/decoding error: error reply queued by caller, close.
+    Fail(FrameError),
+}
+
+/// Drain a readable socket into the connection's buffer, then parse and
+/// serve every complete frame sitting in it.
+#[allow(clippy::too_many_arguments)]
+fn handle_readable<S>(
+    conn: &mut Conn,
+    service: &Arc<S>,
+    metrics: &Arc<ServerMetrics>,
+    completions: &Arc<Completions>,
+    pool: Option<&WorkerPool>,
+    token: u64,
+    in_flight: &mut i64,
+) where
+    S: GraphService + Send + Sync + 'static,
+{
+    // Phase 1: pull everything the socket has.
+    loop {
+        let start = conn.rbuf.len();
+        conn.rbuf.resize(start + READ_CHUNK, 0);
+        match conn.stream.read(&mut conn.rbuf[start..]) {
+            Ok(0) => {
+                conn.rbuf.truncate(start);
+                conn.dead = true;
+                break;
+            }
+            Ok(n) => {
+                conn.rbuf.truncate(start + n);
+                if n < READ_CHUNK {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                conn.rbuf.truncate(start);
+                break;
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {
+                conn.rbuf.truncate(start);
+            }
+            Err(_) => {
+                conn.rbuf.truncate(start);
+                conn.dead = true;
+                break;
+            }
+        }
+    }
+
+    // Phase 2: serve complete frames. A half-received frame stays
+    // buffered for the next readable event; EOF with a partial frame is
+    // simply an abandoned connection.
+    while !conn.closing {
+        let flen = match frame_len(&conn.rbuf) {
+            Ok(None) => break,
+            Ok(Some(flen)) => {
+                if conn.rbuf.len() < flen {
+                    break;
+                }
+                flen
+            }
+            Err(e) => {
+                fail_conn(conn, metrics, e);
+                return;
+            }
+        };
+        let started = Instant::now();
+        let step = match parse_frame(&conn.rbuf[..flen]) {
+            Ok((header, payload)) => {
+                conn.peer_version = header.version;
+                // Every v1 frame takes a sequence number regardless of how
+                // it is dispatched, so inline and deferred replies share
+                // one ordering domain.
+                let v1_seq = (header.version == PROTOCOL_V1).then(|| {
+                    let seq = conn.v1_next_assign;
+                    conn.v1_next_assign += 1;
+                    seq
+                });
+                if must_offload(header.kind) {
+                    spawn_offload(
+                        service,
+                        metrics,
+                        completions,
+                        WorkItem {
+                            token,
+                            v1_seq,
+                            header,
+                            payload: payload.to_vec(),
+                            started,
+                        },
+                    );
+                    Step::Submitted
+                } else {
+                    match pool {
+                        // Inline dispatch — the zero-copy path: `payload`
+                        // borrows rbuf all the way into the handler.
+                        None => {
+                            match dispatch(&**service, metrics, header.kind, payload, started) {
+                                Ok((kind, reply)) => Step::Done(Completion {
+                                    token,
+                                    v1_seq,
+                                    version: header.version,
+                                    bytes: encode_reply_frame(&header, kind, &reply),
+                                    close_after: false,
+                                }),
+                                Err(e) => Step::Fail(e),
+                            }
+                        }
+                        Some(pool) => {
+                            pool.submit(WorkItem {
+                                token,
+                                v1_seq,
+                                header,
+                                payload: payload.to_vec(),
+                                started,
+                            });
+                            Step::Submitted
+                        }
+                    }
+                }
+            }
+            Err(e) => Step::Fail(e),
+        };
+        conn.rbuf.drain(..flen);
+        match step {
+            Step::Done(done) => apply_completion(conn, done),
+            Step::Submitted => {
+                conn.info.in_flight.fetch_add(1, Ordering::Relaxed);
+                *in_flight += 1;
+            }
+            Step::Fail(e) => {
+                fail_conn(conn, metrics, e);
+                return;
+            }
+        }
+        if conn.dead {
+            return;
+        }
+    }
+}
+
+/// Queue a fatal-error reply and mark the connection closing.
+fn fail_conn(conn: &mut Conn, metrics: &ServerMetrics, e: FrameError) {
+    metrics.errors.inc();
+    let bytes = error_frame(conn.peer_version, &e);
+    queue_write(conn, &bytes);
+    conn.closing = true;
+}
+
+/// A worker completion arrives: v2 replies go straight out (possibly out
+/// of order — the client re-stitches by id), v1 replies are held until
+/// every earlier v1 request has flushed.
+fn apply_completion(conn: &mut Conn, done: Completion) {
+    conn.info.served(done.version);
+    match done.v1_seq {
+        None => {
+            queue_write(conn, &done.bytes);
+            if done.close_after {
+                conn.closing = true;
+            }
+        }
+        Some(seq) => {
+            conn.v1_hold.insert(seq, (done.bytes, done.close_after));
+            while let Some((bytes, close_after)) = conn.v1_hold.remove(&conn.v1_next_flush) {
+                queue_write(conn, &bytes);
+                if close_after {
+                    conn.closing = true;
+                }
+                conn.v1_next_flush += 1;
+            }
+        }
+    }
+}
+
+/// Append reply bytes and push as much of the buffer as the socket takes.
+fn queue_write(conn: &mut Conn, bytes: &[u8]) {
+    conn.wbuf.extend_from_slice(bytes);
+    flush_writes(conn);
+}
+
+/// Write buffered bytes until the socket pushes back.
+fn flush_writes(conn: &mut Conn) {
+    while conn.wpos < conn.wbuf.len() {
+        match conn.stream.write(&conn.wbuf[conn.wpos..]) {
+            Ok(0) => {
+                conn.dead = true;
+                return;
+            }
+            Ok(n) => conn.wpos += n,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => {
+                conn.dead = true;
+                return;
+            }
+        }
+    }
+    if conn.wpos >= conn.wbuf.len() {
+        conn.wbuf.clear();
+        conn.wpos = 0;
+    } else if conn.wpos > READ_CHUNK {
+        // Keep the pending tail from pinning an ever-growing buffer.
+        conn.wbuf.drain(..conn.wpos);
+        conn.wpos = 0;
+    }
+}

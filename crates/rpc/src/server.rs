@@ -2,95 +2,185 @@
 //!
 //! [`GraphServiceServer`] hosts any shared [`GraphService`] (in practice an
 //! `Arc<Cluster>` with its registry) and serves the frame protocol of
-//! [`codec`](crate::codec) to concurrent connections: one accept thread,
-//! one thread per connection, frames on a connection answered in order —
-//! which is what makes client-side pipelining (write k frames, read k
-//! replies) sound.
+//! [`codec`](crate::codec) on one of two backends, selected by
+//! [`ServerConfig`]:
 //!
-//! Observability flows through the *service's* registry: every sample
-//! request runs through [`GraphService::sample_one`], so the cluster's
-//! root spans and slow-op captures (with the client's trace ids, shipped
-//! in the request records) land in the same ring the admin server reads —
-//! `GET /debug/slow` works across the wire. The rpc layer adds its own
-//! `rpc.server.*` counters and records slow update batches under
-//! `rpc.update_batch`.
+//! * [`Backend::EventLoop`] (the default) — a readiness-driven loop on a
+//!   single thread: epoll-backed poller (portable fallback available),
+//!   non-blocking connections with per-connection read/write buffers,
+//!   zero-copy frame decode, replies correlated by `req_id` so v2 clients
+//!   may be answered out of order. See [`crate::event`].
+//! * [`Backend::Threaded`] — the PR-5 design, one thread per connection
+//!   with strictly in-order replies. Kept as the baseline the
+//!   `report_rpc` bench compares against (and as a conservative fallback).
+//!
+//! Both backends funnel every frame through the same
+//! [`dispatch`](crate::dispatch) logic, so semantics (determinism
+//! contract, deadline handling, failure mapping, slow-op capture with
+//! client trace ids) are backend-independent. Protocol compat is
+//! per-frame: a v1 frame is answered with a v1 frame, in order; v2 frames
+//! carry ids and may be reordered.
+//!
+//! Observability flows through the *service's* registry: the cluster's
+//! root spans and slow-op captures land in the same ring the admin server
+//! reads — `GET /debug/slow` works across the wire — and the event loop
+//! publishes its own gauges (`rpc.server.ready_queue_depth`,
+//! `rpc.server.in_flight_requests`, `rpc.server.accept_backlog`,
+//! `rpc.server.open_connections`).
 //!
 //! ## Deadlines
 //!
-//! Sample and update batches carry a `deadline_ms` budget. The server
-//! checks it between requests: once a batch's budget has lapsed, remaining
-//! sample requests are answered degraded (per each request's policy)
-//! without touching shards, and `rpc.server.deadline_expired` counts them.
-//! The check is between requests, not preemptive — a single slow shard
-//! call can overshoot the deadline by its own duration, which is the same
-//! contract the paper's servers offer (cancellation is cooperative).
+//! Sample and update batches carry a `deadline_ms` budget measured from
+//! frame receipt. The check is between requests, not preemptive — a
+//! single slow shard call can overshoot the deadline by its own duration,
+//! which is the same contract the paper's servers offer (cancellation is
+//! cooperative).
 
 use crate::codec::{
-    decode_heal_request, decode_map_install, decode_migrate_ctl, decode_partition_fetch,
-    decode_partition_stats, decode_sample_batch, decode_tail_fetch, decode_txn_apply,
-    decode_update_batch, encode_error_reply, encode_heal_reply, encode_health_reply,
-    encode_map_reply, encode_migrate_ctl_reply, encode_partition_chunk,
-    encode_partition_stats_reply, encode_sample_reply, encode_tail_reply, encode_txn_reply,
-    encode_update_reply, error_code, migrate_action, read_frame, write_frame, ErrorReply,
-    FrameError, FrameKind, HealthReply, MapReply, PartitionChunkReply, TailReply, TxnReply,
-    UpdateReply,
+    encode_error_reply, encode_reply_frame, error_code, parse_frame, ErrorReply, FrameError,
+    FrameHeader, FrameKind, PROTOCOL_V2,
 };
-use platod2gl_graph::{Error, GraphTxn, TxnError};
-use platod2gl_obs::SlowOpRecord;
-use platod2gl_server::{route_for, DegradedPolicy, GraphService, SampleResponse, SlotSource};
-use rand::RngCore;
-use std::io::{self, Read};
+use crate::dispatch::{dispatch, ServerMetrics};
+use crate::event;
+use crate::poll::PollerKind;
+use crate::stats::{ConnInfo, RpcServerStats, ServerIntrospect};
+use platod2gl_graph::Error;
+use platod2gl_server::GraphService;
+use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
-/// Poll interval of the accept loop while idle.
+/// Poll interval of the threaded accept loop while idle.
 const ACCEPT_POLL: Duration = Duration::from_millis(5);
-/// Socket read timeout of connection threads: the granularity at which an
-/// idle connection notices the stop flag.
+/// Socket read timeout of threaded connection threads: the granularity at
+/// which an idle connection notices the stop flag.
 const CONN_POLL: Duration = Duration::from_millis(25);
 
-/// Feeds the wire-shipped seed to [`GraphService::sample_one`], which by
-/// contract draws exactly one `u64` — the same derivation the in-process
-/// path performs, so remote draws are bit-identical to local ones.
-struct SeedRng(u64);
+/// Which serving core a [`GraphServiceServer`] runs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Backend {
+    /// Readiness-driven event loop (the default).
+    #[default]
+    EventLoop,
+    /// Legacy thread-per-connection core.
+    Threaded,
+}
 
-impl RngCore for SeedRng {
-    fn next_u32(&mut self) -> u32 {
-        self.next_u64() as u32
-    }
+/// Validated server shape. Build via [`ServerConfig::builder`]; the
+/// zero-argument [`Default`] is the event loop with inline dispatch.
+#[derive(Clone, Copy, Debug)]
+pub struct ServerConfig {
+    /// The serving core.
+    pub backend: Backend,
+    /// Event loop only: dispatch worker threads. `0` (default) serves
+    /// requests inline on the loop thread — the right choice when
+    /// handlers are short; workers add out-of-order completion for slow
+    /// handlers at the cost of one payload copy per frame.
+    pub workers: usize,
+    /// Event loop only: connection-table ceiling. Accepts beyond it are
+    /// dropped (and counted) instead of exhausting fds.
+    pub max_connections: usize,
+    /// Event loop only: poller backend selection.
+    pub poller: PollerKind,
+}
 
-    fn next_u64(&mut self) -> u64 {
-        let s = self.0;
-        // A second draw would break the determinism contract; feeding a
-        // derived value keeps it *defined* rather than a repeat.
-        self.0 = s.wrapping_add(0x9e37_79b9_7f4a_7c15);
-        s
-    }
-
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
-        for chunk in dest.chunks_mut(8) {
-            let bytes = self.next_u64().to_le_bytes();
-            chunk.copy_from_slice(&bytes[..chunk.len()]);
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            backend: Backend::EventLoop,
+            workers: 0,
+            max_connections: 16_384,
+            poller: PollerKind::Auto,
         }
     }
 }
 
-/// A running graph-service TCP server: accept thread plus one thread per
-/// live connection, all joined on [`GraphServiceServer::shutdown`] (or
-/// drop), so shutdown is clean — no detached threads left running.
+impl ServerConfig {
+    /// Start building a config.
+    pub fn builder() -> ServerConfigBuilder {
+        ServerConfigBuilder {
+            cfg: Self::default(),
+        }
+    }
+}
+
+/// Builder for [`ServerConfig`] — the validated construction path.
+#[derive(Clone, Copy, Debug)]
+pub struct ServerConfigBuilder {
+    cfg: ServerConfig,
+}
+
+impl ServerConfigBuilder {
+    /// Select the serving core.
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.cfg.backend = backend;
+        self
+    }
+
+    /// Dispatch worker threads (event loop; `0` = inline).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.cfg.workers = workers;
+        self
+    }
+
+    /// Connection-table ceiling (event loop).
+    pub fn max_connections(mut self, n: usize) -> Self {
+        self.cfg.max_connections = n;
+        self
+    }
+
+    /// Poller backend (event loop).
+    pub fn poller(mut self, kind: PollerKind) -> Self {
+        self.cfg.poller = kind;
+        self
+    }
+
+    /// Validate and produce the config.
+    pub fn build(self) -> Result<ServerConfig, Error> {
+        if self.cfg.max_connections == 0 {
+            return Err(Error::invalid_config(
+                "server max_connections must be at least 1",
+            ));
+        }
+        if self.cfg.workers > 256 {
+            return Err(Error::invalid_config(
+                "server workers above 256 is certainly a mistake",
+            ));
+        }
+        Ok(self.cfg)
+    }
+}
+
+/// A running graph-service TCP server. All serving threads are joined on
+/// [`GraphServiceServer::shutdown`] (or drop), so shutdown is clean — no
+/// detached threads left running.
 pub struct GraphServiceServer {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
+    wake: Option<crate::poll::Waker>,
+    stats: Arc<RpcServerStats>,
     handle: Option<JoinHandle<()>>,
 }
 
 impl GraphServiceServer {
-    /// Bind `addr` (port 0 for an ephemeral port) and serve `service` on
-    /// background threads until shutdown.
+    /// Bind `addr` (port 0 for an ephemeral port) and serve `service` with
+    /// the default config — the event-loop backend.
     pub fn bind<S>(addr: impl ToSocketAddrs, service: Arc<S>) -> io::Result<Self>
+    where
+        S: GraphService + Send + Sync + 'static,
+    {
+        Self::bind_with(addr, service, ServerConfig::default())
+    }
+
+    /// Bind with an explicit [`ServerConfig`].
+    pub fn bind_with<S>(
+        addr: impl ToSocketAddrs,
+        service: Arc<S>,
+        cfg: ServerConfig,
+    ) -> io::Result<Self>
     where
         S: GraphService + Send + Sync + 'static,
     {
@@ -98,13 +188,33 @@ impl GraphServiceServer {
         listener.set_nonblocking(true)?;
         let local = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
-        let thread_stop = Arc::clone(&stop);
-        let handle = std::thread::Builder::new()
-            .name("platod2gl-rpc-accept".to_string())
-            .spawn(move || accept_loop(&listener, &service, &thread_stop))?;
+        let stats = RpcServerStats::new();
+        let (handle, wake) = match cfg.backend {
+            Backend::Threaded => {
+                stats.set_backend("threaded");
+                let thread_stop = Arc::clone(&stop);
+                let thread_stats = Arc::clone(&stats);
+                let handle = std::thread::Builder::new()
+                    .name("platod2gl-rpc-accept".to_string())
+                    .spawn(move || accept_loop(&listener, &service, &thread_stop, &thread_stats))?;
+                (handle, None)
+            }
+            Backend::EventLoop => {
+                let (handle, waker) = event::spawn(
+                    listener,
+                    service,
+                    Arc::clone(&stop),
+                    Arc::clone(&stats),
+                    cfg,
+                )?;
+                (handle, Some(waker))
+            }
+        };
         Ok(Self {
             addr: local,
             stop,
+            wake,
+            stats,
             handle: Some(handle),
         })
     }
@@ -114,13 +224,23 @@ impl GraphServiceServer {
         self.addr
     }
 
-    /// Stop accepting, drain connection threads, and join everything.
+    /// A cheap handle onto the live connection table, for the admin
+    /// plane's `GET /debug/rpc` (see
+    /// [`RpcIntrospect`](platod2gl_admin::RpcIntrospect)).
+    pub fn introspect(&self) -> ServerIntrospect {
+        ServerIntrospect(Arc::clone(&self.stats))
+    }
+
+    /// Stop accepting, drain connection state, and join everything.
     pub fn shutdown(mut self) {
         self.stop_and_join();
     }
 
     fn stop_and_join(&mut self) {
         self.stop.store(true, Ordering::Release);
+        if let Some(wake) = &self.wake {
+            wake.wake();
+        }
         if let Some(handle) = self.handle.take() {
             let _ = handle.join();
         }
@@ -133,27 +253,43 @@ impl Drop for GraphServiceServer {
     }
 }
 
-fn accept_loop<S>(listener: &TcpListener, service: &Arc<S>, stop: &Arc<AtomicBool>)
-where
+// ---------------------------------------------------------------------
+// Threaded backend (legacy, kept as the bench baseline).
+// ---------------------------------------------------------------------
+
+fn accept_loop<S>(
+    listener: &TcpListener,
+    service: &Arc<S>,
+    stop: &Arc<AtomicBool>,
+    stats: &Arc<RpcServerStats>,
+) where
     S: GraphService + Send + Sync + 'static,
 {
     let mut conns: Vec<JoinHandle<()>> = Vec::new();
     let connections = service.registry().counter("rpc.server.connections");
+    let metrics = Arc::new(ServerMetrics::new(Arc::clone(service.registry())));
     while !stop.load(Ordering::Acquire) {
         match listener.accept() {
-            Ok((stream, _peer)) => {
+            Ok((stream, peer)) => {
                 connections.inc();
+                let info = ConnInfo::new(peer.to_string());
+                let conn_id = stats.open(Arc::clone(&info));
                 let service = Arc::clone(service);
                 let stop = Arc::clone(stop);
+                let conn_stats = Arc::clone(stats);
+                let metrics = Arc::clone(&metrics);
                 let spawned = std::thread::Builder::new()
                     .name("platod2gl-rpc-conn".to_string())
                     .spawn(move || {
                         // A broken connection must not take the server
                         // down; the error ends this connection only.
-                        let _ = serve_connection(stream, &*service, &stop);
+                        let _ = serve_connection(stream, &*service, &metrics, &info, &stop);
+                        conn_stats.close(conn_id);
                     });
                 if let Ok(handle) = spawned {
                     conns.push(handle);
+                } else {
+                    stats.close(conn_id);
                 }
                 // Opportunistically reap finished connections so a
                 // long-lived server does not accumulate dead handles.
@@ -204,19 +340,15 @@ fn read_full(stream: &mut TcpStream, buf: &mut [u8], stop: &AtomicBool) -> io::R
 fn serve_connection<S: GraphService>(
     mut stream: TcpStream,
     service: &S,
+    metrics: &ServerMetrics,
+    info: &ConnInfo,
     stop: &AtomicBool,
 ) -> Result<(), FrameError> {
     stream.set_read_timeout(Some(CONN_POLL))?;
     stream.set_nodelay(true)?;
-    let registry = Arc::clone(service.registry());
-    let frames = registry.counter("rpc.server.frames");
-    let sample_requests = registry.counter("rpc.server.sample_requests");
-    let update_ops = registry.counter("rpc.server.update_ops");
-    let txn_ops = registry.counter("rpc.server.txn_ops");
-    let errors = registry.counter("rpc.server.errors");
-    let deadline_expired = registry.counter("rpc.server.deadline_expired");
-    let request_lat = registry.histogram("rpc.server.request_ns");
-
+    // The version the peer last spoke, so even an error reply to a
+    // garbled frame is encoded in a layout the peer can parse.
+    let mut peer_version = PROTOCOL_V2;
     loop {
         // Pull the length prefix with the stop-aware reader, then hand the
         // already-framed bytes to the codec.
@@ -225,410 +357,83 @@ fn serve_connection<S: GraphService>(
             return Ok(());
         }
         let len = u32::from_le_bytes(len_buf);
-        if (len as usize) < 6 || len as usize > crate::codec::MAX_FRAME_BYTES {
-            return Err(FrameError::BadLength { len });
+        let mut framed = vec![0u8; 4 + len as usize];
+        framed[..4].copy_from_slice(&len_buf);
+        match crate::codec::frame_len(&framed) {
+            Ok(Some(_)) => {}
+            // An in-bounds check of the prefix alone failed: poisoned
+            // stream.
+            _ => {
+                return fail_connection(
+                    &mut stream,
+                    metrics,
+                    peer_version,
+                    FrameError::BadLength { len },
+                )
+            }
         }
-        let mut body = vec![0u8; len as usize];
-        if !read_full(&mut stream, &mut body, stop)? {
+        if !read_full(&mut stream, &mut framed[4..], stop)? {
             return Ok(());
         }
-        let mut framed = Vec::with_capacity(4 + body.len());
-        framed.extend_from_slice(&len_buf);
-        framed.extend_from_slice(&body);
-        let (kind, payload) = match read_frame(&mut framed.as_slice()) {
+        let (header, payload) = match parse_frame(&framed) {
             Ok(frame) => frame,
-            Err(e) => {
-                // The stream cannot be trusted past a framing error: tell
-                // the peer and close.
-                errors.inc();
-                let reply = ErrorReply {
-                    code: error_code::BAD_REQUEST,
-                    shard: 0,
-                    message: e.to_string(),
-                };
-                let _ = write_frame(
-                    &mut stream,
-                    FrameKind::ErrorReply,
-                    &encode_error_reply(&reply),
-                );
-                return Err(e);
-            }
+            Err(e) => return fail_connection(&mut stream, metrics, peer_version, e),
         };
-        frames.inc();
-        let started = Instant::now();
-        let _span = registry.span("rpc.server.request");
-        match kind {
-            FrameKind::SampleBatch => {
-                let batch = decode_sample_batch(&payload)?;
-                sample_requests.add(batch.requests.len() as u64);
-                let deadline = Duration::from_millis(u64::from(batch.deadline_ms));
-                let mut responses = Vec::with_capacity(batch.requests.len());
-                for (req, seed) in &batch.requests {
-                    if batch.deadline_ms > 0 && started.elapsed() >= deadline {
-                        deadline_expired.inc();
-                        responses.push(degraded_response(
-                            req.vertex,
-                            req.fanout,
-                            req.on_degraded,
-                            route_for(req.vertex, service.num_shards()),
-                        ));
-                        continue;
-                    }
-                    responses.push(service.sample_one(req, &mut SeedRng(*seed)));
-                }
-                write_frame(
-                    &mut stream,
-                    FrameKind::SampleReply,
-                    &encode_sample_reply(&responses),
-                )?;
+        peer_version = header.version;
+        info.in_flight.fetch_add(1, Ordering::Relaxed);
+        let outcome = dispatch(
+            service,
+            metrics,
+            header.kind,
+            payload,
+            std::time::Instant::now(),
+        );
+        info.in_flight.fetch_sub(1, Ordering::Relaxed);
+        match outcome {
+            Ok((kind, reply)) => {
+                info.served(header.version);
+                stream.write_all(&encode_reply_frame(&header, kind, &reply))?;
             }
-            FrameKind::UpdateBatch => {
-                let batch = decode_update_batch(&payload)?;
-                update_ops.add(batch.ops.len() as u64);
-                match service.apply_updates(&batch.ops) {
-                    Ok(report) => {
-                        let reply = UpdateReply {
-                            applied_ops: report.applied_ops as u64,
-                            queued_ops: report.queued_ops as u64,
-                        };
-                        write_frame(
-                            &mut stream,
-                            FrameKind::UpdateReply,
-                            &encode_update_reply(&reply),
-                        )?;
-                    }
-                    Err(e) => {
-                        errors.inc();
-                        let shard = match &e {
-                            Error::ShardPanicked { shard, .. }
-                            | Error::ShardUnavailable { shard } => *shard as u32,
-                            _ => 0,
-                        };
-                        let reply = ErrorReply {
-                            code: error_code::SHARD_PANICKED,
-                            shard,
-                            message: e.to_string(),
-                        };
-                        write_frame(
-                            &mut stream,
-                            FrameKind::ErrorReply,
-                            &encode_error_reply(&reply),
-                        )?;
-                    }
-                }
-                let elapsed = started.elapsed();
-                let slow = registry.slow_log();
-                if slow.is_slow(elapsed) {
-                    slow.record(SlowOpRecord {
-                        op: "rpc.update_batch",
-                        trace_id: batch.trace_id,
-                        detail: format!("ops={}", batch.ops.len()),
-                        duration_ns: elapsed.as_nanos().min(u128::from(u64::MAX)) as u64,
-                        spans: Vec::new(),
-                    });
-                }
-            }
-            FrameKind::TxnApply => {
-                let apply = decode_txn_apply(&payload)?;
-                txn_ops.add(apply.ops.len() as u64);
-                let mut txn = GraphTxn::new(apply.txn_id);
-                for op in apply.ops {
-                    txn.push(op);
-                }
-                // Every outcome — commit, rejection, store error — is a
-                // well-formed TxnReply, so the client can always tell a
-                // served verdict from a transport failure (only the latter
-                // is retried, with the same txn id).
-                let reply = match service.apply_txn(&txn) {
-                    Ok(receipt) => TxnReply::Committed(receipt),
-                    Err(TxnError::Rejected { txn_id, violations }) => {
-                        errors.inc();
-                        TxnReply::Rejected { txn_id, violations }
-                    }
-                    Err(TxnError::Store(e)) => {
-                        errors.inc();
-                        let shard = match &e {
-                            Error::ShardPanicked { shard, .. }
-                            | Error::ShardUnavailable { shard } => *shard as u32,
-                            _ => 0,
-                        };
-                        TxnReply::StoreError {
-                            shard,
-                            code: error_code::SHARD_PANICKED,
-                            message: e.to_string(),
-                        }
-                    }
-                };
-                write_frame(&mut stream, FrameKind::TxnReply, &encode_txn_reply(&reply))?;
-            }
-            FrameKind::HealthProbe => {
-                let reply = HealthReply {
-                    graph_version: service.graph_version(),
-                    healths: service.shard_healths(),
-                };
-                write_frame(
-                    &mut stream,
-                    FrameKind::HealthReply,
-                    &encode_health_reply(&reply),
-                )?;
-            }
-            FrameKind::HealRequest => {
-                let shard = decode_heal_request(&payload)? as usize;
-                let drained = if shard < service.num_shards() {
-                    service.heal(shard) as u64
-                } else {
-                    0
-                };
-                write_frame(
-                    &mut stream,
-                    FrameKind::HealReply,
-                    &encode_heal_reply(drained),
-                )?;
-            }
-            FrameKind::ReplicaBatch => {
-                // Same shape as UpdateBatch, but applied through the
-                // replication entry point, which never re-forwards to the
-                // server's own replicas (loop prevention).
-                let batch = decode_update_batch(&payload)?;
-                update_ops.add(batch.ops.len() as u64);
-                match service.apply_replica_updates(&batch.ops) {
-                    Ok(report) => {
-                        let reply = UpdateReply {
-                            applied_ops: report.applied_ops as u64,
-                            queued_ops: report.queued_ops as u64,
-                        };
-                        write_frame(
-                            &mut stream,
-                            FrameKind::UpdateReply,
-                            &encode_update_reply(&reply),
-                        )?;
-                    }
-                    Err(e) => {
-                        errors.inc();
-                        let shard = match &e {
-                            Error::ShardPanicked { shard, .. }
-                            | Error::ShardUnavailable { shard } => *shard as u32,
-                            _ => 0,
-                        };
-                        let reply = ErrorReply {
-                            code: error_code::SHARD_PANICKED,
-                            shard,
-                            message: e.to_string(),
-                        };
-                        write_frame(
-                            &mut stream,
-                            FrameKind::ErrorReply,
-                            &encode_error_reply(&reply),
-                        )?;
-                    }
-                }
-            }
-            FrameKind::ReplicaTxn => {
-                let apply = decode_txn_apply(&payload)?;
-                txn_ops.add(apply.ops.len() as u64);
-                let mut txn = GraphTxn::new(apply.txn_id);
-                for op in apply.ops {
-                    txn.push(op);
-                }
-                let reply = match service.apply_replica_txn(&txn) {
-                    Ok(receipt) => TxnReply::Committed(receipt),
-                    Err(TxnError::Rejected { txn_id, violations }) => {
-                        errors.inc();
-                        TxnReply::Rejected { txn_id, violations }
-                    }
-                    Err(TxnError::Store(e)) => {
-                        errors.inc();
-                        let shard = match &e {
-                            Error::ShardPanicked { shard, .. }
-                            | Error::ShardUnavailable { shard } => *shard as u32,
-                            _ => 0,
-                        };
-                        TxnReply::StoreError {
-                            shard,
-                            code: error_code::SHARD_PANICKED,
-                            message: e.to_string(),
-                        }
-                    }
-                };
-                write_frame(&mut stream, FrameKind::TxnReply, &encode_txn_reply(&reply))?;
-            }
-            FrameKind::MapFetch => {
-                let reply = match service.fleet_map_bytes() {
-                    Some((epoch, bytes)) => MapReply {
-                        epoch,
-                        bytes: Some(bytes),
-                    },
-                    None => MapReply {
-                        epoch: 0,
-                        bytes: None,
-                    },
-                };
-                write_frame(&mut stream, FrameKind::MapReply, &encode_map_reply(&reply))?;
-            }
-            FrameKind::MapInstall => {
-                let (epoch, bytes) = decode_map_install(&payload)?;
-                match service.install_fleet_map(epoch, &bytes) {
-                    Ok(effective) => {
-                        let mut buf = Vec::with_capacity(8);
-                        platod2gl_server::wire::put_u64(&mut buf, effective);
-                        write_frame(&mut stream, FrameKind::MapInstallReply, &buf)?;
-                    }
-                    Err(e) => {
-                        errors.inc();
-                        let reply = ErrorReply {
-                            code: error_code::BAD_REQUEST,
-                            shard: 0,
-                            message: e.to_string(),
-                        };
-                        write_frame(
-                            &mut stream,
-                            FrameKind::ErrorReply,
-                            &encode_error_reply(&reply),
-                        )?;
-                    }
-                }
-            }
-            FrameKind::PartitionFetch => {
-                let fetch = decode_partition_fetch(&payload)?;
-                match service.export_partition(
-                    fetch.partition,
-                    fetch.num_partitions,
-                    fetch.cursor,
-                    fetch.max_edges as usize,
-                ) {
-                    Ok(chunk) => {
-                        let reply = PartitionChunkReply {
-                            done: chunk.done,
-                            cursor: chunk.cursor,
-                            edges: chunk.edges,
-                            snapshot: chunk.snapshot,
-                        };
-                        write_frame(
-                            &mut stream,
-                            FrameKind::PartitionChunkReply,
-                            &encode_partition_chunk(&reply),
-                        )?;
-                    }
-                    Err(e) => {
-                        errors.inc();
-                        let reply = ErrorReply {
-                            code: error_code::BAD_REQUEST,
-                            shard: 0,
-                            message: e.to_string(),
-                        };
-                        write_frame(
-                            &mut stream,
-                            FrameKind::ErrorReply,
-                            &encode_error_reply(&reply),
-                        )?;
-                    }
-                }
-            }
-            FrameKind::MigrateCtl => {
-                let (action, partition, num_partitions) = decode_migrate_ctl(&payload)?;
-                let outcome = if action == migrate_action::BEGIN {
-                    service.begin_migration(partition, num_partitions)
-                } else {
-                    service.end_migration(partition)
-                };
-                match outcome {
-                    Ok(value) => write_frame(
-                        &mut stream,
-                        FrameKind::MigrateCtlReply,
-                        &encode_migrate_ctl_reply(value),
-                    )?,
-                    Err(e) => {
-                        errors.inc();
-                        let reply = ErrorReply {
-                            code: error_code::BAD_REQUEST,
-                            shard: 0,
-                            message: e.to_string(),
-                        };
-                        write_frame(
-                            &mut stream,
-                            FrameKind::ErrorReply,
-                            &encode_error_reply(&reply),
-                        )?;
-                    }
-                }
-            }
-            FrameKind::TailFetch => {
-                let (partition, from_seq) = decode_tail_fetch(&payload)?;
-                match service.migration_tail(partition, from_seq) {
-                    Ok((ops, next_seq)) => {
-                        let reply = TailReply { next_seq, ops };
-                        write_frame(
-                            &mut stream,
-                            FrameKind::TailReply,
-                            &encode_tail_reply(&reply),
-                        )?;
-                    }
-                    Err(e) => {
-                        errors.inc();
-                        let reply = ErrorReply {
-                            code: error_code::BAD_REQUEST,
-                            shard: 0,
-                            message: e.to_string(),
-                        };
-                        write_frame(
-                            &mut stream,
-                            FrameKind::ErrorReply,
-                            &encode_error_reply(&reply),
-                        )?;
-                    }
-                }
-            }
-            FrameKind::PartitionStats => {
-                let num_partitions = decode_partition_stats(&payload)?;
-                let counts = service.partition_key_counts(num_partitions);
-                write_frame(
-                    &mut stream,
-                    FrameKind::PartitionStatsReply,
-                    &encode_partition_stats_reply(&counts),
-                )?;
-            }
-            // Reply kinds arriving at the server are a protocol violation.
-            kind => {
-                errors.inc();
-                let reply = ErrorReply {
-                    code: error_code::BAD_REQUEST,
-                    shard: 0,
-                    message: format!("unexpected client frame {kind:?}"),
-                };
-                write_frame(
-                    &mut stream,
-                    FrameKind::ErrorReply,
-                    &encode_error_reply(&reply),
-                )?;
-            }
+            // The payload failed record-level decoding: the stream cannot
+            // be trusted past it.
+            Err(e) => return fail_connection(&mut stream, metrics, peer_version, e),
         }
-        request_lat.record(started.elapsed());
     }
 }
 
-/// Client-policy degraded response, used when the server refuses a request
-/// (deadline lapsed) without consulting the shard.
-fn degraded_response(
-    vertex: platod2gl_graph::VertexId,
-    fanout: usize,
-    policy: DegradedPolicy,
-    shard: usize,
-) -> SampleResponse {
-    let (neighbors, sources) = match policy {
-        DegradedPolicy::EmptySet => (Vec::new(), Vec::new()),
-        DegradedPolicy::SelfLoop => (vec![vertex; fanout], vec![SlotSource::SelfLoop; fanout]),
+/// Best-effort error reply (in the peer's own protocol version), then
+/// close by returning the error.
+fn fail_connection(
+    stream: &mut TcpStream,
+    metrics: &ServerMetrics,
+    peer_version: u8,
+    e: FrameError,
+) -> Result<(), FrameError> {
+    metrics.errors.inc();
+    let reply = ErrorReply {
+        code: error_code::BAD_REQUEST,
+        shard: 0,
+        message: e.to_string(),
     };
-    SampleResponse {
-        neighbors,
-        sources,
-        degraded: true,
-        shard,
-    }
+    let header = FrameHeader {
+        version: peer_version,
+        kind: FrameKind::ErrorReply,
+        req_id: 0,
+    };
+    let _ = stream.write_all(&encode_reply_frame(
+        &header,
+        FrameKind::ErrorReply,
+        &encode_error_reply(&reply),
+    ));
+    Err(e)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::dispatch::{degraded_response, SeedRng};
+    use platod2gl_server::DegradedPolicy;
+    use rand::RngCore;
 
     #[test]
     fn seed_rng_first_draw_is_the_seed() {
@@ -642,10 +447,24 @@ mod tests {
     #[test]
     fn degraded_response_honors_policy() {
         use platod2gl_graph::VertexId;
+        use platod2gl_server::SlotSource;
         let empty = degraded_response(VertexId(5), 3, DegradedPolicy::EmptySet, 1);
         assert!(empty.degraded && empty.neighbors.is_empty());
         let looped = degraded_response(VertexId(5), 3, DegradedPolicy::SelfLoop, 1);
         assert_eq!(looped.neighbors, vec![VertexId(5); 3]);
         assert_eq!(looped.sources, vec![SlotSource::SelfLoop; 3]);
+    }
+
+    #[test]
+    fn server_config_builder_validates() {
+        let cfg = ServerConfig::builder()
+            .backend(Backend::Threaded)
+            .workers(2)
+            .build()
+            .expect("valid");
+        assert_eq!(cfg.backend, Backend::Threaded);
+        assert_eq!(cfg.workers, 2);
+        assert!(ServerConfig::builder().max_connections(0).build().is_err());
+        assert!(ServerConfig::builder().workers(1000).build().is_err());
     }
 }

@@ -9,9 +9,11 @@ use platod2gl_graph::{Edge, EdgeType, ShardHealth, UpdateOp, VertexId};
 use platod2gl_rpc::codec::{
     decode_error_reply, decode_heal_reply, decode_heal_request, decode_health_reply,
     decode_sample_batch, decode_sample_reply, decode_update_batch, decode_update_reply,
-    encode_error_reply, encode_frame, encode_heal_reply, encode_heal_request, encode_health_reply,
-    encode_sample_batch, encode_sample_reply, encode_update_batch, encode_update_reply, read_frame,
-    ErrorReply, FrameKind, HealthReply, SampleBatch, UpdateBatch, UpdateReply, MAX_FRAME_BYTES,
+    encode_error_reply, encode_frame, encode_frame_v1, encode_frame_v2, encode_heal_reply,
+    encode_heal_request, encode_health_reply, encode_reply_frame, encode_sample_batch,
+    encode_sample_reply, encode_update_batch, encode_update_reply, frame_len, parse_frame,
+    read_frame, read_frame_ex, ErrorReply, FrameHeader, FrameKind, HealthReply, SampleBatch,
+    UpdateBatch, UpdateReply, MAX_FRAME_BYTES, PROTOCOL_V1, PROTOCOL_V2,
 };
 use platod2gl_server::wire;
 use platod2gl_server::{DegradedPolicy, SampleRequest, SampleResponse, SlotSource};
@@ -254,5 +256,112 @@ proptest! {
         let framed = encode_frame(FrameKind::SampleReply, &payload);
         let (_, body) = read_frame(&mut framed.as_slice()).expect("frame itself is valid");
         prop_assert!(decode_sample_reply(&body).is_err());
+    }
+
+    /// v2 frames carry an arbitrary correlation id through encode → stream
+    /// read → header intact, for any payload.
+    #[test]
+    fn v2_frames_roundtrip_with_req_id(
+        req_id in any::<u64>(),
+        payload in vec(any::<u8>(), 0..256),
+    ) {
+        let framed = encode_frame_v2(FrameKind::SampleBatch, req_id, &payload);
+        let (header, body) = read_frame_ex(&mut framed.as_slice()).expect("valid v2 frame");
+        prop_assert_eq!(header.version, PROTOCOL_V2);
+        prop_assert_eq!(header.kind, FrameKind::SampleBatch);
+        prop_assert_eq!(header.req_id, req_id);
+        prop_assert_eq!(body, payload);
+    }
+
+    /// v1 frames (no id on the wire) parse to `req_id == 0` and are still
+    /// fully accepted by the same reader — old clients keep working.
+    #[test]
+    fn v1_frames_still_parse_with_zero_req_id(payload in vec(any::<u8>(), 0..256)) {
+        let framed = encode_frame_v1(FrameKind::UpdateBatch, &payload);
+        let (header, body) = read_frame_ex(&mut framed.as_slice()).expect("valid v1 frame");
+        prop_assert_eq!(header.version, PROTOCOL_V1);
+        prop_assert_eq!(header.req_id, 0);
+        prop_assert_eq!(body, payload);
+    }
+
+    /// `encode_reply_frame` mirrors the request's version AND id: a v1
+    /// request gets a v1 reply, a v2 request gets its own id echoed back.
+    #[test]
+    fn reply_frames_mirror_request_version_and_id(
+        v2 in any::<bool>(),
+        req_id in any::<u64>(),
+        payload in vec(any::<u8>(), 0..128),
+    ) {
+        let req = FrameHeader {
+            version: if v2 { PROTOCOL_V2 } else { PROTOCOL_V1 },
+            kind: FrameKind::SampleBatch,
+            req_id: if v2 { req_id } else { 0 },
+        };
+        let framed = encode_reply_frame(&req, FrameKind::SampleReply, &payload);
+        let (header, body) = read_frame_ex(&mut framed.as_slice()).expect("valid reply");
+        prop_assert_eq!(header.version, req.version);
+        prop_assert_eq!(header.kind, FrameKind::SampleReply);
+        prop_assert_eq!(header.req_id, req.req_id);
+        prop_assert_eq!(body, payload);
+    }
+
+    /// The `frame_len` peek agrees with the encoded length for both
+    /// versions, reports `None` on every strict prefix, and `parse_frame`
+    /// on the exact slice matches the stream reader byte for byte.
+    #[test]
+    fn frame_len_peek_agrees_with_parse(
+        v2 in any::<bool>(),
+        req_id in any::<u64>(),
+        payload in vec(any::<u8>(), 0..200),
+        cut_seed in any::<u64>(),
+    ) {
+        let framed = if v2 {
+            encode_frame_v2(FrameKind::HealthProbe, req_id, &payload)
+        } else {
+            encode_frame_v1(FrameKind::HealthProbe, &payload)
+        };
+        prop_assert_eq!(frame_len(&framed).expect("peek"), Some(framed.len()));
+        let cut = (cut_seed as usize) % framed.len();
+        // A prefix either cannot name its length yet (under 4 bytes) or
+        // names the full length — never a different one.
+        match frame_len(&framed[..cut]).expect("peek on prefix") {
+            None => prop_assert!(cut < 4),
+            Some(flen) => prop_assert_eq!(flen, framed.len()),
+        }
+        let (header, body) = parse_frame(&framed).expect("parse");
+        let (stream_header, stream_body) =
+            read_frame_ex(&mut framed.as_slice()).expect("stream read");
+        prop_assert_eq!(header, stream_header);
+        prop_assert_eq!(body, stream_body.as_slice());
+    }
+
+    /// Bit-flips anywhere past the length prefix of a v2 frame are caught
+    /// (CRC, version, or kind check) exactly as for v1.
+    #[test]
+    fn corrupted_v2_frames_are_rejected(
+        req_id in any::<u64>(),
+        ops in vec(arb_op(), 0..16),
+        at_seed in any::<u64>(),
+        bit in 0u8..8,
+    ) {
+        let batch = UpdateBatch { deadline_ms: 5, trace_id: Some(7), ops };
+        let mut framed =
+            encode_frame_v2(FrameKind::UpdateBatch, req_id, &encode_update_batch(&batch));
+        let at = 4 + (at_seed as usize) % (framed.len() - 4);
+        framed[at] ^= 1 << bit;
+        prop_assert!(read_frame_ex(&mut framed.as_slice()).is_err());
+    }
+
+    /// The pre-allocation length cap holds for the peek path too: a forged
+    /// oversized length prefix errors out of `frame_len` before any buffer
+    /// is sized from it.
+    #[test]
+    fn forged_lengths_are_rejected_at_the_peek(
+        len in (MAX_FRAME_BYTES as u32 + 1)..u32::MAX,
+        tail in vec(any::<u8>(), 0..16),
+    ) {
+        let mut bytes = len.to_le_bytes().to_vec();
+        bytes.extend_from_slice(&tail);
+        prop_assert!(frame_len(&bytes).is_err());
     }
 }

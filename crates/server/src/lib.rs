@@ -50,7 +50,7 @@ pub use txn::TxnLogEntry;
 
 use faults::Verdict;
 use platod2gl_graph::{
-    validate_and_lower, Edge, EdgeType, Error, GraphStore, GraphTxn, Served, ShardHealth, TxnError,
+    validate_and_lower, Edge, EdgeType, Error, GraphStore, GraphTxn, ShardHealth, TxnError,
     TxnReceipt, TxnView, UpdateOp, VertexId,
 };
 use platod2gl_obs::{Counter, Gauge, Histogram, Registry};
@@ -1522,22 +1522,6 @@ impl Cluster {
         response
     }
 
-    /// Weighted neighbor sampling with explicit degradation.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `Cluster::sample(&SampleRequest::new(v, etype, k), rng)`"
-    )]
-    pub fn sample_neighbors_detailed(
-        &self,
-        v: VertexId,
-        etype: EdgeType,
-        k: usize,
-        rng: &mut dyn RngCore,
-    ) -> Served<Vec<VertexId>> {
-        self.sample(&SampleRequest::new(v, etype, k), rng)
-            .into_served()
-    }
-
     /// Snapshot the whole cluster's topology into one stream. The format is
     /// shard-count independent, so a snapshot taken on 4 shards restores
     /// onto 8 (re-sharding without re-partitioning tools — the operation
@@ -2374,19 +2358,6 @@ mod tests {
         assert!(resp.degraded);
         assert_eq!(resp.neighbors, vec![dead; 5]);
         assert_eq!(resp.sources, vec![SlotSource::SelfLoop; 5]);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_detailed_shim_matches_sample() {
-        let c = small_cluster();
-        for i in 0..20u64 {
-            c.insert_edge(Edge::new(VertexId(3), VertexId(500 + i), 1.0));
-        }
-        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
-        let served = c.sample_neighbors_detailed(VertexId(3), EdgeType(0), 6, &mut rng);
-        assert!(!served.degraded);
-        assert_eq!(served.value.len(), 6);
     }
 
     #[test]

@@ -1,5 +1,5 @@
-//! The unified sampling API: one request/response pair instead of the
-//! historical `sample_neighbors` / `sample_neighbors_detailed` split.
+//! The unified sampling API: one request/response pair (the historical
+//! `sample_neighbors` / `sample_neighbors_detailed` split is gone).
 //!
 //! A [`SampleRequest`] names the vertex, relation, fanout, and what the
 //! router should do when the owning shard cannot answer; a
@@ -91,8 +91,8 @@ pub struct SampleResponse {
 }
 
 impl SampleResponse {
-    /// Bridge to the legacy [`Served`] shape used by the deprecated
-    /// `sample_neighbors_detailed`.
+    /// Bridge to the legacy [`Served`] shape some health-plumbing call
+    /// sites still speak.
     pub fn into_served(self) -> Served<Vec<VertexId>> {
         if self.degraded {
             Served::degraded(self.neighbors)

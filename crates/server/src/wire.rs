@@ -37,9 +37,15 @@ use crate::request::{DegradedPolicy, SampleRequest, SampleResponse, SlotSource};
 use platod2gl_graph::{Edge, EdgeType, ShardHealth, TxnOp, UpdateOp, VertexId};
 use std::fmt;
 
-/// Fixed per-frame overhead of the rpc frame layer: 4-byte length prefix,
-/// 1 version byte, 1 kind byte, 4-byte CRC32C trailer.
-pub const FRAME_OVERHEAD_BYTES: u64 = 10;
+/// Fixed per-frame overhead of the rpc frame layer at the current (v2)
+/// protocol: 4-byte length prefix, 1 version byte, 1 kind byte, 8-byte
+/// req_id, 4-byte CRC32C trailer. Legacy v1 frames (no req_id) are 8
+/// bytes lighter ([`FRAME_OVERHEAD_V1_BYTES`]); traffic accounting sizes
+/// against the protocol current clients speak.
+pub const FRAME_OVERHEAD_BYTES: u64 = 18;
+
+/// Fixed per-frame overhead of a legacy v1 frame (no req_id field).
+pub const FRAME_OVERHEAD_V1_BYTES: u64 = 10;
 
 /// Encoded size of one [`SampleRequest`] record.
 pub const SAMPLE_REQUEST_BYTES: u64 = 32;

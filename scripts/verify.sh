@@ -5,15 +5,14 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 echo "==> cargo build --release --all-features (warnings are errors)"
-# Fail on any new compiler warning. Deprecation warnings are allow-listed:
-# the sampling API shims (sample_neighbors_detailed, StoreError) stay for
-# one release and intentionally warn at external call sites.
+# Fail on any compiler warning. The deprecation shims retired in PR 8 took
+# the allow-list with them: the tree must build warning-clean.
 build_log=$(mktemp)
 trap 'rm -f "$build_log"' EXIT
 cargo build --release --all-features 2>&1 | tee "$build_log"
-if grep "^warning" "$build_log" | grep -v "use of deprecated" >/dev/null; then
-    echo "verify: FAIL — new compiler warnings (deprecation shims are the only allowed warnings):"
-    grep "^warning" "$build_log" | grep -v "use of deprecated"
+if grep "^warning" "$build_log" >/dev/null; then
+    echo "verify: FAIL - compiler warnings:"
+    grep "^warning" "$build_log"
     exit 1
 fi
 
@@ -104,6 +103,23 @@ fi
 speedup=$(sed -n 's/.*"speedup_3v1":\([0-9.]*\).*/\1/p' BENCH_7.json)
 if ! awk -v s="$speedup" 'BEGIN { exit !(s >= 1.5) }'; then
     echo "verify: FAIL — fleet speedup_3v1 = $speedup < 1.5"
+    exit 1
+fi
+
+echo "==> serving-core trail (report_rpc -> BENCH_8.json, event loop >= 2x threaded @512 conns)"
+cargo run -p platod2gl-bench --release --bin report_rpc
+if ! grep -qF '"bench":"rpc_serving"' BENCH_8.json; then
+    echo "verify: FAIL — BENCH_8.json missing or malformed"
+    exit 1
+fi
+speedup512=$(sed -n 's/.*"speedup_512":\([0-9.]*\).*/\1/p' BENCH_8.json)
+if ! awk -v s="$speedup512" 'BEGIN { exit !(s >= 2.0) }'; then
+    echo "verify: FAIL — event loop speedup_512 = $speedup512 < 2.0 over threaded"
+    exit 1
+fi
+accept_errors=$(sed -n 's/.*"accept_errors":\([0-9]*\).*/\1/p' BENCH_8.json)
+if [ "$accept_errors" != "0" ]; then
+    echo "verify: FAIL — $accept_errors errors across 10k accepts"
     exit 1
 fi
 

@@ -1,0 +1,281 @@
+//! Soak and compatibility tests for the event-loop serving core.
+//!
+//! The soak drives one event-loop server (dispatch workers on, so
+//! completions genuinely race) from over a thousand concurrently open
+//! connections, each pipelining a randomized interleaving of protocol-v1
+//! and protocol-v2 frames. Every request targets a vertex whose single
+//! out-edge encodes the request's identity, so each reply proves by its
+//! payload which request it answers: a lost, misrouted, or (for v1)
+//! reordered reply cannot go unnoticed.
+//!
+//! The compat test speaks pure v1 — the PR-5 wire format, no `req_id` —
+//! at a default-configured new server and checks the old contract
+//! verbatim: replies come back in v1 framing, strictly in request order,
+//! even when the server dispatches on a worker pool that finishes them
+//! out of order.
+
+use platod2gl::{Cluster, ClusterConfig, Edge, EdgeType, GraphStore, SampleRequest, VertexId};
+use platod2gl_rpc::codec::{
+    decode_sample_reply, encode_frame_v1, encode_frame_v2, encode_sample_batch, read_frame_ex,
+    FrameKind, SampleBatch, PROTOCOL_V1, PROTOCOL_V2,
+};
+use platod2gl_rpc::{GraphServiceServer, ServerConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::io::Write;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+const ET: EdgeType = EdgeType::DEFAULT;
+
+const DRIVERS: usize = 64;
+const CONNS_PER_DRIVER: usize = 16;
+const REQUESTS_PER_CONN: usize = 8;
+
+/// The vertex a given (driver, conn, seq) request asks about. Its single
+/// out-edge points at `raw() + 1`, so the expected reply is fully
+/// determined by — and unique to — the request.
+fn request_vertex(driver: usize, conn: usize, seq: usize) -> VertexId {
+    VertexId((driver as u64) << 32 | (conn as u64) << 16 | seq as u64)
+}
+
+/// A cluster holding exactly one out-edge per soak vertex.
+fn soak_cluster() -> Arc<Cluster> {
+    let cluster = Arc::new(Cluster::new(
+        ClusterConfig::builder()
+            .num_shards(2)
+            .build()
+            .expect("valid config"),
+    ));
+    for driver in 0..DRIVERS {
+        for conn in 0..CONNS_PER_DRIVER {
+            for seq in 0..REQUESTS_PER_CONN {
+                let v = request_vertex(driver, conn, seq);
+                cluster.insert_edge(Edge::new(v, VertexId(v.raw() + 1), 1.0));
+            }
+        }
+    }
+    cluster
+}
+
+/// One sample request for `v`, encoded as a single-request batch payload.
+fn sample_payload(v: VertexId) -> Vec<u8> {
+    let req = SampleRequest::new(v, ET, 2);
+    encode_sample_batch(&SampleBatch {
+        deadline_ms: 30_000,
+        requests: vec![(req, 0x5EED)],
+    })
+}
+
+/// Assert a sample-reply payload answers the request for `v`: two slots
+/// (with-replacement fanout over the one edge), both naming `v + 1`.
+fn assert_answers(payload: &[u8], v: VertexId, what: &str) {
+    let responses = decode_sample_reply(payload).expect("decodable reply");
+    assert_eq!(responses.len(), 1, "{what}: one response per request");
+    assert!(!responses[0].degraded, "{what}: healthy server");
+    assert_eq!(
+        responses[0].neighbors,
+        vec![VertexId(v.raw() + 1); 2],
+        "{what}: reply payload must identify the request it answers"
+    );
+}
+
+fn connect(addr: SocketAddr) -> TcpStream {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("read timeout");
+    stream.set_nodelay(true).expect("nodelay");
+    stream
+}
+
+/// Over a thousand concurrently open connections, mixed v1/v2 framing,
+/// randomized write interleavings, dispatch workers racing completions:
+/// no reply is lost, misrouted, or — within a v1 stream — reordered.
+#[test]
+fn soak_thousand_connections_mixed_protocols() {
+    let cluster = soak_cluster();
+    let server = GraphServiceServer::bind_with(
+        "127.0.0.1:0",
+        Arc::clone(&cluster),
+        ServerConfig::builder()
+            .workers(2)
+            .max_connections(4096)
+            .build()
+            .expect("valid config"),
+    )
+    .expect("bind");
+    let addr = server.local_addr();
+
+    // +1 party: the main thread audits the server while everything is
+    // connected, before any driver starts closing.
+    let all_connected = Arc::new(Barrier::new(DRIVERS + 1));
+    let may_close = Arc::new(Barrier::new(DRIVERS + 1));
+
+    let drivers: Vec<_> = (0..DRIVERS)
+        .map(|driver| {
+            let all_connected = Arc::clone(&all_connected);
+            let may_close = Arc::clone(&may_close);
+            std::thread::spawn(move || {
+                let mut rng = StdRng::seed_from_u64(0xA5A5 + driver as u64);
+                // Even conns speak v1, odd conns speak v2. Each connection
+                // round-trips a health probe immediately: the reply proves
+                // the server *accepted* it (a TCP handshake alone only
+                // proves the kernel queued it), and the serial probes pace
+                // the thousand-connection flood below the listener backlog.
+                let mut conns: Vec<TcpStream> = (0..CONNS_PER_DRIVER)
+                    .map(|conn| {
+                        let mut stream = connect(addr);
+                        let frame = if conn.is_multiple_of(2) {
+                            encode_frame_v1(FrameKind::HealthProbe, &[])
+                        } else {
+                            encode_frame_v2(FrameKind::HealthProbe, 7, &[])
+                        };
+                        stream.write_all(&frame).expect("probe");
+                        let (header, _) = read_frame_ex(&mut stream).expect("probe reply");
+                        assert_eq!(header.kind, FrameKind::HealthReply);
+                        stream
+                    })
+                    .collect();
+                all_connected.wait();
+
+                // Write phase: each conn has a queue of requests; send them
+                // one frame at a time across conns in random order.
+                let mut next_seq = [0usize; CONNS_PER_DRIVER];
+                let mut live: Vec<usize> = (0..CONNS_PER_DRIVER).collect();
+                while !live.is_empty() {
+                    let pick = rng.random_range(0..live.len());
+                    let conn = live[pick];
+                    let seq = next_seq[conn];
+                    let v = request_vertex(driver, conn, seq);
+                    let payload = sample_payload(v);
+                    let frame = if conn.is_multiple_of(2) {
+                        encode_frame_v1(FrameKind::SampleBatch, &payload)
+                    } else {
+                        // v2 correlation ids are arbitrary; encode the
+                        // request identity so the reply check is direct.
+                        encode_frame_v2(FrameKind::SampleBatch, v.raw(), &payload)
+                    };
+                    conns[conn].write_all(&frame).expect("send");
+                    next_seq[conn] += 1;
+                    if next_seq[conn] == REQUESTS_PER_CONN {
+                        live.swap_remove(pick);
+                    }
+                }
+
+                // Read phase, conns drained in a fresh random order.
+                let mut order: Vec<usize> = (0..CONNS_PER_DRIVER).collect();
+                for i in (1..order.len()).rev() {
+                    order.swap(i, rng.random_range(0..=i));
+                }
+                for conn in order {
+                    if conn.is_multiple_of(2) {
+                        // v1: no ids on the wire — replies must arrive in
+                        // exactly the order the requests were written.
+                        for seq in 0..REQUESTS_PER_CONN {
+                            let (header, payload) =
+                                read_frame_ex(&mut conns[conn]).expect("v1 reply");
+                            assert_eq!(header.version, PROTOCOL_V1, "v1 in, v1 out");
+                            assert_eq!(header.req_id, 0);
+                            let v = request_vertex(driver, conn, seq);
+                            assert_answers(&payload, v, "v1 in-order");
+                        }
+                    } else {
+                        // v2: replies may arrive in any order; the ids must
+                        // cover every request exactly once and each payload
+                        // must match its id.
+                        let mut seen = [false; REQUESTS_PER_CONN];
+                        for _ in 0..REQUESTS_PER_CONN {
+                            let (header, payload) =
+                                read_frame_ex(&mut conns[conn]).expect("v2 reply");
+                            assert_eq!(header.version, PROTOCOL_V2, "v2 in, v2 out");
+                            let v = VertexId(header.req_id);
+                            let seq = (v.raw() & 0xFFFF) as usize;
+                            assert!(seq < REQUESTS_PER_CONN, "id names a real request");
+                            assert_eq!(v, request_vertex(driver, conn, seq), "id routes home");
+                            assert!(!seen[seq], "no duplicated replies");
+                            seen[seq] = true;
+                            assert_answers(&payload, v, "v2 correlated");
+                        }
+                    }
+                }
+                may_close.wait();
+            })
+        })
+        .collect();
+
+    all_connected.wait();
+    // Every driver connection is open right now; the event loop holds
+    // them all concurrently.
+    let snapshot = cluster.obs().snapshot();
+    let open = snapshot
+        .gauges
+        .iter()
+        .find(|(name, _)| name == "rpc.server.open_connections")
+        .map_or(0, |(_, value)| *value);
+    assert!(
+        open >= (DRIVERS * CONNS_PER_DRIVER) as i64,
+        "expected >= 1k concurrently open connections, gauge says {open}"
+    );
+    may_close.wait();
+
+    for driver in drivers {
+        driver.join().expect("driver clean");
+    }
+    let errors = cluster
+        .obs()
+        .snapshot()
+        .counters
+        .iter()
+        .find(|(name, _)| name == "rpc.server.errors")
+        .map_or(0, |(_, value)| *value);
+    assert_eq!(errors, 0, "a clean soak serves every frame");
+    server.shutdown();
+}
+
+/// An old (v1, pre-req-id) client against a new default server: the full
+/// exchange works, replies are v1-framed, and a pipelined burst comes
+/// back strictly in request order even though the server's worker pool
+/// finishes dispatches out of order.
+#[test]
+fn old_v1_client_interops_with_new_server() {
+    let cluster = soak_cluster();
+    // Worker pool on: out-of-order completion is exactly what the v1
+    // hold-back must mask.
+    let server = GraphServiceServer::bind_with(
+        "127.0.0.1:0",
+        Arc::clone(&cluster),
+        ServerConfig::builder()
+            .workers(2)
+            .build()
+            .expect("valid config"),
+    )
+    .expect("bind");
+    let mut stream = connect(server.local_addr());
+
+    // Pipeline a burst of v1 frames, then read: order must be preserved.
+    for seq in 0..REQUESTS_PER_CONN {
+        let v = request_vertex(0, 0, seq);
+        let frame = encode_frame_v1(FrameKind::SampleBatch, &sample_payload(v));
+        stream.write_all(&frame).expect("send");
+    }
+    for seq in 0..REQUESTS_PER_CONN {
+        let (header, payload) = read_frame_ex(&mut stream).expect("reply");
+        assert_eq!(
+            header.version, PROTOCOL_V1,
+            "a v1 request gets a v1 reply — old decoders keep working"
+        );
+        assert_eq!(header.req_id, 0, "v1 has no correlation id");
+        assert_answers(&payload, request_vertex(0, 0, seq), "v1 compat");
+    }
+
+    // A v1 health probe still round-trips on the same connection.
+    let frame = encode_frame_v1(FrameKind::HealthProbe, &[]);
+    stream.write_all(&frame).expect("send probe");
+    let (header, _) = read_frame_ex(&mut stream).expect("health reply");
+    assert_eq!(header.version, PROTOCOL_V1);
+    assert_eq!(header.kind, FrameKind::HealthReply);
+
+    server.shutdown();
+}
