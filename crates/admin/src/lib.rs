@@ -30,6 +30,7 @@
 //! amplify a misbehaving client into cluster-wide lock pressure.
 
 use platod2gl_graph::{GraphStore, ShardHealth};
+use platod2gl_obs::{ExportedSpan, RegistryExport};
 use platod2gl_server::Cluster;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -379,22 +380,221 @@ pub trait FleetIntrospect {
 
     /// The fleet client's own metric registry (for `/metrics`).
     fn registry(&self) -> &Arc<platod2gl_obs::Registry>;
+
+    /// Every span of `trace_id` each fleet member holds, labeled by
+    /// member, the local client first. Default: the local registry only —
+    /// an implementation with remote members overrides this with a
+    /// `SpanExport` pull per member (`GET /debug/trace/<id>` stitches
+    /// the result into one cross-process tree).
+    fn fleet_trace(&self, trace_id: u64) -> Vec<(String, Vec<ExportedSpan>)> {
+        vec![("client".to_string(), self.registry().trace_spans(trace_id))]
+    }
+
+    /// Each member's full registry export (exact histogram buckets plus
+    /// recent slow ops), labeled by member. Default: the local registry
+    /// only; fleet implementations override with an `ObsExport` pull per
+    /// member (`GET /fleet/metrics` and `GET /fleet/slow` merge these).
+    fn fleet_obs(&self) -> Vec<(String, RegistryExport)> {
+        vec![("client".to_string(), self.registry().export())]
+    }
 }
 
 /// Dispatch one GET against a fleet. Split out (and `pub` for tests) so
 /// endpoint behavior is testable without sockets.
 pub fn route_fleet(path: &str, fleet: &dyn FleetIntrospect) -> (u16, &'static str, String) {
+    if let Some(rest) = path.strip_prefix("/debug/trace/") {
+        return match rest.parse::<u64>() {
+            Ok(trace_id) if trace_id != 0 => (
+                200,
+                CT_JSON,
+                trace_json(trace_id, &fleet.fleet_trace(trace_id)),
+            ),
+            _ => (
+                404,
+                CT_TEXT,
+                "trace id must be a nonzero integer\n".to_string(),
+            ),
+        };
+    }
     match path {
         "/" => (
             200,
             CT_TEXT,
-            "PlatoD2GL fleet admin\n\n/metrics\n/healthz\n/debug/partitions\n".to_string(),
+            "PlatoD2GL fleet admin\n\n/metrics\n/healthz\n/debug/partitions\n\
+             /debug/trace/<id>\n/fleet/metrics\n/fleet/slow\n"
+                .to_string(),
         ),
         "/metrics" => (200, CT_PROM, fleet.registry().snapshot().to_prometheus()),
+        "/fleet/metrics" => (200, CT_PROM, fleet_metrics_prometheus(&fleet.fleet_obs())),
+        "/fleet/slow" => (200, CT_JSON, fleet_slow_json(&fleet.fleet_obs())),
         "/healthz" => fleet_healthz(&fleet.fleet_snapshot()),
         "/debug/partitions" => (200, CT_JSON, partitions_json(&fleet.fleet_snapshot())),
         _ => (404, CT_TEXT, "not found\n".to_string()),
     }
+}
+
+/// Merge per-member registry exports into one Prometheus exposition.
+/// Rendering goes through [`platod2gl_obs::fleet_prometheus`], which
+/// shares the scalar/histogram emitters with the single-process
+/// `/metrics` — one formatter, so HELP text, `_total` suffixes, and
+/// base-unit conversion can never drift between the two.
+fn fleet_metrics_prometheus(members: &[(String, RegistryExport)]) -> String {
+    let snaps: Vec<(String, platod2gl_obs::ObsSnapshot)> = members
+        .iter()
+        .map(|(label, e)| {
+            (
+                label.clone(),
+                platod2gl_obs::ObsSnapshot {
+                    counters: e.counters.clone(),
+                    gauges: e.gauges.clone(),
+                    histograms: e.histograms.clone(),
+                    spans: Vec::new(),
+                },
+            )
+        })
+        .collect();
+    platod2gl_obs::fleet_prometheus(&snaps)
+}
+
+/// The fleet-wide slow-op log: every member's captures tagged with their
+/// origin, slowest first (ties keep member order — deterministic for a
+/// given input).
+fn fleet_slow_json(members: &[(String, RegistryExport)]) -> String {
+    let mut ops: Vec<(&str, &platod2gl_obs::SlowOpExport)> = members
+        .iter()
+        .flat_map(|(label, e)| e.slow.iter().map(move |op| (label.as_str(), op)))
+        .collect();
+    ops.sort_by_key(|&(_, op)| std::cmp::Reverse(op.duration_ns));
+    let mut body = format!("{{\"captured\":{},\"ops\":[", ops.len());
+    for (i, (server, op)) in ops.iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        body.push_str(&op.to_json_tagged(Some(server)));
+    }
+    body.push_str("]}");
+    body
+}
+
+/// One node of the stitched trace tree: a span plus where it ran.
+struct TraceNode<'a> {
+    member: &'a str,
+    span: &'a ExportedSpan,
+    children: Vec<usize>,
+}
+
+/// Assemble the cross-process span tree for one trace id.
+///
+/// Span ids are only unique within their origin process, so nodes key as
+/// `(member, span id)`. A local `parent` resolves within the same member;
+/// a server-side root's `remote_parent` names a span in the *caller's*
+/// process and resolves against other members first (own member last), in
+/// member-list order — deterministic, and correct for the honest case
+/// where the caller is a different process. Unresolvable spans become
+/// additional roots rather than being dropped: a partial trace renders
+/// partially, never silently shrinks.
+fn trace_json(trace_id: u64, members: &[(String, Vec<ExportedSpan>)]) -> String {
+    use std::collections::HashMap;
+    let mut nodes: Vec<TraceNode<'_>> = Vec::new();
+    // (member index, span id) -> node index; first occurrence wins.
+    let mut by_key: HashMap<(usize, u64), usize> = HashMap::new();
+    for (mi, (member, spans)) in members.iter().enumerate() {
+        for span in spans {
+            let key = (mi, span.id);
+            if let std::collections::hash_map::Entry::Vacant(e) = by_key.entry(key) {
+                e.insert(nodes.len());
+                nodes.push(TraceNode {
+                    member,
+                    span,
+                    children: Vec::new(),
+                });
+            }
+        }
+    }
+    let member_index: HashMap<&str, usize> = members
+        .iter()
+        .enumerate()
+        .map(|(i, (m, _))| (m.as_str(), i))
+        .collect();
+    let mut roots: Vec<usize> = Vec::new();
+    for i in 0..nodes.len() {
+        let mi = member_index[nodes[i].member];
+        let parent = match (nodes[i].span.parent, nodes[i].span.remote_parent) {
+            (Some(p), _) => by_key.get(&(mi, p)).copied(),
+            (None, Some(rp)) => (0..members.len())
+                .filter(|&m| m != mi)
+                .chain(std::iter::once(mi))
+                .find_map(|m| by_key.get(&(m, rp)).copied())
+                .filter(|&p| p != i),
+            (None, None) => None,
+        };
+        match parent {
+            Some(p) => nodes[p].children.push(i),
+            None => roots.push(i),
+        }
+    }
+    // Deterministic sibling order: member order, then start offset, then
+    // span id (start offsets are per-process epochs — comparable within a
+    // member, which is the only place ties matter).
+    let keys: Vec<(usize, u64, u64)> = nodes
+        .iter()
+        .map(|n| (member_index[n.member], n.span.start_ns, n.span.id))
+        .collect();
+    roots.sort_by_key(|&i| keys[i]);
+    for node in &mut nodes {
+        node.children.sort_by_key(|&i| keys[i]);
+    }
+    let processes = {
+        let mut seen: Vec<&str> = nodes.iter().map(|n| n.member).collect();
+        seen.sort_by_key(|m| member_index[m]);
+        seen.dedup();
+        seen
+    };
+    let mut body = format!(
+        "{{\"trace_id\":{trace_id},\"span_count\":{},\"processes\":[",
+        nodes.len()
+    );
+    for (i, m) in processes.iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        let _ = std::fmt::Write::write_fmt(&mut body, format_args!("\"{}\"", json_escape(m)));
+    }
+    body.push_str("],\"roots\":[");
+    for (i, &root) in roots.iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        write_trace_node(&mut body, &nodes, root);
+    }
+    body.push_str("]}");
+    body
+}
+
+fn write_trace_node(out: &mut String, nodes: &[TraceNode<'_>], i: usize) {
+    let n = &nodes[i];
+    let opt = |v: Option<u64>| match v {
+        Some(p) => p.to_string(),
+        None => "null".to_string(),
+    };
+    out.push_str(&format!(
+        "{{\"member\":\"{}\",\"name\":\"{}\",\"id\":{},\"parent\":{},\"remote_parent\":{},\
+         \"start_ns\":{},\"duration_ns\":{},\"children\":[",
+        json_escape(n.member),
+        json_escape(&n.span.name),
+        n.span.id,
+        opt(n.span.parent),
+        opt(n.span.remote_parent),
+        n.span.start_ns,
+        n.span.duration_ns
+    ));
+    for (k, &child) in n.children.iter().enumerate() {
+        if k > 0 {
+            out.push(',');
+        }
+        write_trace_node(out, nodes, child);
+    }
+    out.push_str("]}");
 }
 
 /// Fleet health is about *coverage*, not individual boxes: a partition

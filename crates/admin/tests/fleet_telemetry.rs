@@ -1,0 +1,235 @@
+//! The fleet telemetry plane, exercised through `route_fleet` without
+//! sockets: the merged `/fleet/metrics` exposition against a golden file
+//! (regenerate with `UPDATE_GOLDEN=1 cargo test -p platod2gl-admin --test
+//! fleet_telemetry`), the `/debug/trace/<id>` cross-process tree
+//! assembly, and the merged `/fleet/slow` log.
+
+use platod2gl_admin::{route_fleet, FleetIntrospect, FleetSnapshot};
+use platod2gl_obs::{ExportedSpan, Registry, RegistryExport, SlowOpExport};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// A fleet stub with canned per-member telemetry. `fleet_snapshot` is
+/// unused by the endpoints under test.
+struct CannedFleet {
+    registry: Arc<Registry>,
+    obs: Vec<(String, RegistryExport)>,
+    trace: Vec<(String, Vec<ExportedSpan>)>,
+}
+
+impl FleetIntrospect for CannedFleet {
+    fn fleet_snapshot(&self) -> FleetSnapshot {
+        FleetSnapshot::default()
+    }
+    fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+    fn fleet_trace(&self, _trace_id: u64) -> Vec<(String, Vec<ExportedSpan>)> {
+        self.trace.clone()
+    }
+    fn fleet_obs(&self) -> Vec<(String, RegistryExport)> {
+        self.obs.clone()
+    }
+}
+
+/// One member's deterministic export: fixed counters/gauge plus a
+/// histogram fed exact nanosecond observations.
+fn member_export(requests: u64, edges: i64, lat_ns: &[u64]) -> RegistryExport {
+    let r = Registry::new();
+    r.counter("cluster.requests").add(requests);
+    r.gauge("storage.edges").set(edges);
+    let h = r.histogram("cluster.sample_latency_ns");
+    for &ns in lat_ns {
+        h.record_ns(ns);
+    }
+    r.export()
+}
+
+fn span(
+    name: &str,
+    id: u64,
+    parent: Option<u64>,
+    remote_parent: Option<u64>,
+    start_ns: u64,
+) -> ExportedSpan {
+    ExportedSpan {
+        name: name.to_string(),
+        id,
+        parent,
+        trace_id: 42,
+        remote_parent,
+        start_ns,
+        duration_ns: 1_000,
+    }
+}
+
+fn canned_fleet() -> CannedFleet {
+    CannedFleet {
+        registry: Arc::new(Registry::new()),
+        obs: vec![
+            ("client".to_string(), member_export(10, 5, &[100, 1_000])),
+            ("server-1".to_string(), member_export(7, 9, &[1_023])),
+            ("server-2".to_string(), member_export(3, 2, &[15_000])),
+        ],
+        // client root (span 1) fans out to two servers; server-1 relays
+        // to server-2 (its span 7 is the remote parent of server-2's 4).
+        trace: vec![
+            (
+                "client".to_string(),
+                vec![
+                    span("fleet.sample", 1, None, None, 0),
+                    span("fleet.sample_group", 2, Some(1), None, 10),
+                ],
+            ),
+            (
+                "server-1".to_string(),
+                vec![
+                    span("rpc.server.sample", 7, None, Some(2), 0),
+                    span("cluster.sample", 8, Some(7), None, 5),
+                ],
+            ),
+            (
+                "server-2".to_string(),
+                vec![span("rpc.server.update", 4, None, Some(7), 0)],
+            ),
+        ],
+    }
+}
+
+fn check_golden(name: &str, actual: &str) {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden file {}: {e}", path.display()));
+    assert_eq!(
+        actual,
+        expected,
+        "merged exposition drifted from {} — run with UPDATE_GOLDEN=1 if intentional",
+        path.display()
+    );
+}
+
+#[test]
+fn fleet_metrics_merge_matches_golden() {
+    let fleet = canned_fleet();
+    let (status, ct, body) = route_fleet("/fleet/metrics", &fleet);
+    assert_eq!(status, 200);
+    assert!(ct.starts_with("text/plain"), "{ct}");
+    check_golden("fleet_metrics.prom", &body);
+    // Deterministic: the same members render the same bytes.
+    assert_eq!(body, route_fleet("/fleet/metrics", &fleet).2);
+}
+
+#[test]
+fn fleet_metrics_merge_is_exact() {
+    let fleet = canned_fleet();
+    let (_, _, body) = route_fleet("/fleet/metrics", &fleet);
+    // Counter sum: 10 + 7 + 3.
+    assert!(
+        body.contains("plato_cluster_requests_total{server=\"fleet\"} 20"),
+        "{body}"
+    );
+    // Histogram merge is sum-preserving: total count is the sum of the
+    // per-member counts, and the fleet `_sum` is the exact sum of every
+    // observation (100 + 1000 + 1023 + 15000 ns).
+    assert!(
+        body.contains("plato_cluster_sample_latency_seconds_count{server=\"fleet\"} 4"),
+        "{body}"
+    );
+    assert!(
+        body.contains("plato_cluster_sample_latency_seconds_sum{server=\"fleet\"} 0.000017123"),
+        "{body}"
+    );
+    // The shared formatter carries the single-process HELP conventions.
+    assert!(
+        body.contains(
+            "# HELP plato_cluster_requests_total Sample requests routed by the cluster front door"
+        ),
+        "{body}"
+    );
+}
+
+#[test]
+fn debug_trace_stitches_one_tree_across_processes() {
+    let fleet = canned_fleet();
+    let (status, ct, body) = route_fleet("/debug/trace/42", &fleet);
+    assert_eq!(status, 200);
+    assert_eq!(ct, "application/json");
+    assert!(
+        body.starts_with("{\"trace_id\":42,\"span_count\":5"),
+        "{body}"
+    );
+    assert!(
+        body.contains("\"processes\":[\"client\",\"server-1\",\"server-2\"]"),
+        "{body}"
+    );
+    // One root — the client's fan-out span — everything else nested.
+    assert_eq!(body.matches("\"member\":\"client\"").count(), 2);
+    let roots_at = body.find("\"roots\":[").expect("roots array");
+    let first_root = &body[roots_at..];
+    assert!(
+        first_root.starts_with("\"roots\":[{\"member\":\"client\",\"name\":\"fleet.sample\""),
+        "{body}"
+    );
+    // Exactly one top-level tree: the roots array holds a single object.
+    assert_eq!(body.matches("\"remote_parent\":2").count(), 1);
+    // Nesting: server-1's remote root sits under the client group span,
+    // and server-2's under server-1's span 7.
+    let group = body.find("\"name\":\"fleet.sample_group\"").expect("group");
+    let srv1 = body.find("\"member\":\"server-1\"").expect("server-1");
+    let srv2 = body.find("\"member\":\"server-2\"").expect("server-2");
+    assert!(group < srv1 && srv1 < srv2, "{body}");
+}
+
+#[test]
+fn debug_trace_rejects_bad_ids() {
+    let fleet = canned_fleet();
+    assert_eq!(route_fleet("/debug/trace/0", &fleet).0, 404);
+    assert_eq!(route_fleet("/debug/trace/nope", &fleet).0, 404);
+    assert_eq!(route_fleet("/debug/trace/", &fleet).0, 404);
+}
+
+#[test]
+fn fleet_slow_merges_and_orders_by_duration() {
+    let mut fleet = canned_fleet();
+    fleet.obs[0].1.slow.push(SlowOpExport {
+        op: "rpc.client.sample".to_string(),
+        trace_id: Some(42),
+        detail: "batch=64".to_string(),
+        duration_ns: 5_000,
+        spans: Vec::new(),
+    });
+    fleet.obs[1].1.slow.push(SlowOpExport {
+        op: "cluster.sample".to_string(),
+        trace_id: Some(42),
+        detail: "vertex=7".to_string(),
+        duration_ns: 9_000,
+        spans: Vec::new(),
+    });
+    let (status, _, body) = route_fleet("/fleet/slow", &fleet);
+    assert_eq!(status, 200);
+    assert!(body.starts_with("{\"captured\":2,"), "{body}");
+    // Slowest first, each op tagged with its origin member.
+    let srv = body.find("\"server\":\"server-1\"").expect("server-1 op");
+    let cli = body.find("\"server\":\"client\"").expect("client op");
+    assert!(srv < cli, "slowest first: {body}");
+    assert!(
+        body.contains("\"op\":\"cluster.sample\",\"trace_id\":42"),
+        "{body}"
+    );
+}
+
+#[test]
+fn index_advertises_the_telemetry_endpoints() {
+    let fleet = canned_fleet();
+    let (_, _, index) = route_fleet("/", &fleet);
+    for needle in ["/debug/trace/<id>", "/fleet/metrics", "/fleet/slow"] {
+        assert!(index.contains(needle), "{index}");
+    }
+}

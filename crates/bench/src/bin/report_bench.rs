@@ -1,0 +1,35 @@
+//! Standing perf-trail entry point. Each PR lands one machine-readable
+//! `BENCH_<n>.json`; this bin regenerates the current PR's file and then
+//! prints the accumulated trail — every `BENCH_*.json` in the working
+//! directory, in PR order, one JSON line each — so a regression is a
+//! one-command diff against the numbers the previous PRs shipped with.
+//!
+//! When a PR adds a new report, point the call below at its report fn.
+//! Run: cargo run -p platod2gl-bench --release --bin report_bench
+
+fn main() {
+    // Current PR's report (PR 9: tracing overhead, BENCH_9.json).
+    platod2gl_bench::experiments::obs_overhead_report();
+
+    let mut trail: Vec<(u32, String)> = std::fs::read_dir(".")
+        .expect("read working directory")
+        .filter_map(|entry| {
+            let name = entry.ok()?.file_name().to_string_lossy().into_owned();
+            let n = name
+                .strip_prefix("BENCH_")?
+                .strip_suffix(".json")?
+                .parse()
+                .ok()?;
+            Some((n, name))
+        })
+        .collect();
+    trail.sort_unstable();
+
+    println!("\n=== Perf trail ({} report(s)) ===", trail.len());
+    for (_, name) in &trail {
+        match std::fs::read_to_string(name) {
+            Ok(body) => print!("{name}: {body}"),
+            Err(e) => println!("{name}: unreadable ({e})"),
+        }
+    }
+}

@@ -53,7 +53,7 @@ pub use platod2gl_graph::{
 pub use platod2gl_mem::{human_bytes, DeepSize};
 pub use platod2gl_obs::{
     span_subtree, Counter, Gauge, Histogram, ObsSnapshot, Registry, SlowLog, SlowOpRecord,
-    SpanRecord, SpanTracer,
+    SpanRecord, SpanTracer, TraceContext,
 };
 pub use platod2gl_pipeline::{
     Block, CacheConfig, CacheStats, EpochReport, KHopSampler, NeighborCache, PipelineConfig,

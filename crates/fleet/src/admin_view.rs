@@ -8,7 +8,7 @@
 
 use crate::cluster::FleetCluster;
 use platod2gl_admin::{FleetIntrospect, FleetPartitionView, FleetServerView, FleetSnapshot};
-use platod2gl_obs::Registry;
+use platod2gl_obs::{ExportedSpan, Registry, RegistryExport};
 use platod2gl_server::GraphService;
 use std::sync::Arc;
 
@@ -57,5 +57,13 @@ impl FleetIntrospect for FleetCluster {
 
     fn registry(&self) -> &Arc<Registry> {
         GraphService::registry(self)
+    }
+
+    fn fleet_trace(&self, trace_id: u64) -> Vec<(String, Vec<ExportedSpan>)> {
+        FleetCluster::fleet_trace(self, trace_id)
+    }
+
+    fn fleet_obs(&self) -> Vec<(String, RegistryExport)> {
+        FleetCluster::fleet_obs(self)
     }
 }

@@ -26,7 +26,7 @@
 
 use crate::map::{PartitionMap, ServerEntry, DEFAULT_PARTITIONS};
 use platod2gl_graph::{Error, GraphTxn, ShardHealth, TxnError, TxnReceipt, UpdateOp};
-use platod2gl_obs::{Counter, Registry};
+use platod2gl_obs::{current_trace_context, Counter, ExportedSpan, Registry, RegistryExport};
 use platod2gl_rpc::{RemoteCluster, RemoteClusterConfig};
 use platod2gl_server::{
     BatchReport, DegradedPolicy, GraphService, SampleRequest, SampleResponse, SlotSource,
@@ -277,7 +277,10 @@ impl FleetCluster {
 
     /// Sample one owner-group, falling back per-request to the replica
     /// and then to the degraded policy. Returns responses parallel to
-    /// `idxs`.
+    /// `idxs`. Runs on its own thread, so `(root_id, trace)` re-anchor
+    /// the fan-out span there — the outbound RPCs then carry the trace
+    /// context the thread-local stack would otherwise lose.
+    #[allow(clippy::too_many_arguments)]
     fn sample_group(
         &self,
         map: &PartitionMap,
@@ -286,7 +289,12 @@ impl FleetCluster {
         reqs: &[SampleRequest],
         seeds: &[u64],
         idxs: &[usize],
+        root_id: u64,
+        trace: u64,
     ) -> Vec<SampleResponse> {
+        let _group_span = self
+            .registry
+            .span_with_parent("fleet.sample_group", root_id, trace);
         let batch: Vec<(SampleRequest, u64)> = idxs.iter().map(|&i| (reqs[i], seeds[i])).collect();
         let primary = Self::conn(conns, map, owner).and_then(|c| c.sample_with_seeds(&batch).ok());
         let mut out: Vec<Option<SampleResponse>> = match primary {
@@ -308,6 +316,10 @@ impl FleetCluster {
             }
         }
         for (ridx, positions) in retry {
+            // The failover leg gets its own span (child of the group
+            // span), so a stitched trace shows the replica read under the
+            // retrying client rather than as a second unexplained RPC.
+            let _retry_span = self.registry.span("fleet.replica_retry");
             let sub: Vec<(SampleRequest, u64)> = positions.iter().map(|&pos| batch[pos]).collect();
             let replies = Self::conn(conns, map, ridx).and_then(|c| c.sample_with_seeds(&sub).ok());
             if let Some(replies) = replies {
@@ -340,6 +352,43 @@ impl FleetCluster {
             .collect()
     }
 
+    /// Label a roster member for merged telemetry: stable across map
+    /// epochs (the id survives migrations; the address may not).
+    fn member_label(id: u64) -> String {
+        format!("server-{id}")
+    }
+
+    /// Pull every span of `trace_id` from this client's own registry and
+    /// from every roster member (`SpanExport` RPC), labeled by member in
+    /// roster order. Unreachable members contribute an empty list — the
+    /// trace view degrades, it does not fail.
+    pub fn fleet_trace(&self, trace_id: u64) -> Vec<(String, Vec<ExportedSpan>)> {
+        let (map, conns) = self.snapshot();
+        let mut out = vec![("client".to_string(), self.registry.trace_spans(trace_id))];
+        for entry in map.servers() {
+            let spans = conns
+                .get(&entry.id)
+                .and_then(|c| c.export_spans(trace_id).ok())
+                .unwrap_or_default();
+            out.push((Self::member_label(entry.id), spans));
+        }
+        out
+    }
+
+    /// Pull the full registry export (metrics with exact histogram
+    /// buckets, plus recent slow ops) from this client and every
+    /// reachable roster member, labeled by member in roster order.
+    pub fn fleet_obs(&self) -> Vec<(String, RegistryExport)> {
+        let (map, conns) = self.snapshot();
+        let mut out = vec![("client".to_string(), self.registry.export())];
+        for entry in map.servers() {
+            if let Some(export) = conns.get(&entry.id).and_then(|c| c.export_obs().ok()) {
+                out.push((Self::member_label(entry.id), export));
+            }
+        }
+        out
+    }
+
     /// Per-server shard-index offsets, map roster order — the fleet's
     /// global shard numbering for `shard_healths`/`heal`.
     fn shard_layout(
@@ -370,6 +419,18 @@ impl GraphService for FleetCluster {
         if reqs.is_empty() {
             return Vec::new();
         }
+        // Root span of the whole fan-out. An ambient trace (the caller
+        // opened one) is inherited; otherwise the first traced request
+        // names the trace, so one request id stitches client, owner, and
+        // replica spans across processes.
+        let root = match (
+            current_trace_context(),
+            reqs.iter().find_map(|r| r.trace_id),
+        ) {
+            (None, Some(t)) => self.registry.span_traced("fleet.sample", t),
+            _ => self.registry.span("fleet.sample"),
+        };
+        let (root_id, trace) = (root.id(), root.trace_id());
         let (map, conns) = self.snapshot();
         let mut groups: HashMap<u32, Vec<usize>> = HashMap::new();
         for (i, req) in reqs.iter().enumerate() {
@@ -383,9 +444,9 @@ impl GraphService for FleetCluster {
             let mut handles = Vec::with_capacity(groups.len());
             for (owner, idxs) in &groups {
                 let (map, conns, seeds) = (&map, &conns, &seeds);
-                handles.push(
-                    scope.spawn(move || self.sample_group(map, conns, *owner, reqs, seeds, idxs)),
-                );
+                handles.push(scope.spawn(move || {
+                    self.sample_group(map, conns, *owner, reqs, seeds, idxs, root_id, trace)
+                }));
             }
             for (handle, (_, idxs)) in handles.into_iter().zip(&groups) {
                 let responses = handle.join().expect("sampler thread never panics");

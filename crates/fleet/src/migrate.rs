@@ -33,6 +33,7 @@
 use crate::cluster::FleetCluster;
 use crate::map::ServerEntry;
 use platod2gl_graph::{Error, UpdateOp};
+use platod2gl_obs::current_trace_context;
 use platod2gl_rpc::RemoteCluster;
 use platod2gl_server::GraphService;
 use platod2gl_storage::read_snapshot;
@@ -107,6 +108,19 @@ impl FleetCluster {
         let src = conn_of(src_idx)?;
         let tgt = conn_of(tgt_idx)?;
         let num_partitions = map.num_partitions();
+
+        // Every RPC of the move (snapshot chunks, tail drains, map
+        // installs) runs under one span, so the whole migration stitches
+        // into a single cross-server trace. Inherit an ambient trace if
+        // the caller opened one; otherwise derive a deterministic id from
+        // the epoch being superseded and the partition.
+        let _mig_span = match current_trace_context() {
+            Some(_) => self.registry().span("fleet.migrate"),
+            None => self.registry().span_traced(
+                "fleet.migrate",
+                0xF1EE_0000_0000_0000 | (u64::from(partition) << 32) | (map.epoch() & 0xFFFF_FFFF),
+            ),
+        };
 
         // 1. Arm the journal.
         src.begin_migration(partition, num_partitions)?;

@@ -74,6 +74,118 @@ fn help_line(out: &mut String, prom: &str, name: &str, kind: &str) {
     }
 }
 
+/// Write one scalar (counter or gauge) series: HELP, TYPE, then one sample
+/// line per row. A `None` server label renders the bare single-process
+/// form; `Some(label)` adds `{server="label"}`. Single-process and fleet
+/// exposition share this emitter, so the merged fleet output can never
+/// drift from the golden-tested conventions (counter `_total` suffix,
+/// curated HELP text, HELP-before-TYPE ordering).
+fn emit_scalar(out: &mut String, name: &str, kind: &str, rows: &[(Option<&str>, String)]) {
+    let p = if kind == "counter" {
+        format!("{}_total", prom_name(name))
+    } else {
+        prom_name(name)
+    };
+    help_line(out, &p, name, kind);
+    let _ = writeln!(out, "# TYPE {p} {kind}");
+    for (server, value) in rows {
+        match server {
+            Some(s) => {
+                let _ = writeln!(out, "{p}{{server=\"{s}\"}} {value}");
+            }
+            None => {
+                let _ = writeln!(out, "{p} {value}");
+            }
+        }
+    }
+}
+
+/// Write one histogram series (cumulative `_bucket` lines in seconds plus
+/// `_sum`/`_count`) per row, sharing HELP/TYPE. Same label convention as
+/// [`emit_scalar`]; the `server` label precedes `le` so fleet output stays
+/// deterministic.
+fn emit_histogram(out: &mut String, name: &str, rows: &[(Option<&str>, &HistogramSnapshot)]) {
+    let p = prom_hist_name(name);
+    help_line(out, &p, name, "histogram");
+    let _ = writeln!(out, "# TYPE {p} histogram");
+    for (server, h) in rows {
+        let labels = |le: &str| match server {
+            Some(s) => format!("{{server=\"{s}\",le=\"{le}\"}}"),
+            None => format!("{{le=\"{le}\"}}"),
+        };
+        let suffix = match server {
+            Some(s) => format!("{{server=\"{s}\"}}"),
+            None => String::new(),
+        };
+        let mut cumulative = 0u64;
+        for &(exp, n) in &h.buckets {
+            cumulative += n;
+            // Bucket upper bound 2^(exp+1) ns, rendered in seconds.
+            let le = 2f64.powi(exp as i32 + 1) / 1e9;
+            let _ = writeln!(out, "{p}_bucket{} {cumulative}", labels(&le.to_string()));
+        }
+        let _ = writeln!(out, "{p}_bucket{} {}", labels("+Inf"), h.count);
+        let _ = writeln!(out, "{p}_sum{suffix} {}", h.sum_ns as f64 / 1e9);
+        let _ = writeln!(out, "{p}_count{suffix} {}", h.count);
+    }
+}
+
+/// Merge N per-server snapshots into one Prometheus exposition. Every
+/// metric name appearing on any server gets one HELP/TYPE block followed
+/// by a `{server="<label>"}` sample per member (member order preserved)
+/// and a `{server="fleet"}` aggregate: counters and gauges sum, histograms
+/// merge exactly via [`HistogramSnapshot::merge`] (log2 buckets align by
+/// exponent, so fleet percentiles are computed from true total counts, not
+/// averaged per-server estimates). Output is deterministic for a given
+/// member list, so it is golden-testable like the single-process format.
+pub fn fleet_prometheus(members: &[(String, ObsSnapshot)]) -> String {
+    use std::collections::BTreeMap;
+    let mut counters: BTreeMap<&str, Vec<(&str, u64)>> = BTreeMap::new();
+    let mut gauges: BTreeMap<&str, Vec<(&str, i64)>> = BTreeMap::new();
+    let mut hists: BTreeMap<&str, Vec<(&str, &HistogramSnapshot)>> = BTreeMap::new();
+    for (server, snap) in members {
+        for (name, v) in &snap.counters {
+            counters.entry(name).or_default().push((server, *v));
+        }
+        for (name, v) in &snap.gauges {
+            gauges.entry(name).or_default().push((server, *v));
+        }
+        for (name, h) in &snap.histograms {
+            hists.entry(name).or_default().push((server, h));
+        }
+    }
+    let mut out = String::new();
+    for (name, rows) in &counters {
+        let total: u64 = rows.iter().map(|&(_, v)| v).sum();
+        let mut series: Vec<(Option<&str>, String)> = rows
+            .iter()
+            .map(|&(s, v)| (Some(s), v.to_string()))
+            .collect();
+        series.push((Some("fleet"), total.to_string()));
+        emit_scalar(&mut out, name, "counter", &series);
+    }
+    for (name, rows) in &gauges {
+        let total: i64 = rows.iter().map(|&(_, v)| v).sum();
+        let mut series: Vec<(Option<&str>, String)> = rows
+            .iter()
+            .map(|&(s, v)| (Some(s), v.to_string()))
+            .collect();
+        series.push((Some("fleet"), total.to_string()));
+        emit_scalar(&mut out, name, "gauge", &series);
+    }
+    for (name, rows) in &hists {
+        let mut merged = HistogramSnapshot::default();
+        for &(_, h) in rows {
+            merged.merge(h);
+        }
+        let mut series: Vec<(Option<&str>, &HistogramSnapshot)> =
+            rows.iter().map(|&(s, h)| (Some(s), h)).collect();
+        series.push((Some("fleet"), &merged));
+        emit_histogram(&mut out, name, &series);
+    }
+    out
+}
+
 /// Minimal JSON string escaping (quotes, backslashes, control chars).
 pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
@@ -99,31 +211,13 @@ impl ObsSnapshot {
     pub fn to_prometheus(&self) -> String {
         let mut out = String::new();
         for (name, value) in &self.counters {
-            let p = format!("{}_total", prom_name(name));
-            help_line(&mut out, &p, name, "counter");
-            let _ = writeln!(out, "# TYPE {p} counter");
-            let _ = writeln!(out, "{p} {value}");
+            emit_scalar(&mut out, name, "counter", &[(None, value.to_string())]);
         }
         for (name, value) in &self.gauges {
-            let p = prom_name(name);
-            help_line(&mut out, &p, name, "gauge");
-            let _ = writeln!(out, "# TYPE {p} gauge");
-            let _ = writeln!(out, "{p} {value}");
+            emit_scalar(&mut out, name, "gauge", &[(None, value.to_string())]);
         }
         for (name, h) in &self.histograms {
-            let p = prom_hist_name(name);
-            help_line(&mut out, &p, name, "histogram");
-            let _ = writeln!(out, "# TYPE {p} histogram");
-            let mut cumulative = 0u64;
-            for &(exp, n) in &h.buckets {
-                cumulative += n;
-                // Bucket upper bound 2^(exp+1) ns, rendered in seconds.
-                let le = 2f64.powi(exp as i32 + 1) / 1e9;
-                let _ = writeln!(out, "{p}_bucket{{le=\"{le}\"}} {cumulative}");
-            }
-            let _ = writeln!(out, "{p}_bucket{{le=\"+Inf\"}} {}", h.count);
-            let _ = writeln!(out, "{p}_sum {}", h.sum_ns as f64 / 1e9);
-            let _ = writeln!(out, "{p}_count {}", h.count);
+            emit_histogram(&mut out, name, &[(None, h)]);
         }
         out
     }
@@ -169,17 +263,25 @@ impl ObsSnapshot {
 
 impl SpanRecord {
     /// Render as one JSON object:
-    /// `{"name":..,"id":..,"parent":..,"start_ns":..,"duration_ns":..}`.
+    /// `{"name":..,"id":..,"parent":..,"trace_id":..,"remote_parent":..,
+    /// "start_ns":..,"duration_ns":..}`.
     pub fn to_json(&self) -> String {
         let parent = match self.parent {
             Some(p) => p.to_string(),
             None => "null".to_string(),
         };
+        let remote = match self.remote_parent {
+            Some(p) => p.to_string(),
+            None => "null".to_string(),
+        };
         format!(
-            "{{\"name\":\"{}\",\"id\":{},\"parent\":{},\"start_ns\":{},\"duration_ns\":{}}}",
+            "{{\"name\":\"{}\",\"id\":{},\"parent\":{},\"trace_id\":{},\"remote_parent\":{},\
+             \"start_ns\":{},\"duration_ns\":{}}}",
             json_escape(self.name),
             self.id,
             parent,
+            self.trace_id,
+            remote,
             self.start_ns,
             self.duration_ns
         )
@@ -312,6 +414,83 @@ mod tests {
             let typ = text.find(&format!("# TYPE {series} ")).expect(series);
             assert!(help < typ, "HELP must precede TYPE for {series}");
         }
+    }
+
+    #[test]
+    fn fleet_exposition_labels_members_and_merges_exactly() {
+        let a = Registry::new();
+        let b = Registry::new();
+        a.counter("cluster.requests").add(10);
+        b.counter("cluster.requests").add(32);
+        b.counter("only.on_b").add(1);
+        a.gauge("storage.edges").set(5);
+        b.gauge("storage.edges").set(7);
+        a.histogram("lat_ns").record(Duration::from_nanos(3));
+        b.histogram("lat_ns").record(Duration::from_nanos(3));
+        b.histogram("lat_ns").record(Duration::from_nanos(1000));
+        let text = fleet_prometheus(&[
+            ("s1".to_string(), a.snapshot()),
+            ("s2".to_string(), b.snapshot()),
+        ]);
+        // Per-server samples plus the summed fleet aggregate, one shared
+        // HELP/TYPE block with the curated single-process text.
+        assert!(
+            text.contains(
+                "# HELP plato_cluster_requests_total Sample requests \
+                 routed by the cluster front door"
+            ),
+            "{text}"
+        );
+        assert_eq!(
+            text.matches("# TYPE plato_cluster_requests_total counter")
+                .count(),
+            1
+        );
+        assert!(
+            text.contains("plato_cluster_requests_total{server=\"s1\"} 10"),
+            "{text}"
+        );
+        assert!(
+            text.contains("plato_cluster_requests_total{server=\"s2\"} 32"),
+            "{text}"
+        );
+        assert!(
+            text.contains("plato_cluster_requests_total{server=\"fleet\"} 42"),
+            "{text}"
+        );
+        // A metric present on one member still gets a fleet aggregate.
+        assert!(
+            text.contains("plato_only_on_b_total{server=\"fleet\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("plato_storage_edges{server=\"fleet\"} 12"),
+            "{text}"
+        );
+        // Histogram buckets merge by exponent: both exp-1 observations
+        // land in one fleet bucket, cumulative over the exp-9 one.
+        assert!(
+            text.contains("plato_lat_seconds_bucket{server=\"fleet\",le=\"0.000000004\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("plato_lat_seconds_bucket{server=\"fleet\",le=\"+Inf\"} 3"),
+            "{text}"
+        );
+        assert!(
+            text.contains("plato_lat_seconds_count{server=\"s1\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("plato_lat_seconds_count{server=\"fleet\"} 3"),
+            "{text}"
+        );
+        // Deterministic: same members, same bytes.
+        let again = fleet_prometheus(&[
+            ("s1".to_string(), a.snapshot()),
+            ("s2".to_string(), b.snapshot()),
+        ]);
+        assert_eq!(text, again);
     }
 
     #[test]

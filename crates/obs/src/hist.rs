@@ -61,6 +61,52 @@ pub struct HistogramSnapshot {
 }
 
 impl HistogramSnapshot {
+    /// Merge `other` into `self`, exactly: log2 bucket counts, `count`,
+    /// and `sum_ns` add (a merged bucket holds the true total of both
+    /// sides — log2 buckets from different processes align by exponent,
+    /// so merging loses nothing the individual snapshots had); `max_ns`
+    /// takes the max; `mean_ns` and the percentiles are recomputed from
+    /// the merged totals. This is what lets a fleet admin plane fold N
+    /// per-server histograms into one without a resolution cliff.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        let mut merged: std::collections::BTreeMap<u32, u64> =
+            self.buckets.iter().copied().collect();
+        for &(exp, n) in &other.buckets {
+            *merged.entry(exp).or_insert(0) += n;
+        }
+        self.buckets = merged.into_iter().collect();
+        self.count += other.count;
+        self.sum_ns += other.sum_ns;
+        self.max_ns = self.max_ns.max(other.max_ns);
+        self.mean_ns = self.sum_ns.checked_div(self.count).unwrap_or(0);
+        self.p50_ns = self.bucket_quantile(0.5);
+        self.p95_ns = self.bucket_quantile(0.95);
+        self.p99_ns = self.bucket_quantile(0.99);
+    }
+
+    /// Upper bound of the bucket containing quantile `q`, computed from
+    /// the snapshot's sparse buckets — the same walk [`Histogram::quantile`]
+    /// does over its live buckets, so merged snapshots report percentiles
+    /// identically to a histogram that recorded every observation itself.
+    fn bucket_quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((self.count as f64) * q).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for &(exp, n) in &self.buckets {
+            seen += n;
+            if seen >= target {
+                return if exp + 1 >= 64 {
+                    u64::MAX
+                } else {
+                    1u64 << (exp + 1)
+                };
+            }
+        }
+        u64::MAX
+    }
+
     /// Render as a JSON object (the workspace vendors no JSON serializer,
     /// so the report format is emitted by hand).
     pub fn to_json(&self) -> String {
@@ -242,6 +288,61 @@ mod tests {
         assert!(json.contains("\"max_ns\":2000000"), "{json}");
         assert!(json.contains("\"sum_ns\":2101000"), "{json}");
         assert!(json.contains("\"buckets\":[["), "{json}");
+    }
+
+    #[test]
+    fn merge_is_exact_and_sum_preserving() {
+        // Two processes each record part of a workload; merging their
+        // snapshots must equal the snapshot of one histogram that saw it
+        // all — buckets, count, sum, max, mean, and percentiles.
+        let a = Histogram::new();
+        let b = Histogram::new();
+        let whole = Histogram::new();
+        for us in [1u64, 5, 50, 800] {
+            a.record(Duration::from_micros(us));
+            whole.record(Duration::from_micros(us));
+        }
+        for us in [2u64, 50, 50, 9_000, 9_001] {
+            b.record(Duration::from_micros(us));
+            whole.record(Duration::from_micros(us));
+        }
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged, whole.snapshot());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let h = Histogram::new();
+        for ns in [100u64, 4_000, 1 << 40] {
+            h.record(Duration::from_nanos(ns));
+        }
+        let snap = h.snapshot();
+        let mut merged = snap.clone();
+        merged.merge(&HistogramSnapshot::default());
+        assert_eq!(merged, snap);
+        let mut from_empty = HistogramSnapshot::default();
+        from_empty.merge(&snap);
+        assert_eq!(from_empty, snap);
+    }
+
+    #[test]
+    fn merge_associativity_across_three_servers() {
+        let hs: Vec<Histogram> = (0..3).map(|_| Histogram::new()).collect();
+        for (i, h) in hs.iter().enumerate() {
+            for k in 0..50u64 {
+                h.record(Duration::from_nanos((i as u64 + 1) * 1000 + k * 97));
+            }
+        }
+        let mut left = hs[0].snapshot();
+        left.merge(&hs[1].snapshot());
+        left.merge(&hs[2].snapshot());
+        let mut right = hs[1].snapshot();
+        right.merge(&hs[2].snapshot());
+        let mut first = hs[0].snapshot();
+        first.merge(&right);
+        assert_eq!(left, first);
+        assert_eq!(left.count, 150);
     }
 
     #[test]

@@ -29,15 +29,19 @@
 //! `pipeline.cache.hits`); duration histograms end in `_ns`.
 
 mod expo;
+mod export;
 mod hist;
 mod metrics;
 mod registry;
 mod slow;
 mod span;
 
-pub use expo::HistogramJson;
+pub use expo::{fleet_prometheus, HistogramJson};
+pub use export::{ExportedSpan, RegistryExport, SlowOpExport};
 pub use hist::{Histogram, HistogramSnapshot};
 pub use metrics::{Counter, Gauge};
 pub use registry::{ObsSnapshot, Registry};
 pub use slow::{span_subtree, SlowLog, SlowOpRecord, DEFAULT_SLOW_CAPACITY};
-pub use span::{SpanGuard, SpanRecord, SpanTracer, DEFAULT_SPAN_CAPACITY};
+pub use span::{
+    current_trace_context, SpanGuard, SpanRecord, SpanTracer, TraceContext, DEFAULT_SPAN_CAPACITY,
+};

@@ -93,6 +93,34 @@ impl Registry {
         self.tracer.span(name)
     }
 
+    /// Enter a span that starts distributed trace `trace_id` (see
+    /// [`SpanTracer::span_traced`]).
+    pub fn span_traced(&self, name: &'static str, trace_id: u64) -> SpanGuard<'_> {
+        self.tracer.span_traced(name, trace_id)
+    }
+
+    /// Enter the server-side root of a cross-process request (see
+    /// [`SpanTracer::span_remote`]).
+    pub fn span_remote(
+        &self,
+        name: &'static str,
+        trace_id: u64,
+        remote_parent: u64,
+    ) -> SpanGuard<'_> {
+        self.tracer.span_remote(name, trace_id, remote_parent)
+    }
+
+    /// Enter a span under an explicit local parent, for cross-thread
+    /// fan-out (see [`SpanTracer::span_with_parent`]).
+    pub fn span_with_parent(
+        &self,
+        name: &'static str,
+        parent: u64,
+        trace_id: u64,
+    ) -> SpanGuard<'_> {
+        self.tracer.span_with_parent(name, parent, trace_id)
+    }
+
     /// The span tracer, for direct inspection.
     pub fn tracer(&self) -> &SpanTracer {
         &self.tracer

@@ -26,17 +26,57 @@ pub struct SpanRecord {
     /// Id of the span that was active on this thread when this span
     /// started, if any.
     pub parent: Option<u64>,
+    /// Distributed trace this span belongs to (`0` = untraced). Children
+    /// inherit the trace of their parent; roots take it from an explicit
+    /// [`SpanTracer::span_traced`] / [`SpanTracer::span_remote`] call.
+    pub trace_id: u64,
+    /// Span id of the *remote* parent — the caller's span in another
+    /// process — when this span is the server-side root of a cross-process
+    /// request. Remote ids live in the caller's tracer id space; trace
+    /// reassembly resolves them per fleet member.
+    pub remote_parent: Option<u64>,
     /// Start offset in nanoseconds since the tracer was created.
     pub start_ns: u64,
     /// Wall-clock duration in nanoseconds (monotonic clock).
     pub duration_ns: u64,
 }
 
+/// Cross-process trace context: carried in v2 wire frames so a server can
+/// link its root span back to the client span that issued the request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceContext {
+    /// Distributed trace id (never 0 on the wire).
+    pub trace_id: u64,
+    /// The caller's span id, to become the callee root's `remote_parent`.
+    pub parent_span: u64,
+}
+
 thread_local! {
-    /// Stack of (tracer epoch id, span id) for parent linkage. The tracer
-    /// epoch distinguishes spans from different tracers interleaved on one
-    /// thread; a span only parents spans of the same tracer.
-    static ACTIVE: RefCell<Vec<(u64, u64)>> = const { RefCell::new(Vec::new()) };
+    /// Stack of (tracer epoch id, span id, trace id) for parent linkage.
+    /// The tracer epoch distinguishes spans from different tracers
+    /// interleaved on one thread; a span only parents spans of the same
+    /// tracer. The trace id rides along so children inherit their parent's
+    /// trace and [`current_trace_context`] can read the ambient context.
+    static ACTIVE: RefCell<Vec<(u64, u64, u64)>> = const { RefCell::new(Vec::new()) };
+}
+
+/// The innermost active traced span on this thread, as a wire-ready
+/// [`TraceContext`]. Scans the active-span stack top-down for the first
+/// entry with a nonzero trace id, across tracers: an RPC client embedded
+/// in a fleet node picks up the trace opened by the serving dispatch even
+/// though the two sides use different registries.
+pub fn current_trace_context() -> Option<TraceContext> {
+    ACTIVE.with(|stack| {
+        stack
+            .borrow()
+            .iter()
+            .rev()
+            .find(|&&(_, _, trace)| trace != 0)
+            .map(|&(_, id, trace)| TraceContext {
+                trace_id: trace,
+                parent_span: id,
+            })
+    })
 }
 
 /// Process-wide tracer instance counter (keys the thread-local stack).
@@ -88,24 +128,70 @@ impl SpanTracer {
     }
 
     /// Enter a span; it completes (and is recorded) when the guard drops.
+    /// Inherits the trace id of its parent span, if any.
     pub fn span(&self, name: &'static str) -> SpanGuard<'_> {
+        self.enter(name, None, None, None)
+    }
+
+    /// Enter a span that *starts* trace `trace_id` (a client-side trace
+    /// root). Children opened under it inherit the trace.
+    pub fn span_traced(&self, name: &'static str, trace_id: u64) -> SpanGuard<'_> {
+        self.enter(name, Some(trace_id), None, None)
+    }
+
+    /// Enter the server-side root of a cross-process request: the span
+    /// joins trace `trace_id` and records `remote_parent` — the caller's
+    /// span id in *its* process — for later cross-process stitching.
+    pub fn span_remote(
+        &self,
+        name: &'static str,
+        trace_id: u64,
+        remote_parent: u64,
+    ) -> SpanGuard<'_> {
+        self.enter(name, Some(trace_id), None, Some(remote_parent))
+    }
+
+    /// Enter a span with an explicit local parent, for work handed to
+    /// another thread (the thread-local stack cannot see across threads).
+    /// The span is pushed onto this thread's stack, so nested spans link
+    /// under it as usual.
+    pub fn span_with_parent(
+        &self,
+        name: &'static str,
+        parent: u64,
+        trace_id: u64,
+    ) -> SpanGuard<'_> {
+        self.enter(name, Some(trace_id), Some(parent), None)
+    }
+
+    fn enter(
+        &self,
+        name: &'static str,
+        trace_id: Option<u64>,
+        explicit_parent: Option<u64>,
+        remote_parent: Option<u64>,
+    ) -> SpanGuard<'_> {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         self.started.fetch_add(1, Ordering::Relaxed);
-        let parent = ACTIVE.with(|stack| {
+        let (parent, trace_id) = ACTIVE.with(|stack| {
             let mut stack = stack.borrow_mut();
-            let parent = stack
+            let inherited = stack
                 .iter()
                 .rev()
-                .find(|(t, _)| *t == self.tracer_id)
-                .map(|(_, id)| *id);
-            stack.push((self.tracer_id, id));
-            parent
+                .find(|(t, _, _)| *t == self.tracer_id)
+                .map(|&(_, id, trace)| (id, trace));
+            let parent = explicit_parent.or(inherited.map(|(id, _)| id));
+            let trace = trace_id.unwrap_or_else(|| inherited.map_or(0, |(_, t)| t));
+            stack.push((self.tracer_id, id, trace));
+            (parent, trace)
         });
         SpanGuard {
             tracer: self,
             name,
             id,
             parent,
+            trace_id,
+            remote_parent,
             start: Instant::now(),
         }
     }
@@ -142,7 +228,7 @@ impl SpanTracer {
             // or dropped out of order is removed wherever it sits.
             if let Some(pos) = stack
                 .iter()
-                .rposition(|&(t, id)| t == self.tracer_id && id == record.id)
+                .rposition(|&(t, id, _)| t == self.tracer_id && id == record.id)
             {
                 stack.remove(pos);
             }
@@ -164,6 +250,8 @@ pub struct SpanGuard<'a> {
     name: &'static str,
     id: u64,
     parent: Option<u64>,
+    trace_id: u64,
+    remote_parent: Option<u64>,
     start: Instant,
 }
 
@@ -171,6 +259,11 @@ impl SpanGuard<'_> {
     /// This span's id (usable as an explicit parent reference).
     pub fn id(&self) -> u64 {
         self.id
+    }
+
+    /// The trace this span belongs to (`0` = untraced).
+    pub fn trace_id(&self) -> u64 {
+        self.trace_id
     }
 }
 
@@ -186,6 +279,8 @@ impl Drop for SpanGuard<'_> {
             name: self.name,
             id: self.id,
             parent: self.parent,
+            trace_id: self.trace_id,
+            remote_parent: self.remote_parent,
             start_ns,
             duration_ns,
         });
@@ -308,6 +403,75 @@ mod tests {
             "tracer b must not parent under tracer a's open span"
         );
         assert_eq!(by_name(&sb, "b_child").parent, Some(b_root.id));
+    }
+
+    #[test]
+    fn children_inherit_the_trace_and_context_is_readable() {
+        let t = SpanTracer::default();
+        assert_eq!(current_trace_context(), None);
+        let root = t.span_traced("root", 77);
+        let ctx = current_trace_context().expect("ambient context");
+        assert_eq!(ctx.trace_id, 77);
+        assert_eq!(ctx.parent_span, root.id());
+        {
+            let child = t.span("child");
+            // The innermost traced span wins.
+            assert_eq!(
+                current_trace_context().map(|c| c.parent_span),
+                Some(child.id())
+            );
+        }
+        drop(root);
+        assert_eq!(current_trace_context(), None);
+        let spans = t.recent();
+        assert_eq!(spans[0].name, "child");
+        assert_eq!(spans[0].trace_id, 77, "children inherit the trace");
+        assert_eq!(spans[1].trace_id, 77);
+        assert_eq!(spans[1].remote_parent, None);
+    }
+
+    #[test]
+    fn remote_root_records_the_callers_span() {
+        let t = SpanTracer::default();
+        {
+            let _server_root = t.span_remote("rpc.server.request", 9, 41);
+            drop(t.span("inner"));
+        }
+        let spans = t.recent();
+        assert_eq!(spans[1].name, "rpc.server.request");
+        assert_eq!(spans[1].remote_parent, Some(41));
+        assert_eq!(spans[1].trace_id, 9);
+        assert_eq!(spans[1].parent, None, "remote parent is not a local id");
+        assert_eq!(spans[0].parent, Some(spans[1].id));
+        assert_eq!(spans[0].trace_id, 9);
+    }
+
+    #[test]
+    fn explicit_parent_bridges_threads() {
+        let t = SpanTracer::default();
+        let root = t.span_traced("fan_out", 5);
+        let (root_id, trace) = (root.id(), root.trace_id());
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let g = t.span_with_parent("group", root_id, trace);
+                assert_eq!(
+                    current_trace_context().map(|c| c.parent_span),
+                    Some(g.id()),
+                    "explicit-parent spans join the thread's stack"
+                );
+                drop(t.span("leaf"));
+            });
+        });
+        drop(root);
+        let by_name = |spans: &[SpanRecord], n: &str| {
+            spans.iter().find(|s| s.name == n).cloned().expect("span")
+        };
+        let spans = t.recent();
+        let group = by_name(&spans, "group");
+        assert_eq!(group.parent, Some(root_id));
+        assert_eq!(group.trace_id, 5);
+        assert_eq!(by_name(&spans, "leaf").parent, Some(group.id));
+        assert_eq!(by_name(&spans, "leaf").trace_id, 5);
     }
 
     #[test]

@@ -47,16 +47,19 @@
 
 use crate::codec::{
     decode_error_reply, decode_heal_reply, decode_health_reply, decode_map_reply,
-    decode_migrate_ctl_reply, decode_partition_chunk, decode_partition_stats_reply,
-    decode_sample_reply, decode_tail_reply, decode_txn_reply, decode_update_reply, encode_frame_v2,
-    encode_heal_request, encode_map_install, encode_migrate_ctl, encode_partition_fetch,
-    encode_partition_stats, encode_sample_batch, encode_tail_fetch, encode_txn_apply,
+    decode_migrate_ctl_reply, decode_obs_export_reply, decode_partition_chunk,
+    decode_partition_stats_reply, decode_sample_reply, decode_span_export_reply, decode_tail_reply,
+    decode_txn_reply, decode_update_reply, encode_frame_v2, encode_heal_request,
+    encode_map_install, encode_migrate_ctl, encode_partition_fetch, encode_partition_stats,
+    encode_sample_batch, encode_span_export, encode_tail_fetch, encode_txn_apply,
     encode_update_batch, error_code, frame_len, migrate_action, parse_frame, read_frame_ex,
-    write_frame_v2, FrameError, FrameKind, MapReply, PartitionFetch, SampleBatch, TxnApply,
-    TxnReply, UpdateBatch, PROTOCOL_V2,
+    take_timing_echo, write_frame_v2, FrameError, FrameKind, MapReply, PartitionFetch, SampleBatch,
+    TxnApply, TxnReply, UpdateBatch, PROTOCOL_V2,
 };
 use platod2gl_graph::{Error, GraphTxn, ShardHealth, TxnError, TxnReceipt, UpdateOp};
-use platod2gl_obs::{Counter, Histogram, Registry};
+use platod2gl_obs::{
+    current_trace_context, Counter, ExportedSpan, Histogram, Registry, RegistryExport,
+};
 use platod2gl_server::{
     route_for, BatchReport, DegradedPolicy, GraphService, PartitionChunk, SampleRequest,
     SampleResponse, SlotSource,
@@ -290,6 +293,11 @@ struct ClientMetrics {
     reconnects: Arc<Counter>,
     pool_evictions: Arc<Counter>,
     rtt: Arc<Histogram>,
+    /// Server-reported queue + service time from the v2 reply timing
+    /// echo. `rtt_ns - server_time_ns` for the same request is the
+    /// network + client-side share of the round trip, so a slow batch can
+    /// be attributed without a server-side lookup.
+    server_time: Arc<Histogram>,
 }
 
 impl ClientMetrics {
@@ -302,6 +310,7 @@ impl ClientMetrics {
             reconnects: registry.counter("rpc.client.reconnects"),
             pool_evictions: registry.counter("rpc.client.pool_evictions"),
             rtt: registry.histogram("rpc.client.rtt_ns"),
+            server_time: registry.histogram("rpc.client.server_time_ns"),
         }
     }
 }
@@ -704,9 +713,12 @@ impl RemoteCluster {
         let req_id = self.next_req_id();
         let started = Instant::now();
         let rx = channel.submit(req_id, kind, payload, self.cfg.max_in_flight)?;
-        let reply = self.mux_await(&channel, req_id, &rx)?;
+        let (kind, mut payload) = self.mux_await(&channel, req_id, &rx)?;
+        // Mux channels are always v2, so every reply carries the echo.
+        let echo = take_timing_echo(PROTOCOL_V2, &mut payload)?;
         self.m.rtt.record(started.elapsed());
-        Ok(reply)
+        self.m.server_time.record(echo.server_time());
+        Ok((kind, payload))
     }
 
     /// The generic one-shot exchange, mode-dispatched: returns the reply
@@ -722,7 +734,7 @@ impl RemoteCluster {
                 let req_id = self.next_req_id();
                 write_frame_v2(stream, kind, req_id, payload)?;
                 stream.flush()?;
-                let (header, reply) = read_frame_ex(stream)?;
+                let (header, mut reply) = read_frame_ex(stream)?;
                 // A v2 server echoes the id; a mismatch means the stream
                 // carries someone else's reply and cannot be trusted.
                 if header.version == PROTOCOL_V2 && header.req_id != req_id {
@@ -731,6 +743,8 @@ impl RemoteCluster {
                         got: header.kind,
                     });
                 }
+                let echo = take_timing_echo(header.version, &mut reply)?;
+                self.m.server_time.record(echo.server_time());
                 Ok((header.kind, reply))
             }),
             ConnectionMode::Multiplexed => {
@@ -809,6 +823,7 @@ impl RemoteCluster {
             .map(|chunk| {
                 encode_sample_batch(&SampleBatch {
                     deadline_ms,
+                    ctx: current_trace_context(),
                     requests: chunk.to_vec(),
                 })
             })
@@ -823,7 +838,9 @@ impl RemoteCluster {
                 let mut by_id: HashMap<u64, (FrameKind, Vec<u8>)> =
                     HashMap::with_capacity(chunks.len());
                 for _ in chunks {
-                    let (header, payload) = read_frame_ex(stream)?;
+                    let (header, mut payload) = read_frame_ex(stream)?;
+                    let echo = take_timing_echo(header.version, &mut payload)?;
+                    self.m.server_time.record(echo.server_time());
                     by_id.insert(header.req_id, (header.kind, payload));
                 }
                 stitch_sample_replies(chunks, &ids, |id| by_id.remove(&id))
@@ -875,8 +892,10 @@ impl RemoteCluster {
         }
         let mut by_id: HashMap<u64, (FrameKind, Vec<u8>)> = HashMap::with_capacity(waiters.len());
         for (req_id, rx) in &waiters {
-            let reply = self.mux_await(&channel, *req_id, rx)?;
-            by_id.insert(*req_id, reply);
+            let (kind, mut payload) = self.mux_await(&channel, *req_id, rx)?;
+            let echo = take_timing_echo(PROTOCOL_V2, &mut payload)?;
+            self.m.server_time.record(echo.server_time());
+            by_id.insert(*req_id, (kind, payload));
         }
         self.m.rtt.record(started.elapsed());
         let ids: Vec<u64> = waiters.iter().map(|(id, _)| *id).collect();
@@ -944,7 +963,10 @@ impl RemoteCluster {
     pub fn replica_updates(&self, ops: &[UpdateOp]) -> Result<BatchReport, Error> {
         let batch = UpdateBatch {
             deadline_ms: self.deadline_ms(),
-            trace_id: None,
+            // A fleet owner relaying to replicas runs inside its own
+            // server-side root span; the ambient context carries the
+            // client's trace across the second hop.
+            ctx: current_trace_context(),
             ops: ops.to_vec(),
         };
         let payload = encode_update_batch(&batch);
@@ -956,9 +978,32 @@ impl RemoteCluster {
     pub fn replica_txn(&self, txn: &GraphTxn) -> Result<TxnReceipt, TxnError> {
         let payload = encode_txn_apply(&TxnApply {
             txn_id: txn.id(),
+            ctx: current_trace_context(),
             ops: txn.ops().to_vec(),
         });
         self.exchange_txn(FrameKind::ReplicaTxn, &payload)
+    }
+
+    /// Pull every recent span on this server belonging to `trace_id` —
+    /// the per-member read the fleet admin plane stitches cross-process
+    /// trace trees from.
+    pub fn export_spans(&self, trace_id: u64) -> Result<Vec<ExportedSpan>, Error> {
+        let (kind, payload) = self
+            .roundtrip(FrameKind::SpanExport, &encode_span_export(trace_id))
+            .map_err(fleet_err)?;
+        expect_kind(kind, FrameKind::SpanExportReply, "span export").map_err(fleet_err)?;
+        decode_span_export_reply(&payload).map_err(|e| fleet_err(e.into()))
+    }
+
+    /// Pull the server's full registry export: metric values with complete
+    /// histogram buckets (so fleet-wide merging is exact) plus the slow-op
+    /// log.
+    pub fn export_obs(&self) -> Result<RegistryExport, Error> {
+        let (kind, payload) = self
+            .roundtrip(FrameKind::ObsExport, &[])
+            .map_err(fleet_err)?;
+        expect_kind(kind, FrameKind::ObsExportReply, "obs export").map_err(fleet_err)?;
+        decode_obs_export_reply(&payload).map_err(|e| fleet_err(e.into()))
     }
 
     /// Fetch one resumable chunk of a partition export.
@@ -1206,7 +1251,7 @@ impl GraphService for RemoteCluster {
     fn apply_updates(&self, ops: &[UpdateOp]) -> Result<BatchReport, Error> {
         let batch = UpdateBatch {
             deadline_ms: self.deadline_ms(),
-            trace_id: None,
+            ctx: current_trace_context(),
             ops: ops.to_vec(),
         };
         self.exchange_update(FrameKind::UpdateBatch, &encode_update_batch(&batch))
@@ -1218,6 +1263,7 @@ impl GraphService for RemoteCluster {
         // commit from the cached receipt instead of applying twice.
         let payload = encode_txn_apply(&TxnApply {
             txn_id: txn.id(),
+            ctx: current_trace_context(),
             ops: txn.ops().to_vec(),
         });
         self.exchange_txn(FrameKind::TxnApply, &payload)

@@ -48,6 +48,7 @@
 //! accounting, so simulated and real byte counts agree by construction.
 
 use platod2gl_graph::{ShardHealth, TxnOp, TxnReceipt, TxnViolation, UpdateOp, ViolationKind};
+use platod2gl_obs::{ExportedSpan, HistogramSnapshot, RegistryExport, SlowOpExport, TraceContext};
 use platod2gl_server::wire::{self, Reader, WireError};
 use platod2gl_server::{SampleRequest, SampleResponse};
 use platod2gl_storage::crc32c::crc32c;
@@ -147,6 +148,16 @@ pub enum FrameKind {
     PartitionStats = 0x19,
     /// Server → client: the counts, partition order.
     PartitionStatsReply = 0x1a,
+    /// Admin → server: export every recent span belonging to one trace id
+    /// (the cross-process trace-stitching read path).
+    SpanExport = 0x1b,
+    /// Server → admin: the matching spans, completion order.
+    SpanExportReply = 0x1c,
+    /// Admin → server: export the registry — metric values with full
+    /// histogram buckets plus the slow-op log (empty payload).
+    ObsExport = 0x1d,
+    /// Server → admin: the registry export.
+    ObsExportReply = 0x1e,
     /// Server → client: the request could not be served (e.g. a shard
     /// worker panicked). Carries a code, the shard, and a message.
     ErrorReply = 0x7f,
@@ -179,6 +190,10 @@ impl FrameKind {
             0x18 => FrameKind::TailReply,
             0x19 => FrameKind::PartitionStats,
             0x1a => FrameKind::PartitionStatsReply,
+            0x1b => FrameKind::SpanExport,
+            0x1c => FrameKind::SpanExportReply,
+            0x1d => FrameKind::ObsExport,
+            0x1e => FrameKind::ObsExportReply,
             0x7f => FrameKind::ErrorReply,
             tag => return Err(FrameError::BadKind(tag)),
         })
@@ -435,6 +450,9 @@ pub struct SampleBatch {
     /// server reaches after the deadline has lapsed are answered degraded
     /// without touching shards.
     pub deadline_ms: u32,
+    /// Cross-process trace context: the caller's trace id and span id, so
+    /// the server's root span links back to the issuing client span.
+    pub ctx: Option<TraceContext>,
     /// Requests with their per-request RNG seeds (see
     /// [`platod2gl_server::GraphService`]'s determinism contract).
     pub requests: Vec<(SampleRequest, u64)>,
@@ -442,9 +460,12 @@ pub struct SampleBatch {
 
 /// Encode a [`SampleBatch`] payload.
 pub fn encode_sample_batch(batch: &SampleBatch) -> Vec<u8> {
-    let mut buf =
-        Vec::with_capacity(8 + batch.requests.len() * wire::SAMPLE_REQUEST_BYTES as usize);
+    let mut buf = Vec::with_capacity(
+        wire::SAMPLE_BATCH_HEADER_BYTES as usize
+            + batch.requests.len() * wire::SAMPLE_REQUEST_BYTES as usize,
+    );
     wire::put_u32(&mut buf, batch.deadline_ms);
+    wire::put_trace_ctx(&mut buf, batch.ctx);
     wire::put_u32(&mut buf, batch.requests.len() as u32);
     for (req, seed) in &batch.requests {
         wire::put_sample_request(&mut buf, req, *seed);
@@ -456,6 +477,7 @@ pub fn encode_sample_batch(batch: &SampleBatch) -> Vec<u8> {
 pub fn decode_sample_batch(payload: &[u8]) -> Result<SampleBatch, WireError> {
     let mut r = Reader::new(payload);
     let deadline_ms = r.u32()?;
+    let ctx = wire::get_trace_ctx(&mut r)?;
     let n = r.count(wire::SAMPLE_REQUEST_BYTES as usize)?;
     let mut requests = Vec::with_capacity(n);
     for _ in 0..n {
@@ -463,6 +485,7 @@ pub fn decode_sample_batch(payload: &[u8]) -> Result<SampleBatch, WireError> {
     }
     Ok(SampleBatch {
         deadline_ms,
+        ctx,
         requests,
     })
 }
@@ -493,17 +516,27 @@ pub fn decode_sample_reply(payload: &[u8]) -> Result<Vec<SampleResponse>, WireEr
 pub struct UpdateBatch {
     /// Server-side deadline in milliseconds; `0` means none.
     pub deadline_ms: u32,
-    /// Correlation id carried into the server's slow-op log.
-    pub trace_id: Option<u64>,
+    /// Cross-process trace context; its trace id is carried into the
+    /// server's slow-op log, its span id into the server root span.
+    pub ctx: Option<TraceContext>,
     /// The ops, in submission order.
     pub ops: Vec<UpdateOp>,
 }
 
+impl UpdateBatch {
+    /// The batch's trace id, if the caller attached context.
+    pub fn trace_id(&self) -> Option<u64> {
+        self.ctx.map(|c| c.trace_id)
+    }
+}
+
 /// Encode an [`UpdateBatch`] payload.
 pub fn encode_update_batch(batch: &UpdateBatch) -> Vec<u8> {
-    let mut buf = Vec::with_capacity(17 + batch.ops.len() * wire::UPDATE_OP_BYTES as usize);
+    let mut buf = Vec::with_capacity(
+        wire::UPDATE_BATCH_HEADER_BYTES as usize + batch.ops.len() * wire::UPDATE_OP_BYTES as usize,
+    );
     wire::put_u32(&mut buf, batch.deadline_ms);
-    wire::put_trace_id(&mut buf, batch.trace_id);
+    wire::put_trace_ctx(&mut buf, batch.ctx);
     wire::put_u32(&mut buf, batch.ops.len() as u32);
     for op in &batch.ops {
         wire::put_update_op(&mut buf, op);
@@ -515,7 +548,7 @@ pub fn encode_update_batch(batch: &UpdateBatch) -> Vec<u8> {
 pub fn decode_update_batch(payload: &[u8]) -> Result<UpdateBatch, WireError> {
     let mut r = Reader::new(payload);
     let deadline_ms = r.u32()?;
-    let trace_id = wire::get_trace_id(&mut r)?;
+    let ctx = wire::get_trace_ctx(&mut r)?;
     let n = r.count(wire::UPDATE_OP_BYTES as usize)?;
     let mut ops = Vec::with_capacity(n);
     for _ in 0..n {
@@ -523,7 +556,7 @@ pub fn decode_update_batch(payload: &[u8]) -> Result<UpdateBatch, WireError> {
     }
     Ok(UpdateBatch {
         deadline_ms,
-        trace_id,
+        ctx,
         ops,
     })
 }
@@ -620,14 +653,19 @@ pub struct TxnApply {
     /// Client-chosen transaction id — the idempotence key. A retry of a
     /// lost reply re-sends the same id.
     pub txn_id: u64,
+    /// Cross-process trace context for the submitting client span.
+    pub ctx: Option<TraceContext>,
     /// The typed ops, in submission order.
     pub ops: Vec<TxnOp>,
 }
 
 /// Encode a [`TxnApply`] payload.
 pub fn encode_txn_apply(apply: &TxnApply) -> Vec<u8> {
-    let mut buf = Vec::with_capacity(12 + apply.ops.len() * wire::TXN_OP_BYTES as usize);
+    let mut buf = Vec::with_capacity(
+        wire::TXN_BATCH_HEADER_BYTES as usize + apply.ops.len() * wire::TXN_OP_BYTES as usize,
+    );
     wire::put_u64(&mut buf, apply.txn_id);
+    wire::put_trace_ctx(&mut buf, apply.ctx);
     wire::put_u32(&mut buf, apply.ops.len() as u32);
     for op in &apply.ops {
         wire::put_txn_op(&mut buf, op);
@@ -639,12 +677,13 @@ pub fn encode_txn_apply(apply: &TxnApply) -> Vec<u8> {
 pub fn decode_txn_apply(payload: &[u8]) -> Result<TxnApply, WireError> {
     let mut r = Reader::new(payload);
     let txn_id = r.u64()?;
+    let ctx = wire::get_trace_ctx(&mut r)?;
     let n = r.count(wire::TXN_OP_BYTES as usize)?;
     let mut ops = Vec::with_capacity(n);
     for _ in 0..n {
         ops.push(wire::get_txn_op(&mut r)?);
     }
-    Ok(TxnApply { txn_id, ops })
+    Ok(TxnApply { txn_id, ctx, ops })
 }
 
 /// A [`FrameKind::TxnReply`] payload: the three transaction outcomes.
@@ -1138,6 +1177,257 @@ pub fn decode_error_reply(payload: &[u8]) -> Result<ErrorReply, WireError> {
     })
 }
 
+/// The server-side timing breakdown every v2 reply carries as a fixed
+/// 8-byte trailer ([`wire::REPLY_TIMING_ECHO_BYTES`]) between payload and
+/// CRC: how long the request waited before a handler picked it up and how
+/// long the handler spent serving it, both in microseconds (saturating).
+/// Clients subtract `queue_us + service_us` from observed round-trip time
+/// to attribute latency to the network vs. the server. Legacy v1 replies
+/// never carry the trailer — old clients see byte-identical frames.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TimingEcho {
+    /// Microseconds between frame arrival and handler start.
+    pub queue_us: u32,
+    /// Microseconds the handler spent producing the reply.
+    pub service_us: u32,
+}
+
+impl TimingEcho {
+    /// Queue plus service time — the total server-resident duration.
+    pub fn server_time(&self) -> std::time::Duration {
+        std::time::Duration::from_micros(u64::from(self.queue_us) + u64::from(self.service_us))
+    }
+}
+
+/// Append the timing-echo trailer to a reply payload. Servers call this on
+/// every v2 reply — including error replies — immediately before framing.
+pub fn append_timing_echo(payload: &mut Vec<u8>, queue_us: u32, service_us: u32) {
+    wire::put_u32(payload, queue_us);
+    wire::put_u32(payload, service_us);
+}
+
+/// Strip the timing-echo trailer off a reply payload, in place, and decode
+/// it. `version` is the reply frame's header version: v1 replies carry no
+/// echo (zeros, payload untouched); a v2 reply shorter than the trailer is
+/// truncated.
+pub fn take_timing_echo(version: u8, payload: &mut Vec<u8>) -> Result<TimingEcho, FrameError> {
+    if version == PROTOCOL_V1 {
+        return Ok(TimingEcho::default());
+    }
+    let echo_at = payload
+        .len()
+        .checked_sub(wire::REPLY_TIMING_ECHO_BYTES as usize)
+        .ok_or(FrameError::Wire(WireError::Truncated))?;
+    let mut r = Reader::new(&payload[echo_at..]);
+    let echo = TimingEcho {
+        queue_us: r.u32()?,
+        service_us: r.u32()?,
+    };
+    payload.truncate(echo_at);
+    Ok(echo)
+}
+
+fn put_opt_u64(buf: &mut Vec<u8>, v: Option<u64>) {
+    buf.push(u8::from(v.is_some()));
+    wire::put_u64(buf, v.unwrap_or(0));
+}
+
+fn get_opt_u64(r: &mut Reader<'_>) -> Result<Option<u64>, WireError> {
+    let present = match r.u8()? {
+        0 => false,
+        1 => true,
+        tag => {
+            return Err(WireError::BadTag {
+                what: "option",
+                tag,
+            })
+        }
+    };
+    let v = r.u64()?;
+    Ok(present.then_some(v))
+}
+
+/// Smallest encoded [`ExportedSpan`]: empty name (u32 length) + id u64 +
+/// parent option (flag + u64) + trace u64 + remote-parent option + start
+/// u64 + duration u64.
+const EXPORTED_SPAN_MIN_BYTES: usize = 4 + 8 + 9 + 8 + 9 + 8 + 8;
+
+fn put_exported_span(buf: &mut Vec<u8>, s: &ExportedSpan) {
+    wire::put_str(buf, &s.name);
+    wire::put_u64(buf, s.id);
+    put_opt_u64(buf, s.parent);
+    wire::put_u64(buf, s.trace_id);
+    put_opt_u64(buf, s.remote_parent);
+    wire::put_u64(buf, s.start_ns);
+    wire::put_u64(buf, s.duration_ns);
+}
+
+fn get_exported_span(r: &mut Reader<'_>) -> Result<ExportedSpan, WireError> {
+    Ok(ExportedSpan {
+        name: wire::get_str(r)?,
+        id: r.u64()?,
+        parent: get_opt_u64(r)?,
+        trace_id: r.u64()?,
+        remote_parent: get_opt_u64(r)?,
+        start_ns: r.u64()?,
+        duration_ns: r.u64()?,
+    })
+}
+
+/// Encode a [`FrameKind::SpanExport`] payload: the trace id to pull.
+pub fn encode_span_export(trace_id: u64) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(8);
+    wire::put_u64(&mut buf, trace_id);
+    buf
+}
+
+/// Decode a [`FrameKind::SpanExport`] payload.
+pub fn decode_span_export(payload: &[u8]) -> Result<u64, WireError> {
+    Reader::new(payload).u64()
+}
+
+/// Encode a [`FrameKind::SpanExportReply`] payload: every recent span on
+/// this server belonging to the requested trace, completion order.
+pub fn encode_span_export_reply(spans: &[ExportedSpan]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(4 + spans.len() * EXPORTED_SPAN_MIN_BYTES);
+    wire::put_u32(&mut buf, spans.len() as u32);
+    for s in spans {
+        put_exported_span(&mut buf, s);
+    }
+    buf
+}
+
+/// Decode a [`FrameKind::SpanExportReply`] payload.
+pub fn decode_span_export_reply(payload: &[u8]) -> Result<Vec<ExportedSpan>, WireError> {
+    let mut r = Reader::new(payload);
+    let n = r.count(EXPORTED_SPAN_MIN_BYTES)?;
+    let mut spans = Vec::with_capacity(n);
+    for _ in 0..n {
+        spans.push(get_exported_span(&mut r)?);
+    }
+    Ok(spans)
+}
+
+/// Encode a [`FrameKind::ObsExportReply`] payload: the server's full
+/// [`RegistryExport`] — metric values with complete histogram buckets (so
+/// fleet merging is exact) plus the slow-op log.
+pub fn encode_obs_export_reply(export: &RegistryExport) -> Vec<u8> {
+    let mut buf = Vec::new();
+    wire::put_u32(&mut buf, export.counters.len() as u32);
+    for (name, v) in &export.counters {
+        wire::put_str(&mut buf, name);
+        wire::put_u64(&mut buf, *v);
+    }
+    wire::put_u32(&mut buf, export.gauges.len() as u32);
+    for (name, v) in &export.gauges {
+        wire::put_str(&mut buf, name);
+        wire::put_u64(&mut buf, *v as u64);
+    }
+    wire::put_u32(&mut buf, export.histograms.len() as u32);
+    for (name, h) in &export.histograms {
+        wire::put_str(&mut buf, name);
+        wire::put_u64(&mut buf, h.count);
+        wire::put_u64(&mut buf, h.mean_ns);
+        wire::put_u64(&mut buf, h.p50_ns);
+        wire::put_u64(&mut buf, h.p95_ns);
+        wire::put_u64(&mut buf, h.p99_ns);
+        wire::put_u64(&mut buf, h.max_ns);
+        wire::put_u64(&mut buf, h.sum_ns);
+        wire::put_u32(&mut buf, h.buckets.len() as u32);
+        for &(exp, n) in &h.buckets {
+            wire::put_u32(&mut buf, exp);
+            wire::put_u64(&mut buf, n);
+        }
+    }
+    wire::put_u32(&mut buf, export.slow.len() as u32);
+    for s in &export.slow {
+        wire::put_str(&mut buf, &s.op);
+        put_opt_u64(&mut buf, s.trace_id);
+        wire::put_str(&mut buf, &s.detail);
+        wire::put_u64(&mut buf, s.duration_ns);
+        wire::put_u32(&mut buf, s.spans.len() as u32);
+        for span in &s.spans {
+            put_exported_span(&mut buf, span);
+        }
+    }
+    buf
+}
+
+/// Decode a [`FrameKind::ObsExportReply`] payload.
+pub fn decode_obs_export_reply(payload: &[u8]) -> Result<RegistryExport, WireError> {
+    let mut r = Reader::new(payload);
+    // Smallest scalar entry: empty name (u32 length) + value u64.
+    let n = r.count(12)?;
+    let mut counters = Vec::with_capacity(n);
+    for _ in 0..n {
+        counters.push((wire::get_str(&mut r)?, r.u64()?));
+    }
+    let n = r.count(12)?;
+    let mut gauges = Vec::with_capacity(n);
+    for _ in 0..n {
+        gauges.push((wire::get_str(&mut r)?, r.u64()? as i64));
+    }
+    // Smallest histogram entry: empty name + 7 summary u64s + bucket count.
+    let n = r.count(4 + 56 + 4)?;
+    let mut histograms = Vec::with_capacity(n);
+    for _ in 0..n {
+        let name = wire::get_str(&mut r)?;
+        let count = r.u64()?;
+        let mean_ns = r.u64()?;
+        let p50_ns = r.u64()?;
+        let p95_ns = r.u64()?;
+        let p99_ns = r.u64()?;
+        let max_ns = r.u64()?;
+        let sum_ns = r.u64()?;
+        let b = r.count(12)?;
+        let mut buckets = Vec::with_capacity(b);
+        for _ in 0..b {
+            buckets.push((r.u32()?, r.u64()?));
+        }
+        histograms.push((
+            name,
+            HistogramSnapshot {
+                count,
+                mean_ns,
+                p50_ns,
+                p95_ns,
+                p99_ns,
+                max_ns,
+                sum_ns,
+                buckets,
+            },
+        ));
+    }
+    // Smallest slow-op entry: empty op + absent trace option + empty
+    // detail + duration u64 + span count.
+    let n = r.count(4 + 9 + 4 + 8 + 4)?;
+    let mut slow = Vec::with_capacity(n);
+    for _ in 0..n {
+        let op = wire::get_str(&mut r)?;
+        let trace_id = get_opt_u64(&mut r)?;
+        let detail = wire::get_str(&mut r)?;
+        let duration_ns = r.u64()?;
+        let s = r.count(EXPORTED_SPAN_MIN_BYTES)?;
+        let mut spans = Vec::with_capacity(s);
+        for _ in 0..s {
+            spans.push(get_exported_span(&mut r)?);
+        }
+        slow.push(SlowOpExport {
+            op,
+            trace_id,
+            detail,
+            duration_ns,
+            spans,
+        });
+    }
+    Ok(RegistryExport {
+        counters,
+        gauges,
+        histograms,
+        slow,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1176,6 +1466,10 @@ mod tests {
             FrameKind::TailReply,
             FrameKind::PartitionStats,
             FrameKind::PartitionStatsReply,
+            FrameKind::SpanExport,
+            FrameKind::SpanExportReply,
+            FrameKind::ObsExport,
+            FrameKind::ObsExportReply,
             FrameKind::ErrorReply,
         ] {
             let (back_kind, back_payload) = roundtrip(kind, b"xyz");
@@ -1188,6 +1482,10 @@ mod tests {
     fn frame_sizes_match_the_wire_size_model() {
         let batch = SampleBatch {
             deadline_ms: 250,
+            ctx: Some(TraceContext {
+                trace_id: 77,
+                parent_span: 3,
+            }),
             requests: vec![
                 (SampleRequest::new(VertexId(1), EdgeType(0), 4), 7),
                 (
@@ -1213,7 +1511,10 @@ mod tests {
                 shard: 1,
             },
         ];
-        let frame = encode_frame(FrameKind::SampleReply, &encode_sample_reply(&resps));
+        // Reply size models include the v2 timing-echo trailer.
+        let mut payload = encode_sample_reply(&resps);
+        append_timing_echo(&mut payload, 1, 2);
+        let frame = encode_frame(FrameKind::SampleReply, &payload);
         assert_eq!(
             frame.len() as u64,
             wire::sample_response_frame_bytes([2, 0])
@@ -1221,7 +1522,10 @@ mod tests {
 
         let ops = UpdateBatch {
             deadline_ms: 0,
-            trace_id: Some(5),
+            ctx: Some(TraceContext {
+                trace_id: 5,
+                parent_span: 9,
+            }),
             ops: vec![UpdateOp::Insert(Edge::new(VertexId(1), VertexId(2), 1.0)); 3],
         };
         let frame = encode_frame(FrameKind::UpdateBatch, &encode_update_batch(&ops));
@@ -1231,8 +1535,141 @@ mod tests {
             applied_ops: 3,
             queued_ops: 0,
         };
-        let frame = encode_frame(FrameKind::UpdateReply, &encode_update_reply(&reply));
+        let mut payload = encode_update_reply(&reply);
+        append_timing_echo(&mut payload, 0, 0);
+        let frame = encode_frame(FrameKind::UpdateReply, &payload);
         assert_eq!(frame.len() as u64, wire::UPDATE_REPLY_FRAME_BYTES);
+    }
+
+    #[test]
+    fn timing_echo_appends_and_strips_by_version() {
+        let mut payload = encode_update_reply(&UpdateReply {
+            applied_ops: 1,
+            queued_ops: 2,
+        });
+        let bare = payload.clone();
+        append_timing_echo(&mut payload, 150, 2_000);
+        assert_eq!(
+            payload.len(),
+            bare.len() + wire::REPLY_TIMING_ECHO_BYTES as usize
+        );
+
+        // v2: the trailer comes back off and the remainder decodes clean.
+        let echo = take_timing_echo(PROTOCOL_V2, &mut payload).expect("echo");
+        assert_eq!(
+            echo,
+            TimingEcho {
+                queue_us: 150,
+                service_us: 2_000,
+            }
+        );
+        assert_eq!(echo.server_time(), std::time::Duration::from_micros(2_150));
+        assert_eq!(payload, bare);
+
+        // v1: no trailer on the wire, zeros reported, payload untouched.
+        let mut v1_payload = bare.clone();
+        let echo = take_timing_echo(PROTOCOL_V1, &mut v1_payload).expect("v1");
+        assert_eq!(echo, TimingEcho::default());
+        assert_eq!(v1_payload, bare);
+
+        // A v2 reply too short for the trailer is truncated, not a panic.
+        let mut tiny = vec![1u8, 2, 3];
+        assert!(matches!(
+            take_timing_echo(PROTOCOL_V2, &mut tiny),
+            Err(FrameError::Wire(WireError::Truncated))
+        ));
+    }
+
+    #[test]
+    fn span_export_payloads_roundtrip() {
+        assert_eq!(decode_span_export(&encode_span_export(42)), Ok(42));
+
+        let spans = vec![
+            ExportedSpan {
+                name: "rpc.server.sample".to_string(),
+                id: 3,
+                parent: None,
+                trace_id: 42,
+                remote_parent: Some(17),
+                start_ns: 1_000,
+                duration_ns: 250_000,
+            },
+            ExportedSpan {
+                name: "cluster.sample".to_string(),
+                id: 4,
+                parent: Some(3),
+                trace_id: 42,
+                remote_parent: None,
+                start_ns: 1_500,
+                duration_ns: 200_000,
+            },
+        ];
+        let payload = encode_span_export_reply(&spans);
+        assert_eq!(decode_span_export_reply(&payload).expect("spans"), spans);
+        assert_eq!(
+            decode_span_export_reply(&encode_span_export_reply(&[])).expect("empty"),
+            Vec::new()
+        );
+        // Truncations decode to errors, never panics.
+        for cut in 0..payload.len() {
+            assert!(
+                decode_span_export_reply(&payload[..cut]).is_err(),
+                "cut {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn obs_export_payloads_roundtrip() {
+        let export = RegistryExport {
+            counters: vec![
+                ("cluster.requests".to_string(), 12),
+                ("obs.slow_ops".to_string(), 1),
+            ],
+            gauges: vec![("pool.idle".to_string(), -3)],
+            histograms: vec![(
+                "rpc.server.service_ns".to_string(),
+                HistogramSnapshot {
+                    count: 3,
+                    mean_ns: 1_500,
+                    p50_ns: 2_048,
+                    p95_ns: 4_096,
+                    p99_ns: 4_096,
+                    max_ns: 3_000,
+                    sum_ns: 4_500,
+                    buckets: vec![(10, 2), (11, 1)],
+                },
+            )],
+            slow: vec![SlowOpExport {
+                op: "rpc.server.update".to_string(),
+                trace_id: Some(42),
+                detail: "ops=64".to_string(),
+                duration_ns: 9_000_000,
+                spans: vec![ExportedSpan {
+                    name: "apply".to_string(),
+                    id: 9,
+                    parent: None,
+                    trace_id: 42,
+                    remote_parent: Some(2),
+                    start_ns: 0,
+                    duration_ns: 9_000_000,
+                }],
+            }],
+        };
+        let payload = encode_obs_export_reply(&export);
+        assert_eq!(decode_obs_export_reply(&payload).expect("export"), export);
+        assert_eq!(
+            decode_obs_export_reply(&encode_obs_export_reply(&RegistryExport::default()))
+                .expect("empty"),
+            RegistryExport::default()
+        );
+        // Truncations decode to errors, never panics.
+        for cut in 0..payload.len() {
+            assert!(
+                decode_obs_export_reply(&payload[..cut]).is_err(),
+                "cut {cut}"
+            );
+        }
     }
 
     #[test]
@@ -1250,6 +1687,7 @@ mod tests {
             FrameKind::SampleBatch,
             &encode_sample_batch(&SampleBatch {
                 deadline_ms: 0,
+                ctx: None,
                 requests: vec![(SampleRequest::new(VertexId(9), EdgeType(0), 2), 1)],
             }),
         );
@@ -1519,6 +1957,10 @@ mod tests {
     fn txn_payloads_roundtrip_and_sizes_match() {
         let apply = TxnApply {
             txn_id: 0xdead_beef,
+            ctx: Some(TraceContext {
+                trace_id: 6,
+                parent_span: 2,
+            }),
             ops: vec![
                 TxnOp::InsertEdge(Edge::new(VertexId(1), VertexId(2), 0.5)),
                 TxnOp::DeleteEdge {
@@ -1543,7 +1985,9 @@ mod tests {
             deduped: true,
         });
         let payload = encode_txn_reply(&committed);
-        let frame = encode_frame(FrameKind::TxnReply, &payload);
+        let mut echoed = payload.clone();
+        append_timing_echo(&mut echoed, 5, 10);
+        let frame = encode_frame(FrameKind::TxnReply, &echoed);
         assert_eq!(frame.len() as u64, wire::TXN_REPLY_FRAME_BYTES);
         assert_eq!(decode_txn_reply(&payload).expect("committed"), committed);
 

@@ -16,15 +16,16 @@
 
 use crate::codec::{
     decode_heal_request, decode_map_install, decode_migrate_ctl, decode_partition_fetch,
-    decode_partition_stats, decode_sample_batch, decode_tail_fetch, decode_txn_apply,
-    decode_update_batch, encode_error_reply, encode_heal_reply, encode_health_reply,
-    encode_map_reply, encode_migrate_ctl_reply, encode_partition_chunk,
-    encode_partition_stats_reply, encode_sample_reply, encode_tail_reply, encode_txn_reply,
-    encode_update_reply, error_code, migrate_action, ErrorReply, FrameError, FrameKind,
-    HealthReply, MapReply, PartitionChunkReply, TailReply, TxnReply, UpdateReply,
+    decode_partition_stats, decode_sample_batch, decode_span_export, decode_tail_fetch,
+    decode_txn_apply, decode_update_batch, encode_error_reply, encode_heal_reply,
+    encode_health_reply, encode_map_reply, encode_migrate_ctl_reply, encode_obs_export_reply,
+    encode_partition_chunk, encode_partition_stats_reply, encode_sample_reply,
+    encode_span_export_reply, encode_tail_reply, encode_txn_reply, encode_update_reply, error_code,
+    migrate_action, ErrorReply, FrameError, FrameKind, HealthReply, MapReply, PartitionChunkReply,
+    TailReply, TxnReply, UpdateReply,
 };
 use platod2gl_graph::{Error, GraphTxn, TxnError};
-use platod2gl_obs::{Counter, Histogram, Registry, SlowOpRecord};
+use platod2gl_obs::{Counter, Histogram, Registry, SlowOpRecord, SpanGuard, TraceContext};
 use platod2gl_server::{route_for, DegradedPolicy, GraphService, SampleResponse, SlotSource};
 use rand::RngCore;
 use std::sync::Arc;
@@ -67,6 +68,15 @@ pub(crate) struct ServerMetrics {
     pub errors: Arc<Counter>,
     pub deadline_expired: Arc<Counter>,
     pub request_lat: Arc<Histogram>,
+    // Latency anatomy: where a request's server-resident time actually
+    // goes. `poll_wait` is loop idle/readiness time (event backend only);
+    // `queue_wait` is frame receipt → handler start; `service_time` is the
+    // handler itself; `write_stall` is reply bytes parked behind a
+    // pushed-back socket. queue + service are echoed to v2 clients.
+    pub poll_wait: Arc<Histogram>,
+    pub queue_wait: Arc<Histogram>,
+    pub service_time: Arc<Histogram>,
+    pub write_stall: Arc<Histogram>,
 }
 
 impl ServerMetrics {
@@ -79,6 +89,10 @@ impl ServerMetrics {
             errors: registry.counter("rpc.server.errors"),
             deadline_expired: registry.counter("rpc.server.deadline_expired"),
             request_lat: registry.histogram("rpc.server.request_ns"),
+            poll_wait: registry.histogram("rpc.server.poll_wait_ns"),
+            queue_wait: registry.histogram("rpc.server.queue_wait_ns"),
+            service_time: registry.histogram("rpc.server.service_ns"),
+            write_stall: registry.histogram("rpc.server.write_stall_ns"),
             registry,
         }
     }
@@ -104,6 +118,23 @@ fn bad_request_reply(message: String) -> (FrameKind, Vec<u8>) {
         message,
     };
     (FrameKind::ErrorReply, encode_error_reply(&reply))
+}
+
+/// Open the server-side root span for one request: a *remote* root linked
+/// to the caller's span when the frame carried trace context, a plain
+/// local root otherwise. The span sits on the handling thread's ambient
+/// stack for the duration of the arm, so any nested work — including a
+/// fleet node's fan-out to replicas through its own `RemoteCluster` —
+/// inherits the trace and stitches into one cross-process tree.
+fn request_span<'r>(
+    registry: &'r Registry,
+    name: &'static str,
+    ctx: Option<TraceContext>,
+) -> SpanGuard<'r> {
+    match ctx {
+        Some(c) => registry.span_remote(name, c.trace_id, c.parent_span),
+        None => registry.span(name),
+    }
 }
 
 /// Client-policy degraded response, used when the server refuses a request
@@ -139,10 +170,20 @@ pub(crate) fn dispatch<S: GraphService + ?Sized>(
     started: Instant,
 ) -> Result<(FrameKind, Vec<u8>), FrameError> {
     m.frames.inc();
-    let _span = m.registry.span("rpc.server.request");
+    // Data-plane kinds open their root span *after* decoding (the frame
+    // carries the trace context); everything else gets a plain local span.
+    let _ctl_span = match kind {
+        FrameKind::SampleBatch
+        | FrameKind::UpdateBatch
+        | FrameKind::ReplicaBatch
+        | FrameKind::TxnApply
+        | FrameKind::ReplicaTxn => None,
+        _ => Some(m.registry.span("rpc.server.request")),
+    };
     let reply = match kind {
         FrameKind::SampleBatch => {
             let batch = decode_sample_batch(payload)?;
+            let _span = request_span(&m.registry, "rpc.server.sample", batch.ctx);
             m.sample_requests.add(batch.requests.len() as u64);
             let deadline = Duration::from_millis(u64::from(batch.deadline_ms));
             let mut responses = Vec::with_capacity(batch.requests.len());
@@ -163,6 +204,7 @@ pub(crate) fn dispatch<S: GraphService + ?Sized>(
         }
         FrameKind::UpdateBatch | FrameKind::ReplicaBatch => {
             let batch = decode_update_batch(payload)?;
+            let _span = request_span(&m.registry, "rpc.server.update", batch.ctx);
             m.update_ops.add(batch.ops.len() as u64);
             // The replica channel applies through the replication entry
             // point, which never re-forwards (loop prevention).
@@ -192,7 +234,7 @@ pub(crate) fn dispatch<S: GraphService + ?Sized>(
             if slow.is_slow(elapsed) {
                 slow.record(SlowOpRecord {
                     op: "rpc.update_batch",
-                    trace_id: batch.trace_id,
+                    trace_id: batch.trace_id(),
                     detail: format!("ops={}", batch.ops.len()),
                     duration_ns: elapsed.as_nanos().min(u128::from(u64::MAX)) as u64,
                     spans: Vec::new(),
@@ -202,6 +244,7 @@ pub(crate) fn dispatch<S: GraphService + ?Sized>(
         }
         FrameKind::TxnApply | FrameKind::ReplicaTxn => {
             let apply = decode_txn_apply(payload)?;
+            let _span = request_span(&m.registry, "rpc.server.txn", apply.ctx);
             m.txn_ops.add(apply.ops.len() as u64);
             let mut txn = GraphTxn::new(apply.txn_id);
             for op in apply.ops {
@@ -339,6 +382,20 @@ pub(crate) fn dispatch<S: GraphService + ?Sized>(
                 encode_partition_stats_reply(&counts),
             )
         }
+        // Introspection reads served straight from the server's registry:
+        // the admin plane pulls per-trace span subtrees and full metric
+        // exports from every fleet member through these.
+        FrameKind::SpanExport => {
+            let trace_id = decode_span_export(payload)?;
+            (
+                FrameKind::SpanExportReply,
+                encode_span_export_reply(&m.registry.trace_spans(trace_id)),
+            )
+        }
+        FrameKind::ObsExport => (
+            FrameKind::ObsExportReply,
+            encode_obs_export_reply(&m.registry.export()),
+        ),
         // Reply kinds arriving at a server are a protocol violation (the
         // connection stays open — the reply names the offense).
         kind => {

@@ -37,13 +37,14 @@
 //! [`GraphServiceServer`]: crate::GraphServiceServer
 
 use crate::codec::{
-    encode_error_reply, encode_reply_frame, error_code, frame_len, parse_frame, ErrorReply,
-    FrameError, FrameHeader, FrameKind, PROTOCOL_V1, PROTOCOL_V2,
+    append_timing_echo, encode_error_reply, encode_reply_frame, error_code, frame_len, parse_frame,
+    ErrorReply, FrameError, FrameHeader, FrameKind, PROTOCOL_V1, PROTOCOL_V2,
 };
 use crate::dispatch::{dispatch, ServerMetrics};
 use crate::poll::{PollEvent, Poller, Waker};
 use crate::server::ServerConfig;
 use crate::stats::{ConnInfo, RpcServerStats};
+use platod2gl_obs::Histogram;
 use platod2gl_server::GraphService;
 use std::collections::{BTreeMap, VecDeque};
 use std::io::{self, Read, Write};
@@ -125,6 +126,11 @@ struct Conn {
     closing: bool,
     /// Close now; the peer is gone or the stream is broken.
     dead: bool,
+    /// When the write buffer first pushed back (None while draining
+    /// freely); resolved into `rpc.server.write_stall_ns` once it empties.
+    stalled_since: Option<Instant>,
+    /// The write-stall histogram, pre-resolved per connection.
+    write_stall: Arc<Histogram>,
 }
 
 impl Conn {
@@ -261,12 +267,36 @@ fn worker_body<S: GraphService + ?Sized>(
     }
 }
 
+/// Saturate a duration into the u32 microseconds the timing echo carries.
+fn echo_us(d: Duration) -> u32 {
+    d.as_micros().min(u128::from(u32::MAX)) as u32
+}
+
+/// Encode a reply frame, appending the timing echo to v2 replies (v1
+/// clients see byte-identical frames).
+fn reply_with_echo(
+    header: &FrameHeader,
+    kind: FrameKind,
+    mut reply: Vec<u8>,
+    queued: Duration,
+    service_time: Duration,
+) -> Vec<u8> {
+    if header.version == PROTOCOL_V2 {
+        append_timing_echo(&mut reply, echo_us(queued), echo_us(service_time));
+    }
+    encode_reply_frame(header, kind, &reply)
+}
+
 /// Dispatch one deferred item to its finished completion.
 fn run_item<S: GraphService + ?Sized>(
     service: &S,
     metrics: &ServerMetrics,
     item: &WorkItem,
 ) -> Completion {
+    // Everything between frame receipt and this moment — the pool queue
+    // or the offload-thread spawn — is queue wait.
+    let queued = item.started.elapsed();
+    let svc_started = Instant::now();
     match dispatch(
         service,
         metrics,
@@ -274,13 +304,18 @@ fn run_item<S: GraphService + ?Sized>(
         &item.payload,
         item.started,
     ) {
-        Ok((kind, reply)) => Completion {
-            token: item.token,
-            v1_seq: item.v1_seq,
-            version: item.header.version,
-            bytes: encode_reply_frame(&item.header, kind, &reply),
-            close_after: false,
-        },
+        Ok((kind, reply)) => {
+            let service_time = svc_started.elapsed();
+            metrics.queue_wait.record(queued);
+            metrics.service_time.record(service_time);
+            Completion {
+                token: item.token,
+                v1_seq: item.v1_seq,
+                version: item.header.version,
+                bytes: reply_with_echo(&item.header, kind, reply, queued, service_time),
+                close_after: false,
+            }
+        }
         Err(e) => {
             metrics.errors.inc();
             Completion {
@@ -351,7 +386,13 @@ fn error_frame(peer_version: u8, e: &FrameError) -> Vec<u8> {
         shard: 0,
         message: e.to_string(),
     };
-    encode_reply_frame(&header, FrameKind::ErrorReply, &encode_error_reply(&reply))
+    let mut payload = encode_error_reply(&reply);
+    // Even error replies honor the v2 framing contract: every v2 reply
+    // carries the echo trailer (zeros here — no meaningful breakdown).
+    if peer_version == PROTOCOL_V2 {
+        append_timing_echo(&mut payload, 0, 0);
+    }
+    encode_reply_frame(&header, FrameKind::ErrorReply, &payload)
 }
 
 #[allow(clippy::too_many_lines)]
@@ -391,7 +432,9 @@ fn run<S>(
     let mut events: Vec<PollEvent> = Vec::new();
 
     while !stop.load(Ordering::Acquire) {
+        let wait_started = Instant::now();
         let _ = poller.wait(&mut events, WAIT_TIMEOUT);
+        metrics.poll_wait.record(wait_started.elapsed());
         g_ready.set(events.len() as i64);
 
         // Completions first (pool workers and write-path offload threads):
@@ -430,6 +473,7 @@ fn run<S>(
                     &mut poller,
                     &stats,
                     &connections,
+                    &metrics.write_stall,
                     cfg.max_connections,
                     &mut slots,
                     &mut gens,
@@ -532,6 +576,7 @@ fn accept_burst(
     poller: &mut Poller,
     stats: &RpcServerStats,
     connections: &platod2gl_obs::Counter,
+    write_stall: &Arc<Histogram>,
     max_connections: usize,
     slots: &mut Vec<Option<Conn>>,
     gens: &mut Vec<u32>,
@@ -582,6 +627,8 @@ fn accept_burst(
                     v1_hold: BTreeMap::new(),
                     closing: false,
                     dead: false,
+                    stalled_since: None,
+                    write_stall: Arc::clone(write_stall),
                 });
                 *open += 1;
             }
@@ -698,14 +745,27 @@ fn handle_readable<S>(
                         // Inline dispatch — the zero-copy path: `payload`
                         // borrows rbuf all the way into the handler.
                         None => {
+                            let queued = started.elapsed();
+                            let svc_started = Instant::now();
                             match dispatch(&**service, metrics, header.kind, payload, started) {
-                                Ok((kind, reply)) => Step::Done(Completion {
-                                    token,
-                                    v1_seq,
-                                    version: header.version,
-                                    bytes: encode_reply_frame(&header, kind, &reply),
-                                    close_after: false,
-                                }),
+                                Ok((kind, reply)) => {
+                                    let service_time = svc_started.elapsed();
+                                    metrics.queue_wait.record(queued);
+                                    metrics.service_time.record(service_time);
+                                    Step::Done(Completion {
+                                        token,
+                                        v1_seq,
+                                        version: header.version,
+                                        bytes: reply_with_echo(
+                                            &header,
+                                            kind,
+                                            reply,
+                                            queued,
+                                            service_time,
+                                        ),
+                                        close_after: false,
+                                    })
+                                }
                                 Err(e) => Step::Fail(e),
                             }
                         }
@@ -799,11 +859,22 @@ fn flush_writes(conn: &mut Conn) {
         }
     }
     if conn.wpos >= conn.wbuf.len() {
+        // Drained: resolve any stall window that was open.
+        if let Some(since) = conn.stalled_since.take() {
+            conn.write_stall.record(since.elapsed());
+        }
         conn.wbuf.clear();
         conn.wpos = 0;
-    } else if conn.wpos > READ_CHUNK {
-        // Keep the pending tail from pinning an ever-growing buffer.
-        conn.wbuf.drain(..conn.wpos);
-        conn.wpos = 0;
+    } else {
+        // The socket pushed back with bytes still queued: a stall window
+        // opens (or continues).
+        if conn.stalled_since.is_none() {
+            conn.stalled_since = Some(Instant::now());
+        }
+        if conn.wpos > READ_CHUNK {
+            // Keep the pending tail from pinning an ever-growing buffer.
+            conn.wbuf.drain(..conn.wpos);
+            conn.wpos = 0;
+        }
     }
 }

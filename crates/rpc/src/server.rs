@@ -37,8 +37,8 @@
 //! cooperative).
 
 use crate::codec::{
-    encode_error_reply, encode_reply_frame, error_code, parse_frame, ErrorReply, FrameError,
-    FrameHeader, FrameKind, PROTOCOL_V2,
+    append_timing_echo, encode_error_reply, encode_reply_frame, error_code, parse_frame,
+    ErrorReply, FrameError, FrameHeader, FrameKind, PROTOCOL_V2,
 };
 use crate::dispatch::{dispatch, ServerMetrics};
 use crate::event;
@@ -381,17 +381,20 @@ fn serve_connection<S: GraphService>(
         };
         peer_version = header.version;
         info.in_flight.fetch_add(1, Ordering::Relaxed);
-        let outcome = dispatch(
-            service,
-            metrics,
-            header.kind,
-            payload,
-            std::time::Instant::now(),
-        );
+        let svc_started = std::time::Instant::now();
+        let outcome = dispatch(service, metrics, header.kind, payload, svc_started);
         info.in_flight.fetch_sub(1, Ordering::Relaxed);
         match outcome {
-            Ok((kind, reply)) => {
+            Ok((kind, mut reply)) => {
+                // The threaded backend dispatches inline off the read, so
+                // its echo has zero queue time — all service.
+                let service_time = svc_started.elapsed();
+                metrics.service_time.record(service_time);
                 info.served(header.version);
+                if header.version == PROTOCOL_V2 {
+                    let service_us = service_time.as_micros().min(u128::from(u32::MAX)) as u32;
+                    append_timing_echo(&mut reply, 0, service_us);
+                }
                 stream.write_all(&encode_reply_frame(&header, kind, &reply))?;
             }
             // The payload failed record-level decoding: the stream cannot
@@ -420,10 +423,14 @@ fn fail_connection(
         kind: FrameKind::ErrorReply,
         req_id: 0,
     };
+    let mut payload = encode_error_reply(&reply);
+    if peer_version == PROTOCOL_V2 {
+        append_timing_echo(&mut payload, 0, 0);
+    }
     let _ = stream.write_all(&encode_reply_frame(
         &header,
         FrameKind::ErrorReply,
-        &encode_error_reply(&reply),
+        &payload,
     ));
     Err(e)
 }

@@ -6,14 +6,15 @@
 //! allocation.
 
 use platod2gl_graph::{Edge, EdgeType, ShardHealth, UpdateOp, VertexId};
+use platod2gl_obs::TraceContext;
 use platod2gl_rpc::codec::{
-    decode_error_reply, decode_heal_reply, decode_heal_request, decode_health_reply,
-    decode_sample_batch, decode_sample_reply, decode_update_batch, decode_update_reply,
-    encode_error_reply, encode_frame, encode_frame_v1, encode_frame_v2, encode_heal_reply,
-    encode_heal_request, encode_health_reply, encode_reply_frame, encode_sample_batch,
-    encode_sample_reply, encode_update_batch, encode_update_reply, frame_len, parse_frame,
-    read_frame, read_frame_ex, ErrorReply, FrameHeader, FrameKind, HealthReply, SampleBatch,
-    UpdateBatch, UpdateReply, MAX_FRAME_BYTES, PROTOCOL_V1, PROTOCOL_V2,
+    append_timing_echo, decode_error_reply, decode_heal_reply, decode_heal_request,
+    decode_health_reply, decode_sample_batch, decode_sample_reply, decode_update_batch,
+    decode_update_reply, encode_error_reply, encode_frame, encode_frame_v1, encode_frame_v2,
+    encode_heal_reply, encode_heal_request, encode_health_reply, encode_reply_frame,
+    encode_sample_batch, encode_sample_reply, encode_update_batch, encode_update_reply, frame_len,
+    parse_frame, read_frame, read_frame_ex, take_timing_echo, ErrorReply, FrameHeader, FrameKind,
+    HealthReply, SampleBatch, UpdateBatch, UpdateReply, MAX_FRAME_BYTES, PROTOCOL_V1, PROTOCOL_V2,
 };
 use platod2gl_server::wire;
 use platod2gl_server::{DegradedPolicy, SampleRequest, SampleResponse, SlotSource};
@@ -92,6 +93,16 @@ fn arb_op() -> impl Strategy<Value = UpdateOp> {
     )
 }
 
+/// An optional cross-process trace context, as a caller would attach it.
+fn arb_ctx() -> impl Strategy<Value = Option<TraceContext>> {
+    (any::<bool>(), any::<u64>(), any::<u64>()).prop_map(|(some, trace_id, parent_span)| {
+        some.then_some(TraceContext {
+            trace_id,
+            parent_span,
+        })
+    })
+}
+
 fn arb_health() -> impl Strategy<Value = ShardHealth> {
     (0u8..3).prop_map(|tag| match tag {
         0 => ShardHealth::Healthy,
@@ -113,9 +124,10 @@ proptest! {
     #[test]
     fn sample_batches_roundtrip(
         deadline_ms in any::<u32>(),
+        ctx in arb_ctx(),
         requests in vec(arb_request(), 0..40),
     ) {
-        let batch = SampleBatch { deadline_ms, requests };
+        let batch = SampleBatch { deadline_ms, ctx, requests };
         let framed = encode_frame(FrameKind::SampleBatch, &encode_sample_batch(&batch));
         prop_assert_eq!(
             framed.len() as u64,
@@ -127,29 +139,34 @@ proptest! {
     }
 
     #[test]
-    fn sample_replies_roundtrip(responses in vec(arb_response(), 0..32)) {
-        let framed = encode_frame(FrameKind::SampleReply, &encode_sample_reply(&responses));
+    fn sample_replies_roundtrip(
+        responses in vec(arb_response(), 0..32),
+        queue_us in any::<u32>(),
+        service_us in any::<u32>(),
+    ) {
+        // The size model counts the v2 timing-echo trailer, so append one
+        // before framing — exactly as the server reply path does.
+        let mut payload = encode_sample_reply(&responses);
+        append_timing_echo(&mut payload, queue_us, service_us);
+        let framed = encode_frame(FrameKind::SampleReply, &payload);
         prop_assert_eq!(
             framed.len() as u64,
             wire::sample_response_frame_bytes(responses.iter().map(|r| r.neighbors.len()))
         );
-        let payload = frame_roundtrip(FrameKind::SampleReply, &encode_sample_reply(&responses));
-        let back = decode_sample_reply(&payload).expect("decode");
+        let mut body = frame_roundtrip(FrameKind::SampleReply, &payload);
+        let echo = take_timing_echo(PROTOCOL_V2, &mut body).expect("echo");
+        prop_assert_eq!((echo.queue_us, echo.service_us), (queue_us, service_us));
+        let back = decode_sample_reply(&body).expect("decode");
         prop_assert_eq!(back, responses);
     }
 
     #[test]
     fn update_batches_roundtrip(
         deadline_ms in any::<u32>(),
-        traced in any::<bool>(),
-        trace in any::<u64>(),
+        ctx in arb_ctx(),
         ops in vec(arb_op(), 0..48),
     ) {
-        let batch = UpdateBatch {
-            deadline_ms,
-            trace_id: traced.then_some(trace),
-            ops,
-        };
+        let batch = UpdateBatch { deadline_ms, ctx, ops };
         let framed = encode_frame(FrameKind::UpdateBatch, &encode_update_batch(&batch));
         prop_assert_eq!(framed.len() as u64, wire::update_frame_bytes(batch.ops.len()));
         let payload = frame_roundtrip(FrameKind::UpdateBatch, &encode_update_batch(&batch));
@@ -160,10 +177,13 @@ proptest! {
     #[test]
     fn update_replies_roundtrip(applied in any::<u64>(), queued in any::<u64>()) {
         let reply = UpdateReply { applied_ops: applied, queued_ops: queued };
-        let framed = encode_frame(FrameKind::UpdateReply, &encode_update_reply(&reply));
+        let mut payload = encode_update_reply(&reply);
+        append_timing_echo(&mut payload, 1, 2);
+        let framed = encode_frame(FrameKind::UpdateReply, &payload);
         prop_assert_eq!(framed.len() as u64, wire::UPDATE_REPLY_FRAME_BYTES);
-        let payload = frame_roundtrip(FrameKind::UpdateReply, &encode_update_reply(&reply));
-        prop_assert_eq!(decode_update_reply(&payload).expect("decode"), reply);
+        let mut body = frame_roundtrip(FrameKind::UpdateReply, &payload);
+        take_timing_echo(PROTOCOL_V2, &mut body).expect("echo");
+        prop_assert_eq!(decode_update_reply(&body).expect("decode"), reply);
     }
 
     #[test]
@@ -212,7 +232,7 @@ proptest! {
         requests in vec(arb_request(), 1..8),
         cut_seed in any::<u64>(),
     ) {
-        let batch = SampleBatch { deadline_ms: 0, requests };
+        let batch = SampleBatch { deadline_ms: 0, ctx: None, requests };
         let framed = encode_frame(FrameKind::SampleBatch, &encode_sample_batch(&batch));
         let cut = (cut_seed as usize) % framed.len();
         prop_assert!(read_frame(&mut &framed[..cut]).is_err());
@@ -226,7 +246,11 @@ proptest! {
         at_seed in any::<u64>(),
         bit in 0u8..8,
     ) {
-        let batch = UpdateBatch { deadline_ms: 5, trace_id: Some(7), ops };
+        let batch = UpdateBatch {
+            deadline_ms: 5,
+            ctx: Some(TraceContext { trace_id: 7, parent_span: 3 }),
+            ops,
+        };
         let mut framed = encode_frame(FrameKind::UpdateBatch, &encode_update_batch(&batch));
         let at = 4 + (at_seed as usize) % (framed.len() - 4);
         framed[at] ^= 1 << bit;
@@ -344,7 +368,11 @@ proptest! {
         at_seed in any::<u64>(),
         bit in 0u8..8,
     ) {
-        let batch = UpdateBatch { deadline_ms: 5, trace_id: Some(7), ops };
+        let batch = UpdateBatch {
+            deadline_ms: 5,
+            ctx: Some(TraceContext { trace_id: 7, parent_span: 3 }),
+            ops,
+        };
         let mut framed =
             encode_frame_v2(FrameKind::UpdateBatch, req_id, &encode_update_batch(&batch));
         let at = 4 + (at_seed as usize) % (framed.len() - 4);

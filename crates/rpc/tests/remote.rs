@@ -241,6 +241,7 @@ fn deadline_lapse_degrades_remaining_requests_server_side() {
         .collect();
     let batch = SampleBatch {
         deadline_ms: 1,
+        ctx: None,
         requests,
     };
     let mut stream = TcpStream::connect(server.local_addr()).expect("connect");

@@ -35,6 +35,7 @@
 
 use crate::request::{DegradedPolicy, SampleRequest, SampleResponse, SlotSource};
 use platod2gl_graph::{Edge, EdgeType, ShardHealth, TxnOp, UpdateOp, VertexId};
+use platod2gl_obs::TraceContext;
 use std::fmt;
 
 /// Fixed per-frame overhead of the rpc frame layer at the current (v2)
@@ -53,13 +54,24 @@ pub const SAMPLE_REQUEST_BYTES: u64 = 32;
 /// Encoded size of one [`UpdateOp`] record.
 pub const UPDATE_OP_BYTES: u64 = 27;
 
+/// Encoded size of one optional [`TraceContext`]: present flag u8 +
+/// trace_id u64 + parent_span u64, always 17 bytes so batch headers stay
+/// fixed-layout.
+pub const TRACE_CTX_BYTES: u64 = 17;
+
+/// Fixed trailer every v2 *reply* frame carries between payload and CRC:
+/// queue_us u32 + service_us u32 — the server-side timing echo that lets a
+/// client split observed round-trip latency into network vs. server
+/// queueing vs. service time. Legacy v1 replies do not carry it.
+pub const REPLY_TIMING_ECHO_BYTES: u64 = 8;
+
 /// Fixed body prefix of a sample-batch request frame: deadline u32 +
-/// request count u32.
-pub const SAMPLE_BATCH_HEADER_BYTES: u64 = 8;
+/// trace context ([`TRACE_CTX_BYTES`]) + request count u32.
+pub const SAMPLE_BATCH_HEADER_BYTES: u64 = 4 + TRACE_CTX_BYTES + 4;
 
 /// Fixed body prefix of an update-batch request frame: deadline u32 +
-/// trace_present u8 + trace_id u64 + op count u32.
-pub const UPDATE_BATCH_HEADER_BYTES: u64 = 17;
+/// trace context ([`TRACE_CTX_BYTES`]) + op count u32.
+pub const UPDATE_BATCH_HEADER_BYTES: u64 = 4 + TRACE_CTX_BYTES + 4;
 
 /// Encoded size of one [`SampleResponse`] record with `n` neighbor slots.
 pub fn sample_response_bytes(n: usize) -> u64 {
@@ -72,9 +84,10 @@ pub fn sample_request_frame_bytes(count: usize) -> u64 {
 }
 
 /// Full on-wire size of a sample reply frame whose responses carry the
-/// given neighbor-slot counts.
+/// given neighbor-slot counts (v2: includes the timing echo trailer).
 pub fn sample_response_frame_bytes(neighbor_counts: impl IntoIterator<Item = usize>) -> u64 {
     FRAME_OVERHEAD_BYTES
+        + REPLY_TIMING_ECHO_BYTES
         + 4
         + neighbor_counts
             .into_iter()
@@ -87,15 +100,17 @@ pub fn update_frame_bytes(ops: usize) -> u64 {
     FRAME_OVERHEAD_BYTES + UPDATE_BATCH_HEADER_BYTES + ops as u64 * UPDATE_OP_BYTES
 }
 
-/// Full on-wire size of an update reply frame (applied u64 + queued u64).
-pub const UPDATE_REPLY_FRAME_BYTES: u64 = FRAME_OVERHEAD_BYTES + 16;
+/// Full on-wire size of an update reply frame (applied u64 + queued u64 +
+/// timing echo).
+pub const UPDATE_REPLY_FRAME_BYTES: u64 = FRAME_OVERHEAD_BYTES + 16 + REPLY_TIMING_ECHO_BYTES;
 
 /// Encoded size of one [`TxnOp`] record (same fixed 27-byte layout as
 /// [`UpdateOp`]: vertex-granular ops carry a zero dst/weight).
 pub const TXN_OP_BYTES: u64 = 27;
 
-/// Fixed body prefix of a txn-apply frame: txn_id u64 + op count u32.
-pub const TXN_BATCH_HEADER_BYTES: u64 = 12;
+/// Fixed body prefix of a txn-apply frame: txn_id u64 + trace context
+/// ([`TRACE_CTX_BYTES`]) + op count u32.
+pub const TXN_BATCH_HEADER_BYTES: u64 = 8 + TRACE_CTX_BYTES + 4;
 
 /// Full on-wire size of a txn-apply frame carrying `ops` typed ops.
 pub fn txn_frame_bytes(ops: usize) -> u64 {
@@ -103,10 +118,10 @@ pub fn txn_frame_bytes(ops: usize) -> u64 {
 }
 
 /// Full on-wire size of a committed txn reply frame (status u8 + txn_id
-/// u64 + ops_applied u64 + graph_version u64 + deduped u8). Rejection
-/// replies are larger (they carry violations); the traffic model uses the
-/// commit size, the overwhelmingly common case.
-pub const TXN_REPLY_FRAME_BYTES: u64 = FRAME_OVERHEAD_BYTES + 26;
+/// u64 + ops_applied u64 + graph_version u64 + deduped u8 + timing echo).
+/// Rejection replies are larger (they carry violations); the traffic model
+/// uses the commit size, the overwhelmingly common case.
+pub const TXN_REPLY_FRAME_BYTES: u64 = FRAME_OVERHEAD_BYTES + 26 + REPLY_TIMING_ECHO_BYTES;
 
 /// A record failed to decode. The frame layer has already verified the
 /// CRC when this is raised, so a `WireError` means a peer speaking a
@@ -233,6 +248,57 @@ pub fn put_trace_id(buf: &mut Vec<u8>, trace_id: Option<u64>) {
 /// Decode an optional trace id.
 pub fn get_trace_id(r: &mut Reader<'_>) -> Result<Option<u64>, WireError> {
     get_opt_u64(r)
+}
+
+/// Encode an optional [`TraceContext`] (always [`TRACE_CTX_BYTES`]:
+/// present flag u8 + trace_id u64 + parent_span u64, zeros when absent).
+pub fn put_trace_ctx(buf: &mut Vec<u8>, ctx: Option<TraceContext>) {
+    let before = buf.len();
+    buf.push(u8::from(ctx.is_some()));
+    put_u64(buf, ctx.map_or(0, |c| c.trace_id));
+    put_u64(buf, ctx.map_or(0, |c| c.parent_span));
+    debug_assert_eq!((buf.len() - before) as u64, TRACE_CTX_BYTES);
+}
+
+/// Decode an optional [`TraceContext`].
+pub fn get_trace_ctx(r: &mut Reader<'_>) -> Result<Option<TraceContext>, WireError> {
+    let present = match r.u8()? {
+        0 => false,
+        1 => true,
+        tag => {
+            return Err(WireError::BadTag {
+                what: "trace ctx",
+                tag,
+            })
+        }
+    };
+    let trace_id = r.u64()?;
+    let parent_span = r.u64()?;
+    Ok(present.then_some(TraceContext {
+        trace_id,
+        parent_span,
+    }))
+}
+
+/// Encode a length-prefixed UTF-8 string (u32 len + bytes). Used by the
+/// introspection payloads (span/metric export), whose records — unlike the
+/// data-plane ones — carry names and details.
+pub fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_u32(buf, s.len() as u32);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+/// Decode a length-prefixed UTF-8 string; invalid UTF-8 is a bad record.
+pub fn get_str(r: &mut Reader<'_>) -> Result<String, WireError> {
+    let n = r.u32()? as usize;
+    if n > r.remaining() {
+        return Err(WireError::Truncated);
+    }
+    let bytes = r.take(n)?;
+    String::from_utf8(bytes.to_vec()).map_err(|_| WireError::BadTag {
+        what: "utf8 string",
+        tag: 0,
+    })
 }
 
 fn policy_tag(p: DegradedPolicy) -> u8 {
@@ -584,11 +650,11 @@ mod tests {
     fn frame_sizing_helpers_compose_record_sizes() {
         assert_eq!(
             sample_request_frame_bytes(3),
-            FRAME_OVERHEAD_BYTES + 8 + 3 * SAMPLE_REQUEST_BYTES
+            FRAME_OVERHEAD_BYTES + 25 + 3 * SAMPLE_REQUEST_BYTES
         );
         assert_eq!(
             sample_response_frame_bytes([0, 2]),
-            FRAME_OVERHEAD_BYTES + 4 + (9) + (9 + 18)
+            FRAME_OVERHEAD_BYTES + 8 + 4 + (9) + (9 + 18)
         );
         assert_eq!(
             update_frame_bytes(2),
@@ -637,5 +703,54 @@ mod tests {
             get_txn_op(&mut Reader::new(&buf)),
             Err(WireError::BadTag { what: "txn op", .. })
         ));
+    }
+
+    #[test]
+    fn trace_ctx_roundtrips_at_fixed_size() {
+        for ctx in [
+            None,
+            Some(TraceContext {
+                trace_id: 0xFACE,
+                parent_span: 17,
+            }),
+        ] {
+            let mut buf = Vec::new();
+            put_trace_ctx(&mut buf, ctx);
+            assert_eq!(buf.len() as u64, TRACE_CTX_BYTES);
+            let mut r = Reader::new(&buf);
+            assert_eq!(get_trace_ctx(&mut r).expect("decode"), ctx);
+            assert!(r.is_empty());
+        }
+        // Bad present flag.
+        let mut buf = vec![7u8];
+        buf.extend_from_slice(&[0u8; 16]);
+        assert!(matches!(
+            get_trace_ctx(&mut Reader::new(&buf)),
+            Err(WireError::BadTag {
+                what: "trace ctx",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn strings_roundtrip_and_reject_forged_lengths() {
+        for s in ["", "rpc.server.request", "π spans 🎯"] {
+            let mut buf = Vec::new();
+            put_str(&mut buf, s);
+            let mut r = Reader::new(&buf);
+            assert_eq!(get_str(&mut r).expect("decode"), s);
+            assert!(r.is_empty());
+        }
+        // A length claiming more bytes than the buffer holds.
+        let mut buf = Vec::new();
+        put_u32(&mut buf, 1000);
+        buf.extend_from_slice(b"short");
+        assert_eq!(get_str(&mut Reader::new(&buf)), Err(WireError::Truncated));
+        // Invalid UTF-8 payload.
+        let mut buf = Vec::new();
+        put_u32(&mut buf, 2);
+        buf.extend_from_slice(&[0xFF, 0xFE]);
+        assert!(get_str(&mut Reader::new(&buf)).is_err());
     }
 }

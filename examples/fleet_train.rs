@@ -11,10 +11,15 @@
 //! Run with: `cargo run -p platod2gl --release --example fleet_train`
 
 use platod2gl::{
-    Cluster, ClusterConfig, Edge, EdgeType, FleetCluster, FleetClusterConfig, FleetNode,
-    GraphService, GraphServiceServer, GraphStore, HashFeatures, PartitionMap, PipelineConfig,
-    RemoteClusterConfig, SageNet, SageNetConfig, ServerEntry, TrainingPipeline, UpdateOp, VertexId,
+    AdminServer, Cluster, ClusterConfig, Edge, EdgeType, FleetCluster, FleetClusterConfig,
+    FleetNode, GraphService, GraphServiceServer, GraphStore, HashFeatures, PartitionMap,
+    PipelineConfig, RemoteClusterConfig, SageNet, SageNetConfig, SampleRequest, ServerEntry,
+    TrainingPipeline, UpdateOp, VertexId,
 };
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -24,6 +29,25 @@ const PARTITIONS: u32 = 64;
 
 fn client_cfg() -> RemoteClusterConfig {
     RemoteClusterConfig::default().request_timeout(Duration::from_secs(5))
+}
+
+fn http_get(addr: SocketAddr, path: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect admin");
+    stream
+        .write_all(format!("GET {path} HTTP/1.0\r\n\r\n").as_bytes())
+        .expect("send request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    let status: u16 = response
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
 }
 
 fn boot_member(id: u64) -> (Arc<FleetNode>, GraphServiceServer) {
@@ -161,6 +185,41 @@ fn main() {
         assert_eq!(owner.id, joined.server_id);
     }
     println!("joiner owns its migrated partitions and serves their data");
+
+    // 6. The fleet telemetry plane: a traced sample fans out across the
+    //    widened fleet, then the admin server stitches the cross-process
+    //    span tree (`/debug/trace/<id>`) and merges every member's
+    //    registry into one labelled exposition (`/fleet/metrics`).
+    let admin = AdminServer::bind_fleet("127.0.0.1:0", Arc::clone(&fleet)).expect("bind admin");
+    const TRACE: u64 = 0x0DD_BA11;
+    let reqs: Vec<SampleRequest> = (0..N)
+        .map(|v| SampleRequest::new(VertexId(v), ET, 3).with_trace_id(TRACE))
+        .collect();
+    let mut rng = StdRng::seed_from_u64(7);
+    let sampled = fleet.sample_many(&reqs, &mut rng);
+    assert!(sampled.iter().all(|r| !r.degraded));
+
+    let (status, trace) = http_get(admin.local_addr(), &format!("/debug/trace/{TRACE}"));
+    assert_eq!(status, 200, "{trace}");
+    let processes = trace
+        .split_once("\"processes\":[")
+        .map(|(_, rest)| rest.split(']').next().unwrap_or(""))
+        .unwrap_or("");
+    let process_count = processes.matches('"').count() / 2;
+    assert!(process_count >= 2, "{trace}");
+    println!("fleet admin /debug/trace: one stitched tree spanning {process_count} processes");
+
+    let (status, metrics) = http_get(admin.local_addr(), "/fleet/metrics");
+    assert_eq!(status, 200, "{metrics}");
+    assert!(metrics.contains("{server=\"fleet\"}"), "{metrics}");
+    let member_rows = metrics
+        .lines()
+        .filter(|l| l.starts_with("plato_cluster_requests_total{server=\"server-"))
+        .count();
+    println!(
+        "fleet admin /fleet/metrics: merged exposition, {member_rows} member rows + fleet aggregate"
+    );
+    admin.shutdown();
 
     for (_, server) in members {
         server.shutdown();

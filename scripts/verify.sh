@@ -87,6 +87,8 @@ for needle in 'fleet client connected: 3 servers' \
     'epoch 2 trained through a live migration' \
     '0 degraded' \
     'joiner owns its migrated partitions and serves their data' \
+    'fleet admin /debug/trace: one stitched tree spanning' \
+    'fleet admin /fleet/metrics: merged exposition' \
     'fleet shut down cleanly'; do
     if ! grep -qF "$needle" <<<"$fleet_out"; then
         echo "verify: FAIL — fleet smoke missing: $needle"
@@ -120,6 +122,18 @@ fi
 accept_errors=$(sed -n 's/.*"accept_errors":\([0-9]*\).*/\1/p' BENCH_8.json)
 if [ "$accept_errors" != "0" ]; then
     echo "verify: FAIL — $accept_errors errors across 10k accepts"
+    exit 1
+fi
+
+echo "==> tracing-overhead trail (report_obs_overhead -> BENCH_9.json, overhead_ratio >= 0.9)"
+cargo run -p platod2gl-bench --release --bin report_obs_overhead
+if ! grep -qF '"bench":"obs_overhead"' BENCH_9.json; then
+    echo "verify: FAIL — BENCH_9.json missing or malformed"
+    exit 1
+fi
+obs_ratio=$(sed -n 's/.*"overhead_ratio":\([0-9.]*\).*/\1/p' BENCH_9.json)
+if ! awk -v r="$obs_ratio" 'BEGIN { exit !(r >= 0.9) }'; then
+    echo "verify: FAIL — tracing overhead_ratio = $obs_ratio < 0.9 (tracing costs > 10%)"
     exit 1
 fi
 

@@ -440,6 +440,155 @@ fn leader_failure_fails_over_to_replica_bit_identically() {
     fleet_servers.shutdown();
 }
 
+/// The distributed-tracing headline, over real sockets on a 3-server
+/// fleet: a traced sample fan-out produces ONE stitched tree at
+/// `/debug/trace/<id>` — client root at the top, per-owner fan-out spans
+/// under it, and each server's `rpc.server.sample` span (recorded in a
+/// different process, pulled back via `SpanExport`) nested under the
+/// client span that caused it. After a leader kill, the replica
+/// failover's server span nests under the client's `fleet.replica_retry`
+/// span, so an operator can see the retry in the tree.
+#[test]
+fn debug_trace_stitches_one_tree_across_fleet_processes() {
+    let ops = edge_ops();
+    let mut fleet_servers = start_fleet(3);
+    let fleet = Arc::new(
+        FleetCluster::connect(&fleet_servers.addr_strings(), fleet_cfg()).expect("connect"),
+    );
+    fleet.apply_updates(&ops).expect("loads");
+    let admin = AdminServer::bind_fleet("127.0.0.1:0", Arc::clone(&fleet)).expect("bind admin");
+
+    // A traced fan-out: the trace id rides the request into sample_many,
+    // names the client root span, and crosses the wire in the v2 ctx.
+    const TRACE: u64 = 0xDEC0DE;
+    let reqs: Vec<SampleRequest> = (0..N)
+        .map(|v| SampleRequest::new(VertexId(v), ET, 4).with_trace_id(TRACE))
+        .collect();
+    let mut rng = StdRng::seed_from_u64(77);
+    let responses = fleet.sample_many(&reqs, &mut rng);
+    assert!(responses.iter().all(|r| !r.degraded));
+
+    let (status, body) = http_get(admin.local_addr(), &format!("/debug/trace/{TRACE}"));
+    assert_eq!(status, 200, "{body}");
+    assert!(
+        body.starts_with(&format!("{{\"trace_id\":{TRACE},")),
+        "{body}"
+    );
+    // Spans from at least two distinct processes: the client plus a
+    // server-side root per owner actually hit.
+    let processes = body
+        .split_once("\"processes\":[")
+        .map(|(_, rest)| rest.split(']').next().unwrap_or(""))
+        .unwrap_or("");
+    assert!(processes.contains("\"client\""), "{body}");
+    assert!(processes.contains("\"server-"), "{body}");
+    assert!(
+        processes.matches('"').count() >= 4,
+        "spans from >= 2 processes: {processes}"
+    );
+    // ONE tree: a single root — the client's fleet.sample span — and no
+    // orphaned server roots beside it.
+    let roots = body.split_once("\"roots\":[").expect("roots").1;
+    assert!(
+        roots.starts_with("{\"member\":\"client\",\"name\":\"fleet.sample\""),
+        "{body}"
+    );
+    assert_eq!(
+        body.matches("\"name\":\"fleet.sample\"").count(),
+        1,
+        "{body}"
+    );
+    // Server-side spans made it into the stitched tree, each anchored to
+    // the client span that caused it.
+    assert!(body.contains("\"name\":\"rpc.server.sample\""), "{body}");
+    let tree_roots = roots
+        .matches("\"member\":\"client\",\"name\":\"fleet.sample\"")
+        .count();
+    assert_eq!(tree_roots, 1, "one stitched tree, not per-process forests");
+
+    // Kill a leader and re-sample under a fresh trace: the failover leg
+    // must appear as fleet.replica_retry with the replica's server span
+    // nested under it.
+    fleet_servers.servers[0].take().expect("running").shutdown();
+    const TRACE2: u64 = 0xFA11;
+    let reqs2: Vec<SampleRequest> = (0..N)
+        .map(|v| SampleRequest::new(VertexId(v), ET, 4).with_trace_id(TRACE2))
+        .collect();
+    let mut rng = StdRng::seed_from_u64(77);
+    let after = fleet.sample_many(&reqs2, &mut rng);
+    assert!(after.iter().all(|r| !r.degraded), "replicas cover");
+
+    let (status, body) = http_get(admin.local_addr(), &format!("/debug/trace/{TRACE2}"));
+    assert_eq!(status, 200, "{body}");
+    let retry_at = body
+        .find("\"name\":\"fleet.replica_retry\"")
+        .expect("retry span in the tree");
+    // The retry span's children array holds the replica's server span:
+    // the next rpc.server.sample after the retry span opens inside it
+    // (children are inlined before the object closes).
+    let after_retry = &body[retry_at..];
+    let child = after_retry
+        .find("\"name\":\"rpc.server.sample\"")
+        .expect("replica server span nested under the retry");
+    let retry_children = after_retry.find("\"children\":[").expect("children");
+    assert!(child > retry_children, "{body}");
+
+    admin.shutdown();
+    fleet_servers.shutdown();
+}
+
+/// `/fleet/metrics` over real sockets: one exposition carrying every
+/// member's series under `server="..."` labels plus the merged
+/// `server="fleet"` aggregate, including the event-loop latency-anatomy
+/// histograms scraped out of each server process.
+#[test]
+fn fleet_metrics_endpoint_merges_every_member() {
+    let ops = edge_ops();
+    let fleet_servers = start_fleet(2);
+    let fleet = Arc::new(
+        FleetCluster::connect(&fleet_servers.addr_strings(), fleet_cfg()).expect("connect"),
+    );
+    fleet.apply_updates(&ops).expect("loads");
+    let reqs: Vec<SampleRequest> = (0..N)
+        .map(|v| SampleRequest::new(VertexId(v), ET, 4))
+        .collect();
+    let mut rng = StdRng::seed_from_u64(7);
+    let _ = fleet.sample_many(&reqs, &mut rng);
+    let admin = AdminServer::bind_fleet("127.0.0.1:0", Arc::clone(&fleet)).expect("bind admin");
+
+    let (status, body) = http_get(admin.local_addr(), "/fleet/metrics");
+    assert_eq!(status, 200);
+    // Per-member labels for both servers plus the client, and the merged
+    // fleet aggregate, in one exposition.
+    for label in ["{server=\"client\"}", "{server=\"fleet\"}"] {
+        assert!(body.contains(label), "{label} missing:\n{body}");
+    }
+    for server in ["server-1", "server-2"] {
+        assert!(
+            body.contains(&format!(
+                "plato_cluster_requests_total{{server=\"{server}\"}}"
+            )),
+            "{server} missing:\n{body}"
+        );
+    }
+    // The latency-anatomy histograms cross the wire with exact buckets:
+    // the fleet service-time count equals the sum of the members'.
+    let count_of = |needle: &str| -> u64 {
+        body.lines()
+            .find(|l| l.starts_with(needle))
+            .and_then(|l| l.rsplit(' ').next()?.parse().ok())
+            .unwrap_or(0)
+    };
+    let s1 = count_of("plato_rpc_server_service_seconds_count{server=\"server-1\"}");
+    let s2 = count_of("plato_rpc_server_service_seconds_count{server=\"server-2\"}");
+    let merged = count_of("plato_rpc_server_service_seconds_count{server=\"fleet\"}");
+    assert!(s1 > 0 && s2 > 0, "both servers served requests:\n{body}");
+    assert_eq!(merged, s1 + s2, "histogram merge is sum-preserving");
+
+    admin.shutdown();
+    fleet_servers.shutdown();
+}
+
 /// The fleet admin plane over real sockets: `/debug/partitions` renders
 /// the live routing table, `/healthz` is 200-degraded with one server
 /// down (replicas cover) and 503-unowned when a partition loses both

@@ -17,7 +17,7 @@
 use platod2gl::{Cluster, ClusterConfig, Edge, EdgeType, GraphStore, SampleRequest, VertexId};
 use platod2gl_rpc::codec::{
     decode_sample_reply, encode_frame_v1, encode_frame_v2, encode_sample_batch, read_frame_ex,
-    FrameKind, SampleBatch, PROTOCOL_V1, PROTOCOL_V2,
+    take_timing_echo, FrameKind, SampleBatch, PROTOCOL_V1, PROTOCOL_V2,
 };
 use platod2gl_rpc::{GraphServiceServer, ServerConfig};
 use rand::rngs::StdRng;
@@ -64,6 +64,7 @@ fn sample_payload(v: VertexId) -> Vec<u8> {
     let req = SampleRequest::new(v, ET, 2);
     encode_sample_batch(&SampleBatch {
         deadline_ms: 30_000,
+        ctx: None,
         requests: vec![(req, 0x5EED)],
     })
 }
@@ -187,9 +188,11 @@ fn soak_thousand_connections_mixed_protocols() {
                         // must match its id.
                         let mut seen = [false; REQUESTS_PER_CONN];
                         for _ in 0..REQUESTS_PER_CONN {
-                            let (header, payload) =
+                            let (header, mut payload) =
                                 read_frame_ex(&mut conns[conn]).expect("v2 reply");
                             assert_eq!(header.version, PROTOCOL_V2, "v2 in, v2 out");
+                            // v2 replies carry the server timing echo.
+                            take_timing_echo(header.version, &mut payload).expect("echo");
                             let v = VertexId(header.req_id);
                             let seq = (v.raw() & 0xFFFF) as usize;
                             assert!(seq < REQUESTS_PER_CONN, "id names a real request");
