@@ -1,0 +1,7 @@
+//! Temporal plane: windowed vs unwindowed k-hop sampling throughput and
+//! the recency-decay sweep rate; writes BENCH_10.json.
+//! Run: cargo run -p platod2gl-bench --release --bin report_temporal
+
+fn main() {
+    platod2gl_bench::experiments::temporal_report();
+}

@@ -1297,6 +1297,118 @@ pub fn obs_overhead_report() {
     println!("  wrote BENCH_9.json (overhead_ratio = {ratio:.3})");
 }
 
+/// Temporal plane: windowed k-hop sampling throughput vs the unwindowed
+/// baseline at three window selectivities, plus the recency-decay
+/// maintenance sweep rate. The acceptance bar (gated in `verify.sh`) is
+/// that windowed sampling stays within 2x of unwindowed throughput — the
+/// rejection-with-retry fast path has to be doing its job, not falling
+/// back to full neighborhood scans. Writes `BENCH_10.json`.
+pub fn temporal_report() {
+    use platod2gl::{
+        CacheConfig, Cluster, ClusterConfig, DecayConfig, DynamicGraphStore, Edge, KHopSampler,
+        NeighborCache, RecencyDecay, Registry, TimeWindow, VertexId,
+    };
+
+    const V: u64 = 5_000;
+    const DEGREE: u64 = 12;
+    const MAX_TS: u64 = 1_000;
+    const ROUNDS: usize = 20;
+    const BATCH: usize = 512;
+
+    println!("\n=== Temporal plane: windowed vs unwindowed k-hop sampling (seeds/s) ===");
+    header(&["window", "seeds/s", "vs unwindowed"]);
+
+    let stamp = |s: u64, d: u64| (s * 31 + d * 17) % MAX_TS + 1;
+    let cluster = Cluster::new(
+        ClusterConfig::builder()
+            .num_shards(2)
+            .build()
+            .expect("valid config"),
+    );
+    for s in 0..V {
+        for k in 1..=DEGREE {
+            let d = (s + k * 131) % V;
+            if d != s {
+                cluster.insert_edge(Edge::new(VertexId(s), VertexId(d), 1.0).at(stamp(s, d)));
+            }
+        }
+    }
+
+    let sampler = KHopSampler::new(EdgeType::DEFAULT, vec![10, 10]);
+    let cache = NeighborCache::new(CacheConfig::disabled());
+    let seeds: Vec<VertexId> = (0..BATCH as u64).map(|i| VertexId(i * 7 % V)).collect();
+    let run = |windows: &[Option<TimeWindow>]| -> f64 {
+        let mut rng = StdRng::seed_from_u64(7);
+        let t = Instant::now();
+        for _ in 0..ROUNDS {
+            let out = sampler.sample_block_windowed(&cluster, &cache, &seeds, windows, &mut rng);
+            assert_eq!(out.degraded_samples, 0);
+        }
+        (ROUNDS * BATCH) as f64 / t.elapsed().as_secs_f64()
+    };
+
+    let unwindowed = run(&[]);
+    row("none", &[format!("{unwindowed:.0}"), "1.00x".into()]);
+    let mut json_rows = vec![format!(
+        "{{\"window\":\"none\",\"seeds_per_s\":{unwindowed:.0},\"slowdown\":1.0}}"
+    )];
+    let mut worst_slowdown: f64 = 1.0;
+    for (name, max_ts) in [("broad", 900u64), ("half", 500), ("narrow", 150)] {
+        // Per-seed windows, as training issues them: each seed bounded at
+        // its own (deterministic) event time near the selectivity point.
+        let windows: Vec<Option<TimeWindow>> = seeds
+            .iter()
+            .map(|v| Some(TimeWindow::until(max_ts + v.raw() % 100)))
+            .collect();
+        let windowed = run(&windows);
+        let slowdown = unwindowed / windowed;
+        worst_slowdown = worst_slowdown.max(slowdown);
+        row(name, &[format!("{windowed:.0}"), format!("{slowdown:.2}x")]);
+        json_rows.push(format!(
+            "{{\"window\":\"{name}\",\"seeds_per_s\":{windowed:.0},\"slowdown\":{slowdown:.3}}}"
+        ));
+    }
+
+    // The maintenance half: a full recency-decay sweep over the same
+    // stamped topology, measured as scanned edges per second.
+    let store = DynamicGraphStore::with_defaults();
+    for s in 0..V {
+        for k in 1..=DEGREE {
+            let d = (s + k * 131) % V;
+            if d != s {
+                store.insert_edge(Edge::new(VertexId(s), VertexId(d), 1.0).at(stamp(s, d)));
+            }
+        }
+    }
+    let registry = Registry::new();
+    let mut decay = RecencyDecay::new(
+        DecayConfig {
+            lambda: 1e-3,
+            floor: 1e-6,
+            batch_sources: 256,
+        },
+        &registry,
+    )
+    .expect("valid policy");
+    let t = Instant::now();
+    let tick = decay.run_sweep(&store, MAX_TS + 500);
+    let decay_edges_per_s = tick.scanned as f64 / t.elapsed().as_secs_f64();
+    println!(
+        "  decay sweep: {} edges scanned, {} decayed, {:.0} edges/s",
+        tick.scanned, tick.decayed, decay_edges_per_s
+    );
+
+    let json = format!(
+        "{{\"bench\":\"temporal_sampling\",\"vertices\":{V},\"degree\":{DEGREE},\
+         \"fanouts\":[10,10],\"rows\":[{}],\
+         \"worst_slowdown\":{worst_slowdown:.3},\
+         \"decay_edges_per_s\":{decay_edges_per_s:.0}}}\n",
+        json_rows.join(",")
+    );
+    std::fs::write("BENCH_10.json", &json).expect("write BENCH_10.json");
+    println!("  wrote BENCH_10.json (worst windowed slowdown = {worst_slowdown:.2}x)");
+}
+
 /// Run the whole evaluation in paper order.
 pub fn run_all() {
     println!(
@@ -1318,4 +1430,5 @@ pub fn run_all() {
     fleet_report();
     rpc_report();
     obs_overhead_report();
+    temporal_report();
 }

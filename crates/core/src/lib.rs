@@ -47,8 +47,8 @@ pub use platod2gl_gnn::{
 pub use platod2gl_graph::{
     for_each_edge, read_edge_list, sanitize_weight, validate_and_lower, write_edge_list,
     DatasetProfile, Edge, EdgeType, Error, GraphStore, GraphTxn, RelationSpec, Served, ShardHealth,
-    StoreTxnView, TxnError, TxnOp, TxnReceipt, TxnView, TxnViolation, UpdateOp, UpdateStream,
-    VertexId, VertexType, ViolationKind,
+    StoreTxnView, TimeWindow, TxnError, TxnOp, TxnReceipt, TxnView, TxnViolation, UpdateOp,
+    UpdateStream, VertexId, VertexType, ViolationKind,
 };
 pub use platod2gl_mem::{human_bytes, DeepSize};
 pub use platod2gl_obs::{
@@ -57,7 +57,7 @@ pub use platod2gl_obs::{
 };
 pub use platod2gl_pipeline::{
     Block, CacheConfig, CacheStats, EpochReport, KHopSampler, NeighborCache, PipelineConfig,
-    PipelineConfigBuilder, PipelineStats, SampleOutcome, TrainingPipeline,
+    PipelineConfigBuilder, PipelineStats, SampleOutcome, TrainingPipeline, WindowedBatch,
 };
 pub use platod2gl_rpc::{
     Backend, ClientConfig, ClientConfigBuilder, ConnectionMode, GraphServiceServer, PollerKind,
@@ -72,10 +72,11 @@ pub use platod2gl_server::{
     ShardMemory, SlotSource, TrafficStats, TxnLogEntry,
 };
 pub use platod2gl_storage::{
-    replay_wal, AttributeStore, CrashInjector, CrashPoint, DurableGraphStore, DynamicGraphStore,
-    RecoveryReport, StoreConfig, StoreMemory, TornTail, TornTailKind, WalReplayReport,
-    SNAPSHOT_VERSION,
+    replay_wal, AttributeStore, CrashInjector, CrashPoint, DecayOutcome, DurableGraphStore,
+    DynamicGraphStore, RecoveryReport, StoreConfig, StoreMemory, TornTail, TornTailKind,
+    WalReplayReport, SNAPSHOT_VERSION,
 };
+pub use platod2gl_temporal::{DecayConfig, DecayTick, RecencyDecay};
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;

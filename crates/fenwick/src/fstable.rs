@@ -143,6 +143,36 @@ impl FsTable {
         self.add(i, weight - old);
     }
 
+    /// Decay `w_i` by `factor`, clamped at a strictly positive `floor`
+    /// (the temporal plane's recency decay, `O(log n)` like [`FsTable::set`]).
+    ///
+    /// Inverse-CDF draws assume every positive weight owns a non-empty slice
+    /// of the cumulative range: a weight decayed to `0.0` (or, through
+    /// accumulated floating-point error, below it) would alias its slot
+    /// boundary onto a neighbor and quietly corrupt sampling. The clamp
+    /// therefore never writes a value in `(0, floor)`:
+    ///
+    /// * `w_i > floor` → `max(w_i · factor, floor)` — decays, stops at the
+    ///   floor, never underflows;
+    /// * `w_i <= floor` (already floored, or a legitimately-zero weight from
+    ///   the ingest sanitizer) → unchanged. Decay must not *raise* weights.
+    ///
+    /// Returns the new weight.
+    pub fn decay(&mut self, i: usize, factor: f64, floor: f64) -> f64 {
+        debug_assert!(floor > 0.0 && floor.is_finite(), "floor must be positive");
+        debug_assert!(
+            (0.0..=1.0).contains(&factor),
+            "decay factor must be in [0, 1]"
+        );
+        let old = self.get(i);
+        if old <= floor {
+            return old;
+        }
+        let new = (old * factor).max(floor);
+        self.add(i, new - old);
+        new
+    }
+
     /// Append a new weight at index `n` in `O(log n)` (Alg. 4).
     ///
     /// The new entry `F[n]` must cover the range `(g(n), n]`, which is the
@@ -283,6 +313,37 @@ mod tests {
     /// Reference prefix sums against which every test checks the table.
     fn naive_prefix(w: &[f64], i: usize) -> f64 {
         w[..=i].iter().sum()
+    }
+
+    #[test]
+    fn decay_clamps_at_the_floor_and_never_underflows() {
+        let floor = 1e-6;
+        let mut t = FsTable::from_weights(&[2.0, floor * 1.5, floor, 0.0, 8.0]);
+        // Above the floor: plain multiplicative decay.
+        assert_close(t.decay(0, 0.5, floor), 1.0);
+        // Decay that would cross the floor stops exactly at it — the
+        // boundary case of the underflow hardening.
+        assert_close(t.decay(1, 0.1, floor), floor);
+        // At the floor already: unchanged, repeated decay cannot erode it.
+        for _ in 0..100 {
+            assert_close(t.decay(2, 0.0, floor), floor);
+        }
+        // A legitimately-zero weight (ingest sanitizer output) must not be
+        // *raised* to the floor by decay.
+        assert_close(t.decay(3, 0.5, floor), 0.0);
+        // Aggressive repeated decay converges to the floor, never 0/negative.
+        for _ in 0..200 {
+            t.decay(4, 0.1, floor);
+        }
+        assert_close(t.get(4), floor);
+        for i in 0..5 {
+            assert!(t.get(i) >= 0.0, "slot {i} went negative");
+        }
+        // Prefix sums stay consistent with the decayed weights.
+        let w = t.weights();
+        for i in 0..5 {
+            assert_close(t.prefix_sum(i), naive_prefix(&w, i));
+        }
     }
 
     #[test]

@@ -593,12 +593,14 @@ mod tests {
             dst: v(2),
             etype: EdgeType(0),
             weight: 1.0,
+            ts: 0,
         });
         s.insert_edge(Edge {
             src: v(2),
             dst: v(3),
             etype: EdgeType(1),
             weight: 1.0,
+            ts: 0,
         });
         let mut rng = StdRng::seed_from_u64(6);
         let layers = MetapathSampler::new(vec![(EdgeType(0), 2), (EdgeType(1), 2)]).sample(

@@ -61,12 +61,14 @@ pub fn heterogeneous_relations<S: GraphStore>(store: &S) {
         dst: v(2),
         etype: a,
         weight: 1.0,
+        ts: 0,
     });
     store.insert_edge(Edge {
         src: v(1),
         dst: v(2),
         etype: b,
         weight: 2.0,
+        ts: 0,
     });
     assert_eq!(store.num_edges(), 2);
     assert_eq!(store.degree(v(1), a), 1);

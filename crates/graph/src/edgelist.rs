@@ -56,6 +56,7 @@ fn parse_line(line: &str, lineno: usize) -> io::Result<Option<Edge>> {
         dst: VertexId(dst),
         etype: EdgeType(etype),
         weight,
+        ts: 0,
     }))
 }
 
@@ -125,7 +126,8 @@ mod tests {
                 src: VertexId(5),
                 dst: VertexId(6),
                 etype: EdgeType(3),
-                weight: 2.5
+                weight: 2.5,
+                ts: 0,
             }
         );
     }
@@ -153,6 +155,7 @@ mod tests {
                 dst: VertexId(8),
                 etype: EdgeType(7),
                 weight: 1.5,
+                ts: 0,
             },
         ];
         let mut buf = Vec::new();

@@ -79,6 +79,7 @@ impl RelGen {
             dst,
             etype: self.etype,
             weight: rng.random_range(0.05..1.0),
+            ts: 0,
         }
     }
 }

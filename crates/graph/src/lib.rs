@@ -103,24 +103,37 @@ impl EdgeType {
     pub const DEFAULT: EdgeType = EdgeType(0);
 }
 
-/// A directed weighted typed edge `e(u, v, w)`.
+/// A directed weighted typed edge `e(u, v, w)` with an event timestamp.
+///
+/// `ts` is the edge's event time in whatever unit the workload chooses
+/// (seconds, milliseconds, logical ticks). `ts == 0` means "no timestamp":
+/// static workloads never set it, v1/v2 snapshots restore with it, and the
+/// temporal plane (windowed sampling, recency decay) treats such edges as
+/// timeless — always in-window, never decayed.
 #[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
 pub struct Edge {
     pub src: VertexId,
     pub dst: VertexId,
     pub etype: EdgeType,
     pub weight: f64,
+    pub ts: u64,
 }
 
 impl Edge {
-    /// An edge in the default relation.
+    /// An edge in the default relation (timeless: `ts == 0`).
     pub fn new(src: VertexId, dst: VertexId, weight: f64) -> Self {
         Self {
             src,
             dst,
             etype: EdgeType::DEFAULT,
             weight,
+            ts: 0,
         }
+    }
+
+    /// The same edge stamped with an event time.
+    pub fn at(self, ts: u64) -> Self {
+        Self { ts, ..self }
     }
 
     /// The same edge in the opposite direction (the paper's datasets are all
@@ -131,7 +144,42 @@ impl Edge {
             dst: self.src,
             etype: self.etype,
             weight: self.weight,
+            ts: self.ts,
         }
+    }
+}
+
+/// An inclusive event-time window `[min_ts, max_ts]` constraining sampling.
+///
+/// A windowed sample request only returns neighbors whose edge timestamp
+/// lies inside the window; edges with `ts == 0` (timeless) are always
+/// considered in-window so static data keeps working when a window is
+/// applied. The window is part of the `NeighborCache` key, the wire v2
+/// sample-batch trailer, and the k-hop sampler's hop-to-hop propagation
+/// contract (a child hop can never see edges newer than its seed allows).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct TimeWindow {
+    pub min_ts: u64,
+    pub max_ts: u64,
+}
+
+impl TimeWindow {
+    /// A window covering `[min_ts, max_ts]` inclusive.
+    pub fn new(min_ts: u64, max_ts: u64) -> Self {
+        Self { min_ts, max_ts }
+    }
+
+    /// Everything at or before `max_ts` — the time-respecting sampler's
+    /// "never newer than the seed" contract.
+    pub fn until(max_ts: u64) -> Self {
+        Self { min_ts: 0, max_ts }
+    }
+
+    /// Whether an edge timestamp is inside the window. Timeless edges
+    /// (`ts == 0`) always pass.
+    #[inline]
+    pub fn contains(&self, ts: u64) -> bool {
+        ts == 0 || (self.min_ts <= ts && ts <= self.max_ts)
     }
 }
 
@@ -232,12 +280,26 @@ mod tests {
 
     #[test]
     fn edge_reversed_swaps_endpoints() {
-        let e = Edge::new(VertexId(1), VertexId(2), 0.5);
+        let e = Edge::new(VertexId(1), VertexId(2), 0.5).at(42);
         let r = e.reversed();
         assert_eq!(r.src, VertexId(2));
         assert_eq!(r.dst, VertexId(1));
         assert_eq!(r.weight, 0.5);
+        assert_eq!(r.ts, 42);
         assert_eq!(r.reversed(), e);
+    }
+
+    #[test]
+    fn time_window_contains_is_inclusive_and_timeless_edges_pass() {
+        let w = TimeWindow::new(10, 20);
+        assert!(w.contains(10));
+        assert!(w.contains(20));
+        assert!(!w.contains(9));
+        assert!(!w.contains(21));
+        // ts == 0 means "no timestamp": always in-window.
+        assert!(w.contains(0));
+        let u = TimeWindow::until(5);
+        assert!(u.contains(1) && u.contains(5) && !u.contains(6));
     }
 
     #[test]

@@ -685,6 +685,7 @@ mod tests {
                 dst: v(9),
                 etype: EdgeType(1),
                 weight: 1.0,
+                ts: 0,
             });
         assert!(validate_and_lower(&txn, &view).is_ok());
     }
@@ -750,6 +751,7 @@ mod tests {
             dst: v(9),
             etype: EdgeType(1),
             weight: 1.0,
+            ts: 0,
         });
         assert!(validate_and_lower(&ok, &view).is_ok());
         let bad = GraphTxn::new(15).insert_edge(Edge {
@@ -757,6 +759,7 @@ mod tests {
             dst: v(9),
             etype: EdgeType(2),
             weight: 1.0,
+            ts: 0,
         });
         let err = validate_and_lower(&bad, &view).unwrap_err();
         assert_eq!(kinds(&err), vec![ViolationKind::UnknownEtype]);

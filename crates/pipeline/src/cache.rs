@@ -19,7 +19,7 @@
 //! operation is O(1) and the cache is sharded by key hash so prefetch
 //! workers do not serialize on one lock.
 
-use platod2gl_graph::{EdgeType, VertexId};
+use platod2gl_graph::{EdgeType, TimeWindow, VertexId};
 use platod2gl_obs::{Counter, Registry};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
@@ -93,7 +93,11 @@ impl CacheStats {
     }
 }
 
-type Key = (VertexId, EdgeType, u32);
+/// Cache key. The time window is part of the key: a windowed sample is a
+/// *different* population than an unwindowed one over the same `(vertex,
+/// etype, fanout)`, and serving one for the other would leak future edges
+/// into a temporal batch (or starve an unwindowed batch of them).
+type Key = (VertexId, EdgeType, u32, Option<TimeWindow>);
 
 struct Entry {
     neighbors: Vec<VertexId>,
@@ -135,7 +139,12 @@ fn mix(mut x: u64) -> u64 {
 }
 
 fn key_hash(key: &Key) -> u64 {
-    mix(key.0.raw() ^ (u64::from(key.1 .0) << 48) ^ (u64::from(key.2) << 32))
+    let base = mix(key.0.raw() ^ (u64::from(key.1 .0) << 48) ^ (u64::from(key.2) << 32));
+    match key.3 {
+        None => base,
+        // Mix both bounds in so adjacent windows land on different shards.
+        Some(w) => mix(base ^ mix(w.min_ts) ^ w.max_ts),
+    }
 }
 
 impl NeighborCache {
@@ -231,7 +240,8 @@ impl NeighborCache {
     /// Look up a sampled neighbor list for `(v, etype, fanout)` at the
     /// current graph version `now`. Serves entries within the staleness
     /// bound (promoting them to the hot generation) and drops entries
-    /// beyond it.
+    /// beyond it. An unwindowed sample is `window: None`; see
+    /// [`NeighborCache::lookup_windowed`] for the temporal path.
     pub fn lookup(
         &self,
         v: VertexId,
@@ -239,11 +249,24 @@ impl NeighborCache {
         fanout: u32,
         now: u64,
     ) -> Option<Vec<VertexId>> {
+        self.lookup_windowed(v, etype, fanout, None, now)
+    }
+
+    /// [`NeighborCache::lookup`] with the time window folded into the key:
+    /// windowed and unwindowed samples of the same vertex never alias.
+    pub fn lookup_windowed(
+        &self,
+        v: VertexId,
+        etype: EdgeType,
+        fanout: u32,
+        window: Option<TimeWindow>,
+        now: u64,
+    ) -> Option<Vec<VertexId>> {
         if !self.enabled() {
             self.misses.inc();
             return None;
         }
-        let key = (v, etype, fanout);
+        let key = (v, etype, fanout, window);
         let mut seg = self.segment(&key);
         if let Some(entry) = seg.hot.get(&key) {
             if self.servable(entry.version, now) {
@@ -279,7 +302,8 @@ impl NeighborCache {
         None
     }
 
-    /// Insert a neighbor list sampled at graph version `version`.
+    /// Insert a neighbor list sampled at graph version `version` (no time
+    /// window).
     pub fn insert(
         &self,
         v: VertexId,
@@ -288,10 +312,23 @@ impl NeighborCache {
         neighbors: Vec<VertexId>,
         version: u64,
     ) {
+        self.insert_windowed(v, etype, fanout, None, neighbors, version)
+    }
+
+    /// [`NeighborCache::insert`] under a windowed key.
+    pub fn insert_windowed(
+        &self,
+        v: VertexId,
+        etype: EdgeType,
+        fanout: u32,
+        window: Option<TimeWindow>,
+        neighbors: Vec<VertexId>,
+        version: u64,
+    ) {
         if !self.enabled() {
             return;
         }
-        let key = (v, etype, fanout);
+        let key = (v, etype, fanout, window);
         let mut seg = self.segment(&key);
         seg.cold.remove(&key);
         seg.hot.insert(key, Entry { neighbors, version });
@@ -358,6 +395,28 @@ mod tests {
         assert!(c.lookup(v(1), EdgeType(1), 4, 0).is_none());
         assert!(c.lookup(v(1), ET, 8, 0).is_none());
         assert!(c.lookup(v(1), ET, 4, 0).is_some());
+    }
+
+    #[test]
+    fn windowed_and_unwindowed_entries_never_alias() {
+        let c = cache(64, 10);
+        let win = TimeWindow::new(100, 200);
+        let other = TimeWindow::new(100, 201);
+        // Same (vertex, etype, fanout), three distinct populations.
+        c.insert(v(1), ET, 4, vec![v(10)], 0);
+        c.insert_windowed(v(1), ET, 4, Some(win), vec![v(20)], 0);
+        // An unwindowed lookup must not see the windowed entry and vice
+        // versa — aliasing here would leak future edges into a temporal
+        // batch.
+        assert_eq!(c.lookup(v(1), ET, 4, 0), Some(vec![v(10)]));
+        assert_eq!(
+            c.lookup_windowed(v(1), ET, 4, Some(win), 0),
+            Some(vec![v(20)])
+        );
+        // A *different* window is a different key too.
+        assert!(c.lookup_windowed(v(1), ET, 4, Some(other), 0).is_none());
+        // Inserting the windowed entry did not clobber the unwindowed one.
+        assert_eq!(c.lookup(v(1), ET, 4, 0), Some(vec![v(10)]));
     }
 
     #[test]

@@ -18,7 +18,7 @@
 use crate::cache::{CacheConfig, CacheStats, NeighborCache};
 use crate::sampler::KHopSampler;
 use platod2gl_gnn::{gather_features, FeatureProvider, Matrix, SageNet};
-use platod2gl_graph::{EdgeType, Error, VertexId};
+use platod2gl_graph::{EdgeType, Error, TimeWindow, VertexId};
 use platod2gl_obs::{Counter, Histogram};
 use platod2gl_server::{Cluster, GraphService, HistogramSnapshot};
 use rand::rngs::StdRng;
@@ -148,6 +148,10 @@ impl PipelineConfigBuilder {
         Ok(c)
     }
 }
+
+/// One mini-batch of a windowed epoch: seeds, labels, and per-seed time
+/// windows (empty = unwindowed batch).
+pub type WindowedBatch = (Vec<VertexId>, Vec<usize>, Vec<Option<TimeWindow>>);
 
 /// A fully materialized mini-batch, ready for `train_step_features`.
 pub struct Block {
@@ -302,19 +306,21 @@ impl<'a, S: GraphService> TrainingPipeline<'a, S> {
         }
     }
 
-    /// Sample + gather one batch into a trainable [`Block`].
+    /// Sample + gather one batch into a trainable [`Block`]. `windows` is
+    /// positionally parallel to `seeds` (`&[]` = unwindowed).
     fn produce_block(
         &self,
         provider: &dyn FeatureProvider,
         seeds: &[VertexId],
         labels: &[usize],
+        windows: &[Option<TimeWindow>],
         rng: &mut dyn RngCore,
     ) -> Block {
         let t = Instant::now();
         let outcome = {
             let _span = self.service.registry().span("pipeline.sample");
             self.sampler
-                .sample_block(self.service, &self.cache, seeds, rng)
+                .sample_block_windowed(self.service, &self.cache, seeds, windows, rng)
         };
         self.sample_lat.record(t.elapsed());
         self.distinct_sampled.add(outcome.distinct_sampled);
@@ -368,19 +374,63 @@ impl<'a, S: GraphService> TrainingPipeline<'a, S> {
         epoch: u64,
     ) -> EpochReport {
         assert_eq!(seeds.len(), labels.len(), "one label per seed");
+        let batches = self.shuffled_batches(seeds, labels, &[], epoch);
+        self.run_batches(
+            net,
+            provider,
+            batches.into_iter().map(|(s, l, _)| (s, l)).collect(),
+            epoch,
+        )
+    }
+
+    /// Run one *temporal* epoch: like [`TrainingPipeline::run_epoch`], but
+    /// seed `i` samples only edges no newer than `seed_times[i]` — the
+    /// time-respecting contract, enforced down every hop. The shuffle is
+    /// seeded identically to `run_epoch`, so a windowed epoch and its
+    /// shuffled-time ablation visit seeds in the same order.
+    pub fn run_epoch_windowed(
+        &self,
+        net: &mut SageNet,
+        provider: &dyn FeatureProvider,
+        seeds: &[VertexId],
+        labels: &[usize],
+        seed_times: &[u64],
+        epoch: u64,
+    ) -> EpochReport {
+        assert_eq!(seeds.len(), labels.len(), "one label per seed");
+        assert_eq!(seeds.len(), seed_times.len(), "one event time per seed");
+        let windows: Vec<Option<TimeWindow>> = seed_times
+            .iter()
+            .map(|&t| Some(TimeWindow::until(t)))
+            .collect();
+        let batches = self.shuffled_batches(seeds, labels, &windows, epoch);
+        self.run_batches_windowed(net, provider, batches, epoch)
+    }
+
+    fn shuffled_batches(
+        &self,
+        seeds: &[VertexId],
+        labels: &[usize],
+        windows: &[Option<TimeWindow>],
+        epoch: u64,
+    ) -> Vec<WindowedBatch> {
         let mut order: Vec<usize> = (0..seeds.len()).collect();
         let mut rng = StdRng::seed_from_u64(mix64(self.cfg.seed ^ mix64(epoch)));
         order.shuffle(&mut rng);
-        let batches: Vec<(Vec<VertexId>, Vec<usize>)> = order
+        order
             .chunks(self.cfg.batch_size.max(1))
             .map(|chunk| {
                 (
                     chunk.iter().map(|&i| seeds[i]).collect(),
                     chunk.iter().map(|&i| labels[i]).collect(),
+                    if windows.is_empty() {
+                        Vec::new()
+                    } else {
+                        chunk.iter().map(|&i| windows[i]).collect()
+                    },
                 )
             })
-            .collect();
-        self.run_batches(net, provider, batches, epoch)
+            .collect()
     }
 
     /// Train on an explicit batch list. Public so tests can interleave
@@ -390,6 +440,26 @@ impl<'a, S: GraphService> TrainingPipeline<'a, S> {
         net: &mut SageNet,
         provider: &dyn FeatureProvider,
         batches: Vec<(Vec<VertexId>, Vec<usize>)>,
+        epoch: u64,
+    ) -> EpochReport {
+        self.run_batches_windowed(
+            net,
+            provider,
+            batches
+                .into_iter()
+                .map(|(s, l)| (s, l, Vec::new()))
+                .collect(),
+            epoch,
+        )
+    }
+
+    /// [`TrainingPipeline::run_batches`] with per-seed time windows (an
+    /// empty window vector means that batch is unwindowed).
+    pub fn run_batches_windowed(
+        &self,
+        net: &mut SageNet,
+        provider: &dyn FeatureProvider,
+        batches: Vec<WindowedBatch>,
         epoch: u64,
     ) -> EpochReport {
         assert_eq!(
@@ -405,8 +475,8 @@ impl<'a, S: GraphService> TrainingPipeline<'a, S> {
         }
         if self.cfg.prefetch_depth == 0 || self.cfg.workers == 0 {
             let mut rng = StdRng::seed_from_u64(mix64(self.cfg.seed ^ mix64(epoch) ^ 0x53796e63));
-            for (seeds, labels) in &batches {
-                let block = self.produce_block(provider, seeds, labels, &mut rng);
+            for (seeds, labels, windows) in &batches {
+                let block = self.produce_block(provider, seeds, labels, windows, &mut rng);
                 self.train_block(net, block, &mut report);
             }
         } else {
@@ -420,8 +490,9 @@ impl<'a, S: GraphService> TrainingPipeline<'a, S> {
                         let mut rng = StdRng::seed_from_u64(mix64(
                             self.cfg.seed ^ mix64(epoch) ^ mix64(w as u64 + 1),
                         ));
-                        for (seeds, labels) in batches.iter().skip(w).step_by(workers) {
-                            let block = self.produce_block(provider, seeds, labels, &mut rng);
+                        for (seeds, labels, windows) in batches.iter().skip(w).step_by(workers) {
+                            let block =
+                                self.produce_block(provider, seeds, labels, windows, &mut rng);
                             // Trainer hung up (panic): just stop producing.
                             if tx.send(block).is_err() {
                                 return;

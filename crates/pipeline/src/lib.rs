@@ -30,5 +30,6 @@ mod sampler;
 pub use cache::{CacheConfig, CacheStats, NeighborCache};
 pub use driver::{
     Block, EpochReport, PipelineConfig, PipelineConfigBuilder, PipelineStats, TrainingPipeline,
+    WindowedBatch,
 };
 pub use sampler::{KHopSampler, SampleOutcome};

@@ -23,7 +23,7 @@
 //!   healed shard serves fresh samples immediately.
 
 use crate::cache::NeighborCache;
-use platod2gl_graph::{EdgeType, VertexId};
+use platod2gl_graph::{EdgeType, TimeWindow, VertexId};
 use platod2gl_server::{GraphService, SampleRequest};
 use rand::RngCore;
 use std::collections::HashMap;
@@ -60,7 +60,7 @@ impl KHopSampler {
         Self { etype, fanouts }
     }
 
-    /// Sample one padded block rooted at `seeds`.
+    /// Sample one padded block rooted at `seeds` (no time windows).
     pub fn sample_block<S: GraphService + ?Sized>(
         &self,
         service: &S,
@@ -68,6 +68,31 @@ impl KHopSampler {
         seeds: &[VertexId],
         rng: &mut dyn RngCore,
     ) -> SampleOutcome {
+        self.sample_block_windowed(service, cache, seeds, &[], rng)
+    }
+
+    /// Sample one padded block rooted at `seeds`, each seed under its own
+    /// time window.
+    ///
+    /// `windows` is positionally parallel to `seeds` (`&[]` means
+    /// unwindowed everywhere, the [`KHopSampler::sample_block`] behavior).
+    /// A slot's window is inherited by every vertex it expands into, hop
+    /// after hop — so a seed windowed at its event time never reaches an
+    /// edge newer than that event, no matter the depth. Dedup and cache
+    /// keys both fold the window in: the same hub under two windows is two
+    /// distinct expansions.
+    pub fn sample_block_windowed<S: GraphService + ?Sized>(
+        &self,
+        service: &S,
+        cache: &NeighborCache,
+        seeds: &[VertexId],
+        windows: &[Option<TimeWindow>],
+        rng: &mut dyn RngCore,
+    ) -> SampleOutcome {
+        assert!(
+            windows.is_empty() || windows.len() == seeds.len(),
+            "windows must be empty or parallel to seeds"
+        );
         // Each sample issued below nests under this span, so a slow
         // request's capture shows which block expansion issued it.
         let _span = service.registry().span("pipeline.sample_block");
@@ -76,32 +101,42 @@ impl KHopSampler {
             ..Default::default()
         };
         out.levels.push(seeds.to_vec());
+        // Per-slot windows for the current level, parallel to
+        // `out.levels[d]`.
+        let mut level_windows: Vec<Option<TimeWindow>> = if windows.is_empty() {
+            vec![None; seeds.len()]
+        } else {
+            windows.to_vec()
+        };
         for (d, &fanout) in self.fanouts.iter().enumerate() {
             // Snapshot the version once per level: all of a level's cache
             // traffic is judged against the same point in time.
             let version = service.graph_version();
-            let mut lists: HashMap<VertexId, Vec<VertexId>> =
+            let mut lists: HashMap<(VertexId, Option<TimeWindow>), Vec<VertexId>> =
                 HashMap::with_capacity(out.levels[d].len());
             // Pass 1: dedup the frontier and answer what the cache can;
             // misses coalesce into one batch so a remote service ships the
             // whole level as pipelined frames, not per-vertex round trips.
             let mut misses: Vec<SampleRequest> = Vec::new();
-            for i in 0..out.levels[d].len() {
-                let v = out.levels[d][i];
-                if lists.contains_key(&v) {
+            for (&v, &win) in out.levels[d].iter().zip(&level_windows) {
+                if lists.contains_key(&(v, win)) {
                     continue;
                 }
                 out.distinct_sampled += 1;
-                match cache.lookup(v, self.etype, fanout as u32, version) {
+                match cache.lookup_windowed(v, self.etype, fanout as u32, win, version) {
                     Some(cached) => {
                         out.cache_served += 1;
-                        lists.insert(v, cached);
+                        lists.insert((v, win), cached);
                     }
                     None => {
                         // Placeholder keeps later duplicates deduped; pass 2
                         // overwrites it with the real answer.
-                        lists.insert(v, Vec::new());
-                        misses.push(SampleRequest::new(v, self.etype, fanout));
+                        lists.insert((v, win), Vec::new());
+                        let mut req = SampleRequest::new(v, self.etype, fanout);
+                        if let Some(w) = win {
+                            req = req.in_window(w);
+                        }
+                        misses.push(req);
                     }
                 }
             }
@@ -113,20 +148,23 @@ impl KHopSampler {
                 } else {
                     // Cache real answers only — including "no out-edges",
                     // which is knowledge; a degraded empty set is not.
-                    cache.insert(
+                    cache.insert_windowed(
                         req.vertex,
                         self.etype,
                         fanout as u32,
+                        req.window,
                         resp.neighbors.clone(),
                         version,
                     );
                 }
-                lists.insert(req.vertex, resp.neighbors);
+                lists.insert((req.vertex, req.window), resp.neighbors);
             }
             let frontier = &out.levels[d];
             let mut next = Vec::with_capacity(frontier.len() * fanout);
-            for &v in frontier {
-                let n = &lists[&v];
+            let mut next_windows = Vec::with_capacity(frontier.len() * fanout);
+            for (i, &v) in frontier.iter().enumerate() {
+                let win = level_windows[i];
+                let n = &lists[&(v, win)];
                 if n.is_empty() {
                     // Self-loop padding, the standard GraphSAGE fallback.
                     next.extend(std::iter::repeat_n(v, fanout));
@@ -138,8 +176,11 @@ impl KHopSampler {
                         next.push(n[rng.next_u64() as usize % n.len()]);
                     }
                 }
+                // Children inherit the parent slot's window.
+                next_windows.extend(std::iter::repeat_n(win, fanout));
             }
             out.levels.push(next);
+            level_windows = next_windows;
         }
         out
     }
@@ -250,6 +291,55 @@ mod tests {
         assert_eq!(out.cache_served, 0, "stale entry must not serve");
         assert!(out.cluster_requests > 0);
         assert!(cache.stats().stale_evictions > 0);
+    }
+
+    #[test]
+    fn windowed_block_respects_time_and_propagates_hop_to_hop() {
+        let c = Cluster::new(
+            ClusterConfig::builder()
+                .num_shards(2)
+                .build()
+                .expect("valid config"),
+        );
+        // 0 -> i at time 10*i; each i -> 100*i at time 10*i + 5.
+        for i in 1..=9u64 {
+            c.insert_edge(Edge::new(v(0), v(i), 1.0).at(10 * i));
+            c.insert_edge(Edge::new(v(i), v(100 * i), 1.0).at(10 * i + 5));
+        }
+        let cache = NeighborCache::new(CacheConfig {
+            capacity: 1 << 10,
+            shards: 2,
+            max_staleness: 8,
+        });
+        let sampler = KHopSampler::new(ET, vec![6, 4]);
+        let mut rng = StdRng::seed_from_u64(11);
+        let win = TimeWindow::until(50);
+        for _ in 0..8 {
+            let out = sampler.sample_block_windowed(&c, &cache, &[v(0)], &[Some(win)], &mut rng);
+            // Hop 1: only edges stamped <= 50, i.e. dst 1..=5.
+            for &u in &out.levels[1] {
+                assert!(
+                    (1..=5).contains(&u.raw()),
+                    "future edge {} leaked into hop 1",
+                    u.raw()
+                );
+            }
+            // Hop 2 inherits the seed's window: i -> 100*i is stamped
+            // 10*i + 5, in-window only for i <= 4 — a hop-2 slot is either
+            // an allowed grandchild or self-loop padding.
+            for (j, &u) in out.levels[2].iter().enumerate() {
+                let parent = out.levels[1][j / 4];
+                assert!(
+                    u == parent || (u.raw() % 100 == 0 && u.raw() / 100 <= 4),
+                    "future edge {} leaked into hop 2",
+                    u.raw()
+                );
+            }
+        }
+        // The same seed unwindowed draws from the full neighborhood and
+        // must not be served from the windowed entries.
+        let unbounded = sampler.sample_block(&c, &cache, &[v(0)], &mut rng);
+        assert!(unbounded.levels[1].iter().any(|&u| u.raw() > 5));
     }
 
     #[test]

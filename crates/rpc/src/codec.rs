@@ -459,6 +459,11 @@ pub struct SampleBatch {
 }
 
 /// Encode a [`SampleBatch`] payload.
+///
+/// When at least one request carries a time window, a
+/// [`wire::put_time_window_block`] trailer follows the fixed records; a
+/// batch with no windowed request omits it, so its encoding is
+/// byte-identical to the pre-temporal protocol.
 pub fn encode_sample_batch(batch: &SampleBatch) -> Vec<u8> {
     let mut buf = Vec::with_capacity(
         wire::SAMPLE_BATCH_HEADER_BYTES as usize
@@ -470,10 +475,16 @@ pub fn encode_sample_batch(batch: &SampleBatch) -> Vec<u8> {
     for (req, seed) in &batch.requests {
         wire::put_sample_request(&mut buf, req, *seed);
     }
+    if batch.requests.iter().any(|(req, _)| req.window.is_some()) {
+        let windows: Vec<_> = batch.requests.iter().map(|(req, _)| req.window).collect();
+        wire::put_time_window_block(&mut buf, &windows);
+    }
     buf
 }
 
-/// Decode a [`SampleBatch`] payload.
+/// Decode a [`SampleBatch`] payload. An absent time-window trailer (an
+/// old client, or an unwindowed batch) decodes every request with
+/// `window: None`.
 pub fn decode_sample_batch(payload: &[u8]) -> Result<SampleBatch, WireError> {
     let mut r = Reader::new(payload);
     let deadline_ms = r.u32()?;
@@ -482,6 +493,15 @@ pub fn decode_sample_batch(payload: &[u8]) -> Result<SampleBatch, WireError> {
     let mut requests = Vec::with_capacity(n);
     for _ in 0..n {
         requests.push(wire::get_sample_request(&mut r)?);
+    }
+    if !r.is_empty() {
+        let windows = wire::get_time_window_block(&mut r, n)?;
+        if !r.is_empty() {
+            return Err(WireError::Truncated);
+        }
+        for ((req, _), window) in requests.iter_mut().zip(windows) {
+            req.window = window;
+        }
     }
     Ok(SampleBatch {
         deadline_ms,

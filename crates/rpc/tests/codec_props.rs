@@ -5,7 +5,7 @@
 //! forged length prefixes) are rejected without panics or unbounded
 //! allocation.
 
-use platod2gl_graph::{Edge, EdgeType, ShardHealth, UpdateOp, VertexId};
+use platod2gl_graph::{Edge, EdgeType, ShardHealth, TimeWindow, UpdateOp, VertexId};
 use platod2gl_obs::TraceContext;
 use platod2gl_rpc::codec::{
     append_timing_echo, decode_error_reply, decode_heal_reply, decode_heal_request,
@@ -22,22 +22,28 @@ use proptest::collection::vec;
 use proptest::prelude::*;
 
 /// One seeded sample request with arbitrary vertex, relation, fanout,
-/// degraded policy, and optional trace id.
+/// degraded policy, optional trace id, and optional time window.
 fn arb_request() -> impl Strategy<Value = (SampleRequest, u64)> {
     (
         (any::<u64>(), 0u16..16, 0usize..64),
         (any::<bool>(), any::<bool>(), any::<u64>(), any::<u64>()),
+        (any::<bool>(), any::<u64>(), any::<u64>()),
     )
-        .prop_map(|((v, et, fanout), (self_loop, traced, trace, seed))| {
-            let mut req = SampleRequest::new(VertexId(v), EdgeType(et), fanout);
-            if self_loop {
-                req = req.on_degraded(DegradedPolicy::SelfLoop);
-            }
-            if traced {
-                req = req.with_trace_id(trace);
-            }
-            (req, seed)
-        })
+        .prop_map(
+            |((v, et, fanout), (self_loop, traced, trace, seed), (windowed, a, b))| {
+                let mut req = SampleRequest::new(VertexId(v), EdgeType(et), fanout);
+                if self_loop {
+                    req = req.on_degraded(DegradedPolicy::SelfLoop);
+                }
+                if traced {
+                    req = req.with_trace_id(trace);
+                }
+                if windowed {
+                    req = req.in_window(TimeWindow::new(a.min(b), a.max(b)));
+                }
+                (req, seed)
+            },
+        )
 }
 
 /// A sample response with arbitrary neighbors, per-slot provenance,
@@ -72,13 +78,17 @@ fn arb_response() -> impl Strategy<Value = SampleResponse> {
 /// Any of the three update-op kinds. Weights round-trip exactly: the wire
 /// ships the f64 bit pattern.
 fn arb_op() -> impl Strategy<Value = UpdateOp> {
-    ((0u8..3, any::<u64>()), (any::<u64>(), 0u16..8, 0.0f64..1e6)).prop_map(
-        |((kind, src), (dst, et, weight))| {
+    (
+        (0u8..3, any::<u64>()),
+        (any::<u64>(), 0u16..8, 0.0f64..1e6, any::<u64>()),
+    )
+        .prop_map(|((kind, src), (dst, et, weight, ts))| {
             let edge = Edge {
                 src: VertexId(src),
                 dst: VertexId(dst),
                 etype: EdgeType(et),
                 weight,
+                ts,
             };
             match kind {
                 0 => UpdateOp::Insert(edge),
@@ -89,8 +99,7 @@ fn arb_op() -> impl Strategy<Value = UpdateOp> {
                 },
                 _ => UpdateOp::UpdateWeight(edge),
             }
-        },
-    )
+        })
 }
 
 /// An optional cross-process trace context, as a caller would attach it.
@@ -129,13 +138,77 @@ proptest! {
     ) {
         let batch = SampleBatch { deadline_ms, ctx, requests };
         let framed = encode_frame(FrameKind::SampleBatch, &encode_sample_batch(&batch));
+        // The optional time-window trailer is emitted only when at least
+        // one request is windowed; the size model splits the same way.
+        let windowed = batch.requests.iter().any(|(r, _)| r.window.is_some());
+        let window_bytes = if windowed {
+            wire::time_window_block_bytes(batch.requests.len())
+        } else {
+            0
+        };
         prop_assert_eq!(
             framed.len() as u64,
-            wire::sample_request_frame_bytes(batch.requests.len())
+            wire::sample_request_frame_bytes(batch.requests.len()) + window_bytes
         );
         let payload = frame_roundtrip(FrameKind::SampleBatch, &encode_sample_batch(&batch));
         let back = decode_sample_batch(&payload).expect("decode");
         prop_assert_eq!(back, batch);
+    }
+
+    /// A batch with no windowed request encodes byte-identical to the
+    /// pre-temporal layout: no trailer block, so pre-temporal decoders (and
+    /// the unchanged size model) keep working for every non-temporal client.
+    #[test]
+    fn unwindowed_batches_keep_the_pre_temporal_layout(
+        deadline_ms in any::<u32>(),
+        ctx in arb_ctx(),
+        requests in vec(arb_request(), 0..24),
+    ) {
+        let requests: Vec<_> = requests
+            .into_iter()
+            .map(|(mut r, s)| { r.window = None; (r, s) })
+            .collect();
+        let n = requests.len();
+        let batch = SampleBatch { deadline_ms, ctx, requests };
+        let framed = encode_frame(FrameKind::SampleBatch, &encode_sample_batch(&batch));
+        prop_assert_eq!(framed.len() as u64, wire::sample_request_frame_bytes(n));
+        let payload = frame_roundtrip(FrameKind::SampleBatch, &encode_sample_batch(&batch));
+        let back = decode_sample_batch(&payload).expect("decode");
+        prop_assert!(back.requests.iter().all(|(r, _)| r.window.is_none()));
+        prop_assert_eq!(back, batch);
+    }
+
+    /// Corrupting the window trailer — wrong tag, forged presence flag, or
+    /// truncation anywhere inside the block — is rejected by the payload
+    /// decoder, never a panic or a silently dropped window.
+    #[test]
+    fn corrupted_window_trailers_are_rejected(
+        requests in vec(arb_request(), 1..16),
+        which in 0u8..3,
+        at_seed in any::<u64>(),
+    ) {
+        let mut requests = requests;
+        // Force at least one window so the trailer is present.
+        requests[0].0.window = Some(TimeWindow::new(10, 20));
+        let n = requests.len();
+        let batch = SampleBatch { deadline_ms: 0, ctx: None, requests };
+        let payload = encode_sample_batch(&batch);
+        let block_len = wire::time_window_block_bytes(n) as usize;
+        let block_at = payload.len() - block_len;
+        let mut bad = payload.clone();
+        match which {
+            0 => bad[block_at] = 9,                       // wrong block tag
+            1 => bad[block_at + 1] = 2,                   // forged presence flag
+            _ => {
+                // Truncate inside the block (always at least the final byte).
+                let keep = block_at + 1 + (at_seed as usize) % (block_len - 1);
+                bad.truncate(keep);
+            }
+        }
+        prop_assert!(decode_sample_batch(&bad).is_err());
+        // And the intact payload still decodes, so the corruption (not the
+        // window itself) is what was rejected.
+        prop_assert_eq!(decode_sample_batch(&payload).expect("decode"), batch);
     }
 
     #[test]

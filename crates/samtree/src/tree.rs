@@ -96,6 +96,27 @@ impl LeafTable {
         }
     }
 
+    /// Decay slot `i` by `factor`, clamped at a strictly positive `floor`
+    /// (see [`FsTable::decay`] for the underflow-hardening contract).
+    /// Returns the weight delta applied.
+    fn decay(&mut self, i: usize, factor: f64, floor: f64) -> f64 {
+        match self {
+            LeafTable::Fs(t) => {
+                let old = t.get(i);
+                t.decay(i, factor, floor) - old
+            }
+            LeafTable::Cs(t) => {
+                let old = t.get(i);
+                if old <= floor {
+                    return 0.0;
+                }
+                let new = (old * factor).max(floor);
+                t.set(i, new);
+                new - old
+            }
+        }
+    }
+
     fn push(&mut self, w: f64) {
         match self {
             LeafTable::Fs(t) => t.push(w), // O(log n)
@@ -586,6 +607,33 @@ fn update_node(node: &mut Node, id: u64, weight: f64, stats: &mut OpStats) -> Op
     }
 }
 
+/// Floored in-place decay: the leaf applies the clamp (never writing a
+/// value in `(0, floor)`), ancestors fold the exact delta into their
+/// cumulative tables — the same bottom-up propagation as `update_node`.
+fn decay_node(
+    node: &mut Node,
+    id: u64,
+    factor: f64,
+    floor: f64,
+    stats: &mut OpStats,
+) -> Option<f64> {
+    match node {
+        Node::Leaf(leaf) => {
+            let i = leaf.ids.position(id)?;
+            stats.leaf_ops += 1;
+            Some(leaf.fs.decay(i, factor, floor))
+        }
+        Node::Internal(int) => {
+            let j = int.route(id);
+            let delta = decay_node(&mut int.children[j], id, factor, floor, stats)?;
+            if delta != 0.0 {
+                int.cs.add(j, delta);
+            }
+            Some(delta)
+        }
+    }
+}
+
 /// Merge `right` into `left` (same level by construction).
 fn merge_into(left: &mut Node, right: Node, cfg: &SamTreeConfig) {
     match (left, right) {
@@ -873,6 +921,21 @@ impl SamTree {
         stats: &mut OpStats,
     ) -> bool {
         update_node(&mut self.root, id, weight, stats).is_some()
+    }
+
+    /// Decay neighbor `id`'s weight by `factor`, clamped at a strictly
+    /// positive `floor` (the recency-decay primitive: `O(log n)` like
+    /// [`SamTree::update_weight`], with underflow hardening at the leaf).
+    /// Returns the applied weight delta (`<= 0`), or `None` if absent.
+    pub fn decay_weight(
+        &mut self,
+        _cfg: &SamTreeConfig,
+        id: u64,
+        factor: f64,
+        floor: f64,
+        stats: &mut OpStats,
+    ) -> Option<f64> {
+        decay_node(&mut self.root, id, factor, floor, stats)
     }
 
     /// Delete a neighbor, returning its weight; `None` if absent
@@ -1365,6 +1428,30 @@ mod tests {
         assert!((t.total_weight() - 54.0).abs() < 1e-6);
         t.check_invariants(&c).expect("invariants");
         assert!(!t.update_weight(&c, 999, 1.0, &mut stats));
+    }
+
+    #[test]
+    fn decay_weight_propagates_and_clamps_at_floor() {
+        let c = cfg(4, 0);
+        let mut t = SamTree::new();
+        let mut stats = OpStats::default();
+        for id in 0..50u64 {
+            t.insert(&c, id, 1.0, &mut stats);
+        }
+        let floor = 1e-3;
+        let delta = t
+            .decay_weight(&c, 30, 0.5, floor, &mut stats)
+            .expect("present");
+        assert!((delta - (-0.5)).abs() < 1e-9);
+        assert_eq!(t.get(30), Some(0.5));
+        assert!((t.total_weight() - 49.5).abs() < 1e-6);
+        // Repeated aggressive decay converges to the floor, never below.
+        for _ in 0..100 {
+            t.decay_weight(&c, 30, 0.1, floor, &mut stats);
+        }
+        assert!((t.get(30).unwrap() - floor).abs() < 1e-12);
+        t.check_invariants(&c).expect("invariants after decay");
+        assert!(t.decay_weight(&c, 999, 0.5, floor, &mut stats).is_none());
     }
 
     #[test]

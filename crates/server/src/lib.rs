@@ -1460,7 +1460,7 @@ impl Cluster {
         let response = match self.call_shard(shard, |s| {
             let _dispatch = self.registry.span("shard.sample");
             s.topology
-                .sample_neighbors(req.vertex, req.etype, req.fanout, rng)
+                .sample_neighbors_windowed(req.vertex, req.etype, req.fanout, req.window, rng)
         }) {
             Ok(ids) => {
                 let sources = vec![SlotSource::Sampled; ids.len()];
@@ -1490,10 +1490,16 @@ impl Cluster {
         };
         // Degraded responses are real frames too (the graph server answers
         // them on the wire), so they are tallied at their encoded size —
-        // this keeps in-process and remote `net.*` numbers comparable.
+        // this keeps in-process and remote `net.*` numbers comparable. A
+        // windowed request carries the optional time-window trailer.
+        let window_bytes = if req.window.is_some() {
+            wire::time_window_block_bytes(1)
+        } else {
+            0
+        };
         self.tally(
             1,
-            wire::sample_request_frame_bytes(1),
+            wire::sample_request_frame_bytes(1) + window_bytes,
             wire::sample_response_frame_bytes([response.neighbors.len()]),
         );
         // Complete the root before reading the ring so the capture below

@@ -7,7 +7,7 @@
 //! trainer can tell a real weighted draw from degraded padding without
 //! re-deriving it from context.
 
-use platod2gl_graph::{EdgeType, Served, VertexId};
+use platod2gl_graph::{EdgeType, Served, TimeWindow, VertexId};
 
 /// What a degraded read (failed shard, exhausted retry budget) returns.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -47,11 +47,15 @@ pub struct SampleRequest {
     /// known-bad request in `GET /debug/slow` by the id their client
     /// logged. Not interpreted by the router.
     pub trace_id: Option<u64>,
+    /// Restrict draws to edges whose timestamp falls inside this window
+    /// (timeless `ts == 0` edges always qualify). `None` samples the full
+    /// neighborhood — the pre-temporal behavior.
+    pub window: Option<TimeWindow>,
 }
 
 impl SampleRequest {
-    /// A request with the default degraded policy ([`DegradedPolicy::EmptySet`])
-    /// and no trace id.
+    /// A request with the default degraded policy ([`DegradedPolicy::EmptySet`]),
+    /// no trace id, and no time window.
     pub fn new(vertex: VertexId, etype: EdgeType, fanout: usize) -> Self {
         Self {
             vertex,
@@ -59,6 +63,7 @@ impl SampleRequest {
             fanout,
             on_degraded: DegradedPolicy::default(),
             trace_id: None,
+            window: None,
         }
     }
 
@@ -71,6 +76,13 @@ impl SampleRequest {
     /// Attach a correlation id for end-to-end tracing.
     pub fn with_trace_id(mut self, trace_id: u64) -> Self {
         self.trace_id = Some(trace_id);
+        self
+    }
+
+    /// Restrict this request to edges inside `window` (time-respecting
+    /// sampling).
+    pub fn in_window(mut self, window: TimeWindow) -> Self {
+        self.window = Some(window);
         self
     }
 }
@@ -114,7 +126,12 @@ mod tests {
         assert_eq!(r.on_degraded, DegradedPolicy::SelfLoop);
         assert_eq!(r.fanout, 5);
         assert_eq!(r.trace_id, None);
+        assert_eq!(r.window, None);
         assert_eq!(r.with_trace_id(99).trace_id, Some(99));
+        assert_eq!(
+            r.in_window(TimeWindow::new(5, 10)).window,
+            Some(TimeWindow::new(5, 10))
+        );
     }
 
     #[test]

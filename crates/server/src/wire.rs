@@ -23,8 +23,12 @@
 //!                        | trace_present u8 | trace_id u64 | rng_seed u64
 //! SampleResponse (9 + 9n B): flags u8 (bit0 = degraded) | shard u32 | n u32
 //!                        | n x (neighbor u64 | source u8)
-//! UpdateOp       (27 B): kind u8 | src u64 | dst u64 | etype u16 | weight f64
-//! TxnOp          (27 B): kind u8 | src u64 | dst u64 | etype u16 | weight f64
+//! UpdateOp       (35 B): kind u8 | src u64 | dst u64 | etype u16 | weight f64
+//!                        | ts u64
+//! TxnOp          (35 B): kind u8 | src u64 | dst u64 | etype u16 | weight f64
+//!                        | ts u64
+//! TimeWindowBlk  (1 + 17n B): tag u8 = 1 | n x (present u8 | min_ts u64
+//!                        | max_ts u64)
 //! ```
 //!
 //! The `rng_seed` field makes remote sampling deterministic: the client
@@ -32,9 +36,14 @@
 //! server seeds a fresh `StdRng` from it. The in-process
 //! [`GraphService`](crate::GraphService) implementation performs the same
 //! derivation, so a trainer produces identical draws against either.
+//!
+//! The time-window block is an **optional trailer** after a sample batch's
+//! fixed records: a batch with no windowed request omits it entirely, so
+//! the encoding is byte-identical to the pre-temporal protocol and old
+//! clients/servers interoperate unchanged.
 
 use crate::request::{DegradedPolicy, SampleRequest, SampleResponse, SlotSource};
-use platod2gl_graph::{Edge, EdgeType, ShardHealth, TxnOp, UpdateOp, VertexId};
+use platod2gl_graph::{Edge, EdgeType, ShardHealth, TimeWindow, TxnOp, UpdateOp, VertexId};
 use platod2gl_obs::TraceContext;
 use std::fmt;
 
@@ -52,7 +61,14 @@ pub const FRAME_OVERHEAD_V1_BYTES: u64 = 10;
 pub const SAMPLE_REQUEST_BYTES: u64 = 32;
 
 /// Encoded size of one [`UpdateOp`] record.
-pub const UPDATE_OP_BYTES: u64 = 27;
+pub const UPDATE_OP_BYTES: u64 = 35;
+
+/// Encoded size of one time-window block entry (present flag u8 + min_ts
+/// u64 + max_ts u64).
+pub const TIME_WINDOW_ENTRY_BYTES: u64 = 17;
+
+/// Tag byte opening a time-window block trailer.
+pub const TIME_WINDOW_BLOCK_TAG: u8 = 1;
 
 /// Encoded size of one optional [`TraceContext`]: present flag u8 +
 /// trace_id u64 + parent_span u64, always 17 bytes so batch headers stay
@@ -78,9 +94,16 @@ pub fn sample_response_bytes(n: usize) -> u64 {
     9 + 9 * n as u64
 }
 
-/// Full on-wire size of a sample request frame carrying `count` requests.
+/// Full on-wire size of a sample request frame carrying `count` requests
+/// (no time-window trailer; see [`time_window_block_bytes`]).
 pub fn sample_request_frame_bytes(count: usize) -> u64 {
     FRAME_OVERHEAD_BYTES + SAMPLE_BATCH_HEADER_BYTES + count as u64 * SAMPLE_REQUEST_BYTES
+}
+
+/// Extra on-wire bytes of the optional time-window trailer when at least
+/// one request in a `count`-request batch carries a window.
+pub fn time_window_block_bytes(count: usize) -> u64 {
+    1 + count as u64 * TIME_WINDOW_ENTRY_BYTES
 }
 
 /// Full on-wire size of a sample reply frame whose responses carry the
@@ -104,9 +127,9 @@ pub fn update_frame_bytes(ops: usize) -> u64 {
 /// timing echo).
 pub const UPDATE_REPLY_FRAME_BYTES: u64 = FRAME_OVERHEAD_BYTES + 16 + REPLY_TIMING_ECHO_BYTES;
 
-/// Encoded size of one [`TxnOp`] record (same fixed 27-byte layout as
-/// [`UpdateOp`]: vertex-granular ops carry a zero dst/weight).
-pub const TXN_OP_BYTES: u64 = 27;
+/// Encoded size of one [`TxnOp`] record (same fixed 35-byte layout as
+/// [`UpdateOp`]: vertex-granular ops carry a zero dst/weight/ts).
+pub const TXN_OP_BYTES: u64 = 35;
 
 /// Fixed body prefix of a txn-apply frame: txn_id u64 + trace context
 /// ([`TRACE_CTX_BYTES`]) + op count u32.
@@ -372,6 +395,9 @@ pub fn put_sample_request(buf: &mut Vec<u8>, req: &SampleRequest, rng_seed: u64)
 }
 
 /// Decode one [`SampleRequest`] record; returns the request and its seed.
+/// The optional time window rides in the batch trailer
+/// ([`get_time_window_block`]), not the fixed record, so it decodes as
+/// `None` here; the batch decoder patches it in.
 pub fn get_sample_request(r: &mut Reader<'_>) -> Result<(SampleRequest, u64), WireError> {
     let vertex = VertexId(r.u64()?);
     let etype = EdgeType(r.u16()?);
@@ -386,6 +412,7 @@ pub fn get_sample_request(r: &mut Reader<'_>) -> Result<(SampleRequest, u64), Wi
             fanout,
             on_degraded,
             trace_id,
+            window: None,
         },
         rng_seed,
     ))
@@ -436,19 +463,20 @@ const OP_UPDATE_WEIGHT: u8 = 1;
 const OP_DELETE: u8 = 2;
 
 /// Encode one [`UpdateOp`] record (fixed layout: deletes carry a zero
-/// weight so every op is [`UPDATE_OP_BYTES`]).
+/// weight and timestamp so every op is [`UPDATE_OP_BYTES`]).
 pub fn put_update_op(buf: &mut Vec<u8>, op: &UpdateOp) {
     let before = buf.len();
-    let (kind, src, dst, etype, weight) = match op {
-        UpdateOp::Insert(e) => (OP_INSERT, e.src, e.dst, e.etype, e.weight),
-        UpdateOp::UpdateWeight(e) => (OP_UPDATE_WEIGHT, e.src, e.dst, e.etype, e.weight),
-        UpdateOp::Delete { src, dst, etype } => (OP_DELETE, *src, *dst, *etype, 0.0),
+    let (kind, src, dst, etype, weight, ts) = match op {
+        UpdateOp::Insert(e) => (OP_INSERT, e.src, e.dst, e.etype, e.weight, e.ts),
+        UpdateOp::UpdateWeight(e) => (OP_UPDATE_WEIGHT, e.src, e.dst, e.etype, e.weight, e.ts),
+        UpdateOp::Delete { src, dst, etype } => (OP_DELETE, *src, *dst, *etype, 0.0, 0),
     };
     buf.push(kind);
     put_u64(buf, src.raw());
     put_u64(buf, dst.raw());
     put_u16(buf, etype.0);
     buf.extend_from_slice(&weight.to_le_bytes());
+    put_u64(buf, ts);
     debug_assert_eq!((buf.len() - before) as u64, UPDATE_OP_BYTES);
 }
 
@@ -459,18 +487,21 @@ pub fn get_update_op(r: &mut Reader<'_>) -> Result<UpdateOp, WireError> {
     let dst = VertexId(r.u64()?);
     let etype = EdgeType(r.u16()?);
     let weight = r.f64()?;
+    let ts = r.u64()?;
     match kind {
         OP_INSERT => Ok(UpdateOp::Insert(Edge {
             src,
             dst,
             etype,
             weight,
+            ts,
         })),
         OP_UPDATE_WEIGHT => Ok(UpdateOp::UpdateWeight(Edge {
             src,
             dst,
             etype,
             weight,
+            ts,
         })),
         OP_DELETE => Ok(UpdateOp::Delete { src, dst, etype }),
         tag => Err(WireError::BadTag {
@@ -487,23 +518,24 @@ const TXNOP_UPSERT_VERTEX: u8 = 3;
 const TXNOP_DELETE_VERTEX: u8 = 4;
 
 /// Encode one [`TxnOp`] record (fixed layout mirroring [`put_update_op`]:
-/// kind u8 | src u64 | dst u64 | etype u16 | weight f64; vertex-granular
-/// ops carry a zero dst and weight).
+/// kind u8 | src u64 | dst u64 | etype u16 | weight f64 | ts u64;
+/// vertex-granular ops carry a zero dst, weight and timestamp).
 pub fn put_txn_op(buf: &mut Vec<u8>, op: &TxnOp) {
     let before = buf.len();
-    let (kind, src, dst, etype, weight) = match op {
-        TxnOp::InsertEdge(e) => (TXNOP_INSERT_EDGE, e.src, e.dst, e.etype, e.weight),
-        TxnOp::DeleteEdge { src, dst, etype } => (TXNOP_DELETE_EDGE, *src, *dst, *etype, 0.0),
-        TxnOp::PatchWeight(e) => (TXNOP_PATCH_WEIGHT, e.src, e.dst, e.etype, e.weight),
+    let (kind, src, dst, etype, weight, ts) = match op {
+        TxnOp::InsertEdge(e) => (TXNOP_INSERT_EDGE, e.src, e.dst, e.etype, e.weight, e.ts),
+        TxnOp::DeleteEdge { src, dst, etype } => (TXNOP_DELETE_EDGE, *src, *dst, *etype, 0.0, 0),
+        TxnOp::PatchWeight(e) => (TXNOP_PATCH_WEIGHT, e.src, e.dst, e.etype, e.weight, e.ts),
         TxnOp::UpsertVertex { vertex } => (
             TXNOP_UPSERT_VERTEX,
             *vertex,
             VertexId(0),
             EdgeType::DEFAULT,
             0.0,
+            0,
         ),
         TxnOp::DeleteVertex { vertex, etype } => {
-            (TXNOP_DELETE_VERTEX, *vertex, VertexId(0), *etype, 0.0)
+            (TXNOP_DELETE_VERTEX, *vertex, VertexId(0), *etype, 0.0, 0)
         }
     };
     buf.push(kind);
@@ -511,6 +543,7 @@ pub fn put_txn_op(buf: &mut Vec<u8>, op: &TxnOp) {
     put_u64(buf, dst.raw());
     put_u16(buf, etype.0);
     buf.extend_from_slice(&weight.to_le_bytes());
+    put_u64(buf, ts);
     debug_assert_eq!((buf.len() - before) as u64, TXN_OP_BYTES);
 }
 
@@ -521,12 +554,14 @@ pub fn get_txn_op(r: &mut Reader<'_>) -> Result<TxnOp, WireError> {
     let dst = VertexId(r.u64()?);
     let etype = EdgeType(r.u16()?);
     let weight = r.f64()?;
+    let ts = r.u64()?;
     match kind {
         TXNOP_INSERT_EDGE => Ok(TxnOp::InsertEdge(Edge {
             src,
             dst,
             etype,
             weight,
+            ts,
         })),
         TXNOP_DELETE_EDGE => Ok(TxnOp::DeleteEdge { src, dst, etype }),
         TXNOP_PATCH_WEIGHT => Ok(TxnOp::PatchWeight(Edge {
@@ -534,6 +569,7 @@ pub fn get_txn_op(r: &mut Reader<'_>) -> Result<TxnOp, WireError> {
             dst,
             etype,
             weight,
+            ts,
         })),
         TXNOP_UPSERT_VERTEX => Ok(TxnOp::UpsertVertex { vertex: src }),
         TXNOP_DELETE_VERTEX => Ok(TxnOp::DeleteVertex { vertex: src, etype }),
@@ -542,6 +578,71 @@ pub fn get_txn_op(r: &mut Reader<'_>) -> Result<TxnOp, WireError> {
             tag,
         }),
     }
+}
+
+/// Encode a time-window trailer block: `tag u8 = TIME_WINDOW_BLOCK_TAG`
+/// followed by one 17-byte entry per request (`present u8 | min_ts u64 |
+/// max_ts u64`). Callers only emit the block when at least one entry is
+/// windowed, which keeps unwindowed batches byte-identical to the
+/// pre-temporal protocol.
+pub fn put_time_window_block(buf: &mut Vec<u8>, windows: &[Option<TimeWindow>]) {
+    let before = buf.len();
+    buf.push(TIME_WINDOW_BLOCK_TAG);
+    for w in windows {
+        match w {
+            Some(win) => {
+                buf.push(1);
+                put_u64(buf, win.min_ts);
+                put_u64(buf, win.max_ts);
+            }
+            None => {
+                buf.push(0);
+                put_u64(buf, 0);
+                put_u64(buf, 0);
+            }
+        }
+    }
+    debug_assert_eq!(
+        (buf.len() - before) as u64,
+        time_window_block_bytes(windows.len())
+    );
+}
+
+/// Decode a time-window trailer block of exactly `count` entries. `count`
+/// comes from the already-validated record count, so the length guard here
+/// rejects payloads whose trailer was truncated or forged shorter than the
+/// record count implies.
+pub fn get_time_window_block(
+    r: &mut Reader<'_>,
+    count: usize,
+) -> Result<Vec<Option<TimeWindow>>, WireError> {
+    let tag = r.u8()?;
+    if tag != TIME_WINDOW_BLOCK_TAG {
+        return Err(WireError::BadTag {
+            what: "time window block",
+            tag,
+        });
+    }
+    if (count as u64) * TIME_WINDOW_ENTRY_BYTES > r.remaining() as u64 {
+        return Err(WireError::Truncated);
+    }
+    let mut windows = Vec::with_capacity(count);
+    for _ in 0..count {
+        let present = r.u8()?;
+        let min_ts = r.u64()?;
+        let max_ts = r.u64()?;
+        match present {
+            0 => windows.push(None),
+            1 => windows.push(Some(TimeWindow { min_ts, max_ts })),
+            tag => {
+                return Err(WireError::BadTag {
+                    what: "time window presence flag",
+                    tag,
+                })
+            }
+        }
+    }
+    Ok(windows)
 }
 
 #[cfg(test)]
@@ -586,6 +687,7 @@ mod tests {
     fn update_ops_roundtrip_at_fixed_size() {
         let ops = [
             UpdateOp::Insert(Edge::new(VertexId(1), VertexId(2), 0.5)),
+            UpdateOp::Insert(Edge::new(VertexId(1), VertexId(2), 0.5).at(1234)),
             UpdateOp::UpdateWeight(Edge::new(VertexId(3), VertexId(4), 2.5)),
             UpdateOp::Delete {
                 src: VertexId(5),
@@ -633,7 +735,7 @@ mod tests {
     fn bad_tags_are_rejected() {
         // Unknown op kind.
         let mut buf = vec![9u8];
-        buf.extend_from_slice(&[0u8; 26]);
+        buf.extend_from_slice(&[0u8; 34]);
         assert!(matches!(
             get_update_op(&mut Reader::new(&buf)),
             Err(WireError::BadTag {
@@ -680,6 +782,7 @@ mod tests {
                 dst: VertexId(6),
                 etype: EdgeType(2),
                 weight: 9.25,
+                ts: 1_700_000_123,
             }),
             TxnOp::UpsertVertex {
                 vertex: VertexId(8),
@@ -698,10 +801,59 @@ mod tests {
         }
         // Unknown kind tag.
         let mut buf = vec![5u8];
-        buf.extend_from_slice(&[0u8; 26]);
+        buf.extend_from_slice(&[0u8; 34]);
         assert!(matches!(
             get_txn_op(&mut Reader::new(&buf)),
             Err(WireError::BadTag { what: "txn op", .. })
+        ));
+    }
+
+    #[test]
+    fn time_window_block_roundtrips_and_rejects_corruption() {
+        let windows = vec![
+            None,
+            Some(TimeWindow::new(10, 500)),
+            Some(TimeWindow::until(u64::MAX)),
+            None,
+        ];
+        let mut buf = Vec::new();
+        put_time_window_block(&mut buf, &windows);
+        assert_eq!(buf.len() as u64, time_window_block_bytes(windows.len()));
+        let mut r = Reader::new(&buf);
+        assert_eq!(
+            get_time_window_block(&mut r, windows.len()).expect("decode"),
+            windows
+        );
+        assert!(r.is_empty());
+
+        // Wrong opening tag.
+        let mut bad = buf.clone();
+        bad[0] = 9;
+        assert!(matches!(
+            get_time_window_block(&mut Reader::new(&bad), windows.len()),
+            Err(WireError::BadTag {
+                what: "time window block",
+                ..
+            })
+        ));
+
+        // Truncated trailer: fewer entries on the wire than the record
+        // count implies.
+        let cut = &buf[..buf.len() - 1];
+        assert_eq!(
+            get_time_window_block(&mut Reader::new(cut), windows.len()),
+            Err(WireError::Truncated)
+        );
+
+        // Corrupt presence flag.
+        let mut bad = buf.clone();
+        bad[1] = 2;
+        assert!(matches!(
+            get_time_window_block(&mut Reader::new(&bad), windows.len()),
+            Err(WireError::BadTag {
+                what: "time window presence flag",
+                ..
+            })
         ));
     }
 

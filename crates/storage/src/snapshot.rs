@@ -7,10 +7,10 @@
 //! The snapshot is a compact length-prefixed binary stream; restore feeds
 //! [`DynamicGraphStore::bulk_build`], rebuilding every samtree bottom-up.
 //!
-//! # Format v2 (current, little-endian)
+//! # Format v3 (current, little-endian)
 //!
 //! ```text
-//! header : magic "PD2GSNAP" | version u32 = 2 | entry count u64
+//! header : magic "PD2GSNAP" | version u32 = 3 | entry count u64
 //! block  : block_len u32 (> 0) | payload [u8; block_len] | crc u32
 //! footer : sentinel u32 = 0 | file_crc u32 | end-of-file
 //! ```
@@ -23,8 +23,14 @@
 //!   anywhere before the footer changes `file_crc`'s input, and a flip in
 //!   the `file_crc` field itself breaks the comparison: every single-bit
 //!   flip is detected even if the per-block framing happens to survive it.
-//! * Entry encoding (inside payloads) is unchanged from v1:
-//!   `src u64 | etype u16 | degree u32 | degree x (dst u64, weight f64)`.
+//! * v3 entry encoding carries the temporal plane's per-edge event time:
+//!   `src u64 | etype u16 | degree u32 | degree x (dst u64, weight f64, ts u64)`
+//!   (`ts == 0` = timeless edge).
+//!
+//! # Format v2 (legacy, still readable and writable for compat tests)
+//!
+//! Identical framing; entries omit the trailing `ts u64` per edge. v2
+//! snapshots restore with every timestamp defaulted to `0`.
 //!
 //! # Format v1 (legacy, still readable)
 //!
@@ -33,7 +39,7 @@
 //! ```
 //!
 //! No checksums: v1 detects truncation but not bit rot. [`read_snapshot`]
-//! accepts both versions; [`write_snapshot`] emits v2.
+//! accepts all three versions; [`write_snapshot`] emits v3.
 
 use crate::crc32c::{crc32c, Crc32c};
 use crate::topology::AdjacencyEntry;
@@ -43,8 +49,9 @@ use std::io::{self, Read, Write};
 
 const MAGIC: &[u8; 8] = b"PD2GSNAP";
 /// Current snapshot format version written by [`write_snapshot`].
-pub const SNAPSHOT_VERSION: u32 = 2;
+pub const SNAPSHOT_VERSION: u32 = 3;
 const V1: u32 = 1;
+const V2: u32 = 2;
 
 /// Edges per block in v2 snapshots; also the restore batching unit.
 const BLOCK_EDGES: usize = 8192;
@@ -60,19 +67,27 @@ fn bad_data(msg: String) -> io::Error {
 // Writer
 // ---------------------------------------------------------------------------
 
-fn encode_entry(((src, etype), pairs): &AdjacencyEntry, out: &mut Vec<u8>) {
+fn encode_entry(((src, etype), rows): &AdjacencyEntry, with_ts: bool, out: &mut Vec<u8>) {
     out.extend_from_slice(&src.to_le_bytes());
     out.extend_from_slice(&etype.to_le_bytes());
-    out.extend_from_slice(&(pairs.len() as u32).to_le_bytes());
-    for (dst, weight) in pairs {
+    out.extend_from_slice(&(rows.len() as u32).to_le_bytes());
+    for (dst, weight, ts) in rows {
         out.extend_from_slice(&dst.to_le_bytes());
         out.extend_from_slice(&weight.to_le_bytes());
+        if with_ts {
+            out.extend_from_slice(&ts.to_le_bytes());
+        }
     }
 }
 
-/// Write adjacency entries in snapshot format v2 (shared by single-store
-/// and cluster snapshots).
-pub fn write_snapshot(mut w: impl Write, entries: &[AdjacencyEntry]) -> io::Result<()> {
+/// Shared checksummed-framing writer for v2/v3 (they differ only in the
+/// entry encoding's trailing per-edge timestamp).
+fn write_checksummed(
+    mut w: impl Write,
+    entries: &[AdjacencyEntry],
+    version: u32,
+    with_ts: bool,
+) -> io::Result<()> {
     let mut file_crc = Crc32c::new();
     let mut emit = |w: &mut dyn Write, bytes: &[u8]| -> io::Result<()> {
         file_crc.update(bytes);
@@ -80,7 +95,7 @@ pub fn write_snapshot(mut w: impl Write, entries: &[AdjacencyEntry]) -> io::Resu
     };
 
     emit(&mut w, MAGIC)?;
-    emit(&mut w, &SNAPSHOT_VERSION.to_le_bytes())?;
+    emit(&mut w, &version.to_le_bytes())?;
     emit(&mut w, &(entries.len() as u64).to_le_bytes())?;
 
     let mut payload = Vec::new();
@@ -90,7 +105,7 @@ pub fn write_snapshot(mut w: impl Write, entries: &[AdjacencyEntry]) -> io::Resu
         let mut edges_in_block = 0usize;
         // Pack whole entries until the block holds ~BLOCK_EDGES edges.
         while i < entries.len() && (payload.is_empty() || edges_in_block < BLOCK_EDGES) {
-            encode_entry(&entries[i], &mut payload);
+            encode_entry(&entries[i], with_ts, &mut payload);
             edges_in_block += entries[i].1.len();
             i += 1;
         }
@@ -105,15 +120,28 @@ pub fn write_snapshot(mut w: impl Write, entries: &[AdjacencyEntry]) -> io::Resu
     w.flush()
 }
 
-/// Write adjacency entries in the legacy v1 format (no checksums). Kept so
-/// compatibility tests can produce v1 streams; new code writes v2.
+/// Write adjacency entries in snapshot format v3 (shared by single-store
+/// and cluster snapshots).
+pub fn write_snapshot(w: impl Write, entries: &[AdjacencyEntry]) -> io::Result<()> {
+    write_checksummed(w, entries, SNAPSHOT_VERSION, true)
+}
+
+/// Write adjacency entries in the legacy v2 format (checksummed, no
+/// per-edge timestamps). Kept so compatibility tests can produce v2
+/// streams; new code writes v3.
+pub fn write_snapshot_v2(w: impl Write, entries: &[AdjacencyEntry]) -> io::Result<()> {
+    write_checksummed(w, entries, V2, false)
+}
+
+/// Write adjacency entries in the legacy v1 format (no checksums, no
+/// timestamps). Kept so compatibility tests can produce v1 streams.
 pub fn write_snapshot_v1(mut w: impl Write, entries: &[AdjacencyEntry]) -> io::Result<()> {
     w.write_all(MAGIC)?;
     w.write_all(&V1.to_le_bytes())?;
     w.write_all(&(entries.len() as u64).to_le_bytes())?;
     for entry in entries {
         let mut buf = Vec::new();
-        encode_entry(entry, &mut buf);
+        encode_entry(entry, false, &mut buf);
         w.write_all(&buf)?;
     }
     w.flush()
@@ -200,10 +228,11 @@ pub fn read_snapshot(r: impl Read, mut sink: impl FnMut(Vec<Edge>)) -> io::Resul
     let version = r.u32("version")?;
     match version {
         V1 => read_v1(r, &mut sink),
-        SNAPSHOT_VERSION => read_v2(r, &mut sink),
+        V2 => read_checksummed(r, false, &mut sink),
+        SNAPSHOT_VERSION => read_checksummed(r, true, &mut sink),
         other => Err(bad_data(format!(
             "unsupported snapshot version {other} at byte offset {version_offset}: \
-             this build supports versions {V1} and {SNAPSHOT_VERSION}"
+             this build supports versions {V1}, {V2} and {SNAPSHOT_VERSION}"
         ))),
     }
 }
@@ -230,6 +259,7 @@ fn read_v1(mut r: TrackedReader<impl Read>, sink: &mut impl FnMut(Vec<Edge>)) ->
                 dst,
                 etype,
                 weight,
+                ts: 0,
             });
         }
         if batch.len() >= BLOCK_EDGES {
@@ -243,7 +273,11 @@ fn read_v1(mut r: TrackedReader<impl Read>, sink: &mut impl FnMut(Vec<Edge>)) ->
     Ok(())
 }
 
-fn read_v2(mut r: TrackedReader<impl Read>, sink: &mut impl FnMut(Vec<Edge>)) -> io::Result<()> {
+fn read_checksummed(
+    mut r: TrackedReader<impl Read>,
+    with_ts: bool,
+    sink: &mut impl FnMut(Vec<Edge>),
+) -> io::Result<()> {
     let declared_entries = r.u64("entry count")?;
     let mut seen_entries = 0u64;
 
@@ -297,14 +331,15 @@ fn read_v2(mut r: TrackedReader<impl Read>, sink: &mut impl FnMut(Vec<Edge>)) ->
                  check (stored {stored:#010x}, computed {computed:#010x})"
             )));
         }
-        seen_entries += parse_block(&payload, block_offset, sink)?;
+        seen_entries += parse_block(&payload, block_offset, with_ts, sink)?;
     }
 }
 
-/// Parse a CRC-validated v2 block payload: a run of whole entries.
+/// Parse a CRC-validated v2/v3 block payload: a run of whole entries.
 fn parse_block(
     payload: &[u8],
     block_offset: u64,
+    with_ts: bool,
     sink: &mut impl FnMut(Vec<Edge>),
 ) -> io::Result<u64> {
     let corrupt = |detail: &str| {
@@ -335,11 +370,17 @@ fn parse_block(
             if !weight.is_finite() {
                 return Err(corrupt("non-finite edge weight"));
             }
+            let ts = if with_ts {
+                u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap())
+            } else {
+                0
+            };
             batch.push(Edge {
                 src,
                 dst,
                 etype,
                 weight,
+                ts,
             });
             if batch.len() >= BLOCK_EDGES {
                 sink(std::mem::take(&mut batch));
@@ -355,7 +396,8 @@ fn parse_block(
 }
 
 impl DynamicGraphStore {
-    /// Write a snapshot of the whole topology (format v2).
+    /// Write a snapshot of the whole topology (format v3, carrying each
+    /// edge's event time).
     ///
     /// Takes a point-in-time view per source vertex (each samtree is read
     /// under its own lock); concurrent updates land either before or after
@@ -364,8 +406,9 @@ impl DynamicGraphStore {
         write_snapshot(w, &self.export_adjacency())
     }
 
-    /// Read a snapshot (v1 or v2) into this (normally empty) store via the
-    /// bulk-load path.
+    /// Read a snapshot (v1, v2 or v3) into this (normally empty) store via
+    /// the bulk-load path. Pre-v3 snapshots restore with every edge
+    /// timestamp defaulted to `0` (timeless).
     pub fn restore_from(&self, r: impl Read) -> io::Result<()> {
         read_snapshot(r, |batch| self.bulk_build(batch))
     }
@@ -373,11 +416,68 @@ impl DynamicGraphStore {
 
 #[cfg(test)]
 mod fuzz {
+    use super::write_snapshot_v2;
     use crate::DynamicGraphStore;
-    use platod2gl_graph::GraphStore;
+    use platod2gl_graph::{Edge, EdgeType, GraphStore, VertexId};
     use proptest::prelude::*;
 
     proptest! {
+        /// v2 → v3 compat: an arbitrary stamped graph written as legacy v2
+        /// restores with identical topology/weights and every timestamp
+        /// defaulted to 0, while the v3 writer round-trips timestamps
+        /// exactly.
+        #[test]
+        fn snapshot_v2_to_v3_compat_roundtrip(
+            edges in proptest::collection::vec(
+                ((0u64..16, 100u64..140), (0u16..3, 1u32..1000, 0u64..1_000)),
+                1..80,
+            ),
+        ) {
+            let store = DynamicGraphStore::with_defaults();
+            for &((src, dst), (et, w, ts)) in &edges {
+                store.insert_edge(
+                    Edge {
+                        src: VertexId(src),
+                        dst: VertexId(dst),
+                        etype: EdgeType(et),
+                        weight: w as f64 / 100.0,
+                        ts,
+                    },
+                );
+            }
+            let entries = store.export_adjacency();
+
+            // v3 roundtrip: everything, including event times, survives.
+            let mut v3 = Vec::new();
+            super::write_snapshot(&mut v3, &entries).expect("v3 write");
+            let r3 = DynamicGraphStore::with_defaults();
+            r3.restore_from(v3.as_slice()).expect("v3 restore");
+            prop_assert_eq!(r3.num_edges(), store.num_edges());
+
+            // v2 write of the same entries: restores timeless.
+            let mut v2 = Vec::new();
+            write_snapshot_v2(&mut v2, &entries).expect("v2 write");
+            let r2 = DynamicGraphStore::with_defaults();
+            r2.restore_from(v2.as_slice()).expect("v2 restore");
+            prop_assert_eq!(r2.num_edges(), store.num_edges());
+
+            for &((src, dst), (et, _, _)) in &edges {
+                let (s, d, e) = (VertexId(src), VertexId(dst), EdgeType(et));
+                // Leaf weights live as FSTable prefix sums, so readback has
+                // a few ULPs of reconstruction noise — compare relatively,
+                // as the crash-recovery suite does.
+                let want = store.edge_weight(s, d, e).expect("present");
+                for restored in [&r3, &r2] {
+                    let got = restored.edge_weight(s, d, e).expect("present");
+                    prop_assert!(
+                        (got - want).abs() <= 1e-9 * (1.0 + want.abs()),
+                        "weight differs at {:?}->{:?}: {} vs {}", s, d, got, want
+                    );
+                }
+                prop_assert_eq!(r3.edge_ts(s, d, e), store.edge_ts(s, d, e));
+                prop_assert_eq!(r2.edge_ts(s, d, e), 0u64);
+            }
+        }
         /// Arbitrary bytes must never panic the parser — only `Err` out.
         #[test]
         fn random_bytes_never_panic(data in proptest::collection::vec(any::<u8>(), 0..512)) {
@@ -505,6 +605,50 @@ mod tests {
     }
 
     #[test]
+    fn v3_roundtrip_preserves_timestamps() {
+        let store = DynamicGraphStore::with_defaults();
+        for i in 0..200u64 {
+            store
+                .insert_edge(Edge::new(VertexId(i % 9), VertexId(1_000 + i), 1.0 + i as f64).at(i));
+        }
+        let mut bytes = Vec::new();
+        store.snapshot_to(&mut bytes).expect("snapshot");
+        let restored = DynamicGraphStore::with_defaults();
+        restored.restore_from(bytes.as_slice()).expect("restore");
+        assert_eq!(restored.num_edges(), store.num_edges());
+        for i in 0..200u64 {
+            assert_eq!(
+                restored.edge_ts(VertexId(i % 9), VertexId(1_000 + i), EdgeType(0)),
+                i,
+                "edge {i} timestamp must survive the v3 roundtrip"
+            );
+        }
+    }
+
+    #[test]
+    fn v2_snapshots_restore_with_timestamps_defaulted_to_zero() {
+        let store = DynamicGraphStore::with_defaults();
+        for i in 0..100u64 {
+            store.insert_edge(Edge::new(VertexId(i % 5), VertexId(500 + i), 2.0).at(10 + i));
+        }
+        let mut bytes = Vec::new();
+        write_snapshot_v2(&mut bytes, &store.export_adjacency()).expect("v2 write");
+        let restored = DynamicGraphStore::with_defaults();
+        restored.restore_from(bytes.as_slice()).expect("v2 restore");
+        assert_eq!(restored.num_edges(), store.num_edges());
+        for i in 0..100u64 {
+            let src = VertexId(i % 5);
+            let dst = VertexId(500 + i);
+            assert!(restored.edge_weight(src, dst, EdgeType(0)).is_some());
+            assert_eq!(
+                restored.edge_ts(src, dst, EdgeType(0)),
+                0,
+                "v2 restore must default timestamps to 0"
+            );
+        }
+    }
+
+    #[test]
     fn bad_magic_is_rejected() {
         let store = DynamicGraphStore::with_defaults();
         let err = store
@@ -525,7 +669,7 @@ mod tests {
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
         let msg = err.to_string();
         assert!(msg.contains("version 7"), "{msg}");
-        assert!(msg.contains("supports versions 1 and 2"), "{msg}");
+        assert!(msg.contains("supports versions 1, 2 and 3"), "{msg}");
     }
 
     #[test]

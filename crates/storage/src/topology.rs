@@ -3,17 +3,26 @@
 
 use parking_lot::RwLock;
 use platod2gl_cuckoo::CuckooMap;
-use platod2gl_graph::{sanitize_weight, Edge, EdgeType, GraphStore, UpdateOp, VertexId};
+use platod2gl_graph::{
+    sanitize_weight, Edge, EdgeType, GraphStore, TimeWindow, UpdateOp, VertexId,
+};
 use platod2gl_mem::DeepSize;
 use platod2gl_obs::{Counter, Gauge, Histogram, Registry};
 use platod2gl_samtree::{InsertOutcome, OpStats, SamTree, SamTreeConfig};
-use rand::RngCore;
+use rand::{Rng, RngCore};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
-/// One exported adjacency entry: `((src, etype), [(dst, weight), ...])`.
-pub type AdjacencyEntry = ((u64, u16), Vec<(u64, f64)>);
+/// One exported adjacency entry: `((src, etype), [(dst, weight, ts), ...])`.
+/// `ts == 0` marks a timeless edge (static data, or restored from a pre-v3
+/// snapshot).
+pub type AdjacencyEntry = ((u64, u16), Vec<(u64, f64, u64)>);
+
+/// Bounded rejection retries per windowed sample slot before falling back
+/// to the filtered scan. Retries consume the caller's RNG deterministically,
+/// so local and remote windowed sampling stay bit-identical.
+const WINDOW_RETRIES: usize = 8;
 
 /// Configuration of the whole store.
 #[derive(Clone, Copy, Debug)]
@@ -48,6 +57,37 @@ impl DeepSize for TreeKey {
     fn heap_bytes(&self) -> usize {
         0
     }
+}
+
+/// Timestamp-column key: one event time per resident edge.
+///
+/// The column lives beside the samtrees rather than inside them so the
+/// weight hot paths (insert runs, Fenwick updates, inverse-CDF draws) are
+/// untouched when the workload is timeless — the map simply stays empty
+/// and every guard on it short-circuits.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+struct TsKey {
+    src: u64,
+    dst: u64,
+    etype: u16,
+}
+
+impl DeepSize for TsKey {
+    fn heap_bytes(&self) -> usize {
+        0
+    }
+}
+
+/// Outcome of one per-source recency-decay pass (see
+/// [`DynamicGraphStore::decay_recency`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DecayOutcome {
+    /// Edges examined (the source's full out-neighborhood).
+    pub scanned: usize,
+    /// Edges whose weight actually shrank.
+    pub decayed: usize,
+    /// Edges clamped at the positive floor this pass.
+    pub floored: usize,
 }
 
 /// A shared, independently lockable samtree. The directory shard lock is
@@ -107,6 +147,12 @@ pub struct StoreMemory {
 pub struct DynamicGraphStore {
     config: StoreConfig,
     directory: CuckooMap<TreeKey, TreeCell>,
+    /// Per-edge event times (temporal plane). Only stamped edges
+    /// (`ts != 0`) occupy the map; timeless workloads never touch it.
+    timestamps: CuckooMap<TsKey, u64>,
+    /// Resident stamped-edge count: the cheap guard that keeps every
+    /// timestamp-column branch off the static hot paths.
+    num_stamped: AtomicUsize,
     num_edges: AtomicUsize,
     registry: Arc<Registry>,
     metrics: StoreMetrics,
@@ -129,6 +175,8 @@ struct StoreMetrics {
     sample_requests: Arc<Counter>,
     sample_draws: Arc<Counter>,
     edges: Arc<Gauge>,
+    window_retries: Arc<Counter>,
+    window_fallbacks: Arc<Counter>,
 }
 
 impl StoreMetrics {
@@ -145,6 +193,8 @@ impl StoreMetrics {
             sample_requests: registry.counter("samtree.sample_requests"),
             sample_draws: registry.counter("samtree.sample_draws"),
             edges: registry.gauge("storage.edges"),
+            window_retries: registry.counter("temporal.window_retries"),
+            window_fallbacks: registry.counter("temporal.window_fallbacks"),
         }
     }
 
@@ -184,6 +234,8 @@ impl DynamicGraphStore {
         Self {
             config: StoreConfig { tree, ..config },
             directory: CuckooMap::with_shards_and_capacity(config.directory_shards, 1024),
+            timestamps: CuckooMap::with_shards_and_capacity(config.directory_shards, 1024),
+            num_stamped: AtomicUsize::new(0),
             num_edges: AtomicUsize::new(0),
             registry,
             metrics,
@@ -228,6 +280,38 @@ impl DynamicGraphStore {
         self.directory.read(&key, TreeCell::clone)
     }
 
+    /// Whether any edge currently carries a timestamp. Guards every
+    /// timestamp-column touch so timeless workloads pay one relaxed load.
+    #[inline]
+    fn has_stamps(&self) -> bool {
+        self.num_stamped.load(Ordering::Relaxed) > 0
+    }
+
+    fn stamp(&self, key: TsKey, ts: u64) {
+        if self.timestamps.insert(key, ts).is_none() {
+            self.num_stamped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn unstamp(&self, key: &TsKey) {
+        if self.timestamps.remove(key).is_some() {
+            self.num_stamped.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+
+    fn ts_of(&self, src: u64, dst: u64, etype: u16) -> u64 {
+        if !self.has_stamps() {
+            return 0;
+        }
+        self.timestamps.get(&TsKey { src, dst, etype }).unwrap_or(0)
+    }
+
+    /// The event time of an edge, or `0` if the edge is timeless (or
+    /// absent — callers that need presence use [`GraphStore::edge_weight`]).
+    pub fn edge_ts(&self, src: VertexId, dst: VertexId, etype: EdgeType) -> u64 {
+        self.ts_of(src.raw(), dst.raw(), etype.0)
+    }
+
     fn cell_or_create(&self, key: TreeKey) -> TreeCell {
         self.directory
             .update_or_insert_with(key, TreeCell::new, |cell| cell.clone())
@@ -262,20 +346,58 @@ impl DynamicGraphStore {
             };
             for op in ops {
                 match op {
-                    UpdateOp::Insert(e) => run.push((e.dst.raw(), sanitize_weight(e.weight))),
+                    UpdateOp::Insert(e) => {
+                        run.push((e.dst.raw(), sanitize_weight(e.weight)));
+                        if e.ts != 0 {
+                            self.stamp(
+                                TsKey {
+                                    src: key.src,
+                                    dst: e.dst.raw(),
+                                    etype: key.etype,
+                                },
+                                e.ts,
+                            );
+                        } else if self.has_stamps() {
+                            // A timeless re-insert replaces the edge: clear
+                            // any stale stamp so it cannot mislabel the new
+                            // edge's event time.
+                            self.unstamp(&TsKey {
+                                src: key.src,
+                                dst: e.dst.raw(),
+                                etype: key.etype,
+                            });
+                        }
+                    }
                     UpdateOp::UpdateWeight(e) => {
                         flush(&mut tree, &mut run, &mut local, &mut edge_delta);
-                        tree.update_weight(
+                        let updated = tree.update_weight(
                             &cfg,
                             e.dst.raw(),
                             sanitize_weight(e.weight),
                             &mut local,
                         );
+                        if updated && e.ts != 0 {
+                            self.stamp(
+                                TsKey {
+                                    src: key.src,
+                                    dst: e.dst.raw(),
+                                    etype: key.etype,
+                                },
+                                e.ts,
+                            );
+                        }
                     }
                     UpdateOp::Delete { dst, .. } => {
                         flush(&mut tree, &mut run, &mut local, &mut edge_delta);
                         if tree.delete(&cfg, dst.raw(), &mut local).is_some() {
                             edge_delta -= 1;
+                            if self.has_stamps() {
+                                self.unstamp(&TsKey {
+                                    src: key.src,
+                                    dst: dst.raw(),
+                                    etype: key.etype,
+                                });
+                            }
                         }
                     }
                 }
@@ -364,6 +486,16 @@ impl DynamicGraphStore {
         use std::collections::HashMap;
         let mut groups: HashMap<TreeKey, Vec<(u64, f64)>> = HashMap::new();
         for e in edges {
+            if e.ts != 0 {
+                self.stamp(
+                    TsKey {
+                        src: e.src.raw(),
+                        dst: e.dst.raw(),
+                        etype: e.etype.0,
+                    },
+                    e.ts,
+                );
+            }
             groups
                 .entry(TreeKey {
                     src: e.src.raw(),
@@ -408,6 +540,151 @@ impl DynamicGraphStore {
         });
     }
 
+    /// Weighted neighbor sampling restricted to a time window.
+    ///
+    /// `window == None` is exactly [`GraphStore::sample_neighbors`]. With a
+    /// window, each of the `k` slots is drawn by rejection-with-retry: up
+    /// to [`WINDOW_RETRIES`] weighted draws against the full tree, keeping
+    /// the first whose timestamp lies in the window (timeless edges always
+    /// qualify). A slot that exhausts its retries falls back to one
+    /// weighted draw over the *filtered* in-window neighbor list — exact,
+    /// built at most once per request, and only paid when the window is
+    /// weight-skewed toward out-of-window edges.
+    ///
+    /// Both paths consume the RNG in a deterministic order, so a windowed
+    /// request replayed with the same per-request seed returns the same
+    /// slots locally and remotely.
+    pub fn sample_neighbors_windowed(
+        &self,
+        v: VertexId,
+        etype: EdgeType,
+        k: usize,
+        window: Option<TimeWindow>,
+        rng: &mut dyn RngCore,
+    ) -> Vec<VertexId> {
+        let Some(win) = window else {
+            return self.sample_neighbors(v, etype, k, rng);
+        };
+        let _span = self.registry.span("samtree.sample");
+        self.metrics.sample_requests.inc();
+        let Some(cell) = self.cell(TreeKey {
+            src: v.raw(),
+            etype: etype.0,
+        }) else {
+            return Vec::new();
+        };
+        let tree = cell.0.read();
+        let src = v.raw();
+        let mut picks = Vec::with_capacity(k);
+        // Filtered in-window (dst, cumulative weight) list, built lazily on
+        // the first fallback and reused for the rest of the request.
+        let mut filtered: Option<(Vec<u64>, Vec<f64>)> = None;
+        let mut retries = 0u64;
+        let mut fallbacks = 0u64;
+        'slots: for _ in 0..k {
+            for _ in 0..WINDOW_RETRIES {
+                let Some(id) = tree.sample(rng) else {
+                    break 'slots; // empty / zero-weight tree
+                };
+                if win.contains(self.ts_of(src, id, etype.0)) {
+                    picks.push(VertexId(id));
+                    continue 'slots;
+                }
+                retries += 1;
+            }
+            fallbacks += 1;
+            let (ids, cum) = filtered.get_or_insert_with(|| {
+                let mut ids = Vec::new();
+                let mut cum = Vec::new();
+                let mut acc = 0.0f64;
+                for (dst, w) in tree.entries() {
+                    if w > 0.0 && win.contains(self.ts_of(src, dst, etype.0)) {
+                        acc += w;
+                        ids.push(dst);
+                        cum.push(acc);
+                    }
+                }
+                (ids, cum)
+            });
+            let Some(&total) = cum.last() else {
+                break 'slots; // nothing in-window at all
+            };
+            let r: f64 = rng.random_range(0.0..total);
+            let j = cum.partition_point(|&c| c <= r).min(ids.len() - 1);
+            picks.push(VertexId(ids[j]));
+        }
+        if retries > 0 {
+            self.metrics.window_retries.add(retries);
+        }
+        if fallbacks > 0 {
+            self.metrics.window_fallbacks.add(fallbacks);
+        }
+        self.metrics.sample_draws.add(picks.len() as u64);
+        picks
+    }
+
+    /// One recency-decay pass over a single source's out-neighborhood:
+    /// every stamped edge older than `now` has its weight multiplied by
+    /// `exp(-lambda · (now - ts))`, clamped at the strictly positive
+    /// `floor`, through the samtree's `O(log n)` floored FSTable update.
+    /// Timeless edges (`ts == 0`) and edges at/below the floor are left
+    /// untouched; event times are never refreshed by decay.
+    ///
+    /// The maintenance worker in `platod2gl-temporal` drives this method in
+    /// amortized batches of sources.
+    pub fn decay_recency(
+        &self,
+        v: VertexId,
+        etype: EdgeType,
+        now: u64,
+        lambda: f64,
+        floor: f64,
+    ) -> DecayOutcome {
+        assert!(lambda.is_finite() && lambda >= 0.0, "lambda must be >= 0");
+        assert!(floor.is_finite() && floor > 0.0, "floor must be positive");
+        let mut out = DecayOutcome::default();
+        if lambda == 0.0 || !self.has_stamps() {
+            return out;
+        }
+        let Some(cell) = self.cell(TreeKey {
+            src: v.raw(),
+            etype: etype.0,
+        }) else {
+            return out;
+        };
+        let cfg = self.config.tree;
+        let mut local = OpStats::default();
+        let mut tree = cell.0.write();
+        // Leaf weights read back with a few ULPs of prefix-sum
+        // reconstruction noise, so an edge clamped at the floor by a
+        // previous sweep can read as marginally above it; the relative
+        // tolerance keeps such edges skipped instead of "decaying" by
+        // denormal-sized deltas every sweep.
+        let floor_cut = floor * (1.0 + 1e-9);
+        for (dst, w) in tree.entries() {
+            out.scanned += 1;
+            let ts = self.ts_of(v.raw(), dst, etype.0);
+            if ts == 0 || ts >= now || w <= floor_cut {
+                continue;
+            }
+            let factor = (-lambda * (now - ts) as f64).exp();
+            if factor >= 1.0 {
+                continue;
+            }
+            if let Some(delta) = tree.decay_weight(&cfg, dst, factor, floor, &mut local) {
+                if delta < 0.0 {
+                    out.decayed += 1;
+                    if w * factor <= floor {
+                        out.floored += 1;
+                    }
+                }
+            }
+        }
+        drop(tree);
+        self.metrics.add_ops(&local);
+        out
+    }
+
     /// The `k` heaviest out-neighbors of `v`, heaviest first (the
     /// deterministic "top interests" serving query).
     pub fn top_k_neighbors(&self, v: VertexId, etype: EdgeType, k: usize) -> Vec<(VertexId, f64)> {
@@ -438,6 +715,15 @@ impl DynamicGraphStore {
             return 0;
         };
         let mut tree = cell.0.write();
+        if self.has_stamps() {
+            for (dst, _) in tree.entries() {
+                self.unstamp(&TsKey {
+                    src: v.raw(),
+                    dst,
+                    etype: etype.0,
+                });
+            }
+        }
         let removed = tree.len();
         *tree = SamTree::new();
         self.num_edges.fetch_sub(removed, Ordering::Relaxed);
@@ -445,32 +731,60 @@ impl DynamicGraphStore {
         removed
     }
 
-    /// Dump the whole adjacency as `((src, etype), [(dst, weight)])`
+    /// Dump the whole adjacency as `((src, etype), [(dst, weight, ts)])`
     /// entries (snapshotting and diagnostics). Each tree is read under its
     /// own lock.
     pub fn export_adjacency(&self) -> Vec<AdjacencyEntry> {
         let mut out = Vec::with_capacity(self.directory.len());
+        let stamped = self.has_stamps();
         self.directory.for_each(|key, cell| {
             let entries = cell.0.read().entries();
             if !entries.is_empty() {
-                out.push(((key.src, key.etype), entries));
+                let rows = entries
+                    .into_iter()
+                    .map(|(dst, w)| {
+                        let ts = if stamped {
+                            self.ts_of(key.src, dst, key.etype)
+                        } else {
+                            0
+                        };
+                        (dst, w, ts)
+                    })
+                    .collect();
+                out.push(((key.src, key.etype), rows));
             }
         });
         out
     }
 
-    /// One `(src, etype)` tree's full `(dst, weight)` list, or `None` if
+    /// One `(src, etype)` tree's full `(dst, weight, ts)` list, or `None` if
     /// the key is not resident (or its tree is empty). The targeted
     /// counterpart of [`DynamicGraphStore::export_adjacency`]: partition
     /// export streams chunks by materializing only the keys inside the
     /// chunk's budget instead of the whole store.
-    pub fn adjacency_of(&self, v: VertexId, etype: EdgeType) -> Option<Vec<(u64, f64)>> {
+    pub fn adjacency_of(&self, v: VertexId, etype: EdgeType) -> Option<Vec<(u64, f64, u64)>> {
         let cell = self.cell(TreeKey {
             src: v.raw(),
             etype: etype.0,
         })?;
         let entries = cell.0.read().entries();
-        (!entries.is_empty()).then_some(entries)
+        if entries.is_empty() {
+            return None;
+        }
+        let stamped = self.has_stamps();
+        Some(
+            entries
+                .into_iter()
+                .map(|(dst, w)| {
+                    let ts = if stamped {
+                        self.ts_of(v.raw(), dst, etype.0)
+                    } else {
+                        0
+                    };
+                    (dst, w, ts)
+                })
+                .collect(),
+        )
     }
 
     /// Visit every resident `(src, etype)` directory key with its current
@@ -565,6 +879,13 @@ impl GraphStore for DynamicGraphStore {
         if deleted {
             self.num_edges.fetch_sub(1, Ordering::Relaxed);
             self.metrics.edges.add(-1);
+            if self.has_stamps() {
+                self.unstamp(&TsKey {
+                    src: src.raw(),
+                    dst: dst.raw(),
+                    etype: etype.0,
+                });
+            }
         }
         self.metrics.add_ops(&local);
         deleted
@@ -584,6 +905,16 @@ impl GraphStore for DynamicGraphStore {
             sanitize_weight(edge.weight),
             &mut local,
         );
+        if updated && edge.ts != 0 {
+            self.stamp(
+                TsKey {
+                    src: edge.src.raw(),
+                    dst: edge.dst.raw(),
+                    etype: edge.etype.0,
+                },
+                edge.ts,
+            );
+        }
         self.metrics.add_ops(&local);
         updated
     }

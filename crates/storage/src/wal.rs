@@ -97,6 +97,11 @@ const TAG_UPDATE_WEIGHT: u8 = 3;
 const TAG_BATCH: u8 = 4;
 const TAG_BATCH_BEGIN: u8 = 5;
 const TAG_BATCH_COMMIT: u8 = 6;
+// Timestamped variants (temporal plane): same body as tags 1/3 with the
+// edge's event time (u64 LE) appended. Written only when `ts != 0`, so a
+// timeless workload produces byte-identical WAL streams to older writers.
+const TAG_INSERT_TS: u8 = 7;
+const TAG_UPDATE_WEIGHT_TS: u8 = 8;
 
 /// Upper bound on a single record payload; anything larger is treated as
 /// corruption. A batch of 1M ops encodes to ~27 MB, far below this.
@@ -109,16 +114,26 @@ const MAX_RECORD_LEN: u32 = 1 << 30;
 fn encode_op(op: &UpdateOp, out: &mut Vec<u8>) {
     match op {
         UpdateOp::Insert(e) => {
-            out.push(TAG_INSERT);
+            out.push(if e.ts != 0 { TAG_INSERT_TS } else { TAG_INSERT });
             encode_edge_body(e.src, e.dst, e.etype, Some(e.weight), out);
+            if e.ts != 0 {
+                out.extend_from_slice(&e.ts.to_le_bytes());
+            }
         }
         UpdateOp::Delete { src, dst, etype } => {
             out.push(TAG_DELETE);
             encode_edge_body(*src, *dst, *etype, None, out);
         }
         UpdateOp::UpdateWeight(e) => {
-            out.push(TAG_UPDATE_WEIGHT);
+            out.push(if e.ts != 0 {
+                TAG_UPDATE_WEIGHT_TS
+            } else {
+                TAG_UPDATE_WEIGHT
+            });
             encode_edge_body(e.src, e.dst, e.etype, Some(e.weight), out);
+            if e.ts != 0 {
+                out.extend_from_slice(&e.ts.to_le_bytes());
+            }
         }
     }
 }
@@ -199,6 +214,7 @@ impl<'a> Decoder<'a> {
                 dst,
                 etype,
                 weight: self.weight()?,
+                ts: 0,
             })),
             TAG_DELETE => Some(UpdateOp::Delete { src, dst, etype }),
             TAG_UPDATE_WEIGHT => Some(UpdateOp::UpdateWeight(Edge {
@@ -206,7 +222,28 @@ impl<'a> Decoder<'a> {
                 dst,
                 etype,
                 weight: self.weight()?,
+                ts: 0,
             })),
+            TAG_INSERT_TS => {
+                let weight = self.weight()?;
+                Some(UpdateOp::Insert(Edge {
+                    src,
+                    dst,
+                    etype,
+                    weight,
+                    ts: self.u64()?,
+                }))
+            }
+            TAG_UPDATE_WEIGHT_TS => {
+                let weight = self.weight()?;
+                Some(UpdateOp::UpdateWeight(Edge {
+                    src,
+                    dst,
+                    etype,
+                    weight,
+                    ts: self.u64()?,
+                }))
+            }
             _ => None,
         }
     }
@@ -1311,13 +1348,17 @@ mod tests {
                 dst: v(8),
                 etype: EdgeType(1),
                 weight: 0.25,
+                ts: 0,
             }),
+            // Timestamped variants round-trip through the new tags.
+            UpdateOp::Insert(Edge::new(v(3), v(4), 2.0).at(77)),
+            UpdateOp::UpdateWeight(Edge::new(v(3), v(4), 0.5).at(99)),
         ];
         let bytes = wal_with(&ops);
         let (out, report) = replay_all(&bytes);
         assert_eq!(out, ops);
-        assert_eq!(report.records, 3);
-        assert_eq!(report.ops, 3);
+        assert_eq!(report.records, 5);
+        assert_eq!(report.ops, 5);
         assert_eq!(report.durable_len, bytes.len() as u64);
         assert!(report.torn_tail.is_none());
     }

@@ -26,6 +26,7 @@ fn op(src: u64, k: usize) -> UpdateOp {
         dst: VertexId(k as u64 + 1),
         etype: EdgeType::DEFAULT,
         weight: 1.0,
+        ts: 0,
     })
 }
 

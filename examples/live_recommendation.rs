@@ -91,6 +91,7 @@ fn main() {
         dst: new_live,
         etype: EdgeType(0),
         weight: 50.0, // a strong, fresh interest signal
+        ts: 0,
     })]);
     let samples = system.neighbor_sample(&[user], EdgeType(0), 200, 11);
     let hits = samples[0].iter().filter(|v| **v == new_live).count();

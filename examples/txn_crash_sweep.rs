@@ -17,12 +17,12 @@ use std::path::{Path, PathBuf};
 const ET: EdgeType = EdgeType::DEFAULT;
 
 /// Order-independent checksum of the full adjacency structure: src, etype,
-/// dst, and exact weight bits all participate. Two stores checksum equal
-/// iff they hold the same topology.
+/// dst, exact weight bits, and edge timestamps all participate. Two stores
+/// checksum equal iff they hold the same topology.
 fn topology_checksum(store: &DurableGraphStore) -> u64 {
     let mut entries = store.store().export_adjacency();
     for (_, pairs) in entries.iter_mut() {
-        pairs.sort_by_key(|&(dst, _)| dst);
+        pairs.sort_by_key(|&(dst, _, _)| dst);
     }
     entries.sort_by_key(|&((src, etype), _)| (src, etype));
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
@@ -33,9 +33,10 @@ fn topology_checksum(store: &DurableGraphStore) -> u64 {
     for ((src, etype), pairs) in &entries {
         mix(*src);
         mix(u64::from(*etype));
-        for &(dst, w) in pairs {
+        for &(dst, w, ts) in pairs {
             mix(dst);
             mix(w.to_bits());
+            mix(ts);
         }
     }
     h

@@ -137,6 +137,32 @@ if ! awk -v r="$obs_ratio" 'BEGIN { exit !(r >= 0.9) }'; then
     exit 1
 fi
 
+echo "==> temporal smoke test (temporal_link_prediction example: windowed training + fleet parity)"
+temporal_out=$(cargo run -p platod2gl --release --example temporal_link_prediction 2>/dev/null)
+for needle in 'time-ordered negative redraws' \
+    'time-respecting k-hop: 0 future-edge leaks' \
+    'temporal training beats shuffled-time ablation' \
+    'fleet windowed epochs bit-identical to local' \
+    'recency decay:' \
+    'temporal link prediction complete'; do
+    if ! grep -qF "$needle" <<<"$temporal_out"; then
+        echo "verify: FAIL — temporal smoke missing: $needle"
+        exit 1
+    fi
+done
+
+echo "==> temporal sampling trail (report_temporal -> BENCH_10.json, windowed within 2x of unwindowed)"
+cargo run -p platod2gl-bench --release --bin report_temporal
+if ! grep -qF '"bench":"temporal_sampling"' BENCH_10.json; then
+    echo "verify: FAIL — BENCH_10.json missing or malformed"
+    exit 1
+fi
+slowdown=$(sed -n 's/.*"worst_slowdown":\([0-9.]*\).*/\1/p' BENCH_10.json)
+if ! awk -v s="$slowdown" 'BEGIN { exit !(s <= 2.0) }'; then
+    echo "verify: FAIL — windowed sampling worst_slowdown = $slowdown > 2.0x unwindowed"
+    exit 1
+fi
+
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
 

@@ -40,13 +40,14 @@ fn assert_same_graph(recovered: &DynamicGraphStore, reference: &DynamicGraphStor
     for (ea, eb) in a.iter().zip(&b) {
         assert_eq!(ea.0, eb.0, "tree key sets differ");
         assert_eq!(ea.1.len(), eb.1.len(), "degree differs at {:?}", ea.0);
-        for (&(da, wa), &(db, wb)) in ea.1.iter().zip(&eb.1) {
+        for (&(da, wa, ta), &(db, wb, tb)) in ea.1.iter().zip(&eb.1) {
             assert_eq!(da, db, "neighbor sets differ at {:?}", ea.0);
             assert!(
                 (wa - wb).abs() <= 1e-9 * (1.0 + wa.abs()),
                 "weight differs at {:?}->{da}: {wa} vs {wb}",
                 ea.0
             );
+            assert_eq!(ta, tb, "edge timestamp differs at {:?}->{da}", ea.0);
         }
     }
 }

@@ -29,11 +29,13 @@ fn edge_ops() -> Vec<UpdateOp> {
     let mut ops = Vec::new();
     for v in 0..N {
         for k in 1..=5u64 {
-            ops.push(UpdateOp::Insert(Edge::new(
-                VertexId(v),
-                VertexId((v + k * 7) % N),
-                1.0 + (k as f64) * 0.25,
-            )));
+            // Deterministically stamped: the windowed-epoch parity leg
+            // needs real event times. Unwindowed sampling ignores them.
+            let dst = (v + k * 7) % N;
+            ops.push(UpdateOp::Insert(
+                Edge::new(VertexId(v), VertexId(dst), 1.0 + (k as f64) * 0.25)
+                    .at((v + dst * 13) % 90 + 1),
+            ));
         }
     }
     ops
@@ -208,6 +210,24 @@ fn fleet_training_is_bit_identical_to_single_server_remote() {
         );
         assert_eq!(a.mean_accuracy.to_bits(), b.mean_accuracy.to_bits());
     }
+
+    // The temporal leg: a windowed epoch (each seed sampling only edges no
+    // newer than its event time) must be bit-identical across deployments
+    // too — the time-window trailer rides partition-routed batches exactly
+    // as it rides single-server ones.
+    let seed_times: Vec<u64> = seeds.iter().map(|v| v.raw() * 13 % 70 + 20).collect();
+    let a =
+        single_pipe.run_epoch_windowed(&mut single_net, &provider, &seeds, &labels, &seed_times, 2);
+    let b =
+        fleet_pipe.run_epoch_windowed(&mut fleet_net, &provider, &seeds, &labels, &seed_times, 2);
+    assert_eq!(a.batches, b.batches);
+    assert_eq!(b.degraded_batches, 0);
+    assert_eq!(
+        a.mean_loss.to_bits(),
+        b.mean_loss.to_bits(),
+        "windowed epoch: losses must be bit-identical across deployments"
+    );
+    assert_eq!(a.mean_accuracy.to_bits(), b.mean_accuracy.to_bits());
 
     single_server.shutdown();
     fleet_servers.shutdown();

@@ -49,7 +49,12 @@ fn built_cluster(num_shards: usize) -> Arc<Cluster> {
     let cluster = Arc::new(Cluster::new(config));
     for v in 0..N {
         for k in 1..=5u64 {
-            cluster.insert_edge(Edge::new(VertexId(v), VertexId((v + k * 7) % N), 1.0));
+            // Deterministically stamped: the windowed-epoch leg below needs
+            // real event times. Unwindowed sampling ignores them.
+            let dst = (v + k * 7) % N;
+            cluster.insert_edge(
+                Edge::new(VertexId(v), VertexId(dst), 1.0).at((v + dst * 13) % 90 + 1),
+            );
         }
     }
     cluster
@@ -119,6 +124,23 @@ fn training_pipeline_is_bit_identical_local_vs_remote() {
         );
         assert_eq!(a.mean_accuracy.to_bits(), b.mean_accuracy.to_bits());
     }
+
+    // The temporal leg: a windowed epoch (each seed sampling only edges no
+    // newer than its event time) must also cross the wire bit-identically —
+    // the time-window trailer block reaches the server and is enforced
+    // there with the same derived RNG as the in-process path.
+    let seed_times: Vec<u64> = seeds.iter().map(|v| v.raw() * 13 % 70 + 20).collect();
+    let a =
+        local_pipe.run_epoch_windowed(&mut local_net, &provider, &seeds, &labels, &seed_times, 2);
+    let b =
+        remote_pipe.run_epoch_windowed(&mut remote_net, &provider, &seeds, &labels, &seed_times, 2);
+    assert_eq!(a.batches, b.batches);
+    assert_eq!(
+        a.mean_loss.to_bits(),
+        b.mean_loss.to_bits(),
+        "windowed epoch: losses must be bit-identical across the wire"
+    );
+    assert_eq!(a.mean_accuracy.to_bits(), b.mean_accuracy.to_bits());
 
     // Both sides issued the same cluster requests (dedup + cache
     // interplay included) — the wire changed nothing about the workload.
